@@ -1,0 +1,245 @@
+// Package repro's root benchmarks regenerate every evaluation
+// artifact of "Querying at Internet Scale" (SIGMOD 2004) plus the
+// supporting shape experiments DESIGN.md indexes. Each benchmark runs
+// a full simulated deployment per iteration, so iteration counts are
+// fixed at 1; the numbers that matter are the custom metrics
+// (messages, bytes, hops, survival fractions) — those are what
+// EXPERIMENTS.md records against the paper.
+//
+// Run with:
+//
+//	go test -bench=. -benchmem
+package repro
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/monitor"
+)
+
+// BenchmarkFigure1ContinuousSum regenerates Figure 1: the continuous
+// SUM of outbound data rates over responding nodes, with a mid-run
+// failure and recovery of a quarter of the network.
+func BenchmarkFigure1ContinuousSum(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		series, err := bench.Figure1(bench.Figure1Config{
+			N: 24, Seed: int64(i + 1),
+			Window: time.Second, Slide: 500 * time.Millisecond,
+			Run: 8 * time.Second, FailAt: 3 * time.Second,
+			RecoverAt: 6 * time.Second, FailCount: 6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(series) < 6 {
+			b.Fatalf("only %d windows", len(series))
+		}
+		// Shape check: the post-failure trough must sit clearly below
+		// the pre-failure plateau.
+		var pre, trough float64
+		var preN, troughN int
+		for _, p := range series {
+			switch {
+			case p.T > 2*time.Second && p.T < 3*time.Second:
+				pre += p.Sum
+				preN++
+			case p.T > 4500*time.Millisecond && p.T < 6*time.Second:
+				trough += p.Sum
+				troughN++
+			}
+		}
+		if preN > 0 && troughN > 0 {
+			preAvg, troughAvg := pre/float64(preN), trough/float64(troughN)
+			if troughAvg >= preAvg {
+				b.Fatalf("no failure dip: pre=%.1f trough=%.1f", preAvg, troughAvg)
+			}
+			b.ReportMetric(preAvg, "sum-steady")
+			b.ReportMetric(troughAvg, "sum-degraded")
+		}
+		b.ReportMetric(float64(len(series)), "windows")
+	}
+}
+
+// BenchmarkTable1TopTenRules regenerates Table 1: the network-wide
+// top-ten intrusion-detection rules, which must come back in the
+// paper's exact order with the paper's exact counts.
+func BenchmarkTable1TopTenRules(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.Table1(24, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Rows) != 10 {
+			b.Fatalf("%d rows", len(res.Rows))
+		}
+		for j, want := range monitor.Table1Rules {
+			got := res.Rows[j]
+			if got.Rule != want.ID || got.Hits != want.Hits {
+				b.Fatalf("row %d: got rule %d/%d hits, paper has %d/%d",
+					j, got.Rule, got.Hits, want.ID, want.Hits)
+			}
+		}
+		b.ReportMetric(float64(res.Msgs), "msgs")
+		b.ReportMetric(float64(res.Duration.Milliseconds()), "query-ms")
+	}
+}
+
+// BenchmarkScalingHops checks S1: mean lookup hop count grows like
+// O(log n) as the network quadruples.
+func BenchmarkScalingHops(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		points, err := bench.ScalingHops([]int{16, 64}, 40, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			bound := 2*math.Log2(float64(p.N)) + 2
+			if p.MeanHops > bound {
+				b.Fatalf("N=%d mean hops %.2f exceeds %.2f", p.N, p.MeanHops, bound)
+			}
+		}
+		b.ReportMetric(points[0].MeanHops, "hops-n16")
+		b.ReportMetric(points[1].MeanHops, "hops-n64")
+	}
+}
+
+// BenchmarkAggregationVsCentralized checks S2: in-network aggregation
+// delivers far less traffic to the collection point than shipping
+// every tuple there, and relay combining shrinks it further.
+func BenchmarkAggregationVsCentralized(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.AggregationComparison(24, 20, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		byMode := map[string]bench.AggResult{}
+		for _, r := range results {
+			byMode[r.Mode] = r
+		}
+		inNet := byMode["in-network+combine"]
+		central := byMode["centralized"]
+		if inNet.RootInBytes >= central.RootInBytes {
+			b.Fatalf("in-network root bandwidth %d >= centralized %d",
+				inNet.RootInBytes, central.RootInBytes)
+		}
+		b.ReportMetric(float64(inNet.RootInBytes), "root-bytes-innet")
+		b.ReportMetric(float64(byMode["in-network"].RootInBytes), "root-bytes-nocombine")
+		b.ReportMetric(float64(central.RootInBytes), "root-bytes-central")
+		b.ReportMetric(float64(inNet.Msgs), "msgs-innet")
+		b.ReportMetric(float64(central.Msgs), "msgs-central")
+	}
+}
+
+// BenchmarkJoinStrategies checks S3: all three join strategies return
+// the same rows, and the Bloom rewrite rehashes less than plain
+// symmetric hash at low selectivity.
+func BenchmarkJoinStrategies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.JoinStrategies(16, 10, 600, 0.05, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		rows := results[0].Rows
+		for _, r := range results {
+			if r.Rows != rows {
+				b.Fatalf("strategy %s returned %d rows, others %d", r.Strategy, r.Rows, rows)
+			}
+		}
+		byStrat := map[string]bench.JoinResult{}
+		for _, r := range results {
+			byStrat[r.Strategy] = r
+		}
+		if byStrat["bloom"].Bytes >= byStrat["symmetric"].Bytes {
+			b.Fatalf("bloom join moved %d bytes >= symmetric %d",
+				byStrat["bloom"].Bytes, byStrat["symmetric"].Bytes)
+		}
+		b.ReportMetric(float64(byStrat["symmetric"].Msgs), "msgs-symmetric")
+		b.ReportMetric(float64(byStrat["fetch"].Msgs), "msgs-fetch")
+		b.ReportMetric(float64(byStrat["bloom"].Msgs), "msgs-bloom")
+	}
+}
+
+// BenchmarkChurnResilience checks S4: replication raises data
+// survival when a quarter of the network dies.
+func BenchmarkChurnResilience(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.ChurnSurvival(16, 60, 4, []int{-1, 2}, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		noRep, rep := results[0], results[1]
+		if rep.SurvivedFrac < noRep.SurvivedFrac {
+			b.Fatalf("replication hurt survival: %0.2f < %0.2f",
+				rep.SurvivedFrac, noRep.SurvivedFrac)
+		}
+		if rep.SurvivedFrac < 0.9 {
+			b.Fatalf("replicated survival only %.2f", rep.SurvivedFrac)
+		}
+		b.ReportMetric(noRep.SurvivedFrac, "survival-r0")
+		b.ReportMetric(rep.SurvivedFrac, "survival-r2")
+	}
+}
+
+// BenchmarkSearchVsFlooding checks S5: DHT keyword search touches a
+// tiny fraction of the messages flooding needs, with equal recall.
+func BenchmarkSearchVsFlooding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.SearchComparison(24, 40, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		dht, flood := results[0], results[1]
+		if dht.Files != flood.Files {
+			b.Fatalf("recall differs: dht %d files, flood %d", dht.Files, flood.Files)
+		}
+		if dht.Msgs >= flood.Msgs {
+			b.Fatalf("dht search cost %d msgs >= flooding %d", dht.Msgs, flood.Msgs)
+		}
+		b.ReportMetric(float64(dht.Msgs), "msgs-dht")
+		b.ReportMetric(float64(flood.Msgs), "msgs-flood")
+	}
+}
+
+// BenchmarkRecursiveTopology checks S6: the in-network recursive
+// closure finds the full transitive closure and agrees with the SQL
+// WITH RECURSIVE surface.
+func BenchmarkRecursiveTopology(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := bench.RecursiveTopology(12, 8, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Facts != res.Expected {
+			b.Fatalf("closure found %d facts, want %d", res.Facts, res.Expected)
+		}
+		if !res.AgreeSQL {
+			b.Fatal("in-network and SQL closures disagree")
+		}
+		b.ReportMetric(float64(res.Msgs), "msgs")
+	}
+}
+
+// BenchmarkOverlayAblation checks the DHT-agnosticism claim: the same
+// query answers correctly over Chord, Kademlia, and CAN — all three
+// DHT schemes the paper cites.
+func BenchmarkOverlayAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.OverlayAblation(16, 40, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.SumOK {
+				b.Fatalf("overlay %s computed a wrong aggregate", r.Overlay)
+			}
+		}
+		b.ReportMetric(results[0].MeanHops, "hops-chord")
+		b.ReportMetric(results[1].MeanHops, "hops-kademlia")
+		if len(results) > 2 {
+			b.ReportMetric(results[2].MeanHops, "hops-can")
+		}
+	}
+}

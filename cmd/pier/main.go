@@ -1,0 +1,246 @@
+// Command pier runs one PIER node over real UDP, with an interactive
+// SQL shell — the multi-process deployment path (the simulated
+// testbed used by tests and benchmarks lives in internal/simnet).
+//
+// Start a bootstrap node:
+//
+//	pier -listen 127.0.0.1:7000
+//
+// Join more nodes:
+//
+//	pier -listen 127.0.0.1:7001 -join 127.0.0.1:7000
+//
+// Shell commands:
+//
+//	\create <table> <col:type,...> key <col,...> [ttl <dur>]
+//	\insert <table> <val,...>     -- into this node's local partition
+//	\put <table> <val,...>        -- into the DHT (placed by key)
+//	\tables                        -- list defined tables
+//	\quit
+//	SELECT ...                     -- one-shot query
+//	SELECT ... WINDOW 5 s SLIDE 1 s  -- continuous (prints windows; \stop ends it)
+package main
+
+import (
+	"bufio"
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/pier"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:0", "UDP address to listen on")
+	join := flag.String("join", "", "address of any existing node to join")
+	overlayKind := flag.String("overlay", "chord", "overlay: chord, kademlia, or can")
+	flag.Parse()
+
+	tr, err := transport.ListenUDP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pier.Config{Overlay: *overlayKind}
+	node, err := pier.NewNode(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+	fmt.Printf("pier node listening on %s (overlay: %s)\n", node.Addr(), *overlayKind)
+	if *join != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := node.Join(ctx, *join)
+		cancel()
+		if err != nil {
+			log.Fatalf("join %s: %v", *join, err)
+		}
+		fmt.Printf("joined overlay via %s\n", *join)
+	}
+
+	shell(node)
+}
+
+func shell(node *pier.Node) {
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("pier> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == `\quit` || line == `\q`:
+			return
+		case line == `\tables`:
+			for _, name := range node.Catalog().Names() {
+				tbl, _ := node.Catalog().Lookup(name)
+				fmt.Printf("  %s (%d cols, ttl %v)\n", name, tbl.Schema.Arity(), tbl.TTL)
+			}
+		case strings.HasPrefix(line, `\create `):
+			if err := doCreate(node, strings.TrimPrefix(line, `\create `)); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, `\insert `):
+			if err := doInsert(node, strings.TrimPrefix(line, `\insert `), false); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, `\put `):
+			if err := doInsert(node, strings.TrimPrefix(line, `\put `), true); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(strings.ToUpper(line), "SELECT") || strings.HasPrefix(strings.ToUpper(line), "WITH"):
+			runQuery(node, line)
+		default:
+			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\quit")
+		}
+		fmt.Print("pier> ")
+	}
+}
+
+// doCreate parses "\create name col:type,... key col,... [ttl dur]".
+func doCreate(node *pier.Node, args string) error {
+	fields := strings.Fields(args)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: \\create <table> <col:type,...> [key <col,...>] [ttl <dur>]")
+	}
+	name := fields[0]
+	var cols []tuple.Column
+	for _, part := range strings.Split(fields[1], ",") {
+		ct := strings.SplitN(part, ":", 2)
+		if len(ct) != 2 {
+			return fmt.Errorf("column %q must be name:type", part)
+		}
+		var ty tuple.Type
+		switch strings.ToLower(ct[1]) {
+		case "string":
+			ty = tuple.TString
+		case "int":
+			ty = tuple.TInt
+		case "float":
+			ty = tuple.TFloat
+		case "bool":
+			ty = tuple.TBool
+		case "time":
+			ty = tuple.TTime
+		default:
+			return fmt.Errorf("unknown type %q", ct[1])
+		}
+		cols = append(cols, tuple.Column{Name: ct[0], Type: ty})
+	}
+	var keyCols []string
+	ttl := time.Minute
+	for i := 2; i < len(fields); i++ {
+		switch strings.ToLower(fields[i]) {
+		case "key":
+			if i+1 < len(fields) {
+				keyCols = strings.Split(fields[i+1], ",")
+				i++
+			}
+		case "ttl":
+			if i+1 < len(fields) {
+				d, err := time.ParseDuration(fields[i+1])
+				if err != nil {
+					return err
+				}
+				ttl = d
+				i++
+			}
+		}
+	}
+	schema, err := tuple.NewSchema(name, cols, keyCols...)
+	if err != nil {
+		return err
+	}
+	return node.DefineTable(schema, ttl)
+}
+
+// doInsert parses "\insert table v1,v2,..." coercing values to the
+// table's column types.
+func doInsert(node *pier.Node, args string, viaDHT bool) error {
+	fields := strings.SplitN(args, " ", 2)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: \\insert <table> <val,...>")
+	}
+	tbl, ok := node.Catalog().Lookup(fields[0])
+	if !ok {
+		return fmt.Errorf("unknown table %q", fields[0])
+	}
+	parts := strings.Split(fields[1], ",")
+	if len(parts) != tbl.Schema.Arity() {
+		return fmt.Errorf("table %s has %d columns", fields[0], tbl.Schema.Arity())
+	}
+	t := make(tuple.Tuple, len(parts))
+	for i, raw := range parts {
+		raw = strings.TrimSpace(raw)
+		switch tbl.Schema.Columns[i].Type {
+		case tuple.TString:
+			t[i] = tuple.String(raw)
+		case tuple.TInt:
+			v, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return fmt.Errorf("column %d: %w", i, err)
+			}
+			t[i] = tuple.Int(v)
+		case tuple.TFloat:
+			v, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return fmt.Errorf("column %d: %w", i, err)
+			}
+			t[i] = tuple.Float(v)
+		case tuple.TBool:
+			v, err := strconv.ParseBool(raw)
+			if err != nil {
+				return fmt.Errorf("column %d: %w", i, err)
+			}
+			t[i] = tuple.Bool(v)
+		default:
+			return fmt.Errorf("column %d: unsupported shell type", i)
+		}
+	}
+	if viaDHT {
+		return node.Publish(fields[0], t)
+	}
+	return node.PublishLocal(fields[0], t)
+}
+
+func runQuery(node *pier.Node, sql string) {
+	upper := strings.ToUpper(sql)
+	if strings.Contains(upper, "WINDOW") {
+		cont, err := node.QueryContinuous(context.Background(), sql)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%v  (continuous; showing 10 windows)\n", cont.Columns)
+		for i := 0; i < 10; i++ {
+			wr, ok := <-cont.Results()
+			if !ok {
+				break
+			}
+			for _, row := range wr.Rows {
+				fmt.Printf("  [w%d] %v\n", wr.Seq, row)
+			}
+		}
+		cont.Stop()
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := node.Query(ctx, sql)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Printf("%v\n", res.Columns)
+	for _, row := range res.Rows {
+		fmt.Printf("  %v\n", row)
+	}
+	fmt.Printf("(%d rows, %d participants, %v)\n", len(res.Rows), res.Participants,
+		res.Duration.Round(time.Millisecond))
+}

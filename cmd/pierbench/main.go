@@ -1,0 +1,218 @@
+// Command pierbench regenerates the paper's evaluation artifacts and
+// the supporting shape experiments over the simulated testbed.
+//
+// Usage:
+//
+//	pierbench -experiment figure1 [-n 24] [-seed 1]
+//	pierbench -experiment table1
+//	pierbench -experiment hops
+//	pierbench -experiment aggtree
+//	pierbench -experiment joins
+//	pierbench -experiment churn
+//	pierbench -experiment search
+//	pierbench -experiment recursive
+//	pierbench -experiment overlay
+//	pierbench -experiment all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/monitor"
+)
+
+func main() {
+	log.SetFlags(0)
+	experiment := flag.String("experiment", "all", "which experiment to run")
+	n := flag.Int("n", 0, "cluster size (0 = experiment default)")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		fmt.Printf("\n===== %s =====\n", name)
+		start := time.Now()
+		if err := fn(); err != nil {
+			log.Fatalf("%s: %v", name, err)
+		}
+		fmt.Printf("(experiment wall time %v)\n", time.Since(start).Round(time.Millisecond))
+	}
+
+	all := *experiment == "all"
+	if all || *experiment == "figure1" {
+		run("Figure 1: continuous SUM(rate) over responding nodes", func() error {
+			return figure1(*n, *seed)
+		})
+	}
+	if all || *experiment == "table1" {
+		run("Table 1: network-wide top ten intrusion detection rules", func() error {
+			return table1(*n, *seed)
+		})
+	}
+	if all || *experiment == "hops" {
+		run("S1: lookup hops vs network size (O(log n) routing)", func() error {
+			return hops(*seed)
+		})
+	}
+	if all || *experiment == "aggtree" {
+		run("S2: in-network aggregation vs centralized collection", func() error {
+			return aggtree(*n, *seed)
+		})
+	}
+	if all || *experiment == "joins" {
+		run("S3: join strategy costs", func() error {
+			return joins(*n, *seed)
+		})
+	}
+	if all || *experiment == "churn" {
+		run("S4: data survival under churn vs replication factor", func() error {
+			return churn(*n, *seed)
+		})
+	}
+	if all || *experiment == "search" {
+		run("S5: DHT keyword search vs flooding", func() error {
+			return searchCmp(*n, *seed)
+		})
+	}
+	if all || *experiment == "recursive" {
+		run("S6: in-network recursive closure", func() error {
+			return recursive(*n, *seed)
+		})
+	}
+	if all || *experiment == "overlay" {
+		run("Ablation: Chord vs Kademlia", func() error {
+			return overlay(*n, *seed)
+		})
+	}
+}
+
+func figure1(n int, seed int64) error {
+	series, err := bench.Figure1(bench.Figure1Config{
+		N: n, Seed: seed,
+		Window: time.Second, Slide: 500 * time.Millisecond,
+		Run: 12 * time.Second, FailAt: 4 * time.Second,
+		RecoverAt: 8 * time.Second, FailCount: maxInt(n, 24) / 4,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %12s %12s\n", "t", "SUM(rate)", "responding")
+	for _, p := range series {
+		fmt.Printf("%-8v %12.1f %12d\n", p.T.Round(100*time.Millisecond), p.Sum, p.Responding)
+	}
+	return nil
+}
+
+func table1(n int, seed int64) error {
+	res, err := bench.Table1(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-40s %10s %10s\n", "Rule", "Rule Description", "Hits", "Paper")
+	for i, row := range res.Rows {
+		paper := int64(-1)
+		if i < len(monitor.Table1Rules) {
+			paper = monitor.Table1Rules[i].Hits
+		}
+		fmt.Printf("%-6d %-40s %10d %10d\n", row.Rule, row.Descr, row.Hits, paper)
+	}
+	fmt.Printf("query time %v, %d network messages\n", res.Duration.Round(time.Millisecond), res.Msgs)
+	return nil
+}
+
+func hops(seed int64) error {
+	points, err := bench.ScalingHops([]int{16, 32, 64, 128}, 50, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %10s %10s\n", "N", "mean hops", "log2(N)")
+	for _, p := range points {
+		fmt.Printf("%-6d %10.2f %10.2f\n", p.N, p.MeanHops, math.Log2(float64(p.N)))
+	}
+	return nil
+}
+
+func aggtree(n int, seed int64) error {
+	results, err := bench.AggregationComparison(n, 20, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-20s %10s %12s %12s %14s\n", "mode", "msgs", "bytes", "root-in-msgs", "root-in-bytes")
+	for _, r := range results {
+		fmt.Printf("%-20s %10d %12d %12d %14d\n", r.Mode, r.Msgs, r.Bytes, r.RootInMsgs, r.RootInBytes)
+	}
+	return nil
+}
+
+func joins(n int, seed int64) error {
+	results, err := bench.JoinStrategies(n, 10, 200, 0.1, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-12s %10s %12s %8s\n", "strategy", "msgs", "bytes", "rows")
+	for _, r := range results {
+		fmt.Printf("%-12s %10d %12d %8d\n", r.Strategy, r.Msgs, r.Bytes, r.Rows)
+	}
+	return nil
+}
+
+func churn(n int, seed int64) error {
+	results, err := bench.ChurnSurvival(n, 60, 0, []int{-1, 1, 2, 4}, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %10s\n", "replicas", "survived", "fraction")
+	for _, r := range results {
+		reps := r.Replicas
+		if reps < 0 {
+			reps = 0
+		}
+		fmt.Printf("%-10d %10d %9.0f%%\n", reps, r.Survived, 100*r.SurvivedFrac)
+	}
+	return nil
+}
+
+func searchCmp(n int, seed int64) error {
+	results, err := bench.SearchComparison(n, 40, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %8s\n", "strategy", "msgs", "files")
+	for _, r := range results {
+		fmt.Printf("%-10s %10d %8d\n", r.Strategy, r.Msgs, r.Files)
+	}
+	return nil
+}
+
+func recursive(n int, seed int64) error {
+	res, err := bench.RecursiveTopology(n, 8, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("closure facts %d (expected %d), %d messages, SQL agreement: %v\n",
+		res.Facts, res.Expected, res.Msgs, res.AgreeSQL)
+	return nil
+}
+
+func overlay(n int, seed int64) error {
+	results, err := bench.OverlayAblation(n, 40, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %10s %14s %8s\n", "overlay", "mean hops", "maintenance", "SUM ok")
+	for _, r := range results {
+		fmt.Printf("%-10s %10.2f %14d %8v\n", r.Overlay, r.MeanHops, r.Maintenance, r.SumOK)
+	}
+	return nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,146 @@
+package baseline
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/piertest"
+	"repro/internal/tuple"
+)
+
+var kvSchema = tuple.MustSchema("kv", []tuple.Column{
+	{Name: "k", Type: tuple.TString},
+	{Name: "v", Type: tuple.TInt},
+}, "k")
+
+func TestCollectAllGathersEverything(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 6, Seed: 51})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	bases := make([]*Centralized, len(c.Nodes))
+	for i, nd := range c.Nodes {
+		bases[i] = NewCentralized(nd)
+		if err := nd.DefineTable(kvSchema, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		nd.PublishLocal("kv", tuple.Tuple{tuple.String(nd.Addr()), tuple.Int(int64(i))})
+	}
+	rows, err := bases[0].CollectAll(context.Background(), "kv", 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("collected %d rows, want 6", len(rows))
+	}
+	sum := int64(0)
+	for _, r := range rows {
+		sum += r[1].I
+	}
+	if sum != 15 {
+		t.Fatalf("sum %d, want 15", sum)
+	}
+}
+
+func TestCollectAllEmptyTable(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 3, Seed: 52})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var b *Centralized
+	for i, nd := range c.Nodes {
+		cb := NewCentralized(nd)
+		if i == 0 {
+			b = cb
+		}
+		nd.DefineTable(kvSchema, time.Minute)
+	}
+	rows, err := b.CollectAll(context.Background(), "kv", 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("collected %d rows from empty table", len(rows))
+	}
+}
+
+func floodSwarm(t *testing.T, n int, seed int64) ([]*Flood, *piertest.Cluster) {
+	t.Helper()
+	c, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	fs := make([]*Flood, n)
+	for i, nd := range c.Nodes {
+		f, err := NewFlood(nd)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fs[i] = f
+	}
+	return fs, c
+}
+
+func TestFloodFindsFiles(t *testing.T) {
+	fs, _ := floodSwarm(t, 8, 53)
+	fs[3].ShareFile("one.mp3", []string{"jazz"})
+	fs[6].ShareFile("two.mp3", []string{"jazz", "live"})
+	fs[1].ShareFile("other.mp3", []string{"rock"})
+	got, err := fs[0].Search(context.Background(), "jazz", 6, 400*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"one.mp3", "two.mp3"}) {
+		t.Fatalf("flood found %v", got)
+	}
+}
+
+func TestFloodHopLimit(t *testing.T) {
+	fs, _ := floodSwarm(t, 8, 54)
+	fs[5].ShareFile("far.mp3", []string{"word"})
+	// Zero hops: only the origin's own partition is searched.
+	got, err := fs[0].Search(context.Background(), "word", 0, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("0-hop flood escaped the origin: %v", got)
+	}
+}
+
+func TestFloodDedupSuppressesStorms(t *testing.T) {
+	fs, _ := floodSwarm(t, 6, 55)
+	fs[2].ShareFile("f.mp3", []string{"q"})
+	if _, err := fs[0].Search(context.Background(), "q", 8, 300*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	// With dedup, total forwarded messages is bounded by
+	// nodes * neighbors, not exponential in hops.
+	var total uint64
+	for _, f := range fs {
+		total += f.ForwardedQueries()
+	}
+	if total > 6*8 {
+		t.Fatalf("flood forwarded %d messages (storm?)", total)
+	}
+	if total == 0 {
+		t.Fatal("flood never forwarded")
+	}
+}
+
+func TestFloodMissingWord(t *testing.T) {
+	fs, _ := floodSwarm(t, 4, 56)
+	fs[1].ShareFile("a.mp3", []string{"x"})
+	got, err := fs[0].Search(context.Background(), "absent", 4, 200*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,733 @@
+// Package bench implements the experiment harness that regenerates
+// the paper's evaluation artifacts (Figure 1 and Table 1) and the
+// supporting shape results DESIGN.md indexes (routing scalability,
+// in-network aggregation vs. centralized collection, join-strategy
+// costs, churn survival, search vs. flooding, recursive closure, and
+// the Chord/Kademlia ablation). cmd/pierbench prints these as tables;
+// bench_test.go wraps them as testing.B benchmarks.
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/can"
+	"repro/internal/chord"
+	"repro/internal/id"
+	"repro/internal/kademlia"
+	"repro/internal/monitor"
+	"repro/internal/piertest"
+	"repro/internal/plan"
+	"repro/internal/search"
+	"repro/internal/simnet"
+	"repro/internal/topology"
+	"repro/internal/tuple"
+)
+
+// ---------------------------------------------------------------------------
+// Figure 1
+
+// Figure1Point is one window of the continuous sum.
+type Figure1Point struct {
+	T          time.Duration // time since query start
+	Sum        float64       // SUM(rate) over responding nodes
+	Responding int           // nodes with live sensors at window close
+}
+
+// Figure1Config parameterizes the Figure 1 run.
+type Figure1Config struct {
+	N         int           // nodes (paper: ~300 PlanetLab machines)
+	Window    time.Duration // aggregation window
+	Slide     time.Duration // window slide
+	Run       time.Duration // total experiment duration
+	FailAt    time.Duration // when the failure group goes down
+	RecoverAt time.Duration // when it comes back (0 = never)
+	FailCount int           // how many nodes fail
+	Seed      int64
+}
+
+// Figure1 regenerates the demo's continuous SUM of per-node outbound
+// data rates while part of the network fails and recovers — the
+// series whose shape (steady sum, drop at failure, recovery ramp)
+// matches the paper's Figure 1.
+func Figure1(cfg Figure1Config) ([]Figure1Point, error) {
+	if cfg.N == 0 {
+		cfg.N = 24
+	}
+	if cfg.Window == 0 {
+		cfg.Window = time.Second
+	}
+	if cfg.Slide == 0 {
+		cfg.Slide = 500 * time.Millisecond
+	}
+	if cfg.Run == 0 {
+		cfg.Run = 10 * time.Second
+	}
+	cluster, err := piertest.New(piertest.Options{N: cfg.N, Seed: cfg.Seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	for i, nd := range cluster.Nodes {
+		s, err := monitor.NewSensor(nd, monitor.SensorConfig{
+			Period:   100 * time.Millisecond,
+			BaseRate: 10,
+			TTL:      2 * cfg.Window,
+			Seed:     int64(i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		defer s.Stop()
+	}
+	cont, err := cluster.Nodes[0].QueryContinuous(context.Background(),
+		monitor.Figure1Query(cfg.Window, cfg.Slide))
+	if err != nil {
+		return nil, err
+	}
+	defer cont.Stop()
+
+	start := time.Now()
+	down := false
+	recovered := false
+	var series []Figure1Point
+	for time.Since(start) < cfg.Run {
+		if cfg.FailCount > 0 && !down && cfg.FailAt > 0 && time.Since(start) >= cfg.FailAt {
+			down = true
+			for i := 1; i <= cfg.FailCount && i < cfg.N; i++ {
+				cluster.Net.SetDown(cluster.Nodes[i].Addr(), true)
+			}
+		}
+		if down && !recovered && cfg.RecoverAt > 0 && time.Since(start) >= cfg.RecoverAt {
+			recovered = true
+			for i := 1; i <= cfg.FailCount && i < cfg.N; i++ {
+				cluster.Net.SetDown(cluster.Nodes[i].Addr(), false)
+			}
+		}
+		select {
+		case wr, ok := <-cont.Results():
+			if !ok {
+				return series, nil
+			}
+			if len(wr.Rows) != 1 || wr.Rows[0][0].IsNull() {
+				continue
+			}
+			responding := cfg.N
+			if down && !recovered {
+				responding -= cfg.FailCount
+			}
+			series = append(series, Figure1Point{
+				T:          time.Since(start),
+				Sum:        wr.Rows[0][0].F,
+				Responding: responding,
+			})
+		case <-time.After(cfg.Run):
+			return series, fmt.Errorf("bench: figure1 produced no windows")
+		}
+	}
+	return series, nil
+}
+
+// ---------------------------------------------------------------------------
+// Table 1
+
+// Table1Row is one reported rule.
+type Table1Row struct {
+	Rule  int64
+	Descr string
+	Hits  int64
+}
+
+// Table1Result carries the reproduced table plus run metadata.
+type Table1Result struct {
+	Rows     []Table1Row
+	Duration time.Duration
+	Msgs     uint64 // network messages for the query (post-seeding)
+}
+
+// Table1 seeds every node's Snort table with shares of the paper's
+// published counts and runs the demo's top-ten query.
+func Table1(n int, seed int64) (*Table1Result, error) {
+	if n == 0 {
+		n = 24
+	}
+	cluster, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	rules := append(append([]monitor.Rule(nil), monitor.Table1Rules...), monitor.BackgroundRules...)
+	if err := monitor.SeedAlerts(cluster.Nodes, rules, time.Minute, seed+1); err != nil {
+		return nil, err
+	}
+	cluster.Net.ResetStats()
+	res, err := cluster.Nodes[0].Query(context.Background(), monitor.Table1SQL)
+	if err != nil {
+		return nil, err
+	}
+	out := &Table1Result{Duration: res.Duration, Msgs: cluster.Net.Stats().Sent}
+	for _, r := range res.Rows {
+		out.Rows = append(out.Rows, Table1Row{Rule: r[0].I, Descr: r[1].S, Hits: r[2].I})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// S1: routing scalability
+
+// HopsPoint is one network size's lookup cost.
+type HopsPoint struct {
+	N        int
+	MeanHops float64
+}
+
+// ScalingHops measures mean Chord lookup hops across network sizes —
+// the O(log n) routing behaviour PIER's scalability claim rests on.
+func ScalingHops(sizes []int, lookups int, seed int64) ([]HopsPoint, error) {
+	if len(sizes) == 0 {
+		sizes = []int{16, 32, 64, 128}
+	}
+	if lookups == 0 {
+		lookups = 50
+	}
+	var out []HopsPoint
+	for _, n := range sizes {
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		// Let fingers converge enough for log-n routing.
+		time.Sleep(time.Duration(n) * 12 * time.Millisecond)
+		total := 0
+		for i := 0; i < lookups; i++ {
+			key := id.HashString(fmt.Sprintf("probe-%d-%d", n, i))
+			src := cluster.Nodes[i%n]
+			_, hops, err := src.Router().Lookup(context.Background(), key)
+			if err != nil {
+				continue
+			}
+			total += hops
+		}
+		cluster.Close()
+		out = append(out, HopsPoint{N: n, MeanHops: float64(total) / float64(lookups)})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// S2: in-network aggregation vs centralized collection
+
+// AggResult is one strategy's cost for the same grand aggregate.
+type AggResult struct {
+	Mode        string
+	Msgs        uint64 // total network messages
+	Bytes       uint64 // total network bytes
+	RootInMsgs  uint64 // messages arriving at the collection point
+	RootInBytes uint64 // bytes arriving at the collection point
+	Value       float64
+}
+
+// AggregationComparison computes SUM(v) over n nodes three ways:
+// in-network aggregation with relay combining, without combining, and
+// centralized ship-all-tuples — the bandwidth argument at the heart
+// of the paper.
+func AggregationComparison(n, rowsPerNode int, seed int64) ([]AggResult, error) {
+	if n == 0 {
+		n = 24
+	}
+	if rowsPerNode == 0 {
+		rowsPerNode = 20
+	}
+	schema := tuple.MustSchema("v", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "i", Type: tuple.TInt},
+		{Name: "val", Type: tuple.TFloat},
+	}, "node", "i")
+	want := float64(n*rowsPerNode) * 2.5
+
+	run := func(mode string, disableCombiner bool, centralized bool) (AggResult, error) {
+		cfg := piertest.FastConfig()
+		cfg.DisableCombiner = disableCombiner
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return AggResult{}, err
+		}
+		defer cluster.Close()
+		var bases []*baseline.Centralized
+		for _, nd := range cluster.Nodes {
+			bases = append(bases, baseline.NewCentralized(nd))
+			if err := nd.DefineTable(schema, time.Minute); err != nil {
+				return AggResult{}, err
+			}
+			for i := 0; i < rowsPerNode; i++ {
+				nd.PublishLocal("v", tuple.Tuple{
+					tuple.String(nd.Addr()), tuple.Int(int64(i)), tuple.Float(2.5),
+				})
+			}
+		}
+		coord := cluster.Nodes[0].Addr()
+		cluster.Net.ResetStats()
+		var value float64
+		if centralized {
+			rows, err := bases[0].CollectAll(context.Background(), "v", 300*time.Millisecond)
+			if err != nil {
+				return AggResult{}, err
+			}
+			for _, r := range rows {
+				value += r[2].F
+			}
+		} else {
+			res, err := cluster.Nodes[0].Query(context.Background(), "SELECT SUM(val) FROM v")
+			if err != nil {
+				return AggResult{}, err
+			}
+			if len(res.Rows) == 1 {
+				value = res.Rows[0][0].F
+			}
+		}
+		stats := cluster.Net.Stats()
+		root := cluster.Net.PerNode(coord)
+		if value != want {
+			return AggResult{}, fmt.Errorf("bench: %s computed %v, want %v", mode, value, want)
+		}
+		return AggResult{
+			Mode: mode, Msgs: stats.Sent, Bytes: stats.BytesSent,
+			RootInMsgs: root.MsgsIn, RootInBytes: root.BytesIn, Value: value,
+		}, nil
+	}
+
+	var out []AggResult
+	for _, c := range []struct {
+		mode        string
+		noCombine   bool
+		centralized bool
+	}{
+		{"in-network+combine", false, false},
+		{"in-network", true, false},
+		{"centralized", false, true},
+	} {
+		r, err := run(c.mode, c.noCombine, c.centralized)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// S3: join strategies
+
+// JoinResult is one strategy's cost for the same join.
+type JoinResult struct {
+	Strategy string
+	Msgs     uint64
+	Bytes    uint64
+	Rows     int
+}
+
+// JoinStrategies runs the same equi-join under symmetric-hash,
+// fetch-matches, and Bloom rewrites. leftPerNode tuples per node
+// reference matchFrac of rightTotal DHT-published right tuples.
+func JoinStrategies(n, leftPerNode, rightTotal int, matchFrac float64, seed int64) ([]JoinResult, error) {
+	if n == 0 {
+		n = 16
+	}
+	if leftPerNode == 0 {
+		leftPerNode = 10
+	}
+	if rightTotal == 0 {
+		rightTotal = 600
+	}
+	if matchFrac == 0 {
+		matchFrac = 0.1
+	}
+	leftSchema := tuple.MustSchema("l", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "k", Type: tuple.TInt},
+	}, "node", "k")
+	rightSchema := tuple.MustSchema("r", []tuple.Column{
+		{Name: "k", Type: tuple.TInt},
+		{Name: "info", Type: tuple.TString},
+	}, "k")
+
+	matched := int(matchFrac * float64(rightTotal))
+	if matched < 1 {
+		matched = 1
+	}
+
+	run := func(strategy string) (JoinResult, error) {
+		cfg := piertest.FastConfig()
+		// Size the Bloom filters to the workload: oversized filters
+		// would drown the rehash savings they buy (the bit-budget
+		// trade-off the S3 ablation sweeps).
+		cfg.BloomBits = 2048
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return JoinResult{}, err
+		}
+		defer cluster.Close()
+		for _, nd := range cluster.Nodes {
+			if err := nd.DefineTable(leftSchema, time.Minute); err != nil {
+				return JoinResult{}, err
+			}
+			if err := nd.DefineTable(rightSchema, time.Minute); err != nil {
+				return JoinResult{}, err
+			}
+		}
+		// Left tuples reference keys 0..matched-1 round-robin (all
+		// join); right table holds rightTotal keys, mostly unmatched.
+		for i, nd := range cluster.Nodes {
+			for j := 0; j < leftPerNode; j++ {
+				k := int64((i*leftPerNode + j) % matched)
+				nd.PublishLocal("l", tuple.Tuple{tuple.String(nd.Addr()), tuple.Int(k)})
+			}
+		}
+		for k := 0; k < rightTotal; k++ {
+			nd := cluster.Nodes[k%n]
+			if err := nd.Publish("r", tuple.Tuple{tuple.Int(int64(k)), tuple.String(fmt.Sprintf("info-%d", k))}); err != nil {
+				return JoinResult{}, err
+			}
+		}
+		time.Sleep(500 * time.Millisecond) // let right-table puts land
+		cluster.Net.ResetStats()
+
+		sql := "SELECT a.node, b.info FROM l a JOIN r b ON a.k = b.k"
+		strat := map[string]plan.JoinStrategy{
+			"symmetric": plan.SymmetricHash,
+			"fetch":     plan.FetchMatches,
+			"bloom":     plan.BloomJoin,
+		}[strategy]
+		res, err := cluster.Nodes[0].QueryWithOptions(context.Background(), sql,
+			plan.Options{Strategy: &strat})
+		if err != nil {
+			return JoinResult{}, err
+		}
+		stats := cluster.Net.Stats()
+		return JoinResult{Strategy: strategy, Msgs: stats.Sent, Bytes: stats.BytesSent, Rows: len(res.Rows)}, nil
+	}
+
+	var out []JoinResult
+	for _, s := range []string{"symmetric", "fetch", "bloom"} {
+		r, err := run(s)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// S4: churn survival vs replication factor
+
+// ChurnResult is one replication factor's data-survival outcome.
+type ChurnResult struct {
+	Replicas     int
+	Survived     int
+	Total        int
+	SurvivedFrac float64
+}
+
+// ChurnSurvival publishes items into the DHT, kills a fraction of the
+// nodes, waits for republish repair, and measures how many items
+// remain readable — the successor-list replication ablation.
+func ChurnSurvival(n, items, kills int, replicas []int, seed int64) ([]ChurnResult, error) {
+	if n == 0 {
+		n = 16
+	}
+	if items == 0 {
+		items = 60
+	}
+	if kills == 0 {
+		kills = n / 4
+	}
+	if len(replicas) == 0 {
+		replicas = []int{0, 1, 2, 4}
+	}
+	schema := tuple.MustSchema("data", []tuple.Column{
+		{Name: "k", Type: tuple.TString},
+		{Name: "v", Type: tuple.TInt},
+	}, "k")
+
+	var out []ChurnResult
+	for _, r := range replicas {
+		cfg := piertest.FastConfig()
+		cfg.DHT.Replicas = r
+		if r == 0 {
+			cfg.DHT.Replicas = -1 // sentinel: dht treats 0 as default
+		}
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return nil, err
+		}
+		for _, nd := range cluster.Nodes {
+			if err := nd.DefineTable(schema, 5*time.Minute); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+		}
+		for i := 0; i < items; i++ {
+			nd := cluster.Nodes[i%n]
+			if err := nd.Publish("data", tuple.Tuple{
+				tuple.String(fmt.Sprintf("item-%d", i)), tuple.Int(int64(i)),
+			}); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+		}
+		time.Sleep(600 * time.Millisecond) // placement + replication
+		// Kill nodes 1..kills (never the prober, node 0).
+		for i := 1; i <= kills && i < n; i++ {
+			cluster.Net.SetDown(cluster.Nodes[i].Addr(), true)
+		}
+		// Allow failure detection + republish repair.
+		time.Sleep(2 * time.Second)
+		survived := 0
+		for i := 0; i < items; i++ {
+			rid := tuple.Tuple{tuple.String(fmt.Sprintf("item-%d", i))}.HashKey([]int{0})
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			got, err := cluster.Nodes[0].Store().Get(ctx, "table:data", rid)
+			cancel()
+			if err == nil && len(got) > 0 {
+				survived++
+			}
+		}
+		cluster.Close()
+		out = append(out, ChurnResult{
+			Replicas: r, Survived: survived, Total: items,
+			SurvivedFrac: float64(survived) / float64(items),
+		})
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// S5: search vs flooding
+
+// SearchResult is one strategy's cost for the same keyword query.
+type SearchResult struct {
+	Strategy string
+	Msgs     uint64
+	Files    int
+}
+
+// SearchComparison indexes the same corpus in the DHT and in
+// node-local tables, then answers one keyword query by DHT gets and
+// by bounded flooding, reporting message costs.
+func SearchComparison(n, files int, seed int64) ([]SearchResult, error) {
+	if n == 0 {
+		n = 24
+	}
+	if files == 0 {
+		files = 40
+	}
+	cluster, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	indexes := make([]*search.Index, n)
+	floods := make([]*baseline.Flood, n)
+	for i, nd := range cluster.Nodes {
+		if indexes[i], err = search.New(nd, time.Minute); err != nil {
+			return nil, err
+		}
+		if floods[i], err = baseline.NewFlood(nd); err != nil {
+			return nil, err
+		}
+	}
+	hitEvery := 4 // every 4th file matches the query word
+	for f := 0; f < files; f++ {
+		words := []string{fmt.Sprintf("w%d", f%7)}
+		if f%hitEvery == 0 {
+			words = append(words, "target")
+		}
+		name := fmt.Sprintf("file-%03d", f)
+		if err := indexes[f%n].PublishFile(name, words); err != nil {
+			return nil, err
+		}
+		if err := floods[f%n].ShareFile(name, words); err != nil {
+			return nil, err
+		}
+	}
+	time.Sleep(600 * time.Millisecond)
+
+	cluster.Net.ResetStats()
+	viaGet, err := indexes[0].SearchGet(context.Background(), "target")
+	if err != nil {
+		return nil, err
+	}
+	dhtMsgs := cluster.Net.Stats().Sent
+
+	cluster.Net.ResetStats()
+	// Hop budget 10: with successor-list fan-out 4, depth 6 only just
+	// covers 24 nodes; extra slack keeps recall complete so the
+	// comparison is fair (full recall on both sides).
+	viaFlood, err := floods[0].Search(context.Background(), "target", 10, 400*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	floodMsgs := cluster.Net.Stats().Sent
+	return []SearchResult{
+		{Strategy: "dht-get", Msgs: dhtMsgs, Files: len(viaGet)},
+		{Strategy: "flooding", Msgs: floodMsgs, Files: len(viaFlood)},
+	}, nil
+}
+
+// ---------------------------------------------------------------------------
+// S6: recursive topology closure
+
+// RecursiveResult summarizes one in-network closure run.
+type RecursiveResult struct {
+	Facts    int
+	Expected int
+	Msgs     uint64
+	AgreeSQL bool
+}
+
+// RecursiveTopology publishes a chain graph across the cluster, runs
+// the in-network reachability expansion, and cross-checks against the
+// SQL WITH RECURSIVE answer.
+func RecursiveTopology(n, chainLen int, seed int64) (*RecursiveResult, error) {
+	if n == 0 {
+		n = 12
+	}
+	if chainLen == 0 {
+		chainLen = 8
+	}
+	cluster, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	mappers := make([]*topology.Mapper, n)
+	for i, nd := range cluster.Nodes {
+		if mappers[i], err = topology.New(nd, time.Minute); err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < chainLen; i++ {
+		src := fmt.Sprintf("v%d", i)
+		dst := fmt.Sprintf("v%d", i+1)
+		if err := mappers[i%n].PublishLink(src, dst); err != nil {
+			return nil, err
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	cluster.Net.ResetStats()
+	inNet, err := mappers[0].Reachable(context.Background(), "v0", 600*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	msgs := cluster.Net.Stats().Sent
+	viaSQL, err := mappers[0].ReachableSQL(context.Background(), "v0")
+	if err != nil {
+		return nil, err
+	}
+	agree := len(inNet) == len(viaSQL)
+	if agree {
+		for i := range inNet {
+			if inNet[i] != viaSQL[i] {
+				agree = false
+				break
+			}
+		}
+	}
+	return &RecursiveResult{Facts: len(inNet), Expected: chainLen, Msgs: msgs, AgreeSQL: agree}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Ablation: Chord vs Kademlia under the same workload
+
+// OverlayResult is one overlay's routing/maintenance profile.
+type OverlayResult struct {
+	Overlay     string
+	MeanHops    float64
+	Maintenance uint64
+	SumOK       bool
+}
+
+// OverlayAblation runs the same lookups and the same aggregation
+// query over Chord and Kademlia — the paper's claim that PIER is
+// DHT-agnostic, quantified.
+func OverlayAblation(n, lookups int, seed int64) ([]OverlayResult, error) {
+	if n == 0 {
+		n = 16
+	}
+	if lookups == 0 {
+		lookups = 40
+	}
+	schema := tuple.MustSchema("x", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "v", Type: tuple.TInt},
+	}, "node")
+
+	run := func(overlayKind string) (OverlayResult, error) {
+		cfg := piertest.FastConfig()
+		cfg.Overlay = overlayKind
+		cfg.Kademlia = kademlia.Config{K: 8, Alpha: 3, RefreshEvery: 50 * time.Millisecond}
+		cfg.CAN = can.Config{PingEvery: 50 * time.Millisecond}
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return OverlayResult{}, err
+		}
+		defer cluster.Close()
+		time.Sleep(500 * time.Millisecond)
+		totalHops := 0
+		for i := 0; i < lookups; i++ {
+			key := id.HashString(fmt.Sprintf("abl-%d", i))
+			_, hops, err := cluster.Nodes[i%n].Router().Lookup(context.Background(), key)
+			if err != nil {
+				continue
+			}
+			totalHops += hops
+		}
+		for i, nd := range cluster.Nodes {
+			if err := nd.DefineTable(schema, time.Minute); err != nil {
+				return OverlayResult{}, err
+			}
+			nd.PublishLocal("x", tuple.Tuple{tuple.String(nd.Addr()), tuple.Int(int64(i + 1))})
+		}
+		res, err := cluster.Nodes[0].Query(context.Background(), "SELECT SUM(v) FROM x")
+		sumOK := err == nil && len(res.Rows) == 1 && res.Rows[0][0].I == int64(n*(n+1)/2)
+		var maint uint64
+		for _, nd := range cluster.Nodes {
+			switch r := nd.Router().(type) {
+			case *chord.Node:
+				_, _, _, m := r.MetricsSnapshot()
+				maint += m
+			case *kademlia.Node:
+				_, _, _, m := r.MetricsSnapshot()
+				maint += m
+			case *can.Node:
+				_, _, _, m := r.MetricsSnapshot()
+				maint += m
+			}
+		}
+		return OverlayResult{
+			Overlay:     overlayKind,
+			MeanHops:    float64(totalHops) / float64(lookups),
+			Maintenance: maint,
+			SumOK:       sumOK,
+		}, nil
+	}
+
+	var out []OverlayResult
+	for _, k := range []string{"chord", "kademlia", "can"} {
+		r, err := run(k)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Helpers shared with cmd/pierbench
+
+// NetStats re-exports the simulated network's counters for printing.
+type NetStats = simnet.Stats

@@ -1,0 +1,152 @@
+// Package bloom implements the Bloom filters PIER's distributed join
+// rewrites ship between nodes to suppress rehashing of tuples that
+// cannot join. Filters are fixed-size bit arrays with k hash
+// functions derived from one 64-bit hash (Kirsch–Mitzenmacher), and
+// they OR together so per-site filters combine at the coordinator.
+package bloom
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+
+	"repro/internal/wire"
+)
+
+// Filter is a Bloom filter. The zero value is unusable; call New.
+type Filter struct {
+	bits []uint64
+	m    uint64 // number of bits
+	k    int    // number of hash functions
+}
+
+// New sizes a filter for n expected elements at false-positive rate p.
+func New(n int, p float64) *Filter {
+	if n < 1 {
+		n = 1
+	}
+	if p <= 0 || p >= 1 {
+		p = 0.01
+	}
+	m := uint64(math.Ceil(-float64(n) * math.Log(p) / (math.Ln2 * math.Ln2)))
+	if m < 64 {
+		m = 64
+	}
+	m = (m + 63) / 64 * 64 // round to word
+	k := int(math.Round(float64(m) / float64(n) * math.Ln2))
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, m/64), m: m, k: k}
+}
+
+// NewWithBits builds a filter with exactly mBits bits (rounded up to a
+// word) and k hashes — used by the bit-budget ablation bench.
+func NewWithBits(mBits uint64, k int) *Filter {
+	if mBits < 64 {
+		mBits = 64
+	}
+	mBits = (mBits + 63) / 64 * 64
+	if k < 1 {
+		k = 1
+	}
+	if k > 16 {
+		k = 16
+	}
+	return &Filter{bits: make([]uint64, mBits/64), m: mBits, k: k}
+}
+
+func baseHashes(data []byte) (uint64, uint64) {
+	h := fnv.New64a()
+	h.Write(data)
+	h1 := h.Sum64()
+	h.Write([]byte{0x9e, 0x37, 0x79, 0xb9}) // continue for a second hash
+	h2 := h.Sum64()
+	if h2%2 == 0 { // h2 must be odd so strides cover the table
+		h2++
+	}
+	return h1, h2
+}
+
+// Add inserts data.
+func (f *Filter) Add(data []byte) {
+	h1, h2 := baseHashes(data)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		f.bits[bit/64] |= 1 << (bit % 64)
+	}
+}
+
+// MayContain reports whether data may have been inserted (no false
+// negatives; false positives at roughly the design rate).
+func (f *Filter) MayContain(data []byte) bool {
+	h1, h2 := baseHashes(data)
+	for i := 0; i < f.k; i++ {
+		bit := (h1 + uint64(i)*h2) % f.m
+		if f.bits[bit/64]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Or merges other into f. The filters must have identical geometry.
+func (f *Filter) Or(other *Filter) error {
+	if other == nil {
+		return fmt.Errorf("bloom: cannot OR with nil filter")
+	}
+	if f.m != other.m || f.k != other.k {
+		return fmt.Errorf("bloom: incompatible filters (m=%d/%d k=%d/%d)",
+			f.m, other.m, f.k, other.k)
+	}
+	for i := range f.bits {
+		f.bits[i] |= other.bits[i]
+	}
+	return nil
+}
+
+// FillRatio returns the fraction of set bits — a saturation gauge.
+func (f *Filter) FillRatio() float64 {
+	set := 0
+	for _, w := range f.bits {
+		for ; w != 0; w &= w - 1 {
+			set++
+		}
+	}
+	return float64(set) / float64(f.m)
+}
+
+// SizeBytes returns the wire size of the bit array.
+func (f *Filter) SizeBytes() int { return len(f.bits) * 8 }
+
+// Encode appends the filter to w.
+func (f *Filter) Encode(w *wire.Writer) {
+	w.Uvarint(f.m)
+	w.Uvarint(uint64(f.k))
+	for _, word := range f.bits {
+		w.Uint64(word)
+	}
+}
+
+// Decode reads a filter written by Encode.
+func Decode(r *wire.Reader) (*Filter, error) {
+	m := r.Uvarint()
+	k := int(r.Uvarint())
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if m == 0 || m%64 != 0 || m > 1<<26 || k < 1 || k > 16 {
+		return nil, fmt.Errorf("bloom: bad geometry m=%d k=%d", m, k)
+	}
+	f := &Filter{bits: make([]uint64, m/64), m: m, k: k}
+	for i := range f.bits {
+		f.bits[i] = r.Uint64()
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}

@@ -1,0 +1,132 @@
+package bloom
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+func TestNoFalseNegatives(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	for i := 0; i < 1000; i++ {
+		if !f.MayContain([]byte(fmt.Sprintf("key-%d", i))) {
+			t.Fatalf("false negative for key-%d", i)
+		}
+	}
+}
+
+func TestFalsePositiveRateReasonable(t *testing.T) {
+	f := New(1000, 0.01)
+	for i := 0; i < 1000; i++ {
+		f.Add([]byte(fmt.Sprintf("key-%d", i)))
+	}
+	fp := 0
+	const probes = 10000
+	for i := 0; i < probes; i++ {
+		if f.MayContain([]byte(fmt.Sprintf("absent-%d", i))) {
+			fp++
+		}
+	}
+	rate := float64(fp) / probes
+	if rate > 0.05 {
+		t.Fatalf("false positive rate %.3f, want < 0.05 (designed 0.01)", rate)
+	}
+}
+
+func TestOrMerges(t *testing.T) {
+	a := New(100, 0.01)
+	b := NewWithBits(a.m, a.k)
+	a.Add([]byte("only-a"))
+	b.Add([]byte("only-b"))
+	if err := a.Or(b); err != nil {
+		t.Fatal(err)
+	}
+	if !a.MayContain([]byte("only-a")) || !a.MayContain([]byte("only-b")) {
+		t.Fatal("OR lost an element")
+	}
+}
+
+func TestOrIncompatible(t *testing.T) {
+	a := NewWithBits(128, 3)
+	b := NewWithBits(256, 3)
+	if err := a.Or(b); err == nil {
+		t.Fatal("incompatible OR accepted")
+	}
+	if err := a.Or(nil); err == nil {
+		t.Fatal("nil OR accepted")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	f := New(500, 0.02)
+	for i := 0; i < 500; i++ {
+		f.Add([]byte(fmt.Sprintf("k%d", i)))
+	}
+	w := wire.NewWriter(f.SizeBytes() + 16)
+	f.Encode(w)
+	g, err := Decode(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		if !g.MayContain([]byte(fmt.Sprintf("k%d", i))) {
+			t.Fatalf("decoded filter lost k%d", i)
+		}
+	}
+	if g.FillRatio() != f.FillRatio() {
+		t.Fatal("fill ratio changed across codec")
+	}
+}
+
+func TestDecodeRejectsBadGeometry(t *testing.T) {
+	w := wire.NewWriter(16)
+	w.Uvarint(63) // not a multiple of 64
+	w.Uvarint(3)
+	if _, err := Decode(wire.NewReader(w.Bytes())); err == nil {
+		t.Fatal("bad geometry accepted")
+	}
+	w2 := wire.NewWriter(16)
+	w2.Uvarint(128)
+	w2.Uvarint(99) // k too large
+	if _, err := Decode(wire.NewReader(w2.Bytes())); err == nil {
+		t.Fatal("bad k accepted")
+	}
+}
+
+func TestFillRatioGrows(t *testing.T) {
+	f := New(100, 0.01)
+	r0 := f.FillRatio()
+	for i := 0; i < 100; i++ {
+		f.Add([]byte(fmt.Sprintf("x%d", i)))
+	}
+	if f.FillRatio() <= r0 {
+		t.Fatal("fill ratio did not grow")
+	}
+	if f.FillRatio() > 0.7 {
+		t.Fatalf("filter oversaturated: %.2f", f.FillRatio())
+	}
+}
+
+func TestDegenerateParams(t *testing.T) {
+	f := New(0, 2.0) // silly inputs fall back to sane defaults
+	f.Add([]byte("x"))
+	if !f.MayContain([]byte("x")) {
+		t.Fatal("degenerate filter broken")
+	}
+}
+
+func TestQuickMembership(t *testing.T) {
+	f := New(256, 0.01)
+	check := func(data []byte) bool {
+		f.Add(data)
+		return f.MayContain(data)
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}

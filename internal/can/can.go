@@ -1,0 +1,760 @@
+// Package can implements a Content-Addressable Network overlay
+// (Ratnasamy et al., SIGCOMM 2001) — the first DHT scheme the paper
+// cites [5] — as a third interchangeable substrate behind the
+// overlay.Router interface. Keys map onto a 2-d unit torus; each node
+// owns a rectangular zone; joins split the zone of the node owning a
+// random point; routing greedily forwards toward the target point
+// through zone neighbors.
+//
+// Scope note (documented in DESIGN.md): zone takeover on failure —
+// CAN's most intricate machinery — is not implemented; dead neighbors
+// are dropped from routing tables, so lookups whose greedy path ends
+// at a hole fail until the hole's former neighbors absorb traffic via
+// their own paths. PIER's churn experiments run on Chord; CAN serves
+// the routing/ablation claims on stable networks, matching how the
+// original PIER prototype exercised it.
+package can
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Point is a location on the 2-d unit torus.
+type Point struct {
+	X, Y float64
+}
+
+// KeyToPoint maps a 160-bit key to torus coordinates: the top 64 bits
+// become X, the next 64 become Y.
+func KeyToPoint(key id.ID) Point {
+	x := uint64(0)
+	y := uint64(0)
+	for i := 0; i < 8; i++ {
+		x = x<<8 | uint64(key[i])
+		y = y<<8 | uint64(key[8+i])
+	}
+	const denom = float64(1 << 63)
+	return Point{
+		X: float64(x>>1) / denom,
+		Y: float64(y>>1) / denom,
+	}
+}
+
+// Zone is a half-open rectangle [X0,X1) x [Y0,Y1) on the torus.
+type Zone struct {
+	X0, X1, Y0, Y1 float64
+}
+
+// FullZone covers the whole torus (the first node's zone).
+func FullZone() Zone { return Zone{X0: 0, X1: 1, Y0: 0, Y1: 1} }
+
+// Contains reports whether p falls inside the zone.
+func (z Zone) Contains(p Point) bool {
+	return p.X >= z.X0 && p.X < z.X1 && p.Y >= z.Y0 && p.Y < z.Y1
+}
+
+// Center returns the zone's midpoint.
+func (z Zone) Center() Point {
+	return Point{X: (z.X0 + z.X1) / 2, Y: (z.Y0 + z.Y1) / 2}
+}
+
+// Split halves the zone along its longer dimension, returning the
+// half containing lower coordinates first.
+func (z Zone) Split() (Zone, Zone) {
+	if z.X1-z.X0 >= z.Y1-z.Y0 {
+		mid := (z.X0 + z.X1) / 2
+		return Zone{z.X0, mid, z.Y0, z.Y1}, Zone{mid, z.X1, z.Y0, z.Y1}
+	}
+	mid := (z.Y0 + z.Y1) / 2
+	return Zone{z.X0, z.X1, z.Y0, mid}, Zone{z.X0, z.X1, mid, z.Y1}
+}
+
+// wrapDist is the 1-d torus distance between coordinates.
+func wrapDist(a, b float64) float64 {
+	d := math.Abs(a - b)
+	if d > 0.5 {
+		d = 1 - d
+	}
+	return d
+}
+
+// dist is the torus distance from p to q.
+func dist(p, q Point) float64 {
+	dx := wrapDist(p.X, q.X)
+	dy := wrapDist(p.Y, q.Y)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// intervalDist is the torus distance from coordinate c to the arc
+// [a, b): zero inside, else the shorter way around to an endpoint.
+func intervalDist(c, a, b float64) float64 {
+	if c >= a && c < b {
+		return 0
+	}
+	da, db := wrapDist(c, a), wrapDist(c, b)
+	if da < db {
+		return da
+	}
+	return db
+}
+
+// distToZone is the torus distance from p to the nearest point of z —
+// the metric CAN's greedy forwarding minimizes. Zone distance (rather
+// than center distance) guarantees progress: the neighbor across the
+// border toward the target is always strictly closer.
+func distToZone(p Point, z Zone) float64 {
+	dx := intervalDist(p.X, z.X0, z.X1)
+	dy := intervalDist(p.Y, z.Y0, z.Y1)
+	return math.Sqrt(dx*dx + dy*dy)
+}
+
+// adjacent reports whether two zones share an edge on the torus
+// (abutting in one dimension, overlapping in the other).
+func adjacent(a, b Zone) bool {
+	abutX := touches(a.X0, a.X1, b.X0, b.X1)
+	abutY := touches(a.Y0, a.Y1, b.Y0, b.Y1)
+	overX := overlaps(a.X0, a.X1, b.X0, b.X1)
+	overY := overlaps(a.Y0, a.Y1, b.Y0, b.Y1)
+	return (abutX && overY) || (abutY && overX)
+}
+
+func touches(a0, a1, b0, b1 float64) bool {
+	return a1 == b0 || b1 == a0 || (a0 == 0 && b1 == 1) || (b0 == 0 && a1 == 1)
+}
+
+func overlaps(a0, a1, b0, b1 float64) bool {
+	return a0 < b1 && b0 < a1
+}
+
+func (z Zone) encode(w *wire.Writer) {
+	w.Float64(z.X0)
+	w.Float64(z.X1)
+	w.Float64(z.Y0)
+	w.Float64(z.Y1)
+}
+
+func decodeZone(r *wire.Reader) Zone {
+	return Zone{X0: r.Float64(), X1: r.Float64(), Y0: r.Float64(), Y1: r.Float64()}
+}
+
+// neighbor is a routing-table entry.
+type neighbor struct {
+	node overlay.Node
+	zone Zone
+}
+
+// Config tunes the overlay.
+type Config struct {
+	// PingEvery is the neighbor liveness period. Default 200ms.
+	PingEvery time.Duration
+	// MaxHops bounds greedy routing. Default 128 (CAN paths are
+	// O(sqrt n) in 2-d, longer than Chord's).
+	MaxHops int
+	// RPC tunes calls.
+	RPC rpc.Config
+	// NodeID overrides the address-hash identifier.
+	NodeID *id.ID
+}
+
+func (c Config) withDefaults() Config {
+	if c.PingEvery == 0 {
+		c.PingEvery = 200 * time.Millisecond
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 128
+	}
+	if c.RPC.Timeout == 0 {
+		c.RPC.Timeout = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Node is a CAN participant.
+type Node struct {
+	self overlay.Node
+	cfg  Config
+	peer *rpc.Peer
+
+	mu        sync.Mutex
+	zone      Zone
+	neighbors map[string]neighbor
+	stopped   bool
+
+	deliver   overlay.DeliverFunc
+	intercept overlay.InterceptFunc
+	broadcast overlay.BroadcastFunc
+
+	lookupMu  sync.Mutex
+	lookups   map[uint64]chan lookupAnswer
+	lookupSeq atomic.Uint64
+
+	seenMu sync.Mutex
+	seenBC map[uint64]time.Time
+
+	metricsLookups atomic.Uint64
+	metricsHops    atomic.Uint64
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+type lookupAnswer struct {
+	node overlay.Node
+	hops int
+}
+
+var _ overlay.Router = (*Node)(nil)
+
+// New creates a CAN node owning the full torus; Join splits into an
+// existing network.
+func New(tr transport.Transport, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	nid := id.HashString(tr.Addr())
+	if cfg.NodeID != nil {
+		nid = *cfg.NodeID
+	}
+	n := &Node{
+		self:      overlay.Node{ID: nid, Addr: tr.Addr()},
+		cfg:       cfg,
+		peer:      rpc.New(tr, cfg.RPC),
+		zone:      FullZone(),
+		neighbors: make(map[string]neighbor),
+		lookups:   make(map[uint64]chan lookupAnswer),
+		seenBC:    make(map[uint64]time.Time),
+		stopCh:    make(chan struct{}),
+	}
+	n.registerHandlers()
+	n.wg.Add(1)
+	go n.pingLoop()
+	return n
+}
+
+// Self returns this node's identity.
+func (n *Node) Self() overlay.Node { return n.self }
+
+// Peer exposes the RPC endpoint for higher layers.
+func (n *Node) Peer() *rpc.Peer { return n.peer }
+
+// Zone returns the node's current zone (tests use it).
+func (n *Node) Zone() Zone {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.zone
+}
+
+// SetDeliver installs the owner upcall.
+func (n *Node) SetDeliver(fn overlay.DeliverFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deliver = fn
+}
+
+// SetIntercept installs the relay upcall.
+func (n *Node) SetIntercept(fn overlay.InterceptFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.intercept = fn
+}
+
+// SetBroadcast installs the broadcast upcall.
+func (n *Node) SetBroadcast(fn overlay.BroadcastFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.broadcast = fn
+}
+
+// Neighbors returns the current zone neighbors.
+func (n *Node) Neighbors() []overlay.Node {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := make([]overlay.Node, 0, len(n.neighbors))
+	for _, nb := range n.neighbors {
+		out = append(out, nb.node)
+	}
+	return out
+}
+
+// MetricsSnapshot returns lookup counters (interface parity with the
+// other overlays).
+func (n *Node) MetricsSnapshot() (lookups, hops, forwards, maintenance uint64) {
+	return n.metricsLookups.Load(), n.metricsHops.Load(), 0, 0
+}
+
+// Stop halts maintenance and closes the endpoint.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.peer.Close()
+	n.wg.Wait()
+}
+
+// Owns reports whether the node's zone contains the key's point.
+func (n *Node) Owns(key id.ID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.zone.Contains(KeyToPoint(key))
+}
+
+// Join splits into the network via any member: route a join request
+// to the owner of this node's own point; that owner halves its zone
+// and hands one half (plus the relevant neighbors) back.
+func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
+	p := KeyToPoint(n.self.ID)
+	w := wire.NewWriter(64)
+	n.self.Encode(w)
+	w.Float64(p.X)
+	w.Float64(p.Y)
+	resp, err := n.peer.Call(ctx, bootstrapAddr, "can.join", w.Bytes())
+	if err != nil {
+		return fmt.Errorf("can: join via %s: %w", bootstrapAddr, err)
+	}
+	r := wire.NewReader(resp)
+	forwarded := r.Bool()
+	if forwarded {
+		// The bootstrap was not the owner; it tells us who to ask.
+		next := overlay.DecodeNode(r)
+		if err := r.Done(); err != nil {
+			return err
+		}
+		if next.Addr == bootstrapAddr {
+			return fmt.Errorf("can: join loop at %s", bootstrapAddr)
+		}
+		return n.Join(ctx, next.Addr)
+	}
+	zone := decodeZone(r)
+	count := int(r.Uvarint())
+	if count > 4096 {
+		return fmt.Errorf("can: absurd neighbor count %d", count)
+	}
+	neighbors := make(map[string]neighbor, count)
+	for i := 0; i < count; i++ {
+		node := overlay.DecodeNode(r)
+		z := decodeZone(r)
+		neighbors[node.Addr] = neighbor{node: node, zone: z}
+	}
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.mu.Lock()
+	n.zone = zone
+	n.neighbors = neighbors
+	n.mu.Unlock()
+	// Tell every new neighbor about us so their tables include our
+	// zone immediately.
+	n.notifyNeighbors()
+	return nil
+}
+
+// notifyNeighbors pushes (node, zone) to every neighbor.
+func (n *Node) notifyNeighbors() {
+	n.mu.Lock()
+	zone := n.zone
+	targets := make([]string, 0, len(n.neighbors))
+	for addr := range n.neighbors {
+		targets = append(targets, addr)
+	}
+	n.mu.Unlock()
+	w := wire.NewWriter(64)
+	n.self.Encode(w)
+	zone.encode(w)
+	for _, addr := range targets {
+		_ = n.peer.Notify(addr, "can.update", w.Bytes())
+	}
+}
+
+// closestNeighbor returns the live neighbor whose zone is nearest to
+// p (center distance breaks ties), excluding self.
+func (n *Node) closestNeighbor(p Point) (neighbor, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var best neighbor
+	bestD := math.Inf(1)
+	bestC := math.Inf(1)
+	found := false
+	for _, nb := range n.neighbors {
+		d := distToZone(p, nb.zone)
+		c := dist(nb.zone.Center(), p)
+		if d < bestD || (d == bestD && c < bestC) {
+			best, bestD, bestC, found = nb, d, c, true
+		}
+	}
+	return best, found
+}
+
+// ---------------------------------------------------------------------------
+// Routing
+
+// Route greedily forwards payload toward the owner of key's point.
+func (n *Node) Route(key id.ID, tag string, payload []byte) error {
+	return n.routeMsg(n.self, key, tag, payload, 0)
+}
+
+func (n *Node) routeMsg(origin overlay.Node, key id.ID, tag string, payload []byte, hops int) error {
+	if hops > n.cfg.MaxHops {
+		return fmt.Errorf("can: route %s exceeded %d hops", key.Short(), n.cfg.MaxHops)
+	}
+	p := KeyToPoint(key)
+	n.mu.Lock()
+	owns := n.zone.Contains(p)
+	deliver := n.deliver
+	intercept := n.intercept
+	n.mu.Unlock()
+	if owns {
+		n.handleOwned(origin, key, tag, payload)
+		return nil
+	}
+	if hops > 0 && intercept != nil {
+		np, forward := intercept(key, tag, payload)
+		if !forward {
+			return nil
+		}
+		payload = np
+	}
+	_ = deliver
+	next, ok := n.closestNeighbor(p)
+	if !ok {
+		// Isolated: deliver locally, best effort.
+		n.handleOwned(origin, key, tag, payload)
+		return nil
+	}
+	w := wire.NewWriter(64 + len(payload))
+	origin.Encode(w)
+	w.Raw(key[:])
+	w.String(tag)
+	w.Uvarint(uint64(hops + 1))
+	w.BytesLP(payload)
+	if err := n.peer.Notify(next.node.Addr, "can.route", w.Bytes()); err != nil {
+		n.dropNeighbor(next.node.Addr)
+		return err
+	}
+	return nil
+}
+
+// handleOwned dispatches an owned delivery: lookup replies are
+// answered internally, everything else goes to the deliver upcall.
+func (n *Node) handleOwned(origin overlay.Node, key id.ID, tag string, payload []byte) {
+	if tag == "can.lookup" {
+		r := wire.NewReader(payload)
+		seq := r.Uint64()
+		hops := int(r.Uvarint())
+		if r.Done() != nil {
+			return
+		}
+		w := wire.NewWriter(64)
+		w.Uint64(seq)
+		n.self.Encode(w)
+		w.Uvarint(uint64(hops))
+		_ = n.peer.Notify(origin.Addr, "can.found", w.Bytes())
+		return
+	}
+	n.mu.Lock()
+	deliver := n.deliver
+	n.mu.Unlock()
+	if deliver != nil {
+		deliver(origin, key, tag, payload)
+	}
+}
+
+// Lookup resolves the owner of key by routing a question to it and
+// waiting for its direct answer.
+func (n *Node) Lookup(ctx context.Context, key id.ID) (overlay.Node, int, error) {
+	if n.Owns(key) {
+		n.metricsLookups.Add(1)
+		return n.self, 0, nil
+	}
+	seq := n.lookupSeq.Add(1)
+	ch := make(chan lookupAnswer, 1)
+	n.lookupMu.Lock()
+	n.lookups[seq] = ch
+	n.lookupMu.Unlock()
+	defer func() {
+		n.lookupMu.Lock()
+		delete(n.lookups, seq)
+		n.lookupMu.Unlock()
+	}()
+	w := wire.NewWriter(16)
+	w.Uint64(seq)
+	w.Uvarint(0)
+	deadline := time.Now().Add(2 * time.Second)
+	for attempt := 0; attempt < 3 && time.Now().Before(deadline); attempt++ {
+		if err := n.routeMsg(n.self, key, "can.lookup", w.Bytes(), 0); err != nil {
+			continue
+		}
+		select {
+		case a := <-ch:
+			n.metricsLookups.Add(1)
+			n.metricsHops.Add(uint64(a.hops))
+			return a.node, a.hops, nil
+		case <-ctx.Done():
+			return overlay.Node{}, 0, ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	return overlay.Node{}, 0, fmt.Errorf("can: lookup %s timed out", key.Short())
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast: neighbor flooding with duplicate suppression
+
+// Broadcast floods payload through the zone-neighbor graph. CAN has
+// no tree structure to exploit, so this is O(N·degree) messages —
+// the price the original paper also paid for zone multicast.
+func (n *Node) Broadcast(tag string, payload []byte) error {
+	bcID := uint64(time.Now().UnixNano())<<16 | (n.lookupSeq.Add(1) & 0xffff)
+	n.markSeen(bcID)
+	n.mu.Lock()
+	bc := n.broadcast
+	n.mu.Unlock()
+	if bc != nil {
+		bc(n.self, tag, payload)
+	}
+	return n.forwardBroadcast(n.self, bcID, tag, payload)
+}
+
+func (n *Node) markSeen(bcID uint64) bool {
+	n.seenMu.Lock()
+	defer n.seenMu.Unlock()
+	if _, dup := n.seenBC[bcID]; dup {
+		return false
+	}
+	now := time.Now()
+	n.seenBC[bcID] = now
+	if len(n.seenBC) > 8192 {
+		for k, t := range n.seenBC {
+			if now.Sub(t) > 10*time.Second {
+				delete(n.seenBC, k)
+			}
+		}
+	}
+	return true
+}
+
+func (n *Node) forwardBroadcast(origin overlay.Node, bcID uint64, tag string, payload []byte) error {
+	w := wire.NewWriter(64 + len(payload))
+	origin.Encode(w)
+	w.Uint64(bcID)
+	w.String(tag)
+	w.BytesLP(payload)
+	frame := w.Bytes()
+	var firstErr error
+	for _, nb := range n.Neighbors() {
+		if err := n.peer.Notify(nb.Addr, "can.broadcast", frame); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers
+
+func (n *Node) registerHandlers() {
+	n.peer.Handle("can.join", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		joiner := overlay.DecodeNode(r)
+		p := Point{X: r.Float64(), Y: r.Float64()}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		if !n.zone.Contains(p) {
+			// Not ours: point the joiner at our best neighbor.
+			n.mu.Unlock()
+			next, ok := n.closestNeighbor(p)
+			if !ok {
+				return nil, fmt.Errorf("can: no route toward join point")
+			}
+			w := wire.NewWriter(64)
+			w.Bool(true)
+			next.node.Encode(w)
+			return w.Bytes(), nil
+		}
+		// Split: keep the half containing our own point, give the
+		// other half to the joiner.
+		a, b := n.zone.Split()
+		selfP := KeyToPoint(n.self.ID)
+		mine, theirs := a, b
+		if b.Contains(selfP) {
+			mine, theirs = b, a
+		}
+		n.zone = mine
+		// Compute the joiner's neighbor set: us, plus every neighbor
+		// adjacent to the ceded zone.
+		joinerNbs := []neighbor{{node: n.self, zone: mine}}
+		oldNeighbors := make([]string, 0, len(n.neighbors))
+		for addr, nb := range n.neighbors {
+			oldNeighbors = append(oldNeighbors, addr)
+			if adjacent(theirs, nb.zone) {
+				joinerNbs = append(joinerNbs, nb)
+			}
+			// Drop neighbors no longer adjacent to our shrunk zone.
+			if !adjacent(mine, nb.zone) {
+				delete(n.neighbors, addr)
+			}
+		}
+		n.neighbors[joiner.Addr] = neighbor{node: joiner, zone: theirs}
+		n.mu.Unlock()
+
+		w := wire.NewWriter(256)
+		w.Bool(false)
+		theirs.encode(w)
+		w.Uvarint(uint64(len(joinerNbs)))
+		for _, nb := range joinerNbs {
+			nb.node.Encode(w)
+			nb.zone.encode(w)
+		}
+		// Our zone changed: announce to every PRE-split neighbor too —
+		// ex-neighbors must learn we shrank or they hold our stale
+		// zone forever.
+		go func() {
+			uw := wire.NewWriter(64)
+			n.self.Encode(uw)
+			mine.encode(uw)
+			for _, addr := range oldNeighbors {
+				_ = n.peer.Notify(addr, "can.update", uw.Bytes())
+			}
+		}()
+		return w.Bytes(), nil
+	})
+	n.peer.Handle("can.update", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		node := overlay.DecodeNode(r)
+		z := decodeZone(r)
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.mu.Lock()
+		if adjacent(n.zone, z) || n.zone == z {
+			n.neighbors[node.Addr] = neighbor{node: node, zone: z}
+		} else {
+			delete(n.neighbors, node.Addr)
+		}
+		n.mu.Unlock()
+		return nil, nil
+	})
+	n.peer.Handle("can.route", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		origin := overlay.DecodeNode(r)
+		var key id.ID
+		copy(key[:], r.Raw(id.Bytes))
+		tag := r.String()
+		hops := int(r.Uvarint())
+		payload := r.BytesLP()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		body := append([]byte(nil), payload...)
+		if tag == "can.lookup" {
+			// Rewrite the hop counter inside lookup payloads so the
+			// answer reports path length.
+			rr := wire.NewReader(body)
+			seq := rr.Uint64()
+			_ = rr.Uvarint()
+			if rr.Done() == nil {
+				w := wire.NewWriter(16)
+				w.Uint64(seq)
+				w.Uvarint(uint64(hops))
+				body = w.Bytes()
+			}
+		}
+		return nil, n.routeMsg(origin, key, tag, body, hops)
+	})
+	n.peer.Handle("can.found", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		seq := r.Uint64()
+		node := overlay.DecodeNode(r)
+		hops := int(r.Uvarint())
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.lookupMu.Lock()
+		ch := n.lookups[seq]
+		n.lookupMu.Unlock()
+		if ch != nil {
+			select {
+			case ch <- lookupAnswer{node: node, hops: hops}:
+			default:
+			}
+		}
+		return nil, nil
+	})
+	n.peer.Handle("can.broadcast", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		origin := overlay.DecodeNode(r)
+		bcID := r.Uint64()
+		tag := r.String()
+		payload := r.BytesLP()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		if !n.markSeen(bcID) {
+			return nil, nil
+		}
+		body := append([]byte(nil), payload...)
+		n.mu.Lock()
+		bc := n.broadcast
+		n.mu.Unlock()
+		if bc != nil {
+			bc(origin, tag, body)
+		}
+		return nil, n.forwardBroadcast(origin, bcID, tag, body)
+	})
+	n.peer.Handle("can.ping", func(from string, req []byte) ([]byte, error) {
+		return []byte{1}, nil
+	})
+}
+
+func (n *Node) dropNeighbor(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.neighbors, addr)
+}
+
+func (n *Node) pingLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.PingEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			for _, nb := range n.Neighbors() {
+				ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPC.Timeout*2)
+				_, err := n.peer.Call(ctx, nb.Addr, "can.ping", nil)
+				cancel()
+				if err != nil {
+					n.dropNeighbor(nb.Addr)
+				}
+			}
+			// Drop entries whose recorded zone no longer abuts ours
+			// (their owner split and the update raced past us).
+			n.mu.Lock()
+			for addr, nb := range n.neighbors {
+				if !adjacent(n.zone, nb.zone) {
+					delete(n.neighbors, addr)
+				}
+			}
+			n.mu.Unlock()
+			// Refresh our zone advertisement (cheap anti-entropy).
+			n.notifyNeighbors()
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package can
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/simnet"
+)
+
+func testConfig() Config {
+	return Config{PingEvery: 50 * time.Millisecond}
+}
+
+func grid(t *testing.T, n int, seed int64) ([]*Node, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(simnet.Config{Seed: seed})
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("node%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = New(ep, testConfig())
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(context.Background(), nodes[0].Self().Addr); err != nil {
+			t.Fatalf("join node%d: %v", i, err)
+		}
+		// Let zone updates propagate between joins (CAN joins mutate
+		// shared zones; serialized joins keep the test deterministic).
+		time.Sleep(20 * time.Millisecond)
+	}
+	time.Sleep(100 * time.Millisecond)
+	return nodes, net
+}
+
+// zonesPartitionTorus checks the fundamental CAN invariant: zones
+// tile the unit square exactly (total area 1, no overlaps).
+func zonesPartitionTorus(t *testing.T, nodes []*Node) {
+	t.Helper()
+	total := 0.0
+	for _, nd := range nodes {
+		z := nd.Zone()
+		if z.X1 <= z.X0 || z.Y1 <= z.Y0 {
+			t.Fatalf("degenerate zone %+v", z)
+		}
+		total += (z.X1 - z.X0) * (z.Y1 - z.Y0)
+	}
+	if math.Abs(total-1.0) > 1e-9 {
+		t.Fatalf("zones cover area %v, want 1", total)
+	}
+	for i, a := range nodes {
+		for j, b := range nodes {
+			if i >= j {
+				continue
+			}
+			za, zb := a.Zone(), b.Zone()
+			if overlaps(za.X0, za.X1, zb.X0, zb.X1) && overlaps(za.Y0, za.Y1, zb.Y0, zb.Y1) {
+				t.Fatalf("zones overlap: %+v and %+v", za, zb)
+			}
+		}
+	}
+}
+
+func ownerOf(nodes []*Node, key id.ID) *Node {
+	p := KeyToPoint(key)
+	for _, nd := range nodes {
+		if nd.Zone().Contains(p) {
+			return nd
+		}
+	}
+	return nil
+}
+
+func TestKeyToPointInUnitSquare(t *testing.T) {
+	f := func(data []byte) bool {
+		p := KeyToPoint(id.Hash(data))
+		return p.X >= 0 && p.X < 1 && p.Y >= 0 && p.Y < 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneSplitPreservesArea(t *testing.T) {
+	z := Zone{0.25, 0.75, 0.5, 1.0}
+	a, b := z.Split()
+	areaZ := (z.X1 - z.X0) * (z.Y1 - z.Y0)
+	areaA := (a.X1 - a.X0) * (a.Y1 - a.Y0)
+	areaB := (b.X1 - b.X0) * (b.Y1 - b.Y0)
+	if math.Abs(areaA+areaB-areaZ) > 1e-12 {
+		t.Fatalf("split lost area: %v + %v != %v", areaA, areaB, areaZ)
+	}
+}
+
+func TestZonesPartitionAfterJoins(t *testing.T) {
+	nodes, _ := grid(t, 9, 1)
+	zonesPartitionTorus(t, nodes)
+}
+
+func TestLookupFindsZoneOwner(t *testing.T) {
+	nodes, _ := grid(t, 8, 2)
+	zonesPartitionTorus(t, nodes)
+	for i := 0; i < 30; i++ {
+		key := id.HashString(fmt.Sprintf("key-%d", i))
+		want := ownerOf(nodes, key)
+		if want == nil {
+			t.Fatal("no owner (zones broken)")
+		}
+		got, hops, err := nodes[i%len(nodes)].Lookup(context.Background(), key)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", i, err)
+		}
+		if got.Addr != want.Self().Addr {
+			t.Fatalf("lookup %d: got %s want %s", i, got.Addr, want.Self().Addr)
+		}
+		if hops > 64 {
+			t.Fatalf("lookup took %d hops", hops)
+		}
+	}
+}
+
+func TestRouteDeliversToOwner(t *testing.T) {
+	nodes, _ := grid(t, 8, 3)
+	var mu sync.Mutex
+	delivered := map[string]string{}
+	for _, nd := range nodes {
+		nd := nd
+		nd.SetDeliver(func(from overlay.Node, key id.ID, tag string, payload []byte) {
+			mu.Lock()
+			delivered[string(payload)] = nd.Self().Addr
+			mu.Unlock()
+		})
+	}
+	for i := 0; i < 20; i++ {
+		key := id.HashString(fmt.Sprintf("route-%d", i))
+		payload := fmt.Sprintf("msg-%d", i)
+		if err := nodes[i%len(nodes)].Route(key, "t", []byte(payload)); err != nil {
+			t.Fatal(err)
+		}
+		want := ownerOf(nodes, key).Self().Addr
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			got, ok := delivered[payload]
+			mu.Unlock()
+			if ok {
+				if got != want {
+					t.Fatalf("msg %d delivered to %s, want %s", i, got, want)
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("msg %d never delivered", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
+
+func TestBroadcastReachesAll(t *testing.T) {
+	nodes, _ := grid(t, 10, 4)
+	var mu sync.Mutex
+	got := map[string]int{}
+	for _, nd := range nodes {
+		nd := nd
+		nd.SetBroadcast(func(from overlay.Node, tag string, payload []byte) {
+			mu.Lock()
+			got[nd.Self().Addr]++
+			mu.Unlock()
+		})
+	}
+	if err := nodes[2].Broadcast("bc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		c := len(got)
+		mu.Unlock()
+		if c == len(nodes) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != len(nodes) {
+		t.Fatalf("broadcast reached %d/%d", len(got), len(nodes))
+	}
+	for addr, c := range got {
+		if c != 1 {
+			t.Fatalf("%s received %d copies", addr, c)
+		}
+	}
+}
+
+func TestInterceptFires(t *testing.T) {
+	nodes, _ := grid(t, 8, 5)
+	var hops sync.Map
+	done := make(chan struct{}, 32)
+	for _, nd := range nodes {
+		nd := nd
+		nd.SetIntercept(func(key id.ID, tag string, payload []byte) ([]byte, bool) {
+			hops.Store(nd.Self().Addr, true)
+			return payload, true
+		})
+		nd.SetDeliver(func(overlay.Node, id.ID, string, []byte) {
+			done <- struct{}{}
+		})
+	}
+	for i := 0; i < 10; i++ {
+		key := id.HashString(fmt.Sprintf("i-%d", i))
+		src := nodes[0]
+		if ownerOf(nodes, key) == src {
+			continue
+		}
+		src.Route(key, "t", []byte("p"))
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no delivery")
+	}
+}
+
+func TestNeighborsAdjacent(t *testing.T) {
+	nodes, _ := grid(t, 8, 6)
+	byAddr := map[string]*Node{}
+	for _, nd := range nodes {
+		byAddr[nd.Self().Addr] = nd
+	}
+	for _, nd := range nodes {
+		for _, nb := range nd.Neighbors() {
+			other := byAddr[nb.Addr]
+			if other == nil {
+				t.Fatalf("phantom neighbor %s", nb.Addr)
+			}
+			if !adjacent(nd.Zone(), other.Zone()) {
+				t.Fatalf("%s lists non-adjacent neighbor %s: %+v vs %+v",
+					nd.Self().Addr, nb.Addr, nd.Zone(), other.Zone())
+			}
+		}
+	}
+}
+
+func TestAdjacentGeometry(t *testing.T) {
+	left := Zone{0, 0.5, 0, 1}
+	right := Zone{0.5, 1, 0, 1}
+	if !adjacent(left, right) {
+		t.Fatal("halves not adjacent")
+	}
+	// Torus wrap: right edge of [0.5,1) touches left edge of [0,0.5).
+	if !adjacent(right, left) {
+		t.Fatal("wrap adjacency broken")
+	}
+	a := Zone{0, 0.25, 0, 0.25}
+	b := Zone{0.5, 0.75, 0.5, 0.75}
+	if adjacent(a, b) {
+		t.Fatal("distant zones adjacent")
+	}
+	// Corner-touching (no edge overlap) is NOT adjacency.
+	c := Zone{0.25, 0.5, 0.25, 0.5}
+	if adjacent(a, c) {
+		t.Fatal("corner contact counted as adjacency")
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	ep, _ := net.Endpoint("solo")
+	n := New(ep, testConfig())
+	n.Stop()
+	n.Stop()
+}
+
+func TestSingleNodeOwnsAll(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	ep, _ := net.Endpoint("solo")
+	n := New(ep, testConfig())
+	defer n.Stop()
+	for i := 0; i < 10; i++ {
+		key := id.HashString(fmt.Sprintf("k%d", i))
+		if !n.Owns(key) {
+			t.Fatal("lone node does not own everything")
+		}
+		got, hops, err := n.Lookup(context.Background(), key)
+		if err != nil || got.Addr != n.Self().Addr || hops != 0 {
+			t.Fatalf("lone lookup: %v %d %v", got.Addr, hops, err)
+		}
+	}
+}

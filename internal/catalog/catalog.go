@@ -1,0 +1,108 @@
+// Package catalog tracks the relations a PIER node knows how to plan
+// against: each table's schema, the DHT namespace its tuples live in,
+// and the soft-state lifetime its publishers use. PIER has no global
+// persistent catalog — applications declare the same tables on the
+// nodes that use them, and disseminated query plans carry their
+// schemas with them — so this catalog is purely local state.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// Table describes one relation.
+type Table struct {
+	// Schema names the columns; Schema.Key determines the resource
+	// ID under which each tuple is published.
+	Schema *tuple.Schema
+	// Namespace is the DHT namespace holding the tuples; by
+	// convention "table:<name>".
+	Namespace string
+	// TTL is the default soft-state lifetime publishers use.
+	TTL time.Duration
+}
+
+// Catalog is a thread-safe table registry.
+type Catalog struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+}
+
+// New creates an empty catalog.
+func New() *Catalog {
+	return &Catalog{tables: make(map[string]*Table)}
+}
+
+// Namespace returns the conventional DHT namespace for a table name.
+func Namespace(table string) string { return "table:" + table }
+
+// Define registers a table. Redefinition with an identical schema is
+// idempotent; a conflicting redefinition errors.
+func (c *Catalog) Define(schema *tuple.Schema, ttl time.Duration) (*Table, error) {
+	if schema == nil || schema.Name == "" {
+		return nil, fmt.Errorf("catalog: table needs a named schema")
+	}
+	if ttl <= 0 {
+		ttl = time.Minute
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if existing, ok := c.tables[schema.Name]; ok {
+		if !sameSchema(existing.Schema, schema) {
+			return nil, fmt.Errorf("catalog: table %q already defined with a different schema", schema.Name)
+		}
+		return existing, nil
+	}
+	t := &Table{Schema: schema, Namespace: Namespace(schema.Name), TTL: ttl}
+	c.tables[schema.Name] = t
+	return t, nil
+}
+
+// Lookup finds a table by name.
+func (c *Catalog) Lookup(name string) (*Table, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	t, ok := c.tables[name]
+	return t, ok
+}
+
+// Drop removes a table definition (local only).
+func (c *Catalog) Drop(name string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.tables, name)
+}
+
+// Names lists defined tables in sorted order.
+func (c *Catalog) Names() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]string, 0, len(c.tables))
+	for n := range c.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameSchema(a, b *tuple.Schema) bool {
+	if a.Name != b.Name || len(a.Columns) != len(b.Columns) || len(a.Key) != len(b.Key) {
+		return false
+	}
+	for i := range a.Columns {
+		if a.Columns[i] != b.Columns[i] {
+			return false
+		}
+	}
+	for i := range a.Key {
+		if a.Key[i] != b.Key[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+package catalog
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+func schema(name string) *tuple.Schema {
+	return tuple.MustSchema(name, []tuple.Column{
+		{Name: "k", Type: tuple.TString},
+		{Name: "v", Type: tuple.TInt},
+	}, "k")
+}
+
+func TestDefineAndLookup(t *testing.T) {
+	c := New()
+	tbl, err := c.Define(schema("t1"), time.Minute)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Namespace != "table:t1" || tbl.TTL != time.Minute {
+		t.Fatalf("%+v", tbl)
+	}
+	got, ok := c.Lookup("t1")
+	if !ok || got != tbl {
+		t.Fatal("lookup failed")
+	}
+	if _, ok := c.Lookup("missing"); ok {
+		t.Fatal("phantom table")
+	}
+}
+
+func TestRedefineIdempotent(t *testing.T) {
+	c := New()
+	a, _ := c.Define(schema("t"), time.Minute)
+	b, err := c.Define(schema("t"), time.Hour) // same schema, ttl ignored
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("idempotent redefinition returned a new table")
+	}
+}
+
+func TestConflictingRedefinitionRejected(t *testing.T) {
+	c := New()
+	c.Define(schema("t"), time.Minute)
+	other := tuple.MustSchema("t", []tuple.Column{{Name: "x", Type: tuple.TFloat}})
+	if _, err := c.Define(other, time.Minute); err == nil {
+		t.Fatal("conflicting schema accepted")
+	}
+}
+
+func TestDefaultTTL(t *testing.T) {
+	c := New()
+	tbl, err := c.Define(schema("t"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.TTL <= 0 {
+		t.Fatal("no default ttl")
+	}
+}
+
+func TestNilSchemaRejected(t *testing.T) {
+	c := New()
+	if _, err := c.Define(nil, time.Minute); err == nil {
+		t.Fatal("nil schema accepted")
+	}
+	if _, err := c.Define(&tuple.Schema{}, time.Minute); err == nil {
+		t.Fatal("anonymous schema accepted")
+	}
+}
+
+func TestDropAndNames(t *testing.T) {
+	c := New()
+	c.Define(schema("b"), time.Minute)
+	c.Define(schema("a"), time.Minute)
+	names := c.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names %v", names)
+	}
+	c.Drop("a")
+	if _, ok := c.Lookup("a"); ok {
+		t.Fatal("dropped table still visible")
+	}
+	if len(c.Names()) != 1 {
+		t.Fatal("names not updated")
+	}
+}
+
+func TestNamespaceConvention(t *testing.T) {
+	if Namespace("x") != "table:x" {
+		t.Fatalf("namespace %q", Namespace("x"))
+	}
+}

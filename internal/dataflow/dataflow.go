@@ -1,0 +1,301 @@
+// Package dataflow is PIER's generic "boxes and arrows" execution
+// engine: operators are boxes running as goroutines, arrows are
+// bounded channels carrying tuples and punctuations. The engine
+// supports trees, DAGs, and cyclic graphs (recursive queries use an
+// unbounded back edge so cycles cannot deadlock on channel
+// backpressure), one-shot queries (terminated by end-of-stream) and
+// continuous queries (terminated by cancellation).
+package dataflow
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/tuple"
+)
+
+// MsgKind distinguishes stream elements.
+type MsgKind uint8
+
+const (
+	// Data carries one tuple.
+	Data MsgKind = iota
+	// Punct is a punctuation: a promise that no tuple belonging to
+	// window Seq (closed at Time) will arrive later on this edge.
+	// Continuous aggregates emit their results upon punctuation.
+	Punct
+)
+
+// Msg is one stream element.
+type Msg struct {
+	Kind MsgKind
+	T    tuple.Tuple
+	Seq  uint64
+	Time time.Time
+}
+
+// DataMsg wraps a tuple.
+func DataMsg(t tuple.Tuple) Msg { return Msg{Kind: Data, T: t} }
+
+// PunctMsg builds a punctuation for window seq closing at ts.
+func PunctMsg(seq uint64, ts time.Time) Msg {
+	return Msg{Kind: Punct, Seq: seq, Time: ts}
+}
+
+// RunFunc is an operator body. It reads its inputs until they are
+// closed (or ctx is cancelled), writes to its outputs, and returns.
+// The engine closes the output channels after the body returns; the
+// body must never close them itself.
+type RunFunc func(ctx context.Context, ins []<-chan Msg, outs []chan<- Msg) error
+
+// Node is one operator instance in a graph.
+type Node struct {
+	name string
+	run  RunFunc
+	ins  []chan Msg
+	outs []chan Msg
+}
+
+// Name returns the operator's display name.
+func (n *Node) Name() string { return n.name }
+
+// DefaultEdgeDepth is the bounded-channel capacity of an arrow,
+// providing backpressure between operators.
+const DefaultEdgeDepth = 64
+
+// Graph is a dataflow query plan under construction or execution.
+type Graph struct {
+	name    string
+	nodes   []*Node
+	pumps   []func(ctx context.Context, wg *sync.WaitGroup)
+	started bool
+}
+
+// New creates an empty graph.
+func New(name string) *Graph { return &Graph{name: name} }
+
+// Add appends an operator to the graph.
+func (g *Graph) Add(name string, run RunFunc) *Node {
+	n := &Node{name: name, run: run}
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Connect wires a new output port of from to a new input port of to
+// with a bounded channel.
+func (g *Graph) Connect(from, to *Node) {
+	ch := make(chan Msg, DefaultEdgeDepth)
+	from.outs = append(from.outs, ch)
+	to.ins = append(to.ins, ch)
+}
+
+// ConnectUnbounded wires from to to through an elastic buffer, for
+// back edges of cyclic (recursive) plans where bounded channels could
+// deadlock: the producer never blocks, the buffer grows as needed.
+func (g *Graph) ConnectUnbounded(from, to *Node) {
+	in := make(chan Msg, DefaultEdgeDepth)
+	out := make(chan Msg, DefaultEdgeDepth)
+	from.outs = append(from.outs, in)
+	to.ins = append(to.ins, out)
+	g.pumps = append(g.pumps, func(ctx context.Context, wg *sync.WaitGroup) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer close(out)
+			var queue []Msg
+			inOpen := true
+			for inOpen || len(queue) > 0 {
+				var sendCh chan Msg
+				var head Msg
+				if len(queue) > 0 {
+					sendCh = out
+					head = queue[0]
+				}
+				if inOpen {
+					select {
+					case m, ok := <-in:
+						if !ok {
+							inOpen = false
+							continue
+						}
+						queue = append(queue, m)
+					case sendCh <- head:
+						queue = queue[1:]
+					case <-ctx.Done():
+						return
+					}
+				} else {
+					select {
+					case sendCh <- head:
+						queue = queue[1:]
+					case <-ctx.Done():
+						return
+					}
+				}
+			}
+		}()
+	})
+}
+
+// Running is a started graph.
+type Running struct {
+	cancel context.CancelFunc
+	done   chan struct{}
+	mu     sync.Mutex
+	err    error
+}
+
+// Start launches every operator goroutine. The returned handle waits
+// for completion or stops the graph.
+func (g *Graph) Start(parent context.Context) (*Running, error) {
+	if g.started {
+		return nil, fmt.Errorf("dataflow: graph %s already started", g.name)
+	}
+	g.started = true
+	ctx, cancel := context.WithCancel(parent)
+	r := &Running{cancel: cancel, done: make(chan struct{})}
+	var wg sync.WaitGroup
+	for _, pump := range g.pumps {
+		pump(ctx, &wg)
+	}
+	for _, n := range g.nodes {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ins := make([]<-chan Msg, len(n.ins))
+			for i, c := range n.ins {
+				ins[i] = c
+			}
+			outs := make([]chan<- Msg, len(n.outs))
+			for i, c := range n.outs {
+				outs[i] = c
+			}
+			err := n.run(ctx, ins, outs)
+			for _, c := range n.outs {
+				close(c)
+			}
+			if err != nil && !errors.Is(err, context.Canceled) {
+				r.mu.Lock()
+				if r.err == nil {
+					r.err = fmt.Errorf("dataflow: operator %s: %w", n.name, err)
+				}
+				r.mu.Unlock()
+				cancel() // fail fast: tear the whole graph down
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		cancel()
+		close(r.done)
+	}()
+	return r, nil
+}
+
+// Wait blocks until every operator has returned and reports the first
+// operator error.
+func (r *Running) Wait() error {
+	<-r.done
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// Stop cancels the graph (used to end continuous queries) and waits.
+func (r *Running) Stop() error {
+	r.cancel()
+	return r.Wait()
+}
+
+// Done exposes completion for select loops.
+func (r *Running) Done() <-chan struct{} { return r.done }
+
+// Run starts the graph and waits — the one-shot query entry point.
+func (g *Graph) Run(ctx context.Context) error {
+	r, err := g.Start(ctx)
+	if err != nil {
+		return err
+	}
+	return r.Wait()
+}
+
+// ---------------------------------------------------------------------------
+// Operator-body helpers
+
+// Emit sends m on out, honoring cancellation. It reports false when
+// the context ended instead.
+func Emit(ctx context.Context, out chan<- Msg, m Msg) bool {
+	select {
+	case out <- m:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// EmitAll fans m out to every output.
+func EmitAll(ctx context.Context, outs []chan<- Msg, m Msg) bool {
+	for _, o := range outs {
+		if !Emit(ctx, o, m) {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach consumes one input until it closes, invoking fn per message.
+// A non-nil error from fn aborts and is returned.
+func ForEach(ctx context.Context, in <-chan Msg, fn func(Msg) error) error {
+	for {
+		select {
+		case m, ok := <-in:
+			if !ok {
+				return nil
+			}
+			if err := fn(m); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+}
+
+// Merge multiplexes several inputs into one channel, closing it when
+// every input has closed. Message order across inputs is arbitrary,
+// as in any exchange.
+func Merge(ctx context.Context, ins []<-chan Msg) <-chan Msg {
+	out := make(chan Msg, DefaultEdgeDepth)
+	var wg sync.WaitGroup
+	for _, in := range ins {
+		in := in
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case m, ok := <-in:
+					if !ok {
+						return
+					}
+					select {
+					case out <- m:
+					case <-ctx.Done():
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		wg.Wait()
+		close(out)
+	}()
+	return out
+}

@@ -1,0 +1,515 @@
+// Package dht implements PIER's distributed-hash-table storage API on
+// top of any overlay.Router: Put/Get keyed by (namespace, resource
+// ID), local scans, and the newData upcall the query engine's exchange
+// operators consume. All state is soft: every item carries a TTL, the
+// owner sweeps expired items, and holders periodically republish
+// toward the current owner so data survives churn without any
+// consistency protocol — exactly the paper's "relaxed consistency,
+// best effort" storage model.
+package dht
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/rpc"
+	"repro/internal/wire"
+)
+
+const routeTag = "dht.put"
+
+// Config tunes the store.
+type Config struct {
+	// Replicas is how many overlay neighbors receive a copy of each
+	// item in addition to the owner. Default 2.
+	Replicas int
+	// SweepEvery is the expiry sweep period. Default 250ms
+	// (simulation scale).
+	SweepEvery time.Duration
+	// RepublishEvery is how often holders re-route their live items
+	// toward the current owner, repairing placement after churn.
+	// Default 1s.
+	RepublishEvery time.Duration
+	// MaxItemsPerNamespace bounds local storage per namespace
+	// (receiver overload protection). Default 100000.
+	MaxItemsPerNamespace int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Replicas == 0 {
+		c.Replicas = 2
+	}
+	if c.SweepEvery == 0 {
+		c.SweepEvery = 250 * time.Millisecond
+	}
+	if c.RepublishEvery == 0 {
+		c.RepublishEvery = time.Second
+	}
+	if c.MaxItemsPerNamespace == 0 {
+		c.MaxItemsPerNamespace = 100000
+	}
+	return c
+}
+
+// Item is one stored soft-state entry. Identity is (Namespace,
+// Resource, hash of Payload): re-putting identical bytes renews the
+// TTL instead of duplicating.
+type Item struct {
+	Namespace string
+	Resource  id.ID
+	Payload   []byte
+	Expires   time.Time
+}
+
+// Metrics counts store activity.
+type Metrics struct {
+	Puts        atomic.Uint64
+	Gets        atomic.Uint64
+	StoredNew   atomic.Uint64
+	Renewed     atomic.Uint64
+	Expired     atomic.Uint64
+	Republished atomic.Uint64
+}
+
+// SubscribeFunc receives newly arrived items for a namespace.
+type SubscribeFunc func(Item)
+
+type itemKey struct {
+	rid  id.ID
+	inst id.ID // hash of payload
+}
+
+type storedItem struct {
+	payload []byte
+	expires time.Time
+	// replica marks copies pushed by the owner for fault tolerance;
+	// LScan skips them so scans never double-count, while Get serves
+	// them (read availability after owner failure).
+	replica bool
+	// pinned marks node-local partition items (PutLocal): they live
+	// where they were created and are never republished into the DHT.
+	pinned bool
+}
+
+// Store is one node's slice of the DHT.
+type Store struct {
+	router overlay.Router
+	peer   *rpc.Peer
+	cfg    Config
+
+	mu    sync.Mutex
+	items map[string]map[itemKey]*storedItem
+	subs  map[string][]SubscribeFunc
+
+	metrics Metrics
+
+	stopCh    chan struct{}
+	stopOnce  sync.Once
+	wg        sync.WaitGroup
+	delivered func() // test hook, called after any local store
+}
+
+// StorageKey maps (namespace, resource) onto the overlay key space.
+func StorageKey(ns string, rid id.ID) id.ID {
+	return id.HashParts(ns, string(rid[:]))
+}
+
+// New attaches a store to a router. The router's Deliver upcall for
+// the "dht.put" tag is claimed by the store; other tags are forwarded
+// to prev (chainable with the query engine's own tags).
+func New(router overlay.Router, peer *rpc.Peer, cfg Config, prev overlay.DeliverFunc) *Store {
+	s := &Store{
+		router: router,
+		peer:   peer,
+		cfg:    cfg.withDefaults(),
+		items:  make(map[string]map[itemKey]*storedItem),
+		subs:   make(map[string][]SubscribeFunc),
+		stopCh: make(chan struct{}),
+	}
+	router.SetDeliver(func(from overlay.Node, key id.ID, tag string, payload []byte) {
+		if tag == routeTag {
+			s.onPut(payload, true)
+			return
+		}
+		if prev != nil {
+			prev(from, key, tag, payload)
+		}
+	})
+	peer.Handle("dht.replica", func(from string, req []byte) ([]byte, error) {
+		ns, rid, payload, expires, err := decodeItem(req)
+		if err == nil && time.Now().Before(expires) {
+			s.storeLocal(ns, rid, payload, expires, true)
+		}
+		return nil, nil
+	})
+	peer.Handle("dht.get", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		ns := r.String()
+		var rid id.ID
+		copy(rid[:], r.Raw(id.Bytes))
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		payloads := s.getLocal(ns, rid)
+		w := wire.NewWriter(64)
+		w.Uvarint(uint64(len(payloads)))
+		for _, p := range payloads {
+			w.BytesLP(p)
+		}
+		return w.Bytes(), nil
+	})
+	s.wg.Add(2)
+	go s.sweepLoop()
+	go s.republishLoop()
+	return s
+}
+
+// Stop halts background maintenance. It does not close the router.
+func (s *Store) Stop() {
+	s.stopOnce.Do(func() { close(s.stopCh) })
+	s.wg.Wait()
+}
+
+// MetricsSnapshot returns a copy of the counters.
+func (s *Store) MetricsSnapshot() (puts, gets, storedNew, renewed, expired, republished uint64) {
+	return s.metrics.Puts.Load(), s.metrics.Gets.Load(), s.metrics.StoredNew.Load(),
+		s.metrics.Renewed.Load(), s.metrics.Expired.Load(), s.metrics.Republished.Load()
+}
+
+func encodeItem(ns string, rid id.ID, payload []byte, expires time.Time) []byte {
+	w := wire.NewWriter(32 + len(ns) + len(payload))
+	w.String(ns)
+	w.Raw(rid[:])
+	w.Time(expires)
+	w.BytesLP(payload)
+	return w.Bytes()
+}
+
+func decodeItem(buf []byte) (ns string, rid id.ID, payload []byte, expires time.Time, err error) {
+	r := wire.NewReader(buf)
+	ns = r.String()
+	copy(rid[:], r.Raw(id.Bytes))
+	expires = r.Time()
+	payload = append([]byte(nil), r.BytesLP()...)
+	err = r.Done()
+	return
+}
+
+// Put publishes payload under (ns, rid) with the given lifetime. The
+// item is routed to the owner of StorageKey(ns, rid), which replicates
+// it to its overlay neighbors. Put is asynchronous and best effort.
+func (s *Store) Put(ns string, rid id.ID, payload []byte, ttl time.Duration) error {
+	s.metrics.Puts.Add(1)
+	expires := time.Now().Add(ttl)
+	return s.router.Route(StorageKey(ns, rid), routeTag, encodeItem(ns, rid, payload, expires))
+}
+
+// onPut stores an arriving item; replicate is true when it arrived via
+// overlay routing at the owner (which then pushes replicas) and false
+// for replica copies.
+func (s *Store) onPut(buf []byte, replicate bool) {
+	ns, rid, payload, expires, err := decodeItem(buf)
+	if err != nil || time.Now().After(expires) {
+		return
+	}
+	isNew := s.storeLocal(ns, rid, payload, expires, false)
+	if replicate && s.cfg.Replicas > 0 {
+		neighbors := s.router.Neighbors()
+		if len(neighbors) > s.cfg.Replicas {
+			neighbors = neighbors[:s.cfg.Replicas]
+		}
+		for _, nb := range neighbors {
+			_ = s.peer.Notify(nb.Addr, "dht.replica", buf)
+		}
+	}
+	_ = isNew
+}
+
+// storeLocal inserts or renews; it returns true (and fires
+// subscriptions) when the item is new as a primary. A primary arrival
+// promotes an existing replica in place.
+func (s *Store) storeLocal(ns string, rid id.ID, payload []byte, expires time.Time, replica bool) bool {
+	key := itemKey{rid: rid, inst: id.Hash(payload)}
+	s.mu.Lock()
+	m := s.items[ns]
+	if m == nil {
+		m = make(map[itemKey]*storedItem)
+		s.items[ns] = m
+	}
+	if it, ok := m[key]; ok {
+		if expires.After(it.expires) {
+			it.expires = expires
+		}
+		promoted := it.replica && !replica
+		if promoted {
+			it.replica = false
+		}
+		if !promoted {
+			s.mu.Unlock()
+			s.metrics.Renewed.Add(1)
+			return false
+		}
+		subs := append([]SubscribeFunc(nil), s.subs[ns]...)
+		s.mu.Unlock()
+		s.metrics.Renewed.Add(1)
+		item := Item{Namespace: ns, Resource: rid, Payload: it.payload, Expires: expires}
+		for _, fn := range subs {
+			fn(item)
+		}
+		return true
+	}
+	if len(m) >= s.cfg.MaxItemsPerNamespace {
+		s.mu.Unlock()
+		return false
+	}
+	m[key] = &storedItem{payload: payload, expires: expires, replica: replica}
+	if replica {
+		s.mu.Unlock()
+		s.metrics.StoredNew.Add(1)
+		return false
+	}
+	subs := append([]SubscribeFunc(nil), s.subs[ns]...)
+	s.mu.Unlock()
+	s.metrics.StoredNew.Add(1)
+	item := Item{Namespace: ns, Resource: rid, Payload: payload, Expires: expires}
+	for _, fn := range subs {
+		fn(item)
+	}
+	if s.delivered != nil {
+		s.delivered()
+	}
+	return true
+}
+
+func (s *Store) getLocal(ns string, rid id.ID) [][]byte {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out [][]byte
+	for key, it := range s.items[ns] {
+		if key.rid == rid && now.Before(it.expires) {
+			out = append(out, it.payload)
+		}
+	}
+	return out
+}
+
+// Get fetches all live items stored under (ns, rid), querying the
+// current owner of the storage key. One retry re-resolves ownership,
+// covering the owner having just failed.
+func (s *Store) Get(ctx context.Context, ns string, rid id.ID) ([][]byte, error) {
+	s.metrics.Gets.Add(1)
+	key := StorageKey(ns, rid)
+	w := wire.NewWriter(32 + len(ns))
+	w.String(ns)
+	w.Raw(rid[:])
+	req := w.Bytes()
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		owner, _, err := s.router.Lookup(ctx, key)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		var resp []byte
+		if owner.Addr == s.router.Self().Addr {
+			payloads := s.getLocal(ns, rid)
+			return payloads, nil
+		}
+		resp, err = s.peer.Call(ctx, owner.Addr, "dht.get", req)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		r := wire.NewReader(resp)
+		count := int(r.Uvarint())
+		out := make([][]byte, 0, count)
+		for i := 0; i < count; i++ {
+			out = append(out, append([]byte(nil), r.BytesLP()...))
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return nil, fmt.Errorf("dht: get %s/%s: %w", ns, rid.Short(), lastErr)
+}
+
+// PutLocal stores an item directly into the local primary partition
+// with no network traffic — the edge-data model of the monitoring
+// application, where samples stay on the node that produced them.
+func (s *Store) PutLocal(ns string, rid id.ID, payload []byte, ttl time.Duration) {
+	s.storeLocalPinned(ns, rid, payload, time.Now().Add(ttl))
+}
+
+// storeLocalPinned is storeLocal for local-partition items.
+func (s *Store) storeLocalPinned(ns string, rid id.ID, payload []byte, expires time.Time) {
+	key := itemKey{rid: rid, inst: id.Hash(payload)}
+	s.mu.Lock()
+	m := s.items[ns]
+	if m == nil {
+		m = make(map[itemKey]*storedItem)
+		s.items[ns] = m
+	}
+	if it, ok := m[key]; ok {
+		it.pinned = true
+		it.replica = false
+		if expires.After(it.expires) {
+			it.expires = expires
+		}
+		s.mu.Unlock()
+		s.metrics.Renewed.Add(1)
+		return
+	}
+	if len(m) >= s.cfg.MaxItemsPerNamespace {
+		s.mu.Unlock()
+		return
+	}
+	m[key] = &storedItem{payload: payload, expires: expires, pinned: true}
+	subs := append([]SubscribeFunc(nil), s.subs[ns]...)
+	s.mu.Unlock()
+	s.metrics.StoredNew.Add(1)
+	item := Item{Namespace: ns, Resource: rid, Payload: payload, Expires: expires}
+	for _, fn := range subs {
+		fn(item)
+	}
+	if s.delivered != nil {
+		s.delivered()
+	}
+}
+
+// LScan returns the live primary items stored locally under ns —
+// PIER's lscan, the input to every table scan operator. Replica
+// copies are excluded so distributed scans never double-count.
+func (s *Store) LScan(ns string) []Item {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var out []Item
+	for key, it := range s.items[ns] {
+		if !it.replica && now.Before(it.expires) {
+			out = append(out, Item{Namespace: ns, Resource: key.rid, Payload: it.payload, Expires: it.expires})
+		}
+	}
+	return out
+}
+
+// Namespaces lists locally present namespaces (diagnostics).
+func (s *Store) Namespaces() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.items))
+	for ns := range s.items {
+		out = append(out, ns)
+	}
+	return out
+}
+
+// Count returns the number of live local primary items in ns.
+func (s *Store) Count(ns string) int {
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for _, it := range s.items[ns] {
+		if !it.replica && now.Before(it.expires) {
+			n++
+		}
+	}
+	return n
+}
+
+// Subscribe registers fn to run for every new item arriving in ns —
+// PIER's newData upcall. Subscriptions fire on the storing node only.
+func (s *Store) Subscribe(ns string, fn SubscribeFunc) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.subs[ns] = append(s.subs[ns], fn)
+}
+
+// Unsubscribe removes every subscription for ns (queries do this at
+// teardown).
+func (s *Store) Unsubscribe(ns string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.subs, ns)
+}
+
+// DropNamespace discards all local items in ns (end-of-query cleanup
+// for temporary namespaces; remote holders expire via TTL).
+func (s *Store) DropNamespace(ns string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.items, ns)
+}
+
+func (s *Store) sweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.SweepEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			now := time.Now()
+			s.mu.Lock()
+			for ns, m := range s.items {
+				for key, it := range m {
+					if now.After(it.expires) {
+						delete(m, key)
+						s.metrics.Expired.Add(1)
+					}
+				}
+				if len(m) == 0 {
+					delete(s.items, ns)
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// republishLoop periodically re-routes every live local item toward
+// the current owner of its storage key. After churn the new owner
+// receives copies from replicas; renewal-by-identity makes the repair
+// idempotent.
+func (s *Store) republishLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.RepublishEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopCh:
+			return
+		case <-t.C:
+			type pub struct {
+				ns      string
+				rid     id.ID
+				payload []byte
+				expires time.Time
+			}
+			now := time.Now()
+			var pubs []pub
+			s.mu.Lock()
+			for ns, m := range s.items {
+				for key, it := range m {
+					if !it.pinned && now.Before(it.expires) {
+						pubs = append(pubs, pub{ns, key.rid, it.payload, it.expires})
+					}
+				}
+			}
+			s.mu.Unlock()
+			for _, p := range pubs {
+				s.metrics.Republished.Add(1)
+				_ = s.router.Route(StorageKey(p.ns, p.rid), routeTag,
+					encodeItem(p.ns, p.rid, p.payload, p.expires))
+			}
+		}
+	}
+}

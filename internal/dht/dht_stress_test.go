@@ -1,0 +1,107 @@
+package dht
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+)
+
+// TestConcurrentPutsAndGets hammers the store from many goroutines
+// across nodes; every item must end up retrievable and no operation
+// may race (run under -race in CI).
+func TestConcurrentPutsAndGets(t *testing.T) {
+	cells, _ := cluster(t, 6, 100)
+	const writers, perWriter = 6, 20
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				rid := id.HashString(fmt.Sprintf("stress-%d-%d", w, i))
+				payload := []byte(fmt.Sprintf("v-%d-%d", w, i))
+				_ = cells[w%len(cells)].store.Put("stress", rid, payload, 30*time.Second)
+			}
+		}()
+	}
+	wg.Wait()
+	// Every item becomes gettable from an unrelated node.
+	deadline := time.Now().Add(20 * time.Second)
+	missing := writers * perWriter
+	for time.Now().Before(deadline) && missing > 0 {
+		missing = 0
+		for w := 0; w < writers; w++ {
+			for i := 0; i < perWriter; i++ {
+				rid := id.HashString(fmt.Sprintf("stress-%d-%d", w, i))
+				got, err := cells[(w+3)%len(cells)].store.Get(context.Background(), "stress", rid)
+				if err != nil || len(got) == 0 {
+					missing++
+				}
+			}
+		}
+		if missing > 0 {
+			time.Sleep(100 * time.Millisecond)
+		}
+	}
+	if missing > 0 {
+		t.Fatalf("%d/%d items never became retrievable", missing, writers*perWriter)
+	}
+}
+
+// TestSubscribeConcurrentWithPuts registers subscriptions while puts
+// stream in; the sum of (fired upcalls + items present before
+// subscribing) must cover every unique item.
+func TestSubscribeConcurrentWithPuts(t *testing.T) {
+	cells, _ := cluster(t, 4, 101)
+	var mu sync.Mutex
+	fired := map[string]bool{}
+	for _, c := range cells {
+		c.store.Subscribe("subrace", func(it Item) {
+			mu.Lock()
+			fired[string(it.Payload)] = true
+			mu.Unlock()
+		})
+	}
+	const items = 40
+	for i := 0; i < items; i++ {
+		rid := id.HashString(fmt.Sprintf("sr-%d", i))
+		cells[i%4].store.Put("subrace", rid, []byte(fmt.Sprintf("p-%d", i)), 30*time.Second)
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(fired)
+		mu.Unlock()
+		if n == items {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	t.Fatalf("only %d/%d items fired subscriptions", len(fired), items)
+}
+
+// TestRenewalExtendsLifetime: re-putting identical bytes pushes the
+// expiry out; the item outlives its original TTL.
+func TestRenewalExtendsLifetime(t *testing.T) {
+	cells, _ := cluster(t, 1, 102)
+	s := cells[0].store
+	rid := id.HashString("renewal")
+	s.Put("rnw", rid, []byte("x"), 400*time.Millisecond)
+	// Renew it twice before it can expire.
+	for i := 0; i < 2; i++ {
+		time.Sleep(250 * time.Millisecond)
+		s.Put("rnw", rid, []byte("x"), 400*time.Millisecond)
+	}
+	// 500ms past the original expiry, still alive thanks to renewal.
+	got, err := s.Get(context.Background(), "rnw", rid)
+	if err != nil || len(got) != 1 {
+		t.Fatalf("renewed item missing: %v %v", got, err)
+	}
+}

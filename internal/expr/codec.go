@@ -1,0 +1,196 @@
+package expr
+
+import (
+	"fmt"
+
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Expression trees travel inside disseminated query plans, so every
+// node type has a compact tagged encoding.
+
+const (
+	tagCol byte = iota + 1
+	tagLit
+	tagCmp
+	tagArith
+	tagAnd
+	tagOr
+	tagNot
+	tagIsNull
+	tagFunc
+)
+
+// maxExprDepth bounds decoding recursion against hostile payloads.
+const maxExprDepth = 64
+
+// Encode appends a serialized expression tree to w. Nil expressions
+// encode as a zero tag (absent).
+func Encode(w *wire.Writer, e Expr) {
+	if e == nil {
+		w.Byte(0)
+		return
+	}
+	switch x := e.(type) {
+	case *Col:
+		w.Byte(tagCol)
+		w.String(x.Name)
+		w.Varint(int64(x.Index))
+	case *Lit:
+		w.Byte(tagLit)
+		x.V.Encode(w)
+	case *Cmp:
+		w.Byte(tagCmp)
+		w.Byte(byte(x.Op))
+		Encode(w, x.L)
+		Encode(w, x.R)
+	case *Arith:
+		w.Byte(tagArith)
+		w.Byte(byte(x.Op))
+		Encode(w, x.L)
+		Encode(w, x.R)
+	case *And:
+		w.Byte(tagAnd)
+		Encode(w, x.L)
+		Encode(w, x.R)
+	case *Or:
+		w.Byte(tagOr)
+		Encode(w, x.L)
+		Encode(w, x.R)
+	case *Not:
+		w.Byte(tagNot)
+		Encode(w, x.E)
+	case *IsNull:
+		w.Byte(tagIsNull)
+		w.Bool(x.Negate)
+		Encode(w, x.E)
+	case *Func:
+		w.Byte(tagFunc)
+		w.String(x.Name)
+		w.Uvarint(uint64(len(x.Args)))
+		for _, a := range x.Args {
+			Encode(w, a)
+		}
+	default:
+		// Unknown node types (e.g. parser sentinels) must never be
+		// shipped; encode as absent so the remote side fails closed.
+		w.Byte(0)
+	}
+}
+
+// Decode reads an expression tree written by Encode. A zero tag
+// yields nil.
+func Decode(r *wire.Reader) (Expr, error) {
+	return decode(r, 0)
+}
+
+func decode(r *wire.Reader, depth int) (Expr, error) {
+	if depth > maxExprDepth {
+		return nil, fmt.Errorf("expr: decode depth exceeds %d", maxExprDepth)
+	}
+	tag := r.Byte()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	switch tag {
+	case 0:
+		return nil, nil
+	case tagCol:
+		name := r.String()
+		idx := int(r.Varint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return &Col{Name: name, Index: idx}, nil
+	case tagLit:
+		v := tuple.DecodeValue(r)
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		return &Lit{V: v}, nil
+	case tagCmp:
+		op := CmpOp(r.Byte())
+		l, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || rr == nil {
+			return nil, fmt.Errorf("expr: comparison with absent operand")
+		}
+		return &Cmp{Op: op, L: l, R: rr}, nil
+	case tagArith:
+		op := ArithOp(r.Byte())
+		l, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || rr == nil {
+			return nil, fmt.Errorf("expr: arithmetic with absent operand")
+		}
+		return &Arith{Op: op, L: l, R: rr}, nil
+	case tagAnd, tagOr:
+		l, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		rr, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if l == nil || rr == nil {
+			return nil, fmt.Errorf("expr: boolean with absent operand")
+		}
+		if tag == tagAnd {
+			return &And{L: l, R: rr}, nil
+		}
+		return &Or{L: l, R: rr}, nil
+	case tagNot:
+		e, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			return nil, fmt.Errorf("expr: NOT with absent operand")
+		}
+		return &Not{E: e}, nil
+	case tagIsNull:
+		neg := r.Bool()
+		e, err := decode(r, depth+1)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			return nil, fmt.Errorf("expr: IS NULL with absent operand")
+		}
+		return &IsNull{E: e, Negate: neg}, nil
+	case tagFunc:
+		name := r.String()
+		n := int(r.Uvarint())
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		if n > 16 {
+			return nil, fmt.Errorf("expr: function with %d arguments", n)
+		}
+		args := make([]Expr, 0, n)
+		for i := 0; i < n; i++ {
+			a, err := decode(r, depth+1)
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+		}
+		return &Func{Name: name, Args: args}, nil
+	default:
+		return nil, fmt.Errorf("expr: unknown node tag %d", tag)
+	}
+}

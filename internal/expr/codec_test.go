@@ -1,0 +1,121 @@
+package expr
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+func roundTrip(t *testing.T, e Expr) Expr {
+	t.Helper()
+	w := wire.NewWriter(64)
+	Encode(w, e)
+	got, err := Decode(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatalf("decode %s: %v", e, err)
+	}
+	return got
+}
+
+func TestCodecAllNodeTypes(t *testing.T) {
+	exprs := []Expr{
+		&Col{Name: "a.b", Index: 3},
+		NewLit(tuple.String("x")),
+		NewLit(tuple.Null()),
+		&Cmp{Op: GE, L: NewCol("a"), R: NewLit(tuple.Int(5))},
+		&Arith{Op: Mod, L: NewCol("a"), R: NewLit(tuple.Int(2))},
+		&And{L: NewLit(tuple.Bool(true)), R: NewLit(tuple.Bool(false))},
+		&Or{L: NewLit(tuple.Bool(true)), R: NewLit(tuple.Bool(false))},
+		&Not{E: NewLit(tuple.Bool(true))},
+		&IsNull{E: NewCol("x"), Negate: true},
+		&Func{Name: "LOWER", Args: []Expr{NewLit(tuple.String("Q"))}},
+	}
+	for _, e := range exprs {
+		got := roundTrip(t, e)
+		if got.String() != e.String() {
+			t.Fatalf("round trip changed %s -> %s", e, got)
+		}
+	}
+}
+
+func TestCodecNil(t *testing.T) {
+	w := wire.NewWriter(4)
+	Encode(w, nil)
+	got, err := Decode(wire.NewReader(w.Bytes()))
+	if err != nil || got != nil {
+		t.Fatalf("nil round trip: %v %v", got, err)
+	}
+}
+
+func TestCodecPreservesColIndex(t *testing.T) {
+	e := &Col{Name: "c", Index: 7}
+	got := roundTrip(t, e).(*Col)
+	if got.Index != 7 {
+		t.Fatalf("index %d", got.Index)
+	}
+}
+
+func TestCodecSemanticsPreserved(t *testing.T) {
+	// Deep expression evaluated before and after the codec.
+	e := &And{
+		L: &Cmp{Op: GT, L: &Arith{Op: Mul, L: &Col{Index: 0}, R: NewLit(tuple.Int(3))}, R: NewLit(tuple.Int(10))},
+		R: &Not{E: &IsNull{E: &Col{Index: 1}}},
+	}
+	row := tuple.Tuple{tuple.Int(4), tuple.String("x")}
+	want, err := e.Eval(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := roundTrip(t, e).Eval(row)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Equal(want) {
+		t.Fatalf("semantics changed: %v vs %v", got, want)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	cases := [][]byte{
+		{99},           // unknown tag
+		{tagCmp, 0},    // truncated comparison
+		{tagAnd, 0, 0}, // absent operands
+		{tagNot, 0},    // absent operand
+		{tagFunc},      // truncated function
+	}
+	for i, buf := range cases {
+		if _, err := Decode(wire.NewReader(buf)); err == nil {
+			t.Fatalf("case %d: garbage decoded", i)
+		}
+	}
+}
+
+func TestDecodeDepthBounded(t *testing.T) {
+	// 100 nested NOTs exceed the decoder's depth limit.
+	buf := make([]byte, 0, 128)
+	for i := 0; i < 100; i++ {
+		buf = append(buf, tagNot)
+	}
+	buf = append(buf, tagLit, byte(tuple.TInt), 0)
+	if _, err := Decode(wire.NewReader(buf)); err == nil {
+		t.Fatal("unbounded nesting accepted")
+	}
+}
+
+func TestQuickCodecRoundTrip(t *testing.T) {
+	f := func(name string, idx int16, i int64, s string, neg bool) bool {
+		e := &Or{
+			L: &Cmp{Op: LE, L: &Col{Name: name, Index: int(idx)}, R: NewLit(tuple.Int(i))},
+			R: &IsNull{E: NewLit(tuple.String(s)), Negate: neg},
+		}
+		w := wire.NewWriter(64)
+		Encode(w, e)
+		got, err := Decode(wire.NewReader(w.Bytes()))
+		return err == nil && got.String() == e.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

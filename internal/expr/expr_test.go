@@ -1,0 +1,293 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tuple"
+)
+
+var testSchema = tuple.MustSchema("t", []tuple.Column{
+	{Name: "a", Type: tuple.TInt},
+	{Name: "b", Type: tuple.TFloat},
+	{Name: "s", Type: tuple.TString},
+})
+
+func row(a int64, b float64, s string) tuple.Tuple {
+	return tuple.Tuple{tuple.Int(a), tuple.Float(b), tuple.String(s)}
+}
+
+func mustEval(t *testing.T, e Expr, tp tuple.Tuple) tuple.Value {
+	t.Helper()
+	if err := Resolve(e, testSchema); err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestColEval(t *testing.T) {
+	v := mustEval(t, NewCol("a"), row(7, 0, ""))
+	if v.I != 7 {
+		t.Fatalf("got %v", v)
+	}
+	// Unresolved column errors.
+	c := NewCol("a")
+	if _, err := c.Eval(row(1, 2, "x")); err == nil {
+		t.Fatal("unresolved column evaluated")
+	}
+}
+
+func TestResolveUnknownColumn(t *testing.T) {
+	if err := Resolve(NewCol("zzz"), testSchema); err == nil {
+		t.Fatal("unknown column resolved")
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	tp := row(5, 2.5, "hi")
+	cases := []struct {
+		op   CmpOp
+		l, r Expr
+		want bool
+	}{
+		{EQ, NewCol("a"), NewLit(tuple.Int(5)), true},
+		{NE, NewCol("a"), NewLit(tuple.Int(5)), false},
+		{LT, NewCol("a"), NewLit(tuple.Int(6)), true},
+		{LE, NewCol("a"), NewLit(tuple.Int(5)), true},
+		{GT, NewCol("b"), NewLit(tuple.Float(2.0)), true},
+		{GE, NewCol("b"), NewLit(tuple.Float(2.5)), true},
+		{EQ, NewCol("s"), NewLit(tuple.String("hi")), true},
+		// Cross-kind numeric comparison.
+		{EQ, NewCol("a"), NewLit(tuple.Float(5.0)), true},
+	}
+	for i, c := range cases {
+		v := mustEval(t, &Cmp{Op: c.op, L: c.l, R: c.r}, tp)
+		if v.B != c.want {
+			t.Fatalf("case %d: got %v", i, v)
+		}
+	}
+}
+
+func TestNullComparisonIsFalse(t *testing.T) {
+	v := mustEval(t, &Cmp{Op: EQ, L: NewLit(tuple.Null()), R: NewLit(tuple.Null())}, nil)
+	if v.B {
+		t.Fatal("NULL = NULL must be false")
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	tp := row(7, 2.0, "x")
+	cases := []struct {
+		e    Expr
+		want tuple.Value
+	}{
+		{&Arith{Add, NewCol("a"), NewLit(tuple.Int(3))}, tuple.Int(10)},
+		{&Arith{Sub, NewCol("a"), NewLit(tuple.Int(3))}, tuple.Int(4)},
+		{&Arith{Mul, NewCol("a"), NewLit(tuple.Int(2))}, tuple.Int(14)},
+		{&Arith{Div, NewCol("a"), NewLit(tuple.Int(7))}, tuple.Int(1)},
+		{&Arith{Div, NewCol("a"), NewLit(tuple.Int(2))}, tuple.Float(3.5)},
+		{&Arith{Mod, NewCol("a"), NewLit(tuple.Int(4))}, tuple.Int(3)},
+		{&Arith{Add, NewCol("b"), NewLit(tuple.Int(1))}, tuple.Float(3.0)},
+		{&Arith{Add, NewCol("s"), NewLit(tuple.String("y"))}, tuple.String("xy")},
+	}
+	for i, c := range cases {
+		v := mustEval(t, c.e, tp)
+		if !v.Equal(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, v, c.want)
+		}
+	}
+}
+
+func TestDivisionByZero(t *testing.T) {
+	e := &Arith{Div, NewLit(tuple.Int(1)), NewLit(tuple.Int(0))}
+	if _, err := e.Eval(nil); err == nil {
+		t.Fatal("int division by zero succeeded")
+	}
+	e2 := &Arith{Div, NewLit(tuple.Float(1)), NewLit(tuple.Float(0))}
+	if _, err := e2.Eval(nil); err == nil {
+		t.Fatal("float division by zero succeeded")
+	}
+	e3 := &Arith{Mod, NewLit(tuple.Int(1)), NewLit(tuple.Int(0))}
+	if _, err := e3.Eval(nil); err == nil {
+		t.Fatal("modulo by zero succeeded")
+	}
+}
+
+func TestArithNullPropagates(t *testing.T) {
+	e := &Arith{Add, NewLit(tuple.Null()), NewLit(tuple.Int(1))}
+	v, err := e.Eval(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.IsNull() {
+		t.Fatal("NULL + 1 not NULL")
+	}
+}
+
+func TestArithTypeError(t *testing.T) {
+	e := &Arith{Mul, NewLit(tuple.String("x")), NewLit(tuple.Int(1))}
+	if _, err := e.Eval(nil); err == nil {
+		t.Fatal("string * int succeeded")
+	}
+}
+
+func TestBooleanOps(t *testing.T) {
+	tr := NewLit(tuple.Bool(true))
+	fa := NewLit(tuple.Bool(false))
+	if v, _ := (&And{tr, fa}).Eval(nil); v.B {
+		t.Fatal("true AND false")
+	}
+	if v, _ := (&And{tr, tr}).Eval(nil); !v.B {
+		t.Fatal("true AND true")
+	}
+	if v, _ := (&Or{fa, tr}).Eval(nil); !v.B {
+		t.Fatal("false OR true")
+	}
+	if v, _ := (&Or{fa, fa}).Eval(nil); v.B {
+		t.Fatal("false OR false")
+	}
+	if v, _ := (&Not{fa}).Eval(nil); !v.B {
+		t.Fatal("NOT false")
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Right side would divide by zero; short circuit must skip it.
+	boom := &Cmp{EQ, &Arith{Div, NewLit(tuple.Int(1)), NewLit(tuple.Int(0))}, NewLit(tuple.Int(1))}
+	if v, err := (&And{NewLit(tuple.Bool(false)), boom}).Eval(nil); err != nil || v.B {
+		t.Fatalf("AND short-circuit failed: %v %v", v, err)
+	}
+	if v, err := (&Or{NewLit(tuple.Bool(true)), boom}).Eval(nil); err != nil || !v.B {
+		t.Fatalf("OR short-circuit failed: %v %v", v, err)
+	}
+}
+
+func TestIsNull(t *testing.T) {
+	if v, _ := (&IsNull{E: NewLit(tuple.Null())}).Eval(nil); !v.B {
+		t.Fatal("NULL IS NULL false")
+	}
+	if v, _ := (&IsNull{E: NewLit(tuple.Int(1))}).Eval(nil); v.B {
+		t.Fatal("1 IS NULL true")
+	}
+	if v, _ := (&IsNull{E: NewLit(tuple.Int(1)), Negate: true}).Eval(nil); !v.B {
+		t.Fatal("1 IS NOT NULL false")
+	}
+}
+
+func TestBuiltins(t *testing.T) {
+	cases := []struct {
+		name string
+		args []Expr
+		want tuple.Value
+	}{
+		{"LOWER", []Expr{NewLit(tuple.String("AbC"))}, tuple.String("abc")},
+		{"UPPER", []Expr{NewLit(tuple.String("AbC"))}, tuple.String("ABC")},
+		{"LENGTH", []Expr{NewLit(tuple.String("abcd"))}, tuple.Int(4)},
+		{"ABS", []Expr{NewLit(tuple.Int(-5))}, tuple.Int(5)},
+		{"ABS", []Expr{NewLit(tuple.Float(-2.5))}, tuple.Float(2.5)},
+		{"COALESCE", []Expr{NewLit(tuple.Null()), NewLit(tuple.Int(9))}, tuple.Int(9)},
+		{"lower", []Expr{NewLit(tuple.String("X"))}, tuple.String("x")}, // case-insensitive
+	}
+	for i, c := range cases {
+		v, err := (&Func{Name: c.name, Args: c.args}).Eval(nil)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !v.Equal(c.want) {
+			t.Fatalf("case %d: got %v want %v", i, v, c.want)
+		}
+	}
+}
+
+func TestUnknownFunction(t *testing.T) {
+	if _, err := (&Func{Name: "NOPE"}).Eval(nil); err == nil {
+		t.Fatal("unknown function succeeded")
+	}
+}
+
+func TestBuiltinArity(t *testing.T) {
+	if _, err := (&Func{Name: "ABS", Args: []Expr{NewLit(tuple.Int(1)), NewLit(tuple.Int(2))}}).Eval(nil); err == nil {
+		t.Fatal("ABS with 2 args succeeded")
+	}
+}
+
+func TestConjuncts(t *testing.T) {
+	a := &Cmp{EQ, NewCol("a"), NewLit(tuple.Int(1))}
+	b := &Cmp{GT, NewCol("b"), NewLit(tuple.Int(2))}
+	c := &Cmp{LT, NewCol("a"), NewLit(tuple.Int(9))}
+	e := &And{&And{a, b}, c}
+	cs := Conjuncts(e)
+	if len(cs) != 3 {
+		t.Fatalf("got %d conjuncts", len(cs))
+	}
+	rebuilt := AndAll(cs)
+	if err := Resolve(rebuilt, testSchema); err != nil {
+		t.Fatal(err)
+	}
+	v, err := rebuilt.Eval(row(1, 3, ""))
+	if err != nil || !v.B {
+		t.Fatalf("rebuilt conjunction: %v %v", v, err)
+	}
+	if AndAll(nil) != nil {
+		t.Fatal("AndAll(nil) should be nil")
+	}
+}
+
+func TestColumns(t *testing.T) {
+	e := &And{
+		&Cmp{EQ, NewCol("a"), NewCol("b")},
+		&Cmp{GT, NewCol("a"), NewLit(tuple.Int(0))},
+	}
+	cols := Columns(e)
+	if len(cols) != 2 {
+		t.Fatalf("got %v", cols)
+	}
+	joined := strings.Join(cols, ",")
+	if !strings.Contains(joined, "a") || !strings.Contains(joined, "b") {
+		t.Fatalf("got %v", cols)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := &And{
+		&Cmp{EQ, NewCol("a"), NewLit(tuple.String("x"))},
+		&Not{&IsNull{E: NewCol("b")}},
+	}
+	s := e.String()
+	for _, want := range []string{"a", "'x'", "AND", "NOT", "IS NULL"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("rendering %q missing %q", s, want)
+		}
+	}
+}
+
+func TestQuickArithIntAddCommutes(t *testing.T) {
+	f := func(x, y int32) bool {
+		l := &Arith{Add, NewLit(tuple.Int(int64(x))), NewLit(tuple.Int(int64(y)))}
+		r := &Arith{Add, NewLit(tuple.Int(int64(y))), NewLit(tuple.Int(int64(x)))}
+		lv, err1 := l.Eval(nil)
+		rv, err2 := r.Eval(nil)
+		return err1 == nil && err2 == nil && lv.Equal(rv)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCmpAntisymmetry(t *testing.T) {
+	f := func(x, y int64) bool {
+		lt := &Cmp{LT, NewLit(tuple.Int(x)), NewLit(tuple.Int(y))}
+		gt := &Cmp{GT, NewLit(tuple.Int(y)), NewLit(tuple.Int(x))}
+		a, err1 := lt.Eval(nil)
+		b, err2 := gt.Eval(nil)
+		return err1 == nil && err2 == nil && a.B == b.B
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

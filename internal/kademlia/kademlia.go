@@ -1,0 +1,584 @@
+// Package kademlia implements a Kademlia overlay (Maymounkov &
+// Mazières, 2002) as the second interchangeable DHT scheme behind the
+// overlay.Router interface, demonstrating the paper's claim that PIER
+// is written against a generic DHT API rather than one overlay.
+//
+// Routing uses the XOR metric over the shared 160-bit identifier
+// space. Lookups are iterative with bounded parallelism; Route is
+// recursive (greedy forwarding to the closest known contact) so the
+// per-hop intercept upcall works identically to Chord's. Broadcast
+// uses the classic bucket-subtree delegation scheme.
+package kademlia
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// Config tunes the overlay.
+type Config struct {
+	// K is the bucket size (and the replication neighborhood).
+	// Default 8.
+	K int
+	// Alpha is the lookup parallelism. Default 3.
+	Alpha int
+	// RefreshEvery is the periodic bucket-refresh interval. Default
+	// 200ms (simulation scale).
+	RefreshEvery time.Duration
+	// MaxHops bounds recursive routing. Default 64.
+	MaxHops int
+	// RPC configures call timeouts/retries.
+	RPC rpc.Config
+	// NodeID overrides the default (hash of the address).
+	NodeID *id.ID
+}
+
+func (c Config) withDefaults() Config {
+	if c.K == 0 {
+		c.K = 8
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 3
+	}
+	if c.RefreshEvery == 0 {
+		c.RefreshEvery = 200 * time.Millisecond
+	}
+	if c.MaxHops == 0 {
+		c.MaxHops = 64
+	}
+	if c.RPC.Timeout == 0 {
+		c.RPC.Timeout = 250 * time.Millisecond
+	}
+	return c
+}
+
+// Metrics exposes counters for the harness.
+type Metrics struct {
+	Lookups          atomic.Uint64
+	LookupHopsTotal  atomic.Uint64
+	RouteForwards    atomic.Uint64
+	MaintenanceCalls atomic.Uint64
+}
+
+// Node is a Kademlia participant.
+type Node struct {
+	self overlay.Node
+	cfg  Config
+	peer *rpc.Peer
+
+	mu      sync.Mutex
+	buckets [id.Bits][]overlay.Node // index = 159 - common prefix len; LRU at tail
+	stopped bool
+
+	deliver   overlay.DeliverFunc
+	intercept overlay.InterceptFunc
+	broadcast overlay.BroadcastFunc
+
+	metrics Metrics
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+var _ overlay.Router = (*Node)(nil)
+
+// New creates a Kademlia node on tr.
+func New(tr transport.Transport, cfg Config) *Node {
+	cfg = cfg.withDefaults()
+	nid := id.HashString(tr.Addr())
+	if cfg.NodeID != nil {
+		nid = *cfg.NodeID
+	}
+	n := &Node{
+		self:   overlay.Node{ID: nid, Addr: tr.Addr()},
+		cfg:    cfg,
+		peer:   rpc.New(tr, cfg.RPC),
+		stopCh: make(chan struct{}),
+	}
+	n.registerHandlers()
+	n.wg.Add(1)
+	go n.refreshLoop()
+	return n
+}
+
+// Self returns this node's identity.
+func (n *Node) Self() overlay.Node { return n.self }
+
+// SetDeliver installs the owner upcall.
+func (n *Node) SetDeliver(fn overlay.DeliverFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.deliver = fn
+}
+
+// SetIntercept installs the per-hop upcall.
+func (n *Node) SetIntercept(fn overlay.InterceptFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.intercept = fn
+}
+
+// SetBroadcast installs the broadcast upcall.
+func (n *Node) SetBroadcast(fn overlay.BroadcastFunc) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.broadcast = fn
+}
+
+// MetricsSnapshot returns counter values.
+func (n *Node) MetricsSnapshot() (lookups, hops, forwards, maintenance uint64) {
+	return n.metrics.Lookups.Load(), n.metrics.LookupHopsTotal.Load(),
+		n.metrics.RouteForwards.Load(), n.metrics.MaintenanceCalls.Load()
+}
+
+// Stop halts maintenance and closes the endpoint.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	n.mu.Unlock()
+	close(n.stopCh)
+	n.peer.Close()
+	n.wg.Wait()
+}
+
+// Join inserts the bootstrap contact and performs a self-lookup to
+// populate nearby buckets, then refreshes distant ones.
+func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
+	resp, err := n.peer.Call(ctx, bootstrapAddr, "kad.whoami", nil)
+	if err != nil {
+		return fmt.Errorf("kademlia: join via %s: %w", bootstrapAddr, err)
+	}
+	r := wire.NewReader(resp)
+	boot := overlay.DecodeNode(r)
+	if err := r.Done(); err != nil {
+		return err
+	}
+	n.observe(boot)
+	if _, _, err := n.Lookup(ctx, n.self.ID); err != nil {
+		return fmt.Errorf("kademlia: self-lookup: %w", err)
+	}
+	return nil
+}
+
+// bucketIndex returns which bucket peer belongs to: 0 is the farthest
+// half of the space, 159 the nearest. Self maps to -1.
+func (n *Node) bucketIndex(peer id.ID) int {
+	cpl := n.self.ID.CommonPrefixLen(peer)
+	if cpl >= id.Bits {
+		return -1
+	}
+	return cpl
+}
+
+// observe records that a contact was seen alive, inserting or moving
+// it to the tail (most recently seen) of its bucket. Full buckets
+// evict the least-recently-seen head only if it fails a ping.
+func (n *Node) observe(c overlay.Node) {
+	if c.IsZero() || c.Addr == n.self.Addr {
+		return
+	}
+	bi := n.bucketIndex(c.ID)
+	if bi < 0 {
+		return
+	}
+	n.mu.Lock()
+	b := n.buckets[bi]
+	for i, e := range b {
+		if e.Addr == c.Addr {
+			copy(b[i:], b[i+1:])
+			b[len(b)-1] = c
+			n.mu.Unlock()
+			return
+		}
+	}
+	if len(b) < n.cfg.K {
+		n.buckets[bi] = append(b, c)
+		n.mu.Unlock()
+		return
+	}
+	head := b[0]
+	n.mu.Unlock()
+	// Ping-evict asynchronously so the message path never blocks.
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPC.Timeout*2)
+		defer cancel()
+		n.metrics.MaintenanceCalls.Add(1)
+		_, err := n.peer.Call(ctx, head.Addr, "kad.ping", nil)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		b := n.buckets[bi]
+		if len(b) == 0 || b[0].Addr != head.Addr {
+			return
+		}
+		if err != nil {
+			// Head is dead: replace with the newcomer.
+			copy(b, b[1:])
+			b[len(b)-1] = c
+		} else {
+			// Head is alive: move to tail, drop the newcomer.
+			copy(b, b[1:])
+			b[len(b)-1] = head
+		}
+	}()
+}
+
+// remove drops a dead contact.
+func (n *Node) remove(addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	for bi := range n.buckets {
+		b := n.buckets[bi]
+		for i, e := range b {
+			if e.Addr == addr {
+				n.buckets[bi] = append(b[:i], b[i+1:]...)
+				break
+			}
+		}
+	}
+}
+
+// closestKnown returns up to k contacts closest to key by XOR
+// distance, optionally including self.
+func (n *Node) closestKnown(key id.ID, k int, includeSelf bool) []overlay.Node {
+	n.mu.Lock()
+	var all []overlay.Node
+	for _, b := range n.buckets {
+		all = append(all, b...)
+	}
+	n.mu.Unlock()
+	if includeSelf {
+		all = append(all, n.self)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		return all[i].ID.Xor(key).Less(all[j].ID.Xor(key))
+	})
+	if len(all) > k {
+		all = all[:k]
+	}
+	return all
+}
+
+// Neighbors returns the K closest known contacts to self — the
+// replication set.
+func (n *Node) Neighbors() []overlay.Node {
+	return n.closestKnown(n.self.ID, n.cfg.K, false)
+}
+
+// ---------------------------------------------------------------------------
+// Iterative lookup
+
+// Lookup finds the globally closest node to key by iterative
+// FIND_NODE, returning it and the number of query rounds taken.
+func (n *Node) Lookup(ctx context.Context, key id.ID) (overlay.Node, int, error) {
+	type entry struct {
+		node    overlay.Node
+		queried bool
+		failed  bool
+	}
+	shortlist := make(map[string]*entry)
+	addCand := func(c overlay.Node) {
+		if c.IsZero() {
+			return
+		}
+		if _, ok := shortlist[c.Addr]; !ok {
+			shortlist[c.Addr] = &entry{node: c}
+		}
+	}
+	addCand(n.self)
+	shortlist[n.self.Addr].queried = true
+	for _, c := range n.closestKnown(key, n.cfg.K, false) {
+		addCand(c)
+	}
+
+	closestSet := func() []*entry {
+		var es []*entry
+		for _, e := range shortlist {
+			if !e.failed {
+				es = append(es, e)
+			}
+		}
+		sort.Slice(es, func(i, j int) bool {
+			return es[i].node.ID.Xor(key).Less(es[j].node.ID.Xor(key))
+		})
+		if len(es) > n.cfg.K {
+			es = es[:n.cfg.K]
+		}
+		return es
+	}
+
+	rounds := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return overlay.Node{}, rounds, err
+		}
+		// Pick up to alpha unqueried nodes among the k closest.
+		var batch []*entry
+		for _, e := range closestSet() {
+			if !e.queried && len(batch) < n.cfg.Alpha {
+				batch = append(batch, e)
+			}
+		}
+		if len(batch) == 0 {
+			break // converged
+		}
+		rounds++
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		var learned []overlay.Node
+		for _, e := range batch {
+			e.queried = true
+			wg.Add(1)
+			go func(e *entry) {
+				defer wg.Done()
+				contacts, err := n.findNode(ctx, e.node.Addr, key)
+				if err != nil {
+					mu.Lock()
+					e.failed = true
+					mu.Unlock()
+					n.remove(e.node.Addr)
+					return
+				}
+				n.observe(e.node)
+				mu.Lock()
+				learned = append(learned, contacts...)
+				mu.Unlock()
+			}(e)
+		}
+		wg.Wait()
+		for _, c := range learned {
+			if c.Addr != n.self.Addr {
+				n.observe(c)
+			}
+			addCand(c)
+		}
+	}
+	best := closestSet()
+	if len(best) == 0 {
+		return overlay.Node{}, rounds, fmt.Errorf("kademlia: lookup %s: no live contacts", key.Short())
+	}
+	n.metrics.Lookups.Add(1)
+	n.metrics.LookupHopsTotal.Add(uint64(rounds))
+	return best[0].node, rounds, nil
+}
+
+func (n *Node) findNode(ctx context.Context, addr string, key id.ID) ([]overlay.Node, error) {
+	if addr == n.self.Addr {
+		return n.closestKnown(key, n.cfg.K, false), nil
+	}
+	w := wire.NewWriter(id.Bytes)
+	w.Raw(key[:])
+	resp, err := n.peer.Call(ctx, addr, "kad.find_node", w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := wire.NewReader(resp)
+	count := int(r.Uvarint())
+	if count > 64 {
+		return nil, fmt.Errorf("kademlia: absurd contact count %d", count)
+	}
+	out := make([]overlay.Node, 0, count)
+	for i := 0; i < count; i++ {
+		out = append(out, overlay.DecodeNode(r))
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Recursive routing
+
+// Route greedily forwards payload to the closest known contact; the
+// node that knows no one closer than itself delivers.
+func (n *Node) Route(key id.ID, tag string, payload []byte) error {
+	return n.routeMsg(n.self, key, tag, payload, 0)
+}
+
+func (n *Node) routeMsg(origin overlay.Node, key id.ID, tag string, payload []byte, hops int) error {
+	if hops > n.cfg.MaxHops {
+		return fmt.Errorf("kademlia: route %s exceeded %d hops", key.Short(), n.cfg.MaxHops)
+	}
+	cands := n.closestKnown(key, 1, true)
+	selfDist := n.self.ID.Xor(key)
+	isOwner := len(cands) == 0 || cands[0].Addr == n.self.Addr ||
+		!cands[0].ID.Xor(key).Less(selfDist)
+	n.mu.Lock()
+	deliver := n.deliver
+	intercept := n.intercept
+	n.mu.Unlock()
+	if isOwner {
+		if deliver != nil {
+			deliver(origin, key, tag, payload)
+		}
+		return nil
+	}
+	if hops > 0 && intercept != nil {
+		np, forward := intercept(key, tag, payload)
+		if !forward {
+			return nil
+		}
+		payload = np
+	}
+	next := cands[0]
+	n.metrics.RouteForwards.Add(1)
+	w := wire.NewWriter(64 + len(payload))
+	origin.Encode(w)
+	w.Raw(key[:])
+	w.String(tag)
+	w.Uvarint(uint64(hops + 1))
+	w.BytesLP(payload)
+	if err := n.peer.Notify(next.Addr, "kad.route", w.Bytes()); err != nil {
+		n.remove(next.Addr)
+		return err
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Broadcast: bucket-subtree delegation
+
+// Broadcast delivers payload (best effort) to every node: the sender
+// delegates each bucket's subtree to one contact in that bucket, which
+// recursively covers only deeper buckets.
+func (n *Node) Broadcast(tag string, payload []byte) error {
+	n.mu.Lock()
+	bc := n.broadcast
+	n.mu.Unlock()
+	if bc != nil {
+		bc(n.self, tag, payload)
+	}
+	return n.forwardBroadcast(n.self, tag, payload, 0)
+}
+
+func (n *Node) forwardBroadcast(origin overlay.Node, tag string, payload []byte, fromBucket int) error {
+	n.mu.Lock()
+	type target struct {
+		node   overlay.Node
+		bucket int
+	}
+	var targets []target
+	for bi := fromBucket; bi < id.Bits; bi++ {
+		if len(n.buckets[bi]) > 0 {
+			// Most recently seen contact: likeliest to be alive.
+			targets = append(targets, target{n.buckets[bi][len(n.buckets[bi])-1], bi})
+		}
+	}
+	n.mu.Unlock()
+	var firstErr error
+	for _, t := range targets {
+		w := wire.NewWriter(64 + len(payload))
+		origin.Encode(w)
+		w.String(tag)
+		w.Uvarint(uint64(t.bucket + 1))
+		w.BytesLP(payload)
+		if err := n.peer.Notify(t.node.Addr, "kad.broadcast", w.Bytes()); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers
+
+func (n *Node) registerHandlers() {
+	n.peer.Handle("kad.whoami", func(from string, req []byte) ([]byte, error) {
+		w := wire.NewWriter(64)
+		n.self.Encode(w)
+		return w.Bytes(), nil
+	})
+	n.peer.Handle("kad.ping", func(from string, req []byte) ([]byte, error) {
+		return []byte{1}, nil
+	})
+	n.peer.Handle("kad.find_node", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		var key id.ID
+		copy(key[:], r.Raw(id.Bytes))
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		// Learn the caller: every inbound RPC refreshes routing state.
+		n.observe(overlay.Node{ID: id.HashString(from), Addr: from})
+		contacts := n.closestKnown(key, n.cfg.K, false)
+		w := wire.NewWriter(64 * len(contacts))
+		w.Uvarint(uint64(len(contacts)))
+		for _, c := range contacts {
+			c.Encode(w)
+		}
+		return w.Bytes(), nil
+	})
+	n.peer.Handle("kad.route", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		origin := overlay.DecodeNode(r)
+		var key id.ID
+		copy(key[:], r.Raw(id.Bytes))
+		tag := r.String()
+		hops := int(r.Uvarint())
+		payload := r.BytesLP()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.observe(origin)
+		return nil, n.routeMsg(origin, key, tag, append([]byte(nil), payload...), hops)
+	})
+	n.peer.Handle("kad.broadcast", func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		origin := overlay.DecodeNode(r)
+		tag := r.String()
+		fromBucket := int(r.Uvarint())
+		payload := r.BytesLP()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		body := append([]byte(nil), payload...)
+		n.mu.Lock()
+		bc := n.broadcast
+		n.mu.Unlock()
+		if bc != nil {
+			bc(origin, tag, body)
+		}
+		return nil, n.forwardBroadcast(origin, tag, body, fromBucket)
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Maintenance
+
+func (n *Node) refreshLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.RefreshEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			// Self-lookup keeps near buckets fresh and repopulates
+			// after churn.
+			ctx, cancel := context.WithTimeout(context.Background(), n.cfg.RPC.Timeout*4)
+			n.metrics.MaintenanceCalls.Add(1)
+			_, _, _ = n.Lookup(ctx, n.self.ID)
+			cancel()
+		}
+	}
+}
+
+// Peer exposes the node's RPC endpoint so higher layers (the DHT
+// store, the query engine) can register their own methods and issue
+// direct calls over the same transport.
+func (n *Node) Peer() *rpc.Peer { return n.peer }

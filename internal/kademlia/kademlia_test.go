@@ -1,0 +1,296 @@
+package kademlia
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/simnet"
+)
+
+func testConfig() Config {
+	return Config{K: 8, Alpha: 3, RefreshEvery: 50 * time.Millisecond}
+}
+
+// swarm builds an n-node Kademlia overlay, joining every node through
+// node 0 and letting refresh rounds populate the tables.
+func swarm(t *testing.T, n int, netCfg simnet.Config) ([]*Node, *simnet.Network) {
+	t.Helper()
+	net := simnet.New(netCfg)
+	t.Cleanup(net.Close)
+	nodes := make([]*Node, n)
+	for i := 0; i < n; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("node%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes[i] = New(ep, testConfig())
+	}
+	t.Cleanup(func() {
+		for _, nd := range nodes {
+			nd.Stop()
+		}
+	})
+	for i := 1; i < n; i++ {
+		if err := nodes[i].Join(context.Background(), nodes[0].Self().Addr); err != nil {
+			t.Fatalf("join node%d: %v", i, err)
+		}
+	}
+	// A couple of refresh rounds spread contacts.
+	time.Sleep(200 * time.Millisecond)
+	return nodes, net
+}
+
+// closestTrue computes the ground-truth closest node to key.
+func closestTrue(nodes []*Node, key id.ID) *Node {
+	best := nodes[0]
+	for _, nd := range nodes[1:] {
+		if nd.Self().ID.Xor(key).Less(best.Self().ID.Xor(key)) {
+			best = nd
+		}
+	}
+	return best
+}
+
+func TestJoinAndSelfLookup(t *testing.T) {
+	nodes, _ := swarm(t, 2, simnet.Config{})
+	got, _, err := nodes[1].Lookup(context.Background(), nodes[0].Self().ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Addr != nodes[0].Self().Addr {
+		t.Fatalf("lookup of node0's own ID found %s", got.Addr)
+	}
+}
+
+func TestLookupFindsGloballyClosest(t *testing.T) {
+	nodes, _ := swarm(t, 24, simnet.Config{Seed: 3})
+	for trial := 0; trial < 40; trial++ {
+		key := id.HashString(fmt.Sprintf("key-%d", trial))
+		want := closestTrue(nodes, key).Self().Addr
+		got, _, err := nodes[trial%len(nodes)].Lookup(context.Background(), key)
+		if err != nil {
+			t.Fatalf("lookup %d: %v", trial, err)
+		}
+		if got.Addr != want {
+			t.Fatalf("lookup %d: got %s want %s", trial, got.Addr, want)
+		}
+	}
+}
+
+func TestRouteDeliversToClosest(t *testing.T) {
+	nodes, _ := swarm(t, 16, simnet.Config{Seed: 5})
+	var mu sync.Mutex
+	delivered := map[string]string{}
+	for _, nd := range nodes {
+		nd := nd
+		nd.SetDeliver(func(from overlay.Node, key id.ID, tag string, payload []byte) {
+			mu.Lock()
+			delivered[string(payload)] = nd.Self().Addr
+			mu.Unlock()
+		})
+	}
+	okCount := 0
+	for i := 0; i < 20; i++ {
+		key := id.HashString(fmt.Sprintf("route-%d", i))
+		payload := fmt.Sprintf("msg-%d", i)
+		if err := nodes[i%len(nodes)].Route(key, "t", []byte(payload)); err != nil {
+			t.Fatalf("route: %v", err)
+		}
+		want := closestTrue(nodes, key).Self().Addr
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			mu.Lock()
+			got, ok := delivered[payload]
+			mu.Unlock()
+			if ok {
+				if got == want {
+					okCount++
+				}
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("msg %d never delivered", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Greedy recursive routing can land one XOR-neighbor off when
+	// tables are mid-refresh; require a strong majority exact.
+	if okCount < 18 {
+		t.Fatalf("only %d/20 routed to the globally closest node", okCount)
+	}
+}
+
+func TestBroadcastCoverage(t *testing.T) {
+	nodes, _ := swarm(t, 20, simnet.Config{Seed: 7})
+	time.Sleep(300 * time.Millisecond)
+	var mu sync.Mutex
+	got := map[string]int{}
+	for _, nd := range nodes {
+		nd := nd
+		nd.SetBroadcast(func(from overlay.Node, tag string, payload []byte) {
+			mu.Lock()
+			got[nd.Self().Addr]++
+			mu.Unlock()
+		})
+	}
+	if err := nodes[2].Broadcast("bc", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == len(nodes) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	// Bucket broadcast is best effort; with fresh tables it should
+	// still reach everyone, and no node more than once.
+	if len(got) < len(nodes)*9/10 {
+		t.Fatalf("broadcast reached %d/%d nodes", len(got), len(nodes))
+	}
+	for addr, c := range got {
+		if c != 1 {
+			t.Fatalf("node %s received %d copies", addr, c)
+		}
+	}
+}
+
+func TestBucketEvictionPrefersLiveHead(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(net.Close)
+	ep, _ := net.Endpoint("self")
+	n := New(ep, Config{K: 2})
+	t.Cleanup(n.Stop)
+	// Fill one bucket with two live peers, then observe a third
+	// mapping to the same bucket: since the head answers pings, the
+	// newcomer must be dropped.
+	peers := make([]*Node, 3)
+	var sameBucket []overlay.Node
+	idx := -1
+	for i := 0; len(sameBucket) < 3 && i < 200; i++ {
+		addr := fmt.Sprintf("peer%d", i)
+		cand := overlay.Node{ID: id.HashString(addr), Addr: addr}
+		bi := n.bucketIndex(cand.ID)
+		if idx == -1 {
+			idx = bi
+		}
+		if bi == idx {
+			epi, err := net.Endpoint(addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			peers[len(sameBucket)] = New(epi, testConfig())
+			sameBucket = append(sameBucket, cand)
+		}
+	}
+	if len(sameBucket) < 3 {
+		t.Skip("could not find three addresses in one bucket")
+	}
+	t.Cleanup(func() {
+		for _, p := range peers {
+			if p != nil {
+				p.Stop()
+			}
+		}
+	})
+	n.observe(sameBucket[0])
+	n.observe(sameBucket[1])
+	n.observe(sameBucket[2]) // bucket full; head alive => drop newcomer
+	time.Sleep(200 * time.Millisecond)
+	n.mu.Lock()
+	b := append([]overlay.Node(nil), n.buckets[idx]...)
+	n.mu.Unlock()
+	if len(b) != 2 {
+		t.Fatalf("bucket has %d entries, want 2", len(b))
+	}
+	for _, e := range b {
+		if e.Addr == sameBucket[2].Addr {
+			t.Fatalf("newcomer displaced a live contact")
+		}
+	}
+}
+
+func TestRemoveDropsContact(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	t.Cleanup(net.Close)
+	ep, _ := net.Endpoint("self")
+	n := New(ep, testConfig())
+	t.Cleanup(n.Stop)
+	c := overlay.Node{ID: id.HashString("peer"), Addr: "peer"}
+	n.observe(c)
+	if len(n.Neighbors()) != 1 {
+		t.Fatal("contact not recorded")
+	}
+	n.remove("peer")
+	if len(n.Neighbors()) != 0 {
+		t.Fatal("contact not removed")
+	}
+}
+
+func TestNeighborsSortedByDistance(t *testing.T) {
+	nodes, _ := swarm(t, 16, simnet.Config{Seed: 11})
+	self := nodes[0].Self().ID
+	nb := nodes[0].Neighbors()
+	if len(nb) == 0 {
+		t.Fatal("no neighbors")
+	}
+	if !sort.SliceIsSorted(nb, func(i, j int) bool {
+		return nb[i].ID.Xor(self).Less(nb[j].ID.Xor(self))
+	}) {
+		t.Fatal("neighbors not in XOR order")
+	}
+}
+
+func TestSurvivesNodeFailure(t *testing.T) {
+	nodes, net := swarm(t, 12, simnet.Config{Seed: 13})
+	victim := nodes[3]
+	net.SetDown(victim.Self().Addr, true)
+	live := append(append([]*Node(nil), nodes[:3]...), nodes[4:]...)
+	// Wait a refresh cycle so tables route around the corpse.
+	time.Sleep(400 * time.Millisecond)
+	okCount := 0
+	for i := 0; i < 20; i++ {
+		key := id.HashString(fmt.Sprintf("fail-%d", i))
+		want := closestTrue(live, key).Self().Addr
+		got, _, err := live[i%len(live)].Lookup(context.Background(), key)
+		if err == nil && got.Addr == want {
+			okCount++
+		}
+	}
+	if okCount < 18 {
+		t.Fatalf("only %d/20 lookups correct after failure", okCount)
+	}
+}
+
+func TestStopIdempotent(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	ep, _ := net.Endpoint("solo")
+	n := New(ep, testConfig())
+	n.Stop()
+	n.Stop()
+}
+
+func TestSelfNeverInBuckets(t *testing.T) {
+	net := simnet.New(simnet.Config{})
+	defer net.Close()
+	ep, _ := net.Endpoint("solo")
+	n := New(ep, testConfig())
+	defer n.Stop()
+	n.observe(n.Self())
+	if len(n.Neighbors()) != 0 {
+		t.Fatal("node stored itself as a contact")
+	}
+}

@@ -1,0 +1,749 @@
+// Package ops implements the relational operator bodies that plug
+// into the dataflow engine: selection, projection, symmetric hash
+// join, grouped aggregation (with partial/final split for in-network
+// execution), top-K, duplicate elimination, limit, union, and a
+// semi-naive fixpoint for recursive queries. Operators are pure local
+// compute; the distributed exchange operators that move tuples through
+// the DHT live in internal/pier.
+package ops
+
+import (
+	"container/heap"
+	"context"
+	"fmt"
+
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// ---------------------------------------------------------------------------
+// Sources and sinks
+
+// SliceSource emits the given tuples then ends — the unit-test and
+// example entry point.
+func SliceSource(rows []tuple.Tuple) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for _, t := range rows {
+			if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// ChanSource forwards messages from an external channel until it
+// closes — how network arrivals enter a local plan.
+func ChanSource(in <-chan dataflow.Msg) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for {
+			select {
+			case m, ok := <-in:
+				if !ok {
+					return nil
+				}
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return ctx.Err()
+				}
+			case <-ctx.Done():
+				return nil
+			}
+		}
+	}
+}
+
+// CollectSink appends every data tuple into out and forwards nothing.
+// The slice must not be read until the graph finishes.
+func CollectSink(out *[]tuple.Tuple) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Data {
+				*out = append(*out, m.T)
+			}
+		}
+		return nil
+	}
+}
+
+// FuncSink invokes fn for every message (data and punctuation) — the
+// bridge to client result channels.
+func FuncSink(fn func(dataflow.Msg)) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for m := range dataflow.Merge(ctx, ins) {
+			fn(m)
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Stateless operators
+
+// Select filters tuples by a boolean predicate; punctuation passes
+// through.
+func Select(pred expr.Expr) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Data {
+				v, err := pred.Eval(m.T)
+				if err != nil {
+					return err
+				}
+				if !expr.Truthy(v) {
+					continue
+				}
+			}
+			if !dataflow.EmitAll(ctx, outs, m) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// Project computes one output column per expression; punctuation
+// passes through.
+func Project(exprs []expr.Expr) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Data {
+				out := make(tuple.Tuple, len(exprs))
+				for i, e := range exprs {
+					v, err := e.Eval(m.T)
+					if err != nil {
+						return err
+					}
+					out[i] = v
+				}
+				m.T = out
+			}
+			if !dataflow.EmitAll(ctx, outs, m) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Symmetric hash join
+
+type indexedMsg struct {
+	src int
+	m   dataflow.Msg
+}
+
+func mergeIndexed(ctx context.Context, ins []<-chan dataflow.Msg) <-chan indexedMsg {
+	out := make(chan indexedMsg, dataflow.DefaultEdgeDepth)
+	open := len(ins)
+	closed := make(chan int, len(ins))
+	for i, in := range ins {
+		i, in := i, in
+		go func() {
+			for {
+				select {
+				case m, ok := <-in:
+					if !ok {
+						closed <- i
+						return
+					}
+					select {
+					case out <- indexedMsg{src: i, m: m}:
+					case <-ctx.Done():
+						closed <- i
+						return
+					}
+				case <-ctx.Done():
+					closed <- i
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		for range closed {
+			open--
+			if open == 0 {
+				close(out)
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// SymmetricHashJoin equijoins its two inputs on leftCols = rightCols.
+// Both hash tables build incrementally, so results stream as soon as
+// matches exist — the pipelined join PIER uses so that answers flow
+// before either input completes. Output is left ++ right.
+func SymmetricHashJoin(leftCols, rightCols []int) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		if len(ins) != 2 {
+			return fmt.Errorf("join: need 2 inputs, have %d", len(ins))
+		}
+		tables := [2]map[string][]tuple.Tuple{make(map[string][]tuple.Tuple), make(map[string][]tuple.Tuple)}
+		keyCols := [2][]int{leftCols, rightCols}
+		for im := range mergeIndexed(ctx, ins) {
+			if im.m.Kind != dataflow.Data {
+				if !dataflow.EmitAll(ctx, outs, im.m) {
+					return ctx.Err()
+				}
+				continue
+			}
+			side, other := im.src, 1-im.src
+			key := string(im.m.T.Project(keyCols[side]).Bytes())
+			tables[side][key] = append(tables[side][key], im.m.T)
+			for _, match := range tables[other][key] {
+				var joined tuple.Tuple
+				if side == 0 {
+					joined = im.m.T.Concat(match)
+				} else {
+					joined = match.Concat(im.m.T)
+				}
+				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(joined)) {
+					return ctx.Err()
+				}
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+// AggFunc enumerates aggregate functions.
+type AggFunc int
+
+// Aggregate functions.
+const (
+	Count AggFunc = iota
+	Sum
+	Avg
+	Min
+	Max
+)
+
+func (f AggFunc) String() string {
+	return [...]string{"COUNT", "SUM", "AVG", "MIN", "MAX"}[f]
+}
+
+// AggSpec is one aggregate: Func applied to column ArgCol (-1 means
+// COUNT(*)).
+type AggSpec struct {
+	Func   AggFunc
+	ArgCol int
+}
+
+// AggMode selects where in a distributed plan the operator sits.
+type AggMode int
+
+const (
+	// Complete consumes raw tuples and emits final results — the
+	// single-site plan.
+	Complete AggMode = iota
+	// Partial consumes raw tuples and emits mergeable partial-state
+	// tuples (AVG contributes two state columns) — the leaf of an
+	// in-network aggregation tree.
+	Partial
+	// Final consumes partial-state tuples and emits final results —
+	// the root of the tree.
+	Final
+)
+
+// StateWidth returns how many state columns the spec occupies in a
+// partial tuple.
+func (s AggSpec) StateWidth() int {
+	if s.Func == Avg {
+		return 2 // sum, count
+	}
+	return 1
+}
+
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	isF   bool
+	min   tuple.Value
+	max   tuple.Value
+	seen  bool
+}
+
+func (st *aggState) addRaw(spec AggSpec, t tuple.Tuple) error {
+	if spec.ArgCol < 0 {
+		st.count++
+		return nil
+	}
+	v := t[spec.ArgCol]
+	if v.IsNull() {
+		return nil // SQL: aggregates skip NULLs
+	}
+	st.count++
+	switch spec.Func {
+	case Sum, Avg:
+		switch v.Kind {
+		case tuple.TInt:
+			st.sumI += v.I
+		case tuple.TFloat:
+			st.isF = true
+			st.sumF += v.F
+		default:
+			return fmt.Errorf("ops: %s over %s column", spec.Func, v.Kind)
+		}
+	case Min:
+		if !st.seen || v.Compare(st.min) < 0 {
+			st.min = v
+		}
+	case Max:
+		if !st.seen || v.Compare(st.max) > 0 {
+			st.max = v
+		}
+	}
+	st.seen = true
+	return nil
+}
+
+func (st *aggState) sumValue() tuple.Value {
+	if st.isF {
+		return tuple.Float(st.sumF + float64(st.sumI))
+	}
+	return tuple.Int(st.sumI)
+}
+
+// partial emits the mergeable state columns.
+func (st *aggState) partial(spec AggSpec) []tuple.Value {
+	switch spec.Func {
+	case Count:
+		return []tuple.Value{tuple.Int(st.count)}
+	case Sum:
+		if st.count == 0 {
+			return []tuple.Value{tuple.Null()}
+		}
+		return []tuple.Value{st.sumValue()}
+	case Avg:
+		if st.count == 0 {
+			return []tuple.Value{tuple.Null(), tuple.Int(0)}
+		}
+		return []tuple.Value{st.sumValue(), tuple.Int(st.count)}
+	case Min:
+		if !st.seen {
+			return []tuple.Value{tuple.Null()}
+		}
+		return []tuple.Value{st.min}
+	case Max:
+		if !st.seen {
+			return []tuple.Value{tuple.Null()}
+		}
+		return []tuple.Value{st.max}
+	}
+	return nil
+}
+
+// final emits the user-visible result column.
+func (st *aggState) final(spec AggSpec) tuple.Value {
+	switch spec.Func {
+	case Count:
+		return tuple.Int(st.count)
+	case Sum:
+		if st.count == 0 {
+			return tuple.Null()
+		}
+		return st.sumValue()
+	case Avg:
+		if st.count == 0 {
+			return tuple.Null()
+		}
+		sum, _ := st.sumValue().AsFloat()
+		return tuple.Float(sum / float64(st.count))
+	case Min:
+		if !st.seen {
+			return tuple.Null()
+		}
+		return st.min
+	case Max:
+		if !st.seen {
+			return tuple.Null()
+		}
+		return st.max
+	}
+	return tuple.Null()
+}
+
+// mergeState folds one partial-state tuple segment into st.
+func (st *aggState) mergeState(spec AggSpec, vals []tuple.Value) error {
+	switch spec.Func {
+	case Count:
+		if !vals[0].IsNull() {
+			st.count += vals[0].I
+		}
+	case Sum:
+		if vals[0].IsNull() {
+			return nil
+		}
+		st.count++ // presence marker: at least one non-null contributed
+		switch vals[0].Kind {
+		case tuple.TInt:
+			st.sumI += vals[0].I
+		case tuple.TFloat:
+			st.isF = true
+			st.sumF += vals[0].F
+		default:
+			return fmt.Errorf("ops: bad SUM state kind %s", vals[0].Kind)
+		}
+	case Avg:
+		if vals[0].IsNull() {
+			return nil
+		}
+		switch vals[0].Kind {
+		case tuple.TInt:
+			st.sumI += vals[0].I
+		case tuple.TFloat:
+			st.isF = true
+			st.sumF += vals[0].F
+		}
+		st.count += vals[1].I
+	case Min:
+		if vals[0].IsNull() {
+			return nil
+		}
+		if !st.seen || vals[0].Compare(st.min) < 0 {
+			st.min = vals[0]
+		}
+		st.seen = true
+	case Max:
+		if vals[0].IsNull() {
+			return nil
+		}
+		if !st.seen || vals[0].Compare(st.max) > 0 {
+			st.max = vals[0]
+		}
+		st.seen = true
+	}
+	if spec.Func != Count {
+		st.seen = true
+	}
+	return nil
+}
+
+// Aggregate groups by groupCols and computes aggs, in the given mode.
+// One-shot streams emit at end of input; punctuated (windowed) streams
+// emit the groups accumulated since the previous punctuation, forward
+// the punctuation, and reset — tumbling per punctuation, which is how
+// the continuous-query layer drives sliding windows.
+func Aggregate(groupCols []int, aggs []AggSpec, mode AggMode) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		type group struct {
+			key    tuple.Tuple
+			states []aggState
+		}
+		groups := make(map[string]*group)
+		order := []string{} // deterministic emission order (arrival)
+
+		flush := func() error {
+			for _, k := range order {
+				g := groups[k]
+				out := g.key.Clone()
+				for i, spec := range aggs {
+					if mode == Partial {
+						out = append(out, g.states[i].partial(spec)...)
+					} else {
+						out = append(out, g.states[i].final(spec))
+					}
+				}
+				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(out)) {
+					return ctx.Err()
+				}
+			}
+			groups = make(map[string]*group)
+			order = order[:0]
+			return nil
+		}
+
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Punct {
+				if err := flush(); err != nil {
+					return err
+				}
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return ctx.Err()
+				}
+				continue
+			}
+			keyTuple := m.T.Project(groupCols)
+			key := string(keyTuple.Bytes())
+			g, ok := groups[key]
+			if !ok {
+				g = &group{key: keyTuple, states: make([]aggState, len(aggs))}
+				groups[key] = g
+				order = append(order, key)
+			}
+			if mode == Final {
+				// Input layout: groupCols..., then state segments.
+				off := len(groupCols)
+				for i, spec := range aggs {
+					w := spec.StateWidth()
+					if err := g.states[i].mergeState(spec, m.T[off:off+w]); err != nil {
+						return err
+					}
+					off += w
+				}
+			} else {
+				for i, spec := range aggs {
+					if err := g.states[i].addRaw(spec, m.T); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		return flush()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Top-K, distinct, limit, union
+
+type topkHeap struct {
+	rows []tuple.Tuple
+	cols []int
+	desc []bool
+}
+
+func (h *topkHeap) Len() int { return len(h.rows) }
+func (h *topkHeap) Less(i, j int) bool {
+	// Min-heap over the *kept* ordering: the root is the weakest row,
+	// evicted first.
+	return h.rows[i].Compare(h.rows[j], h.cols, h.desc) > 0
+}
+func (h *topkHeap) Swap(i, j int)      { h.rows[i], h.rows[j] = h.rows[j], h.rows[i] }
+func (h *topkHeap) Push(x interface{}) { h.rows = append(h.rows, x.(tuple.Tuple)) }
+func (h *topkHeap) Pop() interface{} {
+	old := h.rows
+	n := len(old)
+	x := old[n-1]
+	h.rows = old[:n-1]
+	return x
+}
+
+// TopK keeps the k best tuples by the sort columns (desc flags per
+// column) and emits them in order at end of input or at each
+// punctuation. k <= 0 means sort everything (full ORDER BY).
+func TopK(k int, sortCols []int, desc []bool) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		h := &topkHeap{cols: sortCols, desc: desc}
+
+		flush := func() error {
+			// Drain the heap (weakest first), then emit reversed.
+			sorted := make([]tuple.Tuple, len(h.rows))
+			tmp := &topkHeap{rows: h.rows, cols: sortCols, desc: desc}
+			heap.Init(tmp)
+			for i := len(sorted) - 1; i >= 0; i-- {
+				sorted[i] = heap.Pop(tmp).(tuple.Tuple)
+			}
+			for _, t := range sorted {
+				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
+					return ctx.Err()
+				}
+			}
+			h.rows = nil
+			return nil
+		}
+
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Punct {
+				if err := flush(); err != nil {
+					return err
+				}
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return ctx.Err()
+				}
+				continue
+			}
+			heap.Push(h, m.T)
+			if k > 0 && len(h.rows) > k {
+				heap.Pop(h) // evict the weakest
+			}
+		}
+		return flush()
+	}
+}
+
+// Distinct suppresses duplicate tuples. State persists across
+// punctuations (a continuous DISTINCT); one-shot plans simply never
+// punctuate.
+func Distinct() dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		seen := make(map[string]struct{})
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Data {
+				key := string(m.T.Bytes())
+				if _, dup := seen[key]; dup {
+					continue
+				}
+				seen[key] = struct{}{}
+			}
+			if !dataflow.EmitAll(ctx, outs, m) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// Limit forwards the first n data tuples, then drains its input (so
+// upstream operators are not blocked on a full channel) while
+// emitting nothing further.
+func Limit(n int) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		emitted := 0
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind == dataflow.Data {
+				if emitted >= n {
+					continue // drain
+				}
+				emitted++
+			}
+			if !dataflow.EmitAll(ctx, outs, m) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// Union forwards every input unchanged (bag union); pair with
+// Distinct for set union.
+func Union() dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		for m := range dataflow.Merge(ctx, ins) {
+			if !dataflow.EmitAll(ctx, outs, m) {
+				return ctx.Err()
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Recursion
+
+// Fixpoint computes the least fixpoint of step over the base input by
+// semi-naive evaluation: every novel tuple is emitted downstream and
+// expanded exactly once through step; derived tuples feed the internal
+// worklist. step must be deterministic and is typically a probe into a
+// materialized local table (the planner builds that closure).
+func Fixpoint(step func(tuple.Tuple) []tuple.Tuple) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		seen := make(map[string]struct{})
+		var worklist []tuple.Tuple
+
+		visit := func(t tuple.Tuple) bool {
+			key := string(t.Bytes())
+			if _, dup := seen[key]; dup {
+				return false
+			}
+			seen[key] = struct{}{}
+			worklist = append(worklist, t)
+			return true
+		}
+
+		drain := func() error {
+			for len(worklist) > 0 {
+				t := worklist[len(worklist)-1]
+				worklist = worklist[:len(worklist)-1]
+				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
+					return ctx.Err()
+				}
+				for _, derived := range step(t) {
+					visit(derived)
+				}
+			}
+			return nil
+		}
+
+		for m := range dataflow.Merge(ctx, ins) {
+			if m.Kind != dataflow.Data {
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return ctx.Err()
+				}
+				continue
+			}
+			visit(m.T)
+			if err := drain(); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Incremental accumulation (used by the distributed collectors)
+
+// Accumulator folds raw tuples and partial states for one group
+// outside a dataflow graph — the building block of PIER's in-network
+// aggregation collectors and relay combiners.
+type Accumulator struct {
+	aggs   []AggSpec
+	states []aggState
+}
+
+// NewAccumulator creates an accumulator over the given specs.
+func NewAccumulator(aggs []AggSpec) *Accumulator {
+	return &Accumulator{aggs: aggs, states: make([]aggState, len(aggs))}
+}
+
+// AddRaw folds one raw work tuple (Proj output) into the state.
+func (a *Accumulator) AddRaw(t tuple.Tuple) error {
+	for i, spec := range a.aggs {
+		if err := a.states[i].addRaw(spec, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MergeStates folds the state segment of a partial tuple (the values
+// after the group columns).
+func (a *Accumulator) MergeStates(vals []tuple.Value) error {
+	off := 0
+	for i, spec := range a.aggs {
+		w := spec.StateWidth()
+		if off+w > len(vals) {
+			return fmt.Errorf("ops: partial state too short: %d values for spec %d", len(vals), i)
+		}
+		if err := a.states[i].mergeState(spec, vals[off:off+w]); err != nil {
+			return err
+		}
+		off += w
+	}
+	return nil
+}
+
+// StateValues emits the mergeable partial representation.
+func (a *Accumulator) StateValues() []tuple.Value {
+	var out []tuple.Value
+	for i, spec := range a.aggs {
+		out = append(out, a.states[i].partial(spec)...)
+	}
+	return out
+}
+
+// FinalValues emits the user-visible results.
+func (a *Accumulator) FinalValues() []tuple.Value {
+	out := make([]tuple.Value, len(a.aggs))
+	for i, spec := range a.aggs {
+		out[i] = a.states[i].final(spec)
+	}
+	return out
+}
+
+// StateWidth returns the total width of the state segment.
+func StateWidth(aggs []AggSpec) int {
+	w := 0
+	for _, a := range aggs {
+		w += a.StateWidth()
+	}
+	return w
+}

@@ -1,0 +1,273 @@
+package ops
+
+import (
+	"context"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dataflow"
+	"repro/internal/tuple"
+)
+
+// runSimple executes src -> op -> collect for property tests.
+func runSimple(t *testing.T, rows []tuple.Tuple, body dataflow.RunFunc) []tuple.Tuple {
+	t.Helper()
+	g := dataflow.New("prop")
+	src := g.Add("src", SliceSource(rows))
+	op := g.Add("op", body)
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(src, op)
+	g.Connect(op, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+// TestPropTopKMatchesSortOracle: for random inputs and random k, TopK
+// equals sorting the whole input and taking the first k.
+func TestPropTopKMatchesSortOracle(t *testing.T) {
+	f := func(vals []int16, kRaw uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		k := int(kRaw)%len(vals) + 1
+		rows := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Tuple{tuple.Int(int64(v)), tuple.Int(int64(i))}
+		}
+		got := runSimple(t, rows, TopK(k, []int{0}, []bool{true}))
+		oracle := append([]tuple.Tuple(nil), rows...)
+		sort.SliceStable(oracle, func(i, j int) bool {
+			return oracle[i][0].I > oracle[j][0].I
+		})
+		oracle = oracle[:k]
+		if len(got) != k {
+			return false
+		}
+		// Values must match position by position (ties may permute
+		// the tiebreaker column, so compare only the sort key).
+		for i := range got {
+			if got[i][0].I != oracle[i][0].I {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDistributedAggEqualsLocal: splitting any input across any
+// number of partial sites and final-merging equals one-shot Complete
+// aggregation — the associativity PIER's in-network trees rely on.
+func TestPropDistributedAggEqualsLocal(t *testing.T) {
+	specs := []AggSpec{
+		{Func: Sum, ArgCol: 1},
+		{Func: Count, ArgCol: -1},
+		{Func: Avg, ArgCol: 1},
+		{Func: Min, ArgCol: 1},
+		{Func: Max, ArgCol: 1},
+	}
+	f := func(vals []int16, groups []bool, sites uint8) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		nSites := int(sites)%4 + 1
+		rows := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			g := "a"
+			if i < len(groups) && groups[i] {
+				g = "b"
+			}
+			rows[i] = tuple.Tuple{tuple.String(g), tuple.Int(int64(v))}
+		}
+		// Complete (oracle).
+		want := runSimple(t, rows, Aggregate([]int{0}, specs, Complete))
+		// Distributed: split rows round-robin across sites, partial
+		// each, merge with Final.
+		g := dataflow.New("dist")
+		fin := g.Add("final", Aggregate([]int{0}, specs, Final))
+		for s := 0; s < nSites; s++ {
+			var part []tuple.Tuple
+			for i := s; i < len(rows); i += nSites {
+				part = append(part, rows[i])
+			}
+			src := g.Add("src", SliceSource(part))
+			pa := g.Add("partial", Aggregate([]int{0}, specs, Partial))
+			g.Connect(src, pa)
+			g.Connect(pa, fin)
+		}
+		var got []tuple.Tuple
+		sink := g.Add("sink", CollectSink(&got))
+		g.Connect(fin, sink)
+		if err := g.Run(context.Background()); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		byKey := func(rs []tuple.Tuple) map[string]tuple.Tuple {
+			m := map[string]tuple.Tuple{}
+			for _, r := range rs {
+				m[r[0].S] = r
+			}
+			return m
+		}
+		gm, wm := byKey(got), byKey(want)
+		for k, w := range wm {
+			if !gm[k].Equal(w) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropAccumulatorMergeAssociative: merging partial states in any
+// grouping order yields the same finals.
+func TestPropAccumulatorMergeAssociative(t *testing.T) {
+	specs := []AggSpec{
+		{Func: Sum, ArgCol: 0},
+		{Func: Avg, ArgCol: 0},
+		{Func: Min, ArgCol: 0},
+		{Func: Max, ArgCol: 0},
+		{Func: Count, ArgCol: -1},
+	}
+	f := func(vals []int16, seed int64) bool {
+		if len(vals) < 2 {
+			return true
+		}
+		rows := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Tuple{tuple.Int(int64(v))}
+		}
+		// Flat: every row is its own partial, merged sequentially.
+		flat := NewAccumulator(specs)
+		for _, r := range rows {
+			one := NewAccumulator(specs)
+			if err := one.AddRaw(r); err != nil {
+				return false
+			}
+			if err := flat.MergeStates(one.StateValues()); err != nil {
+				return false
+			}
+		}
+		// Tree: random binary grouping.
+		rng := rand.New(rand.NewSource(seed))
+		accs := make([]*Accumulator, len(rows))
+		for i, r := range rows {
+			accs[i] = NewAccumulator(specs)
+			if err := accs[i].AddRaw(r); err != nil {
+				return false
+			}
+		}
+		for len(accs) > 1 {
+			i := rng.Intn(len(accs) - 1)
+			if err := accs[i].MergeStates(accs[i+1].StateValues()); err != nil {
+				return false
+			}
+			accs = append(accs[:i+1], accs[i+2:]...)
+		}
+		a, b := flat.FinalValues(), accs[0].FinalValues()
+		for i := range a {
+			if !a[i].Equal(b[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDistinctIdempotent: Distinct twice equals Distinct once, and
+// the output has no duplicates.
+func TestPropDistinctIdempotent(t *testing.T) {
+	f := func(vals []uint8) bool {
+		rows := make([]tuple.Tuple, len(vals))
+		for i, v := range vals {
+			rows[i] = tuple.Tuple{tuple.Int(int64(v % 8))}
+		}
+		once := runSimple(t, rows, Distinct())
+		twice := runSimple(t, once, Distinct())
+		if len(once) != len(twice) {
+			return false
+		}
+		seen := map[int64]bool{}
+		for _, r := range once {
+			if seen[r[0].I] {
+				return false
+			}
+			seen[r[0].I] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropFixpointClosureOracle: the fixpoint operator's transitive
+// closure over random small graphs matches a Floyd–Warshall oracle.
+func TestPropFixpointClosureOracle(t *testing.T) {
+	f := func(adj [6][6]bool) bool {
+		edges := map[int64][]int64{}
+		var base []tuple.Tuple
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if adj[i][j] && i != j {
+					edges[int64(i)] = append(edges[int64(i)], int64(j))
+					base = append(base, tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(j))})
+				}
+			}
+		}
+		step := func(t tuple.Tuple) []tuple.Tuple {
+			var out []tuple.Tuple
+			for _, z := range edges[t[1].I] {
+				out = append(out, tuple.Tuple{t[0], tuple.Int(z)})
+			}
+			return out
+		}
+		got := runSimple(t, base, Fixpoint(step))
+		gotSet := map[[2]int64]bool{}
+		for _, r := range got {
+			gotSet[[2]int64{r[0].I, r[1].I}] = true
+		}
+		// Oracle: boolean transitive closure.
+		var reach [6][6]bool
+		for i := range reach {
+			for j := range reach[i] {
+				reach[i][j] = adj[i][j] && i != j
+			}
+		}
+		for k := 0; k < 6; k++ {
+			for i := 0; i < 6; i++ {
+				for j := 0; j < 6; j++ {
+					if reach[i][k] && reach[k][j] {
+						reach[i][j] = true
+					}
+				}
+			}
+		}
+		for i := 0; i < 6; i++ {
+			for j := 0; j < 6; j++ {
+				if reach[i][j] != gotSet[[2]int64{int64(i), int64(j)}] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,424 @@
+package ops
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+// runPlan builds src -> mid(s) -> collect and returns collected rows.
+func runPlan(t *testing.T, rows []tuple.Tuple, bodies ...dataflow.RunFunc) []tuple.Tuple {
+	t.Helper()
+	g := dataflow.New("test")
+	prev := g.Add("src", SliceSource(rows))
+	for i, b := range bodies {
+		n := g.Add("op", b)
+		g.Connect(prev, n)
+		prev = n
+		_ = i
+	}
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(prev, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func ints(vals ...int64) []tuple.Tuple {
+	out := make([]tuple.Tuple, len(vals))
+	for i, v := range vals {
+		out[i] = tuple.Tuple{tuple.Int(v)}
+	}
+	return out
+}
+
+func TestSelect(t *testing.T) {
+	pred := &expr.Cmp{Op: expr.GT, L: &expr.Col{Name: "v", Index: 0}, R: expr.NewLit(tuple.Int(5))}
+	got := runPlan(t, ints(1, 7, 3, 9, 5), Select(pred))
+	if len(got) != 2 || got[0][0].I != 7 || got[1][0].I != 9 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSelectErrorPropagates(t *testing.T) {
+	pred := &expr.Cmp{Op: expr.EQ, L: expr.NewCol("unresolved"), R: expr.NewLit(tuple.Int(1))}
+	g := dataflow.New("err")
+	src := g.Add("src", SliceSource(ints(1)))
+	sel := g.Add("sel", Select(pred))
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(src, sel)
+	g.Connect(sel, sink)
+	if err := g.Run(context.Background()); err == nil {
+		t.Fatal("unresolved column predicate did not fail the graph")
+	}
+}
+
+func TestProject(t *testing.T) {
+	exprs := []expr.Expr{
+		&expr.Arith{Op: expr.Mul, L: &expr.Col{Index: 0}, R: expr.NewLit(tuple.Int(10))},
+		expr.NewLit(tuple.String("x")),
+	}
+	got := runPlan(t, ints(1, 2), Project(exprs))
+	if len(got) != 2 || got[0][0].I != 10 || got[1][0].I != 20 || got[0][1].S != "x" {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestSymmetricHashJoin(t *testing.T) {
+	left := []tuple.Tuple{
+		{tuple.String("a"), tuple.Int(1)},
+		{tuple.String("b"), tuple.Int(2)},
+		{tuple.String("a"), tuple.Int(3)},
+	}
+	right := []tuple.Tuple{
+		{tuple.String("a"), tuple.String("apple")},
+		{tuple.String("c"), tuple.String("cherry")},
+	}
+	g := dataflow.New("join")
+	l := g.Add("l", SliceSource(left))
+	r := g.Add("r", SliceSource(right))
+	j := g.Add("join", SymmetricHashJoin([]int{0}, []int{0}))
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(l, j)
+	g.Connect(r, j)
+	g.Connect(j, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// "a" matches twice (1,3), "b"/"c" never.
+	if len(got) != 2 {
+		t.Fatalf("got %d rows: %v", len(got), got)
+	}
+	for _, row := range got {
+		if row[0].S != "a" || row[2].S != "a" || row[3].S != "apple" {
+			t.Fatalf("bad join row %v", row)
+		}
+	}
+}
+
+func TestJoinNeedsTwoInputs(t *testing.T) {
+	g := dataflow.New("bad")
+	src := g.Add("src", SliceSource(ints(1)))
+	j := g.Add("join", SymmetricHashJoin([]int{0}, []int{0}))
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(src, j)
+	g.Connect(j, sink)
+	if err := g.Run(context.Background()); err == nil {
+		t.Fatal("1-input join accepted")
+	}
+}
+
+func aggRows() []tuple.Tuple {
+	// (group, value)
+	return []tuple.Tuple{
+		{tuple.String("x"), tuple.Int(10)},
+		{tuple.String("y"), tuple.Int(1)},
+		{tuple.String("x"), tuple.Int(20)},
+		{tuple.String("y"), tuple.Int(3)},
+		{tuple.String("x"), tuple.Int(30)},
+	}
+}
+
+func TestAggregateComplete(t *testing.T) {
+	got := runPlan(t, aggRows(), Aggregate([]int{0}, []AggSpec{
+		{Func: Sum, ArgCol: 1},
+		{Func: Count, ArgCol: -1},
+		{Func: Avg, ArgCol: 1},
+		{Func: Min, ArgCol: 1},
+		{Func: Max, ArgCol: 1},
+	}, Complete))
+	if len(got) != 2 {
+		t.Fatalf("got %d groups", len(got))
+	}
+	byGroup := map[string]tuple.Tuple{}
+	for _, r := range got {
+		byGroup[r[0].S] = r
+	}
+	x := byGroup["x"]
+	if x[1].I != 60 || x[2].I != 3 || x[3].F != 20.0 || x[4].I != 10 || x[5].I != 30 {
+		t.Fatalf("x aggregates wrong: %v", x)
+	}
+	y := byGroup["y"]
+	if y[1].I != 4 || y[2].I != 2 || y[3].F != 2.0 {
+		t.Fatalf("y aggregates wrong: %v", y)
+	}
+}
+
+func TestAggregatePartialFinalEqualsComplete(t *testing.T) {
+	specs := []AggSpec{
+		{Func: Sum, ArgCol: 1},
+		{Func: Count, ArgCol: -1},
+		{Func: Avg, ArgCol: 1},
+		{Func: Min, ArgCol: 1},
+		{Func: Max, ArgCol: 1},
+	}
+	// Split rows into two "sites", partial-aggregate each, then merge.
+	rows := aggRows()
+	g := dataflow.New("dist")
+	s1 := g.Add("site1", SliceSource(rows[:2]))
+	s2 := g.Add("site2", SliceSource(rows[2:]))
+	p1 := g.Add("p1", Aggregate([]int{0}, specs, Partial))
+	p2 := g.Add("p2", Aggregate([]int{0}, specs, Partial))
+	fin := g.Add("final", Aggregate([]int{0}, specs, Final))
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(s1, p1)
+	g.Connect(s2, p2)
+	g.Connect(p1, fin)
+	g.Connect(p2, fin)
+	g.Connect(fin, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	want := runPlan(t, rows, Aggregate([]int{0}, specs, Complete))
+	sortRows := func(rs []tuple.Tuple) {
+		sort.Slice(rs, func(i, j int) bool { return rs[i][0].S < rs[j][0].S })
+	}
+	sortRows(got)
+	sortRows(want)
+	if len(got) != len(want) {
+		t.Fatalf("got %d want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("row %d: distributed %v != complete %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestAggregateNullsSkipped(t *testing.T) {
+	rows := []tuple.Tuple{
+		{tuple.String("g"), tuple.Null()},
+		{tuple.String("g"), tuple.Int(4)},
+	}
+	got := runPlan(t, rows, Aggregate([]int{0}, []AggSpec{
+		{Func: Sum, ArgCol: 1}, {Func: Count, ArgCol: 1}, {Func: Count, ArgCol: -1},
+	}, Complete))
+	r := got[0]
+	if r[1].I != 4 || r[2].I != 1 || r[3].I != 2 {
+		t.Fatalf("null handling wrong: %v", r)
+	}
+}
+
+func TestAggregateEmptyGroupAll(t *testing.T) {
+	// No input rows, no group columns: classic COUNT(*) = 0 is NOT
+	// emitted in a streaming engine (no group ever forms) — PIER
+	// semantics, documented.
+	got := runPlan(t, nil, Aggregate(nil, []AggSpec{{Func: Count, ArgCol: -1}}, Complete))
+	if len(got) != 0 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestAggregateWindowedFlush(t *testing.T) {
+	// Two windows separated by punctuation; sums reset between.
+	g := dataflow.New("win")
+	src := g.Add("src", func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		dataflow.EmitAll(ctx, outs, dataflow.DataMsg(tuple.Tuple{tuple.String("g"), tuple.Int(1)}))
+		dataflow.EmitAll(ctx, outs, dataflow.DataMsg(tuple.Tuple{tuple.String("g"), tuple.Int(2)}))
+		dataflow.EmitAll(ctx, outs, dataflow.PunctMsg(1, time.Unix(1, 0)))
+		dataflow.EmitAll(ctx, outs, dataflow.DataMsg(tuple.Tuple{tuple.String("g"), tuple.Int(10)}))
+		dataflow.EmitAll(ctx, outs, dataflow.PunctMsg(2, time.Unix(2, 0)))
+		return nil
+	})
+	agg := g.Add("agg", Aggregate([]int{0}, []AggSpec{{Func: Sum, ArgCol: 1}}, Complete))
+	var results []tuple.Tuple
+	var puncts []uint64
+	sink := g.Add("sink", FuncSink(func(m dataflow.Msg) {
+		switch m.Kind {
+		case dataflow.Data:
+			results = append(results, m.T)
+		case dataflow.Punct:
+			puncts = append(puncts, m.Seq)
+		}
+	}))
+	g.Connect(src, agg)
+	g.Connect(agg, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 || results[0][1].I != 3 || results[1][1].I != 10 {
+		t.Fatalf("windowed sums: %v", results)
+	}
+	if len(puncts) != 2 {
+		t.Fatalf("punct count %d", len(puncts))
+	}
+}
+
+func TestTopK(t *testing.T) {
+	rows := []tuple.Tuple{
+		{tuple.String("a"), tuple.Int(5)},
+		{tuple.String("b"), tuple.Int(9)},
+		{tuple.String("c"), tuple.Int(1)},
+		{tuple.String("d"), tuple.Int(7)},
+		{tuple.String("e"), tuple.Int(3)},
+	}
+	got := runPlan(t, rows, TopK(3, []int{1}, []bool{true}))
+	if len(got) != 3 {
+		t.Fatalf("got %d rows", len(got))
+	}
+	if got[0][0].S != "b" || got[1][0].S != "d" || got[2][0].S != "a" {
+		t.Fatalf("top-3 order wrong: %v", got)
+	}
+}
+
+func TestTopKFullSort(t *testing.T) {
+	got := runPlan(t, ints(3, 1, 2), TopK(0, []int{0}, nil))
+	if len(got) != 3 || got[0][0].I != 1 || got[1][0].I != 2 || got[2][0].I != 3 {
+		t.Fatalf("full sort wrong: %v", got)
+	}
+}
+
+func TestTopKTiesStable(t *testing.T) {
+	rows := []tuple.Tuple{
+		{tuple.String("a"), tuple.Int(1)},
+		{tuple.String("b"), tuple.Int(1)},
+		{tuple.String("c"), tuple.Int(1)},
+	}
+	got := runPlan(t, rows, TopK(2, []int{1}, []bool{true}))
+	if len(got) != 2 {
+		t.Fatalf("got %d", len(got))
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	got := runPlan(t, ints(1, 2, 1, 3, 2, 1), Distinct())
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLimit(t *testing.T) {
+	got := runPlan(t, ints(1, 2, 3, 4, 5), Limit(2))
+	if len(got) != 2 || got[0][0].I != 1 || got[1][0].I != 2 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLimitDrainsUpstream(t *testing.T) {
+	// Producer emits far more than the edge depth; Limit must drain
+	// so the graph still terminates.
+	rows := make([]tuple.Tuple, 10*dataflow.DefaultEdgeDepth)
+	for i := range rows {
+		rows[i] = tuple.Tuple{tuple.Int(int64(i))}
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		got := runPlan(t, rows, Limit(1))
+		if len(got) != 1 {
+			t.Errorf("got %d", len(got))
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("limit stalled the graph")
+	}
+}
+
+func TestUnion(t *testing.T) {
+	g := dataflow.New("union")
+	a := g.Add("a", SliceSource(ints(1, 2)))
+	b := g.Add("b", SliceSource(ints(3)))
+	u := g.Add("u", Union())
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(a, u)
+	g.Connect(b, u)
+	g.Connect(u, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestFixpointTransitiveClosure(t *testing.T) {
+	// Graph edges: 1->2->3->4, 5->6. Base facts: (1,2),(2,3),(3,4),(5,6)
+	// as reach(x,y); step joins reach(x,y) with edges y->z.
+	edges := map[int64][]int64{1: {2}, 2: {3}, 3: {4}, 5: {6}}
+	step := func(t tuple.Tuple) []tuple.Tuple {
+		var out []tuple.Tuple
+		for _, z := range edges[t[1].I] {
+			out = append(out, tuple.Tuple{t[0], tuple.Int(z)})
+		}
+		return out
+	}
+	var base []tuple.Tuple
+	for x, ys := range edges {
+		for _, y := range ys {
+			base = append(base, tuple.Tuple{tuple.Int(x), tuple.Int(y)})
+		}
+	}
+	got := runPlan(t, base, Fixpoint(step))
+	// reach = {(1,2),(1,3),(1,4),(2,3),(2,4),(3,4),(5,6)} = 7 facts.
+	if len(got) != 7 {
+		t.Fatalf("closure has %d facts: %v", len(got), got)
+	}
+	seen := map[[2]int64]bool{}
+	for _, r := range got {
+		seen[[2]int64{r[0].I, r[1].I}] = true
+	}
+	for _, want := range [][2]int64{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {5, 6}} {
+		if !seen[want] {
+			t.Fatalf("missing fact %v", want)
+		}
+	}
+}
+
+func TestFixpointCycleTerminates(t *testing.T) {
+	// 1->2->1 cycle: closure must terminate with 4 facts.
+	edges := map[int64][]int64{1: {2}, 2: {1}}
+	step := func(t tuple.Tuple) []tuple.Tuple {
+		var out []tuple.Tuple
+		for _, z := range edges[t[1].I] {
+			out = append(out, tuple.Tuple{t[0], tuple.Int(z)})
+		}
+		return out
+	}
+	base := []tuple.Tuple{
+		{tuple.Int(1), tuple.Int(2)},
+		{tuple.Int(2), tuple.Int(1)},
+	}
+	done := make(chan []tuple.Tuple, 1)
+	go func() { done <- runPlan(t, base, Fixpoint(step)) }()
+	select {
+	case got := <-done:
+		// {(1,2),(2,1),(1,1),(2,2)}
+		if len(got) != 4 {
+			t.Fatalf("cyclic closure has %d facts", len(got))
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("fixpoint on cycle did not terminate")
+	}
+}
+
+func TestChanSource(t *testing.T) {
+	in := make(chan dataflow.Msg, 4)
+	in <- dataflow.DataMsg(tuple.Tuple{tuple.Int(1)})
+	in <- dataflow.DataMsg(tuple.Tuple{tuple.Int(2)})
+	close(in)
+	g := dataflow.New("chan")
+	src := g.Add("src", ChanSource(in))
+	var got []tuple.Tuple
+	sink := g.Add("sink", CollectSink(&got))
+	g.Connect(src, sink)
+	if err := g.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("got %v", got)
+	}
+}

@@ -1,0 +1,430 @@
+package pier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Result is a completed one-shot query.
+type Result struct {
+	// Columns names the result columns in select-list order.
+	Columns []string
+	// Rows are the result tuples, ordered per ORDER BY.
+	Rows []tuple.Tuple
+	// Duration is wall-clock query time at the coordinator.
+	Duration time.Duration
+	// Participants counts nodes that reported scan completion.
+	Participants int
+}
+
+// WindowResult is one window's output of a continuous query.
+type WindowResult struct {
+	// Seq is the window sequence number (monotone per query).
+	Seq uint64
+	// Time is the window close timestamp.
+	Time time.Time
+	// Rows are the window's result tuples.
+	Rows []tuple.Tuple
+}
+
+// Continuous is a running continuous query.
+type Continuous struct {
+	// Columns names the result columns.
+	Columns []string
+	results chan WindowResult
+	stop    func()
+}
+
+// Results streams one WindowResult per window until Stop.
+func (c *Continuous) Results() <-chan WindowResult { return c.results }
+
+// Stop tears the query down network-wide (best effort) and closes the
+// results channel.
+func (c *Continuous) Stop() { c.stop() }
+
+// Query parses, plans, disseminates, and executes sql, blocking until
+// the result settles. Continuous statements are rejected here — use
+// QueryContinuous.
+func (n *Node) Query(ctx context.Context, sql string) (*Result, error) {
+	return n.QueryWithOptions(ctx, sql, plan.Options{})
+}
+
+// QueryWithOptions is Query with explicit planner options (join
+// strategy forcing, used by the benchmarks).
+func (n *Node) QueryWithOptions(ctx context.Context, sql string, opts plan.Options) (*Result, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.With != nil {
+		return n.queryRecursive(ctx, stmt)
+	}
+	if stmt.IsContinuous() {
+		return nil, fmt.Errorf("pier: continuous query; use QueryContinuous")
+	}
+	spec, err := plan.Compile(stmt, n.cat, opts)
+	if err != nil {
+		return nil, err
+	}
+	return n.ExecuteSpec(ctx, spec)
+}
+
+// ExecuteSpec runs a compiled one-shot plan — the algebraic ("boxes
+// and arrows") entry point.
+func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error) {
+	if spec.IsContinuous() {
+		return nil, fmt.Errorf("pier: continuous plan; use ExecuteSpecContinuous")
+	}
+	start := time.Now()
+	qid := n.nextQueryID()
+	q := n.getQuery(qid, func() *queryState {
+		s := n.newQueryState(qid, spec, n.Addr())
+		s.isCoord = true
+		s.lastActivity = time.Now()
+		return s
+	})
+	if q == nil {
+		return nil, fmt.Errorf("pier: node stopped")
+	}
+	n.Metrics.QueriesCoordinated.Add(1)
+	defer n.dropQuery(qid)
+
+	var filter *bloom.Filter
+	if len(spec.Scans) == 2 && spec.Strategy == plan.BloomJoin {
+		var err error
+		filter, err = n.gatherBloom(ctx, qid, spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, filter)); err != nil {
+		return nil, fmt.Errorf("pier: disseminating query: %w", err)
+	}
+
+	// Wait for quiescence: no result traffic for Quiet (bounded by
+	// MaxQueryLife and the caller's context).
+	deadline := time.Now().Add(n.cfg.MaxQueryLife)
+	for {
+		select {
+		case <-ctx.Done():
+			n.stopQuery(qid)
+			return nil, ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+		q.coMu.Lock()
+		last := q.lastActivity
+		q.coMu.Unlock()
+		if time.Since(last) > n.cfg.Quiet || time.Now().After(deadline) {
+			break
+		}
+	}
+	n.stopQuery(qid)
+
+	rows := q.canonicalRows(0)
+	final, err := q.finalize(ctx, rows)
+	if err != nil {
+		return nil, err
+	}
+	q.coMu.Lock()
+	participants := len(q.doneNodes)
+	q.coMu.Unlock()
+	return &Result{
+		Columns:      spec.OutNames,
+		Rows:         final,
+		Duration:     time.Since(start),
+		Participants: participants,
+	}, nil
+}
+
+// QueryContinuous plans and launches a continuous (windowed) query.
+func (n *Node) QueryContinuous(ctx context.Context, sql string) (*Continuous, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, err
+	}
+	if !stmt.IsContinuous() {
+		return nil, fmt.Errorf("pier: not a continuous query (no WINDOW clause)")
+	}
+	spec, err := plan.Compile(stmt, n.cat, plan.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return n.ExecuteSpecContinuous(ctx, spec)
+}
+
+// ExecuteSpecContinuous launches a compiled continuous plan.
+func (n *Node) ExecuteSpecContinuous(ctx context.Context, spec *plan.Spec) (*Continuous, error) {
+	if !spec.IsContinuous() {
+		return nil, fmt.Errorf("pier: plan has no window")
+	}
+	if len(spec.Scans) != 1 {
+		return nil, fmt.Errorf("pier: continuous joins are not supported")
+	}
+	qid := n.nextQueryID()
+	q := n.getQuery(qid, func() *queryState {
+		s := n.newQueryState(qid, spec, n.Addr())
+		s.isCoord = true
+		s.lastActivity = time.Now()
+		s.results = make(chan WindowResult, 64)
+		return s
+	})
+	if q == nil {
+		return nil, fmt.Errorf("pier: node stopped")
+	}
+	n.Metrics.QueriesCoordinated.Add(1)
+	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, nil)); err != nil {
+		n.dropQuery(qid)
+		return nil, fmt.Errorf("pier: disseminating query: %w", err)
+	}
+	cont := &Continuous{
+		Columns: spec.OutNames,
+		results: q.results,
+		stop: func() {
+			n.stopQuery(qid)
+			n.dropQuery(qid)
+			q.coMu.Lock()
+			if q.results != nil {
+				close(q.results)
+				q.results = nil
+			}
+			q.coMu.Unlock()
+		},
+	}
+	// Auto-stop at the LIVE horizon.
+	if spec.Live > 0 {
+		time.AfterFunc(time.Duration(spec.Live)+time.Duration(spec.Slide), cont.Stop)
+	}
+	return cont, nil
+}
+
+// stopQuery broadcasts teardown; participants cancel their pipelines
+// and GC state. Best effort by design.
+func (n *Node) stopQuery(qid uint64) {
+	w := wire.NewWriter(8)
+	w.Uint64(qid)
+	_ = n.router.Broadcast(tagStop, w.Bytes())
+}
+
+// gatherBloom runs Bloom-join phase 1: broadcast the request, gather
+// per-site filters of left join keys, OR them together.
+func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (*bloom.Filter, error) {
+	agg := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
+	n.bloomMu.Lock()
+	n.bloomGather[qid] = agg
+	n.bloomMu.Unlock()
+	defer func() {
+		n.bloomMu.Lock()
+		delete(n.bloomGather, qid)
+		n.bloomMu.Unlock()
+	}()
+	if err := n.router.Broadcast(tagBloomQ, encodeQueryMsg(qid, n.Addr(), spec, nil)); err != nil {
+		return nil, err
+	}
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case <-time.After(n.cfg.BloomWait):
+	}
+	n.bloomMu.Lock()
+	defer n.bloomMu.Unlock()
+	return n.bloomGather[qid], nil
+}
+
+// answerBloomPhase is the participant side of phase 1: build a filter
+// over the local left partition's join keys and send it back.
+func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
+	if len(spec.Scans) != 2 {
+		return
+	}
+	q := &queryState{id: qid, spec: spec, coord: coord, node: n, ctx: context.Background()}
+	left := &spec.Scans[0]
+	f := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
+	for _, t := range q.scanLocal(left) {
+		f.Add(t.Project(left.JoinCols).Bytes())
+	}
+	w := wire.NewWriter(f.SizeBytes() + 16)
+	w.Uint64(qid)
+	f.Encode(w)
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = n.peer.Call(ctx, coord, methBloom, w.Bytes())
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator result assembly
+
+// coordAddRows ingests result rows from participants/collectors.
+func (q *queryState) coordAddRows(window uint64, rows []tuple.Tuple) {
+	spec := q.spec
+	width := spec.CanonicalWidth()
+	q.coMu.Lock()
+	q.lastActivity = time.Now()
+	for _, t := range rows {
+		if len(t) != width {
+			continue
+		}
+		if spec.IsAggregate() {
+			// Finals replace per group: collectors re-flush refined
+			// values as stragglers arrive.
+			m := q.aggRows[window]
+			if m == nil {
+				m = make(map[string]tuple.Tuple)
+				q.aggRows[window] = m
+			}
+			m[string(t[:len(spec.GroupCols)].Bytes())] = t
+		} else {
+			q.plainRows[window] = append(q.plainRows[window], t)
+		}
+	}
+	results := q.results
+	q.coMu.Unlock()
+	// Continuous queries: schedule the window's flush at its close
+	// time plus settle margin.
+	if results != nil {
+		q.scheduleWindowFlush(window)
+	}
+}
+
+func (q *queryState) scheduleWindowFlush(window uint64) {
+	q.coMu.Lock()
+	defer q.coMu.Unlock()
+	if q.winFlushed[window] || q.winTimers[window] != nil {
+		return
+	}
+	slide := time.Duration(q.spec.Slide)
+	closeAt := time.Unix(0, int64(window)*int64(slide))
+	settle := q.node.cfg.CollectorHold*2 + 50*time.Millisecond
+	delay := time.Until(closeAt.Add(settle))
+	if delay < 50*time.Millisecond {
+		delay = 50 * time.Millisecond
+	}
+	q.winTimers[window] = time.AfterFunc(delay, func() { q.flushWindow(window, closeAt) })
+}
+
+func (q *queryState) flushWindow(window uint64, closeAt time.Time) {
+	select {
+	case <-q.ctx.Done():
+		return
+	default:
+	}
+	rows := q.canonicalRows(window)
+	final, err := q.finalize(q.ctx, rows)
+	if err != nil {
+		return
+	}
+	q.coMu.Lock()
+	q.winFlushed[window] = true
+	delete(q.winTimers, window)
+	delete(q.aggRows, window)
+	delete(q.plainRows, window)
+	results := q.results
+	q.coMu.Unlock()
+	if results == nil {
+		return
+	}
+	select {
+	case results <- WindowResult{Seq: window, Time: closeAt, Rows: final}:
+	default: // client not draining: drop the window, stay live
+	}
+}
+
+// canonicalRows snapshots the coordinator's collected rows for one
+// window in a deterministic order.
+func (q *queryState) canonicalRows(window uint64) []tuple.Tuple {
+	q.coMu.Lock()
+	defer q.coMu.Unlock()
+	if q.spec.IsAggregate() {
+		m := q.aggRows[window]
+		keys := make([]string, 0, len(m))
+		for k := range m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		out := make([]tuple.Tuple, 0, len(m))
+		for _, k := range keys {
+			out = append(out, m[k])
+		}
+		return out
+	}
+	return append([]tuple.Tuple(nil), q.plainRows[window]...)
+}
+
+// finalize runs the coordinator-local tail of the plan.
+func (q *queryState) finalize(ctx context.Context, rows []tuple.Tuple) ([]tuple.Tuple, error) {
+	return finalizeRows(ctx, q.spec, rows)
+}
+
+// finalizeRows runs the coordinator-local tail of a plan over
+// canonical rows: HAVING, DISTINCT, ORDER BY, LIMIT, and the output
+// permutation — built as a dataflow graph from the same operator
+// library the distributed side uses.
+func finalizeRows(ctx context.Context, spec *plan.Spec, rows []tuple.Tuple) ([]tuple.Tuple, error) {
+	g := dataflow.New("finalize")
+	prev := g.Add("rows", ops.SliceSource(rows))
+	if spec.Having != nil {
+		sel := g.Add("having", ops.Select(spec.Having))
+		g.Connect(prev, sel)
+		prev = sel
+	}
+	if spec.Distinct {
+		d := g.Add("distinct", ops.Distinct())
+		g.Connect(prev, d)
+		prev = d
+	}
+	if len(spec.OrderCols) > 0 {
+		k := 0 // full sort
+		if spec.Limit >= 0 {
+			k = spec.Limit
+		}
+		top := g.Add("order", ops.TopK(k, spec.OrderCols, spec.OrderDesc))
+		g.Connect(prev, top)
+		prev = top
+	} else if spec.Limit >= 0 {
+		lim := g.Add("limit", ops.Limit(spec.Limit))
+		g.Connect(prev, lim)
+		prev = lim
+	}
+	// Output permutation into select-list order.
+	perm := make([]expr.Expr, len(spec.OutPerm))
+	for i, p := range spec.OutPerm {
+		perm[i] = &expr.Col{Name: spec.OutNames[i], Index: p}
+	}
+	pr := g.Add("perm", ops.Project(perm))
+	g.Connect(prev, pr)
+	prev = pr
+	var out []tuple.Tuple
+	sink := g.Add("collect", ops.CollectSink(&out))
+	g.Connect(prev, sink)
+	if err := g.Run(ctx); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Explain compiles sql and renders the distributed plan without
+// executing anything.
+func (n *Node) Explain(sql string) (string, error) {
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return "", err
+	}
+	if stmt.With != nil {
+		return "", fmt.Errorf("pier: EXPLAIN of recursive statements is not supported")
+	}
+	spec, err := plan.Compile(stmt, n.cat, plan.Options{})
+	if err != nil {
+		return "", err
+	}
+	return spec.Explain(), nil
+}

@@ -1,0 +1,467 @@
+package pier
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/id"
+	"repro/internal/ops"
+	"repro/internal/overlay"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Overlay tags and RPC methods used by the query engine.
+const (
+	tagQuery  = "pier.query"  // broadcast: start a query
+	tagBloomQ = "pier.bloomq" // broadcast: Bloom-join phase-1 request
+	tagStop   = "pier.stop"   // broadcast: tear a query down
+	tagAgg    = "pier.agg"    // routed: partial aggregate toward collector
+	tagJoin   = "pier.join"   // routed: rehashed join tuple toward collector
+
+	methRows  = "pier.rows"  // rpc to coordinator: result rows
+	methDone  = "pier.done"  // rpc to coordinator: participant finished scanning
+	methBloom = "pier.bloom" // rpc to coordinator: per-site Bloom filter
+)
+
+type sample struct {
+	t       tuple.Tuple
+	arrived time.Time
+}
+
+// aggGroup is collector state for one group in one window.
+type aggGroup struct {
+	key         tuple.Tuple
+	accumulator *ops.Accumulator
+}
+
+// combineKey identifies a relay's combining buffer entry.
+type combineKey struct {
+	window uint64
+	group  string
+}
+
+// idKey aliases the overlay key type for combineInto's signature.
+type idKey = id.ID
+
+// queryState carries every role a node can play for one query:
+// participant (scanning its partitions), collector (join rehash
+// target or aggregation tree root), and coordinator (the node the
+// client asked).
+type queryState struct {
+	id    uint64
+	spec  *plan.Spec
+	coord string
+	node  *Node
+
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	participateOnce sync.Once
+
+	// Bloom filter attached to the query (BloomJoin phase 2).
+	filter *bloom.Filter
+
+	// --- collector: aggregation ---
+	aggMu      sync.Mutex
+	aggWindows map[uint64]*aggWindowState
+
+	// --- collector: join ---
+	joinMu     sync.Mutex
+	joinTables map[uint64]*joinWindowState // window -> two hash tables
+
+	// --- participant: continuous buffer ---
+	bufMu   sync.Mutex
+	samples []sample
+
+	// --- relay combining buffers ---
+	combMu    sync.Mutex
+	combining map[combineKey]*combineEntry
+
+	// --- coordinator ---
+	isCoord      bool
+	coMu         sync.Mutex
+	aggRows      map[uint64]map[string]tuple.Tuple // window -> groupkey -> canonical row
+	plainRows    map[uint64][]tuple.Tuple          // window -> canonical rows
+	lastActivity time.Time
+	doneNodes    map[string]bool
+	winFlushed   map[uint64]bool
+	winTimers    map[uint64]*time.Timer
+	results      chan WindowResult
+	epoch        time.Time // continuous window time base
+}
+
+type aggWindowState struct {
+	groups map[string]*aggGroup
+	timer  *time.Timer
+}
+
+type joinWindowState struct {
+	tables [2]map[string][]tuple.Tuple
+}
+
+// getQuery returns (and optionally creates) the state for qid.
+func (n *Node) getQuery(qid uint64, create func() *queryState) *queryState {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if q, ok := n.queries[qid]; ok {
+		return q
+	}
+	if create == nil || n.stopped {
+		return nil
+	}
+	q := create()
+	n.queries[qid] = q
+	return q
+}
+
+func (n *Node) dropQuery(qid uint64) {
+	n.mu.Lock()
+	q := n.queries[qid]
+	delete(n.queries, qid)
+	n.mu.Unlock()
+	if q != nil {
+		q.cancel()
+	}
+}
+
+func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *queryState {
+	ctx, cancel := context.WithCancel(context.Background())
+	return &queryState{
+		id:         qid,
+		spec:       spec,
+		coord:      coord,
+		node:       n,
+		ctx:        ctx,
+		cancel:     cancel,
+		aggWindows: make(map[uint64]*aggWindowState),
+		joinTables: make(map[uint64]*joinWindowState),
+		aggRows:    make(map[uint64]map[string]tuple.Tuple),
+		plainRows:  make(map[uint64][]tuple.Tuple),
+		doneNodes:  make(map[string]bool),
+		winFlushed: make(map[uint64]bool),
+		winTimers:  make(map[uint64]*time.Timer),
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Message encoding
+
+func encodeQueryMsg(qid uint64, coord string, spec *plan.Spec, filter *bloom.Filter) []byte {
+	w := wire.NewWriter(512)
+	w.Uint64(qid)
+	w.String(coord)
+	if filter != nil {
+		w.Bool(true)
+		filter.Encode(w)
+	} else {
+		w.Bool(false)
+	}
+	w.BytesLP(spec.Bytes())
+	return w.Bytes()
+}
+
+func decodeQueryMsg(payload []byte) (qid uint64, coord string, spec *plan.Spec, filter *bloom.Filter, err error) {
+	r := wire.NewReader(payload)
+	qid = r.Uint64()
+	coord = r.String()
+	if r.Bool() {
+		filter, err = bloom.Decode(r)
+		if err != nil {
+			return
+		}
+	}
+	specBytes := r.BytesLP()
+	if err = r.Err(); err != nil {
+		return
+	}
+	spec, err = plan.FromBytes(specBytes)
+	return
+}
+
+func encodeAggMsg(qid, window uint64, row tuple.Tuple) []byte {
+	w := wire.NewWriter(64)
+	w.Uint64(qid)
+	w.Uint64(window)
+	row.Encode(w)
+	return w.Bytes()
+}
+
+func decodeAggMsg(payload []byte) (qid, window uint64, row tuple.Tuple, err error) {
+	r := wire.NewReader(payload)
+	qid = r.Uint64()
+	window = r.Uint64()
+	row = tuple.DecodeTuple(r)
+	err = r.Done()
+	return
+}
+
+func encodeJoinMsg(qid, window uint64, side int, row tuple.Tuple) []byte {
+	w := wire.NewWriter(64)
+	w.Uint64(qid)
+	w.Uint64(window)
+	w.Byte(byte(side))
+	row.Encode(w)
+	return w.Bytes()
+}
+
+func decodeJoinMsg(payload []byte) (qid, window uint64, side int, row tuple.Tuple, err error) {
+	r := wire.NewReader(payload)
+	qid = r.Uint64()
+	window = r.Uint64()
+	side = int(r.Byte())
+	row = tuple.DecodeTuple(r)
+	err = r.Done()
+	return
+}
+
+func encodeRowsMsg(qid, window uint64, rows []tuple.Tuple) []byte {
+	w := wire.NewWriter(64 * len(rows))
+	w.Uint64(qid)
+	w.Uint64(window)
+	w.Uvarint(uint64(len(rows)))
+	for _, t := range rows {
+		t.Encode(w)
+	}
+	return w.Bytes()
+}
+
+func decodeRowsMsg(payload []byte) (qid, window uint64, rows []tuple.Tuple, err error) {
+	r := wire.NewReader(payload)
+	qid = r.Uint64()
+	window = r.Uint64()
+	count := int(r.Uvarint())
+	for i := 0; i < count && r.Err() == nil; i++ {
+		rows = append(rows, tuple.DecodeTuple(r))
+	}
+	err = r.Done()
+	return
+}
+
+// aggCollectorKey places a group's aggregation collector in the key
+// space. The window is deliberately excluded so one group always
+// aggregates at one node.
+func aggCollectorKey(qid uint64, groupKey []byte) id.ID {
+	var qb [8]byte
+	for i := 0; i < 8; i++ {
+		qb[i] = byte(qid >> (56 - 8*i))
+	}
+	return id.HashParts("pier.agg", string(qb[:]), string(groupKey))
+}
+
+// joinCollectorKey places the join work for one join-key value.
+func joinCollectorKey(qid uint64, joinKey []byte) id.ID {
+	var qb [8]byte
+	for i := 0; i < 8; i++ {
+		qb[i] = byte(qid >> (56 - 8*i))
+	}
+	return id.HashParts("pier.join", string(qb[:]), string(joinKey))
+}
+
+// ---------------------------------------------------------------------------
+// Upcalls: broadcast, routed delivery, intercept
+
+func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
+	switch tag {
+	case tagQuery:
+		qid, coord, spec, filter, err := decodeQueryMsg(payload)
+		if err != nil {
+			return
+		}
+		q := n.getQuery(qid, func() *queryState { return n.newQueryState(qid, spec, coord) })
+		if q == nil {
+			return
+		}
+		if filter != nil {
+			q.filter = filter
+		}
+		q.participateOnce.Do(func() {
+			n.Metrics.QueriesParticipated.Add(1)
+			n.replayPending(q)
+			n.wg.Add(1)
+			go func() {
+				defer n.wg.Done()
+				q.participate()
+			}()
+		})
+	case tagBloomQ:
+		qid, coord, spec, _, err := decodeQueryMsg(payload)
+		if err != nil {
+			return
+		}
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			n.answerBloomPhase(qid, coord, spec)
+		}()
+	case tagStop:
+		r := wire.NewReader(payload)
+		qid := r.Uint64()
+		if r.Done() != nil {
+			return
+		}
+		n.dropQuery(qid)
+	default:
+		if fn := n.appBroadcastFor(tag); fn != nil {
+			fn(from, tag, payload)
+		}
+	}
+}
+
+// onRouted handles routed deliveries for the engine's tags (the DHT
+// store chains non-"dht.put" tags here). Tuples can outrun the query
+// broadcast that announces their query, so unknown query IDs are
+// buffered briefly and replayed once the query registers.
+func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte) {
+	switch tag {
+	case tagAgg:
+		qid, window, row, err := decodeAggMsg(payload)
+		if err != nil {
+			return
+		}
+		q := n.getQuery(qid, nil)
+		if q == nil {
+			n.bufferPending(qid, tag, payload)
+			return
+		}
+		q.collectPartial(window, row)
+	case tagJoin:
+		qid, window, side, row, err := decodeJoinMsg(payload)
+		if err != nil || side > 1 {
+			return
+		}
+		q := n.getQuery(qid, nil)
+		if q == nil {
+			n.bufferPending(qid, tag, payload)
+			return
+		}
+		q.collectJoinTuple(window, side, row)
+	}
+}
+
+// pendingMsg is a routed tuple awaiting its query announcement.
+type pendingMsg struct {
+	tag     string
+	payload []byte
+	at      time.Time
+}
+
+const (
+	pendingPerQuery = 4096
+	pendingMaxAge   = 3 * time.Second
+)
+
+func (n *Node) bufferPending(qid uint64, tag string, payload []byte) {
+	n.pendMu.Lock()
+	defer n.pendMu.Unlock()
+	if n.pending == nil {
+		n.pending = make(map[uint64][]pendingMsg)
+	}
+	// Lazy prune of stale buffers (queries that never announced).
+	now := time.Now()
+	for id, msgs := range n.pending {
+		if len(msgs) > 0 && now.Sub(msgs[0].at) > pendingMaxAge {
+			delete(n.pending, id)
+		}
+	}
+	if len(n.pending[qid]) >= pendingPerQuery {
+		return
+	}
+	n.pending[qid] = append(n.pending[qid], pendingMsg{tag: tag, payload: append([]byte(nil), payload...), at: now})
+}
+
+// replayPending re-dispatches tuples that arrived before the query.
+func (n *Node) replayPending(q *queryState) {
+	n.pendMu.Lock()
+	msgs := n.pending[q.id]
+	delete(n.pending, q.id)
+	n.pendMu.Unlock()
+	for _, m := range msgs {
+		switch m.tag {
+		case tagAgg:
+			if qid, window, row, err := decodeAggMsg(m.payload); err == nil && qid == q.id {
+				q.collectPartial(window, row)
+			}
+		case tagJoin:
+			if qid, window, side, row, err := decodeJoinMsg(m.payload); err == nil && qid == q.id && side <= 1 {
+				q.collectJoinTuple(window, side, row)
+			}
+		}
+	}
+}
+
+// onIntercept implements hierarchical in-network aggregation: relays
+// buffer partial aggregates flowing toward the same collector and
+// forward one combined partial per hold period.
+func (n *Node) onIntercept(key id.ID, tag string, payload []byte) ([]byte, bool) {
+	if tag != tagAgg {
+		return payload, true
+	}
+	qid, window, row, err := decodeAggMsg(payload)
+	if err != nil {
+		return payload, true
+	}
+	q := n.getQuery(qid, nil)
+	if q == nil || !q.spec.IsAggregate() {
+		return payload, true // unknown query: pass through
+	}
+	if q.combineInto(key, window, row) {
+		n.Metrics.PartialsCombined.Add(1)
+		return nil, false // buffered; a timer will re-route the merge
+	}
+	return payload, true
+}
+
+// ---------------------------------------------------------------------------
+// RPC handlers (coordinator side receives these)
+
+func (n *Node) registerHandlers() {
+	n.peer.Handle(methRows, func(from string, req []byte) ([]byte, error) {
+		qid, window, rows, err := decodeRowsMsg(req)
+		if err != nil {
+			return nil, err
+		}
+		q := n.getQuery(qid, nil)
+		if q == nil || !q.isCoord {
+			return nil, nil
+		}
+		q.coordAddRows(window, rows)
+		return nil, nil
+	})
+	n.peer.Handle(methDone, func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		qid := r.Uint64()
+		addr := r.String()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		q := n.getQuery(qid, nil)
+		if q != nil && q.isCoord {
+			q.coMu.Lock()
+			q.doneNodes[addr] = true
+			q.lastActivity = time.Now()
+			q.coMu.Unlock()
+		}
+		return nil, nil
+	})
+	n.peer.Handle(methBloom, func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		qid := r.Uint64()
+		f, err := bloom.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.bloomMu.Lock()
+		if agg, ok := n.bloomGather[qid]; ok {
+			_ = agg.Or(f)
+		}
+		n.bloomMu.Unlock()
+		return nil, nil
+	})
+}

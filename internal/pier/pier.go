@@ -1,0 +1,299 @@
+// Package pier is the query processor itself: it glues an overlay
+// router, the DHT storage layer, the planner, and the dataflow engine
+// into the node that the paper demonstrates. A PIER node can publish
+// tuples (into the DHT or into its local partition), disseminate
+// queries to every node over the overlay, execute its share of any
+// disseminated plan (scan, filter, partial aggregation, join
+// rehashing), act as a collector for in-network joins and aggregation,
+// and coordinate queries issued locally — one-shot or continuous.
+package pier
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/can"
+	"repro/internal/catalog"
+	"repro/internal/chord"
+	"repro/internal/dht"
+	"repro/internal/id"
+	"repro/internal/kademlia"
+	"repro/internal/overlay"
+	"repro/internal/rpc"
+	"repro/internal/transport"
+	"repro/internal/tuple"
+)
+
+// Config assembles a node. Zero values give simulation-scale defaults.
+type Config struct {
+	// Overlay selects the DHT scheme: "chord" (default), "kademlia",
+	// or "can" — the paper's point that PIER is overlay-agnostic,
+	// over all three of the schemes it cites.
+	Overlay string
+	// Chord / Kademlia / CAN configure the chosen overlay.
+	Chord    chord.Config
+	Kademlia kademlia.Config
+	CAN      can.Config
+	// DHT configures the storage layer.
+	DHT dht.Config
+
+	// CombineHold is how long a relay buffers partial aggregates for
+	// in-network combining before forwarding. Default 25ms.
+	CombineHold time.Duration
+	// CollectorHold is how long an aggregation collector waits after
+	// the last partial before finalizing a one-shot group (and the
+	// settle margin after window close for continuous ones).
+	// Default 150ms.
+	CollectorHold time.Duration
+	// Quiet is the coordinator's quiescence horizon: a one-shot
+	// query completes when no results arrived for this long.
+	// Default 400ms.
+	Quiet time.Duration
+	// MaxQueryLife caps one-shot query duration. Default 15s.
+	MaxQueryLife time.Duration
+	// BloomWait is how long a Bloom-join coordinator gathers
+	// per-site filters before disseminating the main query.
+	// Default 250ms.
+	BloomWait time.Duration
+	// BloomBits and BloomHashes size Bloom-join filters.
+	// Defaults 8192 bits, 4 hashes.
+	BloomBits   int
+	BloomHashes int
+	// RowBatch bounds rows per result message. Default 64.
+	RowBatch int
+	// DisableCombiner turns off in-network partial combining at
+	// relays (the S2 ablation).
+	DisableCombiner bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Overlay == "" {
+		c.Overlay = "chord"
+	}
+	if c.CombineHold == 0 {
+		c.CombineHold = 25 * time.Millisecond
+	}
+	if c.CollectorHold == 0 {
+		c.CollectorHold = 150 * time.Millisecond
+	}
+	if c.Quiet == 0 {
+		c.Quiet = 400 * time.Millisecond
+	}
+	if c.MaxQueryLife == 0 {
+		c.MaxQueryLife = 15 * time.Second
+	}
+	if c.BloomWait == 0 {
+		c.BloomWait = 250 * time.Millisecond
+	}
+	if c.BloomBits == 0 {
+		c.BloomBits = 8192
+	}
+	if c.BloomHashes == 0 {
+		c.BloomHashes = 4
+	}
+	if c.RowBatch == 0 {
+		c.RowBatch = 64
+	}
+	return c
+}
+
+// Metrics counts node activity for the harness.
+type Metrics struct {
+	QueriesCoordinated  atomic.Uint64
+	QueriesParticipated atomic.Uint64
+	PartialsSent        atomic.Uint64
+	PartialsCombined    atomic.Uint64
+	RowsSent            atomic.Uint64
+	JoinTuplesRehashed  atomic.Uint64
+	FetchProbes         atomic.Uint64
+}
+
+// Node is one PIER participant.
+type Node struct {
+	cfg    Config
+	router overlay.Router
+	peer   *rpc.Peer
+	store  *dht.Store
+	cat    *catalog.Catalog
+
+	mu      sync.Mutex
+	queries map[uint64]*queryState
+	stopped bool
+
+	bloomMu     sync.Mutex
+	bloomGather map[uint64]*bloom.Filter
+
+	pendMu  sync.Mutex
+	pending map[uint64][]pendingMsg
+
+	appMu        sync.Mutex
+	appBroadcast map[string]overlay.BroadcastFunc
+
+	qidCounter atomic.Uint64
+
+	Metrics Metrics
+
+	stopCh chan struct{}
+	wg     sync.WaitGroup
+}
+
+// NewNode builds a PIER node on the given transport. The node joins
+// no overlay until Join is called.
+func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
+	cfg = cfg.withDefaults()
+	n := &Node{
+		cfg:          cfg,
+		cat:          catalog.New(),
+		queries:      make(map[uint64]*queryState),
+		bloomGather:  make(map[uint64]*bloom.Filter),
+		appBroadcast: make(map[string]overlay.BroadcastFunc),
+		stopCh:       make(chan struct{}),
+	}
+	switch cfg.Overlay {
+	case "chord":
+		c := chord.New(tr, cfg.Chord)
+		n.router = c
+		n.peer = c.Peer()
+	case "kademlia":
+		k := kademlia.New(tr, cfg.Kademlia)
+		n.router = k
+		n.peer = k.Peer()
+	case "can":
+		c := can.New(tr, cfg.CAN)
+		n.router = c
+		n.peer = c.Peer()
+	default:
+		return nil, fmt.Errorf("pier: unknown overlay %q", cfg.Overlay)
+	}
+	n.store = dht.New(n.router, n.peer, cfg.DHT, n.onRouted)
+	n.router.SetBroadcast(n.onBroadcast)
+	if !cfg.DisableCombiner {
+		n.router.SetIntercept(n.onIntercept)
+	}
+	n.registerHandlers()
+	return n, nil
+}
+
+// Join merges the node into the overlay via any existing member.
+func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
+	switch r := n.router.(type) {
+	case *chord.Node:
+		return r.Join(ctx, bootstrapAddr)
+	case *kademlia.Node:
+		return r.Join(ctx, bootstrapAddr)
+	case *can.Node:
+		return r.Join(ctx, bootstrapAddr)
+	default:
+		return fmt.Errorf("pier: overlay does not support Join")
+	}
+}
+
+// Addr returns the node's transport address.
+func (n *Node) Addr() string { return n.router.Self().Addr }
+
+// Router exposes the overlay (benchmarks read its metrics).
+func (n *Node) Router() overlay.Router { return n.router }
+
+// Store exposes the DHT storage layer.
+func (n *Node) Store() *dht.Store { return n.store }
+
+// Catalog exposes the local table registry.
+func (n *Node) Catalog() *catalog.Catalog { return n.cat }
+
+// Stop shuts the node down: running queries are cancelled, the store
+// and overlay stop.
+func (n *Node) Stop() {
+	n.mu.Lock()
+	if n.stopped {
+		n.mu.Unlock()
+		return
+	}
+	n.stopped = true
+	qs := make([]*queryState, 0, len(n.queries))
+	for _, q := range n.queries {
+		qs = append(qs, q)
+	}
+	n.mu.Unlock()
+	close(n.stopCh)
+	for _, q := range qs {
+		q.cancel()
+	}
+	n.wg.Wait()
+	n.store.Stop()
+	n.router.Stop()
+}
+
+// DefineTable registers a table schema locally so this node can plan
+// queries over it and publish into it. Applications call it with the
+// same schema on every node that uses the table.
+func (n *Node) DefineTable(schema *tuple.Schema, ttl time.Duration) error {
+	_, err := n.cat.Define(schema, ttl)
+	return err
+}
+
+// Publish inserts a tuple into the table's DHT namespace: it is
+// routed to the owner of its resource ID and replicated — PIER's
+// "put" path, used by content-indexed tables like the file-sharing
+// inverted index.
+func (n *Node) Publish(table string, t tuple.Tuple) error {
+	tbl, ok := n.cat.Lookup(table)
+	if !ok {
+		return fmt.Errorf("pier: unknown table %q", table)
+	}
+	if err := tbl.Schema.Validate(t); err != nil {
+		return err
+	}
+	return n.store.Put(tbl.Namespace, tbl.Schema.KeyOf(t), t.Bytes(), tbl.TTL)
+}
+
+// PublishLocal inserts a tuple into this node's local partition of
+// the table without any network traffic — how monitoring sensors
+// contribute their samples in the paper's demo (data stays at the
+// edge; queries come to the data).
+func (n *Node) PublishLocal(table string, t tuple.Tuple) error {
+	tbl, ok := n.cat.Lookup(table)
+	if !ok {
+		return fmt.Errorf("pier: unknown table %q", table)
+	}
+	if err := tbl.Schema.Validate(t); err != nil {
+		return err
+	}
+	n.store.PutLocal(tbl.Namespace, tbl.Schema.KeyOf(t), t.Bytes(), tbl.TTL)
+	return nil
+}
+
+// nextQueryID generates a node-unique query identifier: high bits from
+// the node's address hash, low bits from a counter.
+func (n *Node) nextQueryID() uint64 {
+	h := id.HashString(n.Addr())
+	hi := uint64(h[0])<<56 | uint64(h[1])<<48 | uint64(h[2])<<40 | uint64(h[3])<<32
+	return hi | (n.qidCounter.Add(1) & 0xffffffff)
+}
+
+// Peer exposes the RPC endpoint so applications built on the node
+// (file search, topology mapping, baselines) can register their own
+// methods over the same transport.
+func (n *Node) Peer() *rpc.Peer { return n.peer }
+
+// HandleBroadcast registers an application-level broadcast handler
+// for tag. Tags beginning with "pier." are reserved for the engine.
+func (n *Node) HandleBroadcast(tag string, fn overlay.BroadcastFunc) {
+	n.appMu.Lock()
+	defer n.appMu.Unlock()
+	n.appBroadcast[tag] = fn
+}
+
+// Broadcast disseminates an application message to every node.
+func (n *Node) Broadcast(tag string, payload []byte) error {
+	return n.router.Broadcast(tag, payload)
+}
+
+func (n *Node) appBroadcastFor(tag string) overlay.BroadcastFunc {
+	n.appMu.Lock()
+	defer n.appMu.Unlock()
+	return n.appBroadcast[tag]
+}

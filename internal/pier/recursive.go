@@ -1,0 +1,282 @@
+package pier
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// queryRecursive executes WITH RECURSIVE cte AS (base UNION step)
+// outer. The base query runs as a normal distributed query; the
+// recursive step's non-CTE table is materialized at the coordinator
+// with a distributed scan; the fixpoint itself runs locally through
+// the dataflow engine's semi-naive Fixpoint operator. (Fully
+// in-network recursion — rehashing deltas through the DHT, as the
+// topology paper [2] does — is provided by internal/topology; the SQL
+// surface takes the coordinator-materialized route.)
+func (n *Node) queryRecursive(ctx context.Context, stmt *sqlparser.SelectStmt) (*Result, error) {
+	w := stmt.With
+	if stmt.IsContinuous() {
+		return nil, fmt.Errorf("pier: continuous recursive queries are not supported")
+	}
+	// The outer block must read only the CTE.
+	if len(stmt.From) != 1 || stmt.From[0].Name != w.Name {
+		return nil, fmt.Errorf("pier: the outer select must read FROM %s only", w.Name)
+	}
+
+	// 1. Run the base query distributed.
+	baseSpec, err := plan.Compile(w.Base, n.cat, plan.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("pier: recursive base: %w", err)
+	}
+	if baseSpec.IsAggregate() {
+		return nil, fmt.Errorf("pier: recursive base must not aggregate")
+	}
+	baseRes, err := n.ExecuteSpec(ctx, baseSpec)
+	if err != nil {
+		return nil, err
+	}
+
+	// CTE schema: column names from the base select list.
+	cteCols := make([]tuple.Column, len(baseRes.Columns))
+	for i, name := range baseRes.Columns {
+		cteCols[i] = tuple.Column{Name: name}
+	}
+	cteSchema := &tuple.Schema{Name: w.Name, Columns: cteCols}
+
+	// 2. Analyze the step: FROM must pair the CTE with one table.
+	step, err := n.buildRecursiveStep(ctx, w, cteSchema)
+	if err != nil {
+		return nil, err
+	}
+
+	// 3. Fixpoint over the dataflow engine.
+	g := dataflow.New("recursive")
+	src := g.Add("base", ops.SliceSource(baseRes.Rows))
+	fix := g.Add("fixpoint", ops.Fixpoint(step))
+	var cteRows []tuple.Tuple
+	sink := g.Add("collect", ops.CollectSink(&cteRows))
+	g.Connect(src, fix)
+	g.Connect(fix, sink)
+	if err := g.Run(ctx); err != nil {
+		return nil, err
+	}
+
+	// 4. Execute the outer block locally over the materialized CTE.
+	outerStmt := *stmt
+	outerStmt.With = nil
+	outerSpec, err := compileAgainst(cteSchema, &outerStmt)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := localExecuteSpec(ctx, outerSpec, cteRows)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Columns:      outerSpec.OutNames,
+		Rows:         rows,
+		Duration:     baseRes.Duration,
+		Participants: baseRes.Participants,
+	}, nil
+}
+
+// buildRecursiveStep compiles the recursive member into a closure:
+// given one new CTE tuple, produce the derived CTE tuples, by joining
+// against a coordinator-materialized copy of the step's base table.
+func (n *Node) buildRecursiveStep(ctx context.Context, w *sqlparser.WithRecursive, cteSchema *tuple.Schema) (func(tuple.Tuple) []tuple.Tuple, error) {
+	step := w.Step
+	if len(step.From) != 2 {
+		return nil, fmt.Errorf("pier: the recursive step must join the CTE with one table")
+	}
+	cteIdx := -1
+	for i, ref := range step.From {
+		if ref.Name == w.Name {
+			cteIdx = i
+		}
+	}
+	if cteIdx < 0 {
+		return nil, fmt.Errorf("pier: the recursive step must reference %s", w.Name)
+	}
+	tblRef := step.From[1-cteIdx]
+	tbl, ok := n.cat.Lookup(tblRef.Name)
+	if !ok {
+		return nil, fmt.Errorf("pier: unknown table %q in recursive step", tblRef.Name)
+	}
+
+	// Qualified schemas in FROM order.
+	schemas := make([]*tuple.Schema, 2)
+	schemas[cteIdx] = cteSchema.Qualify(step.From[cteIdx].Binding())
+	schemas[1-cteIdx] = tbl.Schema.Qualify(tblRef.Binding())
+	concat := schemas[0].Concat(schemas[1])
+
+	// Conjuncts: equi-join pairs between the two sides; the rest is a
+	// residual filter over the joined tuple.
+	var conjuncts []expr.Expr
+	if step.JoinOn != nil {
+		conjuncts = append(conjuncts, expr.Conjuncts(step.JoinOn)...)
+	}
+	if step.Where != nil {
+		conjuncts = append(conjuncts, expr.Conjuncts(step.Where)...)
+	}
+	var cteJoin, tblJoin []int
+	var residual []expr.Expr
+	for _, c := range conjuncts {
+		if cmp, ok := c.(*expr.Cmp); ok && cmp.Op == expr.EQ {
+			lc, lok := cmp.L.(*expr.Col)
+			rc, rok := cmp.R.(*expr.Col)
+			if lok && rok {
+				li, ri := schemas[cteIdx].ColIndex(lc.Name), schemas[1-cteIdx].ColIndex(rc.Name)
+				if li >= 0 && ri >= 0 {
+					cteJoin = append(cteJoin, li)
+					tblJoin = append(tblJoin, ri)
+					continue
+				}
+				li, ri = schemas[cteIdx].ColIndex(rc.Name), schemas[1-cteIdx].ColIndex(lc.Name)
+				if li >= 0 && ri >= 0 {
+					cteJoin = append(cteJoin, li)
+					tblJoin = append(tblJoin, ri)
+					continue
+				}
+			}
+		}
+		cc, err := cloneResolvedExpr(c, concat)
+		if err != nil {
+			return nil, fmt.Errorf("pier: recursive step predicate %s: %w", c, err)
+		}
+		residual = append(residual, cc)
+	}
+	if len(cteJoin) == 0 {
+		return nil, fmt.Errorf("pier: the recursive step needs an equality between %s and %s", w.Name, tblRef.Name)
+	}
+	residualPred := expr.AndAll(residual)
+
+	// Step projection: the select items over the concatenated schema;
+	// arity must equal the CTE's.
+	if len(step.Items) != cteSchema.Arity() || step.Star {
+		return nil, fmt.Errorf("pier: the recursive step must select exactly %d columns", cteSchema.Arity())
+	}
+	proj := make([]expr.Expr, len(step.Items))
+	for i, item := range step.Items {
+		e, err := cloneResolvedExpr(item.Expr, concat)
+		if err != nil {
+			return nil, err
+		}
+		proj[i] = e
+	}
+
+	// Materialize the step table at the coordinator and index it by
+	// its join columns.
+	matRes, err := n.Query(ctx, "SELECT * FROM "+tblRef.Name)
+	if err != nil {
+		return nil, fmt.Errorf("pier: materializing %s: %w", tblRef.Name, err)
+	}
+	index := make(map[string][]tuple.Tuple)
+	for _, t := range matRes.Rows {
+		key := string(t.Project(tblJoin).Bytes())
+		index[key] = append(index[key], t)
+	}
+
+	return func(cteT tuple.Tuple) []tuple.Tuple {
+		key := string(cteT.Project(cteJoin).Bytes())
+		matches := index[key]
+		var out []tuple.Tuple
+		for _, mt := range matches {
+			var joined tuple.Tuple
+			if cteIdx == 0 {
+				joined = cteT.Concat(mt)
+			} else {
+				joined = mt.Concat(cteT)
+			}
+			if residualPred != nil {
+				v, err := residualPred.Eval(joined)
+				if err != nil || v.Kind != tuple.TBool || !v.B {
+					continue
+				}
+			}
+			derived := make(tuple.Tuple, len(proj))
+			ok := true
+			for i, e := range proj {
+				v, err := e.Eval(joined)
+				if err != nil {
+					ok = false
+					break
+				}
+				derived[i] = v
+			}
+			if ok {
+				out = append(out, derived)
+			}
+		}
+		return out
+	}, nil
+}
+
+// cloneResolvedExpr copies an expression via the wire codec and
+// resolves it against sch (the pier-side twin of the planner's
+// helper).
+func cloneResolvedExpr(e expr.Expr, sch *tuple.Schema) (expr.Expr, error) {
+	w := wire.NewWriter(64)
+	expr.Encode(w, e)
+	cp, err := expr.Decode(wire.NewReader(w.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("pier: expression %s not serializable", e)
+	}
+	if err := expr.Resolve(cp, sch); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+// compileAgainst compiles a single-table statement against an
+// in-memory schema (for CTE outer blocks).
+func compileAgainst(schema *tuple.Schema, stmt *sqlparser.SelectStmt) (*plan.Spec, error) {
+	cat := catalog.New()
+	if _, err := cat.Define(schema, time.Minute); err != nil {
+		return nil, err
+	}
+	return plan.Compile(stmt, cat, plan.Options{})
+}
+
+// localExecuteSpec runs a single-scan spec entirely locally over
+// in-memory rows — used for CTE outer blocks.
+func localExecuteSpec(ctx context.Context, spec *plan.Spec, raw []tuple.Tuple) ([]tuple.Tuple, error) {
+	if len(spec.Scans) != 1 {
+		return nil, fmt.Errorf("pier: local execution supports one scan")
+	}
+	sc := &spec.Scans[0]
+	g := dataflow.New("local")
+	prev := g.Add("rows", ops.SliceSource(raw))
+	if sc.Where != nil {
+		sel := g.Add("where", ops.Select(sc.Where))
+		g.Connect(prev, sel)
+		prev = sel
+	}
+	proj := g.Add("proj", ops.Project(spec.Proj))
+	g.Connect(prev, proj)
+	prev = proj
+	if spec.IsAggregate() {
+		agg := g.Add("agg", ops.Aggregate(spec.GroupCols, spec.Aggs, ops.Complete))
+		g.Connect(prev, agg)
+		prev = agg
+	}
+	var canonical []tuple.Tuple
+	sink := g.Add("collect", ops.CollectSink(&canonical))
+	g.Connect(prev, sink)
+	if err := g.Run(ctx); err != nil {
+		return nil, err
+	}
+	return finalizeRows(ctx, spec, canonical)
+}

@@ -1,0 +1,163 @@
+// Package piertest builds ready-to-query PIER clusters over the
+// simulated network for tests, examples, and the benchmark harness.
+// It owns the fiddly parts — fast protocol timers, joining every node
+// through a bootstrap, and waiting for the overlay to converge — so
+// callers get a working testbed in one call, the way the paper's
+// authors got PlanetLab.
+package piertest
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/chord"
+	"repro/internal/pier"
+	"repro/internal/simnet"
+)
+
+// Options tune the cluster.
+type Options struct {
+	// N is the node count. Default 8.
+	N int
+	// Seed drives the simulated network's randomness. Default 1.
+	Seed int64
+	// NetCfg overrides the full simnet configuration (Seed wins for
+	// the Seed field when both set).
+	NetCfg *simnet.Config
+	// NodeCfg overrides the node configuration. Default: fast
+	// simulation timers on a Chord overlay.
+	NodeCfg *pier.Config
+	// ConvergeTimeout bounds the overlay convergence wait.
+	// Default 60s.
+	ConvergeTimeout time.Duration
+}
+
+// FastConfig returns the simulation-scale node configuration used
+// throughout the tests and benchmarks.
+func FastConfig() pier.Config {
+	cfg := pier.Config{
+		Overlay: "chord",
+		Chord: chord.Config{
+			SuccessorListLen: 4,
+			StabilizeEvery:   10 * time.Millisecond,
+			FixFingersEvery:  2 * time.Millisecond,
+			CheckPredEvery:   25 * time.Millisecond,
+		},
+		CombineHold:   15 * time.Millisecond,
+		CollectorHold: 80 * time.Millisecond,
+		Quiet:         250 * time.Millisecond,
+		MaxQueryLife:  10 * time.Second,
+		BloomWait:     200 * time.Millisecond,
+	}
+	cfg.DHT.SweepEvery = 100 * time.Millisecond
+	cfg.DHT.RepublishEvery = 500 * time.Millisecond
+	return cfg
+}
+
+// Cluster is a running simulated PIER deployment.
+type Cluster struct {
+	Net   *simnet.Network
+	Nodes []*pier.Node
+}
+
+// New builds, joins, and converges a cluster.
+func New(opts Options) (*Cluster, error) {
+	if opts.N == 0 {
+		opts.N = 8
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	if opts.ConvergeTimeout == 0 {
+		opts.ConvergeTimeout = 60 * time.Second
+	}
+	netCfg := simnet.Config{}
+	if opts.NetCfg != nil {
+		netCfg = *opts.NetCfg
+	}
+	netCfg.Seed = opts.Seed
+	nodeCfg := FastConfig()
+	if opts.NodeCfg != nil {
+		nodeCfg = *opts.NodeCfg
+	}
+	net := simnet.New(netCfg)
+	c := &Cluster{Net: net}
+	for i := 0; i < opts.N; i++ {
+		ep, err := net.Endpoint(fmt.Sprintf("node%d", i))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		nd, err := pier.NewNode(ep, nodeCfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.Nodes = append(c.Nodes, nd)
+	}
+	for i := 1; i < opts.N; i++ {
+		if err := c.Nodes[i].Join(context.Background(), c.Nodes[0].Addr()); err != nil {
+			c.Close()
+			return nil, fmt.Errorf("piertest: joining node %d: %w", i, err)
+		}
+		if nodeCfg.Overlay == "can" {
+			// CAN joins mutate the splitter's zone; serialize them so
+			// concurrent splits never hand out overlapping zones.
+			time.Sleep(20 * time.Millisecond)
+		}
+	}
+	if err := c.WaitConverged(opts.ConvergeTimeout); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// WaitConverged blocks until the overlay stabilizes (Chord: the
+// successor cycle matches the sorted ring; Kademlia: a settle pause).
+func (c *Cluster) WaitConverged(timeout time.Duration) error {
+	chords := make([]*chord.Node, 0, len(c.Nodes))
+	for _, nd := range c.Nodes {
+		if cn, ok := nd.Router().(*chord.Node); ok {
+			chords = append(chords, cn)
+		}
+	}
+	if len(chords) != len(c.Nodes) {
+		time.Sleep(400 * time.Millisecond)
+		return nil
+	}
+	if len(chords) <= 1 {
+		return nil
+	}
+	sorted := append([]*chord.Node(nil), chords...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return sorted[i].Self().ID.Less(sorted[j].Self().ID)
+	})
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ok := true
+		for i, cn := range sorted {
+			if cn.Successor().Addr != sorted[(i+1)%len(sorted)].Self().Addr {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			// Let finger tables warm so broadcast covers everyone.
+			time.Sleep(150 * time.Millisecond)
+			return nil
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	return fmt.Errorf("piertest: %d-node overlay did not converge in %v", len(c.Nodes), timeout)
+}
+
+// Close stops every node and the network.
+func (c *Cluster) Close() {
+	for _, nd := range c.Nodes {
+		nd.Stop()
+	}
+	c.Net.Close()
+}

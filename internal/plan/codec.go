@@ -1,0 +1,185 @@
+package plan
+
+import (
+	"fmt"
+
+	"repro/internal/expr"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Plans are disseminated to every node with the query, so the spec
+// has a complete wire encoding.
+
+// Encode appends the spec to w.
+func (s *Spec) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(s.Scans)))
+	for i := range s.Scans {
+		sc := &s.Scans[i]
+		w.String(sc.Table)
+		w.String(sc.Namespace)
+		tuple.EncodeSchema(w, sc.Schema)
+		expr.Encode(w, sc.Where)
+		encodeInts(w, sc.JoinCols)
+	}
+	w.Byte(byte(s.Strategy))
+	expr.Encode(w, s.PostFilter)
+	w.Uvarint(uint64(len(s.Proj)))
+	for _, e := range s.Proj {
+		expr.Encode(w, e)
+	}
+	encodeInts(w, s.GroupCols)
+	w.Uvarint(uint64(len(s.Aggs)))
+	for _, a := range s.Aggs {
+		w.Byte(byte(a.Func))
+		w.Varint(int64(a.ArgCol))
+	}
+	encodeInts(w, s.OutPerm)
+	w.Uvarint(uint64(len(s.OutNames)))
+	for _, n := range s.OutNames {
+		w.String(n)
+	}
+	expr.Encode(w, s.Having)
+	encodeInts(w, s.OrderCols)
+	w.Uvarint(uint64(len(s.OrderDesc)))
+	for _, d := range s.OrderDesc {
+		w.Bool(d)
+	}
+	w.Varint(int64(s.Limit))
+	w.Bool(s.Distinct)
+	w.Varint(s.Window)
+	w.Varint(s.Slide)
+	w.Varint(s.Live)
+}
+
+// Bytes serializes the spec into a fresh buffer.
+func (s *Spec) Bytes() []byte {
+	w := wire.NewWriter(512)
+	s.Encode(w)
+	return w.Bytes()
+}
+
+// Decode reads a spec written by Encode.
+func Decode(r *wire.Reader) (*Spec, error) {
+	s := &Spec{}
+	nScans := int(r.Uvarint())
+	if nScans > 2 {
+		return nil, fmt.Errorf("plan: %d scans in spec", nScans)
+	}
+	for i := 0; i < nScans; i++ {
+		var sc ScanSpec
+		sc.Table = r.String()
+		sc.Namespace = r.String()
+		sch, err := tuple.DecodeSchema(r)
+		if err != nil {
+			return nil, err
+		}
+		sc.Schema = sch
+		sc.Where, err = expr.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		sc.JoinCols, err = decodeInts(r)
+		if err != nil {
+			return nil, err
+		}
+		s.Scans = append(s.Scans, sc)
+	}
+	s.Strategy = JoinStrategy(r.Byte())
+	var err error
+	s.PostFilter, err = expr.Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	nProj := int(r.Uvarint())
+	if nProj > 4096 {
+		return nil, fmt.Errorf("plan: %d projections", nProj)
+	}
+	for i := 0; i < nProj; i++ {
+		e, err := expr.Decode(r)
+		if err != nil {
+			return nil, err
+		}
+		if e == nil {
+			return nil, fmt.Errorf("plan: absent projection %d", i)
+		}
+		s.Proj = append(s.Proj, e)
+	}
+	if s.GroupCols, err = decodeInts(r); err != nil {
+		return nil, err
+	}
+	nAggs := int(r.Uvarint())
+	if nAggs > 256 {
+		return nil, fmt.Errorf("plan: %d aggregates", nAggs)
+	}
+	for i := 0; i < nAggs; i++ {
+		fn := ops.AggFunc(r.Byte())
+		arg := int(r.Varint())
+		s.Aggs = append(s.Aggs, ops.AggSpec{Func: fn, ArgCol: arg})
+	}
+	if s.OutPerm, err = decodeInts(r); err != nil {
+		return nil, err
+	}
+	nNames := int(r.Uvarint())
+	if nNames > 4096 {
+		return nil, fmt.Errorf("plan: %d output names", nNames)
+	}
+	for i := 0; i < nNames; i++ {
+		s.OutNames = append(s.OutNames, r.String())
+	}
+	if s.Having, err = expr.Decode(r); err != nil {
+		return nil, err
+	}
+	if s.OrderCols, err = decodeInts(r); err != nil {
+		return nil, err
+	}
+	nDesc := int(r.Uvarint())
+	if nDesc > 4096 {
+		return nil, fmt.Errorf("plan: %d order flags", nDesc)
+	}
+	for i := 0; i < nDesc; i++ {
+		s.OrderDesc = append(s.OrderDesc, r.Bool())
+	}
+	s.Limit = int(r.Varint())
+	s.Distinct = r.Bool()
+	s.Window = r.Varint()
+	s.Slide = r.Varint()
+	s.Live = r.Varint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// FromBytes decodes a spec, rejecting trailing bytes.
+func FromBytes(buf []byte) (*Spec, error) {
+	r := wire.NewReader(buf)
+	s, err := Decode(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func encodeInts(w *wire.Writer, xs []int) {
+	w.Uvarint(uint64(len(xs)))
+	for _, x := range xs {
+		w.Varint(int64(x))
+	}
+}
+
+func decodeInts(r *wire.Reader) ([]int, error) {
+	n := int(r.Uvarint())
+	if n > 4096 {
+		return nil, fmt.Errorf("plan: int list of %d", n)
+	}
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, int(r.Varint()))
+	}
+	return out, r.Err()
+}

@@ -1,0 +1,91 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Explain renders the distributed plan as an indented operator tree —
+// what runs at every participant, what runs at collectors, and what
+// the coordinator applies at the end. The same text for the same
+// spec, so tests can assert on plan shapes.
+func (s *Spec) Explain() string {
+	var b strings.Builder
+	indent := func(depth int, format string, args ...interface{}) {
+		b.WriteString(strings.Repeat("  ", depth))
+		fmt.Fprintf(&b, format, args...)
+		b.WriteByte('\n')
+	}
+
+	kind := "one-shot"
+	if s.IsContinuous() {
+		kind = fmt.Sprintf("continuous window=%v slide=%v",
+			time.Duration(s.Window), time.Duration(s.Slide))
+		if s.Live > 0 {
+			kind += fmt.Sprintf(" live=%v", time.Duration(s.Live))
+		}
+	}
+	indent(0, "Query (%s)", kind)
+
+	depth := 1
+	indent(depth, "Coordinator")
+	d := depth + 1
+	if s.Limit >= 0 {
+		indent(d, "Limit %d", s.Limit)
+	}
+	if len(s.OrderCols) > 0 {
+		var keys []string
+		for i, c := range s.OrderCols {
+			dir := "ASC"
+			if i < len(s.OrderDesc) && s.OrderDesc[i] {
+				dir = "DESC"
+			}
+			keys = append(keys, fmt.Sprintf("#%d %s", c, dir))
+		}
+		indent(d, "OrderBy [%s]", strings.Join(keys, ", "))
+	}
+	if s.Distinct {
+		indent(d, "Distinct")
+	}
+	if s.Having != nil {
+		indent(d, "Having %s", s.Having)
+	}
+	if s.IsAggregate() {
+		indent(d, "FinalAggregate groups=%d aggs=%s (at collectors, merged in-network)", len(s.GroupCols), aggList(s))
+		d++
+		indent(d, "PartialAggregate (at every participant)")
+	}
+	projStrs := make([]string, len(s.Proj))
+	for i, e := range s.Proj {
+		projStrs[i] = e.String()
+	}
+	indent(d, "Project [%s]", strings.Join(projStrs, ", "))
+	if s.PostFilter != nil {
+		indent(d, "Filter %s", s.PostFilter)
+	}
+	if len(s.Scans) == 2 {
+		indent(d, "Join (%s) on left%v = right%v", s.Strategy, s.Scans[0].JoinCols, s.Scans[1].JoinCols)
+		d++
+	}
+	for _, sc := range s.Scans {
+		line := fmt.Sprintf("Scan %s [%s]", sc.Table, sc.Namespace)
+		if sc.Where != nil {
+			line += fmt.Sprintf(" filter %s", sc.Where)
+		}
+		indent(d, "%s", line)
+	}
+	return b.String()
+}
+
+func aggList(s *Spec) string {
+	parts := make([]string, len(s.Aggs))
+	for i, a := range s.Aggs {
+		arg := "*"
+		if a.ArgCol >= 0 {
+			arg = fmt.Sprintf("#%d", a.ArgCol)
+		}
+		parts[i] = fmt.Sprintf("%s(%s)", a.Func, arg)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

@@ -1,0 +1,59 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExplainAggregatePlan(t *testing.T) {
+	spec := compile(t,
+		"SELECT rule, SUM(hits) AS total FROM alerts GROUP BY rule HAVING SUM(hits) > 10 ORDER BY total DESC LIMIT 10",
+		Options{})
+	out := spec.Explain()
+	for _, want := range []string{
+		"Query (one-shot)",
+		"Coordinator",
+		"Limit 10",
+		"OrderBy",
+		"DESC",
+		"Having",
+		"FinalAggregate",
+		"PartialAggregate",
+		"Project",
+		"Scan alerts [table:alerts]",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainJoinPlan(t *testing.T) {
+	spec := compile(t,
+		"SELECT a.node FROM alerts a JOIN rules r ON a.rule = r.rule WHERE a.hits > 5",
+		Options{})
+	out := spec.Explain()
+	for _, want := range []string{"Join (fetch-matches)", "Scan alerts", "Scan rules", "filter"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestExplainContinuousPlan(t *testing.T) {
+	spec := compile(t, "SELECT SUM(rate) FROM traffic WINDOW 5 s SLIDE 1 s LIVE 60 s", Options{})
+	out := spec.Explain()
+	if !strings.Contains(out, "continuous window=5s slide=1s live=1m0s") {
+		t.Fatalf("continuous header wrong:\n%s", out)
+	}
+}
+
+func TestExplainDeterministic(t *testing.T) {
+	spec := compile(t, "SELECT DISTINCT node FROM traffic", Options{})
+	if spec.Explain() != spec.Explain() {
+		t.Fatal("explain not deterministic")
+	}
+	if !strings.Contains(spec.Explain(), "Distinct") {
+		t.Fatalf("missing Distinct:\n%s", spec.Explain())
+	}
+}

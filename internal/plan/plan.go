@@ -1,0 +1,614 @@
+// Package plan compiles parsed SQL into the distributed plan
+// specification that PIER disseminates to every node. Compilation
+// performs the paper's rule-based optimizations: predicate pushdown
+// into per-table scans, extraction of equi-join keys for DHT
+// rehashing, partial/final aggregate splitting for in-network
+// aggregation, and join-strategy selection (symmetric rehash,
+// fetch-matches against a table already keyed on the join columns, or
+// a Bloom-filter prefilter).
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/expr"
+	"repro/internal/ops"
+	"repro/internal/sqlparser"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// JoinStrategy selects the distributed join algorithm.
+type JoinStrategy uint8
+
+const (
+	// SymmetricHash rehashes both inputs by join key into collector
+	// nodes running pipelined symmetric hash joins.
+	SymmetricHash JoinStrategy = iota
+	// FetchMatches probes the right-hand table in place via DHT gets
+	// — valid only when the right table's declared key equals the
+	// join columns.
+	FetchMatches
+	// BloomJoin gathers per-site Bloom filters of the left join keys
+	// first and rehashes only right tuples that may match.
+	BloomJoin
+)
+
+func (s JoinStrategy) String() string {
+	return [...]string{"symmetric-hash", "fetch-matches", "bloom"}[s]
+}
+
+// ScanSpec is one table access.
+type ScanSpec struct {
+	Table     string
+	Namespace string
+	// Schema is the scan's output schema, column names qualified by
+	// the query's binding for the table.
+	Schema *tuple.Schema
+	// Where is the pushed-down filter, resolved against Schema (nil
+	// for none).
+	Where expr.Expr
+	// JoinCols are this side's equi-join columns (empty without a
+	// join).
+	JoinCols []int
+}
+
+// Spec is the complete distributed plan for one query block. It is
+// self-contained — schemas travel with it — so any node can execute
+// its share without catalog access.
+type Spec struct {
+	// Scans lists the 1 or 2 table accesses.
+	Scans []ScanSpec
+	// Strategy picks the join algorithm for 2-scan plans.
+	Strategy JoinStrategy
+	// PostFilter runs after the join (or after the scan for 1-scan
+	// plans when a conjunct could not be pushed down), resolved
+	// against the work schema.
+	PostFilter expr.Expr
+	// Proj computes the work tuple fed to aggregation or, for
+	// non-aggregate queries, the result row. Resolved against the
+	// (concatenated) scan schema.
+	Proj []expr.Expr
+	// GroupCols index into Proj output; Aggs consume Proj output.
+	GroupCols []int
+	Aggs      []ops.AggSpec
+	// OutPerm permutes the canonical output layout (group columns
+	// then aggregates, or the Proj output) into select-list order.
+	OutPerm []int
+	// OutNames are the result column names, in select-list order.
+	OutNames []string
+	// Having filters final rows (resolved against canonical layout,
+	// pre-permutation).
+	Having expr.Expr
+	// OrderCols/OrderDesc/Limit order and truncate the result
+	// (indexes into the canonical layout).
+	OrderCols []int
+	OrderDesc []bool
+	Limit     int
+	Distinct  bool
+	// Continuous-query clauses.
+	Window Duration
+	Slide  Duration
+	Live   Duration
+}
+
+// Duration is a nanosecond count (kept as int64 for the codec).
+type Duration = int64
+
+// IsAggregate reports whether the plan has an aggregation stage.
+func (s *Spec) IsAggregate() bool { return len(s.Aggs) > 0 }
+
+// IsContinuous reports whether the plan is a continuous query.
+func (s *Spec) IsContinuous() bool { return s.Window > 0 }
+
+// WorkSchema is the schema Proj produces (canonical layout input).
+func (s *Spec) WorkSchema() *tuple.Schema {
+	cols := make([]tuple.Column, len(s.Proj))
+	for i := range s.Proj {
+		cols[i] = tuple.Column{Name: fmt.Sprintf("c%d", i)}
+	}
+	return &tuple.Schema{Name: "work", Columns: cols}
+}
+
+// CanonicalWidth is the arity of the pre-permutation result row.
+func (s *Spec) CanonicalWidth() int {
+	if s.IsAggregate() {
+		return len(s.GroupCols) + len(s.Aggs)
+	}
+	return len(s.Proj)
+}
+
+// Options tune compilation.
+type Options struct {
+	// Strategy forces a join strategy; Auto (default) picks
+	// fetch-matches when legal, else symmetric hash.
+	Strategy *JoinStrategy
+}
+
+// Compile turns a parsed statement into a distributed plan using cat
+// for table resolution. WITH RECURSIVE statements are handled by the
+// executor, not here; Compile rejects them.
+func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*Spec, error) {
+	if stmt.With != nil {
+		return nil, fmt.Errorf("plan: WITH RECURSIVE is executed by the coordinator, not compiled directly")
+	}
+	if len(stmt.From) == 0 || len(stmt.From) > 2 {
+		return nil, fmt.Errorf("plan: %d-table FROM not supported (1 or 2)", len(stmt.From))
+	}
+
+	spec := &Spec{Limit: stmt.Limit, Distinct: stmt.Distinct,
+		Window: int64(stmt.Window), Slide: int64(stmt.Slide), Live: int64(stmt.Live)}
+
+	// Resolve scans; qualify schemas when a join or alias demands it.
+	qualify := len(stmt.From) == 2
+	var schemas []*tuple.Schema
+	for _, ref := range stmt.From {
+		tbl, ok := cat.Lookup(ref.Name)
+		if !ok {
+			return nil, fmt.Errorf("plan: unknown table %q", ref.Name)
+		}
+		sch := tbl.Schema
+		if qualify || ref.Alias != "" {
+			sch = tbl.Schema.Qualify(ref.Binding())
+		}
+		spec.Scans = append(spec.Scans, ScanSpec{
+			Table:     ref.Name,
+			Namespace: tbl.Namespace,
+			Schema:    sch,
+		})
+		schemas = append(schemas, sch)
+	}
+	workInput := schemas[0]
+	if len(schemas) == 2 {
+		workInput = schemas[0].Concat(schemas[1])
+	}
+
+	// Gather predicate conjuncts from WHERE and JOIN ... ON.
+	var conjuncts []expr.Expr
+	if stmt.Where != nil {
+		conjuncts = append(conjuncts, expr.Conjuncts(stmt.Where)...)
+	}
+	if stmt.JoinOn != nil {
+		conjuncts = append(conjuncts, expr.Conjuncts(stmt.JoinOn)...)
+	}
+
+	// Classify: single-table conjuncts push into scans; cross-table
+	// equality conjuncts become join keys; the rest post-filter.
+	var post []expr.Expr
+	for _, c := range conjuncts {
+		if len(schemas) == 2 {
+			if l, r, ok := equiJoinCols(c, schemas[0], schemas[1]); ok {
+				spec.Scans[0].JoinCols = append(spec.Scans[0].JoinCols, l)
+				spec.Scans[1].JoinCols = append(spec.Scans[1].JoinCols, r)
+				continue
+			}
+		}
+		placed := false
+		for i, sch := range schemas {
+			if resolvesAgainst(c, sch) {
+				cc, err := cloneResolved(c, sch)
+				if err != nil {
+					return nil, err
+				}
+				if spec.Scans[i].Where == nil {
+					spec.Scans[i].Where = cc
+				} else {
+					spec.Scans[i].Where = &expr.And{L: spec.Scans[i].Where, R: cc}
+				}
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			cc, err := cloneResolved(c, workInput)
+			if err != nil {
+				return nil, fmt.Errorf("plan: predicate %s references unknown columns: %w", c, err)
+			}
+			post = append(post, cc)
+		}
+	}
+	spec.PostFilter = expr.AndAll(post)
+	if len(schemas) == 2 && len(spec.Scans[0].JoinCols) == 0 {
+		return nil, fmt.Errorf("plan: joins require at least one equality predicate between the tables")
+	}
+
+	// Join strategy.
+	if len(schemas) == 2 {
+		spec.Strategy = SymmetricHash
+		if opts.Strategy != nil {
+			spec.Strategy = *opts.Strategy
+		} else if fetchLegal(spec) {
+			spec.Strategy = FetchMatches
+		}
+		if spec.Strategy == FetchMatches && !fetchLegal(spec) {
+			return nil, fmt.Errorf("plan: fetch-matches requires the right table's key to equal the join columns")
+		}
+	}
+
+	// Select list: split into group-column references and aggregates.
+	if err := buildOutputs(stmt, spec, workInput); err != nil {
+		return nil, err
+	}
+	return spec, nil
+}
+
+// equiJoinCols recognizes `a.x = b.y` across the two schemas.
+func equiJoinCols(c expr.Expr, left, right *tuple.Schema) (int, int, bool) {
+	cmp, ok := c.(*expr.Cmp)
+	if !ok || cmp.Op != expr.EQ {
+		return 0, 0, false
+	}
+	lc, lok := cmp.L.(*expr.Col)
+	rc, rok := cmp.R.(*expr.Col)
+	if !lok || !rok {
+		return 0, 0, false
+	}
+	li, ri := left.ColIndex(lc.Name), right.ColIndex(rc.Name)
+	if li >= 0 && ri >= 0 && right.ColIndex(lc.Name) < 0 && left.ColIndex(rc.Name) < 0 {
+		return li, ri, true
+	}
+	// Reversed orientation: b.y = a.x.
+	li, ri = left.ColIndex(rc.Name), right.ColIndex(lc.Name)
+	if li >= 0 && ri >= 0 && right.ColIndex(rc.Name) < 0 && left.ColIndex(lc.Name) < 0 {
+		return li, ri, true
+	}
+	return 0, 0, false
+}
+
+func resolvesAgainst(e expr.Expr, sch *tuple.Schema) bool {
+	ok := true
+	e.Walk(func(x expr.Expr) {
+		if c, isCol := x.(*expr.Col); isCol && sch.ColIndex(c.Name) < 0 {
+			ok = false
+		}
+	})
+	return ok
+}
+
+// cloneResolved deep-copies e (via the wire codec, which the plan
+// needs anyway) and resolves columns against sch. Copying matters
+// because the same AST node may appear in several plan slots.
+func cloneResolved(e expr.Expr, sch *tuple.Schema) (expr.Expr, error) {
+	w := wire.NewWriter(64)
+	expr.Encode(w, e)
+	cp, err := expr.Decode(wire.NewReader(w.Bytes()))
+	if err != nil {
+		return nil, err
+	}
+	if cp == nil {
+		return nil, fmt.Errorf("plan: expression %s not serializable", e)
+	}
+	if err := expr.Resolve(cp, sch); err != nil {
+		return nil, err
+	}
+	return cp, nil
+}
+
+func fetchLegal(spec *Spec) bool {
+	right := spec.Scans[1]
+	if len(right.Schema.Key) == 0 || len(right.Schema.Key) != len(right.JoinCols) {
+		return false
+	}
+	used := map[int]bool{}
+	for _, jc := range right.JoinCols {
+		used[jc] = true
+	}
+	for _, kc := range right.Schema.Key {
+		if !used[kc] {
+			return false
+		}
+	}
+	return true
+}
+
+// aggFromFunc maps a SQL aggregate call onto an ops.AggFunc.
+func aggFromFunc(name string) (ops.AggFunc, bool) {
+	switch name {
+	case "COUNT":
+		return ops.Count, true
+	case "SUM":
+		return ops.Sum, true
+	case "AVG":
+		return ops.Avg, true
+	case "MIN":
+		return ops.Min, true
+	case "MAX":
+		return ops.Max, true
+	}
+	return 0, false
+}
+
+func isAggCall(e expr.Expr) (*expr.Func, bool) {
+	f, ok := e.(*expr.Func)
+	if !ok {
+		return nil, false
+	}
+	_, isAgg := aggFromFunc(f.Name)
+	return f, isAgg
+}
+
+// containsAgg reports whether any aggregate call appears in e.
+func containsAgg(e expr.Expr) bool {
+	found := false
+	e.Walk(func(x expr.Expr) {
+		if _, ok := isAggCall(x); ok {
+			found = true
+		}
+	})
+	return found
+}
+
+// buildOutputs fills Proj/GroupCols/Aggs/OutPerm/OutNames and
+// resolves HAVING and ORDER BY against the canonical layout.
+func buildOutputs(stmt *sqlparser.SelectStmt, spec *Spec, workInput *tuple.Schema) error {
+	hasAgg := len(stmt.GroupBy) > 0
+	for _, item := range stmt.Items {
+		if item.Expr != nil && containsAgg(item.Expr) {
+			hasAgg = true
+		}
+	}
+	if stmt.Having != nil && !hasAgg {
+		return fmt.Errorf("plan: HAVING requires aggregation")
+	}
+
+	if !hasAgg {
+		// Plain select: Proj is the item list (star = every column).
+		if stmt.Star {
+			for i, col := range workInput.Columns {
+				spec.Proj = append(spec.Proj, &expr.Col{Name: col.Name, Index: i})
+				spec.OutNames = append(spec.OutNames, col.Name)
+				spec.OutPerm = append(spec.OutPerm, i)
+			}
+		} else {
+			for i, item := range stmt.Items {
+				e, err := cloneResolved(item.Expr, workInput)
+				if err != nil {
+					return err
+				}
+				spec.Proj = append(spec.Proj, e)
+				spec.OutNames = append(spec.OutNames, outName(item))
+				spec.OutPerm = append(spec.OutPerm, i)
+			}
+		}
+		return resolveOrdering(stmt, spec, nil)
+	}
+
+	// Aggregate query. Canonical layout: group columns then aggs.
+	if stmt.Star {
+		return fmt.Errorf("plan: SELECT * cannot be combined with aggregation")
+	}
+	groupExprs := make([]expr.Expr, 0, len(stmt.GroupBy))
+	groupNames := make([]string, 0, len(stmt.GroupBy))
+	for _, g := range stmt.GroupBy {
+		e, err := cloneResolved(expr.NewCol(g), workInput)
+		if err != nil {
+			return fmt.Errorf("plan: GROUP BY column %q: %w", g, err)
+		}
+		groupExprs = append(groupExprs, e)
+		groupNames = append(groupNames, g)
+	}
+	// Proj = group exprs, then one column per aggregate argument.
+	spec.Proj = append(spec.Proj, groupExprs...)
+	for i := range groupExprs {
+		spec.GroupCols = append(spec.GroupCols, i)
+	}
+
+	type aggKey struct {
+		fn  ops.AggFunc
+		arg string
+	}
+	aggIdx := map[aggKey]int{}
+	addAgg := func(f *expr.Func) (int, error) {
+		fn, _ := aggFromFunc(f.Name)
+		if len(f.Args) != 1 {
+			return 0, fmt.Errorf("plan: %s takes exactly one argument", f.Name)
+		}
+		arg := f.Args[0]
+		key := aggKey{fn: fn, arg: arg.String()}
+		if idx, ok := aggIdx[key]; ok {
+			return idx, nil
+		}
+		argCol := -1
+		if !sqlparser.IsCountStar(arg) {
+			e, err := cloneResolved(arg, workInput)
+			if err != nil {
+				return 0, err
+			}
+			argCol = len(spec.Proj)
+			spec.Proj = append(spec.Proj, e)
+		} else if fn != ops.Count {
+			return 0, fmt.Errorf("plan: %s(*) is not valid", f.Name)
+		}
+		idx := len(spec.Aggs)
+		spec.Aggs = append(spec.Aggs, ops.AggSpec{Func: fn, ArgCol: argCol})
+		aggIdx[key] = idx
+		return idx, nil
+	}
+
+	// Each select item must be a group column or an aggregate call.
+	for _, item := range stmt.Items {
+		if f, ok := isAggCall(item.Expr); ok {
+			idx, err := addAgg(f)
+			if err != nil {
+				return err
+			}
+			spec.OutPerm = append(spec.OutPerm, len(groupExprs)+idx)
+			spec.OutNames = append(spec.OutNames, outName(item))
+			continue
+		}
+		if c, ok := item.Expr.(*expr.Col); ok {
+			gi := -1
+			for i, g := range stmt.GroupBy {
+				if g == c.Name || strings.HasSuffix(g, "."+c.Name) || strings.HasSuffix(c.Name, "."+g) {
+					gi = i
+					break
+				}
+			}
+			if gi >= 0 {
+				spec.OutPerm = append(spec.OutPerm, gi)
+				spec.OutNames = append(spec.OutNames, outName(item))
+				continue
+			}
+		}
+		return fmt.Errorf("plan: select item %s is neither a GROUP BY column nor an aggregate", item.Expr)
+	}
+	return resolveOrdering(stmt, spec, groupNames)
+}
+
+// resolveOrdering binds HAVING and ORDER BY to the canonical layout.
+// References may be select-item aliases, group column names, or
+// textual matches of aggregate calls (e.g. ORDER BY SUM(hits)).
+func resolveOrdering(stmt *sqlparser.SelectStmt, spec *Spec, groupNames []string) error {
+	// Build the canonical-name table: every canonical position gets
+	// the names that refer to it.
+	width := spec.CanonicalWidth()
+	names := make([][]string, width)
+	if spec.IsAggregate() {
+		for i, g := range groupNames {
+			names[i] = append(names[i], g)
+		}
+	}
+	// Select items map via OutPerm.
+	for outPos, canonPos := range spec.OutPerm {
+		var item sqlparser.SelectItem
+		if outPos < len(stmt.Items) {
+			item = stmt.Items[outPos]
+		}
+		if item.Alias != "" {
+			names[canonPos] = append(names[canonPos], item.Alias)
+		}
+		if item.Expr != nil {
+			names[canonPos] = append(names[canonPos], item.Expr.String())
+			if c, ok := item.Expr.(*expr.Col); ok {
+				names[canonPos] = append(names[canonPos], c.Name)
+			}
+		}
+		if !spec.IsAggregate() && outPos < len(spec.OutNames) {
+			names[canonPos] = append(names[canonPos], spec.OutNames[outPos])
+		}
+	}
+	find := func(e expr.Expr) int {
+		target := e.String()
+		var bare string
+		if c, ok := e.(*expr.Col); ok {
+			bare = c.Name
+		}
+		for pos, ns := range names {
+			for _, n := range ns {
+				if n == target || (bare != "" && n == bare) {
+					return pos
+				}
+			}
+		}
+		return -1
+	}
+
+	for _, o := range stmt.OrderBy {
+		pos := find(o.Expr)
+		if pos < 0 {
+			return fmt.Errorf("plan: ORDER BY %s does not match any output column", o.Expr)
+		}
+		spec.OrderCols = append(spec.OrderCols, pos)
+		spec.OrderDesc = append(spec.OrderDesc, o.Desc)
+	}
+
+	if stmt.Having != nil {
+		// Rewrite the HAVING tree: aggregate calls and group refs
+		// become canonical column references.
+		rewritten, err := rewriteFinal(stmt.Having, find)
+		if err != nil {
+			return err
+		}
+		spec.Having = rewritten
+	}
+	return nil
+}
+
+// rewriteFinal replaces sub-expressions that name canonical output
+// columns (aggregate calls, group columns, aliases) with column
+// references into the canonical layout.
+func rewriteFinal(e expr.Expr, find func(expr.Expr) int) (expr.Expr, error) {
+	if pos := find(e); pos >= 0 {
+		return &expr.Col{Name: e.String(), Index: pos}, nil
+	}
+	switch x := e.(type) {
+	case *expr.Cmp:
+		l, err := rewriteFinal(x.L, find)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteFinal(x.R, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Cmp{Op: x.Op, L: l, R: r}, nil
+	case *expr.Arith:
+		l, err := rewriteFinal(x.L, find)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteFinal(x.R, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Arith{Op: x.Op, L: l, R: r}, nil
+	case *expr.And:
+		l, err := rewriteFinal(x.L, find)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteFinal(x.R, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.And{L: l, R: r}, nil
+	case *expr.Or:
+		l, err := rewriteFinal(x.L, find)
+		if err != nil {
+			return nil, err
+		}
+		r, err := rewriteFinal(x.R, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Or{L: l, R: r}, nil
+	case *expr.Not:
+		inner, err := rewriteFinal(x.E, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.Not{E: inner}, nil
+	case *expr.IsNull:
+		inner, err := rewriteFinal(x.E, find)
+		if err != nil {
+			return nil, err
+		}
+		return &expr.IsNull{E: inner, Negate: x.Negate}, nil
+	case *expr.Lit:
+		return x, nil
+	case *expr.Func:
+		return nil, fmt.Errorf("plan: HAVING aggregate %s must also appear in the select list", x)
+	case *expr.Col:
+		return nil, fmt.Errorf("plan: HAVING column %s is not an output column", x.Name)
+	default:
+		return nil, fmt.Errorf("plan: unsupported HAVING expression %s", e)
+	}
+}
+
+func outName(item sqlparser.SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	return item.Expr.String()
+}
+
+// OutputSchema describes the result rows in select-list order.
+func (s *Spec) OutputSchema() *tuple.Schema {
+	cols := make([]tuple.Column, len(s.OutNames))
+	for i, n := range s.OutNames {
+		cols[i] = tuple.Column{Name: n}
+	}
+	return &tuple.Schema{Name: "result", Columns: cols}
+}

@@ -1,0 +1,286 @@
+// Package rpc layers request/response semantics over the unreliable
+// datagram transports. It supplies exactly what the overlays need and
+// nothing more: correlation of responses to requests, per-attempt
+// timeouts, bounded retries, and one-way notifications.
+//
+// Reliability is end to end: a lost request or response is recovered
+// by retransmission, so handlers must be idempotent — the same PIER
+// soft-state discipline that makes duplicate tuples harmless.
+package rpc
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/transport"
+	"repro/internal/wire"
+)
+
+// ErrTimeout is returned by Call when every attempt expired without a
+// response.
+var ErrTimeout = errors.New("rpc: timeout")
+
+// ErrClosed is returned after the peer shuts down.
+var ErrClosed = errors.New("rpc: closed")
+
+// RemoteError wraps an error string produced by the remote handler.
+type RemoteError struct {
+	Method string
+	Msg    string
+}
+
+func (e *RemoteError) Error() string {
+	return fmt.Sprintf("rpc: remote %s: %s", e.Method, e.Msg)
+}
+
+// Handler serves one method. The returned bytes become the response
+// payload; a non-nil error is transported to the caller as a
+// RemoteError. Handlers run on their own goroutine and may issue
+// nested calls.
+type Handler func(from string, req []byte) ([]byte, error)
+
+// Config tunes the client side.
+type Config struct {
+	// Timeout bounds each attempt. Zero means 500ms.
+	Timeout time.Duration
+	// Retries is the number of retransmissions after the first
+	// attempt. Zero means 2.
+	Retries int
+	// NoRetry disables retransmission entirely (Retries = 0 then
+	// means 0 rather than the default).
+	NoRetry bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Timeout == 0 {
+		c.Timeout = 500 * time.Millisecond
+	}
+	if c.NoRetry {
+		c.Retries = 0
+	} else if c.Retries == 0 {
+		c.Retries = 2
+	}
+	return c
+}
+
+const (
+	kindRequest byte = iota
+	kindResponse
+	kindOneway
+)
+
+type pendingCall struct {
+	ch chan callResult
+}
+
+type callResult struct {
+	payload []byte
+	err     error
+}
+
+// Peer is one node's RPC endpoint. It is safe for concurrent use.
+type Peer struct {
+	tr  transport.Transport
+	cfg Config
+
+	mu       sync.Mutex
+	handlers map[string]Handler
+	pending  map[uint64]*pendingCall
+	closed   bool
+
+	nextID atomic.Uint64
+}
+
+// New wraps a transport. The peer takes over the transport's handler;
+// callers must not call SetHandler afterwards.
+func New(tr transport.Transport, cfg Config) *Peer {
+	p := &Peer{
+		tr:       tr,
+		cfg:      cfg.withDefaults(),
+		handlers: make(map[string]Handler),
+		pending:  make(map[uint64]*pendingCall),
+	}
+	tr.SetHandler(p.onDatagram)
+	return p
+}
+
+// Addr returns the underlying transport address.
+func (p *Peer) Addr() string { return p.tr.Addr() }
+
+// Handle registers a handler for method. Registration after the first
+// inbound message is allowed; unknown methods are answered with an
+// error.
+func (p *Peer) Handle(method string, h Handler) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.handlers[method] = h
+}
+
+// Close shuts down the peer and fails all in-flight calls.
+func (p *Peer) Close() error {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil
+	}
+	p.closed = true
+	pend := p.pending
+	p.pending = make(map[uint64]*pendingCall)
+	p.mu.Unlock()
+	for _, pc := range pend {
+		select {
+		case pc.ch <- callResult{err: ErrClosed}:
+		default:
+		}
+	}
+	return p.tr.Close()
+}
+
+func encodeFrame(kind byte, reqID uint64, method string, isErr bool, payload []byte) []byte {
+	w := wire.NewWriter(16 + len(method) + len(payload))
+	w.Byte(kind)
+	w.Uint64(reqID)
+	switch kind {
+	case kindRequest, kindOneway:
+		w.String(method)
+	case kindResponse:
+		w.Bool(isErr)
+		w.String(method)
+	}
+	w.BytesLP(payload)
+	return w.Bytes()
+}
+
+// Call sends a request and waits for the response, retransmitting on
+// per-attempt timeout. The context bounds the whole call.
+func (p *Peer) Call(ctx context.Context, to, method string, req []byte) ([]byte, error) {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return nil, ErrClosed
+	}
+	id := p.nextID.Add(1)
+	pc := &pendingCall{ch: make(chan callResult, 1)}
+	p.pending[id] = pc
+	p.mu.Unlock()
+
+	defer func() {
+		p.mu.Lock()
+		delete(p.pending, id)
+		p.mu.Unlock()
+	}()
+
+	frame := encodeFrame(kindRequest, id, method, false, req)
+	attempts := p.cfg.Retries + 1
+	for a := 0; a < attempts; a++ {
+		if err := p.tr.Send(to, frame); err != nil {
+			return nil, fmt.Errorf("rpc: call %s on %s: %w", method, to, err)
+		}
+		timer := time.NewTimer(p.cfg.Timeout)
+		select {
+		case res := <-pc.ch:
+			timer.Stop()
+			return res.payload, res.err
+		case <-ctx.Done():
+			timer.Stop()
+			return nil, ctx.Err()
+		case <-timer.C:
+			// fall through to retransmit
+		}
+	}
+	return nil, fmt.Errorf("%w: %s on %s after %d attempts", ErrTimeout, method, to, attempts)
+}
+
+// Notify sends a one-way message with no response and no retry.
+func (p *Peer) Notify(to, method string, req []byte) error {
+	p.mu.Lock()
+	closed := p.closed
+	p.mu.Unlock()
+	if closed {
+		return ErrClosed
+	}
+	return p.tr.Send(to, encodeFrame(kindOneway, 0, method, false, req))
+}
+
+func (p *Peer) onDatagram(from string, payload []byte) {
+	r := wire.NewReader(payload)
+	kind := r.Byte()
+	reqID := r.Uint64()
+	switch kind {
+	case kindRequest:
+		method := r.String()
+		body := r.BytesLP()
+		if r.Err() != nil {
+			return // corrupt frame: drop
+		}
+		// Copy: the handler goroutine outlives the datagram buffer.
+		req := append([]byte(nil), body...)
+		go p.serve(from, reqID, method, req)
+	case kindOneway:
+		method := r.String()
+		body := r.BytesLP()
+		if r.Err() != nil {
+			return
+		}
+		p.mu.Lock()
+		h := p.handlers[method]
+		p.mu.Unlock()
+		if h == nil {
+			return
+		}
+		req := append([]byte(nil), body...)
+		go func() {
+			// One-way: response and error are discarded.
+			_, _ = h(from, req)
+		}()
+	case kindResponse:
+		isErr := r.Bool()
+		method := r.String()
+		body := r.BytesLP()
+		if r.Err() != nil {
+			return
+		}
+		p.mu.Lock()
+		pc := p.pending[reqID]
+		p.mu.Unlock()
+		if pc == nil {
+			return // late or duplicate response
+		}
+		var res callResult
+		if isErr {
+			res.err = &RemoteError{Method: method, Msg: string(body)}
+		} else {
+			res.payload = append([]byte(nil), body...)
+		}
+		select {
+		case pc.ch <- res:
+		default: // duplicate response from a retransmitted request
+		}
+	}
+}
+
+func (p *Peer) serve(from string, reqID uint64, method string, req []byte) {
+	p.mu.Lock()
+	h := p.handlers[method]
+	p.mu.Unlock()
+	var (
+		resp []byte
+		err  error
+	)
+	if h == nil {
+		err = fmt.Errorf("unknown method %q", method)
+	} else {
+		resp, err = h(from, req)
+	}
+	var frame []byte
+	if err != nil {
+		frame = encodeFrame(kindResponse, reqID, method, true, []byte(err.Error()))
+	} else {
+		frame = encodeFrame(kindResponse, reqID, method, false, resp)
+	}
+	_ = p.tr.Send(from, frame) // best effort; caller retries
+}

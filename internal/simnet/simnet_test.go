@@ -1,0 +1,340 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// collect installs a handler that appends payload copies to a slice.
+func collect(t *testing.T, ep *Endpoint) func() []string {
+	t.Helper()
+	var mu sync.Mutex
+	var got []string
+	ep.SetHandler(func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, from+":"+string(payload))
+		mu.Unlock()
+	})
+	return func() []string {
+		mu.Lock()
+		defer mu.Unlock()
+		return append([]string(nil), got...)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("condition not reached in 5s")
+}
+
+func TestBasicDelivery(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, err := n.Endpoint("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := n.Endpoint("b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := collect(t, b)
+	if err := a.Send("b", []byte("hi")); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return len(got()) == 1 })
+	if got()[0] != "a:hi" {
+		t.Fatalf("got %v", got())
+	}
+}
+
+func TestDuplicateEndpoint(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	if _, err := n.Endpoint("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Endpoint("a"); err == nil {
+		t.Fatal("duplicate endpoint accepted")
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	if err := a.Send("ghost", []byte("x")); err == nil {
+		t.Fatal("send to unknown endpoint succeeded")
+	}
+}
+
+func TestLatencyDelays(t *testing.T) {
+	n := New(Config{MinLatency: 30 * time.Millisecond, MaxLatency: 40 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var arrived atomic.Bool
+	b.SetHandler(func(string, []byte) { arrived.Store(true) })
+	start := time.Now()
+	a.Send("b", []byte("x"))
+	time.Sleep(10 * time.Millisecond)
+	if arrived.Load() {
+		t.Fatal("message arrived before MinLatency")
+	}
+	waitFor(t, arrived.Load)
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("arrived after %v, want >= 30ms", elapsed)
+	}
+}
+
+func TestLatencyFn(t *testing.T) {
+	n := New(Config{LatencyFn: func(from, to string, _ *rand.Rand) time.Duration {
+		return 25 * time.Millisecond
+	}})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var arrived atomic.Bool
+	b.SetHandler(func(string, []byte) { arrived.Store(true) })
+	start := time.Now()
+	a.Send("b", []byte("x"))
+	waitFor(t, arrived.Load)
+	if time.Since(start) < 25*time.Millisecond {
+		t.Fatal("LatencyFn not applied")
+	}
+}
+
+func TestLossRate(t *testing.T) {
+	n := New(Config{LossRate: 1.0})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, b)
+	for i := 0; i < 50; i++ {
+		if err := a.Send("b", []byte("x")); err != nil {
+			t.Fatalf("loss must be silent, got %v", err)
+		}
+	}
+	time.Sleep(20 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatalf("%d messages survived 100%% loss", len(got()))
+	}
+	if s := n.Stats(); s.Dropped != 50 || s.Sent != 50 {
+		t.Fatalf("stats %+v", s)
+	}
+}
+
+func TestDownNodeDropsBothWays(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	gotB := collect(t, b)
+	gotA := collect(t, a)
+	n.SetDown("b", true)
+	a.Send("b", []byte("to-down"))
+	b.Send("a", []byte("from-down"))
+	time.Sleep(20 * time.Millisecond)
+	if len(gotB()) != 0 || len(gotA()) != 0 {
+		t.Fatalf("down node exchanged traffic: %v %v", gotB(), gotA())
+	}
+	n.SetDown("b", false)
+	a.Send("b", []byte("again"))
+	waitFor(t, func() bool { return len(gotB()) == 1 })
+}
+
+func TestDownAtArrivalDrops(t *testing.T) {
+	n := New(Config{MinLatency: 30 * time.Millisecond, MaxLatency: 30 * time.Millisecond})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	got := collect(t, b)
+	a.Send("b", []byte("x"))
+	n.SetDown("b", true) // crash while message in flight
+	time.Sleep(60 * time.Millisecond)
+	if len(got()) != 0 {
+		t.Fatal("message delivered to node that crashed in flight")
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	c, _ := n.Endpoint("c")
+	gotB := collect(t, b)
+	gotC := collect(t, c)
+	n.Partition([]string{"a", "b"}) // {a,b} vs {c}
+	a.Send("b", []byte("same-side"))
+	a.Send("c", []byte("cross"))
+	waitFor(t, func() bool { return len(gotB()) == 1 })
+	time.Sleep(10 * time.Millisecond)
+	if len(gotC()) != 0 {
+		t.Fatal("message crossed partition")
+	}
+	n.Heal()
+	a.Send("c", []byte("healed"))
+	waitFor(t, func() bool { return len(gotC()) == 1 })
+	_ = c
+}
+
+func TestStatsAccounting(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	collect(t, b)
+	payload := []byte("12345")
+	for i := 0; i < 10; i++ {
+		a.Send("b", payload)
+	}
+	waitFor(t, func() bool { return n.Stats().Delivered == 10 })
+	s := n.Stats()
+	if s.Sent != 10 || s.BytesSent != 50 {
+		t.Fatalf("stats %+v", s)
+	}
+	pa, pb := n.PerNode("a"), n.PerNode("b")
+	if pa.MsgsOut != 10 || pa.BytesOut != 50 {
+		t.Fatalf("per-node a %+v", pa)
+	}
+	if pb.MsgsIn != 10 || pb.BytesIn != 50 {
+		t.Fatalf("per-node b %+v", pb)
+	}
+	n.ResetStats()
+	if s := n.Stats(); s.Sent != 0 {
+		t.Fatalf("reset failed: %+v", s)
+	}
+}
+
+func TestCloseEndpoint(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send("a", []byte("x")); err != transport.ErrClosed {
+		t.Fatalf("send on closed endpoint: %v", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatalf("double close: %v", err)
+	}
+}
+
+func TestNetworkCloseStopsEndpointCreation(t *testing.T) {
+	n := New(Config{})
+	n.Close()
+	if _, err := n.Endpoint("late"); err == nil {
+		t.Fatal("endpoint created on closed network")
+	}
+	n.Close() // idempotent
+}
+
+func TestOversizedPayloadRejected(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	n.Endpoint("b")
+	if err := a.Send("b", make([]byte, transport.MaxDatagram+1)); err == nil {
+		t.Fatal("oversized payload accepted")
+	}
+}
+
+func TestDeterministicWithSeed(t *testing.T) {
+	run := func(seed int64) uint64 {
+		n := New(Config{LossRate: 0.5, Seed: seed})
+		defer n.Close()
+		a, _ := n.Endpoint("a")
+		b, _ := n.Endpoint("b")
+		var count atomic.Uint64
+		b.SetHandler(func(string, []byte) { count.Add(1) })
+		for i := 0; i < 200; i++ {
+			a.Send("b", []byte("x"))
+		}
+		waitFor(t, func() bool {
+			s := n.Stats()
+			return s.Delivered+s.Dropped == 200
+		})
+		return n.Stats().Delivered
+	}
+	if run(7) != run(7) {
+		t.Fatal("same seed produced different delivery counts")
+	}
+}
+
+func TestConcurrentSenders(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	dst, _ := n.Endpoint("dst")
+	var count atomic.Uint64
+	dst.SetHandler(func(string, []byte) { count.Add(1) })
+	const senders, per = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		ep, err := n.Endpoint(fmt.Sprintf("s%d", i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < per; j++ {
+				ep.Send("dst", []byte("m"))
+			}
+		}()
+	}
+	wg.Wait()
+	waitFor(t, func() bool { return count.Load() == senders*per })
+}
+
+func TestSetLossRateAtRuntime(t *testing.T) {
+	n := New(Config{})
+	defer n.Close()
+	a, _ := n.Endpoint("a")
+	b, _ := n.Endpoint("b")
+	var count atomic.Uint64
+	b.SetHandler(func(string, []byte) { count.Add(1) })
+	a.Send("b", []byte("x"))
+	waitFor(t, func() bool { return count.Load() == 1 })
+	n.SetLossRate(1.0)
+	for i := 0; i < 20; i++ {
+		a.Send("b", []byte("y"))
+	}
+	time.Sleep(30 * time.Millisecond)
+	if count.Load() != 1 {
+		t.Fatalf("messages leaked through 100%% loss: %d", count.Load())
+	}
+	n.SetLossRate(0)
+	a.Send("b", []byte("z"))
+	waitFor(t, func() bool { return count.Load() == 2 })
+}
+
+func TestPlanetLabLatencyDeterministicPerPair(t *testing.T) {
+	fn := PlanetLabLatency(10*time.Millisecond, 100*time.Millisecond)
+	rng := rand.New(rand.NewSource(1))
+	// Same pair: base is stable (jitter aside, values stay within
+	// ±20% of one another's base).
+	d1 := fn("x", "y", rng)
+	d2 := fn("y", "x", rng) // symmetric
+	if d1 < 8*time.Millisecond || d1 > 121*time.Millisecond {
+		t.Fatalf("latency %v out of range", d1)
+	}
+	ratio := float64(d1) / float64(d2)
+	if ratio < 0.6 || ratio > 1.7 {
+		t.Fatalf("pair latency asymmetric beyond jitter: %v vs %v", d1, d2)
+	}
+}

@@ -1,0 +1,151 @@
+// Package sqlparser implements the declarative front end: a lexer and
+// recursive-descent parser for the SQL subset PIER exposes —
+// single-block SELECT with joins, grouping, HAVING, ORDER BY/LIMIT,
+// the continuous-query WINDOW/SLIDE clauses, and WITH RECURSIVE for
+// the recursive network queries of the paper's topology application.
+package sqlparser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tkEOF tokenKind = iota
+	tkIdent
+	tkKeyword
+	tkNumber // integer or float literal
+	tkString // '...' literal
+	tkOp     // punctuation and operators
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords are upper-cased; idents preserve case
+	pos  int
+}
+
+func (t token) String() string {
+	if t.kind == tkEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "DISTINCT": true, "FROM": true, "WHERE": true,
+	"GROUP": true, "BY": true, "HAVING": true, "ORDER": true,
+	"LIMIT": true, "AS": true, "AND": true, "OR": true, "NOT": true,
+	"JOIN": true, "ON": true, "IS": true, "NULL": true, "TRUE": true,
+	"FALSE": true, "ASC": true, "DESC": true, "WINDOW": true,
+	"SLIDE": true, "WITH": true, "RECURSIVE": true, "UNION": true,
+	"ALL": true, "INNER": true, "LIVE": true,
+}
+
+type lexError struct {
+	pos int
+	msg string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("sql: position %d: %s", e.pos, e.msg)
+}
+
+// lex tokenizes the input.
+func lex(input string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(input) {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < len(input) && input[i+1] == '-':
+			// Line comment.
+			for i < len(input) && input[i] != '\n' {
+				i++
+			}
+		case c == '\'':
+			j := i + 1
+			var sb strings.Builder
+			for {
+				if j >= len(input) {
+					return nil, &lexError{pos: i, msg: "unterminated string literal"}
+				}
+				if input[j] == '\'' {
+					if j+1 < len(input) && input[j+1] == '\'' {
+						sb.WriteByte('\'') // escaped quote
+						j += 2
+						continue
+					}
+					break
+				}
+				sb.WriteByte(input[j])
+				j++
+			}
+			toks = append(toks, token{kind: tkString, text: sb.String(), pos: i})
+			i = j + 1
+		case c >= '0' && c <= '9':
+			j := i
+			seenDot := false
+			for j < len(input) {
+				if input[j] == '.' && !seenDot {
+					seenDot = true
+					j++
+					continue
+				}
+				if input[j] < '0' || input[j] > '9' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, token{kind: tkNumber, text: input[i:j], pos: i})
+			i = j
+		case isIdentStart(rune(c)):
+			j := i
+			for j < len(input) && isIdentPart(rune(input[j])) {
+				j++
+			}
+			word := input[i:j]
+			upper := strings.ToUpper(word)
+			if keywords[upper] {
+				toks = append(toks, token{kind: tkKeyword, text: upper, pos: i})
+			} else {
+				toks = append(toks, token{kind: tkIdent, text: word, pos: i})
+			}
+			i = j
+		default:
+			// Multi-char operators first.
+			two := ""
+			if i+1 < len(input) {
+				two = input[i : i+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				toks = append(toks, token{kind: tkOp, text: two, pos: i})
+				i += 2
+				continue
+			}
+			switch c {
+			case ',', '(', ')', '*', '.', '=', '<', '>', '+', '-', '/', '%', ';':
+				toks = append(toks, token{kind: tkOp, text: string(c), pos: i})
+				i++
+			default:
+				return nil, &lexError{pos: i, msg: fmt.Sprintf("unexpected character %q", c)}
+			}
+		}
+	}
+	toks = append(toks, token{kind: tkEOF, pos: len(input)})
+	return toks, nil
+}
+
+func isIdentStart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r)
+}
+
+func isIdentPart(r rune) bool {
+	return r == '_' || unicode.IsLetter(r) || unicode.IsDigit(r)
+}

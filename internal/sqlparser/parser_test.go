@@ -1,0 +1,288 @@
+package sqlparser
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/tuple"
+)
+
+func mustParse(t *testing.T, sql string) *SelectStmt {
+	t.Helper()
+	stmt, err := Parse(sql)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", sql, err)
+	}
+	return stmt
+}
+
+func TestSimpleSelect(t *testing.T) {
+	s := mustParse(t, "SELECT a, b FROM t")
+	if len(s.Items) != 2 || s.From[0].Name != "t" || s.Star {
+		t.Fatalf("%+v", s)
+	}
+	if c, ok := s.Items[0].Expr.(*expr.Col); !ok || c.Name != "a" {
+		t.Fatalf("item 0: %v", s.Items[0].Expr)
+	}
+}
+
+func TestSelectStar(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM t")
+	if !s.Star || len(s.Items) != 0 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestWhereClause(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a > 5 AND b = 'x'")
+	if s.Where == nil {
+		t.Fatal("no where")
+	}
+	cs := expr.Conjuncts(s.Where)
+	if len(cs) != 2 {
+		t.Fatalf("conjuncts: %d", len(cs))
+	}
+}
+
+func TestAliases(t *testing.T) {
+	s := mustParse(t, "SELECT a AS x, b y FROM t AS u")
+	if s.Items[0].Alias != "x" || s.Items[1].Alias != "y" {
+		t.Fatalf("%+v", s.Items)
+	}
+	if s.From[0].Binding() != "u" {
+		t.Fatalf("table alias: %+v", s.From[0])
+	}
+	s2 := mustParse(t, "SELECT a FROM t u")
+	if s2.From[0].Binding() != "u" {
+		t.Fatalf("bare alias: %+v", s2.From[0])
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	s := mustParse(t, "SELECT rule, SUM(hits) FROM alerts GROUP BY rule HAVING SUM(hits) > 100")
+	if len(s.GroupBy) != 1 || s.GroupBy[0] != "rule" {
+		t.Fatalf("group by: %v", s.GroupBy)
+	}
+	if s.Having == nil {
+		t.Fatal("no having")
+	}
+	f, ok := s.Items[1].Expr.(*expr.Func)
+	if !ok || f.Name != "SUM" {
+		t.Fatalf("agg not parsed: %v", s.Items[1].Expr)
+	}
+}
+
+func TestCountStar(t *testing.T) {
+	s := mustParse(t, "SELECT COUNT(*) FROM t")
+	f := s.Items[0].Expr.(*expr.Func)
+	if f.Name != "COUNT" || len(f.Args) != 1 || !IsCountStar(f.Args[0]) {
+		t.Fatalf("%+v", f)
+	}
+}
+
+func TestOrderByLimit(t *testing.T) {
+	s := mustParse(t, "SELECT a, b FROM t ORDER BY b DESC, a LIMIT 10")
+	if len(s.OrderBy) != 2 || !s.OrderBy[0].Desc || s.OrderBy[1].Desc {
+		t.Fatalf("%+v", s.OrderBy)
+	}
+	if s.Limit != 10 {
+		t.Fatalf("limit %d", s.Limit)
+	}
+	if mustParse(t, "SELECT a FROM t").Limit != -1 {
+		t.Fatal("absent limit not -1")
+	}
+}
+
+func TestJoinOn(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM a JOIN b ON a.k = b.k WHERE a.v > 1")
+	if len(s.From) != 2 || s.JoinOn == nil {
+		t.Fatalf("%+v", s)
+	}
+	s2 := mustParse(t, "SELECT * FROM a INNER JOIN b ON a.k = b.k")
+	if len(s2.From) != 2 || s2.JoinOn == nil {
+		t.Fatalf("INNER JOIN: %+v", s2)
+	}
+}
+
+func TestImplicitCrossJoin(t *testing.T) {
+	s := mustParse(t, "SELECT * FROM a, b WHERE a.k = b.k")
+	if len(s.From) != 2 || s.JoinOn != nil {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestWindowSlide(t *testing.T) {
+	s := mustParse(t, "SELECT SUM(rate) FROM traffic WINDOW 5 s SLIDE 1 s")
+	if s.Window != 5*time.Second || s.Slide != time.Second {
+		t.Fatalf("window=%v slide=%v", s.Window, s.Slide)
+	}
+	if !s.IsContinuous() {
+		t.Fatal("not continuous")
+	}
+	// SLIDE defaults to WINDOW.
+	s2 := mustParse(t, "SELECT SUM(rate) FROM traffic WINDOW 500 ms")
+	if s2.Slide != 500*time.Millisecond {
+		t.Fatalf("default slide %v", s2.Slide)
+	}
+}
+
+func TestLiveClause(t *testing.T) {
+	s := mustParse(t, "SELECT SUM(rate) FROM traffic WINDOW 1 s LIVE 60 s")
+	if s.Live != time.Minute {
+		t.Fatalf("live %v", s.Live)
+	}
+}
+
+func TestWithRecursive(t *testing.T) {
+	s := mustParse(t, `WITH RECURSIVE reach AS (
+		SELECT src, dst FROM link
+		UNION
+		SELECT link.src, reach.dst FROM link JOIN reach ON link.dst = reach.src
+	) SELECT * FROM reach`)
+	if s.With == nil || s.With.Name != "reach" {
+		t.Fatalf("%+v", s.With)
+	}
+	if s.With.Base == nil || s.With.Step == nil {
+		t.Fatal("missing base/step")
+	}
+	if len(s.With.Step.From) != 2 {
+		t.Fatalf("step from: %+v", s.With.Step.From)
+	}
+}
+
+func TestExpressionPrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT a + b * 2 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+	// a + (b*2)
+	add, ok := s.Items[0].Expr.(*expr.Arith)
+	if !ok || add.Op != expr.Add {
+		t.Fatalf("top op: %v", s.Items[0].Expr)
+	}
+	if mul, ok := add.R.(*expr.Arith); !ok || mul.Op != expr.Mul {
+		t.Fatalf("rhs: %v", add.R)
+	}
+	// a=1 OR (b=2 AND c=3)
+	or, ok := s.Where.(*expr.Or)
+	if !ok {
+		t.Fatalf("where: %v", s.Where)
+	}
+	if _, ok := or.R.(*expr.And); !ok {
+		t.Fatalf("or rhs: %v", or.R)
+	}
+}
+
+func TestParenthesesOverridePrecedence(t *testing.T) {
+	s := mustParse(t, "SELECT (a + b) * 2 FROM t")
+	mul := s.Items[0].Expr.(*expr.Arith)
+	if mul.Op != expr.Mul {
+		t.Fatalf("top: %v", mul)
+	}
+	if add, ok := mul.L.(*expr.Arith); !ok || add.Op != expr.Add {
+		t.Fatalf("lhs: %v", mul.L)
+	}
+}
+
+func TestUnaryMinus(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a > -5")
+	cmp := s.Where.(*expr.Cmp)
+	v, err := cmp.R.Eval(nil)
+	if err != nil || v.I != -5 {
+		t.Fatalf("unary minus: %v %v", v, err)
+	}
+}
+
+func TestLiteals(t *testing.T) {
+	s := mustParse(t, "SELECT 1, 2.5, 'it''s', NULL, TRUE, FALSE FROM t")
+	want := []tuple.Value{
+		tuple.Int(1), tuple.Float(2.5), tuple.String("it's"),
+		tuple.Null(), tuple.Bool(true), tuple.Bool(false),
+	}
+	for i, item := range s.Items {
+		v, err := item.Expr.Eval(nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !v.Equal(want[i]) && !(v.IsNull() && want[i].IsNull()) {
+			t.Fatalf("literal %d: %v want %v", i, v, want[i])
+		}
+	}
+}
+
+func TestIsNullSyntax(t *testing.T) {
+	s := mustParse(t, "SELECT a FROM t WHERE a IS NULL AND b IS NOT NULL")
+	cs := expr.Conjuncts(s.Where)
+	if len(cs) != 2 {
+		t.Fatalf("%d conjuncts", len(cs))
+	}
+	if n, ok := cs[0].(*expr.IsNull); !ok || n.Negate {
+		t.Fatalf("first: %v", cs[0])
+	}
+	if n, ok := cs[1].(*expr.IsNull); !ok || !n.Negate {
+		t.Fatalf("second: %v", cs[1])
+	}
+}
+
+func TestQualifiedColumns(t *testing.T) {
+	s := mustParse(t, "SELECT t.a FROM t WHERE t.a > 0")
+	if c := s.Items[0].Expr.(*expr.Col); c.Name != "t.a" {
+		t.Fatalf("%v", c.Name)
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	if !mustParse(t, "SELECT DISTINCT a FROM t").Distinct {
+		t.Fatal("distinct not set")
+	}
+}
+
+func TestComments(t *testing.T) {
+	s := mustParse(t, "SELECT a -- the column\nFROM t")
+	if len(s.Items) != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestTrailingSemicolon(t *testing.T) {
+	mustParse(t, "SELECT a FROM t;")
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT a",
+		"SELECT a FROM",
+		"SELECT a FROM t WHERE",
+		"SELECT a FROM t GROUP",
+		"SELECT a FROM t LIMIT x",
+		"SELECT a FROM t LIMIT",
+		"SELECT a FROM t extra garbage",
+		"SELECT a FROM t WINDOW",
+		"SELECT a FROM t WINDOW 5 parsecs",
+		"SELECT 'unterminated FROM t",
+		"WITH RECURSIVE r AS (SELECT a FROM t) SELECT * FROM r", // missing UNION
+		"SELECT a FROM t WHERE a @ 1",
+		"SELECT (a FROM t",
+		"SELECT COUNT(* FROM t",
+	}
+	for _, sql := range bad {
+		if _, err := Parse(sql); err == nil {
+			t.Fatalf("Parse(%q) succeeded", sql)
+		}
+	}
+}
+
+func TestKeywordsCaseInsensitive(t *testing.T) {
+	s := mustParse(t, "select a from t where a > 1 order by a limit 5")
+	if s.Limit != 5 || len(s.OrderBy) != 1 {
+		t.Fatalf("%+v", s)
+	}
+}
+
+func TestErrorMessagesMentionContext(t *testing.T) {
+	_, err := Parse("SELECT a FROM t LIMIT x")
+	if err == nil || !strings.Contains(err.Error(), "LIMIT") {
+		t.Fatalf("unhelpful error: %v", err)
+	}
+}

@@ -1,0 +1,92 @@
+package sqlparser
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics mutates valid queries randomly; every mutation
+// must either parse or return an error — never panic.
+func TestParseNeverPanics(t *testing.T) {
+	seeds := []string{
+		"SELECT a, b FROM t WHERE a > 5 AND b = 'x' GROUP BY a HAVING COUNT(*) > 1 ORDER BY a DESC LIMIT 3",
+		"SELECT SUM(rate) FROM traffic WINDOW 5 s SLIDE 1 s LIVE 60 s",
+		"WITH RECURSIVE r AS (SELECT a FROM t UNION SELECT t.a, r.b FROM t JOIN r ON t.a = r.b) SELECT * FROM r",
+		"SELECT a.x, b.y FROM a JOIN b ON a.k = b.k WHERE a.x IS NOT NULL",
+	}
+	rng := rand.New(rand.NewSource(7))
+	mutate := func(s string) string {
+		b := []byte(s)
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			switch rng.Intn(4) {
+			case 0: // delete a byte
+				if len(b) > 1 {
+					p := rng.Intn(len(b))
+					b = append(b[:p], b[p+1:]...)
+				}
+			case 1: // duplicate a byte
+				p := rng.Intn(len(b))
+				b = append(b[:p], append([]byte{b[p]}, b[p:]...)...)
+			case 2: // random printable byte
+				b[rng.Intn(len(b))] = byte(32 + rng.Intn(95))
+			case 3: // truncate
+				b = b[:rng.Intn(len(b))+1]
+			}
+		}
+		return string(b)
+	}
+	for i := 0; i < 3000; i++ {
+		input := mutate(seeds[i%len(seeds)])
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse(%q) panicked: %v", input, r)
+				}
+			}()
+			_, _ = Parse(input)
+		}()
+	}
+}
+
+// TestQuickParseArbitraryStrings throws fully random strings at the
+// parser: no panics, no hangs.
+func TestQuickParseArbitraryStrings(t *testing.T) {
+	f := func(s string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Parse(%q) panicked: %v", s, r)
+			}
+		}()
+		_, _ = Parse(s)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRoundTripThroughString verifies parsed expressions render to
+// strings that parse back to the same rendering (a weak printer/parser
+// consistency check for the WHERE grammar).
+func TestRoundTripThroughString(t *testing.T) {
+	queries := []string{
+		"SELECT a FROM t WHERE (a + 1) * 2 > 6 AND NOT b = 'x'",
+		"SELECT a FROM t WHERE a IS NULL OR b IS NOT NULL",
+		"SELECT a FROM t WHERE LOWER(s) = 'q'",
+	}
+	for _, q := range queries {
+		s1, err := Parse(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rendered := "SELECT a FROM t WHERE " + s1.Where.String()
+		s2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("re-parse of %q: %v", rendered, err)
+		}
+		if s1.Where.String() != s2.Where.String() {
+			t.Fatalf("unstable rendering: %q vs %q", s1.Where, s2.Where)
+		}
+	}
+}

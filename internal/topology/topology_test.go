@@ -1,0 +1,157 @@
+package topology
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/piertest"
+)
+
+func mappers(t *testing.T, n int, seed int64) ([]*Mapper, *piertest.Cluster) {
+	t.Helper()
+	c, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	ms := make([]*Mapper, n)
+	for i, nd := range c.Nodes {
+		m, err := New(nd, 30*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ms[i] = m
+	}
+	return ms, c
+}
+
+// publishGraph spreads the edge list across the nodes' partitions.
+func publishGraph(t *testing.T, ms []*Mapper, edges [][2]string) {
+	t.Helper()
+	for i, e := range edges {
+		if err := ms[i%len(ms)].PublishLink(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(100 * time.Millisecond)
+}
+
+func TestReachableChain(t *testing.T) {
+	ms, _ := mappers(t, 5, 41)
+	publishGraph(t, ms, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"x", "y"}})
+	got, err := ms[0].Reachable(context.Background(), "a", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"b", "c", "d"}) {
+		t.Fatalf("reach(a) = %v", got)
+	}
+}
+
+func TestReachableCycleTerminates(t *testing.T) {
+	ms, _ := mappers(t, 4, 42)
+	publishGraph(t, ms, [][2]string{{"a", "b"}, {"b", "c"}, {"c", "a"}})
+	done := make(chan struct{})
+	var got []string
+	var err error
+	go func() {
+		got, err = ms[1].Reachable(context.Background(), "a", 500*time.Millisecond)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(40 * time.Second):
+		t.Fatal("cyclic reachability did not terminate")
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"a", "b", "c"}) {
+		t.Fatalf("reach(a) over cycle = %v", got)
+	}
+}
+
+func TestReachableBranching(t *testing.T) {
+	ms, _ := mappers(t, 6, 43)
+	publishGraph(t, ms, [][2]string{
+		{"r", "l1"}, {"r", "l2"}, {"l1", "l3"}, {"l2", "l4"}, {"l4", "l5"},
+	})
+	got, err := ms[2].Reachable(context.Background(), "r", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, []string{"l1", "l2", "l3", "l4", "l5"}) {
+		t.Fatalf("reach(r) = %v", got)
+	}
+}
+
+func TestReachableEmpty(t *testing.T) {
+	ms, _ := mappers(t, 3, 44)
+	publishGraph(t, ms, [][2]string{{"a", "b"}})
+	got, err := ms[0].Reachable(context.Background(), "z", 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("reach(z) = %v", got)
+	}
+}
+
+func TestInNetworkAgreesWithSQL(t *testing.T) {
+	ms, _ := mappers(t, 5, 45)
+	publishGraph(t, ms, [][2]string{
+		{"a", "b"}, {"b", "c"}, {"b", "d"}, {"d", "e"}, {"q", "a"},
+	})
+	inNet, err := ms[0].Reachable(context.Background(), "a", 500*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaSQL, err := ms[0].ReachableSQL(context.Background(), "a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inNet, viaSQL) {
+		t.Fatalf("in-network %v != SQL %v", inNet, viaSQL)
+	}
+	if !reflect.DeepEqual(inNet, []string{"b", "c", "d", "e"}) {
+		t.Fatalf("closure wrong: %v", inNet)
+	}
+}
+
+func TestConcurrentQueries(t *testing.T) {
+	ms, _ := mappers(t, 5, 46)
+	publishGraph(t, ms, [][2]string{{"a", "b"}, {"b", "c"}, {"p", "q"}})
+	type res struct {
+		got []string
+		err error
+	}
+	ch := make(chan res, 2)
+	go func() {
+		g, e := ms[0].Reachable(context.Background(), "a", 500*time.Millisecond)
+		ch <- res{g, e}
+	}()
+	go func() {
+		g, e := ms[1].Reachable(context.Background(), "p", 500*time.Millisecond)
+		ch <- res{g, e}
+	}()
+	for i := 0; i < 2; i++ {
+		r := <-ch
+		if r.err != nil {
+			t.Fatal(r.err)
+		}
+		switch len(r.got) {
+		case 2:
+			if !reflect.DeepEqual(r.got, []string{"b", "c"}) {
+				t.Fatalf("reach(a) = %v", r.got)
+			}
+		case 1:
+			if !reflect.DeepEqual(r.got, []string{"q"}) {
+				t.Fatalf("reach(p) = %v", r.got)
+			}
+		default:
+			t.Fatalf("unexpected closure %v", r.got)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+// Package transport defines the datagram transport abstraction that
+// every overlay and the query engine send messages through, plus a
+// real UDP implementation and an in-process loopback. The simulated
+// wide-area network used for large experiments lives in
+// internal/simnet and implements the same interface.
+package transport
+
+import "errors"
+
+// ErrClosed is returned by Send after the transport is closed.
+var ErrClosed = errors.New("transport: closed")
+
+// ErrUnreachable is returned when the destination address cannot be
+// delivered to at all (unknown simulated node, bad address). Losses and
+// partitions do NOT return errors — they silently drop, exactly as the
+// real network does; timeouts are the caller's business.
+var ErrUnreachable = errors.New("transport: unreachable")
+
+// Handler receives an inbound datagram. Implementations call the
+// handler from a dedicated goroutine; the payload must not be retained
+// after the handler returns unless copied.
+type Handler func(from string, payload []byte)
+
+// Transport is an unreliable, unordered datagram endpoint — the
+// weakest primitive the Internet offers, and all PIER assumes.
+type Transport interface {
+	// Addr returns the endpoint's own address, usable as a
+	// destination by peers.
+	Addr() string
+	// Send transmits payload to the peer at addr. Delivery is best
+	// effort: a nil error means the datagram was handed to the
+	// network, not that it arrived.
+	Send(addr string, payload []byte) error
+	// SetHandler installs the inbound datagram handler. It must be
+	// called before the first Send/receive and at most once.
+	SetHandler(h Handler)
+	// Close releases resources. Subsequent Sends fail with ErrClosed.
+	Close() error
+}
+
+// MaxDatagram is the largest payload any transport must carry. The
+// engine fragments nothing: messages above this are a programming
+// error, caught in tests.
+const MaxDatagram = 60 * 1024

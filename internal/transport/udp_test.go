@@ -1,0 +1,78 @@
+package transport
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUDPRoundTrip(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	b, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+
+	var mu sync.Mutex
+	var got []string
+	b.SetHandler(func(from string, payload []byte) {
+		mu.Lock()
+		got = append(got, string(payload))
+		mu.Unlock()
+	})
+	if err := a.Send(b.Addr(), []byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(got)
+		mu.Unlock()
+		if n == 1 {
+			if got[0] != "ping" {
+				t.Fatalf("got %q", got[0])
+			}
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatal("datagram never arrived")
+}
+
+func TestUDPSendAfterClose(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Close()
+	if err := a.Send("127.0.0.1:1", []byte("x")); err != ErrClosed {
+		t.Fatalf("got %v, want ErrClosed", err)
+	}
+}
+
+func TestUDPOversized(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(a.Addr(), make([]byte, MaxDatagram+1)); err == nil {
+		t.Fatal("oversized accepted")
+	}
+}
+
+func TestUDPBadAddress(t *testing.T) {
+	a, err := ListenUDP("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send("not-an-address", []byte("x")); err == nil {
+		t.Fatal("bad address accepted")
+	}
+}

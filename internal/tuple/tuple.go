@@ -1,0 +1,577 @@
+// Package tuple defines the typed relational values, tuples, and
+// schemas that flow through the query engine, together with their
+// wire encoding and the hashing used to partition tuples across the
+// DHT's key space.
+package tuple
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/wire"
+)
+
+// Type enumerates the value types the engine supports.
+type Type uint8
+
+// Value type tags. TNull is distinct (SQL NULL) rather than a null of
+// a specific type; comparisons treat NULL as smaller than everything.
+const (
+	TNull Type = iota
+	TBool
+	TInt
+	TFloat
+	TString
+	TBytes
+	TTime
+	TID
+)
+
+// String names the type for error messages and EXPLAIN output.
+func (t Type) String() string {
+	switch t {
+	case TNull:
+		return "null"
+	case TBool:
+		return "bool"
+	case TInt:
+		return "int"
+	case TFloat:
+		return "float"
+	case TString:
+		return "string"
+	case TBytes:
+		return "bytes"
+	case TTime:
+		return "time"
+	case TID:
+		return "id"
+	default:
+		return fmt.Sprintf("type(%d)", uint8(t))
+	}
+}
+
+// Value is one typed scalar. The zero Value is NULL.
+type Value struct {
+	Kind Type
+	// Exactly one of the following is meaningful, selected by Kind.
+	B  bool
+	I  int64
+	F  float64
+	S  string
+	Bs []byte
+	T  time.Time
+	ID id.ID
+}
+
+// Null returns the SQL NULL value.
+func Null() Value { return Value{} }
+
+// Bool wraps a boolean.
+func Bool(b bool) Value { return Value{Kind: TBool, B: b} }
+
+// Int wraps an integer.
+func Int(i int64) Value { return Value{Kind: TInt, I: i} }
+
+// Float wraps a double.
+func Float(f float64) Value { return Value{Kind: TFloat, F: f} }
+
+// String wraps a string.
+func String(s string) Value { return Value{Kind: TString, S: s} }
+
+// Bytes wraps a byte string.
+func Bytes(b []byte) Value { return Value{Kind: TBytes, Bs: b} }
+
+// Time wraps a timestamp.
+func Time(t time.Time) Value { return Value{Kind: TTime, T: t} }
+
+// IDVal wraps an overlay identifier.
+func IDVal(v id.ID) Value { return Value{Kind: TID, ID: v} }
+
+// IsNull reports whether the value is NULL.
+func (v Value) IsNull() bool { return v.Kind == TNull }
+
+// AsFloat coerces numeric values to float64 for arithmetic; ok is
+// false for non-numeric kinds.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Kind {
+	case TInt:
+		return float64(v.I), true
+	case TFloat:
+		return v.F, true
+	default:
+		return 0, false
+	}
+}
+
+// typeRank orders values of different kinds for total ordering:
+// NULL < bool < numeric < string < bytes < time < id.
+func typeRank(t Type) int {
+	switch t {
+	case TNull:
+		return 0
+	case TBool:
+		return 1
+	case TInt, TFloat:
+		return 2
+	case TString:
+		return 3
+	case TBytes:
+		return 4
+	case TTime:
+		return 5
+	case TID:
+		return 6
+	default:
+		return 7
+	}
+}
+
+// Compare totally orders values: within a kind natural order; across
+// kinds by type rank, except that ints and floats compare numerically.
+func (v Value) Compare(o Value) int {
+	ra, rb := typeRank(v.Kind), typeRank(o.Kind)
+	if ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	switch v.Kind {
+	case TNull:
+		return 0
+	case TBool:
+		switch {
+		case v.B == o.B:
+			return 0
+		case !v.B:
+			return -1
+		default:
+			return 1
+		}
+	case TInt, TFloat:
+		if v.Kind == TInt && o.Kind == TInt {
+			switch {
+			case v.I < o.I:
+				return -1
+			case v.I > o.I:
+				return 1
+			default:
+				return 0
+			}
+		}
+		a, _ := v.AsFloat()
+		b, _ := o.AsFloat()
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		default:
+			return 0
+		}
+	case TString:
+		return strings.Compare(v.S, o.S)
+	case TBytes:
+		return compareBytes(v.Bs, o.Bs)
+	case TTime:
+		switch {
+		case v.T.Before(o.T):
+			return -1
+		case v.T.After(o.T):
+			return 1
+		default:
+			return 0
+		}
+	case TID:
+		return v.ID.Cmp(o.ID)
+	default:
+		return 0
+	}
+}
+
+func compareBytes(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// Equal reports deep equality (numeric cross-kind equality included,
+// matching Compare).
+func (v Value) Equal(o Value) bool { return v.Compare(o) == 0 }
+
+// Encode appends the value, self-describing, to w.
+func (v Value) Encode(w *wire.Writer) {
+	w.Byte(byte(v.Kind))
+	switch v.Kind {
+	case TNull:
+	case TBool:
+		w.Bool(v.B)
+	case TInt:
+		w.Varint(v.I)
+	case TFloat:
+		w.Float64(v.F)
+	case TString:
+		w.String(v.S)
+	case TBytes:
+		w.BytesLP(v.Bs)
+	case TTime:
+		w.Time(v.T)
+	case TID:
+		w.Raw(v.ID[:])
+	}
+}
+
+// DecodeValue reads one value written by Encode.
+func DecodeValue(r *wire.Reader) Value {
+	kind := Type(r.Byte())
+	switch kind {
+	case TNull:
+		return Null()
+	case TBool:
+		return Bool(r.Bool())
+	case TInt:
+		return Int(r.Varint())
+	case TFloat:
+		return Float(r.Float64())
+	case TString:
+		return String(r.String())
+	case TBytes:
+		return Bytes(append([]byte(nil), r.BytesLP()...))
+	case TTime:
+		return Time(r.Time())
+	case TID:
+		var v id.ID
+		copy(v[:], r.Raw(id.Bytes))
+		return IDVal(v)
+	default:
+		// Poison the reader so the frame decode fails loudly.
+		r.Raw(-1)
+		return Null()
+	}
+}
+
+// String renders the value for display.
+func (v Value) String() string {
+	switch v.Kind {
+	case TNull:
+		return "NULL"
+	case TBool:
+		return strconv.FormatBool(v.B)
+	case TInt:
+		return strconv.FormatInt(v.I, 10)
+	case TFloat:
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TString:
+		return v.S
+	case TBytes:
+		return fmt.Sprintf("0x%x", v.Bs)
+	case TTime:
+		return v.T.Format(time.RFC3339Nano)
+	case TID:
+		return v.ID.Short()
+	default:
+		return "?"
+	}
+}
+
+// hashInto feeds the value's canonical bytes into parts for key
+// hashing. Ints and floats that compare equal hash differently only
+// if their kinds differ — so hash keys should come from columns of a
+// consistent declared type, which the planner guarantees.
+func (v Value) hashInto(w *wire.Writer) { v.Encode(w) }
+
+// Tuple is one row: a flat slice of values.
+type Tuple []Value
+
+// Clone copies the tuple (and any byte-slice values).
+func (t Tuple) Clone() Tuple {
+	out := make(Tuple, len(t))
+	copy(out, t)
+	for i, v := range out {
+		if v.Kind == TBytes {
+			out[i].Bs = append([]byte(nil), v.Bs...)
+		}
+	}
+	return out
+}
+
+// Equal reports element-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns the tuple restricted to cols (by index).
+func (t Tuple) Project(cols []int) Tuple {
+	out := make(Tuple, len(cols))
+	for i, c := range cols {
+		out[i] = t[c]
+	}
+	return out
+}
+
+// Concat returns t followed by o (for join outputs).
+func (t Tuple) Concat(o Tuple) Tuple {
+	out := make(Tuple, 0, len(t)+len(o))
+	out = append(out, t...)
+	return append(out, o...)
+}
+
+// Compare orders tuples lexicographically over cols; descending
+// columns are marked in desc.
+func (t Tuple) Compare(o Tuple, cols []int, desc []bool) int {
+	for i, c := range cols {
+		cmp := t[c].Compare(o[c])
+		if cmp == 0 {
+			continue
+		}
+		if len(desc) > i && desc[i] {
+			return -cmp
+		}
+		return cmp
+	}
+	return 0
+}
+
+// Encode appends the tuple to w.
+func (t Tuple) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(t)))
+	for _, v := range t {
+		v.Encode(w)
+	}
+}
+
+// DecodeTuple reads a tuple written by Encode.
+func DecodeTuple(r *wire.Reader) Tuple {
+	n := r.Uvarint()
+	if n > 4096 {
+		r.Raw(-1) // poison: absurd arity
+		return nil
+	}
+	out := make(Tuple, 0, n)
+	for i := uint64(0); i < n; i++ {
+		out = append(out, DecodeValue(r))
+	}
+	return out
+}
+
+// Bytes encodes the tuple into a fresh buffer.
+func (t Tuple) Bytes() []byte {
+	w := wire.NewWriter(16 * len(t))
+	t.Encode(w)
+	return w.Bytes()
+}
+
+// FromBytes decodes a tuple from buf, rejecting trailing garbage.
+func FromBytes(buf []byte) (Tuple, error) {
+	r := wire.NewReader(buf)
+	t := DecodeTuple(r)
+	if err := r.Done(); err != nil {
+		return nil, fmt.Errorf("tuple: decode: %w", err)
+	}
+	return t, nil
+}
+
+// HashKey hashes the projection of t onto cols into the identifier
+// space — the DHT partitioning function for rehash joins and
+// group-by placement.
+func (t Tuple) HashKey(cols []int) id.ID {
+	w := wire.NewWriter(16 * len(cols))
+	for _, c := range cols {
+		t[c].hashInto(w)
+	}
+	return id.Hash(w.Bytes())
+}
+
+// String renders the row as (a, b, c).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Column describes one attribute of a schema.
+type Column struct {
+	Name string
+	Type Type
+}
+
+// Schema names a relation and its columns. Key lists the column
+// indexes whose values form the resource identifier under which a
+// tuple is published into the DHT (the paper's "namespace + resource
+// ID" addressing).
+type Schema struct {
+	Name    string
+	Columns []Column
+	Key     []int
+}
+
+// NewSchema builds a schema; key columns are named.
+func NewSchema(name string, cols []Column, keyCols ...string) (*Schema, error) {
+	s := &Schema{Name: name, Columns: cols}
+	for _, kc := range keyCols {
+		i := s.ColIndex(kc)
+		if i < 0 {
+			return nil, fmt.Errorf("tuple: schema %s: key column %q not found", name, kc)
+		}
+		s.Key = append(s.Key, i)
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema, panicking on error; for static schemas.
+func MustSchema(name string, cols []Column, keyCols ...string) *Schema {
+	s, err := NewSchema(name, cols, keyCols...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ColIndex returns the index of the named column, or -1. Both bare
+// ("rate") and qualified ("traffic.rate") names are accepted.
+func (s *Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	if i := strings.IndexByte(name, '.'); i >= 0 {
+		if name[:i] == s.Name {
+			return s.ColIndex(name[i+1:])
+		}
+		return -1
+	}
+	// Qualified columns matched by suffix.
+	for i, c := range s.Columns {
+		if j := strings.IndexByte(c.Name, '.'); j >= 0 && c.Name[j+1:] == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Arity returns the number of columns.
+func (s *Schema) Arity() int { return len(s.Columns) }
+
+// Qualify returns a copy of the schema with every column name
+// prefixed by alias ("t.col"), as the planner does for joins.
+func (s *Schema) Qualify(alias string) *Schema {
+	out := &Schema{Name: alias, Key: append([]int(nil), s.Key...)}
+	out.Columns = make([]Column, len(s.Columns))
+	for i, c := range s.Columns {
+		name := c.Name
+		if j := strings.IndexByte(name, '.'); j >= 0 {
+			name = name[j+1:]
+		}
+		out.Columns[i] = Column{Name: alias + "." + name, Type: c.Type}
+	}
+	return out
+}
+
+// Concat merges two schemas (join output).
+func (s *Schema) Concat(o *Schema) *Schema {
+	out := &Schema{Name: s.Name + "_" + o.Name}
+	out.Columns = append(append([]Column(nil), s.Columns...), o.Columns...)
+	return out
+}
+
+// KeyOf computes the resource identifier for a tuple under this
+// schema: the hash of its key columns (or the whole tuple when no key
+// is declared).
+func (s *Schema) KeyOf(t Tuple) id.ID {
+	if len(s.Key) == 0 {
+		return id.Hash(t.Bytes())
+	}
+	return t.HashKey(s.Key)
+}
+
+// Validate checks a tuple's arity and value kinds against the schema
+// (NULL is accepted anywhere).
+func (s *Schema) Validate(t Tuple) error {
+	if len(t) != len(s.Columns) {
+		return fmt.Errorf("tuple: arity %d does not match schema %s (%d columns)", len(t), s.Name, len(s.Columns))
+	}
+	for i, v := range t {
+		if v.Kind == TNull {
+			continue
+		}
+		want := s.Columns[i].Type
+		if v.Kind != want && !(v.Kind == TInt && want == TFloat) {
+			return fmt.Errorf("tuple: column %s has kind %v, want %v", s.Columns[i].Name, v.Kind, want)
+		}
+	}
+	return nil
+}
+
+// EncodeSchema appends the schema to w so query plans can carry their
+// table definitions to remote nodes.
+func EncodeSchema(w *wire.Writer, s *Schema) {
+	w.String(s.Name)
+	w.Uvarint(uint64(len(s.Columns)))
+	for _, c := range s.Columns {
+		w.String(c.Name)
+		w.Byte(byte(c.Type))
+	}
+	w.Uvarint(uint64(len(s.Key)))
+	for _, k := range s.Key {
+		w.Uvarint(uint64(k))
+	}
+}
+
+// DecodeSchema reads a schema written by EncodeSchema.
+func DecodeSchema(r *wire.Reader) (*Schema, error) {
+	s := &Schema{Name: r.String()}
+	ncols := int(r.Uvarint())
+	if ncols > 4096 {
+		return nil, fmt.Errorf("tuple: schema with %d columns", ncols)
+	}
+	for i := 0; i < ncols; i++ {
+		s.Columns = append(s.Columns, Column{Name: r.String(), Type: Type(r.Byte())})
+	}
+	nkey := int(r.Uvarint())
+	if nkey > ncols {
+		return nil, fmt.Errorf("tuple: schema with %d key columns", nkey)
+	}
+	for i := 0; i < nkey; i++ {
+		k := int(r.Uvarint())
+		if k >= ncols {
+			return nil, fmt.Errorf("tuple: key column %d out of range", k)
+		}
+		s.Key = append(s.Key, k)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
