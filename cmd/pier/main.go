@@ -42,6 +42,10 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:0", "UDP address to listen on")
 	join := flag.String("join", "", "address of any existing node to join")
 	overlayKind := flag.String("overlay", "chord", "overlay: chord, kademlia, or can")
+	batchOn := flag.Bool("batch", true, "coalesce routed traffic (join rehash, aggregation partials, DHT puts) into per-destination frames")
+	batchRecords := flag.Int("batch-records", 0, "flush a route batch at this record count (0 = default 64)")
+	batchBytes := flag.Int("batch-bytes", 0, "flush a route batch at this payload byte budget (0 = default 8192)")
+	batchDelay := flag.Duration("batch-delay", 0, "max time a record may wait in a route batch (0 = default 2ms; capped at a quarter of the quiescence horizon)")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -49,6 +53,10 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := pier.Config{Overlay: *overlayKind}
+	cfg.Batch.Disabled = !*batchOn
+	cfg.Batch.MaxRecords = *batchRecords
+	cfg.Batch.MaxBytes = *batchBytes
+	cfg.Batch.MaxDelay = *batchDelay
 	node, err := pier.NewNode(tr, cfg)
 	if err != nil {
 		log.Fatal(err)

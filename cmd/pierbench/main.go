@@ -11,6 +11,7 @@
 //	pierbench -experiment churn
 //	pierbench -experiment search
 //	pierbench -experiment recursive
+//	pierbench -experiment batching
 //	pierbench -experiment overlay
 //	pierbench -experiment all
 package main
@@ -83,11 +84,35 @@ func main() {
 			return recursive(*n, *seed)
 		})
 	}
+	if all || *experiment == "batching" {
+		run("S7: route batching on the symmetric-hash rehash path", func() error {
+			return batching(*n, *seed)
+		})
+	}
 	if all || *experiment == "overlay" {
 		run("Ablation: Chord vs Kademlia", func() error {
 			return overlay(*n, *seed)
 		})
 	}
+}
+
+func batching(n int, seed int64) error {
+	results, err := bench.RouteBatchingJoin(n, 1000, 5, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %8s %12s %10s %12s %10s %14s\n",
+		"mode", "rows", "routed msgs", "msgs", "bytes", "frames", "bytes/tuple")
+	for _, r := range results {
+		fmt.Printf("%-10s %8d %12d %10d %12d %10d %14.1f\n",
+			r.Mode, r.Rows, r.RoutedMsgs, r.Msgs, r.Bytes, r.Frames, r.BytesPerTuple)
+	}
+	if !results[0].SameRows(results[1]) {
+		return fmt.Errorf("batched and unbatched runs returned different rows")
+	}
+	fmt.Printf("routed-message reduction: %.1fx\n",
+		float64(results[1].RoutedMsgs)/float64(results[0].RoutedMsgs))
+	return nil
 }
 
 func figure1(n int, seed int64) error {

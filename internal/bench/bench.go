@@ -10,6 +10,8 @@ package bench
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/baseline"
@@ -637,6 +639,161 @@ func RecursiveTopology(n, chainLen int, seed int64) (*RecursiveResult, error) {
 		}
 	}
 	return &RecursiveResult{Facts: len(inNet), Expected: chainLen, Msgs: msgs, AgreeSQL: agree}, nil
+}
+
+// ---------------------------------------------------------------------------
+// S7: route batching on the symmetric-hash rehash path
+
+// BatchJoinResult is one batching mode's cost for the same
+// symmetric-hash join.
+type BatchJoinResult struct {
+	Mode          string  // "batched" or "unbatched"
+	Rows          int     // result rows
+	RoutedMsgs    uint64  // overlay route forwards across the cluster
+	Msgs          uint64  // total simulated network messages
+	Bytes         uint64  // total simulated network bytes
+	BytesPerTuple float64 // network bytes per rehashed tuple
+	Frames        uint64  // multi-record frames shipped (batched mode)
+	FrameRecords  uint64  // records carried inside frames
+	rowsDigest    string  // canonical (sorted) encoding of the result rows
+}
+
+// SameRows reports whether two runs returned byte-identical result
+// sets (order-insensitive; the engine does not promise arrival order).
+func (r BatchJoinResult) SameRows(o BatchJoinResult) bool {
+	return r.rowsDigest == o.rowsDigest
+}
+
+// RouteBatchingJoin runs the same symmetric-hash equi-join with route
+// batching on and off and reports the message-count/byte costs — the
+// per-destination coalescing win on the paper's dominant cost metric.
+// perSide tuples per side are spread round-robin over n nodes; left
+// join keys cycle through distinctKeys values, and the right side
+// holds one matching tuple per key plus non-matching bulk, so every
+// left tuple joins exactly once and both sides are fully rehashed.
+func RouteBatchingJoin(n, perSide, distinctKeys int, seed int64) ([]BatchJoinResult, error) {
+	if n == 0 {
+		n = 32
+	}
+	if perSide == 0 {
+		perSide = 1000
+	}
+	if distinctKeys == 0 {
+		distinctKeys = 5
+	}
+	leftSchema := tuple.MustSchema("bl", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "i", Type: tuple.TInt},
+		{Name: "k", Type: tuple.TInt},
+	}, "node", "i")
+	rightSchema := tuple.MustSchema("br", []tuple.Column{
+		{Name: "k", Type: tuple.TInt},
+		{Name: "info", Type: tuple.TString},
+	}, "k", "info")
+
+	routeForwards := func(cluster *piertest.Cluster) uint64 {
+		var total uint64
+		for _, nd := range cluster.Nodes {
+			if cn, ok := nd.Router().(*chord.Node); ok {
+				_, _, fwd, _ := cn.MetricsSnapshot()
+				total += fwd
+			}
+		}
+		return total
+	}
+
+	run := func(mode string, disabled bool) (BatchJoinResult, error) {
+		cfg := piertest.FastConfig()
+		cfg.Batch.Disabled = disabled
+		// Let frames accumulate for a whole local scan; the explicit
+		// Flush barrier at scan completion bounds latency, so the
+		// delay knob can sit well above the scan duration.
+		cfg.Batch.MaxDelay = 25 * time.Millisecond
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return BatchJoinResult{}, err
+		}
+		defer cluster.Close()
+		for _, nd := range cluster.Nodes {
+			if err := nd.DefineTable(leftSchema, time.Minute); err != nil {
+				return BatchJoinResult{}, err
+			}
+			if err := nd.DefineTable(rightSchema, time.Minute); err != nil {
+				return BatchJoinResult{}, err
+			}
+		}
+		for i := 0; i < perSide; i++ {
+			nd := cluster.Nodes[i%n]
+			if err := nd.PublishLocal("bl", tuple.Tuple{
+				tuple.String(nd.Addr()), tuple.Int(int64(i)), tuple.Int(int64(i % distinctKeys)),
+			}); err != nil {
+				return BatchJoinResult{}, err
+			}
+			rk, info := int64(distinctKeys+i%distinctKeys), fmt.Sprintf("miss-%d", i)
+			if i < distinctKeys {
+				rk, info = int64(i), fmt.Sprintf("match-%d", i)
+			}
+			if err := nd.PublishLocal("br", tuple.Tuple{tuple.Int(rk), tuple.String(info)}); err != nil {
+				return BatchJoinResult{}, err
+			}
+		}
+		fwdBefore := routeForwards(cluster)
+		cluster.Net.ResetStats()
+		strat := plan.SymmetricHash
+		res, err := cluster.Nodes[0].QueryWithOptions(context.Background(),
+			"SELECT a.node, a.i, b.info FROM bl a JOIN br b ON a.k = b.k",
+			plan.Options{Strategy: &strat})
+		if err != nil {
+			return BatchJoinResult{}, err
+		}
+		stats := cluster.Net.Stats()
+		out := BatchJoinResult{
+			Mode:          mode,
+			Rows:          len(res.Rows),
+			RoutedMsgs:    routeForwards(cluster) - fwdBefore,
+			Msgs:          stats.Sent,
+			Bytes:         stats.BytesSent,
+			BytesPerTuple: float64(stats.BytesSent) / float64(2*perSide),
+			rowsDigest:    rowsDigest(res.Rows),
+		}
+		for _, nd := range cluster.Nodes {
+			if b := nd.Batcher(); b != nil {
+				m := b.MetricsRef()
+				out.Frames += m.FramesOut.Load()
+				out.FrameRecords += m.FrameRecords.Load()
+			}
+		}
+		return out, nil
+	}
+
+	var out []BatchJoinResult
+	for _, c := range []struct {
+		mode     string
+		disabled bool
+	}{{"batched", false}, {"unbatched", true}} {
+		r, err := run(c.mode, c.disabled)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// rowsDigest canonicalizes a result set: encoded rows, sorted, then
+// length-prefixed before joining so row boundaries stay unambiguous
+// (the raw encodings are binary and may contain any separator byte).
+func rowsDigest(rows []tuple.Tuple) string {
+	enc := make([]string, len(rows))
+	for i, t := range rows {
+		enc[i] = string(t.Bytes())
+	}
+	sort.Strings(enc)
+	var sb strings.Builder
+	for _, e := range enc {
+		fmt.Fprintf(&sb, "%d:%s", len(e), e)
+	}
+	return sb.String()
 }
 
 // ---------------------------------------------------------------------------

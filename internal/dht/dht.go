@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/id"
 	"repro/internal/overlay"
 	"repro/internal/rpc"
@@ -38,6 +39,12 @@ type Config struct {
 	// MaxItemsPerNamespace bounds local storage per namespace
 	// (receiver overload protection). Default 100000.
 	MaxItemsPerNamespace int
+	// Batch configures per-destination coalescing of the Put and
+	// republish-repair route traffic. Default on; set Batch.Disabled
+	// to route every item individually. Ignored when the router
+	// passed to New is already a batching wrapper (the query engine
+	// shares one batcher across all its tags).
+	Batch batch.Config
 }
 
 func (c Config) withDefaults() Config {
@@ -102,6 +109,11 @@ type Store struct {
 	peer   *rpc.Peer
 	cfg    Config
 
+	// ownBatcher is the batching wrapper this store created (nil when
+	// the caller passed one in, or batching is disabled). Stop closes
+	// it without stopping the underlying router.
+	ownBatcher *batch.Batcher
+
 	mu    sync.Mutex
 	items map[string]map[itemKey]*storedItem
 	subs  map[string][]SubscribeFunc
@@ -131,7 +143,15 @@ func New(router overlay.Router, peer *rpc.Peer, cfg Config, prev overlay.Deliver
 		subs:   make(map[string][]SubscribeFunc),
 		stopCh: make(chan struct{}),
 	}
-	router.SetDeliver(func(from overlay.Node, key id.ID, tag string, payload []byte) {
+	// Coalesce put/republish route traffic unless the caller already
+	// routes through a batcher of their own. Wrap even when Disabled:
+	// the wrapper still demultiplexes frames arriving from batching
+	// peers in a mixed cluster.
+	if _, ok := router.(*batch.Batcher); !ok {
+		s.ownBatcher = batch.New(router, cfg.Batch)
+		s.router = s.ownBatcher
+	}
+	s.router.SetDeliver(func(from overlay.Node, key id.ID, tag string, payload []byte) {
 		if tag == routeTag {
 			s.onPut(payload, true)
 			return
@@ -173,6 +193,9 @@ func New(router overlay.Router, peer *rpc.Peer, cfg Config, prev overlay.Deliver
 func (s *Store) Stop() {
 	s.stopOnce.Do(func() { close(s.stopCh) })
 	s.wg.Wait()
+	if s.ownBatcher != nil {
+		s.ownBatcher.Close() // flush pending puts; leaves the router running
+	}
 }
 
 // MetricsSnapshot returns a copy of the counters.
@@ -509,6 +532,13 @@ func (s *Store) republishLoop() {
 				s.metrics.Republished.Add(1)
 				_ = s.router.Route(StorageKey(p.ns, p.rid), routeTag,
 					encodeItem(p.ns, p.rid, p.payload, p.expires))
+			}
+			// Repair rounds are bursty; drain the round's batches now
+			// rather than waiting out the coalescing timer. s.router is
+			// a batcher both when this store created it and when the
+			// query engine passed its shared one in.
+			if bb, ok := s.router.(*batch.Batcher); ok {
+				bb.Flush()
 			}
 		}
 	}

@@ -1,0 +1,148 @@
+package pier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// runBatchJoin executes the same symmetric-hash join over a fresh
+// cluster with the given batching mode and returns the result rows in
+// canonical (sorted-encoding) order.
+func runBatchJoin(t *testing.T, disabled bool, seed int64) ([]string, uint64) {
+	t.Helper()
+	cfg := testNodeConfig("chord")
+	cfg.Batch.Disabled = disabled
+	nodes, _ := clusterWithConfig(t, 12, seed, cfg)
+
+	leftSchema := tuple.MustSchema("el", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "i", Type: tuple.TInt},
+		{Name: "k", Type: tuple.TInt},
+	}, "node", "i")
+	rightSchema := tuple.MustSchema("er", []tuple.Column{
+		{Name: "k", Type: tuple.TInt},
+		{Name: "info", Type: tuple.TString},
+	}, "k", "info")
+	for _, nd := range nodes {
+		if err := nd.DefineTable(leftSchema, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+		if err := nd.DefineTable(rightSchema, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	const perSide, keys = 120, 4
+	for i := 0; i < perSide; i++ {
+		nd := nodes[i%len(nodes)]
+		if err := nd.PublishLocal("el", tuple.Tuple{
+			tuple.String(nd.Addr()), tuple.Int(int64(i)), tuple.Int(int64(i % keys)),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		rk, info := int64(keys+i%keys), fmt.Sprintf("miss-%d", i)
+		if i < keys {
+			rk, info = int64(i), fmt.Sprintf("match-%d", i)
+		}
+		if err := nd.PublishLocal("er", tuple.Tuple{tuple.Int(rk), tuple.String(info)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	strat := plan.SymmetricHash
+	res, err := nodes[0].QueryWithOptions(context.Background(),
+		"SELECT a.node, a.i, b.info FROM el a JOIN er b ON a.k = b.k",
+		plan.Options{Strategy: &strat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		rows[i] = string(r.Bytes())
+	}
+	sort.Strings(rows)
+	var frames uint64
+	for _, nd := range nodes {
+		frames += nd.Batcher().MetricsRef().FramesOut.Load()
+	}
+	return rows, frames
+}
+
+// TestBatchingPreservesJoinResults is the end-to-end batching
+// equivalence check: a symmetric-hash join over a simulated cluster
+// returns byte-identical rows with route batching on and off, and the
+// batched run actually ships multi-record frames.
+func TestBatchingPreservesJoinResults(t *testing.T) {
+	batched, frames := runBatchJoin(t, false, 7)
+	unbatched, _ := runBatchJoin(t, true, 7)
+	if len(batched) == 0 {
+		t.Fatal("join returned no rows")
+	}
+	if len(batched) != len(unbatched) {
+		t.Fatalf("row counts differ: batched %d, unbatched %d", len(batched), len(unbatched))
+	}
+	for i := range batched {
+		if batched[i] != unbatched[i] {
+			t.Fatalf("row %d differs between batching modes", i)
+		}
+	}
+	if frames == 0 {
+		t.Fatal("batched run shipped no multi-record frames")
+	}
+}
+
+// TestBatchingAggregationEquivalence checks the partial-aggregation
+// hot path: the same grouped aggregate computes identical values with
+// batching on and off.
+func TestBatchingAggregationEquivalence(t *testing.T) {
+	run := func(disabled bool) []string {
+		cfg := testNodeConfig("chord")
+		cfg.Batch.Disabled = disabled
+		nodes, _ := clusterWithConfig(t, 8, 11, cfg)
+		schema := tuple.MustSchema("ag", []tuple.Column{
+			{Name: "node", Type: tuple.TString},
+			{Name: "i", Type: tuple.TInt},
+			{Name: "g", Type: tuple.TInt},
+			{Name: "v", Type: tuple.TFloat},
+		}, "node", "i")
+		for _, nd := range nodes {
+			if err := nd.DefineTable(schema, time.Minute); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 160; i++ {
+			nd := nodes[i%len(nodes)]
+			if err := nd.PublishLocal("ag", tuple.Tuple{
+				tuple.String(nd.Addr()), tuple.Int(int64(i)),
+				tuple.Int(int64(i % 5)), tuple.Float(float64(i)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		res, err := nodes[0].Query(context.Background(),
+			"SELECT g, COUNT(*), SUM(v) FROM ag GROUP BY g")
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows := make([]string, len(res.Rows))
+		for i, r := range res.Rows {
+			rows[i] = string(r.Bytes())
+		}
+		sort.Strings(rows)
+		return rows
+	}
+	batched, unbatched := run(false), run(true)
+	if len(batched) != 5 {
+		t.Fatalf("expected 5 groups, got %d", len(batched))
+	}
+	for i := range batched {
+		if batched[i] != unbatched[i] {
+			t.Fatalf("group row %d differs between batching modes", i)
+		}
+	}
+}

@@ -53,6 +53,10 @@ func (q *queryState) participateOneShot() {
 	default: // SymmetricHash or BloomJoin: rehash both sides
 		q.rehashScan()
 	}
+	// Barrier: drain coalesced route batches before reporting
+	// completion, so no rehashed tuple or partial is still buffered
+	// when the coordinator starts its quiescence clock.
+	q.node.flushRoutes()
 	// Tell the coordinator this node's scan work is complete.
 	w := wire.NewWriter(32)
 	w.Uint64(q.id)
@@ -480,6 +484,7 @@ func (q *queryState) participateContinuous() {
 			q.samples = live
 			q.bufMu.Unlock()
 			q.processWorkRows(windowRows, seq)
+			q.node.flushRoutes() // per-tick barrier: ship this window's partials now
 		}
 	}
 }

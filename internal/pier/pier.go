@@ -15,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/bloom"
 	"repro/internal/can"
 	"repro/internal/catalog"
@@ -40,6 +41,10 @@ type Config struct {
 	CAN      can.Config
 	// DHT configures the storage layer.
 	DHT dht.Config
+	// Batch configures per-destination coalescing of routed traffic
+	// (join rehashing, aggregation partials, DHT puts). Default on;
+	// set Batch.Disabled to route every record individually.
+	Batch batch.Config
 
 	// CombineHold is how long a relay buffers partial aggregates for
 	// in-network combining before forwarding. Default 25ms.
@@ -98,6 +103,12 @@ func (c Config) withDefaults() Config {
 	if c.RowBatch == 0 {
 		c.RowBatch = 64
 	}
+	// A route-batch delay approaching the quiescence horizon would let
+	// relay-combined partials sit past the coordinator's settle clock
+	// and silently drop them from one-shot results; cap it well inside.
+	if c.Batch.MaxDelay > c.Quiet/4 {
+		c.Batch.MaxDelay = c.Quiet / 4
+	}
 	return c
 }
 
@@ -114,11 +125,13 @@ type Metrics struct {
 
 // Node is one PIER participant.
 type Node struct {
-	cfg    Config
-	router overlay.Router
-	peer   *rpc.Peer
-	store  *dht.Store
-	cat    *catalog.Catalog
+	cfg     Config
+	base    overlay.Router // the raw overlay (chord/kademlia/can)
+	router  overlay.Router // the batching wrapper all hot paths use
+	batcher *batch.Batcher
+	peer    *rpc.Peer
+	store   *dht.Store
+	cat     *catalog.Catalog
 
 	mu      sync.Mutex
 	queries map[uint64]*queryState
@@ -156,19 +169,23 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	switch cfg.Overlay {
 	case "chord":
 		c := chord.New(tr, cfg.Chord)
-		n.router = c
+		n.base = c
 		n.peer = c.Peer()
 	case "kademlia":
 		k := kademlia.New(tr, cfg.Kademlia)
-		n.router = k
+		n.base = k
 		n.peer = k.Peer()
 	case "can":
 		c := can.New(tr, cfg.CAN)
-		n.router = c
+		n.base = c
 		n.peer = c.Peer()
 	default:
 		return nil, fmt.Errorf("pier: unknown overlay %q", cfg.Overlay)
 	}
+	// Always wrap: even with Batch.Disabled the wrapper demultiplexes
+	// frames arriving from batching peers in a mixed cluster.
+	n.batcher = batch.New(n.base, cfg.Batch)
+	n.router = n.batcher
 	n.store = dht.New(n.router, n.peer, cfg.DHT, n.onRouted)
 	n.router.SetBroadcast(n.onBroadcast)
 	if !cfg.DisableCombiner {
@@ -180,7 +197,7 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 
 // Join merges the node into the overlay via any existing member.
 func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
-	switch r := n.router.(type) {
+	switch r := n.base.(type) {
 	case *chord.Node:
 		return r.Join(ctx, bootstrapAddr)
 	case *kademlia.Node:
@@ -195,8 +212,22 @@ func (n *Node) Join(ctx context.Context, bootstrapAddr string) error {
 // Addr returns the node's transport address.
 func (n *Node) Addr() string { return n.router.Self().Addr }
 
-// Router exposes the overlay (benchmarks read its metrics).
-func (n *Node) Router() overlay.Router { return n.router }
+// Router exposes the raw overlay (benchmarks read its metrics and
+// type-switch on the concrete scheme).
+func (n *Node) Router() overlay.Router { return n.base }
+
+// Batcher exposes the route-batching layer (benchmarks read its
+// metrics; applications may Flush for their own barriers).
+func (n *Node) Batcher() *batch.Batcher { return n.batcher }
+
+// flushRoutes drains pending route batches — the barrier run before
+// reporting scan completion so coalesced tuples are never still
+// buffered when the coordinator starts its quiescence clock.
+func (n *Node) flushRoutes() {
+	if n.batcher != nil {
+		n.batcher.Flush()
+	}
+}
 
 // Store exposes the DHT storage layer.
 func (n *Node) Store() *dht.Store { return n.store }
