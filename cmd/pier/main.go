@@ -16,9 +16,13 @@
 //	\insert <table> <val,...>     -- into this node's local partition
 //	\put <table> <val,...>        -- into the DHT (placed by key)
 //	\tables                        -- list defined tables
+//	\explain SELECT ...            -- print the distributed plan (no execution)
 //	\quit
 //	SELECT ...                     -- one-shot query
 //	SELECT ... WINDOW 5 s SLIDE 1 s  -- continuous (prints windows; \stop ends it)
+//
+// With -explain, every one-shot query runs as EXPLAIN ANALYZE and
+// prints the per-operator pipeline counters gathered from every node.
 package main
 
 import (
@@ -33,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/pier"
+	"repro/internal/plan"
 	"repro/internal/transport"
 	"repro/internal/tuple"
 )
@@ -46,6 +51,7 @@ func main() {
 	batchRecords := flag.Int("batch-records", 0, "flush a route batch at this record count (0 = default 64)")
 	batchBytes := flag.Int("batch-bytes", 0, "flush a route batch at this payload byte budget (0 = default 8192)")
 	batchDelay := flag.Duration("batch-delay", 0, "max time a record may wait in a route batch (0 = default 2ms; capped at a quarter of the quiescence horizon)")
+	explain := flag.Bool("explain", false, "run one-shot queries as EXPLAIN ANALYZE: print the per-operator pipeline counters gathered from every node after the rows")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -73,10 +79,10 @@ func main() {
 		fmt.Printf("joined overlay via %s\n", *join)
 	}
 
-	shell(node)
+	shell(node, *explain)
 }
 
-func shell(node *pier.Node) {
+func shell(node *pier.Node, explain bool) {
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("pier> ")
 	for sc.Scan() {
@@ -102,10 +108,17 @@ func shell(node *pier.Node) {
 			if err := doInsert(node, strings.TrimPrefix(line, `\put `), true); err != nil {
 				fmt.Println("error:", err)
 			}
+		case strings.HasPrefix(line, `\explain `):
+			plan, err := node.Explain(strings.TrimPrefix(line, `\explain `))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(plan)
+			}
 		case strings.HasPrefix(strings.ToUpper(line), "SELECT") || strings.HasPrefix(strings.ToUpper(line), "WITH"):
-			runQuery(node, line)
+			runQuery(node, line, explain)
 		default:
-			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\quit")
+			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\explain, \\quit")
 		}
 		fmt.Print("pier> ")
 	}
@@ -217,7 +230,7 @@ func doInsert(node *pier.Node, args string, viaDHT bool) error {
 	return node.PublishLocal(fields[0], t)
 }
 
-func runQuery(node *pier.Node, sql string) {
+func runQuery(node *pier.Node, sql string, explain bool) {
 	upper := strings.ToUpper(sql)
 	if strings.Contains(upper, "WINDOW") {
 		cont, err := node.QueryContinuous(context.Background(), sql)
@@ -240,7 +253,7 @@ func runQuery(node *pier.Node, sql string) {
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	res, err := node.Query(ctx, sql)
+	res, err := node.QueryWithOptions(ctx, sql, plan.Options{Analyze: explain})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -251,4 +264,7 @@ func runQuery(node *pier.Node, sql string) {
 	}
 	fmt.Printf("(%d rows, %d participants, %v)\n", len(res.Rows), res.Participants,
 		res.Duration.Round(time.Millisecond))
+	if res.AnalyzeReport != "" {
+		fmt.Print(res.AnalyzeReport)
+	}
 }

@@ -13,6 +13,7 @@
 //	pierbench -experiment recursive
 //	pierbench -experiment batching
 //	pierbench -experiment overlay
+//	pierbench -experiment explain
 //	pierbench -experiment all
 package main
 
@@ -94,6 +95,21 @@ func main() {
 			return overlay(*n, *seed)
 		})
 	}
+	if all || *experiment == "explain" {
+		run("EXPLAIN ANALYZE: distributed per-operator pipeline counters", func() error {
+			return explainAnalyze(*n, *seed)
+		})
+	}
+}
+
+func explainAnalyze(n int, seed int64) error {
+	rows, report, err := bench.ExplainAnalyze(n, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Print(report)
+	fmt.Printf("(%d result rows)\n", rows)
+	return nil
 }
 
 func batching(n int, seed int64) error {
@@ -125,9 +141,10 @@ func figure1(n int, seed int64) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("%-8s %12s %12s\n", "t", "SUM(rate)", "responding")
+	fmt.Printf("%-8s %12s %12s %12s\n", "t", "SUM(rate)", "responding", "fraction")
 	for _, p := range series {
-		fmt.Printf("%-8v %12.1f %12d\n", p.T.Round(100*time.Millisecond), p.Sum, p.Responding)
+		fmt.Printf("%-8v %12.1f %12d %12.3f\n",
+			p.T.Round(100*time.Millisecond), p.Sum, p.Responding, p.Fraction())
 	}
 	return nil
 }

@@ -1,0 +1,50 @@
+package repro
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// TestFigure1Shape asserts the Figure 1 failure-dip shape in a
+// regular test so the tier-1 gate (`go test ./...`) sees it — the
+// benchmark variant only runs under -bench. The check uses the
+// diurnal-corrected response fraction (Figure1Point.Expected), which
+// is deterministic modulo sample noise: the sensors' sine trend is
+// phased on absolute wall-clock time, so raw sums would make the
+// shape seed- and start-time-dependent.
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulated deployment")
+	}
+	series, err := bench.Figure1(bench.Figure1Config{
+		N: 16, Seed: 1,
+		Window: time.Second, Slide: 500 * time.Millisecond,
+		Run: 6 * time.Second, FailAt: 2500 * time.Millisecond,
+		FailCount: 4, // no recovery: the trough holds to the end
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(series) < 4 {
+		t.Fatalf("only %d windows arrived", len(series))
+	}
+	pre, trough, ok := bench.Figure1Dip(series,
+		1500*time.Millisecond, 2500*time.Millisecond,
+		4*time.Second, 6*time.Second)
+	if !ok {
+		// The aggregation collector itself can land in the failure
+		// group, starving one bucket; that is a liveness property of
+		// the overlay, not of the continuous-aggregation shape.
+		t.Skip("a shape bucket received no windows (collector failed)")
+	}
+	// 4 of 16 nodes down: expect a ~25% dip; require >10%.
+	if trough >= pre-0.1 {
+		t.Fatalf("no failure dip: pre fraction=%.3f trough fraction=%.3f", pre, trough)
+	}
+	// The plateau should account for most of the network.
+	if pre < 0.6 {
+		t.Fatalf("pre-failure plateau fraction only %.3f", pre)
+	}
+}

@@ -36,6 +36,22 @@ type Figure1Point struct {
 	T          time.Duration // time since query start
 	Sum        float64       // SUM(rate) over responding nodes
 	Responding int           // nodes with live sensors at window close
+	// Expected is the sensor model's predicted SUM(rate) for this
+	// window had every node responded. Sum/Expected is the
+	// diurnal-corrected response fraction: the sensors carry a
+	// wall-clock-phased sine component (±DiurnalAmplitude), so raw
+	// sums from different windows are not comparable — the shape
+	// checks compare fractions instead.
+	Expected float64
+}
+
+// Fraction is the diurnal-corrected response fraction (0 when the
+// model expectation is unavailable).
+func (p Figure1Point) Fraction() float64 {
+	if p.Expected <= 0 {
+		return 0
+	}
+	return p.Sum / p.Expected
 }
 
 // Figure1Config parameterizes the Figure 1 run.
@@ -72,9 +88,11 @@ func Figure1(cfg Figure1Config) ([]Figure1Point, error) {
 		return nil, err
 	}
 	defer cluster.Close()
+	sensorPeriod := 100 * time.Millisecond
+	var model *monitor.Sensor // rate model (shared by every sensor)
 	for i, nd := range cluster.Nodes {
 		s, err := monitor.NewSensor(nd, monitor.SensorConfig{
-			Period:   100 * time.Millisecond,
+			Period:   sensorPeriod,
 			BaseRate: 10,
 			TTL:      2 * cfg.Window,
 			Seed:     int64(i),
@@ -83,6 +101,19 @@ func Figure1(cfg Figure1Config) ([]Figure1Point, error) {
 			return nil, err
 		}
 		defer s.Stop()
+		if model == nil {
+			model = s
+		}
+	}
+	// expectedSum predicts the full-network SUM(rate) of the window
+	// closing at closeAt: one model-rate sample per sensor period per
+	// node (sample noise is mean-zero).
+	expectedSum := func(closeAt time.Time) float64 {
+		perNode := 0.0
+		for k := 1; k <= int(cfg.Window/sensorPeriod); k++ {
+			perNode += model.Rate(closeAt.Add(-cfg.Window + time.Duration(k)*sensorPeriod))
+		}
+		return perNode * float64(cfg.N)
 	}
 	cont, err := cluster.Nodes[0].QueryContinuous(context.Background(),
 		monitor.Figure1Query(cfg.Window, cfg.Slide))
@@ -124,12 +155,48 @@ func Figure1(cfg Figure1Config) ([]Figure1Point, error) {
 				T:          time.Since(start),
 				Sum:        wr.Rows[0][0].F,
 				Responding: responding,
+				Expected:   expectedSum(wr.Time),
 			})
 		case <-time.After(cfg.Run):
 			return series, fmt.Errorf("bench: figure1 produced no windows")
 		}
 	}
 	return series, nil
+}
+
+// Figure1Dip summarizes the failure-dip shape of a Figure 1 series:
+// the median diurnal-corrected response fraction over the pre-failure
+// plateau window and over the post-failure trough window (by receipt
+// time since query start). ok is false when either bucket is empty —
+// the shape cannot be judged (e.g. the aggregation collector itself
+// was in the failure group and no trough windows arrived).
+func Figure1Dip(series []Figure1Point, preLo, preHi, troughLo, troughHi time.Duration) (pre, trough float64, ok bool) {
+	var preF, troughF []float64
+	for _, p := range series {
+		f := p.Fraction()
+		if f <= 0 {
+			continue
+		}
+		switch {
+		case p.T > preLo && p.T < preHi:
+			preF = append(preF, f)
+		case p.T > troughLo && p.T < troughHi:
+			troughF = append(troughF, f)
+		}
+	}
+	if len(preF) == 0 || len(troughF) == 0 {
+		return 0, 0, false
+	}
+	return median(preF), median(troughF), true
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s)%2 == 1 {
+		return s[len(s)/2]
+	}
+	return (s[len(s)/2-1] + s[len(s)/2]) / 2
 }
 
 // ---------------------------------------------------------------------------
@@ -420,6 +487,63 @@ func JoinStrategies(n, leftPerNode, rightTotal int, matchFrac float64, seed int6
 		out = append(out, r)
 	}
 	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+
+// ExplainAnalyze runs a representative join + aggregation query with
+// per-operator instrumentation on and returns the result row count
+// plus the network-wide EXPLAIN ANALYZE report — every pipeline stage
+// (participant scans and rehash, join collectors, aggregation
+// collectors, coordinator tail) with its rows/bytes/latency counters.
+func ExplainAnalyze(n int, seed int64) (int, string, error) {
+	if n == 0 {
+		n = 16
+	}
+	cluster, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		return 0, "", err
+	}
+	defer cluster.Close()
+	leftSchema := tuple.MustSchema("l", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "k", Type: tuple.TInt},
+	}, "node", "k")
+	rightSchema := tuple.MustSchema("r", []tuple.Column{
+		{Name: "k", Type: tuple.TInt},
+		{Name: "info", Type: tuple.TString},
+	}, "k")
+	for _, nd := range cluster.Nodes {
+		if err := nd.DefineTable(leftSchema, time.Minute); err != nil {
+			return 0, "", err
+		}
+		if err := nd.DefineTable(rightSchema, time.Minute); err != nil {
+			return 0, "", err
+		}
+	}
+	const perNode, distinctKeys = 10, 8
+	for i, nd := range cluster.Nodes {
+		for j := 0; j < perNode; j++ {
+			k := int64((i*perNode + j) % distinctKeys)
+			nd.PublishLocal("l", tuple.Tuple{tuple.String(nd.Addr()), tuple.Int(k)})
+		}
+	}
+	for k := 0; k < distinctKeys; k++ {
+		nd := cluster.Nodes[k%n]
+		if err := nd.Publish("r", tuple.Tuple{tuple.Int(int64(k)), tuple.String(fmt.Sprintf("info-%d", k))}); err != nil {
+			return 0, "", err
+		}
+	}
+	time.Sleep(400 * time.Millisecond) // let right-table puts land
+	strat := plan.SymmetricHash
+	res, err := cluster.Nodes[0].QueryWithOptions(context.Background(),
+		"SELECT b.info, COUNT(a.node) AS hits FROM l a JOIN r b ON a.k = b.k GROUP BY b.info ORDER BY hits DESC",
+		plan.Options{Strategy: &strat, Analyze: true})
+	if err != nil {
+		return 0, "", err
+	}
+	return len(res.Rows), res.AnalyzeReport, nil
 }
 
 // ---------------------------------------------------------------------------

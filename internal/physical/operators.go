@@ -1,0 +1,762 @@
+package physical
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// OpFunc builds one instrumented operator body. Pipeline.Add supplies
+// the counter bound to the operator's slot in the stats snapshot.
+type OpFunc func(c *Counters) dataflow.RunFunc
+
+// ---------------------------------------------------------------------------
+// Sources
+
+// ScanSource reads the live local partition of one namespace: decode
+// every stored payload, skip malformed or wrong-arity tuples (best
+// effort, as the store is schema-less), push the rest.
+func ScanSource(scan func(ns string) [][]byte, ns string, arity int) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for _, payload := range scan(ns) {
+				start := time.Now()
+				c.RecvRow()
+				t, err := tuple.FromBytes(payload)
+				if err != nil || len(t) != arity {
+					c.Busy(start)
+					continue
+				}
+				c.EmitRows(1, len(payload))
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// SliceSource pushes a fixed row set — unit tests and compiled
+// coordinator tails enter the pipeline here.
+func SliceSource(rows []tuple.Tuple) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return counted(c, ops.SliceSource(rows))
+	}
+}
+
+// WindowTicker is the continuous-query source: it drains the sample
+// inlet (data messages stamped with their arrival time) and emits one
+// punctuation per window boundary. Boundaries are aligned to absolute
+// unix-time multiples of the slide, so every node in the network
+// closes the same window sequence number at the same wall-clock
+// instant — window membership is driven by punctuation, not by each
+// node's private ticker phase.
+func WindowTicker(in *Inlet, slide, live time.Duration) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var deadline <-chan time.Time
+			if live > 0 {
+				dt := time.NewTimer(live)
+				defer dt.Stop()
+				deadline = dt.C
+			}
+			slideNS := int64(slide)
+			nextNS := (time.Now().UnixNano()/slideNS + 1) * slideNS
+			timer := time.NewTimer(time.Until(time.Unix(0, nextNS)))
+			defer timer.Stop()
+			for {
+				// Drain queued samples before sleeping so arrivals
+				// order ahead of the boundary that follows them.
+				in.mu.Lock()
+				batch := in.queue
+				in.queue = nil
+				closed := in.closed
+				in.mu.Unlock()
+				for _, m := range batch {
+					c.RecvRow()
+					c.EmitRow(m.T)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+				}
+				if closed && len(batch) == 0 {
+					return nil
+				}
+				if len(batch) > 0 {
+					continue
+				}
+				select {
+				case <-in.notify:
+				case <-timer.C:
+					boundary := time.Unix(0, nextNS)
+					seq := uint64(nextNS / slideNS)
+					c.RecvPunct()
+					if !dataflow.EmitAll(ctx, outs, dataflow.PunctMsg(seq, boundary)) {
+						return nil
+					}
+					nextNS += slideNS
+					timer.Reset(time.Until(time.Unix(0, nextNS)))
+				case <-deadline:
+					return nil
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Row transforms
+
+// Filter drops tuples whose predicate does not evaluate to true.
+// Evaluation errors drop the row (scans are best-effort over
+// schema-less storage); punctuation passes through.
+func Filter(pred expr.Expr) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					v, err := pred.Eval(m.T)
+					if err != nil || !expr.Truthy(v) {
+						c.Busy(start)
+						continue
+					}
+					c.EmitRow(m.T)
+				} else {
+					c.RecvPunct()
+				}
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// Project computes one output column per expression; rows that fail
+// evaluation are dropped; punctuation passes through.
+func Project(exprs []expr.Expr) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					out := make(tuple.Tuple, len(exprs))
+					ok := true
+					for i, e := range exprs {
+						v, err := e.Eval(m.T)
+						if err != nil {
+							ok = false
+							break
+						}
+						out[i] = v
+					}
+					if !ok {
+						c.Busy(start)
+						continue
+					}
+					m.T = out
+					c.EmitRow(out)
+				} else {
+					c.RecvPunct()
+				}
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// BloomProbe suppresses tuples whose join key cannot appear on the
+// other side — the Bloom-join rewrite's network-saving filter. A nil
+// filter passes everything (the coordinator gathered no filter).
+func BloomProbe(filter *bloom.Filter, keyCols []int) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					if filter != nil && !filter.MayContain(m.T.Project(keyCols).Bytes()) {
+						c.Busy(start)
+						continue
+					}
+					c.EmitRow(m.T)
+				} else {
+					c.RecvPunct()
+				}
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// WindowBuffer holds arriving samples and, on each punctuation,
+// re-emits the ones inside the closing window (arrival time after
+// closeAt - window), stamped with the window's sequence number, then
+// forwards the punctuation. Samples older than the window are pruned.
+func WindowBuffer(window time.Duration) OpFunc {
+	type held struct {
+		t       tuple.Tuple
+		arrived time.Time
+	}
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var buf []held
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					at := m.Time
+					if at.IsZero() {
+						at = time.Now()
+					}
+					buf = append(buf, held{t: m.T, arrived: at})
+					c.Busy(start)
+					continue
+				}
+				c.RecvPunct()
+				cutoff := m.Time.Add(-window)
+				live := buf[:0]
+				var emit []held
+				for _, s := range buf {
+					if !s.arrived.After(cutoff) {
+						continue // aged out of every future window
+					}
+					live = append(live, s)
+					// Samples past closeAt belong to later windows
+					// only — emitting them here too would double-count
+					// across disjoint (tumbling) windows.
+					if !s.arrived.After(m.Time) {
+						emit = append(emit, s)
+					}
+				}
+				buf = live
+				c.Busy(start)
+				for _, s := range emit {
+					c.EmitRow(s.t)
+					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: s.t, Seq: m.Seq, Time: s.arrived}) {
+						return nil
+					}
+				}
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Joins
+
+// FetchMatches probes the right-hand table in place: the right table
+// is already published into the DHT keyed by the join columns, so
+// each left tuple issues one DHT get (via the env's fetch callback)
+// instead of rehashing anything. Emits left ++ right for matches.
+func FetchMatches(probeOrder []int, rightArity int, rightWhere expr.Expr,
+	leftCols, rightCols []int,
+	fetch func(ctx context.Context, rid id.ID) ([][]byte, error)) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				start := time.Now()
+				c.RecvRow()
+				lt := m.T
+				probe := lt.Project(probeOrder)
+				rid := probe.HashKey(identityCols(len(probe)))
+				payloads, err := fetch(ctx, rid)
+				if err != nil {
+					c.Busy(start)
+					continue
+				}
+				for _, p := range payloads {
+					rt, err := tuple.FromBytes(p)
+					if err != nil || len(rt) != rightArity {
+						continue
+					}
+					if rightWhere != nil {
+						v, err := rightWhere.Eval(rt)
+						if err != nil || !expr.Truthy(v) {
+							continue
+						}
+					}
+					if !joinKeysEqual(lt, rt, leftCols, rightCols) {
+						continue
+					}
+					joined := lt.Concat(rt)
+					c.EmitRow(joined)
+					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: joined, Seq: m.Seq}) {
+						c.Busy(start)
+						return nil
+					}
+				}
+				c.Busy(start)
+			}
+			return nil
+		}
+	}
+}
+
+// JoinProbe is the collector-side symmetric hash join: input 0 is the
+// left side, input 1 the right. Both hash tables build incrementally
+// per window; identical retransmits are deduplicated (the overlay
+// redelivers); joined rows stream out as matches appear.
+func JoinProbe(arity [2]int, keyCols [2][]int) OpFunc {
+	type windowTables struct {
+		tables [2]map[string][]tuple.Tuple
+	}
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			windows := make(map[uint64]*windowTables)
+			for im := range mergeIndexed(ctx, ins) {
+				m := im.m
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				start := time.Now()
+				c.RecvRow()
+				side := im.src
+				if side > 1 || len(m.T) != arity[side] {
+					c.Busy(start)
+					continue
+				}
+				ws := windows[m.Seq]
+				if ws == nil {
+					ws = &windowTables{}
+					ws.tables[0] = make(map[string][]tuple.Tuple)
+					ws.tables[1] = make(map[string][]tuple.Tuple)
+					windows[m.Seq] = ws
+				}
+				key := string(m.T.Project(keyCols[side]).Bytes())
+				dup := false
+				for _, existing := range ws.tables[side][key] {
+					if existing.Equal(m.T) {
+						dup = true
+						break
+					}
+				}
+				if dup {
+					c.Busy(start)
+					continue
+				}
+				ws.tables[side][key] = append(ws.tables[side][key], m.T)
+				for _, other := range ws.tables[1-side][key] {
+					var joined tuple.Tuple
+					if side == 0 {
+						joined = m.T.Concat(other)
+					} else {
+						joined = other.Concat(m.T)
+					}
+					c.EmitRow(joined)
+					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: joined, Seq: m.Seq}) {
+						c.Busy(start)
+						return nil
+					}
+				}
+				c.Busy(start)
+			}
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Aggregation
+
+// PartialAgg turns work tuples into mergeable partial-state tuples
+// (group values then states). In batch mode it accumulates groups and
+// flushes on punctuation (stamping outputs with the window sequence)
+// and — when flushAtEOS — at end of stream, preserving first-arrival
+// group order. In eager mode every input row becomes one single-row
+// partial immediately: the streaming collector shape, where relay
+// combining and the collector merge absorb the fan-in.
+func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			if eager {
+				for m := range dataflow.Merge(ctx, ins) {
+					start := time.Now()
+					if m.Kind != dataflow.Data {
+						c.RecvPunct()
+						c.Busy(start)
+						if !dataflow.EmitAll(ctx, outs, m) {
+							return nil
+						}
+						continue
+					}
+					c.RecvRow()
+					acc := ops.NewAccumulator(aggs)
+					if err := acc.AddRaw(m.T); err != nil {
+						c.Busy(start)
+						continue
+					}
+					partial := append(m.T.Project(groupCols), acc.StateValues()...)
+					c.EmitRow(partial)
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: m.Seq}) {
+						return nil
+					}
+				}
+				return nil
+			}
+
+			type group struct {
+				key tuple.Tuple
+				acc *ops.Accumulator
+			}
+			groups := make(map[string]*group)
+			var order []string
+			flush := func(seq uint64) bool {
+				for _, k := range order {
+					g := groups[k]
+					partial := append(g.key.Clone(), g.acc.StateValues()...)
+					c.EmitRow(partial)
+					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: seq}) {
+						return false
+					}
+				}
+				groups = make(map[string]*group)
+				order = order[:0]
+				return true
+			}
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Punct {
+					c.RecvPunct()
+					if !flush(m.Seq) {
+						c.Busy(start)
+						return nil
+					}
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				c.RecvRow()
+				keyTuple := m.T.Project(groupCols)
+				key := string(keyTuple.Bytes())
+				g, ok := groups[key]
+				if !ok {
+					g = &group{key: keyTuple, acc: ops.NewAccumulator(aggs)}
+					groups[key] = g
+					order = append(order, key)
+				}
+				if err := g.acc.AddRaw(m.T); err != nil {
+					// Drop the poisoned row; the group keeps its state.
+					c.Busy(start)
+					continue
+				}
+				c.Busy(start)
+			}
+			if flushAtEOS {
+				flush(0)
+			}
+			return nil
+		}
+	}
+}
+
+// FinalAgg is the aggregation-collector merge: partial-state tuples
+// arrive tagged with their window, are merged per (window, group),
+// and a debounced hold timer per window emits the finalized rows
+// (followed by a punctuation for that window) once arrivals go quiet.
+// State is retained after a flush so stragglers trigger a refined
+// re-flush; the coordinator replaces rows per group.
+func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
+	type group struct {
+		key tuple.Tuple
+		acc *ops.Accumulator
+	}
+	type windowState struct {
+		groups map[string]*group
+		timer  *time.Timer
+	}
+	stateWidth := ops.StateWidth(aggs)
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			windows := make(map[uint64]*windowState)
+			flushCh := make(chan uint64, 1)
+			in := dataflow.Merge(ctx, ins)
+			for {
+				select {
+				case m, ok := <-in:
+					if !ok {
+						return nil
+					}
+					start := time.Now()
+					if m.Kind != dataflow.Data {
+						c.RecvPunct()
+						c.Busy(start)
+						continue
+					}
+					c.RecvRow()
+					if len(m.T) != len(groupCols)+stateWidth {
+						c.Busy(start)
+						continue
+					}
+					w := m.Seq
+					ws := windows[w]
+					if ws == nil {
+						ws = &windowState{groups: make(map[string]*group)}
+						windows[w] = ws
+					}
+					groupKey := string(m.T[:len(groupCols)].Bytes())
+					g := ws.groups[groupKey]
+					if g == nil {
+						g = &group{key: m.T[:len(groupCols)].Clone(), acc: ops.NewAccumulator(aggs)}
+						ws.groups[groupKey] = g
+					}
+					_ = g.acc.MergeStates(m.T[len(groupCols):])
+					// Debounce: reset the window's flush timer on
+					// every arrival.
+					if ws.timer == nil {
+						w := w
+						ws.timer = time.AfterFunc(hold, func() {
+							select {
+							case flushCh <- w:
+							case <-ctx.Done():
+							}
+						})
+					} else {
+						ws.timer.Reset(hold)
+					}
+					c.Busy(start)
+				case w := <-flushCh:
+					start := time.Now()
+					ws := windows[w]
+					if ws == nil {
+						continue
+					}
+					for _, g := range ws.groups {
+						row := append(g.key.Clone(), g.acc.FinalValues()...)
+						c.EmitRow(row)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: row, Seq: w}) {
+							return nil
+						}
+					}
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, dataflow.PunctMsg(w, time.Now())) {
+						return nil
+					}
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Exchange and ship sinks
+
+// RehashExchange routes every tuple toward the collector responsible
+// for its join-key value — the DHT put side of the distributed
+// symmetric hash join. The ship callback returns the payload size it
+// put on the wire.
+func RehashExchange(side int, keyCols []int,
+	ship func(side int, window uint64, key []byte, t tuple.Tuple) int) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					continue
+				}
+				c.RecvRow()
+				key := m.T.Project(keyCols).Bytes()
+				c.EmitRows(1, ship(side, m.Seq, key, m.T))
+				c.Busy(start)
+			}
+			return nil
+		}
+	}
+}
+
+// ShipPartial routes each partial-state tuple toward its group's
+// aggregation collector. Punctuation triggers the route-batch flush
+// barrier — the continuous query's per-window ship point.
+func ShipPartial(ship func(window uint64, partial tuple.Tuple) int, flushRoutes func()) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					c.EmitRows(1, ship(m.Seq, m.T))
+				} else {
+					c.RecvPunct()
+					if flushRoutes != nil {
+						flushRoutes()
+					}
+				}
+				c.Busy(start)
+			}
+			return nil
+		}
+	}
+}
+
+// ShipRows delivers result rows to the coordinator. In batched mode
+// rows accumulate up to rowBatch (flushing early when the window
+// sequence changes) and flush on punctuation and at end of stream; in
+// eager mode every row ships immediately — the streaming collector
+// behavior, where the coordinator's quiescence clock watches arrivals.
+func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, eager bool, flushRoutes func()) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var batch []tuple.Tuple
+			var batchSeq uint64
+			flush := func() {
+				if len(batch) == 0 {
+					return
+				}
+				c.EmitRows(len(batch), ship(batchSeq, batch))
+				batch = nil
+			}
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Punct {
+					c.RecvPunct()
+					flush()
+					if flushRoutes != nil {
+						flushRoutes()
+					}
+					c.Busy(start)
+					continue
+				}
+				c.RecvRow()
+				if eager {
+					c.EmitRows(1, ship(m.Seq, []tuple.Tuple{m.T}))
+					c.Busy(start)
+					continue
+				}
+				if len(batch) > 0 && m.Seq != batchSeq {
+					flush()
+				}
+				batchSeq = m.Seq
+				batch = append(batch, m.T)
+				if rowBatch > 0 && len(batch) >= rowBatch {
+					flush()
+				}
+				c.Busy(start)
+			}
+			flush()
+			return nil
+		}
+	}
+}
+
+// FuncSink invokes fn per data tuple — the Bloom phase-1 scan and
+// unit tests collect through it.
+func FuncSink(fn func(t tuple.Tuple)) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				if m.Kind == dataflow.Data {
+					c.RecvRow()
+					fn(m.T)
+				} else {
+					c.RecvPunct()
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Helpers
+
+func identityCols(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+func joinKeysEqual(l, r tuple.Tuple, lc, rc []int) bool {
+	for i := range lc {
+		if !l[lc[i]].Equal(r[rc[i]]) {
+			return false
+		}
+	}
+	return true
+}
+
+type indexedMsg struct {
+	src int
+	m   dataflow.Msg
+}
+
+// mergeIndexed multiplexes inputs while remembering which input each
+// message came from — JoinProbe needs the side.
+func mergeIndexed(ctx context.Context, ins []<-chan dataflow.Msg) <-chan indexedMsg {
+	out := make(chan indexedMsg, dataflow.DefaultEdgeDepth)
+	closed := make(chan struct{}, len(ins))
+	for i, in := range ins {
+		i, in := i, in
+		go func() {
+			defer func() { closed <- struct{}{} }()
+			for {
+				select {
+				case m, ok := <-in:
+					if !ok {
+						return
+					}
+					select {
+					case out <- indexedMsg{src: i, m: m}:
+					case <-ctx.Done():
+						return
+					}
+				case <-ctx.Done():
+					return
+				}
+			}
+		}()
+	}
+	go func() {
+		for range ins {
+			<-closed
+		}
+		close(out)
+	}()
+	return out
+}

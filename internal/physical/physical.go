@@ -1,0 +1,374 @@
+// Package physical compiles distributed plan specs (plan.Spec) into
+// the paper's "boxes and arrows": push-based physical-operator
+// pipelines running on the dataflow engine. The pier node is only a
+// harness around this layer — it builds a pipeline per role
+// (participant scan, continuous window, join collector, aggregation
+// collector, coordinator tail), feeds network arrivals in through
+// non-blocking inlets, and wires the exchange operators to the
+// overlay through the Env callbacks. Every operator is instrumented
+// with rows/bytes/latency counters, which the coordinator merges
+// network-wide into EXPLAIN ANALYZE output.
+package physical
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/ops"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// Env is the pipeline's view of the node it runs on. The physical
+// layer never touches the overlay, the DHT, or RPC directly — the
+// harness supplies these callbacks, keeping batching and relay
+// combining underneath intact.
+type Env struct {
+	// Scan returns the raw stored payloads of the live local
+	// partition of a namespace.
+	Scan func(ns string) [][]byte
+	// Fetch resolves one fetch-matches probe: a DHT get against the
+	// right table's namespace.
+	Fetch func(ctx context.Context, rid id.ID) ([][]byte, error)
+	// ShipRows delivers canonical result rows to the coordinator,
+	// returning the payload bytes shipped.
+	ShipRows func(window uint64, rows []tuple.Tuple) int
+	// ShipPartial routes one partial-state tuple toward its group's
+	// aggregation collector, returning the payload bytes shipped.
+	ShipPartial func(window uint64, partial tuple.Tuple) int
+	// Rehash routes one tuple toward the collector owning its
+	// join-key value, returning the payload bytes shipped.
+	Rehash func(side int, window uint64, key []byte, t tuple.Tuple) int
+	// FlushRoutes drains pending route batches — the barrier run at
+	// window boundaries and scan completion.
+	FlushRoutes func()
+	// Bloom is the gathered phase-1 filter for Bloom joins (nil:
+	// pass everything).
+	Bloom *bloom.Filter
+	// RowBatch bounds rows per result message.
+	RowBatch int
+	// CollectorHold is the aggregation collector's debounce before
+	// finalizing a window.
+	CollectorHold time.Duration
+}
+
+// Pipeline is one compiled operator graph plus its counters.
+type Pipeline struct {
+	Graph *dataflow.Graph
+	stage string
+	// detail enables the per-operator byte counters that cost a
+	// tuple re-encode. Compilers set it from spec.Analyze so
+	// un-analyzed queries pay nothing; hand-built pipelines default
+	// to fully instrumented.
+	detail bool
+	ops    []*Counters
+}
+
+// NewPipeline creates an empty pipeline for the given stage
+// ("participant", "join-collector", "agg-collector", "coordinator").
+func NewPipeline(stage string) *Pipeline {
+	return &Pipeline{Graph: dataflow.New(stage), stage: stage, detail: true}
+}
+
+// Add appends an instrumented operator.
+func (p *Pipeline) Add(name string, op OpFunc) *dataflow.Node {
+	c := &Counters{Stage: p.stage, Name: name, detail: p.detail}
+	p.ops = append(p.ops, c)
+	return p.Graph.Add(name, op(c))
+}
+
+// Connect wires two operators.
+func (p *Pipeline) Connect(from, to *dataflow.Node) { p.Graph.Connect(from, to) }
+
+// Run executes the pipeline to completion (one-shot graphs).
+func (p *Pipeline) Run(ctx context.Context) error { return p.Graph.Run(ctx) }
+
+// Start launches the pipeline for streaming graphs (collectors,
+// continuous queries); cancel the context or close the inlets to end.
+func (p *Pipeline) Start(ctx context.Context) (*dataflow.Running, error) { return p.Graph.Start(ctx) }
+
+// Stats snapshots every operator's counters in build order. Safe
+// while the pipeline is still running.
+func (p *Pipeline) Stats() []plan.OpStats {
+	out := make([]plan.OpStats, 0, len(p.ops))
+	for _, c := range p.ops {
+		out = append(out, c.Stats())
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Plan compilation
+
+// CompileOneShot builds the participant-side pipeline of a one-shot
+// plan: what this node contributes from its local partitions.
+//
+//	1 scan:          Scan → Filter → Project → (PartialAgg → ShipPartial | ShipRows)
+//	fetch-matches:   Scan(l) → Filter → FetchMatches → Filter(post) → Project → …
+//	symmetric/bloom: Scan(s) → Filter → [BloomProbe] → RehashExchange(s)   for each side
+func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
+	p := NewPipeline("participant")
+	p.detail = spec.Analyze
+	switch {
+	case len(spec.Scans) == 1:
+		sc := &spec.Scans[0]
+		prev := p.Add("scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+		prev = p.maybeFilter(prev, "filter", sc.Where)
+		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
+		p.addTail(spec, env, prev, false)
+	case spec.Strategy == plan.FetchMatches:
+		left, right := &spec.Scans[0], &spec.Scans[1]
+		prev := p.Add("scan.l", ScanSource(env.Scan, left.Namespace, left.Schema.Arity()))
+		prev = p.maybeFilter(prev, "filter.l", left.Where)
+		fm := p.Add("fetch-matches", FetchMatches(probeOrder(left, right),
+			right.Schema.Arity(), right.Where, left.JoinCols, right.JoinCols, env.Fetch))
+		p.Connect(prev, fm)
+		prev = p.maybeFilter(fm, "post-filter", spec.PostFilter)
+		p.addTail(spec, env, prev, false)
+	default: // SymmetricHash or BloomJoin: rehash both sides
+		for side := 0; side < 2; side++ {
+			sc := &spec.Scans[side]
+			suffix := [2]string{".l", ".r"}[side]
+			prev := p.Add("scan"+suffix, ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+			prev = p.maybeFilter(prev, "filter"+suffix, sc.Where)
+			if side == 1 && spec.Strategy == plan.BloomJoin {
+				bp := p.Add("bloom-probe", BloomProbe(env.Bloom, sc.JoinCols))
+				p.Connect(prev, bp)
+				prev = bp
+			}
+			rh := p.Add("rehash"+suffix, RehashExchange(side, sc.JoinCols, env.Rehash))
+			p.Connect(prev, rh)
+		}
+	}
+	return p
+}
+
+// CompileContinuous builds the windowed participant pipeline. The
+// returned inlet admits samples (data messages stamped with arrival
+// time); the WindowTicker source punctuates at absolute window
+// boundaries and the punctuation drives window emission, partial
+// flushing, and the per-window route barrier.
+func CompileContinuous(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
+	p := NewPipeline("participant")
+	p.detail = spec.Analyze
+	in := NewInlet()
+	sc := &spec.Scans[0]
+	slide := time.Duration(spec.Slide)
+	if slide <= 0 {
+		slide = time.Duration(spec.Window)
+	}
+	prev := p.Add("window-src", WindowTicker(in, slide, time.Duration(spec.Live)))
+	prev = p.maybeFilter(prev, "filter", sc.Where)
+	wb := p.Add("window", WindowBuffer(time.Duration(spec.Window)))
+	p.Connect(prev, wb)
+	p.addTail(spec, env, wb, false)
+	return p, in
+}
+
+// CompileJoinCollector builds the collector pipeline run by the node
+// owning a join-key value: rehashed tuples of both sides arrive
+// through the returned inlets and joined rows flow through the rest
+// of the plan toward the coordinator (or, for aggregates, as one
+// eager partial per row toward the aggregation collectors, with relay
+// combining absorbing the fan-in underneath).
+func CompileJoinCollector(spec *plan.Spec, env *Env) (*Pipeline, [2]*Inlet) {
+	p := NewPipeline("join-collector")
+	p.detail = spec.Analyze
+	inlets := [2]*Inlet{NewInlet(), NewInlet()}
+	l := p.Add("probe-src.l", inlets[0].Source)
+	r := p.Add("probe-src.r", inlets[1].Source)
+	jp := p.Add("join-probe", JoinProbe(
+		[2]int{spec.Scans[0].Schema.Arity(), spec.Scans[1].Schema.Arity()},
+		[2][]int{spec.Scans[0].JoinCols, spec.Scans[1].JoinCols}))
+	p.Connect(l, jp)
+	p.Connect(r, jp)
+	prev := p.maybeFilter(jp, "post-filter", spec.PostFilter)
+	p.addTail(spec, env, prev, true)
+	return p, inlets
+}
+
+// CompileAggCollector builds the aggregation-collector pipeline:
+// partial-state tuples arrive through the returned inlet, merge per
+// (window, group), and finalized rows ship to the coordinator after
+// the debounced hold.
+func CompileAggCollector(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
+	p := NewPipeline("agg-collector")
+	p.detail = spec.Analyze
+	in := NewInlet()
+	src := p.Add("merge-src", in.Source)
+	fa := p.Add("final-agg", FinalAgg(spec.GroupCols, spec.Aggs, env.CollectorHold))
+	p.Connect(src, fa)
+	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, false, nil))
+	p.Connect(fa, ship)
+	return p, in
+}
+
+// CompileFinalize builds the coordinator-local tail over collected
+// canonical rows: HAVING, DISTINCT, ORDER BY, LIMIT, and the output
+// permutation — the same operator library, instrumented.
+func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple) *Pipeline {
+	p := NewPipeline("coordinator")
+	p.detail = spec.Analyze
+	prev := p.Add("rows", SliceSource(rows))
+	if spec.Having != nil {
+		h := p.Add("having", func(c *Counters) dataflow.RunFunc {
+			return counted(c, ops.Select(spec.Having))
+		})
+		p.Connect(prev, h)
+		prev = h
+	}
+	if spec.Distinct {
+		d := p.Add("distinct", func(c *Counters) dataflow.RunFunc {
+			return counted(c, ops.Distinct())
+		})
+		p.Connect(prev, d)
+		prev = d
+	}
+	if len(spec.OrderCols) > 0 {
+		k := 0 // full sort
+		if spec.Limit >= 0 {
+			k = spec.Limit
+		}
+		top := p.Add("order", func(c *Counters) dataflow.RunFunc {
+			return counted(c, ops.TopK(k, spec.OrderCols, spec.OrderDesc))
+		})
+		p.Connect(prev, top)
+		prev = top
+	} else if spec.Limit >= 0 {
+		lim := p.Add("limit", func(c *Counters) dataflow.RunFunc {
+			return counted(c, ops.Limit(spec.Limit))
+		})
+		p.Connect(prev, lim)
+		prev = lim
+	}
+	perm := p.Add("output-perm", Project(spec.OutPermExprs()))
+	p.Connect(prev, perm)
+	sink := p.Add("collect", func(c *Counters) dataflow.RunFunc {
+		return counted(c, ops.CollectSink(out))
+	})
+	p.Connect(perm, sink)
+	return p
+}
+
+// CompileBloomScan builds the Bloom-join phase-1 pipeline: scan the
+// left table's local partition and feed every join-key encoding to
+// add (which inserts into the per-site filter). Operator names are
+// prefixed so the counters never merge with the main scan pipeline's.
+func CompileBloomScan(sc *plan.ScanSpec, env *Env, analyze bool, add func(key []byte)) *Pipeline {
+	p := NewPipeline("participant")
+	p.detail = analyze
+	prev := p.Add("bloom-scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+	prev = p.maybeFilter(prev, "bloom-scan-filter", sc.Where)
+	sink := p.Add("bloom-build", FuncSink(func(t tuple.Tuple) {
+		add(t.Project(sc.JoinCols).Bytes())
+	}))
+	p.Connect(prev, sink)
+	return p
+}
+
+// maybeFilter inserts a filter operator when the predicate exists.
+func (p *Pipeline) maybeFilter(prev *dataflow.Node, name string, pred expr.Expr) *dataflow.Node {
+	if pred == nil {
+		return prev
+	}
+	f := p.Add(name, Filter(pred))
+	p.Connect(prev, f)
+	return f
+}
+
+// addTail appends the shared plan tail after the row-producing
+// operators: projection, then partial aggregation shipped toward
+// collectors, or result rows shipped to the coordinator. streaming
+// marks collector pipelines, whose input never ends — partials go out
+// eagerly per row and result rows ship immediately, keeping the
+// coordinator's quiescence clock honest.
+func (p *Pipeline) addTail(spec *plan.Spec, env *Env, prev *dataflow.Node, streaming bool) {
+	proj := p.Add("project", Project(spec.Proj))
+	p.Connect(prev, proj)
+	prev = proj
+	if spec.IsAggregate() {
+		agg := p.Add("partial-agg", PartialAgg(spec.GroupCols, spec.Aggs, streaming, !spec.IsContinuous()))
+		p.Connect(prev, agg)
+		ship := p.Add("ship-partial", ShipPartial(env.ShipPartial, env.FlushRoutes))
+		p.Connect(agg, ship)
+		return
+	}
+	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, streaming, env.FlushRoutes))
+	p.Connect(prev, ship)
+}
+
+// probeOrder arranges left join columns in the right table's
+// key-column order so the probe's resource ID hashes identically to
+// the publisher's.
+func probeOrder(left, right *plan.ScanSpec) []int {
+	order := make([]int, len(right.Schema.Key))
+	for i, kc := range right.Schema.Key {
+		for j, jc := range right.JoinCols {
+			if jc == kc {
+				order[i] = left.JoinCols[j]
+				break
+			}
+		}
+	}
+	return order
+}
+
+// counted interposes row/punctuation counting around an uninstrumented
+// operator body from the ops library, preserving its semantics.
+func counted(c *Counters, inner dataflow.RunFunc) dataflow.RunFunc {
+	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+		wrappedIns := make([]<-chan dataflow.Msg, len(ins))
+		for i, in := range ins {
+			in := in
+			ch := make(chan dataflow.Msg)
+			wrappedIns[i] = ch
+			go func() {
+				defer close(ch)
+				for m := range in {
+					if m.Kind == dataflow.Data {
+						c.RecvRow()
+					} else {
+						c.RecvPunct()
+					}
+					select {
+					case ch <- m:
+					case <-ctx.Done():
+						return
+					}
+				}
+			}()
+		}
+		innerOuts := make([]chan<- dataflow.Msg, len(outs))
+		internal := make([]chan dataflow.Msg, len(outs))
+		var owg sync.WaitGroup
+		for i, out := range outs {
+			out := out
+			ch := make(chan dataflow.Msg)
+			internal[i] = ch
+			innerOuts[i] = ch
+			owg.Add(1)
+			go func() {
+				defer owg.Done()
+				for m := range ch {
+					if m.Kind == dataflow.Data {
+						c.EmitRow(m.T)
+					}
+					if !dataflow.Emit(ctx, out, m) {
+						return
+					}
+				}
+			}()
+		}
+		err := inner(ctx, wrappedIns, innerOuts)
+		for _, ch := range internal {
+			close(ch)
+		}
+		owg.Wait()
+		return err
+	}
+}

@@ -1,0 +1,547 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bloom"
+	"repro/internal/dataflow"
+	"repro/internal/expr"
+	"repro/internal/id"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// runOp executes a single operator over a scripted input stream and
+// returns everything it emitted.
+func runOp(t *testing.T, op OpFunc, in []dataflow.Msg) []dataflow.Msg {
+	t.Helper()
+	return runOpN(t, op, [][]dataflow.Msg{in})
+}
+
+// runOpN is runOp with one scripted stream per input port.
+func runOpN(t *testing.T, op OpFunc, ins [][]dataflow.Msg) []dataflow.Msg {
+	t.Helper()
+	p := NewPipeline("test")
+	srcs := make([]*dataflow.Node, len(ins))
+	for i, stream := range ins {
+		stream := stream
+		srcs[i] = p.Add(fmt.Sprintf("src%d", i), func(c *Counters) dataflow.RunFunc {
+			return func(ctx context.Context, _ []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+				for _, m := range stream {
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+				}
+				return nil
+			}
+		})
+	}
+	node := p.Add("op", op)
+	for _, s := range srcs {
+		p.Connect(s, node)
+	}
+	var mu sync.Mutex
+	var got []dataflow.Msg
+	sink := p.Add("sink", func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, sinkIns []<-chan dataflow.Msg, _ []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, sinkIns) {
+				mu.Lock()
+				got = append(got, m)
+				mu.Unlock()
+			}
+			return nil
+		}
+	})
+	p.Connect(node, sink)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatalf("pipeline: %v", err)
+	}
+	return got
+}
+
+func dataMsgs(ms []dataflow.Msg) []tuple.Tuple {
+	var out []tuple.Tuple
+	for _, m := range ms {
+		if m.Kind == dataflow.Data {
+			out = append(out, m.T)
+		}
+	}
+	return out
+}
+
+func punctCount(ms []dataflow.Msg) int {
+	n := 0
+	for _, m := range ms {
+		if m.Kind == dataflow.Punct {
+			n++
+		}
+	}
+	return n
+}
+
+func row(vals ...interface{}) tuple.Tuple {
+	t := make(tuple.Tuple, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case int:
+			t[i] = tuple.Int(int64(x))
+		case string:
+			t[i] = tuple.String(x)
+		case float64:
+			t[i] = tuple.Float(x)
+		}
+	}
+	return t
+}
+
+func TestScanSourceSkipsMalformed(t *testing.T) {
+	good := row("a", 1).Bytes()
+	wrongArity := row("b").Bytes()
+	scan := func(ns string) [][]byte {
+		if ns != "t" {
+			t.Fatalf("scanned %q", ns)
+		}
+		return [][]byte{good, {0xff, 0x01}, wrongArity, good}
+	}
+	got := runOp(t, ScanSource(scan, "t", 2), nil)
+	rows := dataMsgs(got)
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal(row("a", 1)) {
+			t.Fatalf("unexpected row %v", r)
+		}
+	}
+}
+
+func TestFilterDropsAndForwardsPuncts(t *testing.T) {
+	pred := &expr.Cmp{Op: expr.GT, L: &expr.Col{Index: 1}, R: &expr.Lit{V: tuple.Int(5)}}
+	in := []dataflow.Msg{
+		dataflow.DataMsg(row("a", 3)),
+		dataflow.DataMsg(row("b", 7)),
+		dataflow.PunctMsg(1, time.Now()),
+		dataflow.DataMsg(row("c", 9)),
+	}
+	got := runOp(t, Filter(pred), in)
+	rows := dataMsgs(got)
+	if len(rows) != 2 || !rows[0].Equal(row("b", 7)) || !rows[1].Equal(row("c", 9)) {
+		t.Fatalf("got %v", rows)
+	}
+	if punctCount(got) != 1 {
+		t.Fatalf("punct not forwarded")
+	}
+}
+
+func TestFilterDropsEvalErrors(t *testing.T) {
+	// Column index out of range → eval error → row dropped, not fatal.
+	pred := &expr.Cmp{Op: expr.GT, L: &expr.Col{Index: 9}, R: &expr.Lit{V: tuple.Int(5)}}
+	got := runOp(t, Filter(pred), []dataflow.Msg{dataflow.DataMsg(row("a", 3))})
+	if len(dataMsgs(got)) != 0 {
+		t.Fatalf("error row not dropped")
+	}
+}
+
+func TestProjectComputesColumns(t *testing.T) {
+	exprs := []expr.Expr{
+		&expr.Col{Index: 1},
+		&expr.Arith{Op: expr.Add, L: &expr.Col{Index: 1}, R: &expr.Lit{V: tuple.Int(10)}},
+	}
+	got := runOp(t, Project(exprs), []dataflow.Msg{dataflow.DataMsg(row("a", 5))})
+	rows := dataMsgs(got)
+	if len(rows) != 1 || !rows[0].Equal(row(5, 15)) {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestBloomProbeSuppresses(t *testing.T) {
+	f := bloom.NewWithBits(1024, 3)
+	f.Add(row(1).Bytes())
+	in := []dataflow.Msg{
+		dataflow.DataMsg(row(1, "keep")),
+		dataflow.DataMsg(row(2, "drop")),
+	}
+	got := runOp(t, BloomProbe(f, []int{0}), in)
+	rows := dataMsgs(got)
+	if len(rows) != 1 || rows[0][1].S != "keep" {
+		t.Fatalf("got %v", rows)
+	}
+	// Nil filter passes everything.
+	got = runOp(t, BloomProbe(nil, []int{0}), in)
+	if len(dataMsgs(got)) != 2 {
+		t.Fatal("nil filter should pass all")
+	}
+}
+
+func TestRehashExchangeRoutes(t *testing.T) {
+	var mu sync.Mutex
+	type shipped struct {
+		side   int
+		window uint64
+		key    string
+	}
+	var ships []shipped
+	ship := func(side int, window uint64, key []byte, tp tuple.Tuple) int {
+		mu.Lock()
+		ships = append(ships, shipped{side, window, string(key)})
+		mu.Unlock()
+		return len(key) + len(tp.Bytes())
+	}
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("a", 1), Seq: 4},
+		{Kind: dataflow.Data, T: row("b", 2), Seq: 4},
+	}
+	runOp(t, RehashExchange(1, []int{1}, ship), in)
+	if len(ships) != 2 {
+		t.Fatalf("%d ships", len(ships))
+	}
+	if ships[0].side != 1 || ships[0].window != 4 || ships[0].key != string(row(1).Bytes()) {
+		t.Fatalf("bad ship %+v", ships[0])
+	}
+}
+
+func TestFetchMatchesProbes(t *testing.T) {
+	// Right table: k → (k, info), published keyed on column 0.
+	rightRows := map[string][][]byte{}
+	for k := 1; k <= 3; k++ {
+		rid := row(k).HashKey([]int{0})
+		rightRows[string(rid[:])] = [][]byte{row(k, fmt.Sprintf("info-%d", k)).Bytes()}
+	}
+	fetch := func(ctx context.Context, rid id.ID) ([][]byte, error) {
+		return rightRows[string(rid[:])], nil
+	}
+	// Left (node, k) joins right (k, info) on left[1] = right[0].
+	in := []dataflow.Msg{
+		dataflow.DataMsg(row("a", 2)),
+		dataflow.DataMsg(row("b", 9)), // no match
+	}
+	got := runOp(t, FetchMatches([]int{1}, 2, nil, []int{1}, []int{0}, fetch), in)
+	rows := dataMsgs(got)
+	if len(rows) != 1 || !rows[0].Equal(row("a", 2, 2, "info-2")) {
+		t.Fatalf("got %v", rows)
+	}
+}
+
+func TestJoinProbeMatchesDedupsAndIsolatesWindows(t *testing.T) {
+	lt := row("a", 1)
+	rt := row(1, "x")
+	left := []dataflow.Msg{
+		{Kind: dataflow.Data, T: lt, Seq: 0},
+		{Kind: dataflow.Data, T: lt, Seq: 0}, // retransmit: deduped
+		{Kind: dataflow.Data, T: lt, Seq: 7}, // other window: no match there
+	}
+	right := []dataflow.Msg{
+		{Kind: dataflow.Data, T: rt, Seq: 0},
+	}
+	got := runOpN(t, JoinProbe([2]int{2, 2}, [2][]int{{1}, {0}}), [][]dataflow.Msg{left, right})
+	rows := dataMsgs(got)
+	if len(rows) != 1 {
+		t.Fatalf("got %d joined rows, want 1 (dedup + window isolation): %v", len(rows), rows)
+	}
+	if !rows[0].Equal(row("a", 1, 1, "x")) {
+		t.Fatalf("got %v", rows[0])
+	}
+	if got[0].Seq != 0 {
+		t.Fatalf("joined row window %d", got[0].Seq)
+	}
+}
+
+func TestPartialAggBatchFlushesOnPunctAndEOS(t *testing.T) {
+	aggs := []ops.AggSpec{{Func: ops.Sum, ArgCol: 1}}
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("a", 1), Seq: 3},
+		{Kind: dataflow.Data, T: row("a", 2), Seq: 3},
+		dataflow.PunctMsg(3, time.Now()),
+		{Kind: dataflow.Data, T: row("b", 5), Seq: 4},
+	}
+	got := runOp(t, PartialAgg([]int{0}, aggs, false, true), in)
+	rows := dataMsgs(got)
+	if len(rows) != 2 {
+		t.Fatalf("got %v", rows)
+	}
+	// Window 3 flushed by the punctuation, stamped with its seq.
+	if !rows[0].Equal(row("a", 3)) || got[0].Seq != 3 {
+		t.Fatalf("punct flush got %v seq %d", rows[0], got[0].Seq)
+	}
+	// Residual group flushed at end of stream.
+	if !rows[1].Equal(row("b", 5)) {
+		t.Fatalf("EOS flush got %v", rows[1])
+	}
+	if punctCount(got) != 1 {
+		t.Fatal("punct not forwarded")
+	}
+	// Continuous mode: no EOS flush — unclosed windows never ship.
+	got = runOp(t, PartialAgg([]int{0}, aggs, false, false), in)
+	if len(dataMsgs(got)) != 1 {
+		t.Fatalf("continuous mode flushed the open window: %v", dataMsgs(got))
+	}
+}
+
+func TestPartialAggEagerEmitsPerRow(t *testing.T) {
+	aggs := []ops.AggSpec{{Func: ops.Count, ArgCol: -1}}
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("a", 1), Seq: 2},
+		{Kind: dataflow.Data, T: row("a", 9), Seq: 2},
+	}
+	got := runOp(t, PartialAgg([]int{0}, aggs, true, false), in)
+	rows := dataMsgs(got)
+	if len(rows) != 2 {
+		t.Fatalf("eager mode emitted %d partials, want one per row", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Equal(row("a", 1)) {
+			t.Fatalf("partial %v", r)
+		}
+	}
+}
+
+func TestFinalAggDebouncedFlushAndRefinement(t *testing.T) {
+	aggs := []ops.AggSpec{{Func: ops.Sum, ArgCol: 1}}
+	in := NewInlet()
+	p := NewPipeline("test")
+	src := p.Add("src", in.Source)
+	fa := p.Add("final-agg", FinalAgg([]int{0}, aggs, 30*time.Millisecond))
+	p.Connect(src, fa)
+	var mu sync.Mutex
+	var flushes [][]tuple.Tuple
+	var cur []tuple.Tuple
+	sink := p.Add("sink", func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, _ []chan<- dataflow.Msg) error {
+			for m := range dataflow.Merge(ctx, ins) {
+				mu.Lock()
+				if m.Kind == dataflow.Data {
+					cur = append(cur, m.T)
+				} else {
+					flushes = append(flushes, cur)
+					cur = nil
+				}
+				mu.Unlock()
+			}
+			return nil
+		}
+	})
+	p.Connect(fa, sink)
+	run, err := p.Start(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two partials for one group (window 5) merge before the hold.
+	in.Push(dataflow.Msg{Kind: dataflow.Data, T: row("g", 2), Seq: 5})
+	in.Push(dataflow.Msg{Kind: dataflow.Data, T: row("g", 3), Seq: 5})
+	time.Sleep(120 * time.Millisecond)
+	mu.Lock()
+	if len(flushes) != 1 || len(flushes[0]) != 1 || !flushes[0][0].Equal(row("g", 5)) {
+		mu.Unlock()
+		t.Fatalf("first flush: %v", flushes)
+	}
+	mu.Unlock()
+	// A straggler triggers a refined re-flush of the whole window.
+	in.Push(dataflow.Msg{Kind: dataflow.Data, T: row("g", 10), Seq: 5})
+	time.Sleep(120 * time.Millisecond)
+	mu.Lock()
+	if len(flushes) != 2 || len(flushes[1]) != 1 || !flushes[1][0].Equal(row("g", 15)) {
+		mu.Unlock()
+		t.Fatalf("refined flush: %v", flushes)
+	}
+	mu.Unlock()
+	in.Close()
+	if err := run.Wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowBufferEmitsWindowAndPrunes(t *testing.T) {
+	base := time.Now()
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("old", 1), Time: base.Add(-2 * time.Second)},
+		{Kind: dataflow.Data, T: row("new", 2), Time: base.Add(-200 * time.Millisecond)},
+		{Kind: dataflow.Punct, Seq: 9, Time: base}, // window (base-1s, base]
+		{Kind: dataflow.Punct, Seq: 10, Time: base.Add(500 * time.Millisecond)},
+	}
+	got := runOp(t, WindowBuffer(time.Second), in)
+	rows := dataMsgs(got)
+	// "new" appears in both overlapping windows; "old" in neither.
+	if len(rows) != 2 || !rows[0].Equal(row("new", 2)) || !rows[1].Equal(row("new", 2)) {
+		t.Fatalf("got %v", rows)
+	}
+	var seqs []uint64
+	for _, m := range got {
+		if m.Kind == dataflow.Data {
+			seqs = append(seqs, m.Seq)
+		}
+	}
+	if seqs[0] != 9 || seqs[1] != 10 {
+		t.Fatalf("window stamps %v", seqs)
+	}
+	if punctCount(got) != 2 {
+		t.Fatal("punctuations not forwarded")
+	}
+}
+
+func TestWindowBufferNoDoubleCountAcrossTumblingWindows(t *testing.T) {
+	// A sample that arrives just AFTER a window boundary but drains
+	// before the punctuation must count only toward the next window.
+	base := time.Now()
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("late", 1), Time: base.Add(time.Millisecond)},
+		{Kind: dataflow.Punct, Seq: 1, Time: base}, // window (base-1s, base]
+		{Kind: dataflow.Punct, Seq: 2, Time: base.Add(time.Second)},
+	}
+	got := runOp(t, WindowBuffer(time.Second), in)
+	rows := dataMsgs(got)
+	if len(rows) != 1 {
+		t.Fatalf("sample counted in %d windows, want 1: %v", len(rows), got)
+	}
+	for _, m := range got {
+		if m.Kind == dataflow.Data && m.Seq != 2 {
+			t.Fatalf("late sample landed in window %d, want 2", m.Seq)
+		}
+	}
+}
+
+func TestWindowTickerPunctuatesAlignedBoundaries(t *testing.T) {
+	in := NewInlet()
+	in.Push(dataflow.Msg{Kind: dataflow.Data, T: row("s", 1), Time: time.Now()})
+	slide := 50 * time.Millisecond
+	got := runOp(t, WindowTicker(in, slide, 180*time.Millisecond), nil)
+	if len(dataMsgs(got)) != 1 {
+		t.Fatalf("sample not forwarded: %v", got)
+	}
+	var puncts []dataflow.Msg
+	for _, m := range got {
+		if m.Kind == dataflow.Punct {
+			puncts = append(puncts, m)
+		}
+	}
+	if len(puncts) < 2 {
+		t.Fatalf("only %d puncts in live horizon", len(puncts))
+	}
+	for i, p := range puncts {
+		// Absolute alignment: seq equals the boundary's slide index.
+		if p.Time.UnixNano()%int64(slide) != 0 {
+			t.Fatalf("boundary %v not slide-aligned", p.Time)
+		}
+		if p.Seq != uint64(p.Time.UnixNano()/int64(slide)) {
+			t.Fatalf("seq %d does not match boundary %v", p.Seq, p.Time)
+		}
+		if i > 0 && p.Seq != puncts[i-1].Seq+1 {
+			t.Fatalf("non-consecutive seqs %d → %d", puncts[i-1].Seq, p.Seq)
+		}
+	}
+}
+
+func TestShipRowsBatchedAndEager(t *testing.T) {
+	var mu sync.Mutex
+	type call struct {
+		window uint64
+		n      int
+	}
+	var calls []call
+	ship := func(window uint64, rows []tuple.Tuple) int {
+		mu.Lock()
+		calls = append(calls, call{window, len(rows)})
+		mu.Unlock()
+		return len(rows)
+	}
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row(1), Seq: 1},
+		{Kind: dataflow.Data, T: row(2), Seq: 1},
+		{Kind: dataflow.Data, T: row(3), Seq: 1},
+		{Kind: dataflow.Data, T: row(4), Seq: 2}, // seq change flushes
+		dataflow.PunctMsg(2, time.Now()),         // punct flushes
+	}
+	runOp(t, ShipRows(ship, 2, false, nil), in)
+	want := []call{{1, 2}, {1, 1}, {2, 1}}
+	if len(calls) != len(want) {
+		t.Fatalf("calls %v", calls)
+	}
+	for i, w := range want {
+		if calls[i] != w {
+			t.Fatalf("call %d = %v, want %v", i, calls[i], w)
+		}
+	}
+	// Eager mode: one ship per row.
+	calls = nil
+	runOp(t, ShipRows(ship, 64, true, nil), in)
+	if len(calls) != 4 {
+		t.Fatalf("eager calls %v", calls)
+	}
+}
+
+func TestShipPartialFlushesRoutesOnPunct(t *testing.T) {
+	var shipped, flushed int
+	var mu sync.Mutex
+	ship := func(window uint64, partial tuple.Tuple) int {
+		mu.Lock()
+		shipped++
+		mu.Unlock()
+		return 1
+	}
+	flush := func() {
+		mu.Lock()
+		flushed++
+		mu.Unlock()
+	}
+	in := []dataflow.Msg{
+		{Kind: dataflow.Data, T: row("g", 1), Seq: 1},
+		dataflow.PunctMsg(1, time.Now()),
+	}
+	runOp(t, ShipPartial(ship, flush), in)
+	if shipped != 1 || flushed != 1 {
+		t.Fatalf("shipped=%d flushed=%d", shipped, flushed)
+	}
+}
+
+func TestInletNeverBlocksAndDrainsInOrder(t *testing.T) {
+	in := NewInlet()
+	const n = 10000
+	for i := 0; i < n; i++ {
+		in.Push(dataflow.DataMsg(row(i))) // far beyond any channel depth
+	}
+	in.Close()
+	got := runOp(t, in.Source, nil)
+	rows := dataMsgs(got)
+	if len(rows) != n {
+		t.Fatalf("drained %d of %d", len(rows), n)
+	}
+	for i, r := range rows {
+		if r[0].I != int64(i) {
+			t.Fatalf("order broken at %d: %v", i, r)
+		}
+	}
+}
+
+func TestPipelineStatsCount(t *testing.T) {
+	p := NewPipeline("participant")
+	src := p.Add("src", SliceSource([]tuple.Tuple{row("a", 1), row("b", 2)}))
+	pred := &expr.Cmp{Op: expr.GT, L: &expr.Col{Index: 1}, R: &expr.Lit{V: tuple.Int(1)}}
+	f := p.Add("filter", Filter(pred))
+	p.Connect(src, f)
+	var out []tuple.Tuple
+	sink := p.Add("sink", FuncSink(func(t tuple.Tuple) { out = append(out, t) }))
+	p.Connect(f, sink)
+	if err := p.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stats := p.Stats()
+	if len(stats) != 3 {
+		t.Fatalf("stats %v", stats)
+	}
+	byOp := map[string]int{}
+	for i, s := range stats {
+		if s.Stage != "participant" || s.Nodes != 1 {
+			t.Fatalf("stat %+v", s)
+		}
+		byOp[s.Op] = i
+	}
+	if s := stats[byOp["filter"]]; s.RowsIn != 2 || s.RowsOut != 1 || s.BytesOut == 0 {
+		t.Fatalf("filter stats %+v", s)
+	}
+	if s := stats[byOp["sink"]]; s.RowsIn != 1 {
+		t.Fatalf("sink stats %+v", s)
+	}
+}

@@ -1,0 +1,70 @@
+package physical
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// Counters instruments one physical operator instance. Operators
+// update them from their single run goroutine; snapshots may be taken
+// concurrently (the EXPLAIN ANALYZE gather runs while collector
+// pipelines are still draining), hence the atomics.
+type Counters struct {
+	Stage string
+	Name  string
+	// detail enables the byte counters that require re-encoding
+	// tuples (EmitRow). Off for pipelines compiled without Analyze,
+	// so the hot path never pays for instrumentation nobody reads;
+	// exchange/ship operators report bytes through EmitRows (the
+	// payload size they computed anyway) regardless.
+	detail bool
+
+	rowsIn   atomic.Uint64
+	rowsOut  atomic.Uint64
+	bytesOut atomic.Uint64
+	puncts   atomic.Uint64
+	busy     atomic.Int64
+}
+
+// RecvRow counts one consumed data tuple.
+func (c *Counters) RecvRow() { c.rowsIn.Add(1) }
+
+// RecvPunct counts one processed punctuation.
+func (c *Counters) RecvPunct() { c.puncts.Add(1) }
+
+// EmitRow counts one produced tuple; its encoded size is measured
+// only when detail instrumentation is on (encoding costs an
+// allocation per tuple).
+func (c *Counters) EmitRow(t tuple.Tuple) {
+	c.rowsOut.Add(1)
+	if c.detail {
+		c.bytesOut.Add(uint64(len(t.Bytes())))
+	}
+}
+
+// EmitRows counts n produced tuples carrying bytes encoded bytes —
+// used by ship operators, which know the exact wire payload size.
+func (c *Counters) EmitRows(n, bytes int) {
+	c.rowsOut.Add(uint64(n))
+	c.bytesOut.Add(uint64(bytes))
+}
+
+// Busy accrues processing time since start.
+func (c *Counters) Busy(start time.Time) { c.busy.Add(int64(time.Since(start))) }
+
+// Stats snapshots the counters as one plan.OpStats entry.
+func (c *Counters) Stats() plan.OpStats {
+	return plan.OpStats{
+		Stage:     c.Stage,
+		Op:        c.Name,
+		Nodes:     1,
+		RowsIn:    c.rowsIn.Load(),
+		RowsOut:   c.rowsOut.Load(),
+		BytesOut:  c.bytesOut.Load(),
+		Puncts:    c.puncts.Load(),
+		BusyNanos: uint64(c.busy.Load()),
+	}
+}

@@ -1,0 +1,66 @@
+package pier
+
+import (
+	"repro/internal/dataflow"
+	"repro/internal/physical"
+	"repro/internal/tuple"
+)
+
+// Collector roles run as streaming physical pipelines: the first
+// routed tuple for a query lazily starts the pipeline, and network
+// arrivals are pushed through non-blocking inlets (the transport's
+// dispatch goroutine must never be backpressured by query work).
+// Pipelines stop when the query is torn down (ctx cancel).
+
+// joinInlet returns (starting the pipeline if needed) the inlet for
+// one side of the symmetric-hash-join collector.
+func (q *queryState) joinInlet(side int) *physical.Inlet {
+	if len(q.spec.Scans) != 2 || side > 1 {
+		return nil
+	}
+	q.pipeMu.Lock()
+	defer q.pipeMu.Unlock()
+	if q.joinInlets[0] == nil {
+		pipe, inlets := physical.CompileJoinCollector(q.spec, q.pipelineEnv())
+		if _, err := pipe.Start(q.ctx); err != nil {
+			return nil
+		}
+		q.joinInlets = inlets
+		q.pipes = append(q.pipes, pipe)
+	}
+	return q.joinInlets[side]
+}
+
+// aggInlet returns (starting the pipeline if needed) the inlet of the
+// aggregation-collector merge.
+func (q *queryState) aggInlet() *physical.Inlet {
+	if !q.spec.IsAggregate() {
+		return nil
+	}
+	q.pipeMu.Lock()
+	defer q.pipeMu.Unlock()
+	if q.aggIn == nil {
+		pipe, in := physical.CompileAggCollector(q.spec, q.pipelineEnv())
+		if _, err := pipe.Start(q.ctx); err != nil {
+			return nil
+		}
+		q.aggIn = in
+		q.pipes = append(q.pipes, pipe)
+	}
+	return q.aggIn
+}
+
+// collectJoinTuple feeds one rehashed tuple into the join collector.
+func (q *queryState) collectJoinTuple(window uint64, side int, t tuple.Tuple) {
+	if in := q.joinInlet(side); in != nil {
+		in.Push(dataflow.Msg{Kind: dataflow.Data, T: t, Seq: window})
+	}
+}
+
+// collectPartial feeds one partial-state tuple into the aggregation
+// collector.
+func (q *queryState) collectPartial(window uint64, partial tuple.Tuple) {
+	if in := q.aggInlet(); in != nil {
+		in.Push(dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: window})
+	}
+}

@@ -7,9 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bloom"
-	"repro/internal/dataflow"
-	"repro/internal/expr"
-	"repro/internal/ops"
+	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
 	"repro/internal/tuple"
@@ -26,6 +24,11 @@ type Result struct {
 	Duration time.Duration
 	// Participants counts nodes that reported scan completion.
 	Participants int
+	// Analysis holds the network-wide per-operator counters when the
+	// plan was compiled with Analyze (nil otherwise).
+	Analysis *plan.Analysis
+	// AnalyzeReport renders Analysis as the EXPLAIN ANALYZE text.
+	AnalyzeReport string
 }
 
 // WindowResult is one window's output of a continuous query.
@@ -130,22 +133,48 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		}
 	}
 	n.stopQuery(qid)
+	if spec.Analyze {
+		// Merge this node's own counters and give remote nodes a
+		// moment to RPC theirs in (best effort — the stop broadcast
+		// itself is best effort).
+		q.shipStats()
+		select {
+		case <-ctx.Done():
+		case <-time.After(analyzeGrace):
+		}
+	}
 
 	rows := q.canonicalRows(0)
-	final, err := q.finalize(ctx, rows)
-	if err != nil {
+	var final []tuple.Tuple
+	finalize := physical.CompileFinalize(spec, rows, &final)
+	if err := finalize.Run(ctx); err != nil {
 		return nil, err
 	}
 	q.coMu.Lock()
 	participants := len(q.doneNodes)
 	q.coMu.Unlock()
-	return &Result{
+	res := &Result{
 		Columns:      spec.OutNames,
 		Rows:         final,
 		Duration:     time.Since(start),
 		Participants: participants,
-	}, nil
+	}
+	if spec.Analyze {
+		q.coMu.Lock()
+		if q.analysis == nil {
+			q.analysis = &plan.Analysis{}
+		}
+		q.analysis.Merge(finalize.Stats()...)
+		res.Analysis = q.analysis
+		q.coMu.Unlock()
+		res.AnalyzeReport = spec.ExplainAnalyze(res.Analysis)
+	}
+	return res, nil
 }
+
+// analyzeGrace is how long an EXPLAIN ANALYZE coordinator waits after
+// the stop broadcast for participant counter RPCs to arrive.
+const analyzeGrace = 200 * time.Millisecond
 
 // QueryContinuous plans and launches a continuous (windowed) query.
 func (n *Node) QueryContinuous(ctx context.Context, sql string) (*Continuous, error) {
@@ -248,10 +277,24 @@ func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
 		return
 	}
 	q := &queryState{id: qid, spec: spec, coord: coord, node: n, ctx: context.Background()}
-	left := &spec.Scans[0]
 	f := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
-	for _, t := range q.scanLocal(left) {
-		f.Add(t.Project(left.JoinCols).Bytes())
+	pipe := physical.CompileBloomScan(&spec.Scans[0], q.pipelineEnv(), spec.Analyze, f.Add)
+	if err := pipe.Run(context.Background()); err != nil {
+		return
+	}
+	// Phase 1 runs on an ephemeral query state (the main query is not
+	// announced yet), so its counters go to the coordinator directly.
+	if spec.Analyze {
+		if rq := n.getQuery(qid, nil); rq != nil && rq.isCoord {
+			rq.coMu.Lock()
+			if rq.analysis == nil {
+				rq.analysis = &plan.Analysis{}
+			}
+			rq.analysis.Merge(pipe.Stats()...)
+			rq.coMu.Unlock()
+		} else {
+			n.sendStatsRPC(qid, coord, pipe.Stats())
+		}
 	}
 	w := wire.NewWriter(f.SizeBytes() + 16)
 	w.Uint64(qid)
@@ -266,6 +309,9 @@ func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
 
 // coordAddRows ingests result rows from participants/collectors.
 func (q *queryState) coordAddRows(window uint64, rows []tuple.Tuple) {
+	if q.ctx.Err() != nil {
+		return // query already stopped; ignore stragglers
+	}
 	spec := q.spec
 	width := spec.CanonicalWidth()
 	q.coMu.Lock()
@@ -367,46 +413,11 @@ func (q *queryState) finalize(ctx context.Context, rows []tuple.Tuple) ([]tuple.
 
 // finalizeRows runs the coordinator-local tail of a plan over
 // canonical rows: HAVING, DISTINCT, ORDER BY, LIMIT, and the output
-// permutation — built as a dataflow graph from the same operator
-// library the distributed side uses.
+// permutation — the physical layer's coordinator pipeline.
 func finalizeRows(ctx context.Context, spec *plan.Spec, rows []tuple.Tuple) ([]tuple.Tuple, error) {
-	g := dataflow.New("finalize")
-	prev := g.Add("rows", ops.SliceSource(rows))
-	if spec.Having != nil {
-		sel := g.Add("having", ops.Select(spec.Having))
-		g.Connect(prev, sel)
-		prev = sel
-	}
-	if spec.Distinct {
-		d := g.Add("distinct", ops.Distinct())
-		g.Connect(prev, d)
-		prev = d
-	}
-	if len(spec.OrderCols) > 0 {
-		k := 0 // full sort
-		if spec.Limit >= 0 {
-			k = spec.Limit
-		}
-		top := g.Add("order", ops.TopK(k, spec.OrderCols, spec.OrderDesc))
-		g.Connect(prev, top)
-		prev = top
-	} else if spec.Limit >= 0 {
-		lim := g.Add("limit", ops.Limit(spec.Limit))
-		g.Connect(prev, lim)
-		prev = lim
-	}
-	// Output permutation into select-list order.
-	perm := make([]expr.Expr, len(spec.OutPerm))
-	for i, p := range spec.OutPerm {
-		perm[i] = &expr.Col{Name: spec.OutNames[i], Index: p}
-	}
-	pr := g.Add("perm", ops.Project(perm))
-	g.Connect(prev, pr)
-	prev = pr
 	var out []tuple.Tuple
-	sink := g.Add("collect", ops.CollectSink(&out))
-	g.Connect(prev, sink)
-	if err := g.Run(ctx); err != nil {
+	pipe := physical.CompileFinalize(spec, rows, &out)
+	if err := pipe.Run(ctx); err != nil {
 		return nil, err
 	}
 	return out, nil

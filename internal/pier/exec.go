@@ -7,8 +7,8 @@ import (
 
 	"repro/internal/bloom"
 	"repro/internal/id"
-	"repro/internal/ops"
 	"repro/internal/overlay"
+	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/tuple"
 	"repro/internal/wire"
@@ -25,27 +25,8 @@ const (
 	methRows  = "pier.rows"  // rpc to coordinator: result rows
 	methDone  = "pier.done"  // rpc to coordinator: participant finished scanning
 	methBloom = "pier.bloom" // rpc to coordinator: per-site Bloom filter
+	methStats = "pier.stats" // rpc to coordinator: EXPLAIN ANALYZE counters
 )
-
-type sample struct {
-	t       tuple.Tuple
-	arrived time.Time
-}
-
-// aggGroup is collector state for one group in one window.
-type aggGroup struct {
-	key         tuple.Tuple
-	accumulator *ops.Accumulator
-}
-
-// combineKey identifies a relay's combining buffer entry.
-type combineKey struct {
-	window uint64
-	group  string
-}
-
-// idKey aliases the overlay key type for combineInto's signature.
-type idKey = id.ID
 
 // queryState carries every role a node can play for one query:
 // participant (scanning its partitions), collector (join rehash
@@ -65,17 +46,13 @@ type queryState struct {
 	// Bloom filter attached to the query (BloomJoin phase 2).
 	filter *bloom.Filter
 
-	// --- collector: aggregation ---
-	aggMu      sync.Mutex
-	aggWindows map[uint64]*aggWindowState
-
-	// --- collector: join ---
-	joinMu     sync.Mutex
-	joinTables map[uint64]*joinWindowState // window -> two hash tables
-
-	// --- participant: continuous buffer ---
-	bufMu   sync.Mutex
-	samples []sample
+	// --- physical pipelines this node runs for the query ---
+	// (participant scan/window pipeline, lazily started collectors)
+	pipeMu     sync.Mutex
+	pipes      []*physical.Pipeline
+	joinInlets [2]*physical.Inlet
+	aggIn      *physical.Inlet
+	statsOnce  sync.Once
 
 	// --- relay combining buffers ---
 	combMu    sync.Mutex
@@ -91,16 +68,8 @@ type queryState struct {
 	winFlushed   map[uint64]bool
 	winTimers    map[uint64]*time.Timer
 	results      chan WindowResult
-	epoch        time.Time // continuous window time base
-}
-
-type aggWindowState struct {
-	groups map[string]*aggGroup
-	timer  *time.Timer
-}
-
-type joinWindowState struct {
-	tables [2]map[string][]tuple.Tuple
+	analysis     *plan.Analysis // merged EXPLAIN ANALYZE counters
+	epoch        time.Time      // continuous window time base
 }
 
 // getQuery returns (and optionally creates) the state for qid.
@@ -124,8 +93,51 @@ func (n *Node) dropQuery(qid uint64) {
 	delete(n.queries, qid)
 	n.mu.Unlock()
 	if q != nil {
+		q.shipStats()
 		q.cancel()
 	}
+}
+
+// shipStats delivers this node's per-operator pipeline counters to
+// the coordinator at query teardown — the participant half of the
+// distributed EXPLAIN ANALYZE. The coordinator merges its own
+// counters in place; remote nodes RPC them (best effort, off the
+// dispatch goroutine).
+func (q *queryState) shipStats() {
+	if !q.spec.Analyze {
+		return
+	}
+	q.statsOnce.Do(func() {
+		stats := q.localStats()
+		if len(stats) == 0 {
+			return
+		}
+		if q.coord == q.node.Addr() {
+			q.coMu.Lock()
+			if q.analysis == nil {
+				q.analysis = &plan.Analysis{}
+			}
+			q.analysis.Merge(stats...)
+			q.coMu.Unlock()
+			return
+		}
+		q.node.sendStatsRPC(q.id, q.coord, stats)
+	})
+}
+
+// sendStatsRPC ships one stats snapshot to the coordinator off the
+// caller's goroutine (best effort).
+func (n *Node) sendStatsRPC(qid uint64, coord string, stats []plan.OpStats) {
+	w := wire.NewWriter(256)
+	w.Uint64(qid)
+	a := plan.Analysis{Ops: stats}
+	a.Encode(w)
+	payload := w.Bytes()
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		_, _ = n.peer.Call(ctx, coord, methStats, payload)
+	}()
 }
 
 func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *queryState {
@@ -137,8 +149,6 @@ func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *querySt
 		node:       n,
 		ctx:        ctx,
 		cancel:     cancel,
-		aggWindows: make(map[uint64]*aggWindowState),
-		joinTables: make(map[uint64]*joinWindowState),
 		aggRows:    make(map[uint64]map[string]tuple.Tuple),
 		plainRows:  make(map[uint64][]tuple.Tuple),
 		doneNodes:  make(map[string]bool),
@@ -303,6 +313,14 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 		if r.Done() != nil {
 			return
 		}
+		if q := n.getQuery(qid, nil); q != nil && q.isCoord {
+			// The coordinator stays registered until its query call
+			// returns, so late methStats/methRows RPCs still find it;
+			// cancel the pipelines and snapshot local counters now.
+			q.shipStats()
+			q.cancel()
+			return
+		}
 		n.dropQuery(qid)
 	default:
 		if fn := n.appBroadcastFor(tag); fn != nil {
@@ -445,6 +463,28 @@ func (n *Node) registerHandlers() {
 			q.lastActivity = time.Now()
 			q.coMu.Unlock()
 		}
+		return nil, nil
+	})
+	n.peer.Handle(methStats, func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		qid := r.Uint64()
+		a, err := plan.DecodeAnalysis(r)
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		q := n.getQuery(qid, nil)
+		if q == nil || !q.isCoord {
+			return nil, nil
+		}
+		q.coMu.Lock()
+		if q.analysis == nil {
+			q.analysis = &plan.Analysis{}
+		}
+		q.analysis.Merge(a.Ops...)
+		q.coMu.Unlock()
 		return nil, nil
 	})
 	n.peer.Handle(methBloom, func(from string, req []byte) ([]byte, error) {

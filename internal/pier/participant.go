@@ -6,11 +6,19 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/dht"
-	"repro/internal/ops"
+	"repro/internal/id"
+	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
+
+// This file is the participant harness: every node's share of a
+// disseminated query is compiled by internal/physical into an
+// instrumented operator pipeline on the dataflow engine, and the code
+// here only builds the Env bridging those pipelines to the overlay
+// (route batching and relay combining stay underneath, untouched),
+// runs them, and reports completion.
 
 // participate runs this node's share of a disseminated query.
 func (q *queryState) participate() {
@@ -21,38 +29,35 @@ func (q *queryState) participate() {
 	q.participateOneShot()
 }
 
-// scanLocal reads the live local partition of one scan, applying its
-// pushed-down predicate. Malformed payloads are skipped (best effort).
-func (q *queryState) scanLocal(sc *plan.ScanSpec) []tuple.Tuple {
-	items := q.node.store.LScan(sc.Namespace)
-	rows := make([]tuple.Tuple, 0, len(items))
-	for _, it := range items {
-		t, err := tuple.FromBytes(it.Payload)
-		if err != nil || len(t) != sc.Schema.Arity() {
-			continue
-		}
-		if sc.Where != nil {
-			v, err := sc.Where.Eval(t)
-			if err != nil || v.Kind != tuple.TBool || !v.B {
-				continue
+// pipelineEnv bridges a physical pipeline to this node: local
+// partition scans, DHT probes, and the three ship paths (rehashed
+// join tuples, partial aggregates, result rows).
+func (q *queryState) pipelineEnv() *physical.Env {
+	n := q.node
+	return &physical.Env{
+		Scan: func(ns string) [][]byte {
+			items := n.store.LScan(ns)
+			payloads := make([][]byte, len(items))
+			for i, it := range items {
+				payloads[i] = it.Payload
 			}
-		}
-		rows = append(rows, t)
+			return payloads
+		},
+		Fetch:         q.fetchProbe,
+		ShipRows:      q.sendRows,
+		ShipPartial:   q.shipPartial,
+		Rehash:        q.rehashShip,
+		FlushRoutes:   n.flushRoutes,
+		Bloom:         q.filter,
+		RowBatch:      n.cfg.RowBatch,
+		CollectorHold: n.cfg.CollectorHold,
 	}
-	return rows
 }
 
 func (q *queryState) participateOneShot() {
-	spec := q.spec
-	switch {
-	case len(spec.Scans) == 1:
-		rows := q.scanLocal(&spec.Scans[0])
-		q.processWorkRows(rows, 0)
-	case spec.Strategy == plan.FetchMatches:
-		q.fetchMatchesScan()
-	default: // SymmetricHash or BloomJoin: rehash both sides
-		q.rehashScan()
-	}
+	pipe := physical.CompileOneShot(q.spec, q.pipelineEnv())
+	q.trackPipeline(pipe)
+	_ = pipe.Run(q.ctx)
 	// Barrier: drain coalesced route batches before reporting
 	// completion, so no rehashed tuple or partial is still buffered
 	// when the coordinator starts its quiescence clock.
@@ -66,425 +71,114 @@ func (q *queryState) participateOneShot() {
 	_, _ = q.node.peer.Call(ctx, q.coord, methDone, w.Bytes())
 }
 
-// processWorkRows pushes raw scan rows (single-table plans) through
-// the local pipeline: projection, then either partial aggregation
-// shipped to collectors, or direct result rows to the coordinator.
-// For single-scan plans PostFilter is already folded into the scan.
-func (q *queryState) processWorkRows(rows []tuple.Tuple, window uint64) {
-	spec := q.spec
-	if len(rows) == 0 {
-		return
-	}
-	g := dataflow.New("participant")
-	src := g.Add("scan", ops.SliceSource(rows))
-	prev := src
-	proj := g.Add("proj", ops.Project(spec.Proj))
-	g.Connect(prev, proj)
-	prev = proj
-	if spec.IsAggregate() {
-		agg := g.Add("partial-agg", ops.Aggregate(spec.GroupCols, spec.Aggs, ops.Partial))
-		g.Connect(prev, agg)
-		prev = agg
-		sink := g.Add("ship", ops.FuncSink(func(m dataflow.Msg) {
-			if m.Kind == dataflow.Data {
-				q.shipPartial(window, m.T)
-			}
-		}))
-		g.Connect(prev, sink)
-	} else {
-		var batch []tuple.Tuple
-		sink := g.Add("ship", ops.FuncSink(func(m dataflow.Msg) {
-			if m.Kind != dataflow.Data {
-				return
-			}
-			batch = append(batch, m.T)
-			if len(batch) >= q.node.cfg.RowBatch {
-				q.sendRows(window, batch)
-				batch = nil
-			}
-		}))
-		g.Connect(prev, sink)
-		defer func() {
-			if len(batch) > 0 {
-				q.sendRows(window, batch)
-			}
-		}()
-	}
-	_ = g.Run(q.ctx)
-}
-
-// shipPartial routes one canonical partial tuple (group values then
-// states) toward its group's collector.
-func (q *queryState) shipPartial(window uint64, partial tuple.Tuple) {
-	nGroup := len(q.spec.GroupCols)
-	groupKey := partial[:nGroup].Bytes()
-	key := aggCollectorKey(q.id, groupKey)
-	q.node.Metrics.PartialsSent.Add(1)
-	_ = q.node.router.Route(key, tagAgg, encodeAggMsg(q.id, window, partial))
-}
-
-// sendRows ships canonical result rows to the coordinator.
-func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) {
-	if len(rows) == 0 {
-		return
-	}
-	q.node.Metrics.RowsSent.Add(uint64(len(rows)))
-	for off := 0; off < len(rows); off += q.node.cfg.RowBatch {
-		end := off + q.node.cfg.RowBatch
-		if end > len(rows) {
-			end = len(rows)
-		}
-		ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
-		_, _ = q.node.peer.Call(ctx, q.coord, methRows, encodeRowsMsg(q.id, window, rows[off:end]))
-		cancel()
-	}
-}
-
-// ---------------------------------------------------------------------------
-// Join participation
-
-// rehashScan routes every local tuple of both sides toward the
-// collector responsible for its join-key value (symmetric rehash).
-// Under BloomJoin, right-side tuples whose key cannot appear on the
-// left are suppressed before they ever hit the network.
-func (q *queryState) rehashScan() {
-	spec := q.spec
-	for side := 0; side < 2; side++ {
-		sc := &spec.Scans[side]
-		rows := q.scanLocal(sc)
-		for _, t := range rows {
-			keyBytes := t.Project(sc.JoinCols).Bytes()
-			if side == 1 && q.filter != nil && !q.filter.MayContain(keyBytes) {
-				continue
-			}
-			q.node.Metrics.JoinTuplesRehashed.Add(1)
-			key := joinCollectorKey(q.id, keyBytes)
-			_ = q.node.router.Route(key, tagJoin, encodeJoinMsg(q.id, 0, side, t))
-		}
-	}
-}
-
-// fetchMatchesScan probes the right-hand table in place: the right
-// table is already published into the DHT keyed by the join columns,
-// so each left tuple issues one DHT get instead of rehashing anything.
-func (q *queryState) fetchMatchesScan() {
-	spec := q.spec
-	left, right := &spec.Scans[0], &spec.Scans[1]
-	// Probe values must be arranged in the right table's key-column
-	// order so the resource ID hashes identically to the publisher's.
-	probeOrder := make([]int, len(right.Schema.Key))
-	for i, kc := range right.Schema.Key {
-		for j, jc := range right.JoinCols {
-			if jc == kc {
-				probeOrder[i] = left.JoinCols[j]
-				break
-			}
-		}
-	}
-	rows := q.scanLocal(left)
-	for _, lt := range rows {
-		probe := lt.Project(probeOrder)
-		rid := probe.HashKey(identityCols(len(probe)))
-		q.node.Metrics.FetchProbes.Add(1)
-		ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
-		payloads, err := q.node.store.Get(ctx, right.Namespace, rid)
-		cancel()
-		if err != nil {
-			continue
-		}
-		for _, p := range payloads {
-			rt, err := tuple.FromBytes(p)
-			if err != nil || len(rt) != right.Schema.Arity() {
-				continue
-			}
-			if right.Where != nil {
-				v, err := right.Where.Eval(rt)
-				if err != nil || v.Kind != tuple.TBool || !v.B {
-					continue
-				}
-			}
-			if !joinKeysEqual(lt, rt, left.JoinCols, right.JoinCols) {
-				continue
-			}
-			q.processJoined(lt.Concat(rt), 0)
-		}
-	}
-}
-
-func identityCols(n int) []int {
-	out := make([]int, n)
-	for i := range out {
-		out[i] = i
-	}
-	return out
-}
-
-func joinKeysEqual(l, r tuple.Tuple, lc, rc []int) bool {
-	for i := range lc {
-		if !l[lc[i]].Equal(r[rc[i]]) {
-			return false
-		}
-	}
-	return true
-}
-
-// ---------------------------------------------------------------------------
-// Collector roles
-
-// collectJoinTuple is the symmetric-hash-join collector: the node
-// owning this join-key value accumulates both sides and emits joined
-// rows as matches appear.
-func (q *queryState) collectJoinTuple(window uint64, side int, t tuple.Tuple) {
-	spec := q.spec
-	if len(spec.Scans) != 2 || len(t) != spec.Scans[side].Schema.Arity() {
-		return
-	}
-	key := string(t.Project(spec.Scans[side].JoinCols).Bytes())
-	q.joinMu.Lock()
-	ws := q.joinTables[window]
-	if ws == nil {
-		ws = &joinWindowState{}
-		ws.tables[0] = make(map[string][]tuple.Tuple)
-		ws.tables[1] = make(map[string][]tuple.Tuple)
-		q.joinTables[window] = ws
-	}
-	// Dedup identical tuples (retransmits are expected).
-	for _, existing := range ws.tables[side][key] {
-		if existing.Equal(t) {
-			q.joinMu.Unlock()
-			return
-		}
-	}
-	ws.tables[side][key] = append(ws.tables[side][key], t)
-	matches := append([]tuple.Tuple(nil), ws.tables[1-side][key]...)
-	q.joinMu.Unlock()
-
-	for _, other := range matches {
-		var joined tuple.Tuple
-		if side == 0 {
-			joined = t.Concat(other)
-		} else {
-			joined = other.Concat(t)
-		}
-		q.processJoined(joined, window)
-	}
-}
-
-// processJoined pushes one joined row through the rest of the plan.
-func (q *queryState) processJoined(joined tuple.Tuple, window uint64) {
-	spec := q.spec
-	if spec.PostFilter != nil {
-		v, err := spec.PostFilter.Eval(joined)
-		if err != nil || v.Kind != tuple.TBool || !v.B {
-			return
-		}
-	}
-	work := make(tuple.Tuple, len(spec.Proj))
-	for i, e := range spec.Proj {
-		v, err := e.Eval(joined)
-		if err != nil {
-			return
-		}
-		work[i] = v
-	}
-	if !spec.IsAggregate() {
-		q.sendRows(window, []tuple.Tuple{work})
-		return
-	}
-	// One partial per joined row; relay combining and the collector
-	// merge absorb the fan-in.
-	acc := ops.NewAccumulator(spec.Aggs)
-	if err := acc.AddRaw(work); err != nil {
-		return
-	}
-	partial := append(work.Project(spec.GroupCols), acc.StateValues()...)
-	q.shipPartial(window, partial)
-}
-
-// collectPartial is the aggregation-collector role: merge arriving
-// partial states per (window, group) and finalize after the hold.
-func (q *queryState) collectPartial(window uint64, partial tuple.Tuple) {
-	spec := q.spec
-	nGroup := len(spec.GroupCols)
-	if len(partial) != nGroup+ops.StateWidth(spec.Aggs) {
-		return
-	}
-	groupKey := string(partial[:nGroup].Bytes())
-	q.aggMu.Lock()
-	ws := q.aggWindows[window]
-	if ws == nil {
-		ws = &aggWindowState{groups: make(map[string]*aggGroup)}
-		q.aggWindows[window] = ws
-	}
-	g := ws.groups[groupKey]
-	if g == nil {
-		g = &aggGroup{key: partial[:nGroup].Clone(), accumulator: ops.NewAccumulator(spec.Aggs)}
-		ws.groups[groupKey] = g
-	}
-	_ = g.accumulator.MergeStates(partial[nGroup:])
-	// Debounced flush: reset the window's timer on every arrival.
-	hold := q.node.cfg.CollectorHold
-	if ws.timer == nil {
-		ws.timer = time.AfterFunc(hold, func() { q.flushAggWindow(window) })
-	} else {
-		ws.timer.Reset(hold)
-	}
-	q.aggMu.Unlock()
-}
-
-// flushAggWindow finalizes every group of a window and ships the
-// final rows to the coordinator. State is retained so stragglers
-// trigger a refined re-flush; the coordinator replaces rows per group.
-func (q *queryState) flushAggWindow(window uint64) {
-	select {
-	case <-q.ctx.Done():
-		return
-	default:
-	}
-	q.aggMu.Lock()
-	ws := q.aggWindows[window]
-	if ws == nil {
-		q.aggMu.Unlock()
-		return
-	}
-	rows := make([]tuple.Tuple, 0, len(ws.groups))
-	for _, g := range ws.groups {
-		rows = append(rows, append(g.key.Clone(), g.accumulator.FinalValues()...))
-	}
-	q.aggMu.Unlock()
-	q.sendRows(window, rows)
-}
-
-// ---------------------------------------------------------------------------
-// Relay combining (hierarchical aggregation)
-
-type combineEntry struct {
-	acc   *ops.Accumulator
-	group tuple.Tuple
-}
-
-// combineInto merges a passing partial into this relay's buffer for
-// (window, collector-key, group); the first arrival schedules the
-// combined forward. Returns false when the message should just be
-// forwarded (e.g. non-aggregate plans).
-func (q *queryState) combineInto(key idKey, window uint64, partial tuple.Tuple) bool {
-	spec := q.spec
-	nGroup := len(spec.GroupCols)
-	if len(partial) != nGroup+ops.StateWidth(spec.Aggs) {
-		return false
-	}
-	ck := combineKey{window: window, group: string(partial[:nGroup].Bytes())}
-	q.combMu.Lock()
-	if q.combining == nil {
-		q.combining = make(map[combineKey]*combineEntry)
-	}
-	e := q.combining[ck]
-	first := e == nil
-	if first {
-		e = &combineEntry{acc: ops.NewAccumulator(spec.Aggs), group: partial[:nGroup].Clone()}
-		q.combining[ck] = e
-	}
-	_ = e.acc.MergeStates(partial[nGroup:])
-	q.combMu.Unlock()
-	if first {
-		time.AfterFunc(q.node.cfg.CombineHold, func() {
-			select {
-			case <-q.ctx.Done():
-				return
-			default:
-			}
-			q.combMu.Lock()
-			e := q.combining[ck]
-			delete(q.combining, ck)
-			q.combMu.Unlock()
-			if e == nil {
-				return
-			}
-			merged := append(e.group.Clone(), e.acc.StateValues()...)
-			_ = q.node.router.Route(key, tagAgg, encodeAggMsg(q.id, window, merged))
-		})
-	}
-	return true
-}
-
-// ---------------------------------------------------------------------------
-// Continuous participation
-
-// participateContinuous subscribes to the scanned table and ships one
-// batch of partials (or rows) per slide tick, tagged with the window
-// sequence number.
+// participateContinuous subscribes the windowed pipeline to the
+// scanned table; the WindowTicker source punctuates at absolute
+// window boundaries, so every downstream operator (window buffer,
+// partial aggregation, ship barrier) is driven by punctuation rather
+// than a private timer.
 func (q *queryState) participateContinuous() {
 	spec := q.spec
 	if len(spec.Scans) != 1 {
 		return // continuous joins are out of scope (documented)
 	}
 	sc := &spec.Scans[0]
-	windowD := time.Duration(spec.Window)
-	slideD := time.Duration(spec.Slide)
-	if slideD <= 0 {
-		slideD = windowD
-	}
+	pipe, in := physical.CompileContinuous(spec, q.pipelineEnv())
+	q.trackPipeline(pipe)
 
-	admit := func(t tuple.Tuple, at time.Time) {
-		if len(t) != sc.Schema.Arity() {
+	admit := func(payload []byte, at time.Time) {
+		t, err := tuple.FromBytes(payload)
+		if err != nil || len(t) != sc.Schema.Arity() {
 			return
 		}
-		if sc.Where != nil {
-			v, err := sc.Where.Eval(t)
-			if err != nil || v.Kind != tuple.TBool || !v.B {
-				return
-			}
-		}
-		q.bufMu.Lock()
-		q.samples = append(q.samples, sample{t: t, arrived: at})
-		q.bufMu.Unlock()
+		in.Push(dataflow.Msg{Kind: dataflow.Data, T: t, Time: at})
 	}
-
 	// Existing live items seed the first window; new arrivals stream
 	// in through the newData upcall.
 	now := time.Now()
 	for _, it := range q.node.store.LScan(sc.Namespace) {
-		if t, err := tuple.FromBytes(it.Payload); err == nil {
-			admit(t, now)
-		}
+		admit(it.Payload, now)
 	}
 	q.node.store.Subscribe(sc.Namespace, func(it dht.Item) {
-		if t, err := tuple.FromBytes(it.Payload); err == nil {
-			admit(t, time.Now())
-		}
+		admit(it.Payload, time.Now())
 	})
 	defer q.node.store.Unsubscribe(sc.Namespace)
+	// Runs until the LIVE horizon ends the source or the query is
+	// torn down.
+	_ = pipe.Run(q.ctx)
+}
 
-	var deadline <-chan time.Time
-	if spec.Live > 0 {
-		dt := time.NewTimer(time.Duration(spec.Live))
-		defer dt.Stop()
-		deadline = dt.C
+// ---------------------------------------------------------------------------
+// Ship callbacks (the pipeline's exits onto the network)
+
+// shipPartial routes one canonical partial tuple (group values then
+// states) toward its group's collector.
+func (q *queryState) shipPartial(window uint64, partial tuple.Tuple) int {
+	nGroup := len(q.spec.GroupCols)
+	groupKey := partial[:nGroup].Bytes()
+	key := aggCollectorKey(q.id, groupKey)
+	q.node.Metrics.PartialsSent.Add(1)
+	payload := encodeAggMsg(q.id, window, partial)
+	_ = q.node.router.Route(key, tagAgg, payload)
+	return len(payload)
+}
+
+// sendRows ships canonical result rows to the coordinator.
+func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
+	if len(rows) == 0 {
+		return 0
 	}
-	ticker := time.NewTicker(slideD)
-	defer ticker.Stop()
-	for {
-		select {
-		case <-q.ctx.Done():
-			return
-		case <-deadline:
-			return
-		case tick := <-ticker.C:
-			seq := uint64(tick.UnixNano()) / uint64(slideD)
-			cutoff := tick.Add(-windowD)
-			q.bufMu.Lock()
-			live := q.samples[:0]
-			var windowRows []tuple.Tuple
-			for _, s := range q.samples {
-				if s.arrived.After(cutoff) {
-					live = append(live, s)
-					windowRows = append(windowRows, s.t)
-				}
-			}
-			q.samples = live
-			q.bufMu.Unlock()
-			q.processWorkRows(windowRows, seq)
-			q.node.flushRoutes() // per-tick barrier: ship this window's partials now
+	q.node.Metrics.RowsSent.Add(uint64(len(rows)))
+	total := 0
+	for off := 0; off < len(rows); off += q.node.cfg.RowBatch {
+		end := off + q.node.cfg.RowBatch
+		if end > len(rows) {
+			end = len(rows)
 		}
+		payload := encodeRowsMsg(q.id, window, rows[off:end])
+		total += len(payload)
+		ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
+		_, _ = q.node.peer.Call(ctx, q.coord, methRows, payload)
+		cancel()
 	}
+	return total
+}
+
+// rehashShip routes one tuple of side toward the collector
+// responsible for its join-key value.
+func (q *queryState) rehashShip(side int, window uint64, key []byte, t tuple.Tuple) int {
+	q.node.Metrics.JoinTuplesRehashed.Add(1)
+	k := joinCollectorKey(q.id, key)
+	payload := encodeJoinMsg(q.id, window, side, t)
+	_ = q.node.router.Route(k, tagJoin, payload)
+	return len(payload)
+}
+
+// fetchProbe resolves one fetch-matches probe against the right
+// table's DHT namespace.
+func (q *queryState) fetchProbe(ctx context.Context, rid id.ID) ([][]byte, error) {
+	q.node.Metrics.FetchProbes.Add(1)
+	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
+	defer cancel()
+	return q.node.store.Get(cctx, q.spec.Scans[1].Namespace, rid)
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline registry (EXPLAIN ANALYZE)
+
+// trackPipeline registers a pipeline for the stats snapshot.
+func (q *queryState) trackPipeline(p *physical.Pipeline) {
+	q.pipeMu.Lock()
+	q.pipes = append(q.pipes, p)
+	q.pipeMu.Unlock()
+}
+
+// localStats snapshots every pipeline this node ran for the query.
+func (q *queryState) localStats() []plan.OpStats {
+	q.pipeMu.Lock()
+	defer q.pipeMu.Unlock()
+	var out []plan.OpStats
+	for _, p := range q.pipes {
+		out = append(out, p.Stats()...)
+	}
+	return out
 }

@@ -1,0 +1,74 @@
+package pier
+
+import (
+	"time"
+
+	"repro/internal/id"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// Relay combining (hierarchical aggregation): partial aggregates
+// passing through this node on their way to a collector are buffered
+// and merged for a hold period, so the aggregation tree combines
+// in-network. This sits underneath the physical pipelines — the
+// ShipPartial exchange operator routes through the overlay, and any
+// relay on the path may intercept and coalesce.
+
+// idKey aliases the overlay key type for combineInto's signature.
+type idKey = id.ID
+
+// combineKey identifies a relay's combining buffer entry.
+type combineKey struct {
+	window uint64
+	group  string
+}
+
+type combineEntry struct {
+	acc   *ops.Accumulator
+	group tuple.Tuple
+}
+
+// combineInto merges a passing partial into this relay's buffer for
+// (window, collector-key, group); the first arrival schedules the
+// combined forward. Returns false when the message should just be
+// forwarded (e.g. non-aggregate plans).
+func (q *queryState) combineInto(key idKey, window uint64, partial tuple.Tuple) bool {
+	spec := q.spec
+	nGroup := len(spec.GroupCols)
+	if len(partial) != nGroup+ops.StateWidth(spec.Aggs) {
+		return false
+	}
+	ck := combineKey{window: window, group: string(partial[:nGroup].Bytes())}
+	q.combMu.Lock()
+	if q.combining == nil {
+		q.combining = make(map[combineKey]*combineEntry)
+	}
+	e := q.combining[ck]
+	first := e == nil
+	if first {
+		e = &combineEntry{acc: ops.NewAccumulator(spec.Aggs), group: partial[:nGroup].Clone()}
+		q.combining[ck] = e
+	}
+	_ = e.acc.MergeStates(partial[nGroup:])
+	q.combMu.Unlock()
+	if first {
+		time.AfterFunc(q.node.cfg.CombineHold, func() {
+			select {
+			case <-q.ctx.Done():
+				return
+			default:
+			}
+			q.combMu.Lock()
+			e := q.combining[ck]
+			delete(q.combining, ck)
+			q.combMu.Unlock()
+			if e == nil {
+				return
+			}
+			merged := append(e.group.Clone(), e.acc.StateValues()...)
+			_ = q.node.router.Route(key, tagAgg, encodeAggMsg(q.id, window, merged))
+		})
+	}
+	return true
+}

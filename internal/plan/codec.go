@@ -51,6 +51,7 @@ func (s *Spec) Encode(w *wire.Writer) {
 	w.Varint(s.Window)
 	w.Varint(s.Slide)
 	w.Varint(s.Live)
+	w.Bool(s.Analyze)
 }
 
 // Bytes serializes the spec into a fresh buffer.
@@ -146,6 +147,7 @@ func Decode(r *wire.Reader) (*Spec, error) {
 	s.Window = r.Varint()
 	s.Slide = r.Varint()
 	s.Live = r.Varint()
+	s.Analyze = r.Bool()
 	if err := r.Err(); err != nil {
 		return nil, err
 	}

@@ -2,8 +2,11 @@ package plan
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/wire"
 )
 
 // Explain renders the distributed plan as an indented operator tree —
@@ -74,6 +77,153 @@ func (s *Spec) Explain() string {
 			line += fmt.Sprintf(" filter %s", sc.Where)
 		}
 		indent(d, "%s", line)
+	}
+	return b.String()
+}
+
+// ---------------------------------------------------------------------------
+// EXPLAIN ANALYZE
+//
+// The physical layer compiles a Spec into instrumented operator
+// pipelines; every operator counts rows, bytes, punctuations, and
+// busy time. Nodes ship their counters to the coordinator at query
+// teardown and the coordinator merges them into one Analysis — the
+// distributed EXPLAIN ANALYZE.
+
+// OpStats is the merged counter set of one physical operator across
+// every pipeline instance that ran it.
+type OpStats struct {
+	// Stage names the pipeline the operator ran in: "participant",
+	// "join-collector", "agg-collector", or "coordinator".
+	Stage string
+	// Op is the operator's display name within the pipeline.
+	Op string
+	// Nodes counts pipeline instances that contributed counters.
+	Nodes uint64
+	// RowsIn / RowsOut count data tuples consumed and produced.
+	RowsIn  uint64
+	RowsOut uint64
+	// BytesOut counts encoded bytes produced (for exchange and ship
+	// operators: the bytes actually handed to the network).
+	BytesOut uint64
+	// Puncts counts punctuations processed.
+	Puncts uint64
+	// BusyNanos is time spent processing messages (including
+	// downstream emission). Coordinator-tail operators wrapped from
+	// the uninstrumented ops library (having, distinct, order,
+	// limit, collect) count rows/bytes but report 0 here.
+	BusyNanos uint64
+}
+
+// Analysis is the coordinator-side accumulation of OpStats.
+type Analysis struct {
+	Ops []OpStats
+}
+
+// Merge folds counters in, summing entries with the same (Stage, Op)
+// key. First-seen order is preserved; because every node compiles the
+// identical pipeline shape, that order is the pipeline build order.
+func (a *Analysis) Merge(ops ...OpStats) {
+	for _, o := range ops {
+		found := false
+		for i := range a.Ops {
+			e := &a.Ops[i]
+			if e.Stage == o.Stage && e.Op == o.Op {
+				e.Nodes += o.Nodes
+				e.RowsIn += o.RowsIn
+				e.RowsOut += o.RowsOut
+				e.BytesOut += o.BytesOut
+				e.Puncts += o.Puncts
+				e.BusyNanos += o.BusyNanos
+				found = true
+				break
+			}
+		}
+		if !found {
+			a.Ops = append(a.Ops, o)
+		}
+	}
+}
+
+// Encode appends the analysis to w (the methStats RPC payload).
+func (a *Analysis) Encode(w *wire.Writer) {
+	w.Uvarint(uint64(len(a.Ops)))
+	for _, o := range a.Ops {
+		w.String(o.Stage)
+		w.String(o.Op)
+		w.Uvarint(o.Nodes)
+		w.Uvarint(o.RowsIn)
+		w.Uvarint(o.RowsOut)
+		w.Uvarint(o.BytesOut)
+		w.Uvarint(o.Puncts)
+		w.Uvarint(o.BusyNanos)
+	}
+}
+
+// DecodeAnalysis reads an Analysis written by Encode.
+func DecodeAnalysis(r *wire.Reader) (*Analysis, error) {
+	n := int(r.Uvarint())
+	if n > 4096 {
+		return nil, fmt.Errorf("plan: analysis with %d operators", n)
+	}
+	a := &Analysis{}
+	for i := 0; i < n; i++ {
+		var o OpStats
+		o.Stage = r.String()
+		o.Op = r.String()
+		o.Nodes = r.Uvarint()
+		o.RowsIn = r.Uvarint()
+		o.RowsOut = r.Uvarint()
+		o.BytesOut = r.Uvarint()
+		o.Puncts = r.Uvarint()
+		o.BusyNanos = r.Uvarint()
+		a.Ops = append(a.Ops, o)
+	}
+	return a, r.Err()
+}
+
+// stageRank orders pipeline stages data-flow-wise for rendering.
+func stageRank(stage string) int {
+	switch stage {
+	case "participant":
+		return 0
+	case "join-collector":
+		return 1
+	case "agg-collector":
+		return 2
+	case "coordinator":
+		return 3
+	}
+	return 4
+}
+
+// ExplainAnalyze renders the plan followed by the per-operator
+// counter table: the logical tree first, then what each physical
+// operator actually did, grouped by pipeline stage.
+func (s *Spec) ExplainAnalyze(a *Analysis) string {
+	var b strings.Builder
+	b.WriteString(s.Explain())
+	b.WriteString("\nEXPLAIN ANALYZE (network-wide operator totals)\n")
+	if a == nil || len(a.Ops) == 0 {
+		b.WriteString("  (no operator counters collected)\n")
+		return b.String()
+	}
+	// Stable order: stage rank first, then first-merged order within
+	// the stage (= pipeline build order).
+	ops := make([]OpStats, len(a.Ops))
+	copy(ops, a.Ops)
+	sort.SliceStable(ops, func(i, j int) bool {
+		return stageRank(ops[i].Stage) < stageRank(ops[j].Stage)
+	})
+	stage := ""
+	for _, o := range ops {
+		if o.Stage != stage {
+			stage = o.Stage
+			fmt.Fprintf(&b, "  %s:\n", stage)
+		}
+		fmt.Fprintf(&b, "    %-16s nodes=%-3d rows_in=%-8d rows_out=%-8d bytes_out=%-9d puncts=%-5d busy=%v\n",
+			o.Op, o.Nodes, o.RowsIn, o.RowsOut, o.BytesOut, o.Puncts,
+			time.Duration(o.BusyNanos).Round(time.Microsecond))
 	}
 	return b.String()
 }

@@ -92,6 +92,10 @@ type Spec struct {
 	Window Duration
 	Slide  Duration
 	Live   Duration
+	// Analyze asks every node to record per-operator pipeline
+	// counters and ship them back to the coordinator at query
+	// teardown — the distributed EXPLAIN ANALYZE.
+	Analyze bool
 }
 
 // Duration is a nanosecond count (kept as int64 for the codec).
@@ -125,6 +129,10 @@ type Options struct {
 	// Strategy forces a join strategy; Auto (default) picks
 	// fetch-matches when legal, else symmetric hash.
 	Strategy *JoinStrategy
+	// Analyze marks the plan for distributed EXPLAIN ANALYZE: every
+	// pipeline operator counts rows/bytes/busy-time and the
+	// coordinator assembles the network-wide totals.
+	Analyze bool
 }
 
 // Compile turns a parsed statement into a distributed plan using cat
@@ -139,7 +147,8 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 	}
 
 	spec := &Spec{Limit: stmt.Limit, Distinct: stmt.Distinct,
-		Window: int64(stmt.Window), Slide: int64(stmt.Slide), Live: int64(stmt.Live)}
+		Window: int64(stmt.Window), Slide: int64(stmt.Slide), Live: int64(stmt.Live),
+		Analyze: opts.Analyze}
 
 	// Resolve scans; qualify schemas when a join or alias demands it.
 	qualify := len(stmt.From) == 2
@@ -602,6 +611,17 @@ func outName(item sqlparser.SelectItem) string {
 		return item.Alias
 	}
 	return item.Expr.String()
+}
+
+// OutPermExprs renders the output permutation as column expressions:
+// one named column reference per select-list position into the
+// canonical layout. The coordinator tail's final projection.
+func (s *Spec) OutPermExprs() []expr.Expr {
+	perm := make([]expr.Expr, len(s.OutPerm))
+	for i, p := range s.OutPerm {
+		perm[i] = &expr.Col{Name: s.OutNames[i], Index: p}
+	}
+	return perm
 }
 
 // OutputSchema describes the result rows in select-list order.
