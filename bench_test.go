@@ -155,6 +155,28 @@ func BenchmarkJoinStrategies(b *testing.B) {
 	}
 }
 
+// BenchmarkMultiwayJoin checks the logical join trees: a 3-table
+// equi-join executes distributed under the optimizer's stats-driven
+// plan, a forced symmetric-hash stack, and a forced fetch chain, all
+// returning rows byte-identical to the single-node baseline executor.
+func BenchmarkMultiwayJoin(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		results, err := bench.MultiwayJoin(32, 8, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if !r.MatchesBaseline {
+				b.Fatalf("mode %s diverged from the single-node baseline executor", r.Mode)
+			}
+			if r.Rows == 0 {
+				b.Fatalf("mode %s returned no rows", r.Mode)
+			}
+			b.ReportMetric(float64(r.Msgs), "msgs-"+r.Mode)
+		}
+	}
+}
+
 // BenchmarkChurnResilience checks S4: replication raises data
 // survival when a quarter of the network dies.
 func BenchmarkChurnResilience(b *testing.B) {

@@ -16,6 +16,7 @@
 //	\insert <table> <val,...>     -- into this node's local partition
 //	\put <table> <val,...>        -- into the DHT (placed by key)
 //	\tables                        -- list defined tables
+//	\stats <table> <rows> [col=distinct ...]  -- declare optimizer statistics
 //	\explain SELECT ...            -- print the distributed plan (no execution)
 //	\quit
 //	SELECT ...                     -- one-shot query
@@ -36,6 +37,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/pier"
 	"repro/internal/plan"
 	"repro/internal/transport"
@@ -108,6 +110,10 @@ func shell(node *pier.Node, explain bool) {
 			if err := doInsert(node, strings.TrimPrefix(line, `\put `), true); err != nil {
 				fmt.Println("error:", err)
 			}
+		case strings.HasPrefix(line, `\stats `):
+			if err := doStats(node, strings.TrimPrefix(line, `\stats `)); err != nil {
+				fmt.Println("error:", err)
+			}
 		case strings.HasPrefix(line, `\explain `):
 			plan, err := node.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -118,7 +124,7 @@ func shell(node *pier.Node, explain bool) {
 		case strings.HasPrefix(strings.ToUpper(line), "SELECT") || strings.HasPrefix(strings.ToUpper(line), "WITH"):
 			runQuery(node, line, explain)
 		default:
-			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\explain, \\quit")
+			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\stats, \\explain, \\quit")
 		}
 		fmt.Print("pier> ")
 	}
@@ -181,6 +187,35 @@ func doCreate(node *pier.Node, args string) error {
 	return node.DefineTable(schema, ttl)
 }
 
+// doStats parses "\stats <table> <rows> [col=distinct ...]" and
+// declares planner statistics for the cost-based join optimizer.
+func doStats(node *pier.Node, args string) error {
+	fields := strings.Fields(args)
+	if len(fields) < 2 {
+		return fmt.Errorf("usage: \\stats <table> <rows> [col=distinct ...]")
+	}
+	rows, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad row count %q", fields[1])
+	}
+	st := catalog.TableStats{Rows: rows}
+	for _, f := range fields[2:] {
+		cd := strings.SplitN(f, "=", 2)
+		if len(cd) != 2 {
+			return fmt.Errorf("distinct spec %q must be col=count", f)
+		}
+		d, err := strconv.ParseInt(cd[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("bad distinct count %q", cd[1])
+		}
+		if st.Distinct == nil {
+			st.Distinct = make(map[string]int64)
+		}
+		st.Distinct[cd[0]] = d
+	}
+	return node.SetTableStats(fields[0], st)
+}
+
 // doInsert parses "\insert table v1,v2,..." coercing values to the
 // table's column types.
 func doInsert(node *pier.Node, args string, viaDHT bool) error {
@@ -233,7 +268,8 @@ func doInsert(node *pier.Node, args string, viaDHT bool) error {
 func runQuery(node *pier.Node, sql string, explain bool) {
 	upper := strings.ToUpper(sql)
 	if strings.Contains(upper, "WINDOW") {
-		cont, err := node.QueryContinuous(context.Background(), sql)
+		cont, err := node.QueryContinuousWithOptions(context.Background(), sql,
+			plan.Options{Analyze: explain})
 		if err != nil {
 			fmt.Println("error:", err)
 			return
@@ -247,6 +283,12 @@ func runQuery(node *pier.Node, sql string, explain bool) {
 			for _, row := range wr.Rows {
 				fmt.Printf("  [w%d] %v\n", wr.Seq, row)
 			}
+		}
+		if explain {
+			// Participants re-ship counter snapshots per window, so
+			// the report covers the run so far — the long-running
+			// query's EXPLAIN ANALYZE.
+			fmt.Print(cont.AnalyzeReport())
 		}
 		cont.Stop()
 		return

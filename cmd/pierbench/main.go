@@ -12,6 +12,7 @@
 //	pierbench -experiment search
 //	pierbench -experiment recursive
 //	pierbench -experiment batching
+//	pierbench -experiment multiway
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
 //	pierbench -experiment all
@@ -90,6 +91,11 @@ func main() {
 			return batching(*n, *seed)
 		})
 	}
+	if all || *experiment == "multiway" {
+		run("Multiway: 3-table join with cost-based per-stage strategies", func() error {
+			return multiway(*n, *seed)
+		})
+	}
 	if all || *experiment == "overlay" {
 		run("Ablation: Chord vs Kademlia", func() error {
 			return overlay(*n, *seed)
@@ -109,6 +115,26 @@ func explainAnalyze(n int, seed int64) error {
 	}
 	fmt.Print(report)
 	fmt.Printf("(%d result rows)\n", rows)
+	return nil
+}
+
+func multiway(n int, seed int64) error {
+	results, err := bench.MultiwayJoin(n, 8, seed)
+	if err != nil {
+		return err
+	}
+	for _, r := range results {
+		if r.Plan != "" {
+			fmt.Printf("optimizer plan:\n%s", r.Plan)
+		}
+	}
+	fmt.Printf("%-12s %8s %10s %12s %18s\n", "mode", "rows", "msgs", "bytes", "matches baseline")
+	for _, r := range results {
+		fmt.Printf("%-12s %8d %10d %12d %18v\n", r.Mode, r.Rows, r.Msgs, r.Bytes, r.MatchesBaseline)
+		if !r.MatchesBaseline {
+			return fmt.Errorf("mode %s diverged from the single-node baseline executor", r.Mode)
+		}
+	}
 	return nil
 }
 

@@ -27,15 +27,41 @@ type Table struct {
 	TTL time.Duration
 }
 
+// TableStats are the planner's per-table estimates. PIER has no
+// global statistics service — stats are declared locally (like the
+// schemas themselves) by whoever issues queries, and the cost-based
+// optimizer treats them as hints, falling back to coarse defaults
+// when absent.
+type TableStats struct {
+	// Rows estimates the network-wide cardinality (0 = unknown).
+	Rows int64
+	// Distinct estimates distinct values per column, keyed by the
+	// base (unqualified) column name.
+	Distinct map[string]int64
+}
+
+// clone deep-copies the stats so callers never share the map.
+func (s TableStats) clone() TableStats {
+	out := TableStats{Rows: s.Rows}
+	if s.Distinct != nil {
+		out.Distinct = make(map[string]int64, len(s.Distinct))
+		for k, v := range s.Distinct {
+			out.Distinct[k] = v
+		}
+	}
+	return out
+}
+
 // Catalog is a thread-safe table registry.
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
+	stats  map[string]TableStats
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table)}
+	return &Catalog{tables: make(map[string]*Table), stats: make(map[string]TableStats)}
 }
 
 // Namespace returns the conventional DHT namespace for a table name.
@@ -71,11 +97,37 @@ func (c *Catalog) Lookup(name string) (*Table, bool) {
 	return t, ok
 }
 
+// SetStats records planner statistics for a defined table.
+func (c *Catalog) SetStats(name string, stats TableStats) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tbl, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: stats for unknown table %q", name)
+	}
+	for col := range stats.Distinct {
+		if tbl.Schema.ColIndex(col) < 0 {
+			return fmt.Errorf("catalog: stats for unknown column %s.%s", name, col)
+		}
+	}
+	c.stats[name] = stats.clone()
+	return nil
+}
+
+// Stats returns the recorded statistics for a table (the zero value
+// when none were declared).
+func (c *Catalog) Stats(name string) TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.stats[name].clone()
+}
+
 // Drop removes a table definition (local only).
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.tables, name)
+	delete(c.stats, name)
 }
 
 // Names lists defined tables in sorted order.

@@ -585,11 +585,11 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
 // Exchange and ship sinks
 
 // RehashExchange routes every tuple toward the collector responsible
-// for its join-key value — the DHT put side of the distributed
-// symmetric hash join. The ship callback returns the payload size it
-// put on the wire.
-func RehashExchange(side int, keyCols []int,
-	ship func(side int, window uint64, key []byte, t tuple.Tuple) int) OpFunc {
+// for its join-key value at one join stage — the DHT put side of the
+// distributed symmetric hash join. The ship callback returns the
+// payload size it put on the wire.
+func RehashExchange(stage, side int, keyCols []int,
+	ship func(stage, side int, window uint64, key []byte, t tuple.Tuple) int) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			for m := range dataflow.Merge(ctx, ins) {
@@ -601,7 +601,7 @@ func RehashExchange(side int, keyCols []int,
 				}
 				c.RecvRow()
 				key := m.T.Project(keyCols).Bytes()
-				c.EmitRows(1, ship(side, m.Seq, key, m.T))
+				c.EmitRows(1, ship(stage, side, m.Seq, key, m.T))
 				c.Busy(start)
 			}
 			return nil

@@ -12,6 +12,7 @@ package physical
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -33,8 +34,8 @@ type Env struct {
 	// partition of a namespace.
 	Scan func(ns string) [][]byte
 	// Fetch resolves one fetch-matches probe: a DHT get against the
-	// right table's namespace.
-	Fetch func(ctx context.Context, rid id.ID) ([][]byte, error)
+	// probed table's namespace.
+	Fetch func(ctx context.Context, ns string, rid id.ID) ([][]byte, error)
 	// ShipRows delivers canonical result rows to the coordinator,
 	// returning the payload bytes shipped.
 	ShipRows func(window uint64, rows []tuple.Tuple) int
@@ -42,8 +43,9 @@ type Env struct {
 	// aggregation collector, returning the payload bytes shipped.
 	ShipPartial func(window uint64, partial tuple.Tuple) int
 	// Rehash routes one tuple toward the collector owning its
-	// join-key value, returning the payload bytes shipped.
-	Rehash func(side int, window uint64, key []byte, t tuple.Tuple) int
+	// join-key value at the given join stage, returning the payload
+	// bytes shipped.
+	Rehash func(stage, side int, window uint64, key []byte, t tuple.Tuple) int
 	// FlushRoutes drains pending route batches — the barrier run at
 	// window boundaries and scan completion.
 	FlushRoutes func()
@@ -108,44 +110,83 @@ func (p *Pipeline) Stats() []plan.OpStats {
 // CompileOneShot builds the participant-side pipeline of a one-shot
 // plan: what this node contributes from its local partitions.
 //
-//	1 scan:          Scan → Filter → Project → (PartialAgg → ShipPartial | ShipRows)
-//	fetch-matches:   Scan(l) → Filter → FetchMatches → Filter(post) → Project → …
-//	symmetric/bloom: Scan(s) → Filter → [BloomProbe] → RehashExchange(s)   for each side
+//	1 scan:      Scan → Filter → Project → (PartialAgg → ShipPartial | ShipRows)
+//	join chain:  Scan(0) → Filter → FetchMatches(stage 0..p-1 while fetch)
+//	             → (tail when no stages remain | RehashExchange(stage p, side 0))
+//	             plus, per rehashing stage s: Scan(s+1) → Filter →
+//	             [BloomProbe for a stage-0 Bloom join] → RehashExchange(s, side 1)
+//
+// Consecutive leading fetch-matches stages run inline against the
+// local scan of the leftmost table; the first symmetric/Bloom stage
+// rehashes the accumulated left rows to that stage's collectors.
+// Right tables of fetch stages deeper in the chain are probed in
+// place by the upstream collectors, so participants never scan them.
 func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 	p := NewPipeline("participant")
 	p.detail = spec.Analyze
-	switch {
-	case len(spec.Scans) == 1:
+	if len(spec.Scans) == 1 {
 		sc := &spec.Scans[0]
 		prev := p.Add("scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
 		prev = p.maybeFilter(prev, "filter", sc.Where)
 		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
 		p.addTail(spec, env, prev, false)
-	case spec.Strategy == plan.FetchMatches:
-		left, right := &spec.Scans[0], &spec.Scans[1]
-		prev := p.Add("scan.l", ScanSource(env.Scan, left.Namespace, left.Schema.Arity()))
-		prev = p.maybeFilter(prev, "filter.l", left.Where)
-		fm := p.Add("fetch-matches", FetchMatches(probeOrder(left, right),
-			right.Schema.Arity(), right.Where, left.JoinCols, right.JoinCols, env.Fetch))
-		p.Connect(prev, fm)
-		prev = p.maybeFilter(fm, "post-filter", spec.PostFilter)
+		return p
+	}
+	// Left chain: scan the leftmost table, fold in the leading run of
+	// fetch-matches stages.
+	sc0 := &spec.Scans[0]
+	prev := p.Add("scan.0", ScanSource(env.Scan, sc0.Namespace, sc0.Schema.Arity()))
+	prev = p.maybeFilter(prev, "filter.0", sc0.Where)
+	prev, stage := p.addFetchChain(spec, env, prev, 0)
+	if stage == len(spec.Joins) {
+		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
 		p.addTail(spec, env, prev, false)
-	default: // SymmetricHash or BloomJoin: rehash both sides
-		for side := 0; side < 2; side++ {
-			sc := &spec.Scans[side]
-			suffix := [2]string{".l", ".r"}[side]
-			prev := p.Add("scan"+suffix, ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
-			prev = p.maybeFilter(prev, "filter"+suffix, sc.Where)
-			if side == 1 && spec.Strategy == plan.BloomJoin {
-				bp := p.Add("bloom-probe", BloomProbe(env.Bloom, sc.JoinCols))
-				p.Connect(prev, bp)
-				prev = bp
-			}
-			rh := p.Add("rehash"+suffix, RehashExchange(side, sc.JoinCols, env.Rehash))
-			p.Connect(prev, rh)
+	} else {
+		rh := p.Add(fmt.Sprintf("rehash.%d.l", stage),
+			RehashExchange(stage, 0, spec.Joins[stage].LeftCols, env.Rehash))
+		p.Connect(prev, rh)
+	}
+	// Right-side scans for every rehashing stage.
+	for s := stage; s < len(spec.Joins); s++ {
+		j := &spec.Joins[s]
+		if j.Strategy == plan.FetchMatches {
+			continue // probed in place by the upstream collector
 		}
+		sc := &spec.Scans[s+1]
+		rprev := p.Add(fmt.Sprintf("scan.%d", s+1), ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+		rprev = p.maybeFilter(rprev, fmt.Sprintf("filter.%d", s+1), sc.Where)
+		if s == 0 && j.Strategy == plan.BloomJoin {
+			bp := p.Add("bloom-probe", BloomProbe(env.Bloom, j.RightCols))
+			p.Connect(rprev, bp)
+			rprev = bp
+		}
+		rh := p.Add(fmt.Sprintf("rehash.%d.r", s),
+			RehashExchange(s, 1, j.RightCols, env.Rehash))
+		p.Connect(rprev, rh)
 	}
 	return p
+}
+
+// addFetchChain appends the run of consecutive fetch-matches stages
+// beginning at stage, probing each right table in place via the DHT.
+// Returns the new upstream node and the first non-fetch stage index
+// (== len(spec.Joins) when the chain consumed every stage).
+func (p *Pipeline) addFetchChain(spec *plan.Spec, env *Env, prev *dataflow.Node, stage int) (*dataflow.Node, int) {
+	for stage < len(spec.Joins) && spec.Joins[stage].Strategy == plan.FetchMatches {
+		j := &spec.Joins[stage]
+		right := &spec.Scans[stage+1]
+		ns := right.Namespace
+		fetch := func(ctx context.Context, rid id.ID) ([][]byte, error) {
+			return env.Fetch(ctx, ns, rid)
+		}
+		fm := p.Add(fmt.Sprintf("fetch-matches.%d", stage), FetchMatches(
+			probeOrder(j, right), right.Schema.Arity(), right.Where,
+			j.LeftCols, j.RightCols, fetch))
+		p.Connect(prev, fm)
+		prev = fm
+		stage++
+	}
+	return prev, stage
 }
 
 // CompileContinuous builds the windowed participant pipeline. The
@@ -171,24 +212,34 @@ func CompileContinuous(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
 }
 
 // CompileJoinCollector builds the collector pipeline run by the node
-// owning a join-key value: rehashed tuples of both sides arrive
-// through the returned inlets and joined rows flow through the rest
-// of the plan toward the coordinator (or, for aggregates, as one
-// eager partial per row toward the aggregation collectors, with relay
-// combining absorbing the fan-in underneath).
-func CompileJoinCollector(spec *plan.Spec, env *Env) (*Pipeline, [2]*Inlet) {
-	p := NewPipeline("join-collector")
+// owning a join-key value of one join stage: rehashed tuples of both
+// sides arrive through the returned inlets, joined rows fold in any
+// following run of fetch-matches stages in place, and then either
+// rehash onward to the next symmetric stage's collectors or flow
+// through the rest of the plan toward the coordinator (for
+// aggregates, as one eager partial per row toward the aggregation
+// collectors, with relay combining absorbing the fan-in underneath).
+func CompileJoinCollector(spec *plan.Spec, stage int, env *Env) (*Pipeline, [2]*Inlet) {
+	p := NewPipeline(fmt.Sprintf("join-collector.%d", stage))
 	p.detail = spec.Analyze
+	j := &spec.Joins[stage]
 	inlets := [2]*Inlet{NewInlet(), NewInlet()}
 	l := p.Add("probe-src.l", inlets[0].Source)
 	r := p.Add("probe-src.r", inlets[1].Source)
 	jp := p.Add("join-probe", JoinProbe(
-		[2]int{spec.Scans[0].Schema.Arity(), spec.Scans[1].Schema.Arity()},
-		[2][]int{spec.Scans[0].JoinCols, spec.Scans[1].JoinCols}))
+		[2]int{spec.LeftArity(stage), spec.Scans[stage+1].Schema.Arity()},
+		[2][]int{j.LeftCols, j.RightCols}))
 	p.Connect(l, jp)
 	p.Connect(r, jp)
-	prev := p.maybeFilter(jp, "post-filter", spec.PostFilter)
-	p.addTail(spec, env, prev, true)
+	prev, next := p.addFetchChain(spec, env, jp, stage+1)
+	if next == len(spec.Joins) {
+		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
+		p.addTail(spec, env, prev, true)
+	} else {
+		rh := p.Add(fmt.Sprintf("rehash.%d.l", next),
+			RehashExchange(next, 0, spec.Joins[next].LeftCols, env.Rehash))
+		p.Connect(prev, rh)
+	}
 	return p, inlets
 }
 
@@ -256,16 +307,17 @@ func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple) *P
 }
 
 // CompileBloomScan builds the Bloom-join phase-1 pipeline: scan the
-// left table's local partition and feed every join-key encoding to
-// add (which inserts into the per-site filter). Operator names are
-// prefixed so the counters never merge with the main scan pipeline's.
-func CompileBloomScan(sc *plan.ScanSpec, env *Env, analyze bool, add func(key []byte)) *Pipeline {
+// leftmost table's local partition and feed every join-key encoding
+// (the first stage's left columns) to add, which inserts into the
+// per-site filter. Operator names are prefixed so the counters never
+// merge with the main scan pipeline's.
+func CompileBloomScan(sc *plan.ScanSpec, keyCols []int, env *Env, analyze bool, add func(key []byte)) *Pipeline {
 	p := NewPipeline("participant")
 	p.detail = analyze
 	prev := p.Add("bloom-scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
 	prev = p.maybeFilter(prev, "bloom-scan-filter", sc.Where)
 	sink := p.Add("bloom-build", FuncSink(func(t tuple.Tuple) {
-		add(t.Project(sc.JoinCols).Bytes())
+		add(t.Project(keyCols).Bytes())
 	}))
 	p.Connect(prev, sink)
 	return p
@@ -302,15 +354,15 @@ func (p *Pipeline) addTail(spec *plan.Spec, env *Env, prev *dataflow.Node, strea
 	p.Connect(prev, ship)
 }
 
-// probeOrder arranges left join columns in the right table's
-// key-column order so the probe's resource ID hashes identically to
-// the publisher's.
-func probeOrder(left, right *plan.ScanSpec) []int {
+// probeOrder arranges a fetch stage's left join columns in the right
+// table's key-column order so the probe's resource ID hashes
+// identically to the publisher's.
+func probeOrder(j *plan.JoinSpec, right *plan.ScanSpec) []int {
 	order := make([]int, len(right.Schema.Key))
 	for i, kc := range right.Schema.Key {
-		for j, jc := range right.JoinCols {
+		for jj, jc := range j.RightCols {
 			if jc == kc {
-				order[i] = left.JoinCols[j]
+				order[i] = j.LeftCols[jj]
 				break
 			}
 		}

@@ -185,17 +185,20 @@ func TestRehashExchangeRoutes(t *testing.T) {
 		key    string
 	}
 	var ships []shipped
-	ship := func(side int, window uint64, key []byte, tp tuple.Tuple) int {
+	ship := func(stage, side int, window uint64, key []byte, tp tuple.Tuple) int {
 		mu.Lock()
 		ships = append(ships, shipped{side, window, string(key)})
 		mu.Unlock()
+		if stage != 2 {
+			t.Errorf("stage %d, want 2", stage)
+		}
 		return len(key) + len(tp.Bytes())
 	}
 	in := []dataflow.Msg{
 		{Kind: dataflow.Data, T: row("a", 1), Seq: 4},
 		{Kind: dataflow.Data, T: row("b", 2), Seq: 4},
 	}
-	runOp(t, RehashExchange(1, []int{1}, ship), in)
+	runOp(t, RehashExchange(2, 1, []int{1}, ship), in)
 	if len(ships) != 2 {
 		t.Fatalf("%d ships", len(ships))
 	}

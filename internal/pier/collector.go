@@ -7,28 +7,34 @@ import (
 )
 
 // Collector roles run as streaming physical pipelines: the first
-// routed tuple for a query lazily starts the pipeline, and network
-// arrivals are pushed through non-blocking inlets (the transport's
-// dispatch goroutine must never be backpressured by query work).
-// Pipelines stop when the query is torn down (ctx cancel).
+// routed tuple for a (query, join stage) lazily starts that stage's
+// pipeline, and network arrivals are pushed through non-blocking
+// inlets (the transport's dispatch goroutine must never be
+// backpressured by query work). Pipelines stop when the query is torn
+// down (ctx cancel).
 
-// joinInlet returns (starting the pipeline if needed) the inlet for
-// one side of the symmetric-hash-join collector.
-func (q *queryState) joinInlet(side int) *physical.Inlet {
-	if len(q.spec.Scans) != 2 || side > 1 {
+// joinInlet returns (starting the stage's pipeline if needed) the
+// inlet for one side of a join stage's collector.
+func (q *queryState) joinInlet(stage, side int) *physical.Inlet {
+	if stage >= len(q.spec.Joins) || side > 1 {
 		return nil
 	}
 	q.pipeMu.Lock()
 	defer q.pipeMu.Unlock()
-	if q.joinInlets[0] == nil {
-		pipe, inlets := physical.CompileJoinCollector(q.spec, q.pipelineEnv())
+	if q.joinInlets == nil {
+		q.joinInlets = make(map[int][2]*physical.Inlet)
+	}
+	inlets, ok := q.joinInlets[stage]
+	if !ok {
+		pipe, in := physical.CompileJoinCollector(q.spec, stage, q.pipelineEnv())
 		if _, err := pipe.Start(q.ctx); err != nil {
 			return nil
 		}
-		q.joinInlets = inlets
+		inlets = in
+		q.joinInlets[stage] = inlets
 		q.pipes = append(q.pipes, pipe)
 	}
-	return q.joinInlets[side]
+	return inlets[side]
 }
 
 // aggInlet returns (starting the pipeline if needed) the inlet of the
@@ -50,9 +56,10 @@ func (q *queryState) aggInlet() *physical.Inlet {
 	return q.aggIn
 }
 
-// collectJoinTuple feeds one rehashed tuple into the join collector.
-func (q *queryState) collectJoinTuple(window uint64, side int, t tuple.Tuple) {
-	if in := q.joinInlet(side); in != nil {
+// collectJoinTuple feeds one rehashed tuple into a join stage's
+// collector.
+func (q *queryState) collectJoinTuple(window uint64, stage, side int, t tuple.Tuple) {
+	if in := q.joinInlet(stage, side); in != nil {
 		in.Push(dataflow.Msg{Kind: dataflow.Data, T: t, Seq: window})
 	}
 }

@@ -47,6 +47,7 @@ type Continuous struct {
 	Columns []string
 	results chan WindowResult
 	stop    func()
+	q       *queryState
 }
 
 // Results streams one WindowResult per window until Stop.
@@ -55,6 +56,30 @@ func (c *Continuous) Results() <-chan WindowResult { return c.results }
 // Stop tears the query down network-wide (best effort) and closes the
 // results channel.
 func (c *Continuous) Stop() { c.stop() }
+
+// Analysis snapshots the network-wide per-operator counters while the
+// query runs: participants re-ship cumulative snapshots per window
+// close, and the coordinator folds in its own pipelines fresh at call
+// time. Nil unless the plan was compiled with Analyze.
+func (c *Continuous) Analysis() *plan.Analysis {
+	if !c.q.spec.Analyze {
+		return nil
+	}
+	if stats := c.q.localStats(); len(stats) > 0 {
+		c.q.setNodeStats(c.q.node.Addr(), statsChanPipes, &plan.Analysis{Ops: stats})
+	}
+	return c.q.mergedAnalysis()
+}
+
+// AnalyzeReport renders Analysis as the EXPLAIN ANALYZE text ("" when
+// the plan was not compiled with Analyze).
+func (c *Continuous) AnalyzeReport() string {
+	a := c.Analysis()
+	if a == nil {
+		return ""
+	}
+	return c.q.spec.ExplainAnalyze(a)
+}
 
 // Query parses, plans, disseminates, and executes sql, blocking until
 // the result settles. Continuous statements are rejected here — use
@@ -104,7 +129,7 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 	defer n.dropQuery(qid)
 
 	var filter *bloom.Filter
-	if len(spec.Scans) == 2 && spec.Strategy == plan.BloomJoin {
+	if len(spec.Joins) > 0 && spec.Joins[0].Strategy == plan.BloomJoin {
 		var err error
 		filter, err = n.gatherBloom(ctx, qid, spec)
 		if err != nil {
@@ -160,13 +185,7 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		Participants: participants,
 	}
 	if spec.Analyze {
-		q.coMu.Lock()
-		if q.analysis == nil {
-			q.analysis = &plan.Analysis{}
-		}
-		q.analysis.Merge(finalize.Stats()...)
-		res.Analysis = q.analysis
-		q.coMu.Unlock()
+		res.Analysis = q.mergedAnalysis(finalize.Stats()...)
 		res.AnalyzeReport = spec.ExplainAnalyze(res.Analysis)
 	}
 	return res, nil
@@ -178,6 +197,12 @@ const analyzeGrace = 200 * time.Millisecond
 
 // QueryContinuous plans and launches a continuous (windowed) query.
 func (n *Node) QueryContinuous(ctx context.Context, sql string) (*Continuous, error) {
+	return n.QueryContinuousWithOptions(ctx, sql, plan.Options{})
+}
+
+// QueryContinuousWithOptions is QueryContinuous with explicit planner
+// options (Analyze enables the per-window EXPLAIN ANALYZE stream).
+func (n *Node) QueryContinuousWithOptions(ctx context.Context, sql string, opts plan.Options) (*Continuous, error) {
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
 		return nil, err
@@ -185,7 +210,7 @@ func (n *Node) QueryContinuous(ctx context.Context, sql string) (*Continuous, er
 	if !stmt.IsContinuous() {
 		return nil, fmt.Errorf("pier: not a continuous query (no WINDOW clause)")
 	}
-	spec, err := plan.Compile(stmt, n.cat, plan.Options{})
+	spec, err := plan.Compile(stmt, n.cat, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -218,6 +243,7 @@ func (n *Node) ExecuteSpecContinuous(ctx context.Context, spec *plan.Spec) (*Con
 	}
 	cont := &Continuous{
 		Columns: spec.OutNames,
+		q:       q,
 		results: q.results,
 		stop: func() {
 			n.stopQuery(qid)
@@ -271,29 +297,26 @@ func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (*b
 }
 
 // answerBloomPhase is the participant side of phase 1: build a filter
-// over the local left partition's join keys and send it back.
+// over the local partition of the leftmost table's join keys (the
+// first stage's left columns) and send it back.
 func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
-	if len(spec.Scans) != 2 {
+	if len(spec.Joins) == 0 {
 		return
 	}
 	q := &queryState{id: qid, spec: spec, coord: coord, node: n, ctx: context.Background()}
 	f := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
-	pipe := physical.CompileBloomScan(&spec.Scans[0], q.pipelineEnv(), spec.Analyze, f.Add)
+	pipe := physical.CompileBloomScan(&spec.Scans[0], spec.Joins[0].LeftCols, q.pipelineEnv(), spec.Analyze, f.Add)
 	if err := pipe.Run(context.Background()); err != nil {
 		return
 	}
 	// Phase 1 runs on an ephemeral query state (the main query is not
-	// announced yet), so its counters go to the coordinator directly.
+	// announced yet), so its counters go to the coordinator directly
+	// on their own stats channel.
 	if spec.Analyze {
 		if rq := n.getQuery(qid, nil); rq != nil && rq.isCoord {
-			rq.coMu.Lock()
-			if rq.analysis == nil {
-				rq.analysis = &plan.Analysis{}
-			}
-			rq.analysis.Merge(pipe.Stats()...)
-			rq.coMu.Unlock()
+			rq.setNodeStats(n.Addr(), statsChanBloom, &plan.Analysis{Ops: pipe.Stats()})
 		} else {
-			n.sendStatsRPC(qid, coord, pipe.Stats())
+			n.sendStatsRPC(qid, coord, statsChanBloom, pipe.Stats())
 		}
 	}
 	w := wire.NewWriter(f.SizeBytes() + 16)

@@ -2,6 +2,7 @@ package pier
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -50,7 +51,7 @@ type queryState struct {
 	// (participant scan/window pipeline, lazily started collectors)
 	pipeMu     sync.Mutex
 	pipes      []*physical.Pipeline
-	joinInlets [2]*physical.Inlet
+	joinInlets map[int][2]*physical.Inlet // join stage -> side inlets
 	aggIn      *physical.Inlet
 	statsOnce  sync.Once
 
@@ -68,8 +69,12 @@ type queryState struct {
 	winFlushed   map[uint64]bool
 	winTimers    map[uint64]*time.Timer
 	results      chan WindowResult
-	analysis     *plan.Analysis // merged EXPLAIN ANALYZE counters
-	epoch        time.Time      // continuous window time base
+	// nodeStats holds the latest EXPLAIN ANALYZE snapshot per
+	// (node, channel) key. Snapshots replace rather than sum, so
+	// continuous queries can re-ship cumulative counters every window
+	// without double counting.
+	nodeStats map[string]*plan.Analysis
+	epoch     time.Time // continuous window time base
 }
 
 // getQuery returns (and optionally creates) the state for qid.
@@ -98,38 +103,78 @@ func (n *Node) dropQuery(qid uint64) {
 	}
 }
 
-// shipStats delivers this node's per-operator pipeline counters to
-// the coordinator at query teardown — the participant half of the
-// distributed EXPLAIN ANALYZE. The coordinator merges its own
+// Stats channels distinguish the independent counter snapshots one
+// node may ship for a query: its query pipelines and the ephemeral
+// Bloom phase-1 scan. Snapshots replace per (node, channel).
+const (
+	statsChanPipes = "pipes"
+	statsChanBloom = "bloom"
+)
+
+// shipStats delivers this node's final per-operator pipeline counters
+// to the coordinator at query teardown — the participant half of the
+// distributed EXPLAIN ANALYZE. The coordinator stores its own
 // counters in place; remote nodes RPC them (best effort, off the
 // dispatch goroutine).
 func (q *queryState) shipStats() {
 	if !q.spec.Analyze {
 		return
 	}
-	q.statsOnce.Do(func() {
-		stats := q.localStats()
-		if len(stats) == 0 {
-			return
-		}
-		if q.coord == q.node.Addr() {
-			q.coMu.Lock()
-			if q.analysis == nil {
-				q.analysis = &plan.Analysis{}
-			}
-			q.analysis.Merge(stats...)
-			q.coMu.Unlock()
-			return
-		}
-		q.node.sendStatsRPC(q.id, q.coord, stats)
-	})
+	q.statsOnce.Do(func() { q.shipStatsSnapshot() })
+}
+
+// shipStatsSnapshot ships the current cumulative counter snapshot.
+// Continuous queries call it once per window close so EXPLAIN ANALYZE
+// works while the query is still running; the coordinator replaces
+// the node's previous snapshot.
+func (q *queryState) shipStatsSnapshot() {
+	stats := q.localStats()
+	if len(stats) == 0 {
+		return
+	}
+	if q.coord == q.node.Addr() {
+		q.setNodeStats(q.node.Addr(), statsChanPipes, &plan.Analysis{Ops: stats})
+		return
+	}
+	q.node.sendStatsRPC(q.id, q.coord, statsChanPipes, stats)
+}
+
+// setNodeStats records one node's latest snapshot on a channel.
+func (q *queryState) setNodeStats(node, channel string, a *plan.Analysis) {
+	q.coMu.Lock()
+	if q.nodeStats == nil {
+		q.nodeStats = make(map[string]*plan.Analysis)
+	}
+	q.nodeStats[node+"|"+channel] = a
+	q.coMu.Unlock()
+}
+
+// mergedAnalysis folds every node's latest snapshot (plus any extra
+// coordinator-local operator stats) into one network-wide Analysis.
+// Keys merge in sorted order so the report is deterministic for a
+// given set of snapshots.
+func (q *queryState) mergedAnalysis(extra ...plan.OpStats) *plan.Analysis {
+	q.coMu.Lock()
+	keys := make([]string, 0, len(q.nodeStats))
+	for k := range q.nodeStats {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	merged := &plan.Analysis{}
+	for _, k := range keys {
+		merged.Merge(q.nodeStats[k].Ops...)
+	}
+	q.coMu.Unlock()
+	merged.Merge(extra...)
+	return merged
 }
 
 // sendStatsRPC ships one stats snapshot to the coordinator off the
 // caller's goroutine (best effort).
-func (n *Node) sendStatsRPC(qid uint64, coord string, stats []plan.OpStats) {
+func (n *Node) sendStatsRPC(qid uint64, coord, channel string, stats []plan.OpStats) {
 	w := wire.NewWriter(256)
 	w.Uint64(qid)
+	w.String(channel)
 	a := plan.Analysis{Ops: stats}
 	a.Encode(w)
 	payload := w.Bytes()
@@ -192,63 +237,34 @@ func decodeQueryMsg(payload []byte) (qid uint64, coord string, spec *plan.Spec, 
 	return
 }
 
-func encodeAggMsg(qid, window uint64, row tuple.Tuple) []byte {
-	w := wire.NewWriter(64)
-	w.Uint64(qid)
-	w.Uint64(window)
-	row.Encode(w)
-	return w.Bytes()
-}
+// All tuple-carrying engine traffic (aggregation partials, rehashed
+// join tuples, result rows) shares the wire.TupleFrame codec; the
+// overlay tag or RPC method carries the message's meaning, the frame
+// header carries (query, window, join stage, side).
 
-func decodeAggMsg(payload []byte) (qid, window uint64, row tuple.Tuple, err error) {
-	r := wire.NewReader(payload)
-	qid = r.Uint64()
-	window = r.Uint64()
-	row = tuple.DecodeTuple(r)
-	err = r.Done()
-	return
-}
-
-func encodeJoinMsg(qid, window uint64, side int, row tuple.Tuple) []byte {
-	w := wire.NewWriter(64)
-	w.Uint64(qid)
-	w.Uint64(window)
-	w.Byte(byte(side))
-	row.Encode(w)
-	return w.Bytes()
-}
-
-func decodeJoinMsg(payload []byte) (qid, window uint64, side int, row tuple.Tuple, err error) {
-	r := wire.NewReader(payload)
-	qid = r.Uint64()
-	window = r.Uint64()
-	side = int(r.Byte())
-	row = tuple.DecodeTuple(r)
-	err = r.Done()
-	return
-}
-
-func encodeRowsMsg(qid, window uint64, rows []tuple.Tuple) []byte {
-	w := wire.NewWriter(64 * len(rows))
-	w.Uint64(qid)
-	w.Uint64(window)
-	w.Uvarint(uint64(len(rows)))
-	for _, t := range rows {
-		t.Encode(w)
+func encodeTupleMsg(qid, window uint64, stage, side uint8, rows ...tuple.Tuple) []byte {
+	f := wire.TupleFrame{Query: qid, Window: window, Stage: stage, Side: side}
+	f.Records = make([][]byte, len(rows))
+	for i, t := range rows {
+		f.Records[i] = t.Bytes()
 	}
-	return w.Bytes()
+	return f.Bytes()
 }
 
-func decodeRowsMsg(payload []byte) (qid, window uint64, rows []tuple.Tuple, err error) {
-	r := wire.NewReader(payload)
-	qid = r.Uint64()
-	window = r.Uint64()
-	count := int(r.Uvarint())
-	for i := 0; i < count && r.Err() == nil; i++ {
-		rows = append(rows, tuple.DecodeTuple(r))
+func decodeTupleMsg(payload []byte) (*wire.TupleFrame, []tuple.Tuple, error) {
+	f, err := wire.TupleFrameFromBytes(payload)
+	if err != nil {
+		return nil, nil, err
 	}
-	err = r.Done()
-	return
+	rows := make([]tuple.Tuple, 0, len(f.Records))
+	for _, rec := range f.Records {
+		t, err := tuple.FromBytes(rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		rows = append(rows, t)
+	}
+	return f, rows, nil
 }
 
 // aggCollectorKey places a group's aggregation collector in the key
@@ -262,12 +278,15 @@ func aggCollectorKey(qid uint64, groupKey []byte) id.ID {
 	return id.HashParts("pier.agg", string(qb[:]), string(groupKey))
 }
 
-// joinCollectorKey places the join work for one join-key value.
-func joinCollectorKey(qid uint64, joinKey []byte) id.ID {
-	var qb [8]byte
+// joinCollectorKey places the join work for one join-key value of one
+// join stage. The stage is part of the key so a query's stages spread
+// over different collector nodes even when key values collide.
+func joinCollectorKey(qid uint64, stage int, joinKey []byte) id.ID {
+	var qb [9]byte
 	for i := 0; i < 8; i++ {
 		qb[i] = byte(qid >> (56 - 8*i))
 	}
+	qb[8] = byte(stage)
 	return id.HashParts("pier.join", string(qb[:]), string(joinKey))
 }
 
@@ -336,27 +355,27 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte) {
 	switch tag {
 	case tagAgg:
-		qid, window, row, err := decodeAggMsg(payload)
-		if err != nil {
+		f, rows, err := decodeTupleMsg(payload)
+		if err != nil || len(rows) != 1 {
 			return
 		}
-		q := n.getQuery(qid, nil)
+		q := n.getQuery(f.Query, nil)
 		if q == nil {
-			n.bufferPending(qid, tag, payload)
+			n.bufferPending(f.Query, tag, payload)
 			return
 		}
-		q.collectPartial(window, row)
+		q.collectPartial(f.Window, rows[0])
 	case tagJoin:
-		qid, window, side, row, err := decodeJoinMsg(payload)
-		if err != nil || side > 1 {
+		f, rows, err := decodeTupleMsg(payload)
+		if err != nil || len(rows) != 1 || f.Side > 1 {
 			return
 		}
-		q := n.getQuery(qid, nil)
+		q := n.getQuery(f.Query, nil)
 		if q == nil {
-			n.bufferPending(qid, tag, payload)
+			n.bufferPending(f.Query, tag, payload)
 			return
 		}
-		q.collectJoinTuple(window, side, row)
+		q.collectJoinTuple(f.Window, int(f.Stage), int(f.Side), rows[0])
 	}
 }
 
@@ -400,12 +419,12 @@ func (n *Node) replayPending(q *queryState) {
 	for _, m := range msgs {
 		switch m.tag {
 		case tagAgg:
-			if qid, window, row, err := decodeAggMsg(m.payload); err == nil && qid == q.id {
-				q.collectPartial(window, row)
+			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) == 1 {
+				q.collectPartial(f.Window, rows[0])
 			}
 		case tagJoin:
-			if qid, window, side, row, err := decodeJoinMsg(m.payload); err == nil && qid == q.id && side <= 1 {
-				q.collectJoinTuple(window, side, row)
+			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) == 1 && f.Side <= 1 {
+				q.collectJoinTuple(f.Window, int(f.Stage), int(f.Side), rows[0])
 			}
 		}
 	}
@@ -418,15 +437,15 @@ func (n *Node) onIntercept(key id.ID, tag string, payload []byte) ([]byte, bool)
 	if tag != tagAgg {
 		return payload, true
 	}
-	qid, window, row, err := decodeAggMsg(payload)
-	if err != nil {
+	f, rows, err := decodeTupleMsg(payload)
+	if err != nil || len(rows) != 1 {
 		return payload, true
 	}
-	q := n.getQuery(qid, nil)
+	q := n.getQuery(f.Query, nil)
 	if q == nil || !q.spec.IsAggregate() {
 		return payload, true // unknown query: pass through
 	}
-	if q.combineInto(key, window, row) {
+	if q.combineInto(key, f.Window, rows[0]) {
 		n.Metrics.PartialsCombined.Add(1)
 		return nil, false // buffered; a timer will re-route the merge
 	}
@@ -438,15 +457,15 @@ func (n *Node) onIntercept(key id.ID, tag string, payload []byte) ([]byte, bool)
 
 func (n *Node) registerHandlers() {
 	n.peer.Handle(methRows, func(from string, req []byte) ([]byte, error) {
-		qid, window, rows, err := decodeRowsMsg(req)
+		f, rows, err := decodeTupleMsg(req)
 		if err != nil {
 			return nil, err
 		}
-		q := n.getQuery(qid, nil)
+		q := n.getQuery(f.Query, nil)
 		if q == nil || !q.isCoord {
 			return nil, nil
 		}
-		q.coordAddRows(window, rows)
+		q.coordAddRows(f.Window, rows)
 		return nil, nil
 	})
 	n.peer.Handle(methDone, func(from string, req []byte) ([]byte, error) {
@@ -468,6 +487,7 @@ func (n *Node) registerHandlers() {
 	n.peer.Handle(methStats, func(from string, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		qid := r.Uint64()
+		channel := r.String()
 		a, err := plan.DecodeAnalysis(r)
 		if err != nil {
 			return nil, err
@@ -479,12 +499,9 @@ func (n *Node) registerHandlers() {
 		if q == nil || !q.isCoord {
 			return nil, nil
 		}
-		q.coMu.Lock()
-		if q.analysis == nil {
-			q.analysis = &plan.Analysis{}
-		}
-		q.analysis.Merge(a.Ops...)
-		q.coMu.Unlock()
+		// Latest snapshot per (node, channel) replaces the previous
+		// one — counters are cumulative at the sender.
+		q.setNodeStats(from, channel, a)
 		return nil, nil
 	})
 	n.peer.Handle(methBloom, func(from string, req []byte) ([]byte, error) {

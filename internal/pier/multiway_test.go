@@ -1,0 +1,232 @@
+package pier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+var (
+	usersSchema = tuple.MustSchema("users", []tuple.Column{
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "name", Type: tuple.TString},
+	}, "uid")
+	ordersSchema = tuple.MustSchema("orders", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "oid", Type: tuple.TInt},
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "item", Type: tuple.TInt},
+	}, "node", "oid")
+	itemsSchema = tuple.MustSchema("items", []tuple.Column{
+		{Name: "item", Type: tuple.TInt},
+		{Name: "price", Type: tuple.TFloat},
+	}, "item")
+)
+
+const multiwaySQL = "SELECT o.oid, u.name, i.price FROM orders o JOIN users u ON o.uid = u.uid JOIN items i ON o.item = i.item"
+
+// seedMultiway loads the 3-table workload: users and items into the
+// DHT (keyed on the join columns), orders local per node. Returns the
+// expected result rows in canonical sorted-encoding order.
+func seedMultiway(t *testing.T, nodes []*Node, ordersPerNode, nUsers, nItems int) []string {
+	t.Helper()
+	for _, nd := range nodes {
+		defineEverywhere(t, []*Node{nd}, usersSchema, time.Minute)
+		defineEverywhere(t, []*Node{nd}, ordersSchema, time.Minute)
+		defineEverywhere(t, []*Node{nd}, itemsSchema, time.Minute)
+	}
+	for u := 0; u < nUsers; u++ {
+		if err := nodes[u%len(nodes)].Publish("users",
+			tuple.Tuple{tuple.Int(int64(u)), tuple.String(fmt.Sprintf("user-%d", u))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for it := 0; it < nItems; it++ {
+		if err := nodes[it%len(nodes)].Publish("items",
+			tuple.Tuple{tuple.Int(int64(it)), tuple.Float(float64(it) + 0.5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var want []string
+	for i, nd := range nodes {
+		for j := 0; j < ordersPerNode; j++ {
+			oid := i*ordersPerNode + j
+			uid, item := oid%nUsers, oid%nItems
+			if err := nd.PublishLocal("orders", tuple.Tuple{
+				tuple.String(nd.Addr()), tuple.Int(int64(oid)),
+				tuple.Int(int64(uid)), tuple.Int(int64(item)),
+			}); err != nil {
+				t.Fatal(err)
+			}
+			row := tuple.Tuple{tuple.Int(int64(oid)),
+				tuple.String(fmt.Sprintf("user-%d", uid)), tuple.Float(float64(item) + 0.5)}
+			want = append(want, string(row.Bytes()))
+		}
+	}
+	sort.Strings(want)
+	time.Sleep(400 * time.Millisecond) // let DHT puts land
+	return want
+}
+
+func sortedRowEncodings(rows []tuple.Tuple) []string {
+	out := make([]string, len(rows))
+	for i, r := range rows {
+		out[i] = string(r.Bytes())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func assertSameRows(t *testing.T, got []tuple.Tuple, want []string, label string) {
+	t.Helper()
+	enc := sortedRowEncodings(got)
+	if len(enc) != len(want) {
+		t.Fatalf("%s: %d rows, want %d", label, len(enc), len(want))
+	}
+	for i := range enc {
+		if enc[i] != want[i] {
+			t.Fatalf("%s: row %d differs", label, i)
+		}
+	}
+}
+
+// TestMultiwayJoinStrategies runs the same 3-table join under every
+// forcible strategy; all must return the expected rows.
+func TestMultiwayJoinStrategies(t *testing.T) {
+	nodes, _ := cluster(t, 6, 21)
+	want := seedMultiway(t, nodes, 3, 5, 4)
+	for _, strat := range []plan.JoinStrategy{plan.SymmetricHash, plan.FetchMatches} {
+		s := strat
+		res, err := nodes[0].QueryWithOptions(context.Background(), multiwaySQL,
+			plan.Options{Strategy: &s})
+		if err != nil {
+			t.Fatalf("%v: %v", strat, err)
+		}
+		assertSameRows(t, res.Rows, want, strat.String())
+	}
+}
+
+// TestMultiwayJoinOptimizedMixed declares stats that make the
+// optimizer pick symmetric hash for the first stage and a
+// fetch-matches probe (run in place at the stage-0 collectors) for
+// the second, and verifies plan shape and result rows.
+func TestMultiwayJoinOptimizedMixed(t *testing.T) {
+	nodes, _ := cluster(t, 6, 22)
+	want := seedMultiway(t, nodes, 3, 5, 4)
+	for tbl, st := range map[string]catalog.TableStats{
+		"users":  {Rows: 100, Distinct: map[string]int64{"uid": 100}},
+		"orders": {Rows: 500, Distinct: map[string]int64{"uid": 80, "item": 50}},
+		"items":  {Rows: 10000, Distinct: map[string]int64{"item": 10000}},
+	} {
+		if err := nodes[0].SetTableStats(tbl, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	explain, err := nodes[0].Explain(multiwaySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, wantLine := range []string{"Join#0 (symmetric-hash)", "Join#1 (fetch-matches)"} {
+		if !strings.Contains(explain, wantLine) {
+			t.Fatalf("optimizer plan missing %q:\n%s", wantLine, explain)
+		}
+	}
+	res, err := nodes[0].Query(context.Background(), multiwaySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, res.Rows, want, "optimized")
+}
+
+// TestMultiwayExplainAnalyzeStages forces the all-symmetric plan (two
+// stacked collector stages) and checks EXPLAIN ANALYZE attributes
+// counters to each join stage separately.
+func TestMultiwayExplainAnalyzeStages(t *testing.T) {
+	nodes, _ := cluster(t, 6, 23)
+	want := seedMultiway(t, nodes, 3, 5, 4)
+	sym := plan.SymmetricHash
+	res, err := nodes[0].QueryWithOptions(context.Background(), multiwaySQL,
+		plan.Options{Strategy: &sym, Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameRows(t, res.Rows, want, "analyze")
+	for _, stage := range []string{"join-collector.0:", "join-collector.1:"} {
+		if !strings.Contains(res.AnalyzeReport, stage) {
+			t.Fatalf("EXPLAIN ANALYZE missing %q:\n%s", stage, res.AnalyzeReport)
+		}
+	}
+	// The stage-0 collectors rehash joined rows onward to stage 1.
+	if !strings.Contains(res.AnalyzeReport, "rehash.1.l") {
+		t.Fatalf("stage-0 collector should rehash to stage 1:\n%s", res.AnalyzeReport)
+	}
+}
+
+// TestContinuousAnalyzeStreams checks the per-window stats stream: a
+// continuous query compiled with Analyze surfaces network-wide
+// operator counters while it is still running.
+func TestContinuousAnalyzeStreams(t *testing.T) {
+	nodes, _ := cluster(t, 3, 24)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	for _, nd := range nodes {
+		nd := nd
+		go func() {
+			for i := 0; ; i++ {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(50 * time.Millisecond):
+				}
+				nd.PublishLocal("traffic", tuple.Tuple{tuple.String(fmt.Sprintf("%s-%d", nd.Addr(), i)), tuple.Float(2)})
+			}
+		}()
+	}
+	cont, err := nodes[0].QueryContinuousWithOptions(context.Background(),
+		"SELECT SUM(rate) FROM traffic WINDOW 400 ms SLIDE 400 ms",
+		plan.Options{Analyze: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cont.Stop()
+	// Drain a couple of windows, then poll until every node's
+	// periodic snapshot arrived (participants re-ship per window).
+	for i := 0; i < 2; i++ {
+		select {
+		case <-cont.Results():
+		case <-time.After(5 * time.Second):
+			t.Fatal("no window results")
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		a := cont.Analysis()
+		var srcNodes uint64
+		if a != nil {
+			for _, op := range a.Ops {
+				if op.Stage == "participant" && op.Op == "window-src" {
+					srcNodes = op.Nodes
+				}
+			}
+		}
+		if srcNodes >= uint64(len(nodes)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("window-src counters from %d nodes, want %d:\n%s",
+				srcNodes, len(nodes), cont.AnalyzeReport())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if !strings.Contains(cont.AnalyzeReport(), "EXPLAIN ANALYZE") {
+		t.Fatal("AnalyzeReport not rendered")
+	}
+}

@@ -2,6 +2,7 @@ package pier
 
 import (
 	"context"
+	"sync"
 	"time"
 
 	"repro/internal/dataflow"
@@ -102,9 +103,54 @@ func (q *queryState) participateContinuous() {
 		admit(it.Payload, time.Now())
 	})
 	defer q.node.store.Unsubscribe(sc.Namespace)
+	if spec.Analyze {
+		// Ship cumulative counter snapshots once per window close, so
+		// the coordinator can render EXPLAIN ANALYZE while the query
+		// is still running (snapshots replace, never double count).
+		stop := q.startPeriodicStats()
+		defer stop()
+	}
 	// Runs until the LIVE horizon ends the source or the query is
 	// torn down.
 	_ = pipe.Run(q.ctx)
+}
+
+// startPeriodicStats ships a stats snapshot per window slide, aligned
+// just after the absolute window boundaries the WindowTicker uses.
+// Returns a stop function (idempotent with query teardown, which
+// ships the final snapshot through shipStats).
+func (q *queryState) startPeriodicStats() func() {
+	slide := time.Duration(q.spec.Slide)
+	if slide <= 0 {
+		slide = time.Duration(q.spec.Window)
+	}
+	if slide <= 0 {
+		return func() {}
+	}
+	// Offset the ship point past the boundary so the window's ship
+	// and flush work is already counted in the snapshot. Boundaries
+	// are absolute unix-time multiples of the slide — the same
+	// formula WindowTicker punctuates on.
+	const offset = 20 * time.Millisecond
+	slideNS := int64(slide)
+	done := make(chan struct{})
+	q.node.wg.Add(1)
+	go func() {
+		defer q.node.wg.Done()
+		for {
+			next := time.Unix(0, (time.Now().UnixNano()/slideNS+1)*slideNS).Add(offset)
+			select {
+			case <-q.ctx.Done():
+				return
+			case <-done:
+				return
+			case <-time.After(time.Until(next)):
+				q.shipStatsSnapshot()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() { once.Do(func() { close(done) }) }
 }
 
 // ---------------------------------------------------------------------------
@@ -117,7 +163,7 @@ func (q *queryState) shipPartial(window uint64, partial tuple.Tuple) int {
 	groupKey := partial[:nGroup].Bytes()
 	key := aggCollectorKey(q.id, groupKey)
 	q.node.Metrics.PartialsSent.Add(1)
-	payload := encodeAggMsg(q.id, window, partial)
+	payload := encodeTupleMsg(q.id, window, 0, 0, partial)
 	_ = q.node.router.Route(key, tagAgg, payload)
 	return len(payload)
 }
@@ -134,7 +180,7 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 		if end > len(rows) {
 			end = len(rows)
 		}
-		payload := encodeRowsMsg(q.id, window, rows[off:end])
+		payload := encodeTupleMsg(q.id, window, 0, 0, rows[off:end]...)
 		total += len(payload)
 		ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
 		_, _ = q.node.peer.Call(ctx, q.coord, methRows, payload)
@@ -143,23 +189,23 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 	return total
 }
 
-// rehashShip routes one tuple of side toward the collector
-// responsible for its join-key value.
-func (q *queryState) rehashShip(side int, window uint64, key []byte, t tuple.Tuple) int {
+// rehashShip routes one tuple of one join stage's side toward the
+// collector responsible for its join-key value at that stage.
+func (q *queryState) rehashShip(stage, side int, window uint64, key []byte, t tuple.Tuple) int {
 	q.node.Metrics.JoinTuplesRehashed.Add(1)
-	k := joinCollectorKey(q.id, key)
-	payload := encodeJoinMsg(q.id, window, side, t)
+	k := joinCollectorKey(q.id, stage, key)
+	payload := encodeTupleMsg(q.id, window, uint8(stage), uint8(side), t)
 	_ = q.node.router.Route(k, tagJoin, payload)
 	return len(payload)
 }
 
-// fetchProbe resolves one fetch-matches probe against the right
+// fetchProbe resolves one fetch-matches probe against the probed
 // table's DHT namespace.
-func (q *queryState) fetchProbe(ctx context.Context, rid id.ID) ([][]byte, error) {
+func (q *queryState) fetchProbe(ctx context.Context, ns string, rid id.ID) ([][]byte, error) {
 	q.node.Metrics.FetchProbes.Add(1)
 	cctx, cancel := context.WithTimeout(ctx, 2*time.Second)
 	defer cancel()
-	return q.node.store.Get(cctx, q.spec.Scans[1].Namespace, rid)
+	return q.node.store.Get(cctx, ns, rid)
 }
 
 // ---------------------------------------------------------------------------

@@ -266,6 +266,14 @@ func (n *Node) DefineTable(schema *tuple.Schema, ttl time.Duration) error {
 	return err
 }
 
+// SetTableStats declares planner statistics for a table on this node.
+// Stats are purely local hints: the cost-based optimizer of whichever
+// node coordinates a query consults its own catalog, and the chosen
+// plan travels with the query.
+func (n *Node) SetTableStats(table string, stats catalog.TableStats) error {
+	return n.cat.SetStats(table, stats)
+}
+
 // Publish inserts a tuple into the table's DHT namespace: it is
 // routed to the owner of its resource ID and replicated — PIER's
 // "put" path, used by content-indexed tables like the file-sharing

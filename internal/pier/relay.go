@@ -67,7 +67,7 @@ func (q *queryState) combineInto(key idKey, window uint64, partial tuple.Tuple) 
 				return
 			}
 			merged := append(e.group.Clone(), e.acc.StateValues()...)
-			_ = q.node.router.Route(key, tagAgg, encodeAggMsg(q.id, window, merged))
+			_ = q.node.router.Route(key, tagAgg, encodeTupleMsg(q.id, window, 0, 0, merged))
 		})
 	}
 	return true

@@ -21,9 +21,17 @@ func (s *Spec) Encode(w *wire.Writer) {
 		w.String(sc.Namespace)
 		tuple.EncodeSchema(w, sc.Schema)
 		expr.Encode(w, sc.Where)
-		encodeInts(w, sc.JoinCols)
 	}
-	w.Byte(byte(s.Strategy))
+	w.Uvarint(uint64(len(s.Joins)))
+	for i := range s.Joins {
+		j := &s.Joins[i]
+		w.Byte(byte(j.Strategy))
+		encodeInts(w, j.LeftCols)
+		encodeInts(w, j.RightCols)
+		w.Varint(j.EstLeft)
+		w.Varint(j.EstRight)
+		w.Varint(j.EstRows)
+	}
 	expr.Encode(w, s.PostFilter)
 	w.Uvarint(uint64(len(s.Proj)))
 	for _, e := range s.Proj {
@@ -65,7 +73,7 @@ func (s *Spec) Bytes() []byte {
 func Decode(r *wire.Reader) (*Spec, error) {
 	s := &Spec{}
 	nScans := int(r.Uvarint())
-	if nScans > 2 {
+	if nScans > MaxTables {
 		return nil, fmt.Errorf("plan: %d scans in spec", nScans)
 	}
 	for i := 0; i < nScans; i++ {
@@ -81,14 +89,51 @@ func Decode(r *wire.Reader) (*Spec, error) {
 		if err != nil {
 			return nil, err
 		}
-		sc.JoinCols, err = decodeInts(r)
-		if err != nil {
-			return nil, err
-		}
 		s.Scans = append(s.Scans, sc)
 	}
-	s.Strategy = JoinStrategy(r.Byte())
+	nJoins := int(r.Uvarint())
+	wantJoins := 0
+	if nScans > 1 {
+		wantJoins = nScans - 1
+	}
+	if nJoins != wantJoins {
+		return nil, fmt.Errorf("plan: %d join stages for %d scans", nJoins, nScans)
+	}
 	var err error
+	for i := 0; i < nJoins; i++ {
+		var j JoinSpec
+		j.Strategy = JoinStrategy(r.Byte())
+		if j.Strategy > BloomJoin {
+			return nil, fmt.Errorf("plan: unknown join strategy %d", j.Strategy)
+		}
+		if j.LeftCols, err = decodeInts(r); err != nil {
+			return nil, err
+		}
+		if j.RightCols, err = decodeInts(r); err != nil {
+			return nil, err
+		}
+		// Column indexes drive Tuple.Project and probe ordering on
+		// every node; reject out-of-range or mismatched lists here so
+		// a corrupt spec fails the decode instead of panicking an
+		// executor.
+		if len(j.LeftCols) == 0 || len(j.LeftCols) != len(j.RightCols) {
+			return nil, fmt.Errorf("plan: join stage %d has %d left / %d right columns",
+				i, len(j.LeftCols), len(j.RightCols))
+		}
+		leftArity, rightArity := s.LeftArity(i), s.Scans[i+1].Schema.Arity()
+		for p := range j.LeftCols {
+			if j.LeftCols[p] < 0 || j.LeftCols[p] >= leftArity {
+				return nil, fmt.Errorf("plan: join stage %d left column %d out of range", i, j.LeftCols[p])
+			}
+			if j.RightCols[p] < 0 || j.RightCols[p] >= rightArity {
+				return nil, fmt.Errorf("plan: join stage %d right column %d out of range", i, j.RightCols[p])
+			}
+		}
+		j.EstLeft = r.Varint()
+		j.EstRight = r.Varint()
+		j.EstRows = r.Varint()
+		s.Joins = append(s.Joins, j)
+	}
 	s.PostFilter, err = expr.Decode(r)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,152 @@
+package plan
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/ops"
+	"repro/internal/tuple"
+)
+
+// randSpec builds an arbitrary (structurally valid) join-tree spec:
+// 1..5 scans, per-stage strategies and join columns, optional
+// filters, aggregates, ordering, continuous clauses, and Analyze.
+// Everything the wire codec carries is exercised.
+func randSpec(r *rand.Rand) *Spec {
+	nScans := 1 + r.Intn(5)
+	s := &Spec{Limit: -1}
+	for i := 0; i < nScans; i++ {
+		arity := 1 + r.Intn(4)
+		cols := make([]tuple.Column, arity)
+		for c := range cols {
+			cols[c] = tuple.Column{Name: fmt.Sprintf("t%d.c%d", i, c), Type: tuple.TInt}
+		}
+		sch := &tuple.Schema{Name: fmt.Sprintf("t%d", i), Columns: cols}
+		if r.Intn(2) == 0 {
+			sch.Key = []int{r.Intn(arity)}
+		}
+		sc := ScanSpec{
+			Table:     fmt.Sprintf("t%d", i),
+			Namespace: fmt.Sprintf("table:t%d", i),
+			Schema:    sch,
+		}
+		if r.Intn(3) == 0 {
+			sc.Where = &expr.Cmp{Op: expr.GT,
+				L: &expr.Col{Name: cols[0].Name, Index: 0},
+				R: expr.NewLit(tuple.Int(int64(r.Intn(100))))}
+		}
+		s.Scans = append(s.Scans, sc)
+	}
+	for k := 0; k < nScans-1; k++ {
+		j := JoinSpec{
+			Strategy: JoinStrategy(r.Intn(3)),
+			EstLeft:  int64(r.Intn(10000)),
+			EstRight: int64(r.Intn(10000)),
+			EstRows:  int64(r.Intn(100000)),
+		}
+		if j.Strategy == BloomJoin && k > 0 {
+			j.Strategy = SymmetricHash
+		}
+		nPreds := 1 + r.Intn(2)
+		for p := 0; p < nPreds; p++ {
+			j.LeftCols = append(j.LeftCols, r.Intn(s.LeftArity(k)))
+			j.RightCols = append(j.RightCols, r.Intn(s.Scans[k+1].Schema.Arity()))
+		}
+		s.Joins = append(s.Joins, j)
+	}
+	if r.Intn(3) == 0 {
+		s.PostFilter = &expr.Cmp{Op: expr.NE,
+			L: &expr.Col{Name: "x", Index: r.Intn(s.LeftArity(nScans - 1))},
+			R: expr.NewLit(tuple.Int(7))}
+	}
+	nProj := 1 + r.Intn(3)
+	for i := 0; i < nProj; i++ {
+		s.Proj = append(s.Proj, &expr.Col{Name: fmt.Sprintf("p%d", i), Index: i % s.LeftArity(nScans-1)})
+		s.OutPerm = append(s.OutPerm, i)
+		s.OutNames = append(s.OutNames, fmt.Sprintf("out%d", i))
+	}
+	if r.Intn(2) == 0 {
+		s.GroupCols = []int{0}
+		s.Aggs = []ops.AggSpec{{Func: ops.AggFunc(r.Intn(5)), ArgCol: -1 + r.Intn(nProj+1)}}
+		if r.Intn(2) == 0 {
+			s.Having = &expr.Cmp{Op: expr.GE,
+				L: &expr.Col{Name: "h", Index: 1}, R: expr.NewLit(tuple.Int(3))}
+		}
+	}
+	if r.Intn(2) == 0 {
+		s.OrderCols = []int{0}
+		s.OrderDesc = []bool{r.Intn(2) == 0}
+		s.Limit = r.Intn(50)
+	}
+	s.Distinct = r.Intn(4) == 0
+	if r.Intn(3) == 0 {
+		s.Window = int64(1+r.Intn(10)) * 1e9
+		s.Slide = int64(1+r.Intn(10)) * 1e8
+		s.Live = int64(r.Intn(60)) * 1e9
+	}
+	s.Analyze = r.Intn(2) == 0
+	return s
+}
+
+// TestSpecCodecRandomTrees round-trips arbitrary join trees:
+// encode → decode → encode must be byte-identical, and the decoded
+// structure must match stage for stage.
+func TestSpecCodecRandomTrees(t *testing.T) {
+	r := rand.New(rand.NewSource(42))
+	for i := 0; i < 500; i++ {
+		spec := randSpec(r)
+		buf := spec.Bytes()
+		decoded, err := FromBytes(buf)
+		if err != nil {
+			t.Fatalf("iter %d: decode: %v", i, err)
+		}
+		if !bytes.Equal(decoded.Bytes(), buf) {
+			t.Fatalf("iter %d: codec not idempotent", i)
+		}
+		if len(decoded.Scans) != len(spec.Scans) || len(decoded.Joins) != len(spec.Joins) {
+			t.Fatalf("iter %d: tree shape changed", i)
+		}
+		for k := range spec.Joins {
+			if decoded.Joins[k].Strategy != spec.Joins[k].Strategy ||
+				decoded.Joins[k].EstRows != spec.Joins[k].EstRows {
+				t.Fatalf("iter %d: stage %d changed across codec", i, k)
+			}
+			if fmt.Sprint(decoded.Joins[k].LeftCols) != fmt.Sprint(spec.Joins[k].LeftCols) ||
+				fmt.Sprint(decoded.Joins[k].RightCols) != fmt.Sprint(spec.Joins[k].RightCols) {
+				t.Fatalf("iter %d: stage %d join cols changed", i, k)
+			}
+		}
+		if decoded.Analyze != spec.Analyze {
+			t.Fatalf("iter %d: Analyze flag lost", i)
+		}
+	}
+}
+
+// FuzzSpecCodec feeds arbitrary bytes to the decoder: it must never
+// panic, and anything it accepts must re-encode to a stable canonical
+// form (decode(encode(x)) == x for the encoded form).
+func FuzzSpecCodec(f *testing.F) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 16; i++ {
+		f.Add(randSpec(r).Bytes())
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x03})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := FromBytes(data)
+		if err != nil {
+			return
+		}
+		canonical := spec.Bytes()
+		again, err := FromBytes(canonical)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v", err)
+		}
+		if !bytes.Equal(again.Bytes(), canonical) {
+			t.Fatal("canonical form not a fixed point")
+		}
+	})
+}

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -67,16 +68,49 @@ func (s *Spec) Explain() string {
 	if s.PostFilter != nil {
 		indent(d, "Filter %s", s.PostFilter)
 	}
-	if len(s.Scans) == 2 {
-		indent(d, "Join (%s) on left%v = right%v", s.Strategy, s.Scans[0].JoinCols, s.Scans[1].JoinCols)
-		d++
-	}
-	for _, sc := range s.Scans {
+	scan := func(depth, i int) {
+		sc := &s.Scans[i]
 		line := fmt.Sprintf("Scan %s [%s]", sc.Table, sc.Namespace)
 		if sc.Where != nil {
 			line += fmt.Sprintf(" filter %s", sc.Where)
 		}
-		indent(d, "%s", line)
+		indent(depth, "%s", line)
+	}
+	// The left-deep join chain renders as a nested tree, top stage
+	// first: each stage names its strategy, its equi-join predicate
+	// (columns named via the accumulated left schema), and the
+	// optimizer's cardinality estimate.
+	var renderJoin func(depth, stage int)
+	renderJoin = func(depth, stage int) {
+		j := &s.Joins[stage]
+		left := s.LeftSchema(stage)
+		right := s.Scans[stage+1].Schema
+		preds := make([]string, len(j.LeftCols))
+		for i := range j.LeftCols {
+			lname, rname := fmt.Sprintf("#%d", j.LeftCols[i]), fmt.Sprintf("#%d", j.RightCols[i])
+			if j.LeftCols[i] < left.Arity() {
+				lname = left.Columns[j.LeftCols[i]].Name
+			}
+			if j.RightCols[i] < right.Arity() {
+				rname = right.Columns[j.RightCols[i]].Name
+			}
+			preds[i] = fmt.Sprintf("%s = %s", lname, rname)
+		}
+		indent(depth, "Join#%d (%s) on %s est_rows=%d", stage, j.Strategy,
+			strings.Join(preds, " AND "), j.EstRows)
+		if stage == 0 {
+			scan(depth+1, 0)
+		} else {
+			renderJoin(depth+1, stage-1)
+		}
+		scan(depth+1, stage+1)
+	}
+	if len(s.Joins) > 0 {
+		renderJoin(d, len(s.Joins)-1)
+	} else {
+		for i := range s.Scans {
+			scan(d, i)
+		}
 	}
 	return b.String()
 }
@@ -94,7 +128,7 @@ func (s *Spec) Explain() string {
 // every pipeline instance that ran it.
 type OpStats struct {
 	// Stage names the pipeline the operator ran in: "participant",
-	// "join-collector", "agg-collector", or "coordinator".
+	// "join-collector.<stage>", "agg-collector", or "coordinator".
 	Stage string
 	// Op is the operator's display name within the pipeline.
 	Op string
@@ -183,18 +217,27 @@ func DecodeAnalysis(r *wire.Reader) (*Analysis, error) {
 }
 
 // stageRank orders pipeline stages data-flow-wise for rendering.
+// Join collectors are named per join stage ("join-collector.0",
+// "join-collector.1", …) and rank in stage order between the
+// participants and the aggregation collectors.
 func stageRank(stage string) int {
-	switch stage {
-	case "participant":
+	switch {
+	case stage == "participant":
 		return 0
-	case "join-collector":
-		return 1
-	case "agg-collector":
-		return 2
-	case "coordinator":
-		return 3
+	case strings.HasPrefix(stage, "join-collector"):
+		rank := 1
+		if i := strings.IndexByte(stage, '.'); i >= 0 {
+			if n, err := strconv.Atoi(stage[i+1:]); err == nil {
+				rank += n
+			}
+		}
+		return rank
+	case stage == "agg-collector":
+		return 1 + MaxTables
+	case stage == "coordinator":
+		return 2 + MaxTables
 	}
-	return 4
+	return 3 + MaxTables
 }
 
 // ExplainAnalyze renders the plan followed by the per-operator

@@ -33,7 +33,7 @@ func TestExplainJoinPlan(t *testing.T) {
 		"SELECT a.node FROM alerts a JOIN rules r ON a.rule = r.rule WHERE a.hits > 5",
 		Options{})
 	out := spec.Explain()
-	for _, want := range []string{"Join (fetch-matches)", "Scan alerts", "Scan rules", "filter"} {
+	for _, want := range []string{"Join#0 (fetch-matches)", "a.rule = r.rule", "est_rows=", "Scan alerts", "Scan rules", "filter"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("explain missing %q:\n%s", want, out)
 		}

@@ -1,0 +1,202 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/sqlparser"
+	"repro/internal/tuple"
+)
+
+// multiwayCatalog defines the 3-table workload the optimizer tests
+// exercise: orders (local facts), users and items (DHT tables keyed
+// on the join columns, so fetch-matches is legal against them).
+func multiwayCatalog(t *testing.T) *catalog.Catalog {
+	t.Helper()
+	cat := catalog.New()
+	for _, s := range []*tuple.Schema{
+		tuple.MustSchema("users", []tuple.Column{
+			{Name: "uid", Type: tuple.TInt},
+			{Name: "name", Type: tuple.TString},
+		}, "uid"),
+		tuple.MustSchema("orders", []tuple.Column{
+			{Name: "oid", Type: tuple.TInt},
+			{Name: "uid", Type: tuple.TInt},
+			{Name: "item", Type: tuple.TInt},
+		}, "oid"),
+		tuple.MustSchema("items", []tuple.Column{
+			{Name: "item", Type: tuple.TInt},
+			{Name: "price", Type: tuple.TFloat},
+		}, "item"),
+	} {
+		if _, err := cat.Define(s, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return cat
+}
+
+const threeWaySQL = "SELECT o.oid, u.name, i.price FROM orders o JOIN users u ON o.uid = u.uid JOIN items i ON o.item = i.item"
+
+func compileWith(t *testing.T, cat *catalog.Catalog, sql string, opts Options) *Spec {
+	t.Helper()
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := Compile(stmt, cat, opts)
+	if err != nil {
+		t.Fatalf("Compile(%q): %v", sql, err)
+	}
+	return spec
+}
+
+func joinOrder(spec *Spec) []string {
+	out := make([]string, len(spec.Scans))
+	for i, sc := range spec.Scans {
+		out[i] = sc.Table
+	}
+	return out
+}
+
+// TestOptimizerThreeWayShape checks the basic multiway compile: three
+// scans, two stages, each consuming one equi-join predicate.
+func TestOptimizerThreeWayShape(t *testing.T) {
+	spec := compileWith(t, multiwayCatalog(t), threeWaySQL, Options{})
+	if len(spec.Scans) != 3 || len(spec.Joins) != 2 {
+		t.Fatalf("scans=%d joins=%d", len(spec.Scans), len(spec.Joins))
+	}
+	for k, j := range spec.Joins {
+		if len(j.LeftCols) != 1 || len(j.RightCols) != 1 {
+			t.Fatalf("stage %d cols %v/%v", k, j.LeftCols, j.RightCols)
+		}
+		if j.LeftCols[0] >= spec.LeftArity(k) || j.RightCols[0] >= spec.Scans[k+1].Schema.Arity() {
+			t.Fatalf("stage %d cols out of range: %v/%v", k, j.LeftCols, j.RightCols)
+		}
+		if j.EstRows <= 0 {
+			t.Fatalf("stage %d missing cardinality estimate", k)
+		}
+	}
+}
+
+// TestOptimizerStatsDriveStrategies: a production-shaped stats
+// declaration (small users, huge items) must flip the second stage to
+// fetch-matches while the first stays symmetric.
+func TestOptimizerStatsDriveStrategies(t *testing.T) {
+	cat := multiwayCatalog(t)
+	mustStats := func(tbl string, st catalog.TableStats) {
+		t.Helper()
+		if err := cat.SetStats(tbl, st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustStats("users", catalog.TableStats{Rows: 100, Distinct: map[string]int64{"uid": 100}})
+	mustStats("orders", catalog.TableStats{Rows: 500, Distinct: map[string]int64{"uid": 80, "item": 50}})
+	mustStats("items", catalog.TableStats{Rows: 10000, Distinct: map[string]int64{"item": 10000}})
+	spec := compileWith(t, cat, threeWaySQL, Options{})
+	if got := joinOrder(spec); got[0] != "orders" {
+		t.Fatalf("join order %v, want orders first", got)
+	}
+	if spec.Joins[0].Strategy != SymmetricHash {
+		t.Fatalf("stage 0 strategy %v, want symmetric-hash", spec.Joins[0].Strategy)
+	}
+	if spec.Joins[1].Strategy != FetchMatches {
+		t.Fatalf("stage 1 strategy %v, want fetch-matches", spec.Joins[1].Strategy)
+	}
+}
+
+// TestOptimizerPrefersBloomAtLowMatchRate: when stats say few right
+// tuples can match (tiny left key domain vs a huge unkeyed-right
+// table), the first stage should pick the Bloom rewrite.
+func TestOptimizerPrefersBloomAtLowMatchRate(t *testing.T) {
+	cat := catalog.New()
+	for _, s := range []*tuple.Schema{
+		tuple.MustSchema("l", []tuple.Column{
+			{Name: "node", Type: tuple.TString},
+			{Name: "k", Type: tuple.TInt},
+		}, "node", "k"),
+		// Right keyed off the join column: fetch-matches illegal.
+		tuple.MustSchema("r", []tuple.Column{
+			{Name: "k", Type: tuple.TInt},
+			{Name: "info", Type: tuple.TString},
+		}, "info"),
+	} {
+		if _, err := cat.Define(s, time.Minute); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.SetStats("l", catalog.TableStats{Rows: 100, Distinct: map[string]int64{"k": 10}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.SetStats("r", catalog.TableStats{Rows: 10000, Distinct: map[string]int64{"k": 10000}}); err != nil {
+		t.Fatal(err)
+	}
+	spec := compileWith(t, cat, "SELECT a.node, b.info FROM l a JOIN r b ON a.k = b.k", Options{})
+	if spec.Joins[0].Strategy != BloomJoin {
+		t.Fatalf("strategy %v, want bloom", spec.Joins[0].Strategy)
+	}
+	if spec.Scans[0].Table != "l" {
+		t.Fatalf("bloom plan must scan the small side first, got %v", joinOrder(spec))
+	}
+}
+
+// TestOptimizerRejectsDisconnectedGraph: a table with no equality
+// predicate linking it to the rest is a cross product — rejected.
+func TestOptimizerRejectsDisconnectedGraph(t *testing.T) {
+	cat := multiwayCatalog(t)
+	stmt, err := sqlparser.Parse("SELECT o.oid FROM orders o, users u, items i WHERE o.uid = u.uid")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(stmt, cat, Options{}); err == nil {
+		t.Fatal("disconnected join graph accepted")
+	}
+}
+
+// TestOptimizerForcedBloomBeyondStageZeroRejected: Bloom is only
+// legal on the first stage; forcing it on a 3-table plan errors.
+func TestOptimizerForcedBloomBeyondStageZeroRejected(t *testing.T) {
+	cat := multiwayCatalog(t)
+	stmt, err := sqlparser.Parse(threeWaySQL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bl := BloomJoin
+	if _, err := Compile(stmt, cat, Options{Strategy: &bl}); err == nil {
+		t.Fatal("forced bloom on a later stage accepted")
+	}
+}
+
+// TestOptimizerTableLimit: more than MaxTables inputs are rejected
+// (the enumeration is exponential).
+func TestOptimizerTableLimit(t *testing.T) {
+	cat := multiwayCatalog(t)
+	var sb strings.Builder
+	sb.WriteString("SELECT t0.oid FROM orders t0")
+	for i := 1; i <= MaxTables; i++ {
+		// MaxTables+1 references in total.
+		sb.WriteString(", orders t")
+		sb.WriteString(string(rune('0' + i)))
+	}
+	stmt, err := sqlparser.Parse(sb.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(stmt, cat, Options{}); err == nil {
+		t.Fatal("oversized FROM accepted")
+	}
+}
+
+// TestExplainMultiwayTree: the EXPLAIN tree shows both stages nested
+// with order, strategies, and estimates.
+func TestExplainMultiwayTree(t *testing.T) {
+	spec := compileWith(t, multiwayCatalog(t), threeWaySQL, Options{})
+	out := spec.Explain()
+	for _, want := range []string{"Join#0", "Join#1", "est_rows=", "Scan orders", "Scan users", "Scan items"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("explain missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,11 +1,12 @@
 // Package plan compiles parsed SQL into the distributed plan
 // specification that PIER disseminates to every node. Compilation
-// performs the paper's rule-based optimizations: predicate pushdown
+// performs the paper's rule-based optimizations — predicate pushdown
 // into per-table scans, extraction of equi-join keys for DHT
 // rehashing, partial/final aggregate splitting for in-network
-// aggregation, and join-strategy selection (symmetric rehash,
-// fetch-matches against a table already keyed on the join columns, or
-// a Bloom-filter prefilter).
+// aggregation — and a cost-based pass (optimize.go) that enumerates
+// left-deep join orders over catalog statistics and picks a join
+// strategy (symmetric rehash, fetch-matches against a table keyed on
+// the join columns, or a Bloom-filter prefilter) per join stage.
 package plan
 
 import (
@@ -20,7 +21,7 @@ import (
 	"repro/internal/wire"
 )
 
-// JoinStrategy selects the distributed join algorithm.
+// JoinStrategy selects the distributed join algorithm of one stage.
 type JoinStrategy uint8
 
 const (
@@ -31,14 +32,20 @@ const (
 	// — valid only when the right table's declared key equals the
 	// join columns.
 	FetchMatches
-	// BloomJoin gathers per-site Bloom filters of the left join keys
-	// first and rehashes only right tuples that may match.
+	// BloomJoin gathers per-site Bloom filters of the leftmost
+	// table's join keys first and rehashes only right tuples that may
+	// match. Valid only on the first join stage, where the left input
+	// is a base table the phase-1 scan can cover.
 	BloomJoin
 )
 
 func (s JoinStrategy) String() string {
 	return [...]string{"symmetric-hash", "fetch-matches", "bloom"}[s]
 }
+
+// MaxTables bounds the FROM list; the left-deep enumeration is
+// exponential in it.
+const MaxTables = 8
 
 // ScanSpec is one table access.
 type ScanSpec struct {
@@ -50,22 +57,41 @@ type ScanSpec struct {
 	// Where is the pushed-down filter, resolved against Schema (nil
 	// for none).
 	Where expr.Expr
-	// JoinCols are this side's equi-join columns (empty without a
-	// join).
-	JoinCols []int
+}
+
+// JoinSpec is one stage of the left-deep join chain: stage k joins
+// the accumulated left input (Scans[0..k] joined) with Scans[k+1].
+type JoinSpec struct {
+	// LeftCols index into the accumulated left schema (the
+	// concatenation of Scans[0..k]); RightCols index into
+	// Scans[k+1].Schema. Parallel slices, one entry per equi-join
+	// predicate consumed at this stage.
+	LeftCols  []int
+	RightCols []int
+	// Strategy is the optimizer's (or the forced) algorithm choice.
+	Strategy JoinStrategy
+	// EstLeft/EstRight/EstRows are the optimizer's cardinality
+	// estimates (left input, right input, join output) — EXPLAIN
+	// annotations, never consulted at execution time.
+	EstLeft  int64
+	EstRight int64
+	EstRows  int64
 }
 
 // Spec is the complete distributed plan for one query block. It is
 // self-contained — schemas travel with it — so any node can execute
 // its share without catalog access.
 type Spec struct {
-	// Scans lists the 1 or 2 table accesses.
+	// Scans lists the table accesses in join order: Scans[0] is the
+	// leftmost input of the join chain.
 	Scans []ScanSpec
-	// Strategy picks the join algorithm for 2-scan plans.
-	Strategy JoinStrategy
-	// PostFilter runs after the join (or after the scan for 1-scan
-	// plans when a conjunct could not be pushed down), resolved
-	// against the work schema.
+	// Joins is the left-deep join chain (len(Scans)-1 stages; empty
+	// for single-table plans). Joins[k] joins the result of stages
+	// 0..k-1 (or Scans[0] for k=0) with Scans[k+1].
+	Joins []JoinSpec
+	// PostFilter runs after the last join (or after the scan for
+	// 1-scan plans when a conjunct could not be pushed down),
+	// resolved against the work schema.
 	PostFilter expr.Expr
 	// Proj computes the work tuple fed to aggregation or, for
 	// non-aggregate queries, the result row. Resolved against the
@@ -93,8 +119,8 @@ type Spec struct {
 	Slide  Duration
 	Live   Duration
 	// Analyze asks every node to record per-operator pipeline
-	// counters and ship them back to the coordinator at query
-	// teardown — the distributed EXPLAIN ANALYZE.
+	// counters and ship them back to the coordinator — the
+	// distributed EXPLAIN ANALYZE.
 	Analyze bool
 }
 
@@ -106,6 +132,25 @@ func (s *Spec) IsAggregate() bool { return len(s.Aggs) > 0 }
 
 // IsContinuous reports whether the plan is a continuous query.
 func (s *Spec) IsContinuous() bool { return s.Window > 0 }
+
+// LeftArity is the width of join stage k's accumulated left input:
+// the concatenation of Scans[0..k].
+func (s *Spec) LeftArity(stage int) int {
+	arity := 0
+	for i := 0; i <= stage && i < len(s.Scans); i++ {
+		arity += s.Scans[i].Schema.Arity()
+	}
+	return arity
+}
+
+// LeftSchema is the accumulated left-input schema of join stage k.
+func (s *Spec) LeftSchema(stage int) *tuple.Schema {
+	sch := s.Scans[0].Schema
+	for i := 1; i <= stage && i < len(s.Scans); i++ {
+		sch = sch.Concat(s.Scans[i].Schema)
+	}
+	return sch
+}
 
 // WorkSchema is the schema Proj produces (canonical layout input).
 func (s *Spec) WorkSchema() *tuple.Schema {
@@ -126,8 +171,11 @@ func (s *Spec) CanonicalWidth() int {
 
 // Options tune compilation.
 type Options struct {
-	// Strategy forces a join strategy; Auto (default) picks
-	// fetch-matches when legal, else symmetric hash.
+	// Strategy forces every join stage's algorithm, bypassing the
+	// cost-based pass (and its join reordering — scans stay in FROM
+	// order). Illegal forcings (fetch-matches without the key match,
+	// Bloom beyond the first stage) error. Nil (default) lets the
+	// optimizer choose per stage from catalog statistics.
 	Strategy *JoinStrategy
 	// Analyze marks the plan for distributed EXPLAIN ANALYZE: every
 	// pipeline operator counts rows/bytes/busy-time and the
@@ -142,39 +190,47 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 	if stmt.With != nil {
 		return nil, fmt.Errorf("plan: WITH RECURSIVE is executed by the coordinator, not compiled directly")
 	}
-	if len(stmt.From) == 0 || len(stmt.From) > 2 {
-		return nil, fmt.Errorf("plan: %d-table FROM not supported (1 or 2)", len(stmt.From))
+	if len(stmt.From) == 0 {
+		return nil, fmt.Errorf("plan: empty FROM")
+	}
+	if len(stmt.From) > MaxTables {
+		return nil, fmt.Errorf("plan: %d-table FROM exceeds the %d-table limit", len(stmt.From), MaxTables)
 	}
 
 	spec := &Spec{Limit: stmt.Limit, Distinct: stmt.Distinct,
 		Window: int64(stmt.Window), Slide: int64(stmt.Slide), Live: int64(stmt.Live),
 		Analyze: opts.Analyze}
 
-	// Resolve scans; qualify schemas when a join or alias demands it.
-	qualify := len(stmt.From) == 2
-	var schemas []*tuple.Schema
-	for _, ref := range stmt.From {
+	// Resolve table references; qualify schemas when a join or alias
+	// demands it.
+	qualify := len(stmt.From) > 1
+	inputs := make([]joinInput, len(stmt.From))
+	seen := map[string]bool{}
+	for i, ref := range stmt.From {
 		tbl, ok := cat.Lookup(ref.Name)
 		if !ok {
 			return nil, fmt.Errorf("plan: unknown table %q", ref.Name)
 		}
+		if seen[ref.Binding()] {
+			return nil, fmt.Errorf("plan: duplicate table binding %q", ref.Binding())
+		}
+		seen[ref.Binding()] = true
 		sch := tbl.Schema
 		if qualify || ref.Alias != "" {
 			sch = tbl.Schema.Qualify(ref.Binding())
 		}
-		spec.Scans = append(spec.Scans, ScanSpec{
-			Table:     ref.Name,
-			Namespace: tbl.Namespace,
-			Schema:    sch,
-		})
-		schemas = append(schemas, sch)
-	}
-	workInput := schemas[0]
-	if len(schemas) == 2 {
-		workInput = schemas[0].Concat(schemas[1])
+		inputs[i] = joinInput{
+			table:     ref.Name,
+			namespace: tbl.Namespace,
+			schema:    sch,
+			stats:     cat.Stats(ref.Name),
+		}
 	}
 
-	// Gather predicate conjuncts from WHERE and JOIN ... ON.
+	// Gather predicate conjuncts from WHERE and JOIN ... ON, then
+	// classify: single-table conjuncts push into scans; cross-table
+	// equality conjuncts become join-graph edges; the rest
+	// post-filter after the join chain.
 	var conjuncts []expr.Expr
 	if stmt.Where != nil {
 		conjuncts = append(conjuncts, expr.Conjuncts(stmt.Where)...)
@@ -182,59 +238,63 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 	if stmt.JoinOn != nil {
 		conjuncts = append(conjuncts, expr.Conjuncts(stmt.JoinOn)...)
 	}
-
-	// Classify: single-table conjuncts push into scans; cross-table
-	// equality conjuncts become join keys; the rest post-filter.
-	var post []expr.Expr
+	var edges []joinEdge
+	var residual []expr.Expr
 	for _, c := range conjuncts {
-		if len(schemas) == 2 {
-			if l, r, ok := equiJoinCols(c, schemas[0], schemas[1]); ok {
-				spec.Scans[0].JoinCols = append(spec.Scans[0].JoinCols, l)
-				spec.Scans[1].JoinCols = append(spec.Scans[1].JoinCols, r)
+		if len(inputs) > 1 {
+			if e, ok := equiJoinEdge(c, inputs); ok {
+				edges = append(edges, e)
 				continue
 			}
 		}
 		placed := false
-		for i, sch := range schemas {
-			if resolvesAgainst(c, sch) {
-				cc, err := cloneResolved(c, sch)
+		for i := range inputs {
+			if resolvesAgainst(c, inputs[i].schema) {
+				cc, err := cloneResolved(c, inputs[i].schema)
 				if err != nil {
 					return nil, err
 				}
-				if spec.Scans[i].Where == nil {
-					spec.Scans[i].Where = cc
+				if inputs[i].where == nil {
+					inputs[i].where = cc
 				} else {
-					spec.Scans[i].Where = &expr.And{L: spec.Scans[i].Where, R: cc}
+					inputs[i].where = &expr.And{L: inputs[i].where, R: cc}
 				}
 				placed = true
 				break
 			}
 		}
 		if !placed {
-			cc, err := cloneResolved(c, workInput)
-			if err != nil {
-				return nil, fmt.Errorf("plan: predicate %s references unknown columns: %w", c, err)
-			}
-			post = append(post, cc)
+			residual = append(residual, c)
 		}
-	}
-	spec.PostFilter = expr.AndAll(post)
-	if len(schemas) == 2 && len(spec.Scans[0].JoinCols) == 0 {
-		return nil, fmt.Errorf("plan: joins require at least one equality predicate between the tables")
 	}
 
-	// Join strategy.
-	if len(schemas) == 2 {
-		spec.Strategy = SymmetricHash
-		if opts.Strategy != nil {
-			spec.Strategy = *opts.Strategy
-		} else if fetchLegal(spec) {
-			spec.Strategy = FetchMatches
+	// Cost-based pass: join order + per-stage strategy. Single-table
+	// plans skip it.
+	if len(inputs) > 1 {
+		order, strategies, ests, err := optimize(inputs, edges, opts.Strategy)
+		if err != nil {
+			return nil, err
 		}
-		if spec.Strategy == FetchMatches && !fetchLegal(spec) {
-			return nil, fmt.Errorf("plan: fetch-matches requires the right table's key to equal the join columns")
+		if err := buildJoinChain(spec, inputs, edges, order, strategies, ests); err != nil {
+			return nil, err
 		}
+	} else {
+		in := inputs[0]
+		spec.Scans = []ScanSpec{{Table: in.table, Namespace: in.namespace, Schema: in.schema, Where: in.where}}
 	}
+
+	// Residual predicates resolve against the concatenated schema in
+	// the final join order.
+	workInput := spec.LeftSchema(len(spec.Scans) - 1)
+	var post []expr.Expr
+	for _, c := range residual {
+		cc, err := cloneResolved(c, workInput)
+		if err != nil {
+			return nil, fmt.Errorf("plan: predicate %s references unknown columns: %w", c, err)
+		}
+		post = append(post, cc)
+	}
+	spec.PostFilter = expr.AndAll(post)
 
 	// Select list: split into group-column references and aggregates.
 	if err := buildOutputs(stmt, spec, workInput); err != nil {
@@ -243,27 +303,105 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 	return spec, nil
 }
 
-// equiJoinCols recognizes `a.x = b.y` across the two schemas.
-func equiJoinCols(c expr.Expr, left, right *tuple.Schema) (int, int, bool) {
+// joinInput is one FROM entry during compilation.
+type joinInput struct {
+	table     string
+	namespace string
+	schema    *tuple.Schema // qualified by the query's binding
+	where     expr.Expr     // pushed-down filter (resolved)
+	stats     catalog.TableStats
+}
+
+// joinEdge is one equi-join predicate `inputs[a].ca = inputs[b].cb`
+// in the join graph (a < b by construction).
+type joinEdge struct {
+	a, b   int // input indexes
+	ca, cb int // column indexes within the respective schemas
+}
+
+// equiJoinEdge recognizes `x.c = y.d` between two distinct inputs.
+func equiJoinEdge(c expr.Expr, inputs []joinInput) (joinEdge, bool) {
 	cmp, ok := c.(*expr.Cmp)
 	if !ok || cmp.Op != expr.EQ {
-		return 0, 0, false
+		return joinEdge{}, false
 	}
 	lc, lok := cmp.L.(*expr.Col)
 	rc, rok := cmp.R.(*expr.Col)
 	if !lok || !rok {
-		return 0, 0, false
+		return joinEdge{}, false
 	}
-	li, ri := left.ColIndex(lc.Name), right.ColIndex(rc.Name)
-	if li >= 0 && ri >= 0 && right.ColIndex(lc.Name) < 0 && left.ColIndex(rc.Name) < 0 {
-		return li, ri, true
+	// Each column must resolve against exactly one input.
+	bind := func(name string) (int, int, bool) {
+		tbl, col := -1, -1
+		for i := range inputs {
+			if ci := inputs[i].schema.ColIndex(name); ci >= 0 {
+				if tbl >= 0 {
+					return 0, 0, false // ambiguous
+				}
+				tbl, col = i, ci
+			}
+		}
+		return tbl, col, tbl >= 0
 	}
-	// Reversed orientation: b.y = a.x.
-	li, ri = left.ColIndex(rc.Name), right.ColIndex(lc.Name)
-	if li >= 0 && ri >= 0 && right.ColIndex(rc.Name) < 0 && left.ColIndex(lc.Name) < 0 {
-		return li, ri, true
+	lt, lcIdx, lok2 := bind(lc.Name)
+	rt, rcIdx, rok2 := bind(rc.Name)
+	if !lok2 || !rok2 || lt == rt {
+		return joinEdge{}, false
 	}
-	return 0, 0, false
+	if lt > rt {
+		lt, rt, lcIdx, rcIdx = rt, lt, rcIdx, lcIdx
+	}
+	return joinEdge{a: lt, b: rt, ca: lcIdx, cb: rcIdx}, true
+}
+
+// buildJoinChain lays the optimizer's left-deep order into the spec:
+// scans in join order, one JoinSpec per stage with its consumed
+// equi-join edges re-based onto the accumulated left schema.
+func buildJoinChain(spec *Spec, inputs []joinInput, edges []joinEdge,
+	order []int, strategies []JoinStrategy, ests []stageEst) error {
+	// pos[i] = position of input i in the join order; offset[p] =
+	// column offset of position p within the concatenated schema.
+	pos := make([]int, len(inputs))
+	offset := make([]int, len(order))
+	off := 0
+	for p, in := range order {
+		pos[in] = p
+		offset[p] = off
+		off += inputs[in].schema.Arity()
+	}
+	for _, in := range order {
+		i := inputs[in]
+		spec.Scans = append(spec.Scans, ScanSpec{
+			Table: i.table, Namespace: i.namespace, Schema: i.schema, Where: i.where,
+		})
+	}
+	spec.Joins = make([]JoinSpec, len(order)-1)
+	for k := range spec.Joins {
+		spec.Joins[k].Strategy = strategies[k]
+		spec.Joins[k].EstLeft = ests[k].left
+		spec.Joins[k].EstRight = ests[k].right
+		spec.Joins[k].EstRows = ests[k].out
+	}
+	// An edge is consumed at the stage where its later-positioned
+	// table joins the chain: stage = maxPos-1. The other endpoint is
+	// already inside the accumulated left input.
+	for _, e := range edges {
+		pa, pb := pos[e.a], pos[e.b]
+		la, lb := e.ca, e.cb // columns within their own schemas
+		if pa > pb {
+			pa, pb, la, lb = pb, pa, lb, la
+		}
+		stage := pb - 1
+		j := &spec.Joins[stage]
+		j.LeftCols = append(j.LeftCols, offset[pa]+la)
+		j.RightCols = append(j.RightCols, lb)
+	}
+	for k := range spec.Joins {
+		if len(spec.Joins[k].LeftCols) == 0 {
+			return fmt.Errorf("plan: joins require at least one equality predicate between the tables")
+		}
+	}
+	return nil
 }
 
 func resolvesAgainst(e expr.Expr, sch *tuple.Schema) bool {
@@ -295,16 +433,19 @@ func cloneResolved(e expr.Expr, sch *tuple.Schema) (expr.Expr, error) {
 	return cp, nil
 }
 
-func fetchLegal(spec *Spec) bool {
-	right := spec.Scans[1]
-	if len(right.Schema.Key) == 0 || len(right.Schema.Key) != len(right.JoinCols) {
+// fetchLegalFor reports whether a join stage may run fetch-matches:
+// the right table's declared key must equal the stage's join columns,
+// so each left row's probe hashes to the resource ID the publisher
+// used.
+func fetchLegalFor(right *tuple.Schema, rightCols []int) bool {
+	if len(right.Key) == 0 || len(right.Key) != len(rightCols) {
 		return false
 	}
 	used := map[int]bool{}
-	for _, jc := range right.JoinCols {
+	for _, jc := range rightCols {
 		used[jc] = true
 	}
-	for _, kc := range right.Schema.Key {
+	for _, kc := range right.Key {
 		if !used[kc] {
 			return false
 		}

@@ -141,30 +141,38 @@ func TestJoinPlanExtractsKeys(t *testing.T) {
 	spec := compile(t,
 		"SELECT a.node, r.descr FROM alerts AS a JOIN rules AS r ON a.rule = r.rule WHERE a.hits > 5",
 		Options{})
-	if len(spec.Scans) != 2 {
-		t.Fatalf("%d scans", len(spec.Scans))
+	if len(spec.Scans) != 2 || len(spec.Joins) != 1 {
+		t.Fatalf("%d scans, %d joins", len(spec.Scans), len(spec.Joins))
 	}
-	if len(spec.Scans[0].JoinCols) != 1 || len(spec.Scans[1].JoinCols) != 1 {
-		t.Fatalf("join cols %v %v", spec.Scans[0].JoinCols, spec.Scans[1].JoinCols)
+	if spec.Scans[0].Table != "alerts" || spec.Scans[1].Table != "rules" {
+		t.Fatalf("join order %s, %s", spec.Scans[0].Table, spec.Scans[1].Table)
+	}
+	j := spec.Joins[0]
+	if len(j.LeftCols) != 1 || len(j.RightCols) != 1 {
+		t.Fatalf("join cols %v %v", j.LeftCols, j.RightCols)
 	}
 	// a.rule is column 1 of alerts; r.rule is column 0 of rules.
-	if spec.Scans[0].JoinCols[0] != 1 || spec.Scans[1].JoinCols[0] != 0 {
-		t.Fatalf("join col indexes %v %v", spec.Scans[0].JoinCols, spec.Scans[1].JoinCols)
+	if j.LeftCols[0] != 1 || j.RightCols[0] != 0 {
+		t.Fatalf("join col indexes %v %v", j.LeftCols, j.RightCols)
 	}
 	// hits > 5 pushed into the alerts scan.
 	if spec.Scans[0].Where == nil {
 		t.Fatal("single-table predicate not pushed")
 	}
-	// rules keyed on rule --> fetch-matches is auto-selected.
-	if spec.Strategy != FetchMatches {
-		t.Fatalf("strategy %v", spec.Strategy)
+	// rules keyed on rule --> fetch-matches is the cheapest strategy.
+	if j.Strategy != FetchMatches {
+		t.Fatalf("strategy %v", j.Strategy)
 	}
 }
 
 func TestJoinReversedPredicate(t *testing.T) {
 	spec := compile(t, "SELECT a.node FROM alerts a JOIN rules r ON r.rule = a.rule", Options{})
-	if spec.Scans[0].JoinCols[0] != 1 || spec.Scans[1].JoinCols[0] != 0 {
-		t.Fatalf("reversed equi-join: %v %v", spec.Scans[0].JoinCols, spec.Scans[1].JoinCols)
+	if spec.Scans[0].Table != "alerts" {
+		t.Fatalf("join order %s, %s", spec.Scans[0].Table, spec.Scans[1].Table)
+	}
+	j := spec.Joins[0]
+	if j.LeftCols[0] != 1 || j.RightCols[0] != 0 {
+		t.Fatalf("reversed equi-join: %v %v", j.LeftCols, j.RightCols)
 	}
 }
 
@@ -179,14 +187,19 @@ func TestForcedStrategy(t *testing.T) {
 	sym := SymmetricHash
 	spec := compile(t, "SELECT a.node FROM alerts a JOIN rules r ON a.rule = r.rule",
 		Options{Strategy: &sym})
-	if spec.Strategy != SymmetricHash {
-		t.Fatalf("forced strategy ignored: %v", spec.Strategy)
+	if spec.Joins[0].Strategy != SymmetricHash {
+		t.Fatalf("forced strategy ignored: %v", spec.Joins[0].Strategy)
 	}
 	bl := BloomJoin
 	spec2 := compile(t, "SELECT a.node FROM alerts a JOIN rules r ON a.rule = r.rule",
 		Options{Strategy: &bl})
-	if spec2.Strategy != BloomJoin {
-		t.Fatalf("bloom not forced: %v", spec2.Strategy)
+	if spec2.Joins[0].Strategy != BloomJoin {
+		t.Fatalf("bloom not forced: %v", spec2.Joins[0].Strategy)
+	}
+	// Forcing keeps the FROM order (the ablation knob must not let
+	// the optimizer reorder underneath a benchmark).
+	if spec.Scans[0].Table != "alerts" || spec.Scans[1].Table != "rules" {
+		t.Fatalf("forced plan reordered: %s, %s", spec.Scans[0].Table, spec.Scans[1].Table)
 	}
 }
 
@@ -284,9 +297,14 @@ func TestSpecCodecRoundTrip(t *testing.T) {
 		}
 		if decoded.CanonicalWidth() != spec.CanonicalWidth() ||
 			decoded.IsAggregate() != spec.IsAggregate() ||
-			decoded.Strategy != spec.Strategy ||
+			len(decoded.Joins) != len(spec.Joins) ||
 			len(decoded.Scans) != len(spec.Scans) {
 			t.Fatalf("%q: structure changed across codec", q)
+		}
+		for i := range spec.Joins {
+			if decoded.Joins[i].Strategy != spec.Joins[i].Strategy {
+				t.Fatalf("%q: stage %d strategy changed across codec", q, i)
+			}
 		}
 	}
 }
