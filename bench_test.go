@@ -24,6 +24,7 @@ import (
 // SUM of outbound data rates over responding nodes, with a mid-run
 // failure and recovery of a quarter of the network.
 func BenchmarkFigure1ContinuousSum(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		series, err := bench.Figure1(bench.Figure1Config{
 			N: 24, Seed: int64(i + 1),
@@ -60,6 +61,7 @@ func BenchmarkFigure1ContinuousSum(b *testing.B) {
 // top-ten intrusion-detection rules, which must come back in the
 // paper's exact order with the paper's exact counts.
 func BenchmarkTable1TopTenRules(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.Table1(24, int64(i+1))
 		if err != nil {
@@ -83,6 +85,7 @@ func BenchmarkTable1TopTenRules(b *testing.B) {
 // BenchmarkScalingHops checks S1: mean lookup hop count grows like
 // O(log n) as the network quadruples.
 func BenchmarkScalingHops(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		points, err := bench.ScalingHops([]int{16, 64}, 40, int64(i+1))
 		if err != nil {
@@ -103,6 +106,7 @@ func BenchmarkScalingHops(b *testing.B) {
 // delivers far less traffic to the collection point than shipping
 // every tuple there, and relay combining shrinks it further.
 func BenchmarkAggregationVsCentralized(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.AggregationComparison(24, 20, int64(i+1))
 		if err != nil {
@@ -130,6 +134,7 @@ func BenchmarkAggregationVsCentralized(b *testing.B) {
 // the same rows, and the Bloom rewrite rehashes less than plain
 // symmetric hash at low selectivity.
 func BenchmarkJoinStrategies(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.JoinStrategies(16, 10, 600, 0.05, int64(i+1))
 		if err != nil {
@@ -160,6 +165,7 @@ func BenchmarkJoinStrategies(b *testing.B) {
 // plan, a forced symmetric-hash stack, and a forced fetch chain, all
 // returning rows byte-identical to the single-node baseline executor.
 func BenchmarkMultiwayJoin(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.MultiwayJoin(32, 8, int64(i+1))
 		if err != nil {
@@ -180,6 +186,7 @@ func BenchmarkMultiwayJoin(b *testing.B) {
 // BenchmarkChurnResilience checks S4: replication raises data
 // survival when a quarter of the network dies.
 func BenchmarkChurnResilience(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.ChurnSurvival(16, 60, 4, []int{-1, 2}, int64(i+1))
 		if err != nil {
@@ -201,6 +208,7 @@ func BenchmarkChurnResilience(b *testing.B) {
 // BenchmarkSearchVsFlooding checks S5: DHT keyword search touches a
 // tiny fraction of the messages flooding needs, with equal recall.
 func BenchmarkSearchVsFlooding(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.SearchComparison(24, 40, int64(i+1))
 		if err != nil {
@@ -222,6 +230,7 @@ func BenchmarkSearchVsFlooding(b *testing.B) {
 // closure finds the full transitive closure and agrees with the SQL
 // WITH RECURSIVE surface.
 func BenchmarkRecursiveTopology(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := bench.RecursiveTopology(12, 8, int64(i+1))
 		if err != nil {
@@ -242,6 +251,7 @@ func BenchmarkRecursiveTopology(b *testing.B) {
 // symmetric-hash join on a 32-node network by at least 5x while
 // returning byte-identical result rows.
 func BenchmarkRouteBatching(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.RouteBatchingJoin(32, 1000, 5, int64(i+1))
 		if err != nil {
@@ -275,6 +285,7 @@ func BenchmarkRouteBatching(b *testing.B) {
 // query answers correctly over Chord, Kademlia, and CAN — all three
 // DHT schemes the paper cites.
 func BenchmarkOverlayAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		results, err := bench.OverlayAblation(16, 40, int64(i+1))
 		if err != nil {
@@ -291,4 +302,46 @@ func BenchmarkOverlayAblation(b *testing.B) {
 			b.ReportMetric(results[2].MeanHops, "hops-can")
 		}
 	}
+}
+
+// BenchmarkLocalJoinPipeline measures the local-execution join hot
+// path (scan → filter → rehash exchange → symmetric-hash probe) with
+// no network, at the default vectorization width — the
+// batch-at-a-time speedup BENCH_PR4.json tracks. Compare against
+// BenchmarkLocalJoinPipelineScalar for the tuple-at-a-time baseline.
+func BenchmarkLocalJoinPipeline(b *testing.B) {
+	b.ReportAllocs()
+	const nLeft, nRight = 20000, 1000
+	wl := bench.NewLocalJoinWorkload(nLeft, nRight)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := wl.Run(256, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != nLeft {
+			b.Fatalf("rows %d", rows)
+		}
+	}
+	b.ReportMetric(float64(nLeft+nRight)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
+}
+
+// BenchmarkLocalJoinPipelineScalar is the same workload at batch size
+// 1 and one scan worker: exactly the engine's tuple-at-a-time
+// behavior, kept as the baseline for the vectorization ratio.
+func BenchmarkLocalJoinPipelineScalar(b *testing.B) {
+	b.ReportAllocs()
+	const nLeft, nRight = 20000, 1000
+	wl := bench.NewLocalJoinWorkload(nLeft, nRight)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows, err := wl.Run(1, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rows != nLeft {
+			b.Fatalf("rows %d", rows)
+		}
+	}
+	b.ReportMetric(float64(nLeft+nRight)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 }

@@ -15,97 +15,218 @@
 //	pierbench -experiment multiway
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
+//	pierbench -experiment localpipe
 //	pierbench -experiment all
+//
+// With -json out.json every experiment additionally records
+// machine-readable results (wall ns, rows/sec where meaningful,
+// routed messages, allocs) — the format BENCH_PR4.json snapshots so
+// the perf trajectory has committed data points.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"math"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
 	"time"
 
 	"repro/internal/bench"
 	"repro/internal/monitor"
 )
 
+// expResult is one experiment's machine-readable record.
+type expResult struct {
+	Name string `json:"name"`
+	// WallNS is the experiment's wall time (whole run, including
+	// cluster setup — deployment-scale, not a microbenchmark).
+	WallNS int64 `json:"wall_ns"`
+	// Allocs is the heap allocation count over the run.
+	Allocs uint64 `json:"allocs"`
+	// Metrics carries the experiment's own numbers: ns/op, rows/sec,
+	// routed messages, allocs/op, per-mode counters.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
+}
+
+// recorder accumulates experiment records for -json output.
+type recorder struct {
+	results []*expResult
+	cur     *expResult
+}
+
+// metric records one named value on the current experiment.
+func (r *recorder) metric(name string, v float64) {
+	if r == nil || r.cur == nil {
+		return
+	}
+	if r.cur.Metrics == nil {
+		r.cur.Metrics = make(map[string]float64)
+	}
+	r.cur.Metrics[name] = v
+}
+
 func main() {
 	log.SetFlags(0)
-	experiment := flag.String("experiment", "all", "which experiment to run")
+	experiment := flag.String("experiment", "all", "which experiment(s) to run (comma-separated, or \"all\")")
 	n := flag.Int("n", 0, "cluster size (0 = experiment default)")
 	seed := flag.Int64("seed", 1, "simulation seed")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file")
 	flag.Parse()
 
+	rec := &recorder{}
 	run := func(name string, fn func() error) {
 		fmt.Printf("\n===== %s =====\n", name)
+		rec.cur = &expResult{Name: name}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
 		start := time.Now()
 		if err := fn(); err != nil {
 			log.Fatalf("%s: %v", name, err)
 		}
-		fmt.Printf("(experiment wall time %v)\n", time.Since(start).Round(time.Millisecond))
+		wall := time.Since(start)
+		runtime.ReadMemStats(&m1)
+		rec.cur.WallNS = wall.Nanoseconds()
+		rec.cur.Allocs = m1.Mallocs - m0.Mallocs
+		rec.results = append(rec.results, rec.cur)
+		rec.cur = nil
+		fmt.Printf("(experiment wall time %v)\n", wall.Round(time.Millisecond))
 	}
 
-	all := *experiment == "all"
-	if all || *experiment == "figure1" {
-		run("Figure 1: continuous SUM(rate) over responding nodes", func() error {
+	selected := make(map[string]bool)
+	for _, name := range strings.Split(*experiment, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			selected[name] = true
+		}
+	}
+	all := selected["all"]
+	want := func(name string) bool { return all || selected[name] }
+	if want("figure1") {
+		run("figure1", func() error {
 			return figure1(*n, *seed)
 		})
 	}
-	if all || *experiment == "table1" {
-		run("Table 1: network-wide top ten intrusion detection rules", func() error {
-			return table1(*n, *seed)
+	if want("table1") {
+		run("table1", func() error {
+			return table1(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "hops" {
-		run("S1: lookup hops vs network size (O(log n) routing)", func() error {
-			return hops(*seed)
+	if want("hops") {
+		run("hops", func() error {
+			return hops(*seed, rec)
 		})
 	}
-	if all || *experiment == "aggtree" {
-		run("S2: in-network aggregation vs centralized collection", func() error {
-			return aggtree(*n, *seed)
+	if want("aggtree") {
+		run("aggtree", func() error {
+			return aggtree(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "joins" {
-		run("S3: join strategy costs", func() error {
-			return joins(*n, *seed)
+	if want("joins") {
+		run("joins", func() error {
+			return joins(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "churn" {
-		run("S4: data survival under churn vs replication factor", func() error {
+	if want("churn") {
+		run("churn", func() error {
 			return churn(*n, *seed)
 		})
 	}
-	if all || *experiment == "search" {
-		run("S5: DHT keyword search vs flooding", func() error {
-			return searchCmp(*n, *seed)
+	if want("search") {
+		run("search", func() error {
+			return searchCmp(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "recursive" {
-		run("S6: in-network recursive closure", func() error {
-			return recursive(*n, *seed)
+	if want("recursive") {
+		run("recursive", func() error {
+			return recursive(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "batching" {
-		run("S7: route batching on the symmetric-hash rehash path", func() error {
-			return batching(*n, *seed)
+	if want("batching") {
+		run("batching", func() error {
+			return batching(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "multiway" {
-		run("Multiway: 3-table join with cost-based per-stage strategies", func() error {
-			return multiway(*n, *seed)
+	if want("multiway") {
+		run("multiway", func() error {
+			return multiway(*n, *seed, rec)
 		})
 	}
-	if all || *experiment == "overlay" {
-		run("Ablation: Chord vs Kademlia", func() error {
+	if want("overlay") {
+		run("overlay", func() error {
 			return overlay(*n, *seed)
 		})
 	}
-	if all || *experiment == "explain" {
-		run("EXPLAIN ANALYZE: distributed per-operator pipeline counters", func() error {
+	if want("explain") {
+		run("explain", func() error {
 			return explainAnalyze(*n, *seed)
 		})
 	}
+	if want("localpipe") {
+		run("localpipe", func() error {
+			return localpipe(rec)
+		})
+	}
+
+	if *jsonOut != "" {
+		payload := struct {
+			GoVersion  string       `json:"go_version"`
+			GOMAXPROCS int          `json:"gomaxprocs"`
+			When       string       `json:"when"`
+			Results    []*expResult `json:"results"`
+		}{
+			GoVersion:  runtime.Version(),
+			GOMAXPROCS: runtime.GOMAXPROCS(0),
+			When:       time.Now().UTC().Format(time.RFC3339),
+			Results:    rec.results,
+		}
+		buf, err := json.MarshalIndent(payload, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		buf = append(buf, '\n')
+		if err := os.WriteFile(*jsonOut, buf, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("\nwrote %s (%d experiments)\n", *jsonOut, len(rec.results))
+	}
+}
+
+// localpipe measures the local-execution join hot path (no network)
+// tuple-at-a-time vs vectorized — ns/op, rows/sec, and allocs/op for
+// the batch-at-a-time speedup BENCH_PR4.json tracks.
+func localpipe(rec *recorder) error {
+	const nLeft, nRight = 20000, 1000
+	wl := bench.NewLocalJoinWorkload(nLeft, nRight)
+	fmt.Printf("%-12s %14s %14s %12s %12s\n", "mode", "ns/op", "rows/sec", "allocs/op", "B/op")
+	for _, mode := range []struct {
+		name     string
+		bs, wrks int
+	}{
+		{"scalar", 1, 1},
+		{"vectorized", 256, 4},
+	} {
+		mode := mode
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wl.Run(mode.bs, mode.wrks); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		rowsPerSec := float64(nLeft+nRight) / (float64(r.NsPerOp()) / 1e9)
+		fmt.Printf("%-12s %14d %14.0f %12d %12d\n",
+			mode.name, r.NsPerOp(), rowsPerSec, r.AllocsPerOp(), r.AllocedBytesPerOp())
+		rec.metric(mode.name+".ns/op", float64(r.NsPerOp()))
+		rec.metric(mode.name+".rows/sec", rowsPerSec)
+		rec.metric(mode.name+".allocs/op", float64(r.AllocsPerOp()))
+		rec.metric(mode.name+".bytes/op", float64(r.AllocedBytesPerOp()))
+	}
+	return nil
 }
 
 func explainAnalyze(n int, seed int64) error {
@@ -118,7 +239,7 @@ func explainAnalyze(n int, seed int64) error {
 	return nil
 }
 
-func multiway(n int, seed int64) error {
+func multiway(n int, seed int64, rec *recorder) error {
 	results, err := bench.MultiwayJoin(n, 8, seed)
 	if err != nil {
 		return err
@@ -134,11 +255,13 @@ func multiway(n int, seed int64) error {
 		if !r.MatchesBaseline {
 			return fmt.Errorf("mode %s diverged from the single-node baseline executor", r.Mode)
 		}
+		rec.metric("rows."+r.Mode, float64(r.Rows))
+		rec.metric("msgs."+r.Mode, float64(r.Msgs))
 	}
 	return nil
 }
 
-func batching(n int, seed int64) error {
+func batching(n int, seed int64, rec *recorder) error {
 	results, err := bench.RouteBatchingJoin(n, 1000, 5, seed)
 	if err != nil {
 		return err
@@ -148,12 +271,15 @@ func batching(n int, seed int64) error {
 	for _, r := range results {
 		fmt.Printf("%-10s %8d %12d %10d %12d %10d %14.1f\n",
 			r.Mode, r.Rows, r.RoutedMsgs, r.Msgs, r.Bytes, r.Frames, r.BytesPerTuple)
+		rec.metric("routed-msgs."+r.Mode, float64(r.RoutedMsgs))
+		rec.metric("rows."+r.Mode, float64(r.Rows))
 	}
 	if !results[0].SameRows(results[1]) {
 		return fmt.Errorf("batched and unbatched runs returned different rows")
 	}
-	fmt.Printf("routed-message reduction: %.1fx\n",
-		float64(results[1].RoutedMsgs)/float64(results[0].RoutedMsgs))
+	reduction := float64(results[1].RoutedMsgs) / float64(results[0].RoutedMsgs)
+	fmt.Printf("routed-message reduction: %.1fx\n", reduction)
+	rec.metric("routed-msg-reduction", reduction)
 	return nil
 }
 
@@ -175,7 +301,7 @@ func figure1(n int, seed int64) error {
 	return nil
 }
 
-func table1(n int, seed int64) error {
+func table1(n int, seed int64, rec *recorder) error {
 	res, err := bench.Table1(n, seed)
 	if err != nil {
 		return err
@@ -189,10 +315,12 @@ func table1(n int, seed int64) error {
 		fmt.Printf("%-6d %-40s %10d %10d\n", row.Rule, row.Descr, row.Hits, paper)
 	}
 	fmt.Printf("query time %v, %d network messages\n", res.Duration.Round(time.Millisecond), res.Msgs)
+	rec.metric("query-ms", float64(res.Duration.Milliseconds()))
+	rec.metric("msgs", float64(res.Msgs))
 	return nil
 }
 
-func hops(seed int64) error {
+func hops(seed int64, rec *recorder) error {
 	points, err := bench.ScalingHops([]int{16, 32, 64, 128}, 50, seed)
 	if err != nil {
 		return err
@@ -200,11 +328,12 @@ func hops(seed int64) error {
 	fmt.Printf("%-6s %10s %10s\n", "N", "mean hops", "log2(N)")
 	for _, p := range points {
 		fmt.Printf("%-6d %10.2f %10.2f\n", p.N, p.MeanHops, math.Log2(float64(p.N)))
+		rec.metric(fmt.Sprintf("hops.n%d", p.N), p.MeanHops)
 	}
 	return nil
 }
 
-func aggtree(n int, seed int64) error {
+func aggtree(n int, seed int64, rec *recorder) error {
 	results, err := bench.AggregationComparison(n, 20, seed)
 	if err != nil {
 		return err
@@ -212,11 +341,12 @@ func aggtree(n int, seed int64) error {
 	fmt.Printf("%-20s %10s %12s %12s %14s\n", "mode", "msgs", "bytes", "root-in-msgs", "root-in-bytes")
 	for _, r := range results {
 		fmt.Printf("%-20s %10d %12d %12d %14d\n", r.Mode, r.Msgs, r.Bytes, r.RootInMsgs, r.RootInBytes)
+		rec.metric("root-in-bytes."+r.Mode, float64(r.RootInBytes))
 	}
 	return nil
 }
 
-func joins(n int, seed int64) error {
+func joins(n int, seed int64, rec *recorder) error {
 	results, err := bench.JoinStrategies(n, 10, 200, 0.1, seed)
 	if err != nil {
 		return err
@@ -224,6 +354,8 @@ func joins(n int, seed int64) error {
 	fmt.Printf("%-12s %10s %12s %8s\n", "strategy", "msgs", "bytes", "rows")
 	for _, r := range results {
 		fmt.Printf("%-12s %10d %12d %8d\n", r.Strategy, r.Msgs, r.Bytes, r.Rows)
+		rec.metric("msgs."+r.Strategy, float64(r.Msgs))
+		rec.metric("rows."+r.Strategy, float64(r.Rows))
 	}
 	return nil
 }
@@ -244,7 +376,7 @@ func churn(n int, seed int64) error {
 	return nil
 }
 
-func searchCmp(n int, seed int64) error {
+func searchCmp(n int, seed int64, rec *recorder) error {
 	results, err := bench.SearchComparison(n, 40, seed)
 	if err != nil {
 		return err
@@ -252,17 +384,19 @@ func searchCmp(n int, seed int64) error {
 	fmt.Printf("%-10s %10s %8s\n", "strategy", "msgs", "files")
 	for _, r := range results {
 		fmt.Printf("%-10s %10d %8d\n", r.Strategy, r.Msgs, r.Files)
+		rec.metric("msgs."+r.Strategy, float64(r.Msgs))
 	}
 	return nil
 }
 
-func recursive(n int, seed int64) error {
+func recursive(n int, seed int64, rec *recorder) error {
 	res, err := bench.RecursiveTopology(n, 8, seed)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("closure facts %d (expected %d), %d messages, SQL agreement: %v\n",
 		res.Facts, res.Expected, res.Msgs, res.AgreeSQL)
+	rec.metric("msgs", float64(res.Msgs))
 	return nil
 }
 

@@ -541,3 +541,77 @@ func TestLookupFailurePassesThrough(t *testing.T) {
 		t.Fatal("record lost when owner resolution failed")
 	}
 }
+
+func TestRouteManyCoalescesLikeRoute(t *testing.T) {
+	f := newFake()
+	b := New(f, Config{MaxRecords: 4, MaxDelay: time.Hour})
+	k1 := f.remoteKey("rm-a", "owner-a:1")
+	k2 := f.remoteKey("rm-b", "owner-b:1")
+	// Warm the owner cache so the vector path frames synchronously.
+	_ = b.Route(k1, "t", []byte("warm1"))
+	_ = b.Route(k2, "t", []byte("warm2"))
+	b.Flush()
+	f.mu.Lock()
+	f.routes = nil
+	f.mu.Unlock()
+
+	recs := make([]Record, 0, 8)
+	for i := 0; i < 4; i++ {
+		recs = append(recs, Record{Key: k1, Tag: "t", Payload: []byte(fmt.Sprintf("a%d", i))})
+		recs = append(recs, Record{Key: k2, Tag: "t", Payload: []byte(fmt.Sprintf("b%d", i))})
+	}
+	if err := b.RouteMany(recs); err != nil {
+		t.Fatal(err)
+	}
+	b.Flush()
+	frames := f.routesByTag(FrameTag)
+	if len(frames) != 2 {
+		t.Fatalf("got %d frames, want 2 (one per owner)", len(frames))
+	}
+	total := 0
+	for _, fr := range frames {
+		decoded, err := wire.DecodeBatch(fr.payload)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += len(decoded)
+	}
+	if total != 8 {
+		t.Fatalf("frames carried %d records, want 8", total)
+	}
+	if got := f.routesByTag("t"); len(got) != 0 {
+		t.Fatalf("%d records leaked as passthrough", len(got))
+	}
+}
+
+func TestRouteManyLocalAndDisabledPassThrough(t *testing.T) {
+	f := newFake()
+	b := New(f, Config{Disabled: true})
+	k := f.remoteKey("rm-d", "owner-d:1")
+	if err := b.RouteMany([]Record{{Key: k, Tag: "t", Payload: []byte("x")}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := f.routesByTag("t"); len(got) != 1 {
+		t.Fatalf("disabled RouteMany routed %d records, want 1 passthrough", len(got))
+	}
+
+	// Locally-owned keys pass through even when enabled.
+	f2 := newFake()
+	b2 := New(f2, Config{MaxDelay: time.Hour})
+	local := id.HashString("rm-local") // fake defaults ownership to self
+	_ = b2.Route(local, "t", []byte("warm"))
+	b2.Flush()
+	f2.mu.Lock()
+	f2.routes = nil
+	f2.mu.Unlock()
+	if err := b2.RouteMany([]Record{{Key: local, Tag: "t", Payload: []byte("y")}}); err != nil {
+		t.Fatal(err)
+	}
+	b2.Flush()
+	if got := f2.routesByTag("t"); len(got) != 1 {
+		t.Fatalf("locally-owned RouteMany routed %d records, want 1 passthrough", len(got))
+	}
+	if got := f2.routesByTag(FrameTag); len(got) != 0 {
+		t.Fatalf("locally-owned records were framed")
+	}
+}

@@ -834,6 +834,12 @@ func RouteBatchingJoin(n, perSide, distinctKeys int, seed int64) ([]BatchJoinRes
 		// Flush barrier at scan completion bounds latency, so the
 		// delay knob can sit well above the scan duration.
 		cfg.Batch.MaxDelay = 25 * time.Millisecond
+		// S7 isolates the route-batching layer, so pin the execution
+		// pipelines to tuple-at-a-time: the vectorized ship path
+		// pre-groups same-destination tuples into multi-record frames
+		// on its own, which would hand the "unbatched" run most of the
+		// coalescing win and hide what this experiment measures.
+		cfg.BatchSize = 1
 		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
 		if err != nil {
 			return BatchJoinResult{}, err

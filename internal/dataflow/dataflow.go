@@ -29,20 +29,110 @@ const (
 	Punct
 )
 
-// Msg is one stream element.
+// Msg is one stream element. A Data message carries either a single
+// tuple in T (Batch nil — the tuple-at-a-time form, and exactly what
+// batch-size 1 produces) or a batch of tuples in Batch, all stamped
+// with the same Seq. Punctuations are always singleton messages.
+//
+// Batch ownership rule (the batch-reuse contract every operator obeys):
+//
+//   - Emitting a message transfers ownership of the Batch *container*
+//     (the []tuple.Tuple slice) to the receiver. The sender must not
+//     read, mutate, or recycle the slice after the emit. The receiver
+//     may compact it in place, forward it downstream, or recycle it
+//     with PutBatch once it is done — but only if it keeps no
+//     reference to the container.
+//   - The *tuples* inside (and their backing values) are immutable
+//     from the moment they are first emitted. Operators may therefore
+//     retain tuples past the message lifetime (join hash tables,
+//     window buffers, aggregation groups, ship batches) without
+//     cloning: recycling a container reuses only the slot array, never
+//     the tuple contents. Conversely, no operator may build an output
+//     tuple that will later be mutated in place (Concat/Project must
+//     allocate fresh tuples, never write through into input backing
+//     arrays).
+//   - EmitAll enforces the single-owner rule on fan-out: when a batch
+//     message goes to more than one output, every output after the
+//     first receives a copy of the container.
 type Msg struct {
-	Kind MsgKind
-	T    tuple.Tuple
-	Seq  uint64
-	Time time.Time
+	Kind  MsgKind
+	T     tuple.Tuple
+	Batch []tuple.Tuple
+	Seq   uint64
+	Time  time.Time
 }
 
 // DataMsg wraps a tuple.
 func DataMsg(t tuple.Tuple) Msg { return Msg{Kind: Data, T: t} }
 
+// BatchMsg wraps a batch of tuples sharing one window stamp. The
+// container is owned by the receiver once emitted (see Msg).
+func BatchMsg(ts []tuple.Tuple, seq uint64) Msg {
+	return Msg{Kind: Data, Batch: ts, Seq: seq}
+}
+
 // PunctMsg builds a punctuation for window seq closing at ts.
 func PunctMsg(seq uint64, ts time.Time) Msg {
 	return Msg{Kind: Punct, Seq: seq, Time: ts}
+}
+
+// NRows returns how many data tuples the message carries.
+func (m Msg) NRows() int {
+	if m.Kind != Data {
+		return 0
+	}
+	if m.Batch != nil {
+		return len(m.Batch)
+	}
+	return 1
+}
+
+// Tuples returns the message's data tuples without allocating:
+// batches are returned as-is, singletons are staged in scratch.
+func (m Msg) Tuples(scratch *[1]tuple.Tuple) []tuple.Tuple {
+	if m.Batch != nil {
+		return m.Batch
+	}
+	scratch[0] = m.T
+	return scratch[:1]
+}
+
+// ---------------------------------------------------------------------------
+// Batch container pool
+
+// batchPool recycles batch containers (the []tuple.Tuple slot arrays)
+// so steady-state batch flow allocates nothing. Only containers are
+// pooled — never the tuples inside, which stay immutable once emitted.
+var batchPool = sync.Pool{
+	New: func() any { return make([]tuple.Tuple, 0, DefaultBatchSize) },
+}
+
+// DefaultBatchSize is the tuples-per-message capacity hint the pool
+// allocates at and the engine's default vectorization width.
+const DefaultBatchSize = 256
+
+// GetBatch returns an empty batch container from the pool.
+func GetBatch() []tuple.Tuple {
+	return batchPool.Get().([]tuple.Tuple)[:0]
+}
+
+// pooledBatchMaxCap bounds the containers the pool retains: a batch
+// that grew far past the default width (one skewed join output) is
+// dropped rather than pinned and handed back for ordinary batches.
+const pooledBatchMaxCap = 16 * DefaultBatchSize
+
+// PutBatch recycles a container. The caller must own it (see the Msg
+// ownership rule) and must not touch it afterwards. Slots are cleared
+// so the pool does not pin tuple memory.
+func PutBatch(b []tuple.Tuple) {
+	if cap(b) == 0 || cap(b) > pooledBatchMaxCap {
+		return
+	}
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = nil
+	}
+	batchPool.Put(b[:0])
 }
 
 // RunFunc is an operator body. It reads its inputs until they are
@@ -237,10 +327,19 @@ func Emit(ctx context.Context, out chan<- Msg, m Msg) bool {
 	}
 }
 
-// EmitAll fans m out to every output.
+// EmitAll fans m out to every output. Batch containers are
+// single-owner (see Msg), so on fan-out all outputs but the last
+// receive copies and the original ships last — once any receiver
+// holds the original it may compact or recycle it, so no send may
+// read it afterwards.
 func EmitAll(ctx context.Context, outs []chan<- Msg, m Msg) bool {
-	for _, o := range outs {
-		if !Emit(ctx, o, m) {
+	last := len(outs) - 1
+	for i, o := range outs {
+		dup := m
+		if i < last && m.Batch != nil {
+			dup.Batch = append(GetBatch(), m.Batch...)
+		}
+		if !Emit(ctx, o, dup) {
 			return false
 		}
 	}

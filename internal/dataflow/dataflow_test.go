@@ -315,3 +315,66 @@ func TestManyOperators(t *testing.T) {
 		t.Fatalf("got %d", len(got))
 	}
 }
+
+func TestEmitAllCopiesBatchOnFanOut(t *testing.T) {
+	ctx := context.Background()
+	out1 := make(chan Msg, 1)
+	out2 := make(chan Msg, 1)
+	batch := append(GetBatch(), tuple.Tuple{tuple.Int(1)}, tuple.Tuple{tuple.Int(2)})
+	if !EmitAll(ctx, []chan<- Msg{out1, out2}, BatchMsg(batch, 7)) {
+		t.Fatal("emit failed")
+	}
+	m1, m2 := <-out1, <-out2
+	if len(m1.Batch) != 2 || len(m2.Batch) != 2 {
+		t.Fatalf("batch lengths %d/%d", len(m1.Batch), len(m2.Batch))
+	}
+	if &m1.Batch[0] == &m2.Batch[0] {
+		t.Fatal("fan-out shared one batch container: single-owner rule violated")
+	}
+	// Each receiver owns its container: recycling one must not affect
+	// the other's contents.
+	PutBatch(m1.Batch)
+	if m2.Batch[0][0].I != 1 || m2.Batch[1][0].I != 2 {
+		t.Fatalf("second receiver's batch corrupted: %v", m2.Batch)
+	}
+}
+
+func TestBatchPoolRecycles(t *testing.T) {
+	b := GetBatch()
+	if len(b) != 0 {
+		t.Fatalf("pooled batch not empty: %d", len(b))
+	}
+	b = append(b, tuple.Tuple{tuple.Int(42)})
+	PutBatch(b)
+	c := GetBatch()
+	if len(c) != 0 {
+		t.Fatalf("recycled batch not reset: %d", len(c))
+	}
+	// Slots were cleared on recycle so the pool pins no tuple memory.
+	if cap(c) > 0 && c[:1][0] != nil {
+		t.Fatal("recycled batch retained a tuple reference")
+	}
+}
+
+func TestMsgTuplesAndNRows(t *testing.T) {
+	var scratch [1]tuple.Tuple
+	single := DataMsg(tuple.Tuple{tuple.Int(5)})
+	if single.NRows() != 1 {
+		t.Fatalf("singleton NRows %d", single.NRows())
+	}
+	ts := single.Tuples(&scratch)
+	if len(ts) != 1 || ts[0][0].I != 5 {
+		t.Fatalf("singleton Tuples %v", ts)
+	}
+	batch := BatchMsg([]tuple.Tuple{{tuple.Int(1)}, {tuple.Int(2)}, {tuple.Int(3)}}, 0)
+	if batch.NRows() != 3 {
+		t.Fatalf("batch NRows %d", batch.NRows())
+	}
+	if got := batch.Tuples(&scratch); len(got) != 3 {
+		t.Fatalf("batch Tuples %v", got)
+	}
+	punct := PunctMsg(1, time.Now())
+	if punct.NRows() != 0 {
+		t.Fatalf("punct NRows %d", punct.NRows())
+	}
+}

@@ -409,17 +409,56 @@ func (s *Store) storeLocalPinned(ns string, rid id.ID, payload []byte, expires t
 // LScan returns the live primary items stored locally under ns —
 // PIER's lscan, the input to every table scan operator. Replica
 // copies are excluded so distributed scans never double-count.
+// Single-shard LScanParts, so the liveness rule exists once.
 func (s *Store) LScan(ns string) []Item {
+	parts := s.LScanParts(ns, 1)
+	if len(parts) == 0 {
+		return nil
+	}
+	return parts[0]
+}
+
+// LScanParts is LScan split into up to parts shards of roughly equal
+// size — the work units of the engine's parallel partitioned scans.
+// Items are dealt round-robin under one lock acquisition; shard
+// membership (like LScan order) is arbitrary, and empty shards are
+// omitted.
+func (s *Store) LScanParts(ns string, parts int) [][]Item {
+	if parts < 1 {
+		parts = 1
+	}
 	now := time.Now()
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	var out []Item
-	for key, it := range s.items[ns] {
-		if !it.replica && now.Before(it.expires) {
-			out = append(out, Item{Namespace: ns, Resource: key.rid, Payload: it.payload, Expires: it.expires})
+	m := s.items[ns]
+	if parts > len(m) {
+		parts = len(m)
+	}
+	if parts < 1 {
+		s.mu.Unlock()
+		return nil
+	}
+	out := make([][]Item, parts)
+	per := (len(m) + parts - 1) / parts
+	for i := range out {
+		out[i] = make([]Item, 0, per)
+	}
+	i := 0
+	for key, it := range m {
+		if it.replica || !now.Before(it.expires) {
+			continue
+		}
+		shard := i % parts
+		out[shard] = append(out[shard], Item{Namespace: ns, Resource: key.rid, Payload: it.payload, Expires: it.expires})
+		i++
+	}
+	s.mu.Unlock()
+	kept := out[:0]
+	for _, shard := range out {
+		if len(shard) > 0 {
+			kept = append(kept, shard)
 		}
 	}
-	return out
+	return kept
 }
 
 // Namespaces lists locally present namespaces (diagnostics).

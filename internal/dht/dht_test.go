@@ -327,3 +327,37 @@ func TestStorageKeyDisambiguates(t *testing.T) {
 		t.Fatal("resource ignored in storage key")
 	}
 }
+
+func TestLScanPartsPartitionsPrimaries(t *testing.T) {
+	cells, _ := cluster(t, 2, 7)
+	c := cells[0]
+	for i := 0; i < 25; i++ {
+		rid := id.HashString(fmt.Sprintf("part-%d", i))
+		c.store.PutLocal("parts", rid, []byte{byte(i)}, 10*time.Second)
+	}
+	whole := c.store.LScan("parts")
+	for _, n := range []int{1, 3, 4, 100} {
+		parts := c.store.LScanParts("parts", n)
+		if n <= 25 && len(parts) != n {
+			t.Fatalf("asked for %d parts, got %d", n, len(parts))
+		}
+		seen := map[string]bool{}
+		total := 0
+		for _, shard := range parts {
+			if len(shard) == 0 {
+				t.Fatalf("empty shard among %d", len(parts))
+			}
+			for _, it := range shard {
+				seen[string(it.Payload)] = true
+				total++
+			}
+		}
+		if total != len(whole) || len(seen) != len(whole) {
+			t.Fatalf("parts=%d covered %d items (%d distinct), LScan has %d",
+				n, total, len(seen), len(whole))
+		}
+	}
+	if parts := c.store.LScanParts("no-such-ns", 4); len(parts) != 0 {
+		t.Fatalf("scan of empty namespace returned %d shards", len(parts))
+	}
+}

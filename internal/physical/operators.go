@@ -2,6 +2,8 @@ package physical
 
 import (
 	"context"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/bloom"
@@ -10,10 +12,22 @@ import (
 	"repro/internal/id"
 	"repro/internal/ops"
 	"repro/internal/tuple"
+	"repro/internal/wire"
 )
 
 // OpFunc builds one instrumented operator body. Pipeline.Add supplies
 // the counter bound to the operator's slot in the stats snapshot.
+//
+// Operators are batch-at-a-time: a data message carries either one
+// tuple (Msg.T — exactly what batch size 1 produces) or a whole batch
+// (Msg.Batch), and every operator processes the full message per
+// channel receive, folding its instrumentation inline into the loop.
+// Operators preserve the message form — singleton in, singleton out —
+// so batch size 1 reproduces tuple-at-a-time execution exactly. Batch
+// containers follow the dataflow.Msg ownership rule: received
+// containers are compacted in place, forwarded, or recycled with
+// dataflow.PutBatch; retained tuples are never cloned because emitted
+// tuples are immutable.
 type OpFunc func(c *Counters) dataflow.RunFunc
 
 // ---------------------------------------------------------------------------
@@ -21,34 +35,108 @@ type OpFunc func(c *Counters) dataflow.RunFunc
 
 // ScanSource reads the live local partition of one namespace: decode
 // every stored payload, skip malformed or wrong-arity tuples (best
-// effort, as the store is schema-less), push the rest.
-func ScanSource(scan func(ns string) [][]byte, ns string, arity int) OpFunc {
+// effort, as the store is schema-less), push the rest in batches of
+// batchSize. The scan callback splits the partition into up to
+// workers shards, each drained by its own goroutine feeding the same
+// downstream edge — the parallel partitioned scan. One-shot scans
+// carry no punctuation, so shard interleaving (like any exchange) is
+// unordered and alignment semantics are untouched.
+func ScanSource(scan func(ns string, partitions int) [][][]byte, ns string, arity, batchSize, workers int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	if workers < 1 {
+		workers = 1
+	}
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
-			for _, payload := range scan(ns) {
-				start := time.Now()
-				c.RecvRow()
-				t, err := tuple.FromBytes(payload)
-				if err != nil || len(t) != arity {
-					c.Busy(start)
-					continue
+			parts := scan(ns, workers)
+			drain := func(payloads [][]byte) {
+				var dec tuple.Decoder
+				var batch []tuple.Tuple
+				if batchSize > 1 {
+					batch = dataflow.GetBatch()
 				}
-				c.EmitRows(1, len(payload))
-				c.Busy(start)
-				if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
-					return nil
+				for _, payload := range payloads {
+					start := time.Now()
+					c.RecvRow()
+					t, err := dec.Decode(payload)
+					if err != nil || len(t) != arity {
+						c.Busy(start)
+						continue
+					}
+					c.EmitRows(1, len(payload))
+					if batchSize <= 1 {
+						c.Busy(start)
+						if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(t)) {
+							return
+						}
+						continue
+					}
+					batch = append(batch, t)
+					c.Busy(start)
+					if len(batch) >= batchSize {
+						if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, 0)) {
+							return
+						}
+						batch = dataflow.GetBatch()
+					}
+				}
+				if len(batch) > 0 {
+					dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, 0))
+				} else if batch != nil {
+					dataflow.PutBatch(batch)
 				}
 			}
+			if len(parts) == 1 {
+				drain(parts[0])
+				return nil
+			}
+			var wg sync.WaitGroup
+			for _, payloads := range parts {
+				payloads := payloads
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					drain(payloads)
+				}()
+			}
+			wg.Wait()
 			return nil
 		}
 	}
 }
 
-// SliceSource pushes a fixed row set — unit tests and compiled
-// coordinator tails enter the pipeline here.
-func SliceSource(rows []tuple.Tuple) OpFunc {
+// SliceSource pushes a fixed row set in batches — unit tests and
+// compiled coordinator tails enter the pipeline here.
+func SliceSource(rows []tuple.Tuple, batchSize int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
 	return func(c *Counters) dataflow.RunFunc {
-		return counted(c, ops.SliceSource(rows))
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			for off := 0; off < len(rows); off += batchSize {
+				end := off + batchSize
+				if end > len(rows) {
+					end = len(rows)
+				}
+				if batchSize <= 1 {
+					c.RecvRow()
+					c.EmitRow(rows[off])
+					if !dataflow.EmitAll(ctx, outs, dataflow.DataMsg(rows[off])) {
+						return nil
+					}
+					continue
+				}
+				batch := append(dataflow.GetBatch(), rows[off:end]...)
+				c.RecvRows(len(batch))
+				c.EmitBatch(batch)
+				if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, 0)) {
+					return nil
+				}
+			}
+			return nil
+		}
 	}
 }
 
@@ -58,7 +146,9 @@ func SliceSource(rows []tuple.Tuple) OpFunc {
 // unix-time multiples of the slide, so every node in the network
 // closes the same window sequence number at the same wall-clock
 // instant — window membership is driven by punctuation, not by each
-// node's private ticker phase.
+// node's private ticker phase. Samples stay singleton messages here:
+// each carries its own arrival time, which downstream window
+// assignment depends on.
 func WindowTicker(in *Inlet, slide, live time.Duration) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
@@ -81,8 +171,8 @@ func WindowTicker(in *Inlet, slide, live time.Duration) OpFunc {
 				closed := in.closed
 				in.mu.Unlock()
 				for _, m := range batch {
-					c.RecvRow()
-					c.EmitRow(m.T)
+					c.RecvRows(m.NRows())
+					c.EmitMsg(m)
 					if !dataflow.EmitAll(ctx, outs, m) {
 						return nil
 					}
@@ -119,13 +209,22 @@ func WindowTicker(in *Inlet, slide, live time.Duration) OpFunc {
 
 // Filter drops tuples whose predicate does not evaluate to true.
 // Evaluation errors drop the row (scans are best-effort over
-// schema-less storage); punctuation passes through.
+// schema-less storage); punctuation passes through. Batches are
+// compacted in place.
 func Filter(pred expr.Expr) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
-				if m.Kind == dataflow.Data {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				if m.Batch == nil {
 					c.RecvRow()
 					v, err := pred.Eval(m.T)
 					if err != nil || !expr.Truthy(v) {
@@ -134,7 +233,22 @@ func Filter(pred expr.Expr) OpFunc {
 					}
 					c.EmitRow(m.T)
 				} else {
-					c.RecvPunct()
+					c.RecvRows(len(m.Batch))
+					kept := m.Batch[:0]
+					for _, t := range m.Batch {
+						v, err := pred.Eval(t)
+						if err != nil || !expr.Truthy(v) {
+							continue
+						}
+						kept = append(kept, t)
+					}
+					if len(kept) == 0 {
+						dataflow.PutBatch(m.Batch)
+						c.Busy(start)
+						continue
+					}
+					m.Batch = kept
+					c.EmitBatch(kept)
 				}
 				c.Busy(start)
 				if !dataflow.EmitAll(ctx, outs, m) {
@@ -147,24 +261,37 @@ func Filter(pred expr.Expr) OpFunc {
 }
 
 // Project computes one output column per expression; rows that fail
-// evaluation are dropped; punctuation passes through.
+// evaluation are dropped; punctuation passes through. Output tuples
+// are always freshly allocated (never written through into input
+// backing arrays) so downstream retention is safe; the batch
+// container is reused in place.
 func Project(exprs []expr.Expr) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
+		eval := func(t tuple.Tuple) (tuple.Tuple, bool) {
+			out := make(tuple.Tuple, len(exprs))
+			for i, e := range exprs {
+				v, err := e.Eval(t)
+				if err != nil {
+					return nil, false
+				}
+				out[i] = v
+			}
+			return out, true
+		}
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
-				if m.Kind == dataflow.Data {
-					c.RecvRow()
-					out := make(tuple.Tuple, len(exprs))
-					ok := true
-					for i, e := range exprs {
-						v, err := e.Eval(m.T)
-						if err != nil {
-							ok = false
-							break
-						}
-						out[i] = v
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
 					}
+					continue
+				}
+				if m.Batch == nil {
+					c.RecvRow()
+					out, ok := eval(m.T)
 					if !ok {
 						c.Busy(start)
 						continue
@@ -172,7 +299,20 @@ func Project(exprs []expr.Expr) OpFunc {
 					m.T = out
 					c.EmitRow(out)
 				} else {
-					c.RecvPunct()
+					c.RecvRows(len(m.Batch))
+					kept := m.Batch[:0]
+					for _, t := range m.Batch {
+						if out, ok := eval(t); ok {
+							kept = append(kept, out)
+						}
+					}
+					if len(kept) == 0 {
+						dataflow.PutBatch(m.Batch)
+						c.Busy(start)
+						continue
+					}
+					m.Batch = kept
+					c.EmitBatch(kept)
 				}
 				c.Busy(start)
 				if !dataflow.EmitAll(ctx, outs, m) {
@@ -189,18 +329,49 @@ func Project(exprs []expr.Expr) OpFunc {
 // filter passes everything (the coordinator gathered no filter).
 func BloomProbe(filter *bloom.Filter, keyCols []int) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
+		pass := func(t tuple.Tuple) bool {
+			if filter == nil {
+				return true
+			}
+			w := wire.GetWriter()
+			t.AppendKey(w, keyCols)
+			ok := filter.MayContain(w.Bytes())
+			wire.PutWriter(w)
+			return ok
+		}
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
-				if m.Kind == dataflow.Data {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				if m.Batch == nil {
 					c.RecvRow()
-					if filter != nil && !filter.MayContain(m.T.Project(keyCols).Bytes()) {
+					if !pass(m.T) {
 						c.Busy(start)
 						continue
 					}
 					c.EmitRow(m.T)
 				} else {
-					c.RecvPunct()
+					c.RecvRows(len(m.Batch))
+					kept := m.Batch[:0]
+					for _, t := range m.Batch {
+						if pass(t) {
+							kept = append(kept, t)
+						}
+					}
+					if len(kept) == 0 {
+						dataflow.PutBatch(m.Batch)
+						c.Busy(start)
+						continue
+					}
+					m.Batch = kept
+					c.EmitBatch(kept)
 				}
 				c.Busy(start)
 				if !dataflow.EmitAll(ctx, outs, m) {
@@ -216,7 +387,13 @@ func BloomProbe(filter *bloom.Filter, keyCols []int) OpFunc {
 // re-emits the ones inside the closing window (arrival time after
 // closeAt - window), stamped with the window's sequence number, then
 // forwards the punctuation. Samples older than the window are pruned.
-func WindowBuffer(window time.Duration) OpFunc {
+// With batchSize > 1 the window contents are re-emitted as batches;
+// batch size 1 re-emits per sample with its arrival time, exactly the
+// tuple-at-a-time behavior.
+func WindowBuffer(window time.Duration, batchSize int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
 	type held struct {
 		t       tuple.Tuple
 		arrived time.Time
@@ -224,15 +401,22 @@ func WindowBuffer(window time.Duration) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			var buf []held
+			var scratch [1]tuple.Tuple
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
 				if m.Kind == dataflow.Data {
-					c.RecvRow()
 					at := m.Time
 					if at.IsZero() {
 						at = time.Now()
 					}
-					buf = append(buf, held{t: m.T, arrived: at})
+					ts := m.Tuples(&scratch)
+					c.RecvRows(len(ts))
+					for _, t := range ts {
+						buf = append(buf, held{t: t, arrived: at})
+					}
+					if m.Batch != nil {
+						dataflow.PutBatch(m.Batch)
+					}
 					c.Busy(start)
 					continue
 				}
@@ -254,10 +438,27 @@ func WindowBuffer(window time.Duration) OpFunc {
 				}
 				buf = live
 				c.Busy(start)
-				for _, s := range emit {
-					c.EmitRow(s.t)
-					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: s.t, Seq: m.Seq, Time: s.arrived}) {
-						return nil
+				if batchSize <= 1 {
+					for _, s := range emit {
+						c.EmitRow(s.t)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: s.t, Seq: m.Seq, Time: s.arrived}) {
+							return nil
+						}
+					}
+				} else {
+					for off := 0; off < len(emit); off += batchSize {
+						end := off + batchSize
+						if end > len(emit) {
+							end = len(emit)
+						}
+						batch := dataflow.GetBatch()
+						for _, s := range emit[off:end] {
+							batch = append(batch, s.t)
+						}
+						c.EmitBatch(batch)
+						if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, m.Seq)) {
+							return nil
+						}
 					}
 				}
 				if !dataflow.EmitAll(ctx, outs, m) {
@@ -275,11 +476,36 @@ func WindowBuffer(window time.Duration) OpFunc {
 // FetchMatches probes the right-hand table in place: the right table
 // is already published into the DHT keyed by the join columns, so
 // each left tuple issues one DHT get (via the env's fetch callback)
-// instead of rehashing anything. Emits left ++ right for matches.
+// instead of rehashing anything. Emits left ++ right for matches,
+// batched per input batch.
 func FetchMatches(probeOrder []int, rightArity int, rightWhere expr.Expr,
 	leftCols, rightCols []int,
 	fetch func(ctx context.Context, rid id.ID) ([][]byte, error)) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
+		probe := func(ctx context.Context, lt tuple.Tuple, joined []tuple.Tuple) []tuple.Tuple {
+			rid := lt.HashKey(probeOrder)
+			payloads, err := fetch(ctx, rid)
+			if err != nil {
+				return joined
+			}
+			for _, p := range payloads {
+				rt, err := tuple.FromBytes(p)
+				if err != nil || len(rt) != rightArity {
+					continue
+				}
+				if rightWhere != nil {
+					v, err := rightWhere.Eval(rt)
+					if err != nil || !expr.Truthy(v) {
+						continue
+					}
+				}
+				if !joinKeysEqual(lt, rt, leftCols, rightCols) {
+					continue
+				}
+				joined = append(joined, lt.Concat(rt))
+			}
+			return joined
+		}
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			for m := range dataflow.Merge(ctx, ins) {
 				if m.Kind != dataflow.Data {
@@ -290,37 +516,33 @@ func FetchMatches(probeOrder []int, rightArity int, rightWhere expr.Expr,
 					continue
 				}
 				start := time.Now()
-				c.RecvRow()
-				lt := m.T
-				probe := lt.Project(probeOrder)
-				rid := probe.HashKey(identityCols(len(probe)))
-				payloads, err := fetch(ctx, rid)
-				if err != nil {
+				if m.Batch == nil {
+					c.RecvRow()
+					joined := probe(ctx, m.T, nil)
 					c.Busy(start)
-					continue
-				}
-				for _, p := range payloads {
-					rt, err := tuple.FromBytes(p)
-					if err != nil || len(rt) != rightArity {
-						continue
-					}
-					if rightWhere != nil {
-						v, err := rightWhere.Eval(rt)
-						if err != nil || !expr.Truthy(v) {
-							continue
+					for _, j := range joined {
+						c.EmitRow(j)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: j, Seq: m.Seq}) {
+							return nil
 						}
 					}
-					if !joinKeysEqual(lt, rt, leftCols, rightCols) {
-						continue
-					}
-					joined := lt.Concat(rt)
-					c.EmitRow(joined)
-					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: joined, Seq: m.Seq}) {
-						c.Busy(start)
-						return nil
-					}
+					continue
 				}
+				c.RecvRows(len(m.Batch))
+				joined := dataflow.GetBatch()
+				for _, lt := range m.Batch {
+					joined = probe(ctx, lt, joined)
+				}
+				dataflow.PutBatch(m.Batch)
 				c.Busy(start)
+				if len(joined) == 0 {
+					dataflow.PutBatch(joined)
+					continue
+				}
+				c.EmitBatch(joined)
+				if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(joined, m.Seq)) {
+					return nil
+				}
 			}
 			return nil
 		}
@@ -330,14 +552,59 @@ func FetchMatches(probeOrder []int, rightArity int, rightWhere expr.Expr,
 // JoinProbe is the collector-side symmetric hash join: input 0 is the
 // left side, input 1 the right. Both hash tables build incrementally
 // per window; identical retransmits are deduplicated (the overlay
-// redelivers); joined rows stream out as matches appear.
+// redelivers); joined rows stream out as matches appear, batched per
+// input batch. Tuples are retained in the hash tables without cloning
+// — emitted tuples are immutable per the batch ownership rule.
 func JoinProbe(arity [2]int, keyCols [2][]int) OpFunc {
-	type windowTables struct {
-		tables [2]map[string][]tuple.Tuple
+	// bucket holds one join-key value's tuples; pointer entries let
+	// the hot loop update a bucket without re-converting the key to a
+	// string (which would allocate per insert rather than per distinct
+	// key).
+	type bucket struct {
+		rows []tuple.Tuple
 	}
+	type windowTables struct {
+		tables [2]map[string]*bucket
+	}
+	joinedArity := arity[0] + arity[1]
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			windows := make(map[uint64]*windowTables)
+			var scratch [1]tuple.Tuple
+			// add probes one tuple into the window's tables, drawing
+			// joined rows from arena (amortized batch output).
+			add := func(ws *windowTables, side int, t tuple.Tuple, out []tuple.Tuple, arena []tuple.Value) ([]tuple.Tuple, []tuple.Value) {
+				w := wire.GetWriter()
+				t.AppendKey(w, keyCols[side])
+				key := w.Bytes()
+				mine := ws.tables[side][string(key)]
+				if mine != nil {
+					for _, existing := range mine.rows {
+						if existing.Equal(t) {
+							wire.PutWriter(w)
+							return out, arena // duplicate retransmit
+						}
+					}
+				} else {
+					mine = &bucket{}
+					ws.tables[side][string(key)] = mine
+				}
+				other := ws.tables[1-side][string(key)]
+				wire.PutWriter(w)
+				mine.rows = append(mine.rows, t)
+				if other != nil {
+					for _, o := range other.rows {
+						var j tuple.Tuple
+						if side == 0 {
+							j, arena = tuple.ConcatInto(arena, t, o)
+						} else {
+							j, arena = tuple.ConcatInto(arena, o, t)
+						}
+						out = append(out, j)
+					}
+				}
+				return out, arena
+			}
 			for im := range mergeIndexed(ctx, ins) {
 				m := im.m
 				if m.Kind != dataflow.Data {
@@ -348,46 +615,55 @@ func JoinProbe(arity [2]int, keyCols [2][]int) OpFunc {
 					continue
 				}
 				start := time.Now()
-				c.RecvRow()
 				side := im.src
-				if side > 1 || len(m.T) != arity[side] {
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				if side > 1 {
 					c.Busy(start)
 					continue
 				}
 				ws := windows[m.Seq]
 				if ws == nil {
 					ws = &windowTables{}
-					ws.tables[0] = make(map[string][]tuple.Tuple)
-					ws.tables[1] = make(map[string][]tuple.Tuple)
+					ws.tables[0] = make(map[string]*bucket)
+					ws.tables[1] = make(map[string]*bucket)
 					windows[m.Seq] = ws
 				}
-				key := string(m.T.Project(keyCols[side]).Bytes())
-				dup := false
-				for _, existing := range ws.tables[side][key] {
-					if existing.Equal(m.T) {
-						dup = true
-						break
+				if m.Batch == nil {
+					if len(m.T) != arity[side] {
+						c.Busy(start)
+						continue
 					}
-				}
-				if dup {
+					joined, _ := add(ws, side, m.T, nil, nil)
 					c.Busy(start)
+					for _, j := range joined {
+						c.EmitRow(j)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: j, Seq: m.Seq}) {
+							return nil
+						}
+					}
 					continue
 				}
-				ws.tables[side][key] = append(ws.tables[side][key], m.T)
-				for _, other := range ws.tables[1-side][key] {
-					var joined tuple.Tuple
-					if side == 0 {
-						joined = m.T.Concat(other)
-					} else {
-						joined = other.Concat(m.T)
+				joined := dataflow.GetBatch()
+				// Sized for the common ~one-match-per-tuple case; skewed
+				// keys grow it by doubling.
+				arena := make([]tuple.Value, 0, joinedArity*len(m.Batch))
+				for _, t := range m.Batch {
+					if len(t) != arity[side] {
+						continue
 					}
-					c.EmitRow(joined)
-					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: joined, Seq: m.Seq}) {
-						c.Busy(start)
-						return nil
-					}
+					joined, arena = add(ws, side, t, joined, arena)
 				}
+				dataflow.PutBatch(m.Batch)
 				c.Busy(start)
+				if len(joined) == 0 {
+					dataflow.PutBatch(joined)
+					continue
+				}
+				c.EmitBatch(joined)
+				if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(joined, m.Seq)) {
+					return nil
+				}
 			}
 			return nil
 		}
@@ -404,8 +680,18 @@ func JoinProbe(arity [2]int, keyCols [2][]int) OpFunc {
 // group order. In eager mode every input row becomes one single-row
 // partial immediately: the streaming collector shape, where relay
 // combining and the collector merge absorb the fan-in.
-func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpFunc {
+func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool, batchSize int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
 	return func(c *Counters) dataflow.RunFunc {
+		makePartial := func(t tuple.Tuple) (tuple.Tuple, bool) {
+			acc := ops.NewAccumulator(aggs)
+			if err := acc.AddRaw(t); err != nil {
+				return nil, false
+			}
+			return append(t.Project(groupCols), acc.StateValues()...), true
+		}
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			if eager {
 				for m := range dataflow.Merge(ctx, ins) {
@@ -418,16 +704,34 @@ func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpF
 						}
 						continue
 					}
-					c.RecvRow()
-					acc := ops.NewAccumulator(aggs)
-					if err := acc.AddRaw(m.T); err != nil {
+					if m.Batch == nil {
+						c.RecvRow()
+						partial, ok := makePartial(m.T)
+						if !ok {
+							c.Busy(start)
+							continue
+						}
+						c.EmitRow(partial)
 						c.Busy(start)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: m.Seq}) {
+							return nil
+						}
 						continue
 					}
-					partial := append(m.T.Project(groupCols), acc.StateValues()...)
-					c.EmitRow(partial)
+					c.RecvRows(len(m.Batch))
+					partials := m.Batch[:0]
+					for _, t := range m.Batch {
+						if partial, ok := makePartial(t); ok {
+							partials = append(partials, partial)
+						}
+					}
 					c.Busy(start)
-					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: m.Seq}) {
+					if len(partials) == 0 {
+						dataflow.PutBatch(m.Batch)
+						continue
+					}
+					c.EmitBatch(partials)
+					if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(partials, m.Seq)) {
 						return nil
 					}
 				}
@@ -440,13 +744,37 @@ func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpF
 			}
 			groups := make(map[string]*group)
 			var order []string
+			var scratch [1]tuple.Tuple
 			flush := func(seq uint64) bool {
-				for _, k := range order {
-					g := groups[k]
-					partial := append(g.key.Clone(), g.acc.StateValues()...)
-					c.EmitRow(partial)
-					if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: seq}) {
-						return false
+				if batchSize <= 1 {
+					for _, k := range order {
+						g := groups[k]
+						partial := append(g.key.Clone(), g.acc.StateValues()...)
+						c.EmitRow(partial)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: seq}) {
+							return false
+						}
+					}
+				} else {
+					batch := dataflow.GetBatch()
+					for _, k := range order {
+						g := groups[k]
+						batch = append(batch, append(g.key.Clone(), g.acc.StateValues()...))
+						if len(batch) >= batchSize {
+							c.EmitBatch(batch)
+							if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, seq)) {
+								return false
+							}
+							batch = dataflow.GetBatch()
+						}
+					}
+					if len(batch) > 0 {
+						c.EmitBatch(batch)
+						if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, seq)) {
+							return false
+						}
+					} else {
+						dataflow.PutBatch(batch)
 					}
 				}
 				groups = make(map[string]*group)
@@ -467,19 +795,24 @@ func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpF
 					}
 					continue
 				}
-				c.RecvRow()
-				keyTuple := m.T.Project(groupCols)
-				key := string(keyTuple.Bytes())
-				g, ok := groups[key]
-				if !ok {
-					g = &group{key: keyTuple, acc: ops.NewAccumulator(aggs)}
-					groups[key] = g
-					order = append(order, key)
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				for _, t := range ts {
+					w := wire.GetWriter()
+					t.AppendKey(w, groupCols)
+					g, ok := groups[string(w.Bytes())]
+					if !ok {
+						key := string(w.Bytes())
+						g = &group{key: t.Project(groupCols), acc: ops.NewAccumulator(aggs)}
+						groups[key] = g
+						order = append(order, key)
+					}
+					wire.PutWriter(w)
+					// A poisoned row is dropped; the group keeps its state.
+					_ = g.acc.AddRaw(t)
 				}
-				if err := g.acc.AddRaw(m.T); err != nil {
-					// Drop the poisoned row; the group keeps its state.
-					c.Busy(start)
-					continue
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
 				}
 				c.Busy(start)
 			}
@@ -497,7 +830,10 @@ func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool) OpF
 // (followed by a punctuation for that window) once arrivals go quiet.
 // State is retained after a flush so stragglers trigger a refined
 // re-flush; the coordinator replaces rows per group.
-func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
+func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
 	type group struct {
 		key tuple.Tuple
 		acc *ops.Accumulator
@@ -507,10 +843,12 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
 		timer  *time.Timer
 	}
 	stateWidth := ops.StateWidth(aggs)
+	groupKeyCols := identityCols(len(groupCols))
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			windows := make(map[uint64]*windowState)
 			flushCh := make(chan uint64, 1)
+			var scratch [1]tuple.Tuple
 			in := dataflow.Merge(ctx, ins)
 			for {
 				select {
@@ -524,36 +862,51 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
 						c.Busy(start)
 						continue
 					}
-					c.RecvRow()
-					if len(m.T) != len(groupCols)+stateWidth {
-						c.Busy(start)
-						continue
-					}
+					ts := m.Tuples(&scratch)
+					c.RecvRows(len(ts))
 					w := m.Seq
+					// Window state is created only once a well-formed
+					// tuple arrives: flush is the only path that deletes
+					// map entries, so a malformed-only message must not
+					// plant a timerless entry that would leak.
 					ws := windows[w]
-					if ws == nil {
-						ws = &windowState{groups: make(map[string]*group)}
-						windows[w] = ws
+					merged := false
+					for _, t := range ts {
+						if len(t) != len(groupCols)+stateWidth {
+							continue
+						}
+						if ws == nil {
+							ws = &windowState{groups: make(map[string]*group)}
+							windows[w] = ws
+						}
+						kw := wire.GetWriter()
+						t[:len(groupCols)].AppendKey(kw, groupKeyCols)
+						g := ws.groups[string(kw.Bytes())]
+						if g == nil {
+							g = &group{key: t[:len(groupCols)].Clone(), acc: ops.NewAccumulator(aggs)}
+							ws.groups[string(kw.Bytes())] = g
+						}
+						wire.PutWriter(kw)
+						_ = g.acc.MergeStates(t[len(groupCols):])
+						merged = true
 					}
-					groupKey := string(m.T[:len(groupCols)].Bytes())
-					g := ws.groups[groupKey]
-					if g == nil {
-						g = &group{key: m.T[:len(groupCols)].Clone(), acc: ops.NewAccumulator(aggs)}
-						ws.groups[groupKey] = g
+					if m.Batch != nil {
+						dataflow.PutBatch(m.Batch)
 					}
-					_ = g.acc.MergeStates(m.T[len(groupCols):])
-					// Debounce: reset the window's flush timer on
-					// every arrival.
-					if ws.timer == nil {
-						w := w
-						ws.timer = time.AfterFunc(hold, func() {
-							select {
-							case flushCh <- w:
-							case <-ctx.Done():
-							}
-						})
-					} else {
-						ws.timer.Reset(hold)
+					if merged {
+						// Debounce: reset the window's flush timer on
+						// every arrival.
+						if ws.timer == nil {
+							w := w
+							ws.timer = time.AfterFunc(hold, func() {
+								select {
+								case flushCh <- w:
+								case <-ctx.Done():
+								}
+							})
+						} else {
+							ws.timer.Reset(hold)
+						}
 					}
 					c.Busy(start)
 				case w := <-flushCh:
@@ -562,11 +915,33 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
 					if ws == nil {
 						continue
 					}
-					for _, g := range ws.groups {
-						row := append(g.key.Clone(), g.acc.FinalValues()...)
-						c.EmitRow(row)
-						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: row, Seq: w}) {
-							return nil
+					if batchSize <= 1 {
+						for _, g := range ws.groups {
+							row := append(g.key.Clone(), g.acc.FinalValues()...)
+							c.EmitRow(row)
+							if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: row, Seq: w}) {
+								return nil
+							}
+						}
+					} else {
+						batch := dataflow.GetBatch()
+						for _, g := range ws.groups {
+							batch = append(batch, append(g.key.Clone(), g.acc.FinalValues()...))
+							if len(batch) >= batchSize {
+								c.EmitBatch(batch)
+								if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
+									return nil
+								}
+								batch = dataflow.GetBatch()
+							}
+						}
+						if len(batch) > 0 {
+							c.EmitBatch(batch)
+							if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
+								return nil
+							}
+						} else {
+							dataflow.PutBatch(batch)
 						}
 					}
 					c.Busy(start)
@@ -586,12 +961,16 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration) OpFunc {
 
 // RehashExchange routes every tuple toward the collector responsible
 // for its join-key value at one join stage — the DHT put side of the
-// distributed symmetric hash join. The ship callback returns the
-// payload size it put on the wire.
+// distributed symmetric hash join. The ship callback receives the
+// whole batch with one canonical key encoding per tuple (the keys
+// alias a pooled buffer and are valid only during the call) and
+// returns the payload bytes it put on the wire.
 func RehashExchange(stage, side int, keyCols []int,
-	ship func(stage, side int, window uint64, key []byte, t tuple.Tuple) int) OpFunc {
+	ship func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var scratch [1]tuple.Tuple
+			var keys [][]byte
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
 				if m.Kind != dataflow.Data {
@@ -599,9 +978,20 @@ func RehashExchange(stage, side int, keyCols []int,
 					c.Busy(start)
 					continue
 				}
-				c.RecvRow()
-				key := m.T.Project(keyCols).Bytes()
-				c.EmitRows(1, ship(stage, side, m.Seq, key, m.T))
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				w := wire.GetWriter()
+				keys = keys[:0]
+				for _, t := range ts {
+					from := w.Len()
+					t.AppendKey(w, keyCols)
+					keys = append(keys, w.Bytes()[from:w.Len()])
+				}
+				c.EmitRows(len(ts), ship(stage, side, m.Seq, keys, ts))
+				wire.PutWriter(w)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
 				c.Busy(start)
 			}
 			return nil
@@ -609,17 +999,23 @@ func RehashExchange(stage, side int, keyCols []int,
 	}
 }
 
-// ShipPartial routes each partial-state tuple toward its group's
-// aggregation collector. Punctuation triggers the route-batch flush
-// barrier — the continuous query's per-window ship point.
-func ShipPartial(ship func(window uint64, partial tuple.Tuple) int, flushRoutes func()) OpFunc {
+// ShipPartial routes partial-state tuples toward their groups'
+// aggregation collectors, a batch at a time. Punctuation triggers the
+// route-batch flush barrier — the continuous query's per-window ship
+// point.
+func ShipPartial(ship func(window uint64, partials []tuple.Tuple) int, flushRoutes func()) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var scratch [1]tuple.Tuple
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
 				if m.Kind == dataflow.Data {
-					c.RecvRow()
-					c.EmitRows(1, ship(m.Seq, m.T))
+					ts := m.Tuples(&scratch)
+					c.RecvRows(len(ts))
+					c.EmitRows(len(ts), ship(m.Seq, ts))
+					if m.Batch != nil {
+						dataflow.PutBatch(m.Batch)
+					}
 				} else {
 					c.RecvPunct()
 					if flushRoutes != nil {
@@ -636,13 +1032,14 @@ func ShipPartial(ship func(window uint64, partial tuple.Tuple) int, flushRoutes 
 // ShipRows delivers result rows to the coordinator. In batched mode
 // rows accumulate up to rowBatch (flushing early when the window
 // sequence changes) and flush on punctuation and at end of stream; in
-// eager mode every row ships immediately — the streaming collector
+// eager mode every message ships immediately — the streaming collector
 // behavior, where the coordinator's quiescence clock watches arrivals.
 func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, eager bool, flushRoutes func()) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			var batch []tuple.Tuple
 			var batchSeq uint64
+			var scratch [1]tuple.Tuple
 			flush := func() {
 				if len(batch) == 0 {
 					return
@@ -661,9 +1058,13 @@ func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, ea
 					c.Busy(start)
 					continue
 				}
-				c.RecvRow()
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
 				if eager {
-					c.EmitRows(1, ship(m.Seq, []tuple.Tuple{m.T}))
+					c.EmitRows(len(ts), ship(m.Seq, ts))
+					if m.Batch != nil {
+						dataflow.PutBatch(m.Batch)
+					}
 					c.Busy(start)
 					continue
 				}
@@ -671,7 +1072,10 @@ func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, ea
 					flush()
 				}
 				batchSeq = m.Seq
-				batch = append(batch, m.T)
+				batch = append(batch, ts...)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
 				if rowBatch > 0 && len(batch) >= rowBatch {
 					flush()
 				}
@@ -688,12 +1092,220 @@ func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, ea
 func FuncSink(fn func(t tuple.Tuple)) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var scratch [1]tuple.Tuple
 			for m := range dataflow.Merge(ctx, ins) {
-				if m.Kind == dataflow.Data {
-					c.RecvRow()
-					fn(m.T)
-				} else {
+				if m.Kind != dataflow.Data {
 					c.RecvPunct()
+					continue
+				}
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				for _, t := range ts {
+					fn(t)
+				}
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-tail operators (HAVING / DISTINCT / ORDER BY / LIMIT)
+
+// Distinct suppresses duplicate tuples by canonical encoding. State
+// persists across punctuations (a continuous DISTINCT).
+func Distinct() OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			seen := make(map[string]struct{})
+			fresh := func(t tuple.Tuple) bool {
+				w := wire.GetWriter()
+				t.Encode(w)
+				if _, dup := seen[string(w.Bytes())]; dup {
+					wire.PutWriter(w)
+					return false
+				}
+				seen[string(w.Bytes())] = struct{}{}
+				wire.PutWriter(w)
+				return true
+			}
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				if m.Batch == nil {
+					c.RecvRow()
+					if !fresh(m.T) {
+						c.Busy(start)
+						continue
+					}
+					c.EmitRow(m.T)
+				} else {
+					c.RecvRows(len(m.Batch))
+					kept := m.Batch[:0]
+					for _, t := range m.Batch {
+						if fresh(t) {
+							kept = append(kept, t)
+						}
+					}
+					if len(kept) == 0 {
+						dataflow.PutBatch(m.Batch)
+						c.Busy(start)
+						continue
+					}
+					m.Batch = kept
+					c.EmitBatch(kept)
+				}
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// TopK keeps the k best tuples by the sort columns (desc flags per
+// column) and emits them in order at end of input or at each
+// punctuation. k <= 0 means sort everything (full ORDER BY).
+func TopK(k int, sortCols []int, desc []bool, batchSize int) OpFunc {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var rows []tuple.Tuple
+			var scratch [1]tuple.Tuple
+			flush := func(seq uint64) bool {
+				sort.SliceStable(rows, func(i, j int) bool {
+					return rows[i].Compare(rows[j], sortCols, desc) < 0
+				})
+				if k > 0 && len(rows) > k {
+					rows = rows[:k]
+				}
+				for off := 0; off < len(rows); off += batchSize {
+					end := off + batchSize
+					if end > len(rows) {
+						end = len(rows)
+					}
+					if batchSize <= 1 {
+						c.EmitRow(rows[off])
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: rows[off], Seq: seq}) {
+							return false
+						}
+						continue
+					}
+					batch := append(dataflow.GetBatch(), rows[off:end]...)
+					c.EmitBatch(batch)
+					if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, seq)) {
+						return false
+					}
+				}
+				rows = nil
+				return true
+			}
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind == dataflow.Punct {
+					c.RecvPunct()
+					if !flush(m.Seq) {
+						c.Busy(start)
+						return nil
+					}
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				rows = append(rows, ts...)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
+				c.Busy(start)
+			}
+			flush(0)
+			return nil
+		}
+	}
+}
+
+// Limit forwards the first n data tuples, then drains its input (so
+// upstream operators are not blocked on a full channel) while
+// emitting nothing further.
+func Limit(n int) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			emitted := 0
+			for m := range dataflow.Merge(ctx, ins) {
+				start := time.Now()
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
+				if m.Batch == nil {
+					c.RecvRow()
+					if emitted >= n {
+						c.Busy(start)
+						continue // drain
+					}
+					emitted++
+					c.EmitRow(m.T)
+				} else {
+					c.RecvRows(len(m.Batch))
+					if emitted >= n {
+						dataflow.PutBatch(m.Batch)
+						c.Busy(start)
+						continue // drain
+					}
+					if keep := n - emitted; len(m.Batch) > keep {
+						m.Batch = m.Batch[:keep]
+					}
+					emitted += len(m.Batch)
+					c.EmitBatch(m.Batch)
+				}
+				c.Busy(start)
+				if !dataflow.EmitAll(ctx, outs, m) {
+					return nil
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// Collect appends every data tuple into out and forwards nothing.
+// The slice must not be read until the graph finishes.
+func Collect(out *[]tuple.Tuple) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var scratch [1]tuple.Tuple
+			for m := range dataflow.Merge(ctx, ins) {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					continue
+				}
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				*out = append(*out, ts...)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
 				}
 			}
 			return nil

@@ -13,14 +13,13 @@ package physical
 import (
 	"context"
 	"fmt"
-	"sync"
+	"runtime"
 	"time"
 
 	"repro/internal/bloom"
 	"repro/internal/dataflow"
 	"repro/internal/expr"
 	"repro/internal/id"
-	"repro/internal/ops"
 	"repro/internal/plan"
 	"repro/internal/tuple"
 )
@@ -31,21 +30,25 @@ import (
 // combining underneath intact.
 type Env struct {
 	// Scan returns the raw stored payloads of the live local
-	// partition of a namespace.
-	Scan func(ns string) [][]byte
+	// partition of a namespace, split into up to partitions shards of
+	// roughly equal size (the parallel-scan work units). Callers may
+	// return fewer shards than asked for.
+	Scan func(ns string, partitions int) [][][]byte
 	// Fetch resolves one fetch-matches probe: a DHT get against the
 	// probed table's namespace.
 	Fetch func(ctx context.Context, ns string, rid id.ID) ([][]byte, error)
 	// ShipRows delivers canonical result rows to the coordinator,
 	// returning the payload bytes shipped.
 	ShipRows func(window uint64, rows []tuple.Tuple) int
-	// ShipPartial routes one partial-state tuple toward its group's
-	// aggregation collector, returning the payload bytes shipped.
-	ShipPartial func(window uint64, partial tuple.Tuple) int
-	// Rehash routes one tuple toward the collector owning its
-	// join-key value at the given join stage, returning the payload
-	// bytes shipped.
-	Rehash func(stage, side int, window uint64, key []byte, t tuple.Tuple) int
+	// ShipPartial routes a batch of partial-state tuples toward their
+	// groups' aggregation collectors, returning the payload bytes
+	// shipped.
+	ShipPartial func(window uint64, partials []tuple.Tuple) int
+	// Rehash routes a batch of tuples toward the collectors owning
+	// their join-key values at the given join stage, returning the
+	// payload bytes shipped. keys holds one canonical join-key
+	// encoding per tuple and is valid only during the call.
+	Rehash func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int
 	// FlushRoutes drains pending route batches — the barrier run at
 	// window boundaries and scan completion.
 	FlushRoutes func()
@@ -54,9 +57,32 @@ type Env struct {
 	Bloom *bloom.Filter
 	// RowBatch bounds rows per result message.
 	RowBatch int
+	// BatchSize is the vectorization width: tuples per dataflow batch
+	// message. <= 0 takes dataflow.DefaultBatchSize; 1 reproduces
+	// tuple-at-a-time execution exactly.
+	BatchSize int
+	// ScanWorkers bounds the parallel partitioned scan. <= 0 takes
+	// GOMAXPROCS.
+	ScanWorkers int
 	// CollectorHold is the aggregation collector's debounce before
 	// finalizing a window.
 	CollectorHold time.Duration
+}
+
+// batchSize resolves the configured vectorization width.
+func (e *Env) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	return dataflow.DefaultBatchSize
+}
+
+// scanWorkers resolves the parallel-scan worker bound.
+func (e *Env) scanWorkers() int {
+	if e.ScanWorkers > 0 {
+		return e.ScanWorkers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Pipeline is one compiled operator graph plus its counters.
@@ -76,6 +102,12 @@ type Pipeline struct {
 func NewPipeline(stage string) *Pipeline {
 	return &Pipeline{Graph: dataflow.New(stage), stage: stage, detail: true}
 }
+
+// SetDetail toggles the per-operator byte counters (which cost a
+// tuple re-encode on every emit) for operators added afterwards —
+// what the compilers derive from spec.Analyze; hand-built pipelines
+// that want production-shaped instrumentation turn it off.
+func (p *Pipeline) SetDetail(on bool) { p.detail = on }
 
 // Add appends an instrumented operator.
 func (p *Pipeline) Add(name string, op OpFunc) *dataflow.Node {
@@ -126,7 +158,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 	p.detail = spec.Analyze
 	if len(spec.Scans) == 1 {
 		sc := &spec.Scans[0]
-		prev := p.Add("scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+		prev := p.Add("scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity(), env.batchSize(), env.scanWorkers()))
 		prev = p.maybeFilter(prev, "filter", sc.Where)
 		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
 		p.addTail(spec, env, prev, false)
@@ -135,7 +167,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 	// Left chain: scan the leftmost table, fold in the leading run of
 	// fetch-matches stages.
 	sc0 := &spec.Scans[0]
-	prev := p.Add("scan.0", ScanSource(env.Scan, sc0.Namespace, sc0.Schema.Arity()))
+	prev := p.Add("scan.0", ScanSource(env.Scan, sc0.Namespace, sc0.Schema.Arity(), env.batchSize(), env.scanWorkers()))
 	prev = p.maybeFilter(prev, "filter.0", sc0.Where)
 	prev, stage := p.addFetchChain(spec, env, prev, 0)
 	if stage == len(spec.Joins) {
@@ -153,7 +185,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 			continue // probed in place by the upstream collector
 		}
 		sc := &spec.Scans[s+1]
-		rprev := p.Add(fmt.Sprintf("scan.%d", s+1), ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+		rprev := p.Add(fmt.Sprintf("scan.%d", s+1), ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity(), env.batchSize(), env.scanWorkers()))
 		rprev = p.maybeFilter(rprev, fmt.Sprintf("filter.%d", s+1), sc.Where)
 		if s == 0 && j.Strategy == plan.BloomJoin {
 			bp := p.Add("bloom-probe", BloomProbe(env.Bloom, j.RightCols))
@@ -205,7 +237,7 @@ func CompileContinuous(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
 	}
 	prev := p.Add("window-src", WindowTicker(in, slide, time.Duration(spec.Live)))
 	prev = p.maybeFilter(prev, "filter", sc.Where)
-	wb := p.Add("window", WindowBuffer(time.Duration(spec.Window)))
+	wb := p.Add("window", WindowBuffer(time.Duration(spec.Window), env.batchSize()))
 	p.Connect(prev, wb)
 	p.addTail(spec, env, wb, false)
 	return p, in
@@ -252,7 +284,7 @@ func CompileAggCollector(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
 	p.detail = spec.Analyze
 	in := NewInlet()
 	src := p.Add("merge-src", in.Source)
-	fa := p.Add("final-agg", FinalAgg(spec.GroupCols, spec.Aggs, env.CollectorHold))
+	fa := p.Add("final-agg", FinalAgg(spec.GroupCols, spec.Aggs, env.CollectorHold, env.batchSize()))
 	p.Connect(src, fa)
 	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, false, nil))
 	p.Connect(fa, ship)
@@ -261,22 +293,24 @@ func CompileAggCollector(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
 
 // CompileFinalize builds the coordinator-local tail over collected
 // canonical rows: HAVING, DISTINCT, ORDER BY, LIMIT, and the output
-// permutation — the same operator library, instrumented.
-func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple) *Pipeline {
+// permutation — the same operator library, instrumented. batchSize
+// is the tail's vectorization width (<= 0 takes the default; 1 is
+// tuple-at-a-time, matching the rest of the node's pipelines).
+func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple, batchSize int) *Pipeline {
 	p := NewPipeline("coordinator")
 	p.detail = spec.Analyze
-	prev := p.Add("rows", SliceSource(rows))
+	bs := batchSize
+	if bs <= 0 {
+		bs = dataflow.DefaultBatchSize
+	}
+	prev := p.Add("rows", SliceSource(rows, bs))
 	if spec.Having != nil {
-		h := p.Add("having", func(c *Counters) dataflow.RunFunc {
-			return counted(c, ops.Select(spec.Having))
-		})
+		h := p.Add("having", Filter(spec.Having))
 		p.Connect(prev, h)
 		prev = h
 	}
 	if spec.Distinct {
-		d := p.Add("distinct", func(c *Counters) dataflow.RunFunc {
-			return counted(c, ops.Distinct())
-		})
+		d := p.Add("distinct", Distinct())
 		p.Connect(prev, d)
 		prev = d
 	}
@@ -285,23 +319,17 @@ func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple) *P
 		if spec.Limit >= 0 {
 			k = spec.Limit
 		}
-		top := p.Add("order", func(c *Counters) dataflow.RunFunc {
-			return counted(c, ops.TopK(k, spec.OrderCols, spec.OrderDesc))
-		})
+		top := p.Add("order", TopK(k, spec.OrderCols, spec.OrderDesc, bs))
 		p.Connect(prev, top)
 		prev = top
 	} else if spec.Limit >= 0 {
-		lim := p.Add("limit", func(c *Counters) dataflow.RunFunc {
-			return counted(c, ops.Limit(spec.Limit))
-		})
+		lim := p.Add("limit", Limit(spec.Limit))
 		p.Connect(prev, lim)
 		prev = lim
 	}
 	perm := p.Add("output-perm", Project(spec.OutPermExprs()))
 	p.Connect(prev, perm)
-	sink := p.Add("collect", func(c *Counters) dataflow.RunFunc {
-		return counted(c, ops.CollectSink(out))
-	})
+	sink := p.Add("collect", Collect(out))
 	p.Connect(perm, sink)
 	return p
 }
@@ -314,7 +342,7 @@ func CompileFinalize(spec *plan.Spec, rows []tuple.Tuple, out *[]tuple.Tuple) *P
 func CompileBloomScan(sc *plan.ScanSpec, keyCols []int, env *Env, analyze bool, add func(key []byte)) *Pipeline {
 	p := NewPipeline("participant")
 	p.detail = analyze
-	prev := p.Add("bloom-scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity()))
+	prev := p.Add("bloom-scan", ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity(), env.batchSize(), env.scanWorkers()))
 	prev = p.maybeFilter(prev, "bloom-scan-filter", sc.Where)
 	sink := p.Add("bloom-build", FuncSink(func(t tuple.Tuple) {
 		add(t.Project(keyCols).Bytes())
@@ -344,7 +372,7 @@ func (p *Pipeline) addTail(spec *plan.Spec, env *Env, prev *dataflow.Node, strea
 	p.Connect(prev, proj)
 	prev = proj
 	if spec.IsAggregate() {
-		agg := p.Add("partial-agg", PartialAgg(spec.GroupCols, spec.Aggs, streaming, !spec.IsContinuous()))
+		agg := p.Add("partial-agg", PartialAgg(spec.GroupCols, spec.Aggs, streaming, !spec.IsContinuous(), env.batchSize()))
 		p.Connect(prev, agg)
 		ship := p.Add("ship-partial", ShipPartial(env.ShipPartial, env.FlushRoutes))
 		p.Connect(agg, ship)
@@ -370,57 +398,9 @@ func probeOrder(j *plan.JoinSpec, right *plan.ScanSpec) []int {
 	return order
 }
 
-// counted interposes row/punctuation counting around an uninstrumented
-// operator body from the ops library, preserving its semantics.
-func counted(c *Counters, inner dataflow.RunFunc) dataflow.RunFunc {
-	return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
-		wrappedIns := make([]<-chan dataflow.Msg, len(ins))
-		for i, in := range ins {
-			in := in
-			ch := make(chan dataflow.Msg)
-			wrappedIns[i] = ch
-			go func() {
-				defer close(ch)
-				for m := range in {
-					if m.Kind == dataflow.Data {
-						c.RecvRow()
-					} else {
-						c.RecvPunct()
-					}
-					select {
-					case ch <- m:
-					case <-ctx.Done():
-						return
-					}
-				}
-			}()
-		}
-		innerOuts := make([]chan<- dataflow.Msg, len(outs))
-		internal := make([]chan dataflow.Msg, len(outs))
-		var owg sync.WaitGroup
-		for i, out := range outs {
-			out := out
-			ch := make(chan dataflow.Msg)
-			internal[i] = ch
-			innerOuts[i] = ch
-			owg.Add(1)
-			go func() {
-				defer owg.Done()
-				for m := range ch {
-					if m.Kind == dataflow.Data {
-						c.EmitRow(m.T)
-					}
-					if !dataflow.Emit(ctx, out, m) {
-						return
-					}
-				}
-			}()
-		}
-		err := inner(ctx, wrappedIns, innerOuts)
-		for _, ch := range internal {
-			close(ch)
-		}
-		owg.Wait()
-		return err
-	}
-}
+// Instrumentation note: counters are folded inline into every
+// operator loop. The engine deliberately has no per-edge "tap"
+// wrapper goroutines — counting through extra channel hops costs two
+// goroutines and two channel transfers per edge, which dominated
+// local execution before the batch-at-a-time rewrite (CI greps
+// against their reintroduction).

@@ -66,8 +66,27 @@ func runOpN(t *testing.T, op OpFunc, ins [][]dataflow.Msg) []dataflow.Msg {
 func dataMsgs(ms []dataflow.Msg) []tuple.Tuple {
 	var out []tuple.Tuple
 	for _, m := range ms {
-		if m.Kind == dataflow.Data {
+		if m.Kind != dataflow.Data {
+			continue
+		}
+		if m.Batch != nil {
+			out = append(out, m.Batch...)
+		} else {
 			out = append(out, m.T)
+		}
+	}
+	return out
+}
+
+// dataSeqs returns one window stamp per data tuple, batch-expanded.
+func dataSeqs(ms []dataflow.Msg) []uint64 {
+	var out []uint64
+	for _, m := range ms {
+		if m.Kind != dataflow.Data {
+			continue
+		}
+		for i := 0; i < m.NRows(); i++ {
+			out = append(out, m.Seq)
 		}
 	}
 	return out
@@ -101,21 +120,54 @@ func row(vals ...interface{}) tuple.Tuple {
 func TestScanSourceSkipsMalformed(t *testing.T) {
 	good := row("a", 1).Bytes()
 	wrongArity := row("b").Bytes()
-	scan := func(ns string) [][]byte {
+	scan := func(ns string, partitions int) [][][]byte {
 		if ns != "t" {
 			t.Fatalf("scanned %q", ns)
 		}
-		return [][]byte{good, {0xff, 0x01}, wrongArity, good}
+		return [][][]byte{{good, {0xff, 0x01}, wrongArity, good}}
 	}
-	got := runOp(t, ScanSource(scan, "t", 2), nil)
-	rows := dataMsgs(got)
-	if len(rows) != 2 {
-		t.Fatalf("got %d rows, want 2", len(rows))
-	}
-	for _, r := range rows {
-		if !r.Equal(row("a", 1)) {
-			t.Fatalf("unexpected row %v", r)
+	for _, batchSize := range []int{1, 3, 64} {
+		got := runOp(t, ScanSource(scan, "t", 2, batchSize, 1), nil)
+		rows := dataMsgs(got)
+		if len(rows) != 2 {
+			t.Fatalf("batch %d: got %d rows, want 2", batchSize, len(rows))
 		}
+		for _, r := range rows {
+			if !r.Equal(row("a", 1)) {
+				t.Fatalf("unexpected row %v", r)
+			}
+		}
+	}
+}
+
+func TestScanSourceParallelPartitions(t *testing.T) {
+	const total = 1000
+	payloads := make([][]byte, total)
+	for i := range payloads {
+		payloads[i] = row("n", i).Bytes()
+	}
+	scan := func(ns string, partitions int) [][][]byte {
+		if partitions < 2 {
+			t.Fatalf("compiler asked for %d partitions", partitions)
+		}
+		// Deal into 4 shards like dht.LScanParts would.
+		out := make([][][]byte, 4)
+		for i, p := range payloads {
+			out[i%4] = append(out[i%4], p)
+		}
+		return out
+	}
+	got := runOp(t, ScanSource(scan, "t", 2, 16, 4), nil)
+	rows := dataMsgs(got)
+	if len(rows) != total {
+		t.Fatalf("parallel scan emitted %d rows, want %d", len(rows), total)
+	}
+	seen := make(map[int64]bool)
+	for _, r := range rows {
+		seen[r[1].I] = true
+	}
+	if len(seen) != total {
+		t.Fatalf("parallel scan lost rows: %d distinct of %d", len(seen), total)
 	}
 }
 
@@ -185,25 +237,35 @@ func TestRehashExchangeRoutes(t *testing.T) {
 		key    string
 	}
 	var ships []shipped
-	ship := func(stage, side int, window uint64, key []byte, tp tuple.Tuple) int {
+	ship := func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
 		mu.Lock()
-		ships = append(ships, shipped{side, window, string(key)})
+		for _, key := range keys {
+			ships = append(ships, shipped{side, window, string(key)})
+		}
 		mu.Unlock()
 		if stage != 2 {
 			t.Errorf("stage %d, want 2", stage)
 		}
-		return len(key) + len(tp.Bytes())
+		if len(keys) != len(ts) {
+			t.Errorf("%d keys for %d tuples", len(keys), len(ts))
+		}
+		return len(keys)
 	}
 	in := []dataflow.Msg{
 		{Kind: dataflow.Data, T: row("a", 1), Seq: 4},
-		{Kind: dataflow.Data, T: row("b", 2), Seq: 4},
+		dataflow.BatchMsg([]tuple.Tuple{row("b", 2), row("c", 3)}, 4),
 	}
 	runOp(t, RehashExchange(2, 1, []int{1}, ship), in)
-	if len(ships) != 2 {
+	if len(ships) != 3 {
 		t.Fatalf("%d ships", len(ships))
 	}
+	// Key encodings must be canonical — identical to Project+Bytes —
+	// for both the singleton and the batched form.
 	if ships[0].side != 1 || ships[0].window != 4 || ships[0].key != string(row(1).Bytes()) {
 		t.Fatalf("bad ship %+v", ships[0])
+	}
+	if ships[2].key != string(row(3).Bytes()) {
+		t.Fatalf("bad batched ship key %x", ships[2].key)
 	}
 }
 
@@ -261,7 +323,7 @@ func TestPartialAggBatchFlushesOnPunctAndEOS(t *testing.T) {
 		dataflow.PunctMsg(3, time.Now()),
 		{Kind: dataflow.Data, T: row("b", 5), Seq: 4},
 	}
-	got := runOp(t, PartialAgg([]int{0}, aggs, false, true), in)
+	got := runOp(t, PartialAgg([]int{0}, aggs, false, true, 1), in)
 	rows := dataMsgs(got)
 	if len(rows) != 2 {
 		t.Fatalf("got %v", rows)
@@ -278,7 +340,7 @@ func TestPartialAggBatchFlushesOnPunctAndEOS(t *testing.T) {
 		t.Fatal("punct not forwarded")
 	}
 	// Continuous mode: no EOS flush — unclosed windows never ship.
-	got = runOp(t, PartialAgg([]int{0}, aggs, false, false), in)
+	got = runOp(t, PartialAgg([]int{0}, aggs, false, false, 1), in)
 	if len(dataMsgs(got)) != 1 {
 		t.Fatalf("continuous mode flushed the open window: %v", dataMsgs(got))
 	}
@@ -290,7 +352,7 @@ func TestPartialAggEagerEmitsPerRow(t *testing.T) {
 		{Kind: dataflow.Data, T: row("a", 1), Seq: 2},
 		{Kind: dataflow.Data, T: row("a", 9), Seq: 2},
 	}
-	got := runOp(t, PartialAgg([]int{0}, aggs, true, false), in)
+	got := runOp(t, PartialAgg([]int{0}, aggs, true, false, 1), in)
 	rows := dataMsgs(got)
 	if len(rows) != 2 {
 		t.Fatalf("eager mode emitted %d partials, want one per row", len(rows))
@@ -307,7 +369,7 @@ func TestFinalAggDebouncedFlushAndRefinement(t *testing.T) {
 	in := NewInlet()
 	p := NewPipeline("test")
 	src := p.Add("src", in.Source)
-	fa := p.Add("final-agg", FinalAgg([]int{0}, aggs, 30*time.Millisecond))
+	fa := p.Add("final-agg", FinalAgg([]int{0}, aggs, 30*time.Millisecond, 1))
 	p.Connect(src, fa)
 	var mu sync.Mutex
 	var flushes [][]tuple.Tuple
@@ -365,7 +427,7 @@ func TestWindowBufferEmitsWindowAndPrunes(t *testing.T) {
 		{Kind: dataflow.Punct, Seq: 9, Time: base}, // window (base-1s, base]
 		{Kind: dataflow.Punct, Seq: 10, Time: base.Add(500 * time.Millisecond)},
 	}
-	got := runOp(t, WindowBuffer(time.Second), in)
+	got := runOp(t, WindowBuffer(time.Second, 1), in)
 	rows := dataMsgs(got)
 	// "new" appears in both overlapping windows; "old" in neither.
 	if len(rows) != 2 || !rows[0].Equal(row("new", 2)) || !rows[1].Equal(row("new", 2)) {
@@ -394,7 +456,7 @@ func TestWindowBufferNoDoubleCountAcrossTumblingWindows(t *testing.T) {
 		{Kind: dataflow.Punct, Seq: 1, Time: base}, // window (base-1s, base]
 		{Kind: dataflow.Punct, Seq: 2, Time: base.Add(time.Second)},
 	}
-	got := runOp(t, WindowBuffer(time.Second), in)
+	got := runOp(t, WindowBuffer(time.Second, 1), in)
 	rows := dataMsgs(got)
 	if len(rows) != 1 {
 		t.Fatalf("sample counted in %d windows, want 1: %v", len(rows), got)
@@ -478,11 +540,11 @@ func TestShipRowsBatchedAndEager(t *testing.T) {
 func TestShipPartialFlushesRoutesOnPunct(t *testing.T) {
 	var shipped, flushed int
 	var mu sync.Mutex
-	ship := func(window uint64, partial tuple.Tuple) int {
+	ship := func(window uint64, partials []tuple.Tuple) int {
 		mu.Lock()
-		shipped++
+		shipped += len(partials)
 		mu.Unlock()
-		return 1
+		return len(partials)
 	}
 	flush := func() {
 		mu.Lock()
@@ -491,10 +553,11 @@ func TestShipPartialFlushesRoutesOnPunct(t *testing.T) {
 	}
 	in := []dataflow.Msg{
 		{Kind: dataflow.Data, T: row("g", 1), Seq: 1},
+		dataflow.BatchMsg([]tuple.Tuple{row("g", 2), row("h", 3)}, 1),
 		dataflow.PunctMsg(1, time.Now()),
 	}
 	runOp(t, ShipPartial(ship, flush), in)
-	if shipped != 1 || flushed != 1 {
+	if shipped != 3 || flushed != 1 {
 		t.Fatalf("shipped=%d flushed=%d", shipped, flushed)
 	}
 }
@@ -520,7 +583,7 @@ func TestInletNeverBlocksAndDrainsInOrder(t *testing.T) {
 
 func TestPipelineStatsCount(t *testing.T) {
 	p := NewPipeline("participant")
-	src := p.Add("src", SliceSource([]tuple.Tuple{row("a", 1), row("b", 2)}))
+	src := p.Add("src", SliceSource([]tuple.Tuple{row("a", 1), row("b", 2)}, 1))
 	pred := &expr.Cmp{Op: expr.GT, L: &expr.Col{Index: 1}, R: &expr.Lit{V: tuple.Int(1)}}
 	f := p.Add("filter", Filter(pred))
 	p.Connect(src, f)

@@ -4,8 +4,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/dataflow"
 	"repro/internal/plan"
 	"repro/internal/tuple"
+	"repro/internal/wire"
 )
 
 // Counters instruments one physical operator instance. Operators
@@ -32,6 +34,9 @@ type Counters struct {
 // RecvRow counts one consumed data tuple.
 func (c *Counters) RecvRow() { c.rowsIn.Add(1) }
 
+// RecvRows counts n consumed data tuples (one batch receive).
+func (c *Counters) RecvRows(n int) { c.rowsIn.Add(uint64(n)) }
+
 // RecvPunct counts one processed punctuation.
 func (c *Counters) RecvPunct() { c.puncts.Add(1) }
 
@@ -41,7 +46,10 @@ func (c *Counters) RecvPunct() { c.puncts.Add(1) }
 func (c *Counters) EmitRow(t tuple.Tuple) {
 	c.rowsOut.Add(1)
 	if c.detail {
-		c.bytesOut.Add(uint64(len(t.Bytes())))
+		w := wire.GetWriter()
+		t.Encode(w)
+		c.bytesOut.Add(uint64(w.Len()))
+		wire.PutWriter(w)
 	}
 }
 
@@ -50,6 +58,32 @@ func (c *Counters) EmitRow(t tuple.Tuple) {
 func (c *Counters) EmitRows(n, bytes int) {
 	c.rowsOut.Add(uint64(n))
 	c.bytesOut.Add(uint64(bytes))
+}
+
+// EmitBatch counts one produced batch; byte sizes are measured on a
+// pooled writer only under detail instrumentation.
+func (c *Counters) EmitBatch(ts []tuple.Tuple) {
+	c.rowsOut.Add(uint64(len(ts)))
+	if c.detail {
+		w := wire.GetWriter()
+		for _, t := range ts {
+			t.Encode(w)
+		}
+		c.bytesOut.Add(uint64(w.Len()))
+		wire.PutWriter(w)
+	}
+}
+
+// EmitMsg counts a produced message in either form.
+func (c *Counters) EmitMsg(m dataflow.Msg) {
+	if m.Kind != dataflow.Data {
+		return
+	}
+	if m.Batch != nil {
+		c.EmitBatch(m.Batch)
+		return
+	}
+	c.EmitRow(m.T)
 }
 
 // Busy accrues processing time since start.

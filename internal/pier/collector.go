@@ -56,18 +56,31 @@ func (q *queryState) aggInlet() *physical.Inlet {
 	return q.aggIn
 }
 
-// collectJoinTuple feeds one rehashed tuple into a join stage's
-// collector.
-func (q *queryState) collectJoinTuple(window uint64, stage, side int, t tuple.Tuple) {
-	if in := q.joinInlet(stage, side); in != nil {
-		in.Push(dataflow.Msg{Kind: dataflow.Data, T: t, Seq: window})
+// collectJoinTuples feeds the rehashed tuples of one arriving frame
+// into a join stage's collector — multi-record frames enter the
+// pipeline as one batch message.
+func (q *queryState) collectJoinTuples(window uint64, stage, side int, ts []tuple.Tuple) {
+	in := q.joinInlet(stage, side)
+	if in == nil {
+		return
 	}
+	if len(ts) == 1 {
+		in.Push(dataflow.Msg{Kind: dataflow.Data, T: ts[0], Seq: window})
+		return
+	}
+	in.Push(dataflow.BatchMsg(ts, window))
 }
 
-// collectPartial feeds one partial-state tuple into the aggregation
-// collector.
-func (q *queryState) collectPartial(window uint64, partial tuple.Tuple) {
-	if in := q.aggInlet(); in != nil {
-		in.Push(dataflow.Msg{Kind: dataflow.Data, T: partial, Seq: window})
+// collectPartials feeds arriving partial-state tuples into the
+// aggregation collector.
+func (q *queryState) collectPartials(window uint64, partials []tuple.Tuple) {
+	in := q.aggInlet()
+	if in == nil {
+		return
 	}
+	if len(partials) == 1 {
+		in.Push(dataflow.Msg{Kind: dataflow.Data, T: partials[0], Seq: window})
+		return
+	}
+	in.Push(dataflow.BatchMsg(partials, window))
 }

@@ -171,7 +171,7 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 
 	rows := q.canonicalRows(0)
 	var final []tuple.Tuple
-	finalize := physical.CompileFinalize(spec, rows, &final)
+	finalize := physical.CompileFinalize(spec, rows, &final, q.node.cfg.BatchSize)
 	if err := finalize.Run(ctx); err != nil {
 		return nil, err
 	}
@@ -431,15 +431,15 @@ func (q *queryState) canonicalRows(window uint64) []tuple.Tuple {
 
 // finalize runs the coordinator-local tail of the plan.
 func (q *queryState) finalize(ctx context.Context, rows []tuple.Tuple) ([]tuple.Tuple, error) {
-	return finalizeRows(ctx, q.spec, rows)
+	return finalizeRows(ctx, q.spec, rows, q.node.cfg.BatchSize)
 }
 
 // finalizeRows runs the coordinator-local tail of a plan over
 // canonical rows: HAVING, DISTINCT, ORDER BY, LIMIT, and the output
 // permutation — the physical layer's coordinator pipeline.
-func finalizeRows(ctx context.Context, spec *plan.Spec, rows []tuple.Tuple) ([]tuple.Tuple, error) {
+func finalizeRows(ctx context.Context, spec *plan.Spec, rows []tuple.Tuple, batchSize int) ([]tuple.Tuple, error) {
 	var out []tuple.Tuple
-	pipe := physical.CompileFinalize(spec, rows, &out)
+	pipe := physical.CompileFinalize(spec, rows, &out, batchSize)
 	if err := pipe.Run(ctx); err != nil {
 		return nil, err
 	}

@@ -356,7 +356,7 @@ func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte
 	switch tag {
 	case tagAgg:
 		f, rows, err := decodeTupleMsg(payload)
-		if err != nil || len(rows) != 1 {
+		if err != nil || len(rows) == 0 {
 			return
 		}
 		q := n.getQuery(f.Query, nil)
@@ -364,10 +364,10 @@ func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte
 			n.bufferPending(f.Query, tag, payload)
 			return
 		}
-		q.collectPartial(f.Window, rows[0])
+		q.collectPartials(f.Window, rows)
 	case tagJoin:
 		f, rows, err := decodeTupleMsg(payload)
-		if err != nil || len(rows) != 1 || f.Side > 1 {
+		if err != nil || len(rows) == 0 || f.Side > 1 {
 			return
 		}
 		q := n.getQuery(f.Query, nil)
@@ -375,7 +375,7 @@ func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte
 			n.bufferPending(f.Query, tag, payload)
 			return
 		}
-		q.collectJoinTuple(f.Window, int(f.Stage), int(f.Side), rows[0])
+		q.collectJoinTuples(f.Window, int(f.Stage), int(f.Side), rows)
 	}
 }
 
@@ -419,12 +419,12 @@ func (n *Node) replayPending(q *queryState) {
 	for _, m := range msgs {
 		switch m.tag {
 		case tagAgg:
-			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) == 1 {
-				q.collectPartial(f.Window, rows[0])
+			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) > 0 {
+				q.collectPartials(f.Window, rows)
 			}
 		case tagJoin:
-			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) == 1 && f.Side <= 1 {
-				q.collectJoinTuple(f.Window, int(f.Stage), int(f.Side), rows[0])
+			if f, rows, err := decodeTupleMsg(m.payload); err == nil && f.Query == q.id && len(rows) > 0 && f.Side <= 1 {
+				q.collectJoinTuples(f.Window, int(f.Stage), int(f.Side), rows)
 			}
 		}
 	}

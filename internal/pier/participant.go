@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/batch"
 	"repro/internal/dataflow"
 	"repro/internal/dht"
 	"repro/internal/id"
@@ -36,21 +37,27 @@ func (q *queryState) participate() {
 func (q *queryState) pipelineEnv() *physical.Env {
 	n := q.node
 	return &physical.Env{
-		Scan: func(ns string) [][]byte {
-			items := n.store.LScan(ns)
-			payloads := make([][]byte, len(items))
-			for i, it := range items {
-				payloads[i] = it.Payload
+		Scan: func(ns string, partitions int) [][][]byte {
+			parts := n.store.LScanParts(ns, partitions)
+			out := make([][][]byte, len(parts))
+			for i, items := range parts {
+				payloads := make([][]byte, len(items))
+				for j, it := range items {
+					payloads[j] = it.Payload
+				}
+				out[i] = payloads
 			}
-			return payloads
+			return out
 		},
 		Fetch:         q.fetchProbe,
 		ShipRows:      q.sendRows,
-		ShipPartial:   q.shipPartial,
+		ShipPartial:   q.shipPartials,
 		Rehash:        q.rehashShip,
 		FlushRoutes:   n.flushRoutes,
 		Bloom:         q.filter,
 		RowBatch:      n.cfg.RowBatch,
+		BatchSize:     n.cfg.BatchSize,
+		ScanWorkers:   n.cfg.ScanParallel,
 		CollectorHold: n.cfg.CollectorHold,
 	}
 }
@@ -156,16 +163,24 @@ func (q *queryState) startPeriodicStats() func() {
 // ---------------------------------------------------------------------------
 // Ship callbacks (the pipeline's exits onto the network)
 
-// shipPartial routes one canonical partial tuple (group values then
-// states) toward its group's collector.
-func (q *queryState) shipPartial(window uint64, partial tuple.Tuple) int {
+// shipPartials routes a batch of canonical partial tuples (group
+// values then states) toward their groups' collectors. Partials stay
+// one per routed record so relay combining keeps merging them
+// in-network; the whole batch is handed to the route batcher in one
+// call.
+func (q *queryState) shipPartials(window uint64, partials []tuple.Tuple) int {
+	q.node.Metrics.PartialsSent.Add(uint64(len(partials)))
 	nGroup := len(q.spec.GroupCols)
-	groupKey := partial[:nGroup].Bytes()
-	key := aggCollectorKey(q.id, groupKey)
-	q.node.Metrics.PartialsSent.Add(1)
-	payload := encodeTupleMsg(q.id, window, 0, 0, partial)
-	_ = q.node.router.Route(key, tagAgg, payload)
-	return len(payload)
+	total := 0
+	recs := make([]batch.Record, len(partials))
+	for i, partial := range partials {
+		groupKey := partial[:nGroup].Bytes()
+		payload := encodeTupleMsg(q.id, window, 0, 0, partial)
+		total += len(payload)
+		recs[i] = batch.Record{Key: aggCollectorKey(q.id, groupKey), Tag: tagAgg, Payload: payload}
+	}
+	q.node.routeRecords(recs)
+	return total
 }
 
 // sendRows ships canonical result rows to the coordinator.
@@ -189,14 +204,39 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 	return total
 }
 
-// rehashShip routes one tuple of one join stage's side toward the
-// collector responsible for its join-key value at that stage.
-func (q *queryState) rehashShip(stage, side int, window uint64, key []byte, t tuple.Tuple) int {
-	q.node.Metrics.JoinTuplesRehashed.Add(1)
-	k := joinCollectorKey(q.id, stage, key)
-	payload := encodeTupleMsg(q.id, window, uint8(stage), uint8(side), t)
-	_ = q.node.router.Route(k, tagJoin, payload)
-	return len(payload)
+// rehashShip routes a batch of tuples of one join stage's side toward
+// the collectors responsible for their join-key values at that stage.
+// Tuples sharing a collector key are packed into one multi-record
+// frame (the receiver feeds them to its join pipeline as one batch),
+// and the whole vector is handed to the route batcher in one call.
+func (q *queryState) rehashShip(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
+	q.node.Metrics.JoinTuplesRehashed.Add(uint64(len(ts)))
+	if len(ts) == 1 {
+		k := joinCollectorKey(q.id, stage, keys[0])
+		payload := encodeTupleMsg(q.id, window, uint8(stage), uint8(side), ts[0])
+		_ = q.node.router.Route(k, tagJoin, payload)
+		return len(payload)
+	}
+	// Group by destination collector, preserving arrival order within
+	// a group.
+	order := make([]id.ID, 0, len(ts))
+	groups := make(map[id.ID][]tuple.Tuple, len(ts))
+	for i, t := range ts {
+		k := joinCollectorKey(q.id, stage, keys[i])
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	total := 0
+	recs := make([]batch.Record, 0, len(order))
+	for _, k := range order {
+		payload := encodeTupleMsg(q.id, window, uint8(stage), uint8(side), groups[k]...)
+		total += len(payload)
+		recs = append(recs, batch.Record{Key: k, Tag: tagJoin, Payload: payload})
+	}
+	q.node.routeRecords(recs)
+	return total
 }
 
 // fetchProbe resolves one fetch-matches probe against the probed

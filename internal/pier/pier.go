@@ -20,6 +20,7 @@ import (
 	"repro/internal/can"
 	"repro/internal/catalog"
 	"repro/internal/chord"
+	"repro/internal/dataflow"
 	"repro/internal/dht"
 	"repro/internal/id"
 	"repro/internal/kademlia"
@@ -70,6 +71,14 @@ type Config struct {
 	BloomHashes int
 	// RowBatch bounds rows per result message. Default 64.
 	RowBatch int
+	// BatchSize is the vectorization width of the local execution
+	// pipelines: tuples per dataflow batch message. Default 256
+	// (dataflow.DefaultBatchSize); 1 reproduces tuple-at-a-time
+	// execution exactly.
+	BatchSize int
+	// ScanParallel bounds the workers of parallel partitioned scans.
+	// Default 0 = GOMAXPROCS.
+	ScanParallel int
 	// DisableCombiner turns off in-network partial combining at
 	// relays (the S2 ablation).
 	DisableCombiner bool
@@ -102,6 +111,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RowBatch == 0 {
 		c.RowBatch = 64
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = dataflow.DefaultBatchSize
 	}
 	// A route-batch delay approaching the quiescence horizon would let
 	// relay-combined partials sit past the coordinator's settle clock
@@ -226,6 +238,19 @@ func (n *Node) Batcher() *batch.Batcher { return n.batcher }
 func (n *Node) flushRoutes() {
 	if n.batcher != nil {
 		n.batcher.Flush()
+	}
+}
+
+// routeRecords hands a pre-batched record vector to the route batcher
+// in one call — the batch-at-a-time ship path — falling back to
+// per-record routing when no batcher wraps the router.
+func (n *Node) routeRecords(recs []batch.Record) {
+	if n.batcher != nil {
+		_ = n.batcher.RouteMany(recs)
+		return
+	}
+	for _, r := range recs {
+		_ = n.router.Route(r.Key, r.Tag, r.Payload)
 	}
 }
 

@@ -78,7 +78,7 @@ func (n *Node) queryRecursive(ctx context.Context, stmt *sqlparser.SelectStmt) (
 	if err != nil {
 		return nil, err
 	}
-	rows, err := localExecuteSpec(ctx, outerSpec, cteRows)
+	rows, err := localExecuteSpec(ctx, outerSpec, cteRows, n.cfg.BatchSize)
 	if err != nil {
 		return nil, err
 	}
@@ -252,7 +252,7 @@ func compileAgainst(schema *tuple.Schema, stmt *sqlparser.SelectStmt) (*plan.Spe
 
 // localExecuteSpec runs a single-scan spec entirely locally over
 // in-memory rows — used for CTE outer blocks.
-func localExecuteSpec(ctx context.Context, spec *plan.Spec, raw []tuple.Tuple) ([]tuple.Tuple, error) {
+func localExecuteSpec(ctx context.Context, spec *plan.Spec, raw []tuple.Tuple, batchSize int) ([]tuple.Tuple, error) {
 	if len(spec.Scans) != 1 {
 		return nil, fmt.Errorf("pier: local execution supports one scan")
 	}
@@ -278,5 +278,5 @@ func localExecuteSpec(ctx context.Context, spec *plan.Spec, raw []tuple.Tuple) (
 	if err := g.Run(ctx); err != nil {
 		return nil, err
 	}
-	return finalizeRows(ctx, spec, canonical)
+	return finalizeRows(ctx, spec, canonical, batchSize)
 }

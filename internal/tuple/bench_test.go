@@ -1,0 +1,97 @@
+package tuple
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+func benchTuple() Tuple {
+	return Tuple{
+		String("node-17:4242"),
+		Int(123456789),
+		Float(3.14159),
+		Bool(true),
+		Time(time.Unix(1_700_000_000, 0)),
+	}
+}
+
+// BenchmarkHashKey measures the DHT partitioning hash on the rehash
+// hot path. The pooled-writer fast path must be allocation-free.
+func BenchmarkHashKey(b *testing.B) {
+	t := benchTuple()
+	cols := []int{0, 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = t.HashKey(cols)
+	}
+}
+
+// BenchmarkTupleEncode measures the wire encode of one tuple into a
+// pooled writer — the per-tuple cost under every ship path.
+func BenchmarkTupleEncode(b *testing.B) {
+	t := benchTuple()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wire.GetWriter()
+		t.Encode(w)
+		wire.PutWriter(w)
+	}
+}
+
+// BenchmarkAppendKey measures the canonical key-projection encode
+// used for join and group-by map keys.
+func BenchmarkAppendKey(b *testing.B) {
+	t := benchTuple()
+	cols := []int{1, 3}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := wire.GetWriter()
+		t.AppendKey(w, cols)
+		wire.PutWriter(w)
+	}
+}
+
+// TestHashKeyAllocationFree pins the steady-state zero-allocation
+// contract of the pooled encode paths.
+func TestHashKeyAllocationFree(t *testing.T) {
+	tp := benchTuple()
+	cols := []int{0, 1, 2}
+	if avg := testing.AllocsPerRun(200, func() { _ = tp.HashKey(cols) }); avg != 0 {
+		t.Fatalf("HashKey allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		w := wire.GetWriter()
+		tp.Encode(w)
+		wire.PutWriter(w)
+	}); avg != 0 {
+		t.Fatalf("pooled Encode allocates %.1f per op, want 0", avg)
+	}
+	if avg := testing.AllocsPerRun(200, func() {
+		w := wire.GetWriter()
+		tp.AppendKey(w, cols)
+		wire.PutWriter(w)
+	}); avg != 0 {
+		t.Fatalf("pooled AppendKey allocates %.1f per op, want 0", avg)
+	}
+}
+
+// TestAppendKeyCanonical pins AppendKey to the Project+Bytes byte
+// format every distributed key derivation assumes.
+func TestAppendKeyCanonical(t *testing.T) {
+	tp := benchTuple()
+	for _, cols := range [][]int{{0}, {1, 3}, {4, 2, 0}, {}} {
+		w := wire.GetWriter()
+		tp.AppendKey(w, cols)
+		got := append([]byte(nil), w.Bytes()...)
+		wire.PutWriter(w)
+		want := tp.Project(cols).Bytes()
+		if string(got) != string(want) {
+			t.Fatalf("cols %v: AppendKey %x != Project+Bytes %x", cols, got, want)
+		}
+	}
+}

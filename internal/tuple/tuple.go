@@ -385,9 +385,11 @@ func DecodeTuple(r *wire.Reader) Tuple {
 
 // Bytes encodes the tuple into a fresh buffer.
 func (t Tuple) Bytes() []byte {
-	w := wire.NewWriter(16 * len(t))
+	w := wire.GetWriter()
 	t.Encode(w)
-	return w.Bytes()
+	out := append([]byte(nil), w.Bytes()...)
+	wire.PutWriter(w)
+	return out
 }
 
 // FromBytes decodes a tuple from buf, rejecting trailing garbage.
@@ -400,15 +402,84 @@ func FromBytes(buf []byte) (Tuple, error) {
 	return t, nil
 }
 
+// Decoder decodes a stream of stored payloads with amortized
+// allocation: one reused wire.Reader and tuple value slots drawn from
+// shared arena blocks instead of one slice per tuple. Decoded tuples
+// remain valid indefinitely (they pin their arena block) and are
+// capped so appending to one can never write into a neighbor's slots.
+// Not safe for concurrent use; give each scan worker its own.
+type Decoder struct {
+	r     wire.Reader
+	arena []Value
+}
+
+// decoderBlock is the arena granularity: one allocation per this many
+// value slots.
+const decoderBlock = 4096
+
+// Decode decodes one payload written by Tuple.Encode, rejecting
+// trailing garbage.
+func (d *Decoder) Decode(buf []byte) (Tuple, error) {
+	d.r.Reset(buf)
+	n := d.r.Uvarint()
+	if n > 4096 {
+		return nil, fmt.Errorf("tuple: decode: absurd arity %d", n)
+	}
+	if cap(d.arena)-len(d.arena) < int(n) {
+		size := decoderBlock
+		if int(n) > size {
+			size = int(n)
+		}
+		d.arena = make([]Value, 0, size)
+	}
+	lo := len(d.arena)
+	for i := uint64(0); i < n; i++ {
+		d.arena = append(d.arena, DecodeValue(&d.r))
+	}
+	if err := d.r.Done(); err != nil {
+		d.arena = d.arena[:lo]
+		return nil, fmt.Errorf("tuple: decode: %w", err)
+	}
+	hi := len(d.arena)
+	return Tuple(d.arena[lo:hi:hi]), nil
+}
+
+// ConcatInto appends l ++ r (the join output) drawn from arena,
+// returning the capped tuple and the grown arena — the batch loop's
+// amortized form of Concat: one arena allocation serves a whole batch
+// of joined rows, and the cap stops append write-through between
+// neighbors.
+func ConcatInto(arena []Value, l, r Tuple) (Tuple, []Value) {
+	lo := len(arena)
+	arena = append(arena, l...)
+	arena = append(arena, r...)
+	hi := len(arena)
+	return Tuple(arena[lo:hi:hi]), arena
+}
+
 // HashKey hashes the projection of t onto cols into the identifier
 // space — the DHT partitioning function for rehash joins and
-// group-by placement.
+// group-by placement. Allocation-free: the scratch encode runs on a
+// pooled writer.
 func (t Tuple) HashKey(cols []int) id.ID {
-	w := wire.NewWriter(16 * len(cols))
+	w := wire.GetWriter()
 	for _, c := range cols {
 		t[c].hashInto(w)
 	}
-	return id.Hash(w.Bytes())
+	h := id.Hash(w.Bytes())
+	wire.PutWriter(w)
+	return h
+}
+
+// AppendKey appends the canonical key encoding of the projection of t
+// onto cols — byte-identical to Project(cols).Bytes(), without
+// materializing the projected tuple. The hot-path form used for join
+// and group-by map keys over a pooled writer.
+func (t Tuple) AppendKey(w *wire.Writer, cols []int) {
+	w.Uvarint(uint64(len(cols)))
+	for _, c := range cols {
+		t[c].Encode(w)
+	}
 }
 
 // String renders the row as (a, b, c).

@@ -1,0 +1,47 @@
+package wire
+
+import "testing"
+
+// BenchmarkWriterPool measures a checkout/encode/checkin cycle — the
+// unit of every pooled encode on the hot path. Must be
+// allocation-free in steady state.
+func BenchmarkWriterPool(b *testing.B) {
+	payload := []byte("0123456789abcdef0123456789abcdef")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := GetWriter()
+		w.Uvarint(uint64(i))
+		w.BytesLP(payload)
+		w.Uint64(uint64(i))
+		PutWriter(w)
+	}
+}
+
+func TestWriterPoolAllocationFree(t *testing.T) {
+	payload := []byte("hello world payload")
+	if avg := testing.AllocsPerRun(200, func() {
+		w := GetWriter()
+		w.String("tag")
+		w.BytesLP(payload)
+		PutWriter(w)
+	}); avg != 0 {
+		t.Fatalf("pooled writer cycle allocates %.1f per op, want 0", avg)
+	}
+}
+
+func TestWriterPoolResetsAndDropsGiants(t *testing.T) {
+	w := GetWriter()
+	w.String("state that must not leak")
+	PutWriter(w)
+	w2 := GetWriter()
+	if w2.Len() != 0 {
+		t.Fatalf("pooled writer not reset: %d bytes", w2.Len())
+	}
+	PutWriter(w2)
+
+	// A writer grown past the retention cap is dropped, not pinned.
+	big := GetWriter()
+	big.Raw(make([]byte, pooledWriterMaxCap+1))
+	PutWriter(big) // must not panic; buffer is discarded
+}

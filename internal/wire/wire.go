@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 	"time"
 )
 
@@ -45,6 +46,34 @@ func (w *Writer) Len() int { return len(w.buf) }
 
 // Reset truncates the writer for reuse.
 func (w *Writer) Reset() { w.buf = w.buf[:0] }
+
+// writerPool recycles Writers for the encode hot paths (tuple hash
+// keys, batch encodes) so steady-state encoding allocates nothing.
+var writerPool = sync.Pool{
+	New: func() any { return &Writer{buf: make([]byte, 0, 512)} },
+}
+
+// pooledWriterMaxCap bounds the buffers the pool retains: a writer
+// that grew past this (one giant frame) is dropped rather than pinned.
+const pooledWriterMaxCap = 64 << 10
+
+// GetWriter returns an empty Writer from the pool. The caller must
+// finish with the buffer (or copy it out) before PutWriter — pooled
+// buffers are reused and must never outlive the checkout.
+func GetWriter() *Writer {
+	w := writerPool.Get().(*Writer)
+	w.buf = w.buf[:0]
+	return w
+}
+
+// PutWriter recycles w. Any slice obtained from w.Bytes() is invalid
+// after this call.
+func PutWriter(w *Writer) {
+	if cap(w.buf) > pooledWriterMaxCap {
+		return
+	}
+	writerPool.Put(w)
+}
 
 // Byte appends a single byte.
 func (w *Writer) Byte(b byte) { w.buf = append(w.buf, b) }
@@ -123,6 +152,15 @@ type Reader struct {
 
 // NewReader wraps buf for decoding.
 func NewReader(buf []byte) *Reader { return &Reader{buf: buf} }
+
+// Reset re-arms the reader over a new buffer, clearing any poison —
+// decode loops reuse one Reader across many payloads instead of
+// allocating one each.
+func (r *Reader) Reset(buf []byte) {
+	r.buf = buf
+	r.off = 0
+	r.err = nil
+}
 
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }
