@@ -1,0 +1,44 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// TestAnalyzeSteersOptimizer is the simnet end-to-end check of the
+// distributed statistics subsystem: with no hand-declared statistics
+// anywhere, ANALYZE + gossip must (1) estimate rows within 2x of the
+// truth, (2) steer the cost-based optimizer to the same join order a
+// hand-declared-stats baseline picks — a different order than coarse
+// defaults choose — and (3) return byte-identical rows under every
+// statistics regime. The benchmark variant (BenchmarkAnalyze /
+// pierbench -experiment analyze) runs the full 32-node configuration;
+// this regular test uses a smaller deployment so the tier-1 gate
+// covers the property on every run.
+func TestAnalyzeSteersOptimizer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second simulated deployment")
+	}
+	out, err := bench.AnalyzeStats(12, 8, 50, 1200, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.PlansMatch {
+		t.Fatalf("measured plan %q != declared plan %q", out.MeasuredPlan, out.DeclaredPlan)
+	}
+	if out.MeasuredPlan == out.DefaultsPlan {
+		t.Fatalf("workload does not separate stats regimes: defaults and measured both pick %q", out.DefaultsPlan)
+	}
+	if !out.RowsMatch {
+		t.Fatal("result rows diverged across statistics regimes")
+	}
+	if out.GossipSource != "gossiped" {
+		t.Fatalf("querying node's stats source %q, want gossiped", out.GossipSource)
+	}
+	for _, c := range out.Costs {
+		if c.WithinFactor() > 2 {
+			t.Fatalf("%s estimate %d vs true %d beyond 2x", c.Table, c.EstRows, c.TrueRows)
+		}
+	}
+}

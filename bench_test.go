@@ -345,3 +345,37 @@ func BenchmarkLocalJoinPipelineScalar(b *testing.B) {
 	}
 	b.ReportMetric(float64(nLeft+nRight)*float64(b.N)/b.Elapsed().Seconds(), "rows/sec")
 }
+
+// BenchmarkAnalyze runs the distributed-ANALYZE experiment at full
+// scale: a 32-node simulated network with no hand-declared
+// statistics, where ANALYZE + gossip must estimate within 2x of the
+// truth and steer the optimizer to the hand-declared baseline's join
+// order (byte-identical rows). Custom metrics record per-table
+// measurement cost and the plan-quality gap versus coarse defaults.
+func BenchmarkAnalyze(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out, err := bench.AnalyzeStats(32, 8, 50, 5000, int64(i+1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.PlansMatch {
+			b.Fatalf("measured plan %q != declared plan %q", out.MeasuredPlan, out.DeclaredPlan)
+		}
+		if out.MeasuredPlan == out.DefaultsPlan {
+			b.Fatalf("defaults and measured picked the same plan %q", out.DefaultsPlan)
+		}
+		if !out.RowsMatch {
+			b.Fatal("result rows diverged across statistics regimes")
+		}
+		for _, c := range out.Costs {
+			if c.WithinFactor() > 2 {
+				b.Fatalf("%s estimate %d vs true %d beyond 2x", c.Table, c.EstRows, c.TrueRows)
+			}
+			b.ReportMetric(float64(c.Latency.Milliseconds()), "analyze-ms-"+c.Table)
+			b.ReportMetric(float64(c.Msgs), "analyze-msgs-"+c.Table)
+		}
+		b.ReportMetric(float64(out.DefaultsMsgs), "query-msgs-defaults")
+		b.ReportMetric(float64(out.MeasuredMsgs), "query-msgs-measured")
+	}
+}

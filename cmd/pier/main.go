@@ -16,10 +16,14 @@
 //	\insert <table> <val,...>     -- into this node's local partition
 //	\put <table> <val,...>        -- into the DHT (placed by key)
 //	\tables                        -- list defined tables
+//	\stats                         -- print the catalog statistics (source + age)
+//	\stats <table>                 -- print one table's statistics
 //	\stats <table> <rows> [col=distinct ...]  -- declare optimizer statistics
+//	\analyze [table ...]           -- measure statistics from the DHT (ANALYZE)
 //	\explain SELECT ...            -- print the distributed plan (no execution)
 //	\quit
 //	SELECT ...                     -- one-shot query
+//	ANALYZE [table, ...]           -- the SQL form of \analyze
 //	SELECT ... WINDOW 5 s SLIDE 1 s  -- continuous (prints windows; \stop ends it)
 //
 // With -explain, every one-shot query runs as EXPLAIN ANALYZE and
@@ -33,6 +37,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -114,10 +119,16 @@ func shell(node *pier.Node, explain bool) {
 			if err := doInsert(node, strings.TrimPrefix(line, `\put `), true); err != nil {
 				fmt.Println("error:", err)
 			}
+		case line == `\stats`:
+			printStats(node, node.Catalog().Names())
 		case strings.HasPrefix(line, `\stats `):
 			if err := doStats(node, strings.TrimPrefix(line, `\stats `)); err != nil {
 				fmt.Println("error:", err)
 			}
+		case line == `\analyze`:
+			doAnalyze(node, nil)
+		case strings.HasPrefix(line, `\analyze `):
+			doAnalyze(node, strings.Fields(strings.TrimPrefix(line, `\analyze `)))
 		case strings.HasPrefix(line, `\explain `):
 			plan, err := node.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
@@ -125,10 +136,12 @@ func shell(node *pier.Node, explain bool) {
 			} else {
 				fmt.Print(plan)
 			}
-		case strings.HasPrefix(strings.ToUpper(line), "SELECT") || strings.HasPrefix(strings.ToUpper(line), "WITH"):
+		case strings.HasPrefix(strings.ToUpper(line), "SELECT") ||
+			strings.HasPrefix(strings.ToUpper(line), "WITH") ||
+			strings.HasPrefix(strings.ToUpper(line), "ANALYZE"):
 			runQuery(node, line, explain)
 		default:
-			fmt.Println("unrecognized command; try SELECT ..., \\create, \\insert, \\put, \\tables, \\stats, \\explain, \\quit")
+			fmt.Println("unrecognized command; try SELECT ..., ANALYZE, \\create, \\insert, \\put, \\tables, \\stats, \\analyze, \\explain, \\quit")
 		}
 		fmt.Print("pier> ")
 	}
@@ -191,12 +204,66 @@ func doCreate(node *pier.Node, args string) error {
 	return node.DefineTable(schema, ttl)
 }
 
+// printStats renders the catalog statistics table: effective stats
+// per table with their provenance and age.
+func printStats(node *pier.Node, tables []string) {
+	if len(tables) == 0 {
+		fmt.Println("(no tables defined)")
+		return
+	}
+	fmt.Printf("%-16s %10s %-10s %-8s %s\n", "table", "rows", "source", "age", "distincts")
+	for _, name := range tables {
+		st, src, age := node.Catalog().StatsInfo(name)
+		cols := make([]string, 0, len(st.Distinct))
+		for c := range st.Distinct {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		parts := make([]string, len(cols))
+		for i, c := range cols {
+			parts[i] = fmt.Sprintf("%s=%d", c, st.Distinct[c])
+		}
+		ageText := "-"
+		if age > 0 {
+			ageText = age.Round(time.Second).String()
+		}
+		fmt.Printf("%-16s %10d %-10s %-8s %s\n", name, st.Rows, src, ageText, strings.Join(parts, " "))
+	}
+}
+
+// doAnalyze runs the distributed ANALYZE and prints the measured
+// statistics.
+func doAnalyze(node *pier.Node, tables []string) {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := node.Analyze(ctx, tables...)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	names := make([]string, 0, len(res.Tables))
+	for _, t := range res.Tables {
+		names = append(names, t.Table)
+	}
+	fmt.Printf("analyzed %d tables from %d participants in %v\n",
+		len(res.Tables), res.Participants, res.Duration.Round(time.Millisecond))
+	printStats(node, names)
+}
+
 // doStats parses "\stats <table> <rows> [col=distinct ...]" and
-// declares planner statistics for the cost-based join optimizer.
+// declares planner statistics for the cost-based join optimizer;
+// with just a table name it prints that table's statistics.
 func doStats(node *pier.Node, args string) error {
 	fields := strings.Fields(args)
+	if len(fields) == 1 {
+		if _, ok := node.Catalog().Lookup(fields[0]); !ok {
+			return fmt.Errorf("unknown table %q", fields[0])
+		}
+		printStats(node, fields[:1])
+		return nil
+	}
 	if len(fields) < 2 {
-		return fmt.Errorf("usage: \\stats <table> <rows> [col=distinct ...]")
+		return fmt.Errorf("usage: \\stats [<table> [<rows> [col=distinct ...]]]")
 	}
 	rows, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {

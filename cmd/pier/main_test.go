@@ -96,3 +96,26 @@ func TestDoInsertErrors(t *testing.T) {
 		}
 	}
 }
+
+func TestStatsDisplayAndQualifiedNames(t *testing.T) {
+	node := testNode(t)
+	if err := doCreate(node, "t k:string,v:int key k"); err != nil {
+		t.Fatal(err)
+	}
+	// The satellite bugfix: qualified column names normalize instead
+	// of erroring, so "\stats t t.v=..." and measured stats agree.
+	if err := doStats(node, "t 100 t.v=40"); err != nil {
+		t.Fatal(err)
+	}
+	st := node.Catalog().Stats("t")
+	if st.Rows != 100 || st.Distinct["v"] != 40 {
+		t.Fatalf("declared stats %+v", st)
+	}
+	// Bare "\stats t" prints instead of erroring.
+	if err := doStats(node, "t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := doStats(node, "missing"); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+}

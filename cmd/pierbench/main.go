@@ -13,6 +13,7 @@
 //	pierbench -experiment recursive
 //	pierbench -experiment batching
 //	pierbench -experiment multiway
+//	pierbench -experiment analyze
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
 //	pierbench -experiment localpipe
@@ -155,6 +156,11 @@ func main() {
 			return multiway(*n, *seed, rec)
 		})
 	}
+	if want("analyze") {
+		run("analyze", func() error {
+			return analyze(*n, *seed, rec)
+		})
+	}
 	if want("overlay") {
 		run("overlay", func() error {
 			return overlay(*n, *seed)
@@ -257,6 +263,51 @@ func multiway(n int, seed int64, rec *recorder) error {
 		}
 		rec.metric("rows."+r.Mode, float64(r.Rows))
 		rec.metric("msgs."+r.Mode, float64(r.Msgs))
+	}
+	return nil
+}
+
+// analyze runs the distributed-ANALYZE experiment: per-table
+// measurement cost (latency + messages vs table size), estimate
+// accuracy against the known truth, and optimizer steering — the
+// measured/gossiped statistics must pick the hand-declared baseline's
+// join order (byte-identical rows) where coarse defaults pick a
+// costlier one.
+func analyze(n int, seed int64, rec *recorder) error {
+	out, err := bench.AnalyzeStats(n, 0, 0, 0, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %10s %8s %12s %10s %12s\n",
+		"table", "true rows", "est rows", "factor", "latency", "msgs", "bytes")
+	for _, c := range out.Costs {
+		fmt.Printf("%-8s %10d %10d %8.3f %12v %10d %12d\n",
+			c.Table, c.TrueRows, c.EstRows, c.WithinFactor(),
+			c.Latency.Round(time.Millisecond), c.Msgs, c.Bytes)
+		rec.metric("analyze-ms."+c.Table, float64(c.Latency.Milliseconds()))
+		rec.metric("analyze-msgs."+c.Table, float64(c.Msgs))
+		rec.metric("est-rows."+c.Table, float64(c.EstRows))
+		rec.metric("true-rows."+c.Table, float64(c.TrueRows))
+		if c.WithinFactor() > 2 {
+			return fmt.Errorf("%s estimate %d vs true %d beyond 2x", c.Table, c.EstRows, c.TrueRows)
+		}
+	}
+	fmt.Printf("\nplan under defaults:  %s  (%d tuples moved)\n", out.DefaultsPlan, out.DefaultsWork)
+	fmt.Printf("plan under declared:  %s  (%d tuples moved)\n", out.DeclaredPlan, out.DeclaredWork)
+	fmt.Printf("plan under measured:  %s  (%d tuples moved, stats %s)\n", out.MeasuredPlan, out.MeasuredWork, out.GossipSource)
+	fmt.Printf("plans match: %v; rows byte-identical across regimes: %v (%d rows)\n",
+		out.PlansMatch, out.RowsMatch, out.Rows)
+	rec.metric("query-work.defaults", float64(out.DefaultsWork))
+	rec.metric("query-work.declared", float64(out.DeclaredWork))
+	rec.metric("query-work.measured", float64(out.MeasuredWork))
+	rec.metric("query-msgs.defaults", float64(out.DefaultsMsgs))
+	rec.metric("query-msgs.declared", float64(out.DeclaredMsgs))
+	rec.metric("query-msgs.measured", float64(out.MeasuredMsgs))
+	if !out.PlansMatch {
+		return fmt.Errorf("measured plan %q != declared plan %q", out.MeasuredPlan, out.DeclaredPlan)
+	}
+	if !out.RowsMatch {
+		return fmt.Errorf("result rows diverged across statistics regimes")
 	}
 	return nil
 }

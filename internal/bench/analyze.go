@@ -1,0 +1,355 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/catalog"
+	"repro/internal/piertest"
+	"repro/internal/tuple"
+)
+
+// ---------------------------------------------------------------------------
+// Distributed ANALYZE: measurement cost and optimizer steering
+//
+// The experiment answers two questions on a cluster with NO
+// hand-declared statistics: (1) what does ANALYZE cost (latency and
+// messages) per table size, and how close are the merged estimates to
+// the truth; (2) do measured-and-gossiped statistics steer the
+// cost-based optimizer to the same join order as a hand-declared
+// baseline — and how much better is that plan than the one coarse
+// defaults pick.
+
+// AnalyzeTableCost is one table's ANALYZE cost/accuracy point.
+type AnalyzeTableCost struct {
+	Table    string
+	TrueRows int64
+	EstRows  int64
+	// Latency is the wall time of analyzing just this table;
+	// Msgs/Bytes the network traffic it generated.
+	Latency time.Duration
+	Msgs    uint64
+	Bytes   uint64
+}
+
+// WithinFactor reports the worse of est/true and true/est.
+func (c AnalyzeTableCost) WithinFactor() float64 {
+	if c.TrueRows == 0 || c.EstRows == 0 {
+		return 1e9
+	}
+	f := float64(c.EstRows) / float64(c.TrueRows)
+	if f < 1 {
+		f = 1 / f
+	}
+	return f
+}
+
+// AnalyzeOutcome is the whole experiment's result.
+type AnalyzeOutcome struct {
+	Costs []AnalyzeTableCost
+	// Plan shapes (join order + per-stage strategies) under the three
+	// statistics regimes.
+	DefaultsPlan string
+	DeclaredPlan string
+	MeasuredPlan string
+	// GossipSource is the stats provenance at the node that ran the
+	// measured query ("gossiped": it never issued ANALYZE itself).
+	GossipSource string
+	// PlansMatch: measured-stats plan == hand-declared-stats plan.
+	PlansMatch bool
+	// RowsMatch: all three runs returned byte-identical rows (and
+	// matched the single-node baseline executor).
+	RowsMatch bool
+	// Result-row count and per-regime cost of the query. Msgs are raw
+	// simulated-network sends during the run (including background
+	// maintenance and gossip); Work is the engine's own count of
+	// query data movement (rehashed join tuples + fetch probes), the
+	// noise-free plan-quality measure.
+	Rows         int
+	DefaultsMsgs uint64
+	DeclaredMsgs uint64
+	MeasuredMsgs uint64
+	DefaultsWork uint64
+	DeclaredWork uint64
+	MeasuredWork uint64
+	// Per-regime baseline agreement (RowsMatch is their conjunction).
+	DefaultsRowsMatch bool
+	DeclaredRowsMatch bool
+	MeasuredRowsMatch bool
+}
+
+// planShape compresses an EXPLAIN tree to "t1>t2>t3 [strat0,strat1]"
+// — the join order and per-stage strategies, with the stats
+// annotations (which legitimately differ by provenance) dropped.
+func planShape(explain string) string {
+	var tables, strats []string
+	stratAt := map[int]string{}
+	for _, line := range strings.Split(explain, "\n") {
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "Scan ") {
+			tables = append(tables, strings.Fields(line)[1])
+		}
+		if strings.HasPrefix(line, "Join#") {
+			var stage int
+			var strat string
+			if _, err := fmt.Sscanf(line, "Join#%d (%s", &stage, &strat); err == nil {
+				stratAt[stage] = strings.TrimSuffix(strat, ")")
+			}
+		}
+	}
+	for s := 0; s < len(stratAt); s++ {
+		strats = append(strats, stratAt[s])
+	}
+	return strings.Join(tables, ">") + " [" + strings.Join(strats, ",") + "]"
+}
+
+// AnalyzeStats runs the distributed-ANALYZE experiment on an n-node
+// simulated network: a 3-table workload (orders local; users and
+// items in the DHT, keyed on their join columns) sized so that
+// accurate statistics flip the join order away from what coarse
+// defaults pick. nUIDs controls user cardinality (two user rows per
+// uid, so the users join expands), nItems the items table size.
+func AnalyzeStats(n, ordersPerNode, nUIDs, nItems int, seed int64) (*AnalyzeOutcome, error) {
+	if n == 0 {
+		n = 32
+	}
+	if ordersPerNode == 0 {
+		ordersPerNode = 8
+	}
+	if nUIDs == 0 {
+		nUIDs = 50
+	}
+	if nItems == 0 {
+		nItems = 5000
+	}
+	usersSchema := tuple.MustSchema("users", []tuple.Column{
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "name", Type: tuple.TString},
+	}, "uid")
+	ordersSchema := tuple.MustSchema("orders", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "oid", Type: tuple.TInt},
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "item", Type: tuple.TInt},
+	}, "node", "oid")
+	itemsSchema := tuple.MustSchema("items", []tuple.Column{
+		{Name: "item", Type: tuple.TInt},
+		{Name: "price", Type: tuple.TFloat},
+	}, "item")
+
+	cfg := piertest.FastConfig()
+	// The fast-timer default republishes every holder's items twice a
+	// second — with thousands of DHT items that background repair
+	// traffic dwarfs everything being measured. Use a repair period
+	// proportionate to the workload (items carry 5-minute TTLs).
+	cfg.DHT.RepublishEvery = 5 * time.Second
+	cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+	// Every node answers the baseline's pull protocol (the reference
+	// executor collects whole tables through it).
+	var bases []*baseline.Centralized
+	for _, nd := range cluster.Nodes {
+		bases = append(bases, baseline.NewCentralized(nd))
+		for _, s := range []*tuple.Schema{usersSchema, ordersSchema, itemsSchema} {
+			if err := nd.DefineTable(s, 5*time.Minute); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Two user rows per uid (the users join expands); items large.
+	for u := 0; u < nUIDs; u++ {
+		for copyN := 0; copyN < 2; copyN++ {
+			nd := cluster.Nodes[(2*u+copyN)%n]
+			if err := nd.Publish("users", tuple.Tuple{
+				tuple.Int(int64(u)), tuple.String(fmt.Sprintf("user-%d-%d", u, copyN)),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for it := 0; it < nItems; it++ {
+		nd := cluster.Nodes[it%n]
+		if err := nd.Publish("items", tuple.Tuple{
+			tuple.Int(int64(it)), tuple.Float(float64(it) + 0.5),
+		}); err != nil {
+			return nil, err
+		}
+	}
+	trueOrders := int64(n * ordersPerNode)
+	for i, nd := range cluster.Nodes {
+		for j := 0; j < ordersPerNode; j++ {
+			oid := i*ordersPerNode + j
+			if err := nd.PublishLocal("orders", tuple.Tuple{
+				tuple.String(nd.Addr()), tuple.Int(int64(oid)),
+				tuple.Int(int64(oid % nUIDs)), tuple.Int(int64(oid % nItems)),
+			}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	trueRows := map[string]int64{"orders": trueOrders, "users": int64(2 * nUIDs), "items": int64(nItems)}
+	if err := waitForCount(cluster, "table:users", 2*nUIDs, 20*time.Second); err != nil {
+		return nil, err
+	}
+	if err := waitForCount(cluster, "table:items", nItems, 20*time.Second); err != nil {
+		return nil, err
+	}
+
+	const sql = "SELECT o.oid, u.name, i.price FROM orders o JOIN users u ON o.uid = u.uid JOIN items i ON o.item = i.item"
+	nodeDeclared, nodeAnalyze, nodeGossip := cluster.Nodes[0], cluster.Nodes[1], cluster.Nodes[2]
+
+	ref, err := bases[0].QuerySQL(context.Background(), sql, 300*time.Millisecond)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline executor: %w", err)
+	}
+	refDigest := rowsDigest(ref.Rows)
+
+	out := &AnalyzeOutcome{}
+
+	// 1. Defaults: query before any statistics exist anywhere.
+	defaultsPlanText, err := nodeGossip.Explain(sql)
+	if err != nil {
+		return nil, err
+	}
+	out.DefaultsPlan = planShape(defaultsPlanText)
+	cluster.Net.ResetStats()
+	work0 := queryWork(cluster)
+	resDefaults, err := nodeGossip.Query(context.Background(), sql)
+	if err != nil {
+		return nil, fmt.Errorf("bench: defaults query: %w", err)
+	}
+	out.DefaultsMsgs = cluster.Net.Stats().Sent
+	out.DefaultsWork = queryWork(cluster) - work0
+
+	// 2. Hand-declared truth on one node only (the baseline an
+	// operator would declare).
+	for tbl, st := range map[string]catalog.TableStats{
+		"orders": {Rows: trueOrders, Distinct: map[string]int64{
+			"node": int64(n), "oid": trueOrders,
+			"uid": min(trueOrders, int64(nUIDs)), "item": min(trueOrders, int64(nItems))}},
+		"users": {Rows: int64(2 * nUIDs), Distinct: map[string]int64{"uid": int64(nUIDs), "name": int64(2 * nUIDs)}},
+		"items": {Rows: int64(nItems), Distinct: map[string]int64{"item": int64(nItems), "price": int64(nItems)}},
+	} {
+		if err := nodeDeclared.SetTableStats(tbl, st); err != nil {
+			return nil, err
+		}
+	}
+	declaredPlanText, err := nodeDeclared.Explain(sql)
+	if err != nil {
+		return nil, err
+	}
+	out.DeclaredPlan = planShape(declaredPlanText)
+	cluster.Net.ResetStats()
+	work0 = queryWork(cluster)
+	resDeclared, err := nodeDeclared.Query(context.Background(), sql)
+	if err != nil {
+		return nil, fmt.Errorf("bench: declared query: %w", err)
+	}
+	out.DeclaredMsgs = cluster.Net.Stats().Sent
+	out.DeclaredWork = queryWork(cluster) - work0
+
+	// 3. ANALYZE per table from a node with no declared stats —
+	// latency and message cost scale with the table being measured.
+	for _, tbl := range []string{"orders", "users", "items"} {
+		cluster.Net.ResetStats()
+		t0 := time.Now()
+		ares, err := nodeAnalyze.Analyze(context.Background(), tbl)
+		if err != nil {
+			return nil, fmt.Errorf("bench: analyze %s: %w", tbl, err)
+		}
+		lat := time.Since(t0)
+		st := cluster.Net.Stats()
+		if len(ares.Tables) != 1 {
+			return nil, fmt.Errorf("bench: analyze %s returned %d tables", tbl, len(ares.Tables))
+		}
+		out.Costs = append(out.Costs, AnalyzeTableCost{
+			Table: tbl, TrueRows: trueRows[tbl], EstRows: ares.Tables[0].Rows,
+			Latency: lat, Msgs: st.Sent, Bytes: st.BytesSent,
+		})
+	}
+	for _, c := range out.Costs {
+		if c.WithinFactor() > 2 {
+			return nil, fmt.Errorf("bench: analyze %s estimated %d rows, true %d (beyond 2x)",
+				c.Table, c.EstRows, c.TrueRows)
+		}
+	}
+
+	// 4. Gossip: a third node that never ran ANALYZE converges to the
+	// measured stats and picks the same plan as the declared baseline.
+	gossipDeadline := time.Now().Add(30 * time.Second)
+	for {
+		ready := true
+		for _, tbl := range []string{"orders", "users", "items"} {
+			st, src, _ := nodeGossip.Catalog().StatsInfo(tbl)
+			if src == catalog.StatsDefault || st.Rows == 0 {
+				ready = false
+			}
+		}
+		if ready {
+			break
+		}
+		if time.Now().After(gossipDeadline) {
+			return nil, fmt.Errorf("bench: gossip did not converge within 30s")
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	_, src, _ := nodeGossip.Catalog().StatsInfo("items")
+	out.GossipSource = src.String()
+	measuredPlanText, err := nodeGossip.Explain(sql)
+	if err != nil {
+		return nil, err
+	}
+	out.MeasuredPlan = planShape(measuredPlanText)
+	cluster.Net.ResetStats()
+	work0 = queryWork(cluster)
+	resMeasured, err := nodeGossip.Query(context.Background(), sql)
+	if err != nil {
+		return nil, fmt.Errorf("bench: measured query: %w", err)
+	}
+	out.MeasuredMsgs = cluster.Net.Stats().Sent
+	out.MeasuredWork = queryWork(cluster) - work0
+
+	out.Rows = len(resMeasured.Rows)
+	out.PlansMatch = out.MeasuredPlan == out.DeclaredPlan
+	out.DefaultsRowsMatch = rowsDigest(resDefaults.Rows) == refDigest
+	out.DeclaredRowsMatch = rowsDigest(resDeclared.Rows) == refDigest
+	out.MeasuredRowsMatch = rowsDigest(resMeasured.Rows) == refDigest
+	out.RowsMatch = out.DefaultsRowsMatch && out.DeclaredRowsMatch && out.MeasuredRowsMatch
+	return out, nil
+}
+
+// queryWork sums the engine's own data-movement counters across the
+// cluster: join tuples rehashed plus fetch-matches probes — the cost
+// the optimizer's unit ("tuples put on the network") actually prices.
+func queryWork(cluster *piertest.Cluster) uint64 {
+	var total uint64
+	for _, nd := range cluster.Nodes {
+		total += nd.Metrics.JoinTuplesRehashed.Load() + nd.Metrics.FetchProbes.Load()
+	}
+	return total
+}
+
+// waitForCount polls until the cluster-wide primary item count of ns
+// reaches want.
+func waitForCount(cluster *piertest.Cluster, ns string, want int, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		total := 0
+		for _, nd := range cluster.Nodes {
+			total += nd.Store().Count(ns)
+		}
+		if total >= want {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("bench: %s holds %d/%d items after %v", ns, total, want, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

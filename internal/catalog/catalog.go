@@ -27,22 +27,64 @@ type Table struct {
 	TTL time.Duration
 }
 
+// StatsSource records where a table's statistics came from, in
+// ascending precedence order: the optimizer resolves declared >
+// measured-fresh > gossiped > coarse defaults.
+type StatsSource uint8
+
+const (
+	// StatsDefault marks the absence of statistics: the optimizer
+	// falls back to its coarse defaults.
+	StatsDefault StatsSource = iota
+	// StatsGossiped stats arrived in another node's TTL'd digest.
+	StatsGossiped
+	// StatsMeasured stats came from an ANALYZE this node coordinated.
+	StatsMeasured
+	// StatsDeclared stats were set by hand (\stats / SetTableStats).
+	StatsDeclared
+)
+
+func (s StatsSource) String() string {
+	switch s {
+	case StatsGossiped:
+		return "gossiped"
+	case StatsMeasured:
+		return "measured"
+	case StatsDeclared:
+		return "declared"
+	}
+	return "default"
+}
+
 // TableStats are the planner's per-table estimates. PIER has no
 // global statistics service — stats are declared locally (like the
-// schemas themselves) by whoever issues queries, and the cost-based
-// optimizer treats them as hints, falling back to coarse defaults
-// when absent.
+// schemas themselves), measured by the distributed ANALYZE, or picked
+// up from other nodes' TTL'd gossip digests; the cost-based optimizer
+// treats them as hints, falling back to coarse defaults when absent.
 type TableStats struct {
 	// Rows estimates the network-wide cardinality (0 = unknown).
 	Rows int64
 	// Distinct estimates distinct values per column, keyed by the
 	// base (unqualified) column name.
 	Distinct map[string]int64
+	// Source is the stats' provenance (StatsDeclared for SetStats).
+	Source StatsSource
+	// MeasuredAt stamps measured/gossiped stats (zero for declared).
+	MeasuredAt time.Time
+	// TTL is the soft-state lifetime of measured/gossiped stats;
+	// past it they no longer count (0 = never expires).
+	TTL time.Duration
+}
+
+// Expired reports whether soft-state stats are past their lifetime
+// (declared stats never expire).
+func (s TableStats) Expired(now time.Time) bool {
+	return s.Source != StatsDeclared && s.TTL > 0 && now.After(s.MeasuredAt.Add(s.TTL))
 }
 
 // clone deep-copies the stats so callers never share the map.
 func (s TableStats) clone() TableStats {
-	out := TableStats{Rows: s.Rows}
+	out := s
 	if s.Distinct != nil {
 		out.Distinct = make(map[string]int64, len(s.Distinct))
 		for k, v := range s.Distinct {
@@ -56,12 +98,21 @@ func (s TableStats) clone() TableStats {
 type Catalog struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
-	stats  map[string]TableStats
+	// stats holds hand-declared statistics; measured holds the latest
+	// live ANALYZE-measured or gossiped entry. Declared always wins at
+	// read time, so a measurement never silently overrides an
+	// operator's explicit hint.
+	stats    map[string]TableStats
+	measured map[string]TableStats
 }
 
 // New creates an empty catalog.
 func New() *Catalog {
-	return &Catalog{tables: make(map[string]*Table), stats: make(map[string]TableStats)}
+	return &Catalog{
+		tables:   make(map[string]*Table),
+		stats:    make(map[string]TableStats),
+		measured: make(map[string]TableStats),
+	}
 }
 
 // Namespace returns the conventional DHT namespace for a table name.
@@ -97,7 +148,33 @@ func (c *Catalog) Lookup(name string) (*Table, bool) {
 	return t, ok
 }
 
-// SetStats records planner statistics for a defined table.
+// normalizeDistinct validates every distinct key against the schema
+// and rewrites it to the base (unqualified) column name, so
+// `\stats t t.x=...` and measured stats agree on keys. Two keys
+// collapsing onto the same column error rather than silently
+// overwriting each other.
+func normalizeDistinct(tbl *Table, name string, distinct map[string]int64) (map[string]int64, error) {
+	if distinct == nil {
+		return nil, nil
+	}
+	out := make(map[string]int64, len(distinct))
+	for col, d := range distinct {
+		idx := tbl.Schema.ColIndex(col)
+		if idx < 0 {
+			return nil, fmt.Errorf("catalog: stats for unknown column %s.%s", name, col)
+		}
+		base := tuple.BaseName(tbl.Schema.Columns[idx].Name)
+		if _, dup := out[base]; dup {
+			return nil, fmt.Errorf("catalog: duplicate stats for column %s.%s", name, base)
+		}
+		out[base] = d
+	}
+	return out, nil
+}
+
+// SetStats records hand-declared planner statistics for a defined
+// table. Qualified column names ("t.x") are accepted and normalized
+// to base names, so declared and measured stats share keys.
 func (c *Catalog) SetStats(name string, stats TableStats) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
@@ -105,21 +182,94 @@ func (c *Catalog) SetStats(name string, stats TableStats) error {
 	if !ok {
 		return fmt.Errorf("catalog: stats for unknown table %q", name)
 	}
-	for col := range stats.Distinct {
-		if tbl.Schema.ColIndex(col) < 0 {
-			return fmt.Errorf("catalog: stats for unknown column %s.%s", name, col)
-		}
+	norm, err := normalizeDistinct(tbl, name, stats.Distinct)
+	if err != nil {
+		return err
 	}
-	c.stats[name] = stats.clone()
+	stats = stats.clone()
+	stats.Distinct = norm
+	stats.Source = StatsDeclared
+	stats.MeasuredAt = time.Time{}
+	stats.TTL = 0
+	c.stats[name] = stats
 	return nil
 }
 
-// Stats returns the recorded statistics for a table (the zero value
-// when none were declared).
+// InstallMeasured records measured or gossiped statistics, respecting
+// soft-state precedence: an expired entry always yields; a live
+// measured entry is never displaced by gossip; within one source the
+// newer measurement wins. The caller sets Source, MeasuredAt, and
+// TTL. Declared stats live separately and always win at read time.
+func (c *Catalog) InstallMeasured(name string, stats TableStats) error {
+	if stats.Source != StatsMeasured && stats.Source != StatsGossiped {
+		return fmt.Errorf("catalog: InstallMeasured with source %v", stats.Source)
+	}
+	now := time.Now()
+	if stats.Expired(now) {
+		return nil // dead on arrival; nothing to install
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tbl, ok := c.tables[name]
+	if !ok {
+		return fmt.Errorf("catalog: stats for unknown table %q", name)
+	}
+	norm, err := normalizeDistinct(tbl, name, stats.Distinct)
+	if err != nil {
+		return err
+	}
+	stats = stats.clone()
+	stats.Distinct = norm
+	if cur, ok := c.measured[name]; ok && !cur.Expired(now) {
+		if cur.Source > stats.Source {
+			return nil
+		}
+		if cur.Source == stats.Source && !stats.MeasuredAt.After(cur.MeasuredAt) {
+			return nil
+		}
+	}
+	c.measured[name] = stats
+	return nil
+}
+
+// Stats returns the effective statistics for a table — declared if
+// set, else the live measured/gossiped entry, else the zero value
+// (Source StatsDefault), which the optimizer reads as "use coarse
+// defaults".
 func (c *Catalog) Stats(name string) TableStats {
+	s, _, _ := c.StatsInfo(name)
+	return s
+}
+
+// StatsInfo returns the effective statistics with their provenance
+// and age (0 for declared or absent stats) — what EXPLAIN annotates
+// scans with.
+func (c *Catalog) StatsInfo(name string) (TableStats, StatsSource, time.Duration) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return c.stats[name].clone()
+	if s, ok := c.stats[name]; ok {
+		return s.clone(), StatsDeclared, 0
+	}
+	now := time.Now()
+	if m, ok := c.measured[name]; ok && !m.Expired(now) {
+		return m.clone(), m.Source, now.Sub(m.MeasuredAt)
+	}
+	return TableStats{}, StatsDefault, 0
+}
+
+// MeasuredAll snapshots every live measured/gossiped entry — the
+// material for gossip digests.
+func (c *Catalog) MeasuredAll() map[string]TableStats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	now := time.Now()
+	out := make(map[string]TableStats, len(c.measured))
+	for name, m := range c.measured {
+		if !m.Expired(now) {
+			out[name] = m.clone()
+		}
+	}
+	return out
 }
 
 // Drop removes a table definition (local only).
@@ -128,6 +278,7 @@ func (c *Catalog) Drop(name string) {
 	defer c.mu.Unlock()
 	delete(c.tables, name)
 	delete(c.stats, name)
+	delete(c.measured, name)
 }
 
 // Names lists defined tables in sorted order.

@@ -96,3 +96,130 @@ func TestNamespaceConvention(t *testing.T) {
 		t.Fatalf("namespace %q", Namespace("x"))
 	}
 }
+
+// ---------------------------------------------------------------------------
+// Statistics: provenance, freshness, qualified-name normalization
+
+func TestSetStatsNormalizesQualifiedNames(t *testing.T) {
+	c := New()
+	c.Define(schema("t"), time.Minute)
+	// Qualified by the table name: accepted and normalized to base.
+	err := c.SetStats("t", TableStats{Rows: 10, Distinct: map[string]int64{"t.k": 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c.Stats("t")
+	if st.Distinct["k"] != 5 {
+		t.Fatalf("qualified key not normalized: %+v", st.Distinct)
+	}
+	if _, qualified := st.Distinct["t.k"]; qualified {
+		t.Fatal("qualified key stored verbatim")
+	}
+	// Unknown columns (and foreign qualifiers) still rejected.
+	if err := c.SetStats("t", TableStats{Distinct: map[string]int64{"nope": 1}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+	if err := c.SetStats("t", TableStats{Distinct: map[string]int64{"u.k": 1}}); err == nil {
+		t.Fatal("foreign qualifier accepted")
+	}
+	// Two spellings of one column collide.
+	if err := c.SetStats("t", TableStats{Distinct: map[string]int64{"k": 1, "t.k": 2}}); err == nil {
+		t.Fatal("colliding keys accepted")
+	}
+}
+
+func TestStatsPrecedence(t *testing.T) {
+	c := New()
+	c.Define(schema("t"), time.Minute)
+	now := time.Now()
+
+	// Gossiped installs when nothing else exists.
+	if err := c.InstallMeasured("t", TableStats{Rows: 100, Source: StatsGossiped, MeasuredAt: now, TTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if st, src, _ := c.StatsInfo("t"); src != StatsGossiped || st.Rows != 100 {
+		t.Fatalf("gossiped not installed: %v %v", st.Rows, src)
+	}
+	// Measured displaces gossiped.
+	if err := c.InstallMeasured("t", TableStats{Rows: 200, Source: StatsMeasured, MeasuredAt: now, TTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if st, src, _ := c.StatsInfo("t"); src != StatsMeasured || st.Rows != 200 {
+		t.Fatalf("measured did not displace gossip: %v %v", st.Rows, src)
+	}
+	// Gossip does not displace live measured, even when newer.
+	c.InstallMeasured("t", TableStats{Rows: 300, Source: StatsGossiped, MeasuredAt: now.Add(time.Second), TTL: time.Minute})
+	if st, _, _ := c.StatsInfo("t"); st.Rows != 200 {
+		t.Fatalf("gossip displaced measured: %v", st.Rows)
+	}
+	// A newer measurement replaces an older one; an older one does not.
+	c.InstallMeasured("t", TableStats{Rows: 400, Source: StatsMeasured, MeasuredAt: now.Add(time.Second), TTL: time.Minute})
+	if st, _, _ := c.StatsInfo("t"); st.Rows != 400 {
+		t.Fatalf("newer measurement ignored: %v", st.Rows)
+	}
+	c.InstallMeasured("t", TableStats{Rows: 500, Source: StatsMeasured, MeasuredAt: now.Add(-time.Second), TTL: time.Minute})
+	if st, _, _ := c.StatsInfo("t"); st.Rows != 400 {
+		t.Fatalf("stale measurement accepted: %v", st.Rows)
+	}
+	// Declared wins over everything.
+	if err := c.SetStats("t", TableStats{Rows: 7}); err != nil {
+		t.Fatal(err)
+	}
+	if st, src, age := c.StatsInfo("t"); src != StatsDeclared || st.Rows != 7 || age != 0 {
+		t.Fatalf("declared not preferred: %v %v %v", st.Rows, src, age)
+	}
+}
+
+func TestMeasuredStatsExpire(t *testing.T) {
+	c := New()
+	c.Define(schema("t"), time.Minute)
+	old := time.Now().Add(-time.Hour)
+	// Expired on arrival: dropped.
+	c.InstallMeasured("t", TableStats{Rows: 1, Source: StatsMeasured, MeasuredAt: old, TTL: time.Minute})
+	if _, src, _ := c.StatsInfo("t"); src != StatsDefault {
+		t.Fatalf("expired stats visible: %v", src)
+	}
+	// Live install, then judged expired at read time.
+	c.InstallMeasured("t", TableStats{Rows: 2, Source: StatsMeasured, MeasuredAt: time.Now(), TTL: 250 * time.Millisecond})
+	if st, src, _ := c.StatsInfo("t"); src != StatsMeasured || st.Rows != 2 {
+		t.Fatalf("live stats invisible: %v %v", st.Rows, src)
+	}
+	time.Sleep(300 * time.Millisecond)
+	if _, src, _ := c.StatsInfo("t"); src != StatsDefault {
+		t.Fatal("stats survived their TTL")
+	}
+	// An expired entry yields to any newcomer, even lower precedence.
+	if err := c.InstallMeasured("t", TableStats{Rows: 3, Source: StatsGossiped, MeasuredAt: time.Now(), TTL: time.Minute}); err != nil {
+		t.Fatal(err)
+	}
+	if st, src, _ := c.StatsInfo("t"); src != StatsGossiped || st.Rows != 3 {
+		t.Fatalf("expired entry blocked gossip: %v %v", st.Rows, src)
+	}
+}
+
+func TestInstallMeasuredValidation(t *testing.T) {
+	c := New()
+	c.Define(schema("t"), time.Minute)
+	if err := c.InstallMeasured("missing", TableStats{Source: StatsMeasured, MeasuredAt: time.Now()}); err == nil {
+		t.Fatal("unknown table accepted")
+	}
+	if err := c.InstallMeasured("t", TableStats{Source: StatsDeclared}); err == nil {
+		t.Fatal("declared source accepted by InstallMeasured")
+	}
+	if err := c.InstallMeasured("t", TableStats{Source: StatsMeasured, MeasuredAt: time.Now(), Distinct: map[string]int64{"zzz": 1}}); err == nil {
+		t.Fatal("unknown column accepted")
+	}
+}
+
+func TestMeasuredAll(t *testing.T) {
+	c := New()
+	c.Define(schema("a"), time.Minute)
+	c.Define(schema("b"), time.Minute)
+	now := time.Now()
+	c.InstallMeasured("a", TableStats{Rows: 1, Source: StatsMeasured, MeasuredAt: now, TTL: time.Minute})
+	c.InstallMeasured("b", TableStats{Rows: 2, Source: StatsGossiped, MeasuredAt: now.Add(-time.Hour), TTL: time.Minute})
+	all := c.MeasuredAll()
+	if len(all) != 1 || all["a"].Rows != 1 {
+		t.Fatalf("MeasuredAll %v", all)
+	}
+}

@@ -1,0 +1,114 @@
+package physical
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+)
+
+// The stats-gather role: ANALYZE compiles, on every node, a pipeline
+// that scans the table's local partition and folds each tuple into a
+// mergeable statistics sketch; the per-partition sketches then ship
+// to the coordinator, whose merge pipeline combines them with the
+// SketchMerge operator. Same boxes-and-arrows discipline as every
+// other role, so the gather inherits parallel partitioned scans and
+// operator instrumentation for free.
+
+// SketchBuild folds tuples into a table sketch. sampleEvery > 1 runs
+// the sampled pass: every tuple is counted (rows stay exact), but
+// only every sampleEvery-th feeds the distinct counters and the row
+// sample — the cheap ANALYZE for very large partitions, trading
+// distinct accuracy on high-cardinality columns.
+func SketchBuild(sk *stats.TableSketch, sampleEvery int) OpFunc {
+	if sampleEvery < 1 {
+		sampleEvery = 1
+	}
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			n := 0
+			var scratch [1]tuple.Tuple
+			for m := range dataflow.Merge(ctx, ins) {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					continue
+				}
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				start := time.Now()
+				for _, t := range ts {
+					if n%sampleEvery == 0 {
+						sk.Add(t)
+					} else {
+						sk.AddRowOnly()
+					}
+					n++
+				}
+				c.Busy(start)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// SketchMerge consumes sketch-carrying tuples — (table name, encoded
+// sketch) pairs, one per arriving partition — and hands each to the
+// merge callback. The coordinator's accumulation runs inside this
+// operator's single goroutine, so the callback needs no locking.
+func SketchMerge(merge func(table string, enc []byte) error) OpFunc {
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			var scratch [1]tuple.Tuple
+			for m := range dataflow.Merge(ctx, ins) {
+				if m.Kind != dataflow.Data {
+					c.RecvPunct()
+					continue
+				}
+				ts := m.Tuples(&scratch)
+				c.RecvRows(len(ts))
+				start := time.Now()
+				for _, t := range ts {
+					if len(t) != 2 || t[0].Kind != tuple.TString || t[1].Kind != tuple.TBytes {
+						continue
+					}
+					_ = merge(t[0].S, t[1].Bs) // schema conflicts: skip the partition
+				}
+				c.Busy(start)
+				if m.Batch != nil {
+					dataflow.PutBatch(m.Batch)
+				}
+			}
+			return nil
+		}
+	}
+}
+
+// CompileStatsGather builds a participant's stats-gather pipeline for
+// one table: scan the local partition (parallel partitioned, like any
+// scan) into a sketch-build sink.
+func CompileStatsGather(ns string, arity int, env *Env, sampleEvery int, sk *stats.TableSketch) *Pipeline {
+	p := NewPipeline("stats-gather")
+	p.SetDetail(false)
+	src := p.Add("stats-scan", ScanSource(env.Scan, ns, arity, env.batchSize(), env.scanWorkers()))
+	sb := p.Add("sketch-build", SketchBuild(sk, sampleEvery))
+	p.Connect(src, sb)
+	return p
+}
+
+// CompileSketchMerge builds the coordinator's merge pipeline:
+// arriving per-partition sketches enter through the returned inlet
+// and fold into the accumulator via SketchMerge.
+func CompileSketchMerge(merge func(table string, enc []byte) error) (*Pipeline, *Inlet) {
+	p := NewPipeline("stats-merge")
+	p.SetDetail(false)
+	in := NewInlet()
+	src := p.Add("sketch-src", in.Source)
+	sm := p.Add("sketch-merge", SketchMerge(merge))
+	p.Connect(src, sm)
+	return p, in
+}

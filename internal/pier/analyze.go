@@ -1,0 +1,506 @@
+package pier
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/dataflow"
+	"repro/internal/id"
+	"repro/internal/overlay"
+	"repro/internal/physical"
+	"repro/internal/plan"
+	"repro/internal/stats"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Distributed ANALYZE: the statement broadcasts a stats-gather
+// request; every node runs the stats-gather role (a physical pipeline
+// scanning its local partitions into mergeable sketches — row count,
+// per-column HyperLogLog, bottom-k sample) and ships the per-partition
+// sketches to the coordinator, whose sketch-merge pipeline folds them
+// into network-wide estimates. The merged result installs into the
+// coordinator's catalog as TTL'd measured soft state, and every node
+// piggybacks digests of its live measured stats onto periodic gossip
+// (overlay neighbors plus one randomly routed copy per round), so the
+// whole network converges to usable estimates without issuing ANALYZE
+// itself. The optimizer resolves stats declared > measured-fresh >
+// gossiped > coarse defaults.
+
+const (
+	tagAnalyzeQ    = "pier.analyzeq" // broadcast: run the stats-gather role
+	tagStatsGossip = "pier.statsg"   // routed: stats digest to a random node
+	methSketch     = "pier.sketch"   // rpc to coordinator: per-partition sketches
+	methGossip     = "pier.gossip"   // rpc: stats digest to an overlay neighbor
+
+	// maxAnalyzeTables bounds one ANALYZE request's table list; the
+	// sender validates against the same limit receivers decode with.
+	maxAnalyzeTables = plan.MaxTables * 16
+)
+
+// AnalyzedTable is one table's merged, network-wide measurement.
+type AnalyzedTable struct {
+	Table string
+	// Rows is the measured network-wide cardinality (sum of
+	// per-partition counts; replicas never count).
+	Rows int64
+	// Distinct holds the per-column HyperLogLog estimates, keyed by
+	// base column name.
+	Distinct map[string]int64
+	// SampleRows is the merged bottom-k row sample's size.
+	SampleRows int
+}
+
+// AnalyzeResult is one completed ANALYZE.
+type AnalyzeResult struct {
+	Tables       []AnalyzedTable
+	Duration     time.Duration
+	Participants int
+}
+
+// sketchGather is the coordinator's state for one ANALYZE: arriving
+// per-partition sketches flow through a sketch-merge pipeline into
+// the per-table accumulators.
+type sketchGather struct {
+	pipe     *physical.Pipeline
+	in       *physical.Inlet
+	sketches map[string]*stats.TableSketch // written only by the merge operator
+	nodes    map[string]bool
+	last     time.Time
+}
+
+// Analyze measures statistics for the named tables (all defined
+// tables when none are given) across the whole network and installs
+// the merged result into this node's catalog as measured soft state.
+func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, error) {
+	if len(tables) == 0 {
+		tables = n.cat.Names()
+	}
+	if len(tables) == 0 {
+		return nil, fmt.Errorf("pier: no tables to analyze")
+	}
+	// The request must decode on every receiver — reject here with a
+	// real error instead of broadcasting a frame the whole network
+	// (including our own self-delivery) would silently drop.
+	if len(tables) > maxAnalyzeTables {
+		return nil, fmt.Errorf("pier: analyze of %d tables exceeds the %d-table limit; analyze in batches", len(tables), maxAnalyzeTables)
+	}
+	for _, t := range tables {
+		if _, ok := n.cat.Lookup(t); !ok {
+			return nil, fmt.Errorf("pier: analyze unknown table %q", t)
+		}
+	}
+	start := time.Now()
+	qid := n.nextQueryID()
+
+	g := &sketchGather{
+		sketches: make(map[string]*stats.TableSketch),
+		nodes:    make(map[string]bool),
+		last:     start,
+	}
+	g.pipe, g.in = physical.CompileSketchMerge(func(table string, enc []byte) error {
+		sk, err := stats.TableSketchFromBytes(enc)
+		if err != nil {
+			return err
+		}
+		if cur, ok := g.sketches[table]; ok {
+			return cur.Merge(sk)
+		}
+		g.sketches[table] = sk
+		return nil
+	})
+	run, err := g.pipe.Start(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	n.gatherMu.Lock()
+	n.gathers[qid] = g
+	n.gatherMu.Unlock()
+	defer func() {
+		n.gatherMu.Lock()
+		delete(n.gathers, qid)
+		n.gatherMu.Unlock()
+	}()
+
+	if err := n.router.Broadcast(tagAnalyzeQ, encodeAnalyzeMsg(qid, n.Addr(), n.cfg, tables)); err != nil {
+		g.in.Close()
+		_ = run.Wait()
+		return nil, fmt.Errorf("pier: disseminating analyze: %w", err)
+	}
+
+	// Quiescence: done when no sketch arrived for twice the Quiet
+	// horizon (bounded by MaxQueryLife and the caller's context).
+	// Queries get a stream of row traffic that keeps pushing their
+	// quiescence clock; an ANALYZE gather is a single burst per node,
+	// so a missed straggler directly skews the estimate — the doubled
+	// horizon buys slack against background maintenance traffic.
+	deadline := start.Add(n.cfg.MaxQueryLife)
+	horizon := 2 * n.cfg.Quiet
+	for {
+		select {
+		case <-ctx.Done():
+			g.in.Close()
+			_ = run.Wait()
+			return nil, ctx.Err()
+		case <-time.After(25 * time.Millisecond):
+		}
+		n.gatherMu.Lock()
+		last := g.last
+		n.gatherMu.Unlock()
+		if time.Since(last) > horizon || time.Now().After(deadline) {
+			break
+		}
+	}
+	g.in.Close()
+	if err := run.Wait(); err != nil {
+		return nil, err
+	}
+
+	// Install the merged estimates as measured soft state and build
+	// the result in table-name order.
+	measuredAt := time.Now()
+	res := &AnalyzeResult{Duration: time.Since(start)}
+	n.gatherMu.Lock()
+	res.Participants = len(g.nodes)
+	n.gatherMu.Unlock()
+	names := make([]string, 0, len(g.sketches))
+	for t := range g.sketches {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	for _, t := range names {
+		sk := g.sketches[t]
+		st := catalog.TableStats{
+			Rows:       sk.Rows,
+			Distinct:   sk.Distincts(),
+			Source:     catalog.StatsMeasured,
+			MeasuredAt: measuredAt,
+			TTL:        n.cfg.StatsTTL,
+		}
+		if err := n.cat.InstallMeasured(t, st); err != nil {
+			return nil, err
+		}
+		res.Tables = append(res.Tables, AnalyzedTable{
+			Table: t, Rows: sk.Rows, Distinct: sk.Distincts(),
+			SampleRows: len(sk.Sample.Items),
+		})
+	}
+	return res, nil
+}
+
+// encodeAnalyzeMsg frames a stats-gather request.
+func encodeAnalyzeMsg(qid uint64, coord string, cfg Config, tables []string) []byte {
+	w := wire.NewWriter(64)
+	w.Uint64(qid)
+	w.String(coord)
+	w.Bool(cfg.AnalyzeFromSketches)
+	w.Uvarint(uint64(cfg.AnalyzeSampleEvery))
+	w.Uvarint(uint64(len(tables)))
+	for _, t := range tables {
+		w.String(t)
+	}
+	return w.Bytes()
+}
+
+func decodeAnalyzeMsg(payload []byte) (qid uint64, coord string, incremental bool, sampleEvery int, tables []string, err error) {
+	r := wire.NewReader(payload)
+	qid = r.Uint64()
+	coord = r.String()
+	incremental = r.Bool()
+	sampleEvery = int(r.Uvarint())
+	count := int(r.Uvarint())
+	if count > maxAnalyzeTables {
+		err = fmt.Errorf("pier: analyze request for %d tables", count)
+		return
+	}
+	for i := 0; i < count; i++ {
+		tables = append(tables, r.String())
+	}
+	err = r.Done()
+	return
+}
+
+// answerAnalyze is the participant side of the stats-gather role:
+// sketch every requested table this node knows, then ship the batch
+// of per-partition sketches to the coordinator in one RPC.
+func (n *Node) answerAnalyze(qid uint64, coord string, incremental bool, sampleEvery int, tables []string) {
+	type entry struct {
+		table string
+		enc   []byte
+	}
+	var out []entry
+	for _, table := range tables {
+		tbl, ok := n.cat.Lookup(table)
+		if !ok {
+			continue // tables are declared per-node; skip unknown ones
+		}
+		var sk *stats.TableSketch
+		if incremental {
+			sk = n.localStats.Snapshot(table)
+		}
+		if sk == nil {
+			// Rebuild from a partitioned scan of the live partition —
+			// the authoritative pass that also repairs the incremental
+			// sketch's soft-state drift. Reset first so items stored
+			// while the scan runs accumulate in the fresh sketch, then
+			// absorb the scan result: a racing arrival can count twice
+			// (drift-high, repaired by the next rebuild) but is never
+			// silently lost.
+			sk = stats.NewTableSketch(table, baseColumnNames(tbl.Schema))
+			env := &physical.Env{
+				Scan:        n.scanPayloads,
+				BatchSize:   n.cfg.BatchSize,
+				ScanWorkers: n.cfg.ScanParallel,
+			}
+			n.localStats.Reset(table)
+			pipe := physical.CompileStatsGather(tbl.Namespace, tbl.Schema.Arity(), env, sampleEvery, sk)
+			if err := pipe.Run(context.Background()); err != nil {
+				continue
+			}
+			n.localStats.Absorb(table, sk)
+		}
+		out = append(out, entry{table: table, enc: sk.Bytes()})
+	}
+	if len(out) == 0 {
+		return
+	}
+	if coord == n.Addr() {
+		for _, e := range out {
+			n.deliverSketch(qid, n.Addr(), e.table, e.enc)
+		}
+		return
+	}
+	w := wire.NewWriter(256)
+	w.Uint64(qid)
+	w.Uvarint(uint64(len(out)))
+	for _, e := range out {
+		w.String(e.table)
+		w.BytesLP(e.enc)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_, _ = n.peer.Call(ctx, coord, methSketch, w.Bytes())
+}
+
+// deliverSketch feeds one arriving per-partition sketch into the
+// coordinator's merge pipeline.
+func (n *Node) deliverSketch(qid uint64, from, table string, enc []byte) {
+	n.gatherMu.Lock()
+	g := n.gathers[qid]
+	if g != nil {
+		g.nodes[from] = true
+		g.last = time.Now()
+	}
+	n.gatherMu.Unlock()
+	if g == nil {
+		return
+	}
+	g.in.Push(dataflow.Msg{Kind: dataflow.Data, T: tuple.Tuple{tuple.String(table), tuple.Bytes(enc)}})
+}
+
+// registerStatsHandlers wires the ANALYZE and gossip RPC methods
+// (called from registerHandlers).
+func (n *Node) registerStatsHandlers() {
+	n.peer.Handle(methSketch, func(from string, req []byte) ([]byte, error) {
+		r := wire.NewReader(req)
+		qid := r.Uint64()
+		count := int(r.Uvarint())
+		if count > maxAnalyzeTables {
+			return nil, fmt.Errorf("pier: sketch batch of %d", count)
+		}
+		for i := 0; i < count; i++ {
+			table := r.String()
+			enc := append([]byte(nil), r.BytesLP()...)
+			if r.Err() != nil {
+				break
+			}
+			n.deliverSketch(qid, from, table, enc)
+		}
+		return nil, r.Done()
+	})
+	n.peer.Handle(methGossip, func(from string, req []byte) ([]byte, error) {
+		ds, err := stats.DecodeDigests(wire.NewReader(req))
+		if err != nil {
+			return nil, err
+		}
+		n.installDigests(ds)
+		return nil, nil
+	})
+}
+
+// ---------------------------------------------------------------------------
+// Gossip dissemination
+
+// statsDigests snapshots this node's live measured/gossiped stats as
+// TTL'd digests.
+func (n *Node) statsDigests() []stats.Digest {
+	all := n.cat.MeasuredAll()
+	if len(all) == 0 {
+		return nil
+	}
+	names := make([]string, 0, len(all))
+	for t := range all {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	out := make([]stats.Digest, 0, len(names))
+	for _, t := range names {
+		st := all[t]
+		out = append(out, stats.Digest{
+			Table: t, Rows: st.Rows, Distinct: st.Distinct,
+			MeasuredAt: st.MeasuredAt, TTL: st.TTL,
+		})
+	}
+	return out
+}
+
+// installDigests folds received digests into the catalog as gossiped
+// soft state. Tables this node never defined are skipped — stats are
+// useless without a schema to plan against — and the catalog's
+// precedence keeps declared and own-measured stats on top.
+func (n *Node) installDigests(ds []stats.Digest) {
+	now := time.Now()
+	for _, d := range ds {
+		if d.Expired(now) {
+			continue
+		}
+		if _, ok := n.cat.Lookup(d.Table); !ok {
+			continue
+		}
+		_ = n.cat.InstallMeasured(d.Table, catalog.TableStats{
+			Rows:       d.Rows,
+			Distinct:   d.Distinct,
+			Source:     catalog.StatsGossiped,
+			MeasuredAt: d.MeasuredAt,
+			TTL:        d.TTL,
+		})
+	}
+}
+
+// statsGossipLoop periodically piggybacks this node's stats digests
+// onto the overlay's maintained neighbor links, plus one copy routed
+// to a uniformly random key per round — the epidemic mixing step that
+// keeps convergence logarithmic instead of crawling around the ring.
+func (n *Node) statsGossipLoop() {
+	defer n.wg.Done()
+	selfHash := id.HashString(n.Addr())
+	rng := rand.New(rand.NewSource(int64(binary.BigEndian.Uint64(selfHash[:8])) ^ time.Now().UnixNano()))
+	t := time.NewTicker(n.cfg.StatsGossipEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			n.gossipStatsOnce(rng)
+		}
+	}
+}
+
+// gossipStatsOnce runs one gossip round.
+func (n *Node) gossipStatsOnce(rng *rand.Rand) {
+	ds := n.statsDigests()
+	if len(ds) == 0 {
+		return
+	}
+	w := wire.NewWriter(64)
+	stats.EncodeDigests(w, ds)
+	payload := w.Bytes()
+
+	nbs := n.router.Neighbors()
+	if len(nbs) > 1 {
+		rng.Shuffle(len(nbs), func(i, j int) { nbs[i], nbs[j] = nbs[j], nbs[i] })
+	}
+	fanout := n.cfg.StatsGossipFanout
+	for i := 0; i < len(nbs) && i < fanout; i++ {
+		if nbs[i].Addr == n.Addr() {
+			continue
+		}
+		_ = n.peer.Notify(nbs[i].Addr, methGossip, payload)
+	}
+	var rid id.ID
+	rng.Read(rid[:])
+	_ = n.router.Route(rid, tagStatsGossip, payload)
+}
+
+// onStatsGossip handles a routed gossip digest (the random-key copy).
+func (n *Node) onStatsGossip(payload []byte) {
+	if ds, err := stats.DecodeDigests(wire.NewReader(payload)); err == nil {
+		n.installDigests(ds)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Statement integration
+
+// analyzeStatement runs an ANALYZE statement and renders the measured
+// stats as result rows: one per (table, column) with the table's row
+// count, plus a single row for tables without distinct columns.
+func (n *Node) analyzeStatement(ctx context.Context, stmt []string) (*Result, error) {
+	start := time.Now()
+	res, err := n.Analyze(ctx, stmt...)
+	if err != nil {
+		return nil, err
+	}
+	out := &Result{
+		Columns:      []string{"table", "rows", "column", "distinct"},
+		Duration:     time.Since(start),
+		Participants: res.Participants,
+	}
+	for _, t := range res.Tables {
+		cols := make([]string, 0, len(t.Distinct))
+		for c := range t.Distinct {
+			cols = append(cols, c)
+		}
+		sort.Strings(cols)
+		if len(cols) == 0 {
+			out.Rows = append(out.Rows, tuple.Tuple{
+				tuple.String(t.Table), tuple.Int(t.Rows), tuple.Null(), tuple.Null(),
+			})
+			continue
+		}
+		for _, c := range cols {
+			out.Rows = append(out.Rows, tuple.Tuple{
+				tuple.String(t.Table), tuple.Int(t.Rows), tuple.String(c), tuple.Int(t.Distinct[c]),
+			})
+		}
+	}
+	return out, nil
+}
+
+// baseColumnNames strips any qualifier off a schema's column names —
+// the keys sketches, digests, and the catalog agree on.
+func baseColumnNames(sch *tuple.Schema) []string {
+	out := make([]string, len(sch.Columns))
+	for i, c := range sch.Columns {
+		out[i] = tuple.BaseName(c.Name)
+	}
+	return out
+}
+
+// onAnalyzeBroadcast dispatches a stats-gather request off the
+// overlay dispatch goroutine.
+func (n *Node) onAnalyzeBroadcast(from overlay.Node, payload []byte) {
+	qid, coord, incremental, sampleEvery, tables, err := decodeAnalyzeMsg(payload)
+	if err != nil {
+		return
+	}
+	n.mu.Lock()
+	stopped := n.stopped
+	if !stopped {
+		n.wg.Add(1)
+	}
+	n.mu.Unlock()
+	if stopped {
+		return
+	}
+	go func() {
+		defer n.wg.Done()
+		n.answerAnalyze(qid, coord, incremental, sampleEvery, tables)
+	}()
+}

@@ -95,6 +95,9 @@ func (n *Node) QueryWithOptions(ctx context.Context, sql string, opts plan.Optio
 	if err != nil {
 		return nil, err
 	}
+	if stmt.Analyze != nil {
+		return n.analyzeStatement(ctx, stmt.Analyze.Tables)
+	}
 	if stmt.With != nil {
 		return n.queryRecursive(ctx, stmt)
 	}
@@ -455,6 +458,9 @@ func (n *Node) Explain(sql string) (string, error) {
 	}
 	if stmt.With != nil {
 		return "", fmt.Errorf("pier: EXPLAIN of recursive statements is not supported")
+	}
+	if stmt.Analyze != nil {
+		return "", fmt.Errorf("pier: EXPLAIN of ANALYZE is not supported")
 	}
 	spec, err := plan.Compile(stmt, n.cat, plan.Options{})
 	if err != nil {

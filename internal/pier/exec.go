@@ -326,6 +326,8 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 			defer n.wg.Done()
 			n.answerBloomPhase(qid, coord, spec)
 		}()
+	case tagAnalyzeQ:
+		n.onAnalyzeBroadcast(from, payload)
 	case tagStop:
 		r := wire.NewReader(payload)
 		qid := r.Uint64()
@@ -376,6 +378,8 @@ func (n *Node) onRouted(from overlay.Node, key id.ID, tag string, payload []byte
 			return
 		}
 		q.collectJoinTuples(f.Window, int(f.Stage), int(f.Side), rows)
+	case tagStatsGossip:
+		n.onStatsGossip(payload)
 	}
 }
 
@@ -456,6 +460,7 @@ func (n *Node) onIntercept(key id.ID, tag string, payload []byte) ([]byte, bool)
 // RPC handlers (coordinator side receives these)
 
 func (n *Node) registerHandlers() {
+	n.registerStatsHandlers()
 	n.peer.Handle(methRows, func(from string, req []byte) ([]byte, error) {
 		f, rows, err := decodeTupleMsg(req)
 		if err != nil {

@@ -37,18 +37,7 @@ func (q *queryState) participate() {
 func (q *queryState) pipelineEnv() *physical.Env {
 	n := q.node
 	return &physical.Env{
-		Scan: func(ns string, partitions int) [][][]byte {
-			parts := n.store.LScanParts(ns, partitions)
-			out := make([][][]byte, len(parts))
-			for i, items := range parts {
-				payloads := make([][]byte, len(items))
-				for j, it := range items {
-					payloads[j] = it.Payload
-				}
-				out[i] = payloads
-			}
-			return out
-		},
+		Scan:          n.scanPayloads,
 		Fetch:         q.fetchProbe,
 		ShipRows:      q.sendRows,
 		ShipPartial:   q.shipPartials,

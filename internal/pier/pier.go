@@ -26,6 +26,7 @@ import (
 	"repro/internal/kademlia"
 	"repro/internal/overlay"
 	"repro/internal/rpc"
+	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/tuple"
 )
@@ -82,6 +83,29 @@ type Config struct {
 	// DisableCombiner turns off in-network partial combining at
 	// relays (the S2 ablation).
 	DisableCombiner bool
+
+	// StatsTTL is the soft-state lifetime of ANALYZE-measured
+	// statistics (and the TTL their gossip digests carry).
+	// Default 60s.
+	StatsTTL time.Duration
+	// StatsGossipEvery is the stats-digest gossip period. Default
+	// 250ms (simulation scale).
+	StatsGossipEvery time.Duration
+	// StatsGossipFanout is how many overlay neighbors receive each
+	// gossip round (plus one digest routed to a random key for
+	// epidemic mixing across the ring). Default 2.
+	StatsGossipFanout int
+	// DisableStatsGossip turns the digest gossip off.
+	DisableStatsGossip bool
+	// AnalyzeSampleEvery makes the ANALYZE scan feed only every k-th
+	// tuple to the distinct counters and row sample (rows stay
+	// exact). Default 1 = every tuple.
+	AnalyzeSampleEvery int
+	// AnalyzeFromSketches makes participants answer ANALYZE from
+	// their incrementally maintained sketches instead of rescanning —
+	// cheaper, but row counts drift high across churn because
+	// distinct counters cannot forget (rebuild repairs them).
+	AnalyzeFromSketches bool
 }
 
 func (c Config) withDefaults() Config {
@@ -114,6 +138,18 @@ func (c Config) withDefaults() Config {
 	}
 	if c.BatchSize == 0 {
 		c.BatchSize = dataflow.DefaultBatchSize
+	}
+	if c.StatsTTL == 0 {
+		c.StatsTTL = 60 * time.Second
+	}
+	if c.StatsGossipEvery == 0 {
+		c.StatsGossipEvery = 250 * time.Millisecond
+	}
+	if c.StatsGossipFanout == 0 {
+		c.StatsGossipFanout = 2
+	}
+	if c.AnalyzeSampleEvery == 0 {
+		c.AnalyzeSampleEvery = 1
 	}
 	// A route-batch delay approaching the quiescence horizon would let
 	// relay-combined partials sit past the coordinator's settle clock
@@ -152,6 +188,13 @@ type Node struct {
 	bloomMu     sync.Mutex
 	bloomGather map[uint64]*bloom.Filter
 
+	// localStats are the incrementally maintained per-table sketches
+	// over this node's local partition; gathers tracks in-flight
+	// ANALYZE coordinations.
+	localStats *stats.Local
+	gatherMu   sync.Mutex
+	gathers    map[uint64]*sketchGather
+
 	pendMu  sync.Mutex
 	pending map[uint64][]pendingMsg
 
@@ -175,6 +218,8 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		cat:          catalog.New(),
 		queries:      make(map[uint64]*queryState),
 		bloomGather:  make(map[uint64]*bloom.Filter),
+		localStats:   stats.NewLocal(),
+		gathers:      make(map[uint64]*sketchGather),
 		appBroadcast: make(map[string]overlay.BroadcastFunc),
 		stopCh:       make(chan struct{}),
 	}
@@ -203,7 +248,14 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	if !cfg.DisableCombiner {
 		n.router.SetIntercept(n.onIntercept)
 	}
+	// Every stored primary item and every expiry feeds the incremental
+	// statistics sketches.
+	n.store.SetHooks(n.localStats.OnStored, n.localStats.OnExpired)
 	n.registerHandlers()
+	if !cfg.DisableStatsGossip {
+		n.wg.Add(1)
+		go n.statsGossipLoop()
+	}
 	return n, nil
 }
 
@@ -257,6 +309,23 @@ func (n *Node) routeRecords(recs []batch.Record) {
 // Store exposes the DHT storage layer.
 func (n *Node) Store() *dht.Store { return n.store }
 
+// scanPayloads is every pipeline's Env.Scan: the live local primary
+// partition of a namespace as raw payloads, split into up to
+// partitions shards (query scans and the ANALYZE stats-gather share
+// this one definition, so their row visibility can never diverge).
+func (n *Node) scanPayloads(ns string, partitions int) [][][]byte {
+	parts := n.store.LScanParts(ns, partitions)
+	out := make([][][]byte, len(parts))
+	for i, items := range parts {
+		payloads := make([][]byte, len(items))
+		for j, it := range items {
+			payloads[j] = it.Payload
+		}
+		out[i] = payloads
+	}
+	return out
+}
+
 // Catalog exposes the local table registry.
 func (n *Node) Catalog() *catalog.Catalog { return n.cat }
 
@@ -287,8 +356,21 @@ func (n *Node) Stop() {
 // queries over it and publish into it. Applications call it with the
 // same schema on every node that uses the table.
 func (n *Node) DefineTable(schema *tuple.Schema, ttl time.Duration) error {
-	_, err := n.cat.Define(schema, ttl)
-	return err
+	tbl, err := n.cat.Define(schema, ttl)
+	if err != nil {
+		return err
+	}
+	if n.localStats.Register(schema.Name, tbl.Namespace, baseColumnNames(schema)) {
+		// Backfill the fresh incremental sketch with items that were
+		// routed here before the table was defined locally (the hooks
+		// dropped them for lack of a registration). An item stored
+		// while this scan runs can count twice — drift the ANALYZE
+		// rebuild repairs, where a silent undercount would persist.
+		for _, it := range n.store.LScan(tbl.Namespace) {
+			n.localStats.OnStored(tbl.Namespace, it.Payload)
+		}
+	}
+	return nil
 }
 
 // SetTableStats declares planner statistics for a table on this node.

@@ -3,6 +3,7 @@ package plan
 import (
 	"fmt"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/ops"
 	"repro/internal/tuple"
@@ -21,6 +22,8 @@ func (s *Spec) Encode(w *wire.Writer) {
 		w.String(sc.Namespace)
 		tuple.EncodeSchema(w, sc.Schema)
 		expr.Encode(w, sc.Where)
+		w.Byte(byte(sc.StatsSource))
+		w.Varint(sc.StatsAge)
 	}
 	w.Uvarint(uint64(len(s.Joins)))
 	for i := range s.Joins {
@@ -89,6 +92,11 @@ func Decode(r *wire.Reader) (*Spec, error) {
 		if err != nil {
 			return nil, err
 		}
+		sc.StatsSource = catalog.StatsSource(r.Byte())
+		if sc.StatsSource > catalog.StatsDeclared {
+			return nil, fmt.Errorf("plan: unknown stats source %d", sc.StatsSource)
+		}
+		sc.StatsAge = r.Varint()
 		s.Scans = append(s.Scans, sc)
 	}
 	nJoins := int(r.Uvarint())

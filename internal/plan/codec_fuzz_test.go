@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
 	"repro/internal/ops"
 	"repro/internal/tuple"
@@ -29,9 +30,11 @@ func randSpec(r *rand.Rand) *Spec {
 			sch.Key = []int{r.Intn(arity)}
 		}
 		sc := ScanSpec{
-			Table:     fmt.Sprintf("t%d", i),
-			Namespace: fmt.Sprintf("table:t%d", i),
-			Schema:    sch,
+			Table:       fmt.Sprintf("t%d", i),
+			Namespace:   fmt.Sprintf("table:t%d", i),
+			Schema:      sch,
+			StatsSource: catalog.StatsSource(r.Intn(4)),
+			StatsAge:    int64(r.Intn(120)) * 1e9,
 		}
 		if r.Intn(3) == 0 {
 			sc.Where = &expr.Cmp{Op: expr.GT,

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/catalog"
 	"repro/internal/wire"
 )
 
@@ -74,6 +75,7 @@ func (s *Spec) Explain() string {
 		if sc.Where != nil {
 			line += fmt.Sprintf(" filter %s", sc.Where)
 		}
+		line += " " + sc.StatsNote()
 		indent(depth, "%s", line)
 	}
 	// The left-deep join chain renders as a nested tree, top stage
@@ -113,6 +115,23 @@ func (s *Spec) Explain() string {
 		}
 	}
 	return b.String()
+}
+
+// StatsNote renders the provenance and age of the statistics the
+// optimizer costed this scan with: "stats=declared",
+// "stats=analyzed 12s ago", "stats=gossiped 3s ago", or
+// "stats=default". The age is frozen at compile time, so the same
+// spec always renders the same text.
+func (sc *ScanSpec) StatsNote() string {
+	switch sc.StatsSource {
+	case catalog.StatsDeclared:
+		return "stats=declared"
+	case catalog.StatsMeasured:
+		return fmt.Sprintf("stats=analyzed %v ago", time.Duration(sc.StatsAge).Round(time.Second))
+	case catalog.StatsGossiped:
+		return fmt.Sprintf("stats=gossiped %v ago", time.Duration(sc.StatsAge).Round(time.Second))
+	}
+	return "stats=default"
 }
 
 // ---------------------------------------------------------------------------

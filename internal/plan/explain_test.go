@@ -3,6 +3,9 @@ package plan
 import (
 	"strings"
 	"testing"
+	"time"
+
+	"repro/internal/catalog"
 )
 
 func TestExplainAggregatePlan(t *testing.T) {
@@ -55,5 +58,33 @@ func TestExplainDeterministic(t *testing.T) {
 	}
 	if !strings.Contains(spec.Explain(), "Distinct") {
 		t.Fatalf("missing Distinct:\n%s", spec.Explain())
+	}
+}
+
+// TestExplainStatsAnnotation: every scan names the statistics source
+// and age the optimizer costed it with.
+func TestExplainStatsAnnotation(t *testing.T) {
+	spec := compile(t, "SELECT node FROM traffic", Options{})
+	if !strings.Contains(spec.Explain(), "Scan traffic [table:traffic] stats=default") {
+		t.Fatalf("missing default stats note:\n%s", spec.Explain())
+	}
+
+	for _, tc := range []struct {
+		src  catalog.StatsSource
+		want string
+	}{
+		{catalog.StatsDeclared, "stats=declared"},
+		{catalog.StatsMeasured, "stats=analyzed 12s ago"},
+		{catalog.StatsGossiped, "stats=gossiped 12s ago"},
+	} {
+		sc := &spec.Scans[0]
+		sc.StatsSource = tc.src
+		sc.StatsAge = int64(12 * time.Second)
+		if got := sc.StatsNote(); got != tc.want {
+			t.Fatalf("note for %v: %q, want %q", tc.src, got, tc.want)
+		}
+		if !strings.Contains(spec.Explain(), tc.want) {
+			t.Fatalf("explain missing %q:\n%s", tc.want, spec.Explain())
+		}
 	}
 }

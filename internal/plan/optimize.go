@@ -16,9 +16,10 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
-	"strings"
 
+	"repro/internal/catalog"
 	"repro/internal/expr"
+	"repro/internal/tuple"
 )
 
 const (
@@ -195,11 +196,16 @@ func fetchLegalStage(inputs []joinInput, edges []joinEdge, leftOrder []int, t in
 	return fetchLegalFor(inputs[t].schema, rightCols)
 }
 
-// scanRows estimates a scan's output cardinality: declared (or
-// default) table rows discounted by the pushed filter's selectivity.
+// scanRows estimates a scan's output cardinality: known table rows
+// discounted by the pushed filter's selectivity. "Known" includes a
+// measured zero — an ANALYZE that found an empty table is real
+// information (costed as one row, the floor), not an absent stat; the
+// coarse default applies only when no statistics source exists, so
+// the EXPLAIN stats= annotation always names the numbers actually
+// used.
 func scanRows(in *joinInput) float64 {
 	rows := float64(defaultRows)
-	if in.stats.Rows > 0 {
+	if in.stats.Rows > 0 || in.statsSrc != catalog.StatsDefault {
 		rows = float64(in.stats.Rows)
 	}
 	sel := filterSelectivity(in)
@@ -250,19 +256,17 @@ func conjunctSelectivity(c expr.Expr, in *joinInput) float64 {
 
 // distinctOf returns the distinct-value estimate of a column (by its
 // index within the qualified schema), defaulting to a fraction of the
-// table's cardinality.
+// table's cardinality (measured-empty tables count as known, like
+// scanRows).
 func distinctOf(in *joinInput, col int) float64 {
 	rows := float64(defaultRows)
-	if in.stats.Rows > 0 {
+	if in.stats.Rows > 0 || in.statsSrc != catalog.StatsDefault {
 		rows = float64(in.stats.Rows)
 	}
 	if in.stats.Distinct != nil {
 		// Stats key by base column name; the qualified schema keeps
 		// column positions, so strip the binding prefix.
-		name := in.schema.Columns[col].Name
-		if i := strings.LastIndexByte(name, '.'); i >= 0 {
-			name = name[i+1:]
-		}
+		name := tuple.BaseName(in.schema.Columns[col].Name)
 		if d, ok := in.stats.Distinct[name]; ok && d > 0 {
 			return float64(d)
 		}

@@ -200,3 +200,23 @@ func TestExplainMultiwayTree(t *testing.T) {
 		}
 	}
 }
+
+// TestMeasuredEmptyTableIsKnown: an ANALYZE that measured zero rows
+// is information, not an absent stat — the optimizer costs the table
+// at the one-row floor instead of the 1000-row default, so the
+// EXPLAIN stats= annotation always names the numbers actually used.
+func TestMeasuredEmptyTableIsKnown(t *testing.T) {
+	in := &joinInput{
+		schema:   tuple.MustSchema("t", []tuple.Column{{Name: "k", Type: tuple.TInt}}),
+		stats:    catalog.TableStats{Rows: 0, Source: catalog.StatsMeasured},
+		statsSrc: catalog.StatsMeasured,
+	}
+	if rows := scanRows(in); rows != 1 {
+		t.Fatalf("measured-empty table costed at %v rows, want 1", rows)
+	}
+	in.statsSrc = catalog.StatsDefault
+	in.stats = catalog.TableStats{}
+	if rows := scanRows(in); rows != 1000 {
+		t.Fatalf("stat-less table costed at %v rows, want the 1000 default", rows)
+	}
+}

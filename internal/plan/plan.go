@@ -57,6 +57,12 @@ type ScanSpec struct {
 	// Where is the pushed-down filter, resolved against Schema (nil
 	// for none).
 	Where expr.Expr
+	// StatsSource records where the statistics used to cost this scan
+	// came from (declared / measured / gossiped / default), and
+	// StatsAge their age in nanoseconds at compile time — the EXPLAIN
+	// annotation that makes plan regressions diagnosable.
+	StatsSource catalog.StatsSource
+	StatsAge    int64
 }
 
 // JoinSpec is one stage of the left-deep join chain: stage k joins
@@ -190,6 +196,9 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 	if stmt.With != nil {
 		return nil, fmt.Errorf("plan: WITH RECURSIVE is executed by the coordinator, not compiled directly")
 	}
+	if stmt.Analyze != nil {
+		return nil, fmt.Errorf("plan: ANALYZE is executed by the node's statistics subsystem, not compiled")
+	}
 	if len(stmt.From) == 0 {
 		return nil, fmt.Errorf("plan: empty FROM")
 	}
@@ -219,11 +228,14 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 		if qualify || ref.Alias != "" {
 			sch = tbl.Schema.Qualify(ref.Binding())
 		}
+		st, src, age := cat.StatsInfo(ref.Name)
 		inputs[i] = joinInput{
 			table:     ref.Name,
 			namespace: tbl.Namespace,
 			schema:    sch,
-			stats:     cat.Stats(ref.Name),
+			stats:     st,
+			statsSrc:  src,
+			statsAge:  int64(age),
 		}
 	}
 
@@ -280,7 +292,8 @@ func Compile(stmt *sqlparser.SelectStmt, cat *catalog.Catalog, opts Options) (*S
 		}
 	} else {
 		in := inputs[0]
-		spec.Scans = []ScanSpec{{Table: in.table, Namespace: in.namespace, Schema: in.schema, Where: in.where}}
+		spec.Scans = []ScanSpec{{Table: in.table, Namespace: in.namespace, Schema: in.schema, Where: in.where,
+			StatsSource: in.statsSrc, StatsAge: in.statsAge}}
 	}
 
 	// Residual predicates resolve against the concatenated schema in
@@ -310,6 +323,8 @@ type joinInput struct {
 	schema    *tuple.Schema // qualified by the query's binding
 	where     expr.Expr     // pushed-down filter (resolved)
 	stats     catalog.TableStats
+	statsSrc  catalog.StatsSource
+	statsAge  int64 // nanoseconds at compile time
 }
 
 // joinEdge is one equi-join predicate `inputs[a].ca = inputs[b].cb`
@@ -373,6 +388,7 @@ func buildJoinChain(spec *Spec, inputs []joinInput, edges []joinEdge,
 		i := inputs[in]
 		spec.Scans = append(spec.Scans, ScanSpec{
 			Table: i.table, Namespace: i.namespace, Schema: i.schema, Where: i.where,
+			StatsSource: i.statsSrc, StatsAge: i.statsAge,
 		})
 	}
 	spec.Joins = make([]JoinSpec, len(order)-1)

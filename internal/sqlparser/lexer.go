@@ -42,7 +42,7 @@ var keywords = map[string]bool{
 	"JOIN": true, "ON": true, "IS": true, "NULL": true, "TRUE": true,
 	"FALSE": true, "ASC": true, "DESC": true, "WINDOW": true,
 	"SLIDE": true, "WITH": true, "RECURSIVE": true, "UNION": true,
-	"ALL": true, "INNER": true, "LIVE": true,
+	"ALL": true, "INNER": true, "LIVE": true, "ANALYZE": true,
 }
 
 type lexError struct {

@@ -44,6 +44,13 @@ type WithRecursive struct {
 	Step *SelectStmt
 }
 
+// AnalyzeStmt is the `ANALYZE [table, ...]` statement: measure
+// table statistics from the DHT and install them in the catalog. An
+// empty table list means every table the node has defined.
+type AnalyzeStmt struct {
+	Tables []string
+}
+
 // SelectStmt is the parsed single-block query.
 type SelectStmt struct {
 	Distinct bool
@@ -65,6 +72,10 @@ type SelectStmt struct {
 	Live   time.Duration
 
 	With *WithRecursive
+
+	// Analyze, when non-nil, marks the whole statement as an ANALYZE
+	// — no other clause is meaningful.
+	Analyze *AnalyzeStmt
 }
 
 // IsContinuous reports whether the statement is a continuous query.
@@ -164,6 +175,23 @@ func (p *parser) expectIdent() (string, error) {
 }
 
 func (p *parser) parseStatement() (*SelectStmt, error) {
+	if p.acceptKeyword("ANALYZE") {
+		stmt := &SelectStmt{Limit: -1, Analyze: &AnalyzeStmt{}}
+		if p.peek().kind != tkIdent {
+			return stmt, nil // bare ANALYZE: every defined table
+		}
+		for {
+			name, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Analyze.Tables = append(stmt.Analyze.Tables, name)
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		return stmt, nil
+	}
 	if p.acceptKeyword("WITH") {
 		if err := p.expectKeyword("RECURSIVE"); err != nil {
 			return nil, err

@@ -286,3 +286,30 @@ func TestErrorMessagesMentionContext(t *testing.T) {
 		t.Fatalf("unhelpful error: %v", err)
 	}
 }
+
+func TestParseAnalyze(t *testing.T) {
+	stmt, err := Parse("ANALYZE")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Analyze == nil || len(stmt.Analyze.Tables) != 0 {
+		t.Fatalf("bare ANALYZE: %+v", stmt.Analyze)
+	}
+	stmt, err = Parse("analyze alerts, traffic;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.Analyze == nil || len(stmt.Analyze.Tables) != 2 ||
+		stmt.Analyze.Tables[0] != "alerts" || stmt.Analyze.Tables[1] != "traffic" {
+		t.Fatalf("table list: %+v", stmt.Analyze)
+	}
+	if _, err := Parse("ANALYZE alerts traffic"); err == nil {
+		t.Fatal("missing comma accepted")
+	}
+	if _, err := Parse("ANALYZE alerts,"); err == nil {
+		t.Fatal("trailing comma accepted")
+	}
+	if stmt, _ := Parse("SELECT node FROM traffic"); stmt.Analyze != nil {
+		t.Fatal("SELECT parsed as ANALYZE")
+	}
+}

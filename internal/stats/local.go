@@ -1,0 +1,124 @@
+package stats
+
+import (
+	"sync"
+
+	"repro/internal/tuple"
+)
+
+// Local maintains each node's incremental per-table sketches over its
+// local DHT partition: every stored primary item feeds the table's
+// sketch, every expired item decrements its row count. Incremental
+// maintenance keeps the sketches O(1)-cheap per publish/republish.
+// Incremental sketches are approximate in both directions — distinct
+// counters and samples cannot forget expired items (drift high), and
+// an item counted both at registration backfill and by a racing
+// store hook counts twice — so an ANALYZE rebuild (a fresh
+// LScanParts pass) periodically replaces the drifted sketch: soft
+// state repaired by re-measuring, exactly like the DHT items
+// themselves.
+type Local struct {
+	mu   sync.Mutex
+	byNS map[string]*localTable
+}
+
+type localTable struct {
+	table string
+	cols  []string
+	sk    *TableSketch
+}
+
+// NewLocal creates an empty registry.
+func NewLocal() *Local {
+	return &Local{byNS: make(map[string]*localTable)}
+}
+
+// Register begins sketching a table's namespace, reporting whether
+// the registration was new. Re-registration is idempotent (false).
+// The sketch starts empty — items that arrived before registration
+// were dropped, so the caller backfills a new registration from its
+// current partition (DefineTable does).
+func (l *Local) Register(table, ns string, cols []string) bool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.byNS[ns]; ok {
+		return false
+	}
+	l.byNS[ns] = &localTable{
+		table: table,
+		cols:  append([]string(nil), cols...),
+		sk:    NewTableSketch(table, cols),
+	}
+	return true
+}
+
+// OnStored observes one newly stored primary item (the DHT store
+// hook).
+func (l *Local) OnStored(ns string, payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lt, ok := l.byNS[ns]
+	if !ok {
+		return
+	}
+	t, err := tuple.FromBytes(payload)
+	if err != nil {
+		return
+	}
+	lt.sk.Add(t)
+}
+
+// OnExpired observes one expired primary item.
+func (l *Local) OnExpired(ns string, payload []byte) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if lt, ok := l.byNS[ns]; ok {
+		lt.sk.RemoveRow()
+	}
+}
+
+// Snapshot returns a deep copy of a table's incremental sketch (nil
+// when the table was never registered).
+func (l *Local) Snapshot(table string) *TableSketch {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, lt := range l.byNS {
+		if lt.table == table {
+			return lt.sk.Clone()
+		}
+	}
+	return nil
+}
+
+// Reset swaps in an empty sketch for a table — called at the start
+// of an ANALYZE rebuild so items arriving while the rebuild scans
+// land in the new sketch instead of the drifted one being discarded.
+func (l *Local) Reset(table string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, lt := range l.byNS {
+		if lt.table == table {
+			lt.sk = NewTableSketch(table, lt.cols)
+			return
+		}
+	}
+}
+
+// Absorb merges a rebuilt sketch into a table's incremental sketch —
+// the post-ANALYZE repair. Merging (rather than replacing) keeps
+// items stored during the rebuild scan: a concurrent arrival may
+// count twice (in the scan and via the store hook), which drifts
+// high and is repaired by the next rebuild, where replacement would
+// lose it permanently.
+func (l *Local) Absorb(table string, sk *TableSketch) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for _, lt := range l.byNS {
+		if lt.table == table {
+			if lt.sk.Merge(sk) != nil {
+				lt.sk = sk.Clone() // schema conflict: the rebuild wins
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,325 @@
+package stats
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// TestHLLAccuracy: the distinct estimate stays within a relative
+// error bound across cardinalities 10..10^6 (standard error for 2048
+// registers is ~2.3%; the bound leaves slack for unlucky hash draws,
+// and linear counting keeps small cardinalities near-exact).
+func TestHLLAccuracy(t *testing.T) {
+	for _, n := range []int{10, 100, 1000, 10000, 100000, 1000000} {
+		h := NewHLL()
+		for i := 0; i < n; i++ {
+			h.Add([]byte(fmt.Sprintf("value-%d-%d", n, i)))
+		}
+		est := h.Estimate()
+		relErr := math.Abs(float64(est)-float64(n)) / float64(n)
+		bound := 0.10
+		if n <= 100 {
+			bound = 0.05 // linear counting regime
+		}
+		if relErr > bound {
+			t.Errorf("n=%d: estimate %d (rel err %.3f > %.2f)", n, est, relErr, bound)
+		}
+	}
+}
+
+// TestHLLDuplicatesIgnored: re-adding values never inflates the
+// estimate.
+func TestHLLDuplicatesIgnored(t *testing.T) {
+	h := NewHLL()
+	for rep := 0; rep < 5; rep++ {
+		for i := 0; i < 500; i++ {
+			h.Add([]byte(fmt.Sprintf("dup-%d", i)))
+		}
+	}
+	est := h.Estimate()
+	if est < 450 || est > 550 {
+		t.Fatalf("500 distinct values re-added: estimate %d", est)
+	}
+}
+
+func randomSketch(r *rand.Rand, rows int) *TableSketch {
+	s := NewTableSketch("t", []string{"a", "b"})
+	for i := 0; i < rows; i++ {
+		s.Add(tuple.Tuple{
+			tuple.Int(int64(r.Intn(200))),
+			tuple.String(fmt.Sprintf("s%d", r.Intn(50))),
+		})
+	}
+	return s
+}
+
+func encodeSketch(s *TableSketch) []byte { return s.Bytes() }
+
+// TestSketchMergeCommutative: a⊕b and b⊕a encode byte-identically —
+// registers max, row counts sum, samples keep the same bottom-k.
+func TestSketchMergeCommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 20; trial++ {
+		a1, b1 := randomSketch(r, 1+r.Intn(400)), randomSketch(r, 1+r.Intn(400))
+		a2, b2 := a1.Clone(), b1.Clone()
+		if err := a1.Merge(b1); err != nil {
+			t.Fatal(err)
+		}
+		if err := b2.Merge(a2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeSketch(a1), encodeSketch(b2)) {
+			t.Fatalf("trial %d: a⊕b != b⊕a", trial)
+		}
+	}
+}
+
+// TestSketchMergeAssociative: (a⊕b)⊕c and a⊕(b⊕c) encode
+// byte-identically.
+func TestSketchMergeAssociative(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		a, b, c := randomSketch(r, 1+r.Intn(300)), randomSketch(r, 1+r.Intn(300)), randomSketch(r, 1+r.Intn(300))
+
+		ab := a.Clone()
+		if err := ab.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if err := ab.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+
+		bc := b.Clone()
+		if err := bc.Merge(c); err != nil {
+			t.Fatal(err)
+		}
+		abc := a.Clone()
+		if err := abc.Merge(bc); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(encodeSketch(ab), encodeSketch(abc)) {
+			t.Fatalf("trial %d: (a⊕b)⊕c != a⊕(b⊕c)", trial)
+		}
+	}
+}
+
+// TestSketchMergeSchemaMismatch: merging sketches of different tables
+// or shapes errors instead of corrupting estimates.
+func TestSketchMergeSchemaMismatch(t *testing.T) {
+	a := NewTableSketch("t", []string{"a"})
+	if err := a.Merge(NewTableSketch("u", []string{"a"})); err == nil {
+		t.Fatal("cross-table merge accepted")
+	}
+	if err := a.Merge(NewTableSketch("t", []string{"a", "b"})); err == nil {
+		t.Fatal("arity-mismatched merge accepted")
+	}
+	if err := a.Merge(NewTableSketch("t", []string{"x"})); err == nil {
+		t.Fatal("column-name-mismatched merge accepted")
+	}
+}
+
+// TestSketchRowsAndDistincts: counts are exact, distincts accurate on
+// a known composition.
+func TestSketchRowsAndDistincts(t *testing.T) {
+	s := NewTableSketch("t", []string{"k", "v"})
+	const rows, distinctK = 5000, 40
+	for i := 0; i < rows; i++ {
+		s.Add(tuple.Tuple{tuple.Int(int64(i % distinctK)), tuple.Int(int64(i))})
+	}
+	if s.Rows != rows {
+		t.Fatalf("rows %d, want %d", s.Rows, rows)
+	}
+	if d := s.Distinct("k"); d < distinctK*9/10 || d > distinctK*11/10 {
+		t.Fatalf("distinct(k)=%d, want ~%d", d, distinctK)
+	}
+	if d := s.Distinct("v"); d < rows*9/10 || d > rows*11/10 {
+		t.Fatalf("distinct(v)=%d, want ~%d", d, rows)
+	}
+}
+
+// TestSketchCodecRoundTrip: encode→decode→encode byte-identical.
+func TestSketchCodecRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		s := randomSketch(r, r.Intn(500))
+		enc := encodeSketch(s)
+		dec, err := TableSketchFromBytes(enc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, encodeSketch(dec)) {
+			t.Fatal("re-encode differs")
+		}
+		if dec.Rows != s.Rows || len(dec.Cols) != len(s.Cols) {
+			t.Fatal("decoded structure differs")
+		}
+	}
+}
+
+// TestSampleBottomK: the sample holds the k smallest hashes seen,
+// regardless of arrival order, and never exceeds k.
+func TestSampleBottomK(t *testing.T) {
+	rows := make([][]byte, 200)
+	for i := range rows {
+		rows[i] = []byte(fmt.Sprintf("row-%d", i))
+	}
+	fwd, rev := NewSample(16), NewSample(16)
+	for _, b := range rows {
+		fwd.Add(hash64(b), b)
+	}
+	for i := len(rows) - 1; i >= 0; i-- {
+		rev.Add(hash64(rows[i]), rows[i])
+	}
+	wf, wr := wire.NewWriter(64), wire.NewWriter(64)
+	fwd.Encode(wf)
+	rev.Encode(wr)
+	if !bytes.Equal(wf.Bytes(), wr.Bytes()) {
+		t.Fatal("sample depends on arrival order")
+	}
+	if len(fwd.Items) != 16 {
+		t.Fatalf("sample size %d, want 16", len(fwd.Items))
+	}
+	for i := 1; i < len(fwd.Items); i++ {
+		if fwd.Items[i-1].Hash >= fwd.Items[i].Hash {
+			t.Fatal("sample not sorted/unique")
+		}
+	}
+}
+
+// TestDigestCodec round-trips digest sets.
+func TestDigestCodec(t *testing.T) {
+	now := time.Unix(1000, 42000)
+	in := []Digest{
+		{Table: "a", Rows: 512, Distinct: map[string]int64{"x": 40, "y": 7}, MeasuredAt: now, TTL: time.Minute},
+		{Table: "b", Rows: 3},
+	}
+	w := wire.NewWriter(64)
+	EncodeDigests(w, in)
+	out, err := DecodeDigests(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 2 || out[0].Table != "a" || out[0].Rows != 512 ||
+		out[0].Distinct["x"] != 40 || out[0].TTL != time.Minute || !out[0].MeasuredAt.Equal(now) {
+		t.Fatalf("digest round trip: %+v", out)
+	}
+	if out[1].Expired(now.Add(time.Hour)) {
+		t.Fatal("zero-TTL digest should never expire")
+	}
+	if !in[0].Expired(now.Add(2 * time.Minute)) {
+		t.Fatal("TTL'd digest should expire")
+	}
+}
+
+// TestLocalIncremental: stored items feed the sketch, expiries
+// decrement rows, Reset+Absorb repair.
+func TestLocalIncremental(t *testing.T) {
+	l := NewLocal()
+	l.Register("t", "table:t", []string{"k", "v"})
+	for i := 0; i < 100; i++ {
+		tt := tuple.Tuple{tuple.Int(int64(i % 10)), tuple.Int(int64(i))}
+		l.OnStored("table:t", tt.Bytes())
+	}
+	sk := l.Snapshot("t")
+	if sk == nil || sk.Rows != 100 {
+		t.Fatalf("snapshot rows: %+v", sk)
+	}
+	if d := sk.Distinct("k"); d < 9 || d > 11 {
+		t.Fatalf("distinct(k)=%d", d)
+	}
+	victim := tuple.Tuple{tuple.Int(0), tuple.Int(0)}
+	l.OnExpired("table:t", victim.Bytes())
+	if sk = l.Snapshot("t"); sk.Rows != 99 {
+		t.Fatalf("rows after expiry %d, want 99", sk.Rows)
+	}
+	l.OnStored("table:other", victim.Bytes()) // unregistered: ignored
+
+	// Rebuild repair: Reset discards the drifted sketch, items stored
+	// during the rebuild land in the fresh one, and Absorb merges the
+	// scan result in without losing them.
+	l.Reset("t")
+	racer := tuple.Tuple{tuple.Int(5), tuple.Int(500)}
+	l.OnStored("table:t", racer.Bytes()) // arrives mid-rebuild
+	rebuilt := NewTableSketch("t", []string{"k", "v"})
+	rebuilt.Add(victim)
+	l.Absorb("t", rebuilt)
+	if sk = l.Snapshot("t"); sk.Rows != 2 {
+		t.Fatalf("rows after rebuild absorb %d, want 2 (scan row + racing arrival)", sk.Rows)
+	}
+}
+
+// TestWideTableTruncates: builders truncate past MaxColumns so every
+// sketch they encode is one every receiver accepts; rows stay exact.
+func TestWideTableTruncates(t *testing.T) {
+	cols := make([]string, MaxColumns+40)
+	for i := range cols {
+		cols[i] = fmt.Sprintf("c%d", i)
+	}
+	s := NewTableSketch("wide", cols)
+	if len(s.Cols) != MaxColumns {
+		t.Fatalf("sketch kept %d columns", len(s.Cols))
+	}
+	row := make(tuple.Tuple, len(cols))
+	for i := range row {
+		row[i] = tuple.Int(int64(i))
+	}
+	for n := 0; n < 10; n++ {
+		s.Add(row)
+	}
+	if s.Rows != 10 {
+		t.Fatalf("rows %d, want 10", s.Rows)
+	}
+	if d := s.Distinct("c0"); d != 1 {
+		t.Fatalf("distinct(c0)=%d, want 1", d)
+	}
+	if _, err := TableSketchFromBytes(s.Bytes()); err != nil {
+		t.Fatalf("truncated sketch rejected by its own decoder: %v", err)
+	}
+}
+
+// TestRegisterReportsNew: first registration true, re-registration
+// false (the caller's backfill trigger).
+func TestRegisterReportsNew(t *testing.T) {
+	l := NewLocal()
+	if !l.Register("t", "table:t", []string{"k"}) {
+		t.Fatal("first registration not new")
+	}
+	if l.Register("t", "table:t", []string{"k"}) {
+		t.Fatal("re-registration reported new")
+	}
+}
+
+// TestDecodeSampleRejectsMalformed: merge adopts decoded samples
+// verbatim, so wire input violating the sorted/unique invariant (or
+// an absurd capacity) must fail the decode.
+func TestDecodeSampleRejectsMalformed(t *testing.T) {
+	encode := func(k int, hashes []uint64) []byte {
+		w := wire.NewWriter(64)
+		w.Uvarint(uint64(k))
+		w.Uvarint(uint64(len(hashes)))
+		for _, h := range hashes {
+			w.Uint64(h)
+			w.BytesLP([]byte("row"))
+		}
+		return w.Bytes()
+	}
+	if _, err := DecodeSample(wire.NewReader(encode(8, []uint64{5, 3}))); err == nil {
+		t.Fatal("descending hashes accepted")
+	}
+	if _, err := DecodeSample(wire.NewReader(encode(8, []uint64{5, 5}))); err == nil {
+		t.Fatal("duplicate hashes accepted")
+	}
+	if _, err := DecodeSample(wire.NewReader(encode(1<<20, nil))); err == nil {
+		t.Fatal("absurd capacity accepted")
+	}
+	if s, err := DecodeSample(wire.NewReader(encode(8, []uint64{3, 5}))); err != nil || len(s.Items) != 2 {
+		t.Fatalf("well-formed sample rejected: %v", err)
+	}
+}

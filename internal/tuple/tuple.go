@@ -529,6 +529,16 @@ func MustSchema(name string, cols []Column, keyCols ...string) *Schema {
 	return s
 }
 
+// BaseName strips any binding qualifier off a column name
+// ("t.rate" → "rate") — the canonical key declared statistics,
+// measured sketches, and gossip digests all agree on.
+func BaseName(name string) string {
+	if i := strings.LastIndexByte(name, '.'); i >= 0 {
+		return name[i+1:]
+	}
+	return name
+}
+
 // ColIndex returns the index of the named column, or -1. Both bare
 // ("rate") and qualified ("traffic.rate") names are accepted.
 func (s *Schema) ColIndex(name string) int {
