@@ -21,6 +21,9 @@
 //	\stats <table> <rows> [col=distinct ...]  -- declare optimizer statistics
 //	\analyze [table ...]           -- measure statistics from the DHT (ANALYZE)
 //	\explain SELECT ...            -- print the distributed plan (no execution)
+//	\prepare <name> SELECT ...     -- name a statement (compiles into the plan cache)
+//	\exec <name>                   -- run a prepared statement
+//	\cache                         -- plan cache counters and entries
 //	\quit
 //	SELECT ...                     -- one-shot query
 //	ANALYZE [table, ...]           -- the SQL form of \analyze
@@ -43,6 +46,7 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/engine"
 	"repro/internal/pier"
 	"repro/internal/plan"
 	"repro/internal/transport"
@@ -90,10 +94,15 @@ func main() {
 		fmt.Printf("joined overlay via %s\n", *join)
 	}
 
-	shell(node, *explain)
+	svc := engine.New(node, engine.Config{})
+	defer svc.Close()
+	shell(svc, *explain)
 }
 
-func shell(node *pier.Node, explain bool) {
+func shell(svc *engine.Service, explain bool) {
+	node := svc.Node()
+	sess := svc.Open()
+	defer sess.Close()
 	sc := bufio.NewScanner(os.Stdin)
 	fmt.Print("pier> ")
 	for sc.Scan() {
@@ -130,18 +139,26 @@ func shell(node *pier.Node, explain bool) {
 		case strings.HasPrefix(line, `\analyze `):
 			doAnalyze(node, strings.Fields(strings.TrimPrefix(line, `\analyze `)))
 		case strings.HasPrefix(line, `\explain `):
-			plan, err := node.Explain(strings.TrimPrefix(line, `\explain `))
+			plan, err := sess.Explain(strings.TrimPrefix(line, `\explain `))
 			if err != nil {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Print(plan)
 			}
+		case strings.HasPrefix(line, `\prepare `):
+			if err := doPrepare(sess, strings.TrimPrefix(line, `\prepare `), explain); err != nil {
+				fmt.Println("error:", err)
+			}
+		case strings.HasPrefix(line, `\exec `):
+			runPrepared(sess, strings.TrimSpace(strings.TrimPrefix(line, `\exec `)), explain)
+		case line == `\cache`:
+			printCache(svc)
 		case strings.HasPrefix(strings.ToUpper(line), "SELECT") ||
 			strings.HasPrefix(strings.ToUpper(line), "WITH") ||
 			strings.HasPrefix(strings.ToUpper(line), "ANALYZE"):
-			runQuery(node, line, explain)
+			runQuery(sess, line, explain)
 		default:
-			fmt.Println("unrecognized command; try SELECT ..., ANALYZE, \\create, \\insert, \\put, \\tables, \\stats, \\analyze, \\explain, \\quit")
+			fmt.Println("unrecognized command; try SELECT ..., ANALYZE, \\create, \\insert, \\put, \\tables, \\stats, \\analyze, \\explain, \\prepare, \\exec, \\cache, \\quit")
 		}
 		fmt.Print("pier> ")
 	}
@@ -336,37 +353,14 @@ func doInsert(node *pier.Node, args string, viaDHT bool) error {
 	return node.PublishLocal(fields[0], t)
 }
 
-func runQuery(node *pier.Node, sql string, explain bool) {
-	upper := strings.ToUpper(sql)
-	if strings.Contains(upper, "WINDOW") {
-		cont, err := node.QueryContinuousWithOptions(context.Background(), sql,
-			plan.Options{Analyze: explain})
-		if err != nil {
-			fmt.Println("error:", err)
-			return
-		}
-		fmt.Printf("%v  (continuous; showing 10 windows)\n", cont.Columns)
-		for i := 0; i < 10; i++ {
-			wr, ok := <-cont.Results()
-			if !ok {
-				break
-			}
-			for _, row := range wr.Rows {
-				fmt.Printf("  [w%d] %v\n", wr.Seq, row)
-			}
-		}
-		if explain {
-			// Participants re-ship counter snapshots per window, so
-			// the report covers the run so far — the long-running
-			// query's EXPLAIN ANALYZE.
-			fmt.Print(cont.AnalyzeReport())
-		}
-		cont.Stop()
+func runQuery(sess *engine.Session, sql string, explain bool) {
+	if strings.Contains(strings.ToUpper(sql), "WINDOW") {
+		runContinuous(sess, sql, explain)
 		return
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
-	res, err := node.QueryWithOptions(ctx, sql, plan.Options{Analyze: explain})
+	res, err := sess.QueryWithOptions(ctx, sql, plan.Options{Analyze: explain})
 	if err != nil {
 		fmt.Println("error:", err)
 		return
@@ -379,5 +373,94 @@ func runQuery(node *pier.Node, sql string, explain bool) {
 		res.Duration.Round(time.Millisecond))
 	if res.AnalyzeReport != "" {
 		fmt.Print(res.AnalyzeReport)
+	}
+}
+
+func runContinuous(sess *engine.Session, sql string, explain bool) {
+	sub, err := sess.SubscribeWithOptions(context.Background(), sql,
+		plan.Options{Analyze: explain})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	defer sub.Stop()
+	fmt.Printf("%v  (continuous; showing 10 windows)\n", sub.Columns)
+	for i := 0; i < 10; i++ {
+		wr, ok := <-sub.Results()
+		if !ok {
+			break
+		}
+		for _, row := range wr.Rows {
+			fmt.Printf("  [w%d] %v\n", wr.Seq, row)
+		}
+	}
+	if explain {
+		// Participants re-ship counter snapshots per window, so the
+		// report covers the run so far — the long-running query's
+		// EXPLAIN ANALYZE.
+		if a := sub.Analysis(); a != nil {
+			for _, op := range a.Ops {
+				fmt.Printf("  %-24s %-14s nodes=%-3d in=%-8d out=%-8d\n",
+					op.Stage, op.Op, op.Nodes, op.RowsIn, op.RowsOut)
+			}
+		}
+	}
+}
+
+// doPrepare parses "\prepare name SELECT ..." and compiles the
+// statement into the plan cache under that name.
+func doPrepare(sess *engine.Session, args string, explain bool) error {
+	fields := strings.SplitN(strings.TrimSpace(args), " ", 2)
+	if len(fields) != 2 {
+		return fmt.Errorf("usage: \\prepare <name> SELECT ...")
+	}
+	if err := sess.Prepare(fields[0], fields[1], plan.Options{Analyze: explain}); err != nil {
+		return err
+	}
+	fmt.Printf("prepared %q\n", fields[0])
+	return nil
+}
+
+// runPrepared executes a prepared statement (subscribing when it is
+// continuous).
+func runPrepared(sess *engine.Session, name string, explain bool) {
+	for _, p := range sess.PreparedAll() {
+		if p.Name != name {
+			continue
+		}
+		if strings.Contains(strings.ToUpper(p.SQL), "WINDOW") {
+			runContinuous(sess, p.SQL, explain)
+			return
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		res, err := sess.Exec(ctx, name)
+		if err != nil {
+			fmt.Println("error:", err)
+			return
+		}
+		fmt.Printf("%v\n", res.Columns)
+		for _, row := range res.Rows {
+			fmt.Printf("  %v\n", row)
+		}
+		fmt.Printf("(%d rows, %d participants, %v)\n", len(res.Rows), res.Participants,
+			res.Duration.Round(time.Millisecond))
+		return
+	}
+	fmt.Printf("error: no prepared statement %q\n", name)
+}
+
+// printCache renders the plan cache counters and the live entries with
+// the stats epoch each plan was compiled under.
+func printCache(svc *engine.Service) {
+	st := svc.Cache().Stats()
+	fmt.Printf("plan cache: %d entries, %d hits, %d misses, %d evictions, %d invalidations (hit rate %.0f%%)\n",
+		st.Entries, st.Hits, st.Misses, st.Evictions, st.Invalidations, st.HitRate()*100)
+	for _, e := range svc.Cache().Snapshot() {
+		key := e.Key
+		if i := strings.LastIndex(key, "|strat="); i >= 0 {
+			key = key[:i]
+		}
+		fmt.Printf("  epoch=%-4d hits=%-6d %dB  %s\n", e.Epoch, e.Hits, e.Bytes, key)
 	}
 }

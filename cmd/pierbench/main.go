@@ -17,6 +17,7 @@
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
 //	pierbench -experiment localpipe
+//	pierbench -experiment serve
 //	pierbench -experiment all
 //
 // With -json out.json every experiment additionally records
@@ -174,6 +175,11 @@ func main() {
 	if want("localpipe") {
 		run("localpipe", func() error {
 			return localpipe(rec)
+		})
+	}
+	if want("serve") {
+		run("serve", func() error {
+			return serve(*n, *seed, rec)
 		})
 	}
 
@@ -468,4 +474,62 @@ func maxInt(a, b int) int {
 		return a
 	}
 	return b
+}
+
+// serve runs the query-service benchmark: concurrent TCP clients
+// against one pierd front door, then the shared-scan on/off
+// comparison for concurrent continuous queries.
+func serve(n int, seed int64, rec *recorder) error {
+	out, err := bench.Serve(bench.ServeConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-8s %10s %10s %10s %10s %10s %10s\n",
+		"clients", "queries", "rejected", "qps", "p50", "p95", "p99")
+	for _, tier := range out.Tiers {
+		fmt.Printf("%-8d %10d %10d %10.1f %10v %10v %10v\n",
+			tier.Clients, tier.Queries, tier.Rejected, tier.QPS,
+			tier.P50.Round(time.Millisecond), tier.P95.Round(time.Millisecond),
+			tier.P99.Round(time.Millisecond))
+		tag := fmt.Sprintf(".%d", tier.Clients)
+		rec.metric("serve-qps"+tag, tier.QPS)
+		rec.metric("serve-p50-ms"+tag, float64(tier.P50.Milliseconds()))
+		rec.metric("serve-p95-ms"+tag, float64(tier.P95.Milliseconds()))
+		rec.metric("serve-p99-ms"+tag, float64(tier.P99.Milliseconds()))
+		rec.metric("serve-rejected"+tag, float64(tier.Rejected))
+		if tier.Queries == 0 {
+			return fmt.Errorf("tier %d completed no queries", tier.Clients)
+		}
+	}
+	st := out.CacheStats
+	fmt.Printf("\nplan cache: %d hits, %d misses (hit rate %.0f%%)\n",
+		st.Hits, st.Misses, st.HitRate()*100)
+	rec.metric("serve-cache-hit-rate", st.HitRate())
+	if st.HitRate() <= 0.9 {
+		return fmt.Errorf("plan cache hit rate %.2f under the repeated workload, want > 0.90", st.HitRate())
+	}
+
+	fmt.Printf("\n%-10s %12s %12s %12s %12s\n",
+		"sharing", "subscribers", "queries", "attach", "2 windows")
+	for _, m := range []bench.ServeSharedMode{out.SharedOn, out.SharedOff} {
+		name := "dedicated"
+		if m.Shared {
+			name = "shared"
+		}
+		fmt.Printf("%-10s %12d %12d %12v %12v  (%d/%d delivered)\n",
+			name, m.Subscribers, m.Coordinated,
+			m.AttachWall.Round(time.Millisecond), m.DeliverWall.Round(time.Millisecond),
+			m.Delivered, m.Subscribers)
+		rec.metric("serve-"+name+"-coordinated", float64(m.Coordinated))
+		rec.metric("serve-"+name+"-attach-ms", float64(m.AttachWall.Milliseconds()))
+		rec.metric("serve-"+name+"-delivered", float64(m.Delivered))
+	}
+	if out.SharedOn.Coordinated != 1 {
+		return fmt.Errorf("shared mode coordinated %d underlying queries, want 1", out.SharedOn.Coordinated)
+	}
+	if out.SharedOn.Delivered < out.SharedOn.Subscribers {
+		return fmt.Errorf("shared mode delivered to %d/%d subscribers",
+			out.SharedOn.Delivered, out.SharedOn.Subscribers)
+	}
+	return nil
 }

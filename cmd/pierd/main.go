@@ -1,0 +1,102 @@
+// Command pierd runs one PIER node as a network query service: the
+// node speaks UDP to its overlay peers while clients connect over TCP
+// with a line-oriented JSON protocol (one request object per line,
+// responses matched by id, subscription windows pushed as events).
+//
+// Start a bootstrap node serving clients on :7070:
+//
+//	pierd -listen 127.0.0.1:7000 -serve 127.0.0.1:7070
+//
+// Join more nodes (each is also a front door):
+//
+//	pierd -listen 127.0.0.1:7001 -serve 127.0.0.1:7071 -join 127.0.0.1:7000
+//
+// Talk to it with anything that can write JSON lines, e.g.:
+//
+//	printf '%s\n' \
+//	  '{"id":1,"op":"create","table":"t","cols":["k:string","v:int"],"key":["k"]}' \
+//	  '{"id":2,"op":"insert","table":"t","values":["a",1]}' \
+//	  '{"id":3,"op":"query","sql":"SELECT COUNT(*) FROM t"}' | nc 127.0.0.1 7070
+//
+// The engine layer in front of the node provides the plan cache,
+// prepared statements, shared scans for concurrent continuous queries,
+// and admission control: past -max-inflight concurrently executing
+// queries, arrivals queue up to -queue-timeout and then shed with a
+// typed "reject" field clients can back off on.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pier"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+func main() {
+	log.SetFlags(0)
+	listen := flag.String("listen", "127.0.0.1:0", "UDP address for overlay traffic")
+	serve := flag.String("serve", "127.0.0.1:7070", "TCP address for client connections")
+	join := flag.String("join", "", "address of any existing node to join")
+	overlayKind := flag.String("overlay", "chord", "overlay: chord, kademlia, or can")
+	maxInflight := flag.Int("max-inflight", 64, "concurrently executing one-shot queries before arrivals queue")
+	maxQueued := flag.Int("max-queued", 256, "queued queries before arrivals shed immediately")
+	queueTimeout := flag.Duration("queue-timeout", time.Second, "max time a queued query waits for an execution slot")
+	maxSubs := flag.Int("max-subscriptions", 256, "concurrently live continuous subscriptions")
+	cacheSize := flag.Int("plan-cache", engine.DefaultPlanCacheSize, "plan cache capacity (compiled statements)")
+	sharedScans := flag.Bool("shared-scans", true, "serve concurrent identical continuous queries from one scan/window pipeline")
+	flag.Parse()
+
+	tr, err := transport.ListenUDP(*listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := pier.Config{Overlay: *overlayKind}
+	node, err := pier.NewNode(tr, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer node.Stop()
+	fmt.Printf("pierd node on %s (overlay: %s)\n", node.Addr(), *overlayKind)
+	if *join != "" {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		err := node.Join(ctx, *join)
+		cancel()
+		if err != nil {
+			log.Fatalf("join %s: %v", *join, err)
+		}
+		fmt.Printf("joined overlay via %s\n", *join)
+	}
+
+	svc := engine.New(node, engine.Config{
+		MaxInFlight:      *maxInflight,
+		MaxQueued:        *maxQueued,
+		QueueTimeout:     *queueTimeout,
+		MaxSubscriptions: *maxSubs,
+		PlanCacheSize:    *cacheSize,
+		SharedScans:      *sharedScans,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *serve)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := server.Serve(ln, svc)
+	defer srv.Close()
+	fmt.Printf("serving clients on %s\n", srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("shutting down")
+}

@@ -104,6 +104,10 @@ type Catalog struct {
 	// operator's explicit hint.
 	stats    map[string]TableStats
 	measured map[string]TableStats
+	// epoch counts catalog mutations that can change plans: table
+	// definitions/drops and statistics installs. Cached compiled plans
+	// are keyed on it, so a bump invalidates them.
+	epoch uint64
 }
 
 // New creates an empty catalog.
@@ -137,7 +141,18 @@ func (c *Catalog) Define(schema *tuple.Schema, ttl time.Duration) (*Table, error
 	}
 	t := &Table{Schema: schema, Namespace: Namespace(schema.Name), TTL: ttl}
 	c.tables[schema.Name] = t
+	c.epoch++
 	return t, nil
+}
+
+// Epoch returns a counter bumped by every plan-affecting catalog
+// mutation (Define, Drop, SetStats, and InstallMeasured when it
+// actually installs). Plan caches key entries on it: a compiled plan
+// is valid only while the epoch it was built under is current.
+func (c *Catalog) Epoch() uint64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.epoch
 }
 
 // Lookup finds a table by name.
@@ -192,6 +207,7 @@ func (c *Catalog) SetStats(name string, stats TableStats) error {
 	stats.MeasuredAt = time.Time{}
 	stats.TTL = 0
 	c.stats[name] = stats
+	c.epoch++
 	return nil
 }
 
@@ -229,6 +245,7 @@ func (c *Catalog) InstallMeasured(name string, stats TableStats) error {
 		}
 	}
 	c.measured[name] = stats
+	c.epoch++
 	return nil
 }
 
@@ -276,6 +293,9 @@ func (c *Catalog) MeasuredAll() map[string]TableStats {
 func (c *Catalog) Drop(name string) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if _, ok := c.tables[name]; ok {
+		c.epoch++
+	}
 	delete(c.tables, name)
 	delete(c.stats, name)
 	delete(c.measured, name)

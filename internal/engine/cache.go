@@ -1,0 +1,174 @@
+// Package engine is the serving tier above the distributed executor:
+// sessions, prepared statements, an LRU plan cache keyed on normalized
+// SQL and the catalog-stats epoch, shared scans for concurrent
+// continuous queries, and admission control with typed load-shedding.
+// internal/pier stays pure distributed execution; this layer owns the
+// query lifecycle the way a "DB as a Service" front door does.
+package engine
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+)
+
+// cacheKey renders the plan-cache key: the statement's canonical token
+// spelling plus every compilation option that changes the plan.
+func cacheKey(normalizedSQL string, opts plan.Options) string {
+	strat := -1
+	if opts.Strategy != nil {
+		strat = int(*opts.Strategy)
+	}
+	return fmt.Sprintf("%s|strat=%d|analyze=%t", normalizedSQL, strat, opts.Analyze)
+}
+
+// normalizedKey normalizes sql and renders its cache key.
+func normalizedKey(sql string, opts plan.Options) (string, error) {
+	norm, err := sqlparser.Normalize(sql)
+	if err != nil {
+		return "", err
+	}
+	return cacheKey(norm, opts), nil
+}
+
+// CacheStats are the plan cache's cumulative counters.
+type CacheStats struct {
+	Hits          uint64
+	Misses        uint64
+	Evictions     uint64 // capacity evictions (LRU tail)
+	Invalidations uint64 // entries dropped on a stats-epoch change
+	Entries       int
+}
+
+// HitRate is hits / (hits + misses), 0 when empty.
+func (s CacheStats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// CacheEntryInfo describes one live cache entry (the \cache listing).
+type CacheEntryInfo struct {
+	Key   string // normalized SQL + options
+	Epoch uint64 // catalog-stats epoch the plan was compiled under
+	Hits  uint64
+	Bytes int // encoded plan size
+}
+
+type cacheEntry struct {
+	key   string
+	spec  []byte // encoded plan.Spec — decoded per hit, so entries are immutable
+	epoch uint64
+	hits  uint64
+}
+
+// PlanCache is an LRU cache of compiled plans. Entries store the
+// encoded spec and decode on every hit: a hit is byte-identical to a
+// fresh parse+optimize by construction, and no caller can mutate a
+// cached plan. An entry compiled under an older catalog-stats epoch is
+// invalid — ANALYZE installing fresh statistics (or any table
+// definition change) bumps the epoch, so stale plans die on their
+// next lookup rather than lingering until eviction.
+type PlanCache struct {
+	mu      sync.Mutex
+	cap     int
+	entries map[string]*list.Element
+	lru     *list.List // front = most recently used
+	stats   CacheStats
+}
+
+// DefaultPlanCacheSize bounds the cache when the config leaves it 0.
+const DefaultPlanCacheSize = 128
+
+// NewPlanCache creates a cache holding up to capacity plans
+// (<= 0 takes DefaultPlanCacheSize).
+func NewPlanCache(capacity int) *PlanCache {
+	if capacity <= 0 {
+		capacity = DefaultPlanCacheSize
+	}
+	return &PlanCache{
+		cap:     capacity,
+		entries: make(map[string]*list.Element),
+		lru:     list.New(),
+	}
+}
+
+// Get returns the cached plan for key if it was compiled under the
+// given (current) catalog-stats epoch. An epoch mismatch drops the
+// entry, counts an invalidation, and misses.
+func (c *PlanCache) Get(key string, epoch uint64) (*plan.Spec, bool) {
+	c.mu.Lock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	e := el.Value.(*cacheEntry)
+	if e.epoch != epoch {
+		c.lru.Remove(el)
+		delete(c.entries, key)
+		c.stats.Invalidations++
+		c.stats.Misses++
+		c.mu.Unlock()
+		return nil, false
+	}
+	e.hits++
+	c.stats.Hits++
+	c.lru.MoveToFront(el)
+	encoded := e.spec
+	c.mu.Unlock()
+	spec, err := plan.FromBytes(encoded)
+	if err != nil {
+		return nil, false // unreachable unless the codec breaks
+	}
+	return spec, true
+}
+
+// Put stores a freshly compiled plan under key for the given epoch,
+// evicting the LRU tail at capacity.
+func (c *PlanCache) Put(key string, spec *plan.Spec, epoch uint64) {
+	encoded := spec.Bytes()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		e := el.Value.(*cacheEntry)
+		e.spec = encoded
+		e.epoch = epoch
+		c.lru.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.lru.PushFront(&cacheEntry{key: key, spec: encoded, epoch: epoch})
+	for c.lru.Len() > c.cap {
+		tail := c.lru.Back()
+		c.lru.Remove(tail)
+		delete(c.entries, tail.Value.(*cacheEntry).key)
+		c.stats.Evictions++
+	}
+}
+
+// Stats snapshots the counters.
+func (c *PlanCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	return s
+}
+
+// Snapshot lists the live entries in most-recently-used order.
+func (c *PlanCache) Snapshot() []CacheEntryInfo {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CacheEntryInfo, 0, c.lru.Len())
+	for el := c.lru.Front(); el != nil; el = el.Next() {
+		e := el.Value.(*cacheEntry)
+		out = append(out, CacheEntryInfo{Key: e.key, Epoch: e.epoch, Hits: e.hits, Bytes: len(e.spec)})
+	}
+	return out
+}

@@ -1,0 +1,469 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pier"
+	"repro/internal/plan"
+	"repro/internal/sqlparser"
+)
+
+// Config tunes the service layer. Zero values give serving-scale
+// defaults.
+type Config struct {
+	// MaxInFlight bounds concurrently executing one-shot queries
+	// across all sessions. Default 64.
+	MaxInFlight int
+	// MaxQueued bounds queries waiting for an execution slot beyond
+	// MaxInFlight; arrivals past it shed immediately. Default 256.
+	MaxQueued int
+	// QueueTimeout bounds how long a queued query waits for a slot
+	// before shedding. Default 1s.
+	QueueTimeout time.Duration
+	// MaxSubscriptions bounds concurrently live continuous
+	// subscriptions across all sessions. Default 256.
+	MaxSubscriptions int
+	// PlanCacheSize bounds the LRU plan cache. Default 128.
+	PlanCacheSize int
+	// SharedScans attaches concurrent subscriptions with the same
+	// normalized statement to one scan/window pipeline through a
+	// fan-out operator instead of compiling one pipeline each.
+	SharedScans bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 64
+	}
+	if c.MaxQueued <= 0 {
+		c.MaxQueued = 256
+	}
+	if c.QueueTimeout <= 0 {
+		c.QueueTimeout = time.Second
+	}
+	if c.MaxSubscriptions <= 0 {
+		c.MaxSubscriptions = 256
+	}
+	return c
+}
+
+// Reject reasons carried by RejectError.
+const (
+	// RejectOverloaded: both the in-flight and queue bounds are full;
+	// the query was shed on arrival.
+	RejectOverloaded = "overloaded"
+	// RejectQueueTimeout: the query queued but no slot freed within
+	// QueueTimeout.
+	RejectQueueTimeout = "queue-timeout"
+	// RejectTooManySubs: the subscription bound is full.
+	RejectTooManySubs = "too-many-subscriptions"
+	// RejectClosed: the service or session is shut down.
+	RejectClosed = "closed"
+)
+
+// RejectError is a typed admission-control rejection — load shedding,
+// not failure. Clients retry with backoff (or not at all).
+type RejectError struct {
+	Reason string
+}
+
+func (e *RejectError) Error() string { return "engine: rejected: " + e.Reason }
+
+// IsReject reports whether err is an admission-control rejection and
+// returns its reason.
+func IsReject(err error) (string, bool) {
+	if re, ok := err.(*RejectError); ok {
+		return re.Reason, true
+	}
+	return "", false
+}
+
+// Metrics counts service-level activity.
+type Metrics struct {
+	Admitted           atomic.Uint64
+	Queued             atomic.Uint64 // admissions that had to wait for a slot
+	RejectedOverload   atomic.Uint64
+	RejectedTimeout    atomic.Uint64
+	RejectedSubs       atomic.Uint64
+	SharedScanAttaches atomic.Uint64 // subscriptions attached to an existing pipeline
+}
+
+// Service is the query-serving tier over one pier node: it owns
+// session and query-ID allocation, the plan cache, admission control,
+// shared scans, and cancellation. The node underneath stays pure
+// distributed execution (and remains usable directly; the service
+// does not take ownership of it).
+type Service struct {
+	node  *pier.Node
+	cfg   Config
+	cache *PlanCache
+
+	slots  chan struct{} // in-flight semaphore
+	queued atomic.Int64
+	subs   atomic.Int64
+
+	sharedMu sync.Mutex
+	shared   map[string]*sharedScan
+
+	sessMu   sync.Mutex
+	sessions map[uint64]*Session
+	nextSess atomic.Uint64
+	closed   bool
+
+	Metrics Metrics
+}
+
+// New builds a service over node.
+func New(node *pier.Node, cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	return &Service{
+		node:     node,
+		cfg:      cfg,
+		cache:    NewPlanCache(cfg.PlanCacheSize),
+		slots:    make(chan struct{}, cfg.MaxInFlight),
+		shared:   make(map[string]*sharedScan),
+		sessions: make(map[uint64]*Session),
+	}
+}
+
+// Node exposes the underlying executor (the shell's non-query
+// commands operate on it directly).
+func (s *Service) Node() *pier.Node { return s.node }
+
+// Cache exposes the plan cache (the \cache command and the bench read
+// its counters).
+func (s *Service) Cache() *PlanCache { return s.cache }
+
+// Open starts a session. Sessions are cheap; a network server opens
+// one per connection.
+func (s *Service) Open() *Session {
+	ctx, cancel := context.WithCancel(context.Background())
+	sess := &Session{
+		svc:      s,
+		id:       s.nextSess.Add(1),
+		ctx:      ctx,
+		cancel:   cancel,
+		prepared: make(map[string]*Prepared),
+		subs:     make(map[uint64]*Subscription),
+	}
+	s.sessMu.Lock()
+	if s.closed {
+		s.sessMu.Unlock()
+		cancel()
+		sess.closed = true
+		return sess
+	}
+	s.sessions[sess.id] = sess
+	s.sessMu.Unlock()
+	return sess
+}
+
+// Close shuts the service down: every session closes (cancelling its
+// in-flight queries and stopping its subscriptions). The underlying
+// node is left running — the caller owns it.
+func (s *Service) Close() {
+	s.sessMu.Lock()
+	if s.closed {
+		s.sessMu.Unlock()
+		return
+	}
+	s.closed = true
+	open := make([]*Session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		open = append(open, sess)
+	}
+	s.sessMu.Unlock()
+	for _, sess := range open {
+		sess.Close()
+	}
+}
+
+// admit acquires an execution slot, queueing up to QueueTimeout when
+// the service is saturated. The returned release frees the slot.
+func (s *Service) admit(ctx context.Context) (func(), error) {
+	release := func() { <-s.slots }
+	select {
+	case s.slots <- struct{}{}:
+		s.Metrics.Admitted.Add(1)
+		return release, nil
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.MaxQueued) {
+		s.queued.Add(-1)
+		s.Metrics.RejectedOverload.Add(1)
+		return nil, &RejectError{Reason: RejectOverloaded}
+	}
+	defer s.queued.Add(-1)
+	s.Metrics.Queued.Add(1)
+	timer := time.NewTimer(s.cfg.QueueTimeout)
+	defer timer.Stop()
+	select {
+	case s.slots <- struct{}{}:
+		s.Metrics.Admitted.Add(1)
+		return release, nil
+	case <-timer.C:
+		s.Metrics.RejectedTimeout.Add(1)
+		return nil, &RejectError{Reason: RejectQueueTimeout}
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// resolve turns sql into an executable plan through the cache: a hit
+// under the current catalog-stats epoch skips parse and optimize
+// entirely. On a miss the statement parses; plain statements compile
+// and cache, while non-cacheable ones (ANALYZE, WITH RECURSIVE)
+// return the parsed statement instead, for the caller to delegate.
+// Exactly one of spec and stmt is non-nil on success.
+func (s *Service) resolve(sql string, opts plan.Options) (*plan.Spec, *sqlparser.SelectStmt, error) {
+	key, err := normalizedKey(sql, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	epoch := s.node.Catalog().Epoch()
+	if spec, ok := s.cache.Get(key, epoch); ok {
+		return spec, nil, nil
+	}
+	stmt, err := sqlparser.Parse(sql)
+	if err != nil {
+		return nil, nil, err
+	}
+	if stmt.Analyze != nil || stmt.With != nil {
+		return nil, stmt, nil
+	}
+	spec, err := plan.Compile(stmt, s.node.Catalog(), opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	s.cache.Put(key, spec, epoch)
+	return spec, nil, nil
+}
+
+// SessionStats is a session's cumulative resource accounting.
+type SessionStats struct {
+	Queries  uint64        // one-shot queries executed
+	Rows     uint64        // result rows returned
+	Busy     time.Duration // summed query wall-clock
+	Rejected uint64        // admission rejections
+}
+
+// Prepared is a named compiled statement.
+type Prepared struct {
+	Name string
+	SQL  string // original text (the \cache listing shows it)
+	key  string // cache key (normalized SQL + options)
+	opts plan.Options
+}
+
+// Session is one client's handle on the service. Sessions own query
+// cancellation: Close cancels every in-flight query and stops every
+// subscription the session started. Methods are safe for concurrent
+// use.
+type Session struct {
+	svc    *Service
+	id     uint64
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	closed   bool
+	prepared map[string]*Prepared
+	subs     map[uint64]*Subscription
+	nextSub  atomic.Uint64
+	nextQID  atomic.Uint64
+	stats    SessionStats
+}
+
+// ID is the service-unique session identifier.
+func (se *Session) ID() uint64 { return se.id }
+
+// Stats snapshots the session's resource accounting.
+func (se *Session) Stats() SessionStats {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.stats
+}
+
+// Close ends the session: in-flight queries cancel, subscriptions
+// stop. Idempotent.
+func (se *Session) Close() {
+	se.mu.Lock()
+	if se.closed {
+		se.mu.Unlock()
+		return
+	}
+	se.closed = true
+	subs := make([]*Subscription, 0, len(se.subs))
+	for _, sub := range se.subs {
+		subs = append(subs, sub)
+	}
+	se.subs = nil
+	se.mu.Unlock()
+	se.cancel()
+	for _, sub := range subs {
+		sub.Stop()
+	}
+	se.svc.sessMu.Lock()
+	delete(se.svc.sessions, se.id)
+	se.svc.sessMu.Unlock()
+}
+
+func (se *Session) isClosed() bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	return se.closed
+}
+
+// reject books a rejection into the session accounting.
+func (se *Session) reject(err error) error {
+	if _, ok := IsReject(err); ok {
+		se.mu.Lock()
+		se.stats.Rejected++
+		se.mu.Unlock()
+	}
+	return err
+}
+
+// account books a completed one-shot query.
+func (se *Session) account(res *pier.Result, d time.Duration) {
+	se.mu.Lock()
+	se.stats.Queries++
+	if res != nil {
+		se.stats.Rows += uint64(len(res.Rows))
+	}
+	se.stats.Busy += d
+	se.mu.Unlock()
+}
+
+// queryCtx derives the execution context: cancelled when either the
+// caller's context or the session closes.
+func (se *Session) queryCtx(ctx context.Context) (context.Context, context.CancelFunc) {
+	qctx, cancel := context.WithCancel(ctx)
+	stop := context.AfterFunc(se.ctx, cancel)
+	return qctx, func() { stop(); cancel() }
+}
+
+// Query executes one statement and blocks for the result. Continuous
+// statements are rejected — use Subscribe. ANALYZE and WITH RECURSIVE
+// statements execute but bypass the plan cache (ANALYZE by nature
+// invalidates it; recursive statements re-plan their inner queries
+// every run).
+func (se *Session) Query(ctx context.Context, sql string) (*pier.Result, error) {
+	return se.QueryWithOptions(ctx, sql, plan.Options{})
+}
+
+// QueryWithOptions is Query with explicit planner options.
+func (se *Session) QueryWithOptions(ctx context.Context, sql string, opts plan.Options) (*pier.Result, error) {
+	if se.isClosed() {
+		return nil, se.reject(&RejectError{Reason: RejectClosed})
+	}
+	release, err := se.svc.admit(ctx)
+	if err != nil {
+		return nil, se.reject(err)
+	}
+	defer release()
+	se.nextQID.Add(1)
+	qctx, cancel := se.queryCtx(ctx)
+	defer cancel()
+	start := time.Now()
+	res, err := se.runOneShot(qctx, sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	se.account(res, time.Since(start))
+	return res, nil
+}
+
+// runOneShot dispatches a one-shot statement: cache-resolved specs
+// for plain queries, delegation for ANALYZE / WITH RECURSIVE.
+func (se *Session) runOneShot(ctx context.Context, sql string, opts plan.Options) (*pier.Result, error) {
+	spec, stmt, err := se.svc.resolve(sql, opts)
+	if err != nil {
+		return nil, err
+	}
+	if stmt != nil {
+		return se.svc.node.QueryWithOptions(ctx, sql, opts)
+	}
+	if spec.IsContinuous() {
+		return nil, fmt.Errorf("engine: continuous statement; use Subscribe")
+	}
+	return se.svc.node.ExecuteSpec(ctx, spec)
+}
+
+// Prepare names a statement and compiles it into the plan cache
+// eagerly, so the first Exec already hits. Re-preparing a name
+// replaces it. Continuous statements may be prepared; Exec rejects
+// them (use SubscribePrepared).
+func (se *Session) Prepare(name, sql string, opts plan.Options) error {
+	if se.isClosed() {
+		return &RejectError{Reason: RejectClosed}
+	}
+	if name == "" {
+		return fmt.Errorf("engine: prepared statement needs a name")
+	}
+	key, err := normalizedKey(sql, opts)
+	if err != nil {
+		return err
+	}
+	// Plain statements compile now (warming the cache); ANALYZE and
+	// recursive statements become name-only bindings.
+	if _, _, err := se.svc.resolve(sql, opts); err != nil {
+		return err
+	}
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	if se.closed {
+		return &RejectError{Reason: RejectClosed}
+	}
+	se.prepared[name] = &Prepared{Name: name, SQL: sql, key: key, opts: opts}
+	return nil
+}
+
+// lookupPrepared resolves a prepared name.
+func (se *Session) lookupPrepared(name string) (*Prepared, error) {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	p, ok := se.prepared[name]
+	if !ok {
+		return nil, fmt.Errorf("engine: no prepared statement %q", name)
+	}
+	return p, nil
+}
+
+// Prepared lists the session's prepared statements (sorted by name at
+// the caller if needed).
+func (se *Session) PreparedAll() []*Prepared {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	out := make([]*Prepared, 0, len(se.prepared))
+	for _, p := range se.prepared {
+		out = append(out, p)
+	}
+	return out
+}
+
+// Exec runs a prepared statement.
+func (se *Session) Exec(ctx context.Context, name string) (*pier.Result, error) {
+	p, err := se.lookupPrepared(name)
+	if err != nil {
+		return nil, err
+	}
+	return se.QueryWithOptions(ctx, p.SQL, p.opts)
+}
+
+// Explain renders the distributed plan (through the cache, so
+// repeated EXPLAIN is parse-free).
+func (se *Session) Explain(sql string) (string, error) {
+	spec, stmt, err := se.svc.resolve(sql, plan.Options{})
+	if err != nil {
+		return "", err
+	}
+	if stmt != nil {
+		return "", fmt.Errorf("engine: EXPLAIN supports plain statements only")
+	}
+	return spec.Explain(), nil
+}

@@ -27,12 +27,14 @@ func (q *queryState) joinInlet(stage, side int) *physical.Inlet {
 	inlets, ok := q.joinInlets[stage]
 	if !ok {
 		pipe, in := physical.CompileJoinCollector(q.spec, stage, q.pipelineEnv())
-		if _, err := pipe.Start(q.ctx); err != nil {
+		run, err := pipe.Start(q.ctx)
+		if err != nil {
 			return nil
 		}
 		inlets = in
 		q.joinInlets[stage] = inlets
 		q.pipes = append(q.pipes, pipe)
+		q.running = append(q.running, run)
 	}
 	return inlets[side]
 }
@@ -47,11 +49,13 @@ func (q *queryState) aggInlet() *physical.Inlet {
 	defer q.pipeMu.Unlock()
 	if q.aggIn == nil {
 		pipe, in := physical.CompileAggCollector(q.spec, q.pipelineEnv())
-		if _, err := pipe.Start(q.ctx); err != nil {
+		run, err := pipe.Start(q.ctx)
+		if err != nil {
 			return nil
 		}
 		q.aggIn = in
 		q.pipes = append(q.pipes, pipe)
+		q.running = append(q.running, run)
 	}
 	return q.aggIn
 }

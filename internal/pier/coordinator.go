@@ -99,7 +99,7 @@ func (n *Node) QueryWithOptions(ctx context.Context, sql string, opts plan.Optio
 		return n.analyzeStatement(ctx, stmt.Analyze.Tables)
 	}
 	if stmt.With != nil {
-		return n.queryRecursive(ctx, stmt)
+		return n.ExecuteRecursive(ctx, stmt)
 	}
 	if stmt.IsContinuous() {
 		return nil, fmt.Errorf("pier: continuous query; use QueryContinuous")
@@ -151,6 +151,10 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		case <-ctx.Done():
 			n.stopQuery(qid)
 			return nil, ctx.Err()
+		case <-q.ctx.Done():
+			// Node.Stop (or a teardown broadcast) cancelled the query
+			// under us: bail out without touching the router again.
+			return nil, fmt.Errorf("pier: query cancelled: node stopping")
 		case <-time.After(25 * time.Millisecond):
 		}
 		q.coMu.Lock()
@@ -251,12 +255,7 @@ func (n *Node) ExecuteSpecContinuous(ctx context.Context, spec *plan.Spec) (*Con
 		stop: func() {
 			n.stopQuery(qid)
 			n.dropQuery(qid)
-			q.coMu.Lock()
-			if q.results != nil {
-				close(q.results)
-				q.results = nil
-			}
-			q.coMu.Unlock()
+			q.closeResults()
 		},
 	}
 	// Auto-stop at the LIVE horizon.
@@ -400,15 +399,16 @@ func (q *queryState) flushWindow(window uint64, closeAt time.Time) {
 	delete(q.winTimers, window)
 	delete(q.aggRows, window)
 	delete(q.plainRows, window)
-	results := q.results
+	// The send stays under coMu so it serializes with closeResults —
+	// otherwise a concurrent Stop could close the channel between the
+	// nil check and the send.
+	if q.results != nil {
+		select {
+		case q.results <- WindowResult{Seq: window, Time: closeAt, Rows: final}:
+		default: // client not draining: drop the window, stay live
+		}
+	}
 	q.coMu.Unlock()
-	if results == nil {
-		return
-	}
-	select {
-	case results <- WindowResult{Seq: window, Time: closeAt, Rows: final}:
-	default: // client not draining: drop the window, stay live
-	}
 }
 
 // canonicalRows snapshots the coordinator's collected rows for one

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bloom"
+	"repro/internal/dataflow"
 	"repro/internal/id"
 	"repro/internal/overlay"
 	"repro/internal/physical"
@@ -51,6 +52,7 @@ type queryState struct {
 	// (participant scan/window pipeline, lazily started collectors)
 	pipeMu     sync.Mutex
 	pipes      []*physical.Pipeline
+	running    []*dataflow.Running        // lazily started collector pipelines
 	joinInlets map[int][2]*physical.Inlet // join stage -> side inlets
 	aggIn      *physical.Inlet
 	statsOnce  sync.Once
@@ -100,6 +102,43 @@ func (n *Node) dropQuery(qid uint64) {
 	if q != nil {
 		q.shipStats()
 		q.cancel()
+		q.stopTimers()
+	}
+}
+
+// stopTimers cancels any pending window-flush timers (coordinator
+// role). A timer that already fired is harmless: flushWindow checks
+// the query context before doing work.
+func (q *queryState) stopTimers() {
+	q.coMu.Lock()
+	for w, tm := range q.winTimers {
+		tm.Stop()
+		delete(q.winTimers, w)
+	}
+	q.coMu.Unlock()
+}
+
+// closeResults closes the continuous results channel exactly once.
+// The close and every send happen under coMu, so a window flush can
+// never race the close into a send-on-closed panic.
+func (q *queryState) closeResults() {
+	q.coMu.Lock()
+	if q.results != nil {
+		close(q.results)
+		q.results = nil
+	}
+	q.coMu.Unlock()
+}
+
+// waitPipelines blocks until every lazily started collector pipeline
+// has exited. Callers cancel the query context first; participant
+// pipelines run under the node wait group and are not tracked here.
+func (q *queryState) waitPipelines() {
+	q.pipeMu.Lock()
+	running := append([]*dataflow.Running(nil), q.running...)
+	q.pipeMu.Unlock()
+	for _, r := range running {
+		<-r.Done()
 	}
 }
 

@@ -329,8 +329,11 @@ func (n *Node) scanPayloads(ns string, partitions int) [][][]byte {
 // Catalog exposes the local table registry.
 func (n *Node) Catalog() *catalog.Catalog { return n.cat }
 
-// Stop shuts the node down: running queries are cancelled, the store
-// and overlay stop.
+// Stop shuts the node down, draining before tearing down: in-flight
+// queries are cancelled, their window timers stopped and continuous
+// result channels closed (so blocked consumers unblock), and every
+// collector pipeline is waited out — only then do the store and
+// overlay stop, so no pipeline ever ships through a dead router.
 func (n *Node) Stop() {
 	n.mu.Lock()
 	if n.stopped {
@@ -346,6 +349,11 @@ func (n *Node) Stop() {
 	close(n.stopCh)
 	for _, q := range qs {
 		q.cancel()
+	}
+	for _, q := range qs {
+		q.stopTimers()
+		q.closeResults()
+		q.waitPipelines()
 	}
 	n.wg.Wait()
 	n.store.Stop()

@@ -15,7 +15,7 @@ import (
 	"repro/internal/wire"
 )
 
-// queryRecursive executes WITH RECURSIVE cte AS (base UNION step)
+// ExecuteRecursive executes WITH RECURSIVE cte AS (base UNION step)
 // outer. The base query runs as a normal distributed query; the
 // recursive step's non-CTE table is materialized at the coordinator
 // with a distributed scan; the fixpoint itself runs locally through
@@ -23,7 +23,7 @@ import (
 // in-network recursion — rehashing deltas through the DHT, as the
 // topology paper [2] does — is provided by internal/topology; the SQL
 // surface takes the coordinator-materialized route.)
-func (n *Node) queryRecursive(ctx context.Context, stmt *sqlparser.SelectStmt) (*Result, error) {
+func (n *Node) ExecuteRecursive(ctx context.Context, stmt *sqlparser.SelectStmt) (*Result, error) {
 	w := stmt.With
 	if stmt.IsContinuous() {
 		return nil, fmt.Errorf("pier: continuous recursive queries are not supported")

@@ -1,0 +1,464 @@
+// Package server is pierd's network front door: a line-oriented JSON
+// protocol over TCP exposing the engine service — one-shot queries,
+// prepared statements, continuous subscriptions, and cache/metrics
+// introspection. Each connection owns one engine session, so closing
+// the connection cancels its in-flight queries and stops its
+// subscriptions.
+//
+// Requests are one JSON object per line, identified by a client-chosen
+// id; responses carry the same id and may interleave (a connection can
+// run queries concurrently). Subscription windows arrive as
+// unsolicited events tagged with the subscription handle.
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/pier"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// Request is one client line.
+type Request struct {
+	ID uint64 `json:"id"`
+	// Op selects the action: ping, query, prepare, exec, subscribe,
+	// unsubscribe, explain, cache, create, insert.
+	Op   string `json:"op"`
+	SQL  string `json:"sql,omitempty"`  // query, prepare, subscribe, explain
+	Name string `json:"name,omitempty"` // prepare, exec
+	// Analyze runs the statement as EXPLAIN ANALYZE (query, subscribe).
+	Analyze bool   `json:"analyze,omitempty"`
+	Sub     uint64 `json:"sub,omitempty"` // unsubscribe
+	// Table definition / ingestion (create, insert).
+	Table  string        `json:"table,omitempty"`
+	Cols   []string      `json:"cols,omitempty"` // "name:type"
+	Key    []string      `json:"key,omitempty"`
+	TTLMS  int64         `json:"ttl_ms,omitempty"`
+	Values []interface{} `json:"values,omitempty"`
+	// Local inserts into this node's partition instead of placing the
+	// tuple in the DHT by key.
+	Local bool `json:"local,omitempty"`
+}
+
+// Response answers one request (matched by ID).
+type Response struct {
+	ID    uint64 `json:"id"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Reject carries the typed admission-control reason ("overloaded",
+	// "queue-timeout", ...) so clients can distinguish shedding from
+	// failure and back off.
+	Reject string `json:"reject,omitempty"`
+
+	Columns      []string        `json:"columns,omitempty"`
+	Rows         [][]interface{} `json:"rows,omitempty"`
+	Participants int             `json:"participants,omitempty"`
+	DurationMS   float64         `json:"duration_ms,omitempty"`
+	Analyze      string          `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
+	Plan         string          `json:"plan,omitempty"`    // explain
+	Sub          uint64          `json:"sub,omitempty"`     // subscribe ack
+	Shared       bool            `json:"shared,omitempty"`  // subscription rides a shared scan
+
+	Cache   *engine.CacheStats      `json:"cache,omitempty"`
+	Entries []engine.CacheEntryInfo `json:"entries,omitempty"`
+	Addr    string                  `json:"addr,omitempty"` // ping
+}
+
+// Event is an unsolicited server-to-client message (window delivery).
+type Event struct {
+	Event string          `json:"event"` // "window" or "end"
+	Sub   uint64          `json:"sub"`
+	Seq   uint64          `json:"seq,omitempty"`
+	Rows  [][]interface{} `json:"rows,omitempty"`
+}
+
+// Server accepts pierd client connections.
+type Server struct {
+	svc *engine.Service
+	ln  net.Listener
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+	done  chan struct{}
+}
+
+// Serve starts accepting on ln, returning immediately. Close stops it.
+func Serve(ln net.Listener, svc *engine.Service) *Server {
+	s := &Server{
+		svc:   svc,
+		ln:    ln,
+		conns: make(map[net.Conn]struct{}),
+		done:  make(chan struct{}),
+	}
+	go s.acceptLoop()
+	return s
+}
+
+// Addr is the listener's address.
+func (s *Server) Addr() net.Addr { return s.ln.Addr() }
+
+// Close stops accepting and closes every live connection.
+func (s *Server) Close() {
+	close(s.done)
+	s.ln.Close()
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) acceptLoop() {
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		s.mu.Lock()
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		go s.handle(conn)
+	}
+}
+
+// clientConn is one connection's state: its engine session, its
+// write-side lock (responses and events interleave from many
+// goroutines), and its live subscription handles.
+type clientConn struct {
+	srv  *Server
+	conn net.Conn
+	sess *engine.Session
+	ctx  context.Context
+
+	wmu sync.Mutex
+	w   *bufio.Writer
+
+	smu  sync.Mutex
+	subs map[uint64]*engine.Subscription
+	next uint64
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cc := &clientConn{
+		srv:  s,
+		conn: conn,
+		sess: s.svc.Open(),
+		ctx:  ctx,
+		w:    bufio.NewWriter(conn),
+		subs: make(map[uint64]*engine.Subscription),
+	}
+	defer cc.sess.Close()
+
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var req Request
+		if err := json.Unmarshal(line, &req); err != nil {
+			cc.send(Response{ID: 0, Error: "bad request: " + err.Error()})
+			continue
+		}
+		// Queries block (admission queue + quiescence), so every
+		// request runs in its own goroutine; the id ties the response
+		// back and one connection can keep many queries in flight.
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cc.send(cc.dispatch(req))
+		}()
+	}
+}
+
+// send writes one JSON line under the write lock.
+func (cc *clientConn) send(resp interface{}) {
+	buf, err := json.Marshal(resp)
+	if err != nil {
+		return
+	}
+	cc.wmu.Lock()
+	defer cc.wmu.Unlock()
+	cc.w.Write(buf)
+	cc.w.WriteByte('\n')
+	cc.w.Flush()
+}
+
+func (cc *clientConn) dispatch(req Request) Response {
+	resp, err := cc.run(req)
+	resp.ID = req.ID
+	if err != nil {
+		resp.OK = false
+		resp.Error = err.Error()
+		if reason, ok := engine.IsReject(err); ok {
+			resp.Reject = reason
+		}
+		return resp
+	}
+	resp.OK = true
+	return resp
+}
+
+func (cc *clientConn) run(req Request) (Response, error) {
+	switch req.Op {
+	case "ping":
+		return Response{Addr: cc.srv.svc.Node().Addr()}, nil
+	case "query":
+		return cc.query(req)
+	case "prepare":
+		err := cc.sess.Prepare(req.Name, req.SQL, planOpts(req))
+		return Response{}, err
+	case "exec":
+		start := time.Now()
+		res, err := cc.sess.Exec(cc.ctx, req.Name)
+		if err != nil {
+			return Response{}, err
+		}
+		return resultResponse(res, start), nil
+	case "subscribe":
+		return cc.subscribe(req)
+	case "unsubscribe":
+		cc.smu.Lock()
+		sub, ok := cc.subs[req.Sub]
+		delete(cc.subs, req.Sub)
+		cc.smu.Unlock()
+		if !ok {
+			return Response{}, fmt.Errorf("no subscription %d", req.Sub)
+		}
+		sub.Stop()
+		return Response{Sub: req.Sub}, nil
+	case "explain":
+		text, err := cc.sess.Explain(req.SQL)
+		if err != nil {
+			return Response{}, err
+		}
+		return Response{Plan: text}, nil
+	case "cache":
+		st := cc.srv.svc.Cache().Stats()
+		return Response{Cache: &st, Entries: cc.srv.svc.Cache().Snapshot()}, nil
+	case "create":
+		return cc.create(req)
+	case "insert":
+		return cc.insert(req)
+	default:
+		return Response{}, fmt.Errorf("unknown op %q", req.Op)
+	}
+}
+
+func planOpts(req Request) plan.Options {
+	return plan.Options{Analyze: req.Analyze}
+}
+
+func (cc *clientConn) query(req Request) (Response, error) {
+	start := time.Now()
+	res, err := cc.sess.QueryWithOptions(cc.ctx, req.SQL, planOpts(req))
+	if err != nil {
+		return Response{}, err
+	}
+	return resultResponse(res, start), nil
+}
+
+func resultResponse(res *pier.Result, start time.Time) Response {
+	return Response{
+		Columns:      res.Columns,
+		Rows:         encodeRows(res.Rows),
+		Participants: res.Participants,
+		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
+		Analyze:      res.AnalyzeReport,
+	}
+}
+
+func (cc *clientConn) subscribe(req Request) (Response, error) {
+	sub, err := cc.sess.SubscribeWithOptions(cc.ctx, req.SQL, planOpts(req))
+	if err != nil {
+		return Response{}, err
+	}
+	cc.smu.Lock()
+	cc.next++
+	handle := cc.next
+	cc.subs[handle] = sub
+	cc.smu.Unlock()
+	// Stream windows until the subscription (or the connection) ends.
+	go func() {
+		for w := range sub.Results() {
+			select {
+			case <-cc.ctx.Done():
+				sub.Stop()
+				return
+			default:
+			}
+			cc.send(Event{Event: "window", Sub: handle, Seq: w.Seq, Rows: encodeRows(w.Rows)})
+		}
+		cc.send(Event{Event: "end", Sub: handle})
+	}()
+	return Response{Sub: handle, Columns: sub.Columns, Shared: sub.Shared}, nil
+}
+
+func (cc *clientConn) create(req Request) (Response, error) {
+	node := cc.srv.svc.Node()
+	cols := make([]tuple.Column, 0, len(req.Cols))
+	for _, spec := range req.Cols {
+		ct := strings.SplitN(spec, ":", 2)
+		if len(ct) != 2 {
+			return Response{}, fmt.Errorf("column %q must be name:type", spec)
+		}
+		ty, err := parseType(ct[1])
+		if err != nil {
+			return Response{}, err
+		}
+		cols = append(cols, tuple.Column{Name: ct[0], Type: ty})
+	}
+	schema, err := tuple.NewSchema(req.Table, cols, req.Key...)
+	if err != nil {
+		return Response{}, err
+	}
+	ttl := time.Minute
+	if req.TTLMS > 0 {
+		ttl = time.Duration(req.TTLMS) * time.Millisecond
+	}
+	return Response{}, node.DefineTable(schema, ttl)
+}
+
+func (cc *clientConn) insert(req Request) (Response, error) {
+	node := cc.srv.svc.Node()
+	tbl, ok := node.Catalog().Lookup(req.Table)
+	if !ok {
+		return Response{}, fmt.Errorf("unknown table %q", req.Table)
+	}
+	if len(req.Values) != tbl.Schema.Arity() {
+		return Response{}, fmt.Errorf("table %s has %d columns, got %d values",
+			req.Table, tbl.Schema.Arity(), len(req.Values))
+	}
+	t := make(tuple.Tuple, len(req.Values))
+	for i, raw := range req.Values {
+		v, err := coerce(raw, tbl.Schema.Columns[i].Type)
+		if err != nil {
+			return Response{}, fmt.Errorf("column %d: %w", i, err)
+		}
+		t[i] = v
+	}
+	if req.Local {
+		return Response{}, node.PublishLocal(req.Table, t)
+	}
+	return Response{}, node.Publish(req.Table, t)
+}
+
+func parseType(name string) (tuple.Type, error) {
+	switch strings.ToLower(name) {
+	case "string":
+		return tuple.TString, nil
+	case "int":
+		return tuple.TInt, nil
+	case "float":
+		return tuple.TFloat, nil
+	case "bool":
+		return tuple.TBool, nil
+	case "time":
+		return tuple.TTime, nil
+	default:
+		return tuple.TNull, fmt.Errorf("unknown type %q", name)
+	}
+}
+
+// coerce maps a JSON value onto a column type (JSON numbers arrive as
+// float64).
+func coerce(raw interface{}, ty tuple.Type) (tuple.Value, error) {
+	switch ty {
+	case tuple.TString:
+		s, ok := raw.(string)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want string, got %T", raw)
+		}
+		return tuple.String(s), nil
+	case tuple.TInt:
+		f, ok := raw.(float64)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want number, got %T", raw)
+		}
+		return tuple.Int(int64(f)), nil
+	case tuple.TFloat:
+		f, ok := raw.(float64)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want number, got %T", raw)
+		}
+		return tuple.Float(f), nil
+	case tuple.TBool:
+		b, ok := raw.(bool)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want bool, got %T", raw)
+		}
+		return tuple.Bool(b), nil
+	case tuple.TTime:
+		s, ok := raw.(string)
+		if !ok {
+			return tuple.Value{}, fmt.Errorf("want RFC3339 string, got %T", raw)
+		}
+		ts, err := time.Parse(time.RFC3339Nano, s)
+		if err != nil {
+			return tuple.Value{}, err
+		}
+		return tuple.Value{Kind: tuple.TTime, T: ts}, nil
+	default:
+		return tuple.Value{}, fmt.Errorf("unsupported column type")
+	}
+}
+
+// encodeRows renders tuples as JSON-friendly values.
+func encodeRows(rows []tuple.Tuple) [][]interface{} {
+	out := make([][]interface{}, len(rows))
+	for i, r := range rows {
+		row := make([]interface{}, len(r))
+		for j, v := range r {
+			row[j] = encodeValue(v)
+		}
+		out[i] = row
+	}
+	return out
+}
+
+func encodeValue(v tuple.Value) interface{} {
+	switch v.Kind {
+	case tuple.TBool:
+		return v.B
+	case tuple.TInt:
+		return v.I
+	case tuple.TFloat:
+		return v.F
+	case tuple.TString:
+		return v.S
+	case tuple.TBytes:
+		return base64.StdEncoding.EncodeToString(v.Bs)
+	case tuple.TTime:
+		return v.T.Format(time.RFC3339Nano)
+	case tuple.TID:
+		return v.ID.String()
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,264 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/piertest"
+)
+
+// client is a test-side protocol driver: requests get fresh ids,
+// responses and events demultiplex onto channels.
+type client struct {
+	t      *testing.T
+	conn   net.Conn
+	enc    *json.Encoder
+	nextID uint64
+	resps  chan Response
+	events chan Event
+}
+
+func dial(t *testing.T, addr string) *client {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &client{
+		t:      t,
+		conn:   conn,
+		enc:    json.NewEncoder(conn),
+		resps:  make(chan Response, 64),
+		events: make(chan Event, 256),
+	}
+	t.Cleanup(func() { conn.Close() })
+	go func() {
+		sc := bufio.NewScanner(conn)
+		sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+		for sc.Scan() {
+			var probe struct {
+				Event string `json:"event"`
+			}
+			line := append([]byte(nil), sc.Bytes()...)
+			if json.Unmarshal(line, &probe) == nil && probe.Event != "" {
+				var ev Event
+				if json.Unmarshal(line, &ev) == nil {
+					c.events <- ev
+				}
+				continue
+			}
+			var resp Response
+			if json.Unmarshal(line, &resp) == nil {
+				c.resps <- resp
+			}
+		}
+		close(c.events)
+	}()
+	return c
+}
+
+// call sends a request and waits for its response (the protocol allows
+// interleaving; the test client issues one at a time per connection).
+func (c *client) call(req Request) Response {
+	c.t.Helper()
+	c.nextID++
+	req.ID = c.nextID
+	if err := c.enc.Encode(req); err != nil {
+		c.t.Fatal(err)
+	}
+	select {
+	case resp := <-c.resps:
+		if resp.ID != req.ID {
+			c.t.Fatalf("response id %d for request %d", resp.ID, req.ID)
+		}
+		return resp
+	case <-time.After(30 * time.Second):
+		c.t.Fatalf("no response to %s within 30s", req.Op)
+		return Response{}
+	}
+}
+
+func (c *client) must(req Request) Response {
+	c.t.Helper()
+	resp := c.call(req)
+	if !resp.OK {
+		c.t.Fatalf("%s failed: %s", req.Op, resp.Error)
+	}
+	return resp
+}
+
+// TestTwoClients is the README's quick-start as a test: client A
+// defines a table and loads it through the DHT, client B queries it,
+// both subscribe to the same continuous query (exercising the wire
+// path for shared scans), and the cache op reports the hits.
+func TestTwoClients(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 4, Seed: 41})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	svc := engine.New(c.Nodes[0], engine.Config{SharedScans: true})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, svc)
+	defer srv.Close()
+
+	a := dial(t, srv.Addr().String())
+	b := dial(t, srv.Addr().String())
+
+	if resp := a.must(Request{Op: "ping"}); resp.Addr == "" {
+		t.Fatal("ping returned no node address")
+	}
+	a.must(Request{Op: "create", Table: "kv",
+		Cols: []string{"k:string", "v:int"}, Key: []string{"k"}, TTLMS: 60_000})
+	for i := 0; i < 8; i++ {
+		a.must(Request{Op: "insert", Table: "kv",
+			Values: []interface{}{fmt.Sprintf("key-%d", i), i}})
+	}
+	// DHT puts route asynchronously; wait until B sees all eight rows.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp := b.must(Request{Op: "query", SQL: "SELECT COUNT(*) FROM kv"})
+		if len(resp.Rows) == 1 && resp.Rows[0][0] == float64(8) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("client B never saw all rows: %v", resp.Rows)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Prepared statements are per-connection session state.
+	b.must(Request{Op: "prepare", Name: "big", SQL: "SELECT k, v FROM kv WHERE v >= 5 ORDER BY v"})
+	resp := b.must(Request{Op: "exec", Name: "big"})
+	if len(resp.Rows) != 3 || resp.Rows[0][1] != float64(5) {
+		t.Fatalf("exec rows %v", resp.Rows)
+	}
+	if resp := a.call(Request{Op: "exec", Name: "big"}); resp.OK {
+		t.Fatal("client A executed client B's prepared statement")
+	}
+
+	if resp := b.must(Request{Op: "explain", SQL: "SELECT COUNT(*) FROM kv"}); resp.Plan == "" {
+		t.Fatal("explain returned no plan")
+	}
+
+	// Both clients subscribe to the same continuous statement; the
+	// second rides the first's scan pipeline.
+	feeder := dial(t, srv.Addr().String())
+	stopFeed := make(chan struct{})
+	defer close(stopFeed)
+	go func() {
+		for i := 0; ; i++ {
+			select {
+			case <-stopFeed:
+				return
+			case <-time.After(20 * time.Millisecond):
+			}
+			feeder.call(Request{Op: "insert", Table: "kv", Local: true,
+				Values: []interface{}{fmt.Sprintf("live-%d", i), 100 + i}})
+		}
+	}()
+	const contSQL = "SELECT COUNT(*) FROM kv WINDOW 300 ms SLIDE 300 ms"
+	subA := a.must(Request{Op: "subscribe", SQL: contSQL})
+	subB := b.must(Request{Op: "subscribe", SQL: contSQL})
+	if !subB.Shared {
+		t.Fatal("second subscriber did not attach to the shared scan")
+	}
+	for name, cl := range map[string]*client{"A": a, "B": b} {
+		select {
+		case ev := <-cl.events:
+			if ev.Event != "window" {
+				t.Fatalf("client %s: first event %q, want window", name, ev.Event)
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatalf("client %s received no window in 15s", name)
+		}
+	}
+	a.must(Request{Op: "unsubscribe", Sub: subA.Sub})
+	b.must(Request{Op: "unsubscribe", Sub: subB.Sub})
+
+	// The cache op shows the repeated statements hitting.
+	cache := a.must(Request{Op: "cache"})
+	if cache.Cache == nil || cache.Cache.Hits == 0 {
+		t.Fatalf("cache stats %+v, want hits > 0", cache.Cache)
+	}
+	if len(cache.Entries) == 0 {
+		t.Fatal("cache op listed no entries")
+	}
+
+	// Closing a connection mid-subscription must not wedge the server:
+	// the session cleanup stops the subscription.
+	d := dial(t, srv.Addr().String())
+	d.must(Request{Op: "subscribe", SQL: contSQL})
+	d.conn.Close()
+	time.Sleep(100 * time.Millisecond)
+	e := dial(t, srv.Addr().String())
+	if resp := e.must(Request{Op: "query", SQL: "SELECT COUNT(*) FROM kv"}); len(resp.Rows) != 1 {
+		t.Fatalf("server unhealthy after abrupt disconnect: %v", resp.Rows)
+	}
+}
+
+// TestRejectSurfacesOnWire pins the typed reject field: a saturated
+// service answers with ok=false and the machine-readable reason.
+func TestRejectSurfacesOnWire(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 2, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	svc := engine.New(c.Nodes[0], engine.Config{
+		MaxInFlight: 1, MaxQueued: 1, QueueTimeout: 50 * time.Millisecond,
+	})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, svc)
+	defer srv.Close()
+
+	a := dial(t, srv.Addr().String())
+	a.must(Request{Op: "create", Table: "t",
+		Cols: []string{"k:string", "v:int"}, Key: []string{"k"}, TTLMS: 60_000})
+
+	// Three concurrent queries on one connection: a slot-holder, a
+	// queue-timeout, and an immediate shed. Which query lands in which
+	// state is scheduling-dependent; the wire contract is that exactly
+	// one succeeds and the rejects carry typed reasons.
+	ids := make([]uint64, 3)
+	for i := range ids {
+		a.nextID++
+		ids[i] = a.nextID
+		if err := a.enc.Encode(Request{ID: ids[i], Op: "query", SQL: "SELECT COUNT(*) FROM t"}); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond) // order arrivals
+	}
+	okCount, rejects := 0, map[string]int{}
+	for i := 0; i < 3; i++ {
+		select {
+		case resp := <-a.resps:
+			if resp.OK {
+				okCount++
+			} else {
+				if resp.Reject == "" {
+					t.Fatalf("rejection without typed reason: %+v", resp)
+				}
+				rejects[resp.Reject]++
+			}
+		case <-time.After(30 * time.Second):
+			t.Fatal("missing responses")
+		}
+	}
+	if okCount != 1 || rejects[engine.RejectQueueTimeout] != 1 || rejects[engine.RejectOverloaded] != 1 {
+		t.Fatalf("ok=%d rejects=%v, want 1 ok, 1 queue-timeout, 1 overloaded", okCount, rejects)
+	}
+}

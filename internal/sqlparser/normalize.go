@@ -1,0 +1,65 @@
+package sqlparser
+
+import "strings"
+
+// Normalize renders a statement's token stream in one canonical
+// spelling, so textually different but token-identical queries share a
+// plan-cache key: keywords upper-cased (the lexer already does this),
+// whitespace and comments collapsed, string literals re-quoted with
+// doubled-quote escaping, and the optional trailing semicolon dropped.
+// It does not parse — a normalized string is not guaranteed to be a
+// valid statement, only to be identical for token-identical inputs.
+func Normalize(input string) (string, error) {
+	toks, err := lex(input)
+	if err != nil {
+		return "", err
+	}
+	// Drop one trailing semicolon.
+	if n := len(toks); n >= 2 && toks[n-2].kind == tkOp && toks[n-2].text == ";" {
+		toks = append(toks[:n-2], toks[n-1])
+	}
+	var sb strings.Builder
+	sb.Grow(len(input))
+	prev := token{kind: tkEOF}
+	for _, t := range toks {
+		if t.kind == tkEOF {
+			break
+		}
+		if sb.Len() > 0 && needSpace(prev, t) {
+			sb.WriteByte(' ')
+		}
+		switch t.kind {
+		case tkString:
+			sb.WriteByte('\'')
+			sb.WriteString(strings.ReplaceAll(t.text, "'", "''"))
+			sb.WriteByte('\'')
+		default:
+			sb.WriteString(t.text)
+		}
+		prev = t
+	}
+	return sb.String(), nil
+}
+
+// needSpace decides token separation in the canonical rendering: no
+// space around '.', before ',' / ')' / ';', or after '('. Everything
+// else is single-spaced.
+func needSpace(prev, cur token) bool {
+	if prev.kind == tkOp {
+		switch prev.text {
+		case ".", "(":
+			return false
+		}
+	}
+	if cur.kind == tkOp {
+		switch cur.text {
+		case ".", ",", ")", ";":
+			return false
+		case "(":
+			// Function calls bind tight: IDENT( — but keywords keep the
+			// space (e.g. "AS (" in WITH RECURSIVE).
+			return prev.kind != tkIdent
+		}
+	}
+	return true
+}

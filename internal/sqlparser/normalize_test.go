@@ -1,0 +1,80 @@
+package sqlparser
+
+import "testing"
+
+func TestNormalizeCollapsesSpelling(t *testing.T) {
+	variants := []string{
+		"select SUM(rate) from traffic where node = 'a'",
+		"SELECT SUM(rate) FROM traffic WHERE node = 'a';",
+		"  SELECT\n\tSUM( rate )\nFROM traffic   WHERE node='a'  -- comment",
+	}
+	want, err := Normalize(variants[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range variants[1:] {
+		got, err := Normalize(v)
+		if err != nil {
+			t.Fatalf("%q: %v", v, err)
+		}
+		if got != want {
+			t.Fatalf("normalization diverged:\n%q -> %q\nwant %q", v, got, want)
+		}
+	}
+}
+
+func TestNormalizeDistinguishesDifferentQueries(t *testing.T) {
+	a, err := Normalize("SELECT x FROM t WHERE x = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Normalize("SELECT x FROM t WHERE x = 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatalf("different literals normalized to the same key %q", a)
+	}
+}
+
+func TestNormalizeStringLiterals(t *testing.T) {
+	got, err := Normalize("SELECT x FROM t WHERE s = 'it''s'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "SELECT x FROM t WHERE s = 'it''s'"
+	if got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestNormalizeStillParses(t *testing.T) {
+	for _, sql := range []string{
+		"SELECT DISTINCT a.x, SUM(b.y) AS s FROM ta a JOIN tb b ON a.k = b.k GROUP BY a.x HAVING SUM(b.y) > 3 ORDER BY s DESC LIMIT 5",
+		"SELECT rate FROM traffic WINDOW 5 s SLIDE 1 s LIVE 30 s",
+		"WITH RECURSIVE r AS (SELECT src, dst FROM links UNION SELECT r.src, links.dst FROM r JOIN links ON r.dst = links.src) SELECT * FROM r",
+		"ANALYZE traffic, alerts",
+	} {
+		norm, err := Normalize(sql)
+		if err != nil {
+			t.Fatalf("%q: %v", sql, err)
+		}
+		if _, err := Parse(norm); err != nil {
+			t.Fatalf("normalized %q does not parse: %v", norm, err)
+		}
+		// Fixpoint: normalizing the normalization is identity.
+		again, err := Normalize(norm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again != norm {
+			t.Fatalf("not a fixpoint: %q -> %q", norm, again)
+		}
+	}
+}
+
+func TestNormalizeRejectsLexErrors(t *testing.T) {
+	if _, err := Normalize("SELECT 'unterminated"); err == nil {
+		t.Fatal("expected lex error")
+	}
+}
