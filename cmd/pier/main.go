@@ -65,6 +65,7 @@ func main() {
 	explain := flag.Bool("explain", false, "run one-shot queries as EXPLAIN ANALYZE: print the per-operator pipeline counters gathered from every node after the rows")
 	batchSize := flag.Int("batch-size", 0, "vectorization width: tuples per dataflow batch message (0 = default 256, 1 = tuple-at-a-time)")
 	scanParallel := flag.Int("scan-parallel", 0, "parallel partitioned-scan workers (0 = GOMAXPROCS)")
+	members := flag.Int("members", 0, "expected cluster size: enables deterministic EOS completion for one-shot queries (0 = quiescence timer only)")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -78,6 +79,7 @@ func main() {
 	cfg.Batch.MaxDelay = *batchDelay
 	cfg.BatchSize = *batchSize
 	cfg.ScanParallel = *scanParallel
+	cfg.Members = *members
 	node, err := pier.NewNode(tr, cfg)
 	if err != nil {
 		log.Fatal(err)
@@ -369,10 +371,26 @@ func runQuery(sess *engine.Session, sql string, explain bool) {
 	for _, row := range res.Rows {
 		fmt.Printf("  %v\n", row)
 	}
-	fmt.Printf("(%d rows, %d participants, %v)\n", len(res.Rows), res.Participants,
-		res.Duration.Round(time.Millisecond))
+	fmt.Printf("(%d rows, %d participants, %v%s)\n", len(res.Rows), res.Participants,
+		res.Duration.Round(time.Millisecond), completionNote(res.Reason))
 	if res.AnalyzeReport != "" {
 		fmt.Print(res.AnalyzeReport)
+	}
+}
+
+// completionNote renders the completion reason; anything other than a
+// clean end-of-stream is flagged so a partial result set is visible as
+// such in the shell.
+func completionNote(reason string) string {
+	switch reason {
+	case "", pier.ReasonEOS:
+		return ""
+	case pier.ReasonQuietTimeout:
+		return ", INCOMPLETE: quiet-timeout"
+	case pier.ReasonDeadline:
+		return ", INCOMPLETE: deadline"
+	default:
+		return ", " + reason
 	}
 }
 
@@ -443,8 +461,8 @@ func runPrepared(sess *engine.Session, name string, explain bool) {
 		for _, row := range res.Rows {
 			fmt.Printf("  %v\n", row)
 		}
-		fmt.Printf("(%d rows, %d participants, %v)\n", len(res.Rows), res.Participants,
-			res.Duration.Round(time.Millisecond))
+		fmt.Printf("(%d rows, %d participants, %v%s)\n", len(res.Rows), res.Participants,
+			res.Duration.Round(time.Millisecond), completionNote(res.Reason))
 		return
 	}
 	fmt.Printf("error: no prepared statement %q\n", name)

@@ -18,6 +18,7 @@
 //	pierbench -experiment explain
 //	pierbench -experiment localpipe
 //	pierbench -experiment serve
+//	pierbench -experiment completion
 //	pierbench -experiment all
 //
 // With -json out.json every experiment additionally records
@@ -40,6 +41,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/monitor"
+	"repro/internal/pier"
 )
 
 // expResult is one experiment's machine-readable record.
@@ -180,6 +182,11 @@ func main() {
 	if want("serve") {
 		run("serve", func() error {
 			return serve(*n, *seed, rec)
+		})
+	}
+	if want("completion") {
+		run("completion", func() error {
+			return completion(*seed, rec)
 		})
 	}
 
@@ -530,6 +537,36 @@ func serve(n int, seed int64, rec *recorder) error {
 	if out.SharedOn.Delivered < out.SharedOn.Subscribers {
 		return fmt.Errorf("shared mode delivered to %d/%d subscribers",
 			out.SharedOn.Delivered, out.SharedOn.Subscribers)
+	}
+	return nil
+}
+
+// completion compares one-shot query latency under deterministic EOS
+// completion vs the quiescence timer it replaced, at n=16 and n=32.
+func completion(seed int64, rec *recorder) error {
+	out, err := bench.Completion(bench.CompletionConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-12s %10s %10s %10s   %s\n",
+		"nodes", "mode", "queries", "p50", "p95", "reasons")
+	for _, sz := range out.Sizes {
+		for _, m := range []bench.CompletionMode{sz.EOS, sz.Timer} {
+			fmt.Printf("%-6d %-12s %10d %10v %10v   %v\n",
+				sz.N, m.Mode, m.Queries,
+				m.P50.Round(time.Millisecond), m.P95.Round(time.Millisecond), m.Reasons)
+			tag := fmt.Sprintf(".%d.%s", sz.N, m.Mode)
+			rec.metric("completion-p50-ms"+tag, float64(m.P50.Milliseconds()))
+			rec.metric("completion-p95-ms"+tag, float64(m.P95.Milliseconds()))
+		}
+		fmt.Printf("       p50 speedup %.1fx\n", sz.Speedup)
+		rec.metric(fmt.Sprintf("completion-speedup.%d", sz.N), sz.Speedup)
+		// The happy path must complete deterministically: an idle
+		// cluster has no churn or loss for the fallback to absorb.
+		if got := sz.EOS.Reasons[pier.ReasonEOS]; got != sz.EOS.Queries {
+			return fmt.Errorf("n=%d: only %d/%d EOS-mode queries completed with reason %q: %v",
+				sz.N, got, sz.EOS.Queries, pier.ReasonEOS, sz.EOS.Reasons)
+		}
 	}
 	return nil
 }

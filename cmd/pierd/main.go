@@ -54,13 +54,14 @@ func main() {
 	maxSubs := flag.Int("max-subscriptions", 256, "concurrently live continuous subscriptions")
 	cacheSize := flag.Int("plan-cache", engine.DefaultPlanCacheSize, "plan cache capacity (compiled statements)")
 	sharedScans := flag.Bool("shared-scans", true, "serve concurrent identical continuous queries from one scan/window pipeline")
+	members := flag.Int("members", 0, "expected cluster size: enables deterministic EOS completion for one-shot queries (0 = quiescence timer only)")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := pier.Config{Overlay: *overlayKind}
+	cfg := pier.Config{Overlay: *overlayKind, Members: *members}
 	node, err := pier.NewNode(tr, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/piertest"
+)
+
+// Completion: the deterministic-completion benchmark — the same
+// one-shot workload on the same idle cluster, completed by distributed
+// EOS tracking vs by the quiescence timer it replaced. The timer path
+// cannot return before Quiet elapses no matter how small the query;
+// EOS returns the moment every participant's ledger balances, so the
+// gap is the fixed latency floor this PR removes.
+
+// CompletionConfig parameterizes the completion experiment.
+type CompletionConfig struct {
+	// Sizes are the cluster sizes to measure (default 16, 32).
+	Sizes []int
+	// Seed drives the simulation (default 1).
+	Seed int64
+	// Queries per mode and size (default 20).
+	Queries int
+}
+
+// CompletionMode aggregates one completion mechanism's runs.
+type CompletionMode struct {
+	Mode    string // "eos" or "quiet-timer"
+	Queries int
+	P50     time.Duration
+	P95     time.Duration
+	// Reasons counts completion reasons observed (the happy path is
+	// all-"eos" for the EOS mode, all-"quiet-timeout" for the timer).
+	Reasons map[string]int
+}
+
+// CompletionSize is one cluster size's EOS/timer comparison.
+type CompletionSize struct {
+	N       int
+	EOS     CompletionMode
+	Timer   CompletionMode
+	Speedup float64 // timer p50 / eos p50
+}
+
+// CompletionResult is the whole experiment.
+type CompletionResult struct {
+	Sizes []CompletionSize
+}
+
+// completionStatements is the measured one-shot mix: a scan (rows
+// channel only) and an aggregate (partials through collectors and
+// relays — the drain-round path).
+var completionStatements = []string{
+	"SELECT node, rate FROM traffic",
+	"SELECT SUM(rate) FROM traffic",
+	"SELECT rule, COUNT(*) FROM alerts GROUP BY rule",
+}
+
+// Completion runs the EOS-vs-timer latency comparison.
+func Completion(cfg CompletionConfig) (*CompletionResult, error) {
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{16, 32}
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Queries == 0 {
+		cfg.Queries = 20
+	}
+	out := &CompletionResult{}
+	for _, n := range cfg.Sizes {
+		sz, err := completionSize(n, cfg.Seed, cfg.Queries)
+		if err != nil {
+			return nil, fmt.Errorf("n=%d: %w", n, err)
+		}
+		out.Sizes = append(out.Sizes, *sz)
+	}
+	return out, nil
+}
+
+func completionSize(n int, seed int64, queries int) (*CompletionSize, error) {
+	c, err := piertest.New(piertest.Options{N: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := serveSeedTables(c.Nodes); err != nil {
+		return nil, err
+	}
+
+	sz := &CompletionSize{N: n}
+	// piertest arms EOS (Members = N); measure it first, then flip the
+	// very same cluster to the legacy quiet timer for the baseline.
+	eos, err := completionMode(c, "eos", queries)
+	if err != nil {
+		return nil, err
+	}
+	sz.EOS = *eos
+	for _, nd := range c.Nodes {
+		nd.SetMembers(0)
+	}
+	timer, err := completionMode(c, "quiet-timer", queries)
+	if err != nil {
+		return nil, err
+	}
+	sz.Timer = *timer
+	if sz.EOS.P50 > 0 {
+		sz.Speedup = float64(sz.Timer.P50) / float64(sz.EOS.P50)
+	}
+	return sz, nil
+}
+
+func completionMode(c *piertest.Cluster, mode string, queries int) (*CompletionMode, error) {
+	out := &CompletionMode{Mode: mode, Reasons: map[string]int{}}
+	var lats []time.Duration
+	for q := 0; q < queries; q++ {
+		nd := c.Nodes[q%len(c.Nodes)]
+		sql := completionStatements[q%len(completionStatements)]
+		start := time.Now()
+		res, err := nd.Query(context.Background(), sql)
+		if err != nil {
+			return nil, fmt.Errorf("%s query %d (%s): %w", mode, q, sql, err)
+		}
+		lats = append(lats, time.Since(start))
+		out.Reasons[res.Reason]++
+	}
+	out.Queries = len(lats)
+	out.P50 = percentileDur(lats, 0.50)
+	out.P95 = percentileDur(lats, 0.95)
+	return out, nil
+}

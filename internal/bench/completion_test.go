@@ -1,0 +1,36 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/pier"
+)
+
+// TestCompletionSmoke pins the experiment's happy path: on an idle
+// cluster every EOS-mode query must complete with reason "eos" (and
+// the quiet-timer baseline with "quiet-timeout"), with EOS strictly
+// faster at the median.
+func TestCompletionSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spins up a cluster")
+	}
+	out, err := Completion(CompletionConfig{Sizes: []int{8}, Queries: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Sizes) != 1 {
+		t.Fatalf("sizes = %d, want 1", len(out.Sizes))
+	}
+	sz := out.Sizes[0]
+	if got := sz.EOS.Reasons[pier.ReasonEOS]; got != sz.EOS.Queries {
+		t.Fatalf("EOS mode: %d/%d queries completed with reason %q: %v",
+			got, sz.EOS.Queries, pier.ReasonEOS, sz.EOS.Reasons)
+	}
+	if got := sz.Timer.Reasons[pier.ReasonQuietTimeout]; got != sz.Timer.Queries {
+		t.Fatalf("timer mode: %d/%d queries completed with reason %q: %v",
+			got, sz.Timer.Queries, pier.ReasonQuietTimeout, sz.Timer.Reasons)
+	}
+	if sz.EOS.P50 >= sz.Timer.P50 {
+		t.Fatalf("EOS p50 %v not faster than quiet-timer p50 %v", sz.EOS.P50, sz.Timer.P50)
+	}
+}

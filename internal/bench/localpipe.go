@@ -112,7 +112,7 @@ func (wl *LocalJoinWorkload) Run(batchSize, workers int) (int, error) {
 			p.Connect(prev, f)
 			prev = f
 		}
-		rh := p.Add("rehash", physical.RehashExchange(0, sideNo, keyCols, ship(in)))
+		rh := p.Add("rehash", physical.RehashExchange(0, sideNo, keyCols, ship(in), nil, nil))
 		p.Connect(prev, rh)
 		return p.Run(context.Background())
 	}

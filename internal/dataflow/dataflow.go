@@ -27,6 +27,13 @@ const (
 	// window Seq (closed at Time) will arrive later on this edge.
 	// Continuous aggregates emit their results upon punctuation.
 	Punct
+	// Drain is an end-of-stream marker injected into a running
+	// streaming pipeline (Seq carries the drain round, not a window).
+	// Operators flush any held state for it and forward it in FIFO
+	// order; sinks acknowledge it once every effect of the data that
+	// preceded it has left the pipeline. Drain never crosses the
+	// network — it exists only inside one node's graphs.
+	Drain
 )
 
 // Msg is one stream element. A Data message carries either a single
@@ -74,6 +81,11 @@ func BatchMsg(ts []tuple.Tuple, seq uint64) Msg {
 // PunctMsg builds a punctuation for window seq closing at ts.
 func PunctMsg(seq uint64, ts time.Time) Msg {
 	return Msg{Kind: Punct, Seq: seq, Time: ts}
+}
+
+// DrainMsg builds an end-of-stream marker for one drain round.
+func DrainMsg(round uint64) Msg {
+	return Msg{Kind: Drain, Seq: round}
 }
 
 // NRows returns how many data tuples the message carries.

@@ -259,6 +259,12 @@ func TestPreparedExec(t *testing.T) {
 // queued-then-timeout, and shed on arrival.
 func TestAdmissionControl(t *testing.T) {
 	c := newTestCluster(t, 4, 13)
+	// Force quiet-timer completion so the slot-holder stays busy for
+	// >= 250ms; under EOS it would release the slot before the queue
+	// ever fills.
+	for _, nd := range c.Nodes {
+		nd.SetMembers(0)
+	}
 	svc := New(c.Nodes[0], Config{
 		MaxInFlight:  1,
 		MaxQueued:    1,
@@ -305,6 +311,12 @@ func TestAdmissionControl(t *testing.T) {
 
 func TestSessionCloseCancelsInFlight(t *testing.T) {
 	c := newTestCluster(t, 4, 14)
+	// Quiet-timer completion keeps the query in flight long enough for
+	// the close below to race it; under EOS it would finish before the
+	// 30ms sleep and there would be nothing to cancel.
+	for _, nd := range c.Nodes {
+		nd.SetMembers(0)
+	}
 	svc := New(c.Nodes[0], Config{})
 	defer svc.Close()
 	sess := svc.Open()

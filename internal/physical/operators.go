@@ -795,6 +795,20 @@ func PartialAgg(groupCols []int, aggs []ops.AggSpec, eager, flushAtEOS bool, bat
 					}
 					continue
 				}
+				if m.Kind == dataflow.Drain {
+					// Drain markers only flow through one-shot pipelines,
+					// whose outputs all live in window 0.
+					c.RecvPunct()
+					if !flush(0) {
+						c.Busy(start)
+						return nil
+					}
+					c.Busy(start)
+					if !dataflow.EmitAll(ctx, outs, m) {
+						return nil
+					}
+					continue
+				}
 				ts := m.Tuples(&scratch)
 				c.RecvRows(len(ts))
 				for _, t := range ts {
@@ -841,6 +855,11 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 	type windowState struct {
 		groups map[string]*group
 		timer  *time.Timer
+		// dirty marks merges since the window's last emission; flushes
+		// skip clean windows so a drain round that changes nothing also
+		// emits nothing (the EOS protocol's totals-stability test relies
+		// on repeated drains of quiesced state producing no new rows).
+		dirty bool
 	}
 	stateWidth := ops.StateWidth(aggs)
 	groupKeyCols := identityCols(len(groupCols))
@@ -849,6 +868,46 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 			windows := make(map[uint64]*windowState)
 			flushCh := make(chan uint64, 1)
 			var scratch [1]tuple.Tuple
+			emit := func(w uint64, ws *windowState) bool {
+				if !ws.dirty {
+					return true
+				}
+				ws.dirty = false
+				if ws.timer != nil {
+					ws.timer.Stop()
+					ws.timer = nil
+				}
+				if batchSize <= 1 {
+					for _, g := range ws.groups {
+						row := append(g.key.Clone(), g.acc.FinalValues()...)
+						c.EmitRow(row)
+						if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: row, Seq: w}) {
+							return false
+						}
+					}
+					return true
+				}
+				batch := dataflow.GetBatch()
+				for _, g := range ws.groups {
+					batch = append(batch, append(g.key.Clone(), g.acc.FinalValues()...))
+					if len(batch) >= batchSize {
+						c.EmitBatch(batch)
+						if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
+							return false
+						}
+						batch = dataflow.GetBatch()
+					}
+				}
+				if len(batch) > 0 {
+					c.EmitBatch(batch)
+					if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
+						return false
+					}
+				} else {
+					dataflow.PutBatch(batch)
+				}
+				return true
+			}
 			in := dataflow.Merge(ctx, ins)
 			for {
 				select {
@@ -859,6 +918,21 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 					start := time.Now()
 					if m.Kind != dataflow.Data {
 						c.RecvPunct()
+						if m.Kind == dataflow.Drain {
+							// Flush every window with merges pending, then
+							// forward the marker so the sink acknowledges
+							// the round with these rows already shipped.
+							for w, ws := range windows {
+								if !emit(w, ws) {
+									return nil
+								}
+							}
+							c.Busy(start)
+							if !dataflow.EmitAll(ctx, outs, m) {
+								return nil
+							}
+							continue
+						}
 						c.Busy(start)
 						continue
 					}
@@ -894,6 +968,7 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 						dataflow.PutBatch(m.Batch)
 					}
 					if merged {
+						ws.dirty = true
 						// Debounce: reset the window's flush timer on
 						// every arrival.
 						if ws.timer == nil {
@@ -912,37 +987,12 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 				case w := <-flushCh:
 					start := time.Now()
 					ws := windows[w]
-					if ws == nil {
+					if ws == nil || !ws.dirty {
+						// A drain already emitted this window's state.
 						continue
 					}
-					if batchSize <= 1 {
-						for _, g := range ws.groups {
-							row := append(g.key.Clone(), g.acc.FinalValues()...)
-							c.EmitRow(row)
-							if !dataflow.EmitAll(ctx, outs, dataflow.Msg{Kind: dataflow.Data, T: row, Seq: w}) {
-								return nil
-							}
-						}
-					} else {
-						batch := dataflow.GetBatch()
-						for _, g := range ws.groups {
-							batch = append(batch, append(g.key.Clone(), g.acc.FinalValues()...))
-							if len(batch) >= batchSize {
-								c.EmitBatch(batch)
-								if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
-									return nil
-								}
-								batch = dataflow.GetBatch()
-							}
-						}
-						if len(batch) > 0 {
-							c.EmitBatch(batch)
-							if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, w)) {
-								return nil
-							}
-						} else {
-							dataflow.PutBatch(batch)
-						}
+					if !emit(w, ws) {
+						return nil
 					}
 					c.Busy(start)
 					if !dataflow.EmitAll(ctx, outs, dataflow.PunctMsg(w, time.Now())) {
@@ -966,7 +1016,8 @@ func FinalAgg(groupCols []int, aggs []ops.AggSpec, hold time.Duration, batchSize
 // alias a pooled buffer and are valid only during the call) and
 // returns the payload bytes it put on the wire.
 func RehashExchange(stage, side int, keyCols []int,
-	ship func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int) OpFunc {
+	ship func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int,
+	flushRoutes func(), drainAck func(round uint64)) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			var scratch [1]tuple.Tuple
@@ -975,6 +1026,16 @@ func RehashExchange(stage, side int, keyCols []int,
 				start := time.Now()
 				if m.Kind != dataflow.Data {
 					c.RecvPunct()
+					if m.Kind == dataflow.Drain {
+						// Everything rehashed before the marker must be on
+						// the wire before the round is acknowledged.
+						if flushRoutes != nil {
+							flushRoutes()
+						}
+						if drainAck != nil {
+							drainAck(m.Seq)
+						}
+					}
 					c.Busy(start)
 					continue
 				}
@@ -1003,7 +1064,7 @@ func RehashExchange(stage, side int, keyCols []int,
 // aggregation collectors, a batch at a time. Punctuation triggers the
 // route-batch flush barrier — the continuous query's per-window ship
 // point.
-func ShipPartial(ship func(window uint64, partials []tuple.Tuple) int, flushRoutes func()) OpFunc {
+func ShipPartial(ship func(window uint64, partials []tuple.Tuple) int, flushRoutes func(), drainAck func(round uint64)) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			var scratch [1]tuple.Tuple
@@ -1021,6 +1082,9 @@ func ShipPartial(ship func(window uint64, partials []tuple.Tuple) int, flushRout
 					if flushRoutes != nil {
 						flushRoutes()
 					}
+					if m.Kind == dataflow.Drain && drainAck != nil {
+						drainAck(m.Seq)
+					}
 				}
 				c.Busy(start)
 			}
@@ -1034,7 +1098,7 @@ func ShipPartial(ship func(window uint64, partials []tuple.Tuple) int, flushRout
 // sequence changes) and flush on punctuation and at end of stream; in
 // eager mode every message ships immediately — the streaming collector
 // behavior, where the coordinator's quiescence clock watches arrivals.
-func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, eager bool, flushRoutes func()) OpFunc {
+func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, eager bool, flushRoutes func(), drainAck func(round uint64)) OpFunc {
 	return func(c *Counters) dataflow.RunFunc {
 		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
 			var batch []tuple.Tuple
@@ -1049,11 +1113,14 @@ func ShipRows(ship func(window uint64, rows []tuple.Tuple) int, rowBatch int, ea
 			}
 			for m := range dataflow.Merge(ctx, ins) {
 				start := time.Now()
-				if m.Kind == dataflow.Punct {
+				if m.Kind != dataflow.Data {
 					c.RecvPunct()
 					flush()
 					if flushRoutes != nil {
 						flushRoutes()
+					}
+					if m.Kind == dataflow.Drain && drainAck != nil {
+						drainAck(m.Seq)
 					}
 					c.Busy(start)
 					continue

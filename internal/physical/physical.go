@@ -52,6 +52,13 @@ type Env struct {
 	// FlushRoutes drains pending route batches — the barrier run at
 	// window boundaries and scan completion.
 	FlushRoutes func()
+	// DrainAck acknowledges a Drain marker once it has passed through
+	// a pipeline's sink: every effect of the data that preceded the
+	// marker has been shipped. The EOS completion protocol injects
+	// markers into collector inlets and waits on these acks before
+	// reporting the node's drain round to the coordinator. Nil when
+	// the harness does not track drains.
+	DrainAck func(round uint64)
 	// Bloom is the gathered phase-1 filter for Bloom joins (nil:
 	// pass everything).
 	Bloom *bloom.Filter
@@ -175,7 +182,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 		p.addTail(spec, env, prev, false)
 	} else {
 		rh := p.Add(fmt.Sprintf("rehash.%d.l", stage),
-			RehashExchange(stage, 0, spec.Joins[stage].LeftCols, env.Rehash))
+			RehashExchange(stage, 0, spec.Joins[stage].LeftCols, env.Rehash, env.FlushRoutes, env.DrainAck))
 		p.Connect(prev, rh)
 	}
 	// Right-side scans for every rehashing stage.
@@ -193,7 +200,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 			rprev = bp
 		}
 		rh := p.Add(fmt.Sprintf("rehash.%d.r", s),
-			RehashExchange(s, 1, j.RightCols, env.Rehash))
+			RehashExchange(s, 1, j.RightCols, env.Rehash, env.FlushRoutes, env.DrainAck))
 		p.Connect(rprev, rh)
 	}
 	return p
@@ -269,7 +276,7 @@ func CompileJoinCollector(spec *plan.Spec, stage int, env *Env) (*Pipeline, [2]*
 		p.addTail(spec, env, prev, true)
 	} else {
 		rh := p.Add(fmt.Sprintf("rehash.%d.l", next),
-			RehashExchange(next, 0, spec.Joins[next].LeftCols, env.Rehash))
+			RehashExchange(next, 0, spec.Joins[next].LeftCols, env.Rehash, env.FlushRoutes, env.DrainAck))
 		p.Connect(prev, rh)
 	}
 	return p, inlets
@@ -286,7 +293,7 @@ func CompileAggCollector(spec *plan.Spec, env *Env) (*Pipeline, *Inlet) {
 	src := p.Add("merge-src", in.Source)
 	fa := p.Add("final-agg", FinalAgg(spec.GroupCols, spec.Aggs, env.CollectorHold, env.batchSize()))
 	p.Connect(src, fa)
-	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, false, nil))
+	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, false, nil, env.DrainAck))
 	p.Connect(fa, ship)
 	return p, in
 }
@@ -374,11 +381,11 @@ func (p *Pipeline) addTail(spec *plan.Spec, env *Env, prev *dataflow.Node, strea
 	if spec.IsAggregate() {
 		agg := p.Add("partial-agg", PartialAgg(spec.GroupCols, spec.Aggs, streaming, !spec.IsContinuous(), env.batchSize()))
 		p.Connect(prev, agg)
-		ship := p.Add("ship-partial", ShipPartial(env.ShipPartial, env.FlushRoutes))
+		ship := p.Add("ship-partial", ShipPartial(env.ShipPartial, env.FlushRoutes, env.DrainAck))
 		p.Connect(agg, ship)
 		return
 	}
-	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, streaming, env.FlushRoutes))
+	ship := p.Add("ship-rows", ShipRows(env.ShipRows, env.RowBatch, streaming, env.FlushRoutes, env.DrainAck))
 	p.Connect(prev, ship)
 }
 

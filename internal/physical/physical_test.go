@@ -255,7 +255,7 @@ func TestRehashExchangeRoutes(t *testing.T) {
 		{Kind: dataflow.Data, T: row("a", 1), Seq: 4},
 		dataflow.BatchMsg([]tuple.Tuple{row("b", 2), row("c", 3)}, 4),
 	}
-	runOp(t, RehashExchange(2, 1, []int{1}, ship), in)
+	runOp(t, RehashExchange(2, 1, []int{1}, ship, nil, nil), in)
 	if len(ships) != 3 {
 		t.Fatalf("%d ships", len(ships))
 	}
@@ -519,7 +519,7 @@ func TestShipRowsBatchedAndEager(t *testing.T) {
 		{Kind: dataflow.Data, T: row(4), Seq: 2}, // seq change flushes
 		dataflow.PunctMsg(2, time.Now()),         // punct flushes
 	}
-	runOp(t, ShipRows(ship, 2, false, nil), in)
+	runOp(t, ShipRows(ship, 2, false, nil, nil), in)
 	want := []call{{1, 2}, {1, 1}, {2, 1}}
 	if len(calls) != len(want) {
 		t.Fatalf("calls %v", calls)
@@ -531,7 +531,7 @@ func TestShipRowsBatchedAndEager(t *testing.T) {
 	}
 	// Eager mode: one ship per row.
 	calls = nil
-	runOp(t, ShipRows(ship, 64, true, nil), in)
+	runOp(t, ShipRows(ship, 64, true, nil, nil), in)
 	if len(calls) != 4 {
 		t.Fatalf("eager calls %v", calls)
 	}
@@ -556,7 +556,7 @@ func TestShipPartialFlushesRoutesOnPunct(t *testing.T) {
 		dataflow.BatchMsg([]tuple.Tuple{row("g", 2), row("h", 3)}, 1),
 		dataflow.PunctMsg(1, time.Now()),
 	}
-	runOp(t, ShipPartial(ship, flush), in)
+	runOp(t, ShipPartial(ship, flush, nil), in)
 	if shipped != 3 || flushed != 1 {
 		t.Fatalf("shipped=%d flushed=%d", shipped, flushed)
 	}

@@ -61,6 +61,9 @@ type AnalyzeResult struct {
 	Tables       []AnalyzedTable
 	Duration     time.Duration
 	Participants int
+	// Reason records how the gather completed: ReasonEOS when every
+	// expected member answered, else the quiescence/deadline fallback.
+	Reason string
 }
 
 // sketchGather is the coordinator's state for one ANALYZE: arriving
@@ -72,6 +75,7 @@ type sketchGather struct {
 	sketches map[string]*stats.TableSketch // written only by the merge operator
 	nodes    map[string]bool
 	last     time.Time
+	notify   chan struct{} // pokes the completion loop per answered node
 }
 
 // Analyze measures statistics for the named tables (all defined
@@ -102,6 +106,7 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 		sketches: make(map[string]*stats.TableSketch),
 		nodes:    make(map[string]bool),
 		last:     start,
+		notify:   make(chan struct{}, 1),
 	}
 	g.pipe, g.in = physical.CompileSketchMerge(func(table string, enc []byte) error {
 		sk, err := stats.TableSketchFromBytes(enc)
@@ -133,12 +138,16 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 		return nil, fmt.Errorf("pier: disseminating analyze: %w", err)
 	}
 
-	// Quiescence: done when no sketch arrived for twice the Quiet
-	// horizon (bounded by MaxQueryLife and the caller's context).
-	// Queries get a stream of row traffic that keeps pushing their
-	// quiescence clock; an ANALYZE gather is a single burst per node,
-	// so a missed straggler directly skews the estimate — the doubled
-	// horizon buys slack against background maintenance traffic.
+	// Completion: with Members set the gather finishes the moment
+	// every expected member has answered — a node's answer is marked
+	// only after all of its sketches entered the merge inlet, so the
+	// count can never close the inlet mid-batch. The doubled-Quiet
+	// quiescence horizon stays as the fallback for churn and loss
+	// (an ANALYZE gather is a single burst per node, so a missed
+	// straggler directly skews the estimate), bounded by MaxQueryLife
+	// and the caller's context.
+	members := n.Members()
+	reason := ReasonQuietTimeout
 	deadline := start.Add(n.cfg.MaxQueryLife)
 	horizon := 2 * n.cfg.Quiet
 	for {
@@ -147,12 +156,22 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 			g.in.Close()
 			_ = run.Wait()
 			return nil, ctx.Err()
+		case <-g.notify:
 		case <-time.After(25 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			reason = ReasonDeadline
+			break
 		}
 		n.gatherMu.Lock()
 		last := g.last
+		answered := len(g.nodes)
 		n.gatherMu.Unlock()
-		if time.Since(last) > horizon || time.Now().After(deadline) {
+		if members > 0 && answered >= members {
+			reason = ReasonEOS
+			break
+		}
+		if time.Since(last) > horizon {
 			break
 		}
 	}
@@ -164,7 +183,7 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 	// Install the merged estimates as measured soft state and build
 	// the result in table-name order.
 	measuredAt := time.Now()
-	res := &AnalyzeResult{Duration: time.Since(start)}
+	res := &AnalyzeResult{Duration: time.Since(start), Reason: reason}
 	n.gatherMu.Lock()
 	res.Participants = len(g.nodes)
 	n.gatherMu.Unlock()
@@ -229,11 +248,7 @@ func decodeAnalyzeMsg(payload []byte) (qid uint64, coord string, incremental boo
 // sketch every requested table this node knows, then ship the batch
 // of per-partition sketches to the coordinator in one RPC.
 func (n *Node) answerAnalyze(qid uint64, coord string, incremental bool, sampleEvery int, tables []string) {
-	type entry struct {
-		table string
-		enc   []byte
-	}
-	var out []entry
+	var out []sketchEntry
 	for _, table := range tables {
 		tbl, ok := n.cat.Lookup(table)
 		if !ok {
@@ -264,15 +279,12 @@ func (n *Node) answerAnalyze(qid uint64, coord string, incremental bool, sampleE
 			}
 			n.localStats.Absorb(table, sk)
 		}
-		out = append(out, entry{table: table, enc: sk.Bytes()})
+		out = append(out, sketchEntry{table: table, enc: sk.Bytes()})
 	}
-	if len(out) == 0 {
-		return
-	}
+	// Always answer — even with zero sketches — so a count-based
+	// coordinator can tell "node has nothing" from "node still working".
 	if coord == n.Addr() {
-		for _, e := range out {
-			n.deliverSketch(qid, n.Addr(), e.table, e.enc)
-		}
+		n.deliverSketches(qid, n.Addr(), out)
 		return
 	}
 	w := wire.NewWriter(256)
@@ -287,20 +299,34 @@ func (n *Node) answerAnalyze(qid uint64, coord string, incremental bool, sampleE
 	_, _ = n.peer.Call(ctx, coord, methSketch, w.Bytes())
 }
 
-// deliverSketch feeds one arriving per-partition sketch into the
-// coordinator's merge pipeline.
-func (n *Node) deliverSketch(qid uint64, from, table string, enc []byte) {
+// sketchEntry is one encoded per-partition table sketch in flight.
+type sketchEntry struct {
+	table string
+	enc   []byte
+}
+
+// deliverSketches feeds one node's whole sketch batch into the
+// coordinator's merge pipeline and only then marks the node as
+// answered: completion counts can never close the inlet with part of
+// a counted node's batch still outside it.
+func (n *Node) deliverSketches(qid uint64, from string, entries []sketchEntry) {
 	n.gatherMu.Lock()
 	g := n.gathers[qid]
-	if g != nil {
-		g.nodes[from] = true
-		g.last = time.Now()
-	}
 	n.gatherMu.Unlock()
 	if g == nil {
 		return
 	}
-	g.in.Push(dataflow.Msg{Kind: dataflow.Data, T: tuple.Tuple{tuple.String(table), tuple.Bytes(enc)}})
+	for _, e := range entries {
+		g.in.Push(dataflow.Msg{Kind: dataflow.Data, T: tuple.Tuple{tuple.String(e.table), tuple.Bytes(e.enc)}})
+	}
+	n.gatherMu.Lock()
+	g.nodes[from] = true
+	g.last = time.Now()
+	n.gatherMu.Unlock()
+	select {
+	case g.notify <- struct{}{}:
+	default:
+	}
 }
 
 // registerStatsHandlers wires the ANALYZE and gossip RPC methods
@@ -313,15 +339,20 @@ func (n *Node) registerStatsHandlers() {
 		if count > maxAnalyzeTables {
 			return nil, fmt.Errorf("pier: sketch batch of %d", count)
 		}
+		entries := make([]sketchEntry, 0, count)
 		for i := 0; i < count; i++ {
 			table := r.String()
 			enc := append([]byte(nil), r.BytesLP()...)
 			if r.Err() != nil {
 				break
 			}
-			n.deliverSketch(qid, from, table, enc)
+			entries = append(entries, sketchEntry{table: table, enc: enc})
 		}
-		return nil, r.Done()
+		if err := r.Done(); err != nil {
+			return nil, err
+		}
+		n.deliverSketches(qid, from, entries)
+		return nil, nil
 	})
 	n.peer.Handle(methGossip, func(from string, req []byte) ([]byte, error) {
 		ds, err := stats.DecodeDigests(wire.NewReader(req))
@@ -451,6 +482,7 @@ func (n *Node) analyzeStatement(ctx context.Context, stmt []string) (*Result, er
 		Columns:      []string{"table", "rows", "column", "distinct"},
 		Duration:     time.Since(start),
 		Participants: res.Participants,
+		Reason:       res.Reason,
 	}
 	for _, t := range res.Tables {
 		cols := make([]string, 0, len(t.Distinct))

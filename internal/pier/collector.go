@@ -70,9 +70,13 @@ func (q *queryState) collectJoinTuples(window uint64, stage, side int, ts []tupl
 	}
 	if len(ts) == 1 {
 		in.Push(dataflow.Msg{Kind: dataflow.Data, T: ts[0], Seq: window})
-		return
+	} else {
+		in.Push(dataflow.BatchMsg(ts, window))
 	}
-	in.Push(dataflow.BatchMsg(ts, window))
+	// Counted only after the push: a received record visible in this
+	// node's ledger is then guaranteed to precede any later drain
+	// marker in the inlet, so the round's ack covers its processing.
+	q.countRecv(chanKey{kind: chanJoin, stage: uint8(stage), side: uint8(side)}, len(ts))
 }
 
 // collectPartials feeds arriving partial-state tuples into the
@@ -84,7 +88,9 @@ func (q *queryState) collectPartials(window uint64, partials []tuple.Tuple) {
 	}
 	if len(partials) == 1 {
 		in.Push(dataflow.Msg{Kind: dataflow.Data, T: partials[0], Seq: window})
-		return
+	} else {
+		in.Push(dataflow.BatchMsg(partials, window))
 	}
-	in.Push(dataflow.BatchMsg(partials, window))
+	// After the push — see collectJoinTuples.
+	q.countRecv(chanKey{kind: chanAgg}, len(partials))
 }

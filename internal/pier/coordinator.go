@@ -14,6 +14,20 @@ import (
 	"repro/internal/wire"
 )
 
+// Completion reasons a one-shot query (or ANALYZE) can finish with.
+// Anything other than ReasonEOS means the result may be partial: the
+// coordinator gave up waiting rather than proving completion.
+const (
+	// ReasonEOS: every expected member reported end-of-scan and the
+	// network-wide record books reconciled — the result is complete.
+	ReasonEOS = "eos"
+	// ReasonQuietTimeout: the quiescence fallback fired (EOS disabled,
+	// or churn/loss kept the books from reconciling).
+	ReasonQuietTimeout = "quiet-timeout"
+	// ReasonDeadline: MaxQueryLife expired with traffic still flowing.
+	ReasonDeadline = "deadline"
+)
+
 // Result is a completed one-shot query.
 type Result struct {
 	// Columns names the result columns in select-list order.
@@ -24,6 +38,10 @@ type Result struct {
 	Duration time.Duration
 	// Participants counts nodes that reported scan completion.
 	Participants int
+	// Reason records how the query completed (ReasonEOS,
+	// ReasonQuietTimeout, or ReasonDeadline). Non-EOS completions may
+	// have missed late rows.
+	Reason string
 	// Analysis holds the network-wide per-operator counters when the
 	// plan was compiled with Analyze (nil otherwise).
 	Analysis *plan.Analysis
@@ -143,8 +161,19 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		return nil, fmt.Errorf("pier: disseminating query: %w", err)
 	}
 
-	// Wait for quiescence: no result traffic for Quiet (bounded by
-	// MaxQueryLife and the caller's context).
+	// Completion: with Members set, drive the deterministic EOS
+	// protocol — wait for every member's end-of-scan ledger, issue
+	// drain rounds until the network-wide books balance and stop
+	// moving, and finish the instant they do. The Quiet quiescence
+	// timer stays underneath as the fallback for churn and message
+	// loss, and MaxQueryLife (plus the caller's context) bounds
+	// everything.
+	members := n.Members()
+	eosOn := members > 0 && q.eos != nil
+	var issuedRound uint64 // last drain round broadcast (0 = none yet)
+	var issuedCanon string // totals snapshot at that broadcast
+	var issuedAt time.Time // for re-issuing lost round broadcasts
+	reason := ReasonQuietTimeout
 	deadline := time.Now().Add(n.cfg.MaxQueryLife)
 	for {
 		select {
@@ -155,12 +184,61 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 			// Node.Stop (or a teardown broadcast) cancelled the query
 			// under us: bail out without touching the router again.
 			return nil, fmt.Errorf("pier: query cancelled: node stopping")
+		case <-q.eosEval:
 		case <-time.After(25 * time.Millisecond):
+		}
+		if time.Now().After(deadline) {
+			reason = ReasonDeadline
+			break
+		}
+		// Cheap gate before the full ledger fold: while any member's
+		// scan is still running nothing can complete, and the books
+		// move on every arriving batch — don't fold totals each time.
+		// (The Quiet fallback below still runs either way.)
+		q.coMu.Lock()
+		doneCount := len(q.doneNodes)
+		q.coMu.Unlock()
+		if eosOn && doneCount >= members {
+			st := q.eosStatus(issuedRound)
+			if st.scanDone >= members {
+				switch {
+				case issuedRound == 0 || (st.acked && st.canon != issuedCanon):
+					// First round, or the books moved during the last
+					// one: drain again until a full round passes with
+					// no movement anywhere.
+					if issuedRound >= maxDrainRounds {
+						eosOn = false
+						continue
+					}
+					issuedRound++
+					issuedCanon = st.canon
+					issuedAt = time.Now()
+					n.broadcastDrain(qid, issuedRound)
+					continue
+				case st.acked && st.balanced:
+					// All members drained round issuedRound, nothing
+					// moved since it was issued, and sent == recv on
+					// every channel: every shipped record was delivered
+					// and fully processed. Complete.
+					reason = ReasonEOS
+					// The loop below breaks; fallthrough via flag.
+				case !st.acked && time.Since(issuedAt) > n.cfg.Quiet/4:
+					// A round broadcast may have been lost: re-issue it
+					// (nodes that ran it dedup on the round number).
+					issuedAt = time.Now()
+					n.broadcastDrain(qid, issuedRound)
+				}
+				if reason == ReasonEOS {
+					break
+				}
+				// acked + unchanged + unbalanced means records were
+				// lost in flight: fall through to the Quiet clock.
+			}
 		}
 		q.coMu.Lock()
 		last := q.lastActivity
 		q.coMu.Unlock()
-		if time.Since(last) > n.cfg.Quiet || time.Now().After(deadline) {
+		if time.Since(last) > n.cfg.Quiet {
 			break
 		}
 	}
@@ -190,10 +268,12 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		Rows:         final,
 		Duration:     time.Since(start),
 		Participants: participants,
+		Reason:       reason,
 	}
 	if spec.Analyze {
 		res.Analysis = q.mergedAnalysis(finalize.Stats()...)
-		res.AnalyzeReport = spec.ExplainAnalyze(res.Analysis)
+		res.AnalyzeReport = spec.ExplainAnalyze(res.Analysis) +
+			fmt.Sprintf("completion: %s (%d participants, %v)\n", reason, participants, res.Duration.Round(time.Millisecond))
 	}
 	return res, nil
 }
@@ -360,6 +440,9 @@ func (q *queryState) coordAddRows(window uint64, rows []tuple.Tuple) {
 	}
 	results := q.results
 	q.coMu.Unlock()
+	// Counted only after the rows are stored, so balanced EOS books
+	// imply every delivered row is already in the result maps.
+	q.countRecv(chanKey{kind: chanRows}, len(rows))
 	// Continuous queries: schedule the window's flush at its close
 	// time plus settle margin.
 	if results != nil {

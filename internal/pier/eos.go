@@ -1,0 +1,436 @@
+package pier
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/physical"
+	"repro/internal/wire"
+)
+
+// Deterministic query completion. Every one-shot query keeps
+// per-channel sent/received record books on every node; participants
+// ship their books to the coordinator as EOS ledger frames (replacing
+// the bare "done" ping), and the coordinator declares the query
+// complete the instant all expected members report scan completion,
+// the books balance network-wide, and one full drain round passed with
+// no counter movement — instead of waiting out the Quiet silence
+// timer. Relays that combine partials in-network enter both sides of
+// the rewrite (absorbed records as received, the merged record as
+// sent) at emit time, so a held combine buffer keeps the books
+// imbalanced and the query provably incomplete until it flushes.
+//
+// A drain round is a coordinator broadcast that forces every node to
+// flush its held state — relay combine buffers, route batches, and
+// collector pipelines (via dataflow.Drain markers pushed through every
+// inlet and acknowledged at the sinks) — then report its advanced
+// round in the next ledger. The Quiet timer survives only as the
+// fallback bound for churn and message loss, and MaxQueryLife still
+// caps everything.
+
+// chanKey identifies one logical record channel of a query: the unit
+// of EOS accounting. Kinds mirror wire.EosChannel.
+type chanKey struct{ kind, stage, side uint8 }
+
+const (
+	chanRows uint8 = iota // result rows to the coordinator
+	chanAgg               // aggregation partials toward collectors
+	chanJoin              // rehashed join tuples per (stage, side)
+)
+
+// eosTracker is one node's per-query end-of-stream books.
+type eosTracker struct {
+	mu   sync.Mutex
+	sent map[chanKey]uint64
+	recv map[chanKey]uint64
+	// scanDone is set once the participant pipeline ran to
+	// end-of-stream and its route batches flushed.
+	scanDone bool
+	// drainRound is the highest coordinator-issued round this node has
+	// fully acknowledged; drainSeen dedups round broadcasts.
+	drainRound uint64
+	drainSeen  map[uint64]bool
+	gate       *drainGate
+	// dirty coalesces ledger re-ship signals for the shipper goroutine.
+	dirty chan struct{}
+}
+
+// drainGate tracks one in-flight drain round on this node: remaining
+// counts the markers pushed into collector inlets whose sinks have not
+// acknowledged yet.
+type drainGate struct {
+	round     uint64
+	remaining int
+	done      chan struct{}
+}
+
+func newEosTracker() *eosTracker {
+	return &eosTracker{
+		sent:      make(map[chanKey]uint64),
+		recv:      make(map[chanKey]uint64),
+		drainSeen: make(map[uint64]bool),
+		dirty:     make(chan struct{}, 1),
+	}
+}
+
+// countSent enters n records put on the wire for a channel.
+func (q *queryState) countSent(k chanKey, n int) {
+	e := q.eos
+	if e == nil || n <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.sent[k] += uint64(n)
+	e.mu.Unlock()
+	q.eosKick()
+}
+
+// countRecv enters n records delivered into local pipelines.
+func (q *queryState) countRecv(k chanKey, n int) {
+	e := q.eos
+	if e == nil || n <= 0 {
+		return
+	}
+	e.mu.Lock()
+	e.recv[k] += uint64(n)
+	e.mu.Unlock()
+	q.eosKick()
+}
+
+// eosKick signals that this node's books moved: the coordinator
+// re-evaluates completion, participants re-ship their ledger.
+func (q *queryState) eosKick() {
+	if q.isCoord {
+		select {
+		case q.eosEval <- struct{}{}:
+		default:
+		}
+		return
+	}
+	if e := q.eos; e != nil {
+		select {
+		case e.dirty <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// eosFrame snapshots this node's live books as a wire ledger.
+func (q *queryState) eosFrame() *wire.EosFrame {
+	e := q.eos
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f := &wire.EosFrame{
+		Query:      q.id,
+		Addr:       q.node.Addr(),
+		ScanDone:   e.scanDone,
+		DrainRound: e.drainRound,
+	}
+	keys := make([]chanKey, 0, len(e.sent)+len(e.recv))
+	seen := make(map[chanKey]bool, len(e.sent)+len(e.recv))
+	for k := range e.sent {
+		keys = append(keys, k)
+		seen[k] = true
+	}
+	for k := range e.recv {
+		if !seen[k] {
+			keys = append(keys, k)
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.stage != b.stage {
+			return a.stage < b.stage
+		}
+		return a.side < b.side
+	})
+	for _, k := range keys {
+		f.Channels = append(f.Channels, wire.EosChannel{
+			Kind: k.kind, Stage: k.stage, Side: k.side,
+			Sent: e.sent[k], Recv: e.recv[k],
+		})
+	}
+	return f
+}
+
+// eosMarkScanDone records local scan completion and starts reporting
+// to the coordinator — the EOS replacement for the old "done" RPC.
+func (q *queryState) eosMarkScanDone() {
+	e := q.eos
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	already := e.scanDone
+	e.scanDone = true
+	e.mu.Unlock()
+	if already {
+		return
+	}
+	if q.isCoord {
+		// The coordinator reads its own live books at every evaluation;
+		// only the membership mark needs recording.
+		q.coMu.Lock()
+		q.doneNodes[q.node.Addr()] = true
+		q.lastActivity = time.Now()
+		q.coMu.Unlock()
+		q.eosKick()
+		return
+	}
+	q.shipEosLedger()
+	q.node.wg.Add(1)
+	go func() {
+		defer q.node.wg.Done()
+		q.eosShipperLoop()
+	}()
+}
+
+// shipEosLedger sends the current ledger to the coordinator (best
+// effort; the rpc layer retransmits, and any later book movement
+// re-ships through the shipper loop).
+func (q *queryState) shipEosLedger() {
+	ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
+	defer cancel()
+	_, _ = q.node.peer.Call(ctx, q.coord, methEos, q.eosFrame().Bytes())
+}
+
+// eosShipperLoop re-ships the ledger whenever the books or the drain
+// round move. It runs from scan completion until query teardown.
+// Bursts coalesce twice: the dirty channel absorbs signals while a
+// ship is in flight, and a short settle pause lets a batch of
+// arrivals (e.g. a collector absorbing many frames) land in one
+// ledger instead of one RPC each.
+func (q *queryState) eosShipperLoop() {
+	const settle = time.Millisecond
+	for {
+		select {
+		case <-q.ctx.Done():
+			return
+		case <-q.eos.dirty:
+		}
+		select {
+		case <-q.ctx.Done():
+			return
+		case <-time.After(settle):
+		}
+		select { // fold movements that arrived during the pause
+		case <-q.eos.dirty:
+		default:
+		}
+		q.shipEosLedger()
+	}
+}
+
+// drainLocal executes one coordinator-issued drain round on this node:
+// flush relay combine buffers, flush route batches, push a Drain
+// marker through every live collector pipeline and wait for the sink
+// acknowledgements, flush routes again (the sinks may have shipped),
+// and only then advance the acknowledged round and report it.
+func (q *queryState) drainLocal(round uint64) {
+	e := q.eos
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.drainSeen[round] {
+		e.mu.Unlock()
+		return
+	}
+	e.drainSeen[round] = true
+	e.mu.Unlock()
+
+	q.flushCombining()
+	q.node.flushRoutes()
+
+	inlets := q.snapshotInlets()
+	if len(inlets) > 0 {
+		gate := &drainGate{round: round, remaining: len(inlets), done: make(chan struct{})}
+		e.mu.Lock()
+		e.gate = gate
+		e.mu.Unlock()
+		for _, in := range inlets {
+			in.Push(dataflow.DrainMsg(round))
+		}
+		select {
+		case <-gate.done:
+		case <-q.ctx.Done():
+			// Teardown (or fallback completion) cancelled the query: the
+			// round stays unacknowledged, which is correct.
+			return
+		}
+		e.mu.Lock()
+		e.gate = nil
+		e.mu.Unlock()
+		q.node.flushRoutes()
+	}
+
+	e.mu.Lock()
+	if round > e.drainRound {
+		e.drainRound = round
+	}
+	e.mu.Unlock()
+	q.eosKick()
+}
+
+// eosDrainAck is the physical pipelines' Env.DrainAck: a sink
+// acknowledges that one Drain marker — and with it every effect of the
+// data that preceded it — has left its pipeline.
+func (q *queryState) eosDrainAck(round uint64) {
+	e := q.eos
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	g := e.gate
+	if g != nil && g.round == round {
+		g.remaining--
+		if g.remaining == 0 {
+			close(g.done)
+		}
+	}
+	e.mu.Unlock()
+}
+
+// snapshotInlets lists every live collector inlet on this node (one
+// per aggregation merge, two per join stage). Each pushed marker is
+// forwarded through the pipeline and acknowledged exactly once at the
+// sink, so the expected ack count equals the inlet count.
+func (q *queryState) snapshotInlets() []*physical.Inlet {
+	q.pipeMu.Lock()
+	defer q.pipeMu.Unlock()
+	var out []*physical.Inlet
+	if q.aggIn != nil {
+		out = append(out, q.aggIn)
+	}
+	for _, pair := range q.joinInlets {
+		for _, in := range pair {
+			if in != nil {
+				out = append(out, in)
+			}
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator-side evaluation
+
+// applyEosLedger records a participant's latest ledger (coordinator
+// role). Each node's frames arrive in order through its shipper
+// goroutine, so a plain replace keeps the newest.
+func (q *queryState) applyEosLedger(f *wire.EosFrame) {
+	q.coMu.Lock()
+	if q.ledgers == nil {
+		q.ledgers = make(map[string]*wire.EosFrame)
+	}
+	q.ledgers[f.Addr] = f
+	if f.ScanDone {
+		q.doneNodes[f.Addr] = true
+	}
+	q.lastActivity = time.Now()
+	q.coMu.Unlock()
+	q.eosKick()
+}
+
+// eosStatus is one completion evaluation's view of the network.
+type eosStatus struct {
+	// scanDone counts members whose ledger reports scan completion.
+	scanDone int
+	// acked reports that every ledger (and the coordinator's own
+	// books) has acknowledged drain round `round`.
+	acked bool
+	// balanced reports that network-wide sent == recv on every channel.
+	balanced bool
+	// canon is a deterministic rendering of the network-wide totals;
+	// counters are monotone, so an unchanged canon across a full drain
+	// round proves nothing moved anywhere.
+	canon string
+}
+
+// eosStatus folds the coordinator's live books with every received
+// ledger. The coordinator never ships a ledger to itself — its own
+// row is always the freshest possible snapshot.
+func (q *queryState) eosStatus(round uint64) eosStatus {
+	self := q.eosFrame()
+	q.coMu.Lock()
+	frames := make([]*wire.EosFrame, 0, len(q.ledgers)+1)
+	for addr, f := range q.ledgers {
+		if addr != self.Addr {
+			frames = append(frames, f)
+		}
+	}
+	q.coMu.Unlock()
+	frames = append(frames, self)
+
+	st := eosStatus{acked: true, balanced: true}
+	totals := make(map[chanKey]*[2]uint64)
+	for _, f := range frames {
+		if f.ScanDone {
+			st.scanDone++
+		}
+		if f.DrainRound < round {
+			st.acked = false
+		}
+		for _, ch := range f.Channels {
+			k := chanKey{kind: ch.Kind, stage: ch.Stage, side: ch.Side}
+			t := totals[k]
+			if t == nil {
+				t = new([2]uint64)
+				totals[k] = t
+			}
+			t[0] += ch.Sent
+			t[1] += ch.Recv
+		}
+	}
+	keys := make([]chanKey, 0, len(totals))
+	for k := range totals {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		if a.stage != b.stage {
+			return a.stage < b.stage
+		}
+		return a.side < b.side
+	})
+	buf := make([]byte, 0, 24*len(keys))
+	for _, k := range keys {
+		t := totals[k]
+		if t[0] != t[1] {
+			st.balanced = false
+		}
+		buf = strconv.AppendUint(buf, uint64(k.kind), 10)
+		buf = append(buf, '.')
+		buf = strconv.AppendUint(buf, uint64(k.stage), 10)
+		buf = append(buf, '.')
+		buf = strconv.AppendUint(buf, uint64(k.side), 10)
+		buf = append(buf, ':')
+		buf = strconv.AppendUint(buf, t[0], 10)
+		buf = append(buf, '/')
+		buf = strconv.AppendUint(buf, t[1], 10)
+		buf = append(buf, ';')
+	}
+	st.canon = string(buf)
+	return st
+}
+
+// broadcastDrain issues (or re-issues) a drain round.
+func (n *Node) broadcastDrain(qid, round uint64) {
+	_ = n.router.Broadcast(tagDrain, wire.EncodeDrain(qid, round))
+}
+
+// maxDrainRounds caps the rounds one query may issue; past it the
+// coordinator gives up on deterministic completion and lets the Quiet
+// fallback finish the query. Real queries settle in one or two rounds;
+// the cap is a backstop against pathological counter churn.
+const maxDrainRounds = 64

@@ -1,0 +1,304 @@
+package pier
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/tuple"
+)
+
+// Tests for deterministic query completion: distributed EOS tracking
+// (per-channel sent/received ledgers plus coordinator-issued drain
+// rounds) replacing the quiescence timer.
+
+// setMembers arms EOS completion on every node of a test cluster.
+func setMembers(nodes []*Node, m int) {
+	for _, nd := range nodes {
+		nd.SetMembers(m)
+	}
+}
+
+func tuple32(addr string, rate float64) tuple.Tuple {
+	return tuple.Tuple{tuple.String(addr), tuple.Float(rate)}
+}
+
+func tupleAlert(addr string, rule, hits int64) tuple.Tuple {
+	return tuple.Tuple{tuple.String(addr), tuple.Int(rule), tuple.Int(hits)}
+}
+
+// simnetReorderCfg randomizes per-message latency so frames routinely
+// overtake each other in flight.
+func simnetReorderCfg(seed int64) simnet.Config {
+	return simnet.Config{
+		Seed:       seed,
+		MinLatency: 0,
+		MaxLatency: 25 * time.Millisecond,
+	}
+}
+
+// rowDigest renders a result canonically (sorted row strings) so two
+// executions can be compared byte for byte regardless of arrival
+// order. Ordered queries must not be passed through it.
+func rowDigest(res *Result) string {
+	lines := make([]string, len(res.Rows))
+	for i, r := range res.Rows {
+		lines[i] = fmt.Sprintf("%v", r)
+	}
+	sort.Strings(lines)
+	out := fmt.Sprintf("%v\n", res.Columns)
+	for _, l := range lines {
+		out += l + "\n"
+	}
+	return out
+}
+
+// TestEOSCompletion32Nodes is the tentpole's acceptance: a one-shot
+// query on an idle 32-node overlay completes the moment every ledger
+// balances — reason "eos", well before the quiet timer could fire.
+func TestEOSCompletion32Nodes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("32-node cluster")
+	}
+	nodes, _ := cluster(t, 32, 77)
+	setMembers(nodes, 32)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	res, err := nodes[5].Query(context.Background(), "SELECT node, rate FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonEOS {
+		t.Fatalf("scan completion reason = %q, want %q", res.Reason, ReasonEOS)
+	}
+	if len(res.Rows) != 32 {
+		t.Fatalf("scan returned %d rows, want 32", len(res.Rows))
+	}
+	if res.Participants != 32 {
+		t.Fatalf("Participants = %d, want 32", res.Participants)
+	}
+
+	// Aggregates route partials through collectors and relays; the
+	// books must still balance (after the drain flushes held state).
+	agg, err := nodes[9].Query(context.Background(), "SELECT SUM(rate) FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if agg.Reason != ReasonEOS {
+		t.Fatalf("aggregate completion reason = %q, want %q", agg.Reason, ReasonEOS)
+	}
+	if want := float64(32*33) / 2; len(agg.Rows) != 1 || agg.Rows[0][0].F != want {
+		t.Fatalf("SUM = %v, want %v", agg.Rows, want)
+	}
+}
+
+// TestEOSFasterThanQuiet pins the latency claim behind the PR: on an
+// idle cluster the EOS-completed scan must finish in well under the
+// quiet window it replaced (the timer path cannot return before
+// Quiet elapses by construction).
+func TestEOSFasterThanQuiet(t *testing.T) {
+	nodes, _ := cluster(t, 8, 78)
+	setMembers(nodes, 8)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for _, nd := range nodes {
+		nd.PublishLocal("traffic", tuple32(nd.Addr(), 1))
+	}
+	start := time.Now()
+	res, err := nodes[0].Query(context.Background(), "SELECT node FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonEOS {
+		t.Fatalf("reason = %q, want %q", res.Reason, ReasonEOS)
+	}
+	// Generous bound for race-detector runs; the quiet path would be
+	// >= 250ms no matter how fast the machine.
+	if el := time.Since(start); el >= 250*time.Millisecond {
+		t.Fatalf("EOS completion took %v, not faster than the 250ms quiet window", el)
+	}
+}
+
+// TestEOSMatchesQuietBaseline is the property test: for every
+// vectorization width, results completed by EOS must be byte-identical
+// to the same queries completed by a long quiescence timer on an
+// identical cluster — deterministic completion may be early, never
+// lossy. The queries run concurrently on the EOS cluster to exercise
+// per-query ledger isolation.
+func TestEOSMatchesQuietBaseline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs 2 clusters per batch size")
+	}
+	queries := []string{
+		"SELECT node, rate FROM traffic",
+		"SELECT rate * 2 AS d FROM traffic WHERE rate > 3",
+		"SELECT COUNT(*) FROM traffic",
+		"SELECT rule, SUM(hits) AS total, COUNT(*) AS n FROM alerts GROUP BY rule",
+		"SELECT t.node, a.hits FROM traffic t JOIN alerts a ON t.node = a.node WHERE a.rule = 1",
+	}
+	for _, bs := range []int{1, 7, 256} {
+		bs := bs
+		t.Run(fmt.Sprintf("batch=%d", bs), func(t *testing.T) {
+			cfg := testNodeConfig("chord")
+			cfg.BatchSize = bs
+
+			load := func(nodes []*Node) {
+				defineEverywhere(t, nodes, trafficSchema, time.Minute)
+				defineEverywhere(t, nodes, alertsSchema, time.Minute)
+				for i, nd := range nodes {
+					nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1)))
+					nd.PublishLocal("alerts", tupleAlert(nd.Addr(), 1, int64(i+1)))
+					nd.PublishLocal("alerts", tupleAlert(nd.Addr(), 2, 10))
+				}
+			}
+
+			// Baseline: EOS off (Members 0), long quiet window so no
+			// straggler is ever cut off. Sequential execution.
+			base, _ := clusterWithConfig(t, 6, 21, func() Config {
+				c := cfg
+				c.Quiet = time.Second
+				return c
+			}())
+			load(base)
+			want := make([]string, len(queries))
+			for i, q := range queries {
+				res, err := base[i%len(base)].Query(context.Background(), q)
+				if err != nil {
+					t.Fatalf("baseline %q: %v", q, err)
+				}
+				if res.Reason != ReasonQuietTimeout {
+					t.Fatalf("baseline %q completed by %q, want %q", q, res.Reason, ReasonQuietTimeout)
+				}
+				want[i] = rowDigest(res)
+			}
+
+			// Same data, same seed, EOS armed; all queries in flight at
+			// once.
+			nodes, _ := clusterWithConfig(t, 6, 21, cfg)
+			setMembers(nodes, 6)
+			load(nodes)
+			got := make([]string, len(queries))
+			reasons := make([]string, len(queries))
+			var wg sync.WaitGroup
+			var firstErr error
+			var mu sync.Mutex
+			for i, q := range queries {
+				wg.Add(1)
+				go func(i int, q string) {
+					defer wg.Done()
+					res, err := nodes[i%len(nodes)].Query(context.Background(), q)
+					mu.Lock()
+					defer mu.Unlock()
+					if err != nil {
+						if firstErr == nil {
+							firstErr = fmt.Errorf("%q: %w", q, err)
+						}
+						return
+					}
+					got[i] = rowDigest(res)
+					reasons[i] = res.Reason
+				}(i, q)
+			}
+			wg.Wait()
+			if firstErr != nil {
+				t.Fatal(firstErr)
+			}
+			for i, q := range queries {
+				if reasons[i] != ReasonEOS {
+					t.Errorf("%q completed by %q, want %q", q, reasons[i], ReasonEOS)
+				}
+				if got[i] != want[i] {
+					t.Errorf("%q diverged from quiet baseline:\n got: %s\nwant: %s", q, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestEOSReorderingAndLoss runs EOS completion on a hostile simnet.
+// Phase one randomizes per-message latency so done frames routinely
+// overtake (and are overtaken by) the data they account for: the
+// books must still balance only after every row lands, so completion
+// stays "eos" and exact. Phase two adds background loss to exercise
+// the drain re-broadcast and quiet-fallback paths; there the pinned
+// invariant is reason-conditional — "eos" certifies the exact result
+// set, while "quiet-timeout" marks the result visibly partial (and
+// the rows it does return are genuine). Run under -race in CI.
+func TestEOSReorderingAndLoss(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lossy network, slow")
+	}
+	cfg := testNodeConfig("chord")
+	nodes, net := clusterWithNet(t, 8, simnetReorderCfg(91), cfg)
+	setMembers(nodes, 8)
+	defineEverywhere(t, nodes, alertsSchema, time.Minute)
+	want := map[string]bool{}
+	for i, nd := range nodes {
+		for r := 1; r <= 3; r++ {
+			tup := tupleAlert(nd.Addr(), int64(r), int64(i+r))
+			nd.PublishLocal("alerts", tup)
+			want[fmt.Sprintf("%v", []tuple.Value(tup))] = true
+		}
+	}
+	check := func(trial int, res *Result, allowDup bool) {
+		t.Helper()
+		seen := map[string]bool{}
+		for _, row := range res.Rows {
+			key := fmt.Sprintf("%v", []tuple.Value(row))
+			if !want[key] {
+				t.Fatalf("trial %d: fabricated row %v (reason %s)", trial, row, res.Reason)
+			}
+			// Row shipping is at-least-once (retransmits re-execute the
+			// handler, per the soft-state discipline), so a lossy run may
+			// duplicate a row; a lossless one must not.
+			if seen[key] && !allowDup {
+				t.Fatalf("trial %d: duplicated row %v (reason %s)", trial, row, res.Reason)
+			}
+			seen[key] = true
+		}
+		if res.Reason == ReasonEOS && len(seen) != len(want) {
+			// The deterministic claim: an "eos" completion certifies
+			// nothing was cut off.
+			t.Fatalf("trial %d: reason eos but %d/%d distinct rows", trial, len(seen), len(want))
+		}
+	}
+
+	// Reordering alone (lossless): always eos, always exact.
+	for trial := 0; trial < 3; trial++ {
+		res, err := nodes[trial].Query(context.Background(),
+			"SELECT node, rule, hits FROM alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != ReasonEOS {
+			t.Fatalf("lossless trial %d: reason %q, want %q", trial, res.Reason, ReasonEOS)
+		}
+		if len(res.Rows) != len(want) {
+			t.Fatalf("lossless trial %d: %d rows, want %d", trial, len(res.Rows), len(want))
+		}
+		check(trial, res, false)
+	}
+
+	// With loss the fallback may close a query partial — but then the
+	// reason says so, and an eos completion still certifies the set.
+	net.SetLossRate(0.02)
+	for trial := 0; trial < 3; trial++ {
+		res, err := nodes[3+trial].Query(context.Background(),
+			"SELECT node, rule, hits FROM alerts")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reason != ReasonEOS && res.Reason != ReasonQuietTimeout {
+			t.Fatalf("lossy trial %d: unexpected completion reason %q", trial, res.Reason)
+		}
+		check(trial, res, true)
+	}
+}

@@ -21,11 +21,12 @@ const (
 	tagQuery  = "pier.query"  // broadcast: start a query
 	tagBloomQ = "pier.bloomq" // broadcast: Bloom-join phase-1 request
 	tagStop   = "pier.stop"   // broadcast: tear a query down
+	tagDrain  = "pier.drain"  // broadcast: flush held state for a drain round
 	tagAgg    = "pier.agg"    // routed: partial aggregate toward collector
 	tagJoin   = "pier.join"   // routed: rehashed join tuple toward collector
 
 	methRows  = "pier.rows"  // rpc to coordinator: result rows
-	methDone  = "pier.done"  // rpc to coordinator: participant finished scanning
+	methEos   = "pier.eos"   // rpc to coordinator: EOS ledger (scan done + books)
 	methBloom = "pier.bloom" // rpc to coordinator: per-site Bloom filter
 	methStats = "pier.stats" // rpc to coordinator: EXPLAIN ANALYZE counters
 )
@@ -61,6 +62,9 @@ type queryState struct {
 	combMu    sync.Mutex
 	combining map[combineKey]*combineEntry
 
+	// --- EOS completion (one-shot; nil for continuous queries) ---
+	eos *eosTracker
+
 	// --- coordinator ---
 	isCoord      bool
 	coMu         sync.Mutex
@@ -77,6 +81,10 @@ type queryState struct {
 	// without double counting.
 	nodeStats map[string]*plan.Analysis
 	epoch     time.Time // continuous window time base
+	// ledgers holds the latest EOS ledger per participant; eosEval
+	// pokes the coordinator's completion evaluation.
+	ledgers map[string]*wire.EosFrame
+	eosEval chan struct{}
 }
 
 // getQuery returns (and optionally creates) the state for qid.
@@ -226,7 +234,7 @@ func (n *Node) sendStatsRPC(qid uint64, coord, channel string, stats []plan.OpSt
 
 func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *queryState {
 	ctx, cancel := context.WithCancel(context.Background())
-	return &queryState{
+	q := &queryState{
 		id:         qid,
 		spec:       spec,
 		coord:      coord,
@@ -238,7 +246,12 @@ func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *querySt
 		doneNodes:  make(map[string]bool),
 		winFlushed: make(map[uint64]bool),
 		winTimers:  make(map[uint64]*time.Timer),
+		eosEval:    make(chan struct{}, 1),
 	}
+	if !spec.IsContinuous() {
+		q.eos = newEosTracker()
+	}
+	return q
 }
 
 // ---------------------------------------------------------------------------
@@ -367,6 +380,21 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 		}()
 	case tagAnalyzeQ:
 		n.onAnalyzeBroadcast(from, payload)
+	case tagDrain:
+		qid, round, err := wire.DecodeDrain(payload)
+		if err != nil {
+			return
+		}
+		q := n.getQuery(qid, nil)
+		if q == nil || q.eos == nil {
+			return
+		}
+		// Off the dispatch goroutine: the drain blocks on pipeline acks.
+		n.wg.Add(1)
+		go func() {
+			defer n.wg.Done()
+			q.drainLocal(round)
+		}()
 	case tagStop:
 		r := wire.NewReader(payload)
 		qid := r.Uint64()
@@ -512,19 +540,14 @@ func (n *Node) registerHandlers() {
 		q.coordAddRows(f.Window, rows)
 		return nil, nil
 	})
-	n.peer.Handle(methDone, func(from string, req []byte) ([]byte, error) {
-		r := wire.NewReader(req)
-		qid := r.Uint64()
-		addr := r.String()
-		if err := r.Done(); err != nil {
+	n.peer.Handle(methEos, func(from string, req []byte) ([]byte, error) {
+		f, err := wire.EosFrameFromBytes(req)
+		if err != nil {
 			return nil, err
 		}
-		q := n.getQuery(qid, nil)
+		q := n.getQuery(f.Query, nil)
 		if q != nil && q.isCoord {
-			q.coMu.Lock()
-			q.doneNodes[addr] = true
-			q.lastActivity = time.Now()
-			q.coMu.Unlock()
+			q.applyEosLedger(f)
 		}
 		return nil, nil
 	})

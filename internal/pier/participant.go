@@ -12,7 +12,6 @@ import (
 	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/tuple"
-	"repro/internal/wire"
 )
 
 // This file is the participant harness: every node's share of a
@@ -43,6 +42,7 @@ func (q *queryState) pipelineEnv() *physical.Env {
 		ShipPartial:   q.shipPartials,
 		Rehash:        q.rehashShip,
 		FlushRoutes:   n.flushRoutes,
+		DrainAck:      q.eosDrainAck,
 		Bloom:         q.filter,
 		RowBatch:      n.cfg.RowBatch,
 		BatchSize:     n.cfg.BatchSize,
@@ -57,15 +57,11 @@ func (q *queryState) participateOneShot() {
 	_ = pipe.Run(q.ctx)
 	// Barrier: drain coalesced route batches before reporting
 	// completion, so no rehashed tuple or partial is still buffered
-	// when the coordinator starts its quiescence clock.
+	// when the coordinator reads this node's first EOS ledger.
 	q.node.flushRoutes()
-	// Tell the coordinator this node's scan work is complete.
-	w := wire.NewWriter(32)
-	w.Uint64(q.id)
-	w.String(q.node.Addr())
-	ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
-	defer cancel()
-	_, _ = q.node.peer.Call(ctx, q.coord, methDone, w.Bytes())
+	// Report end-of-scan with the ledger; the shipper keeps the
+	// coordinator's copy current as collector work moves the books.
+	q.eosMarkScanDone()
 }
 
 // participateContinuous subscribes the windowed pipeline to the
@@ -159,6 +155,7 @@ func (q *queryState) startPeriodicStats() func() {
 // call.
 func (q *queryState) shipPartials(window uint64, partials []tuple.Tuple) int {
 	q.node.Metrics.PartialsSent.Add(uint64(len(partials)))
+	q.countSent(chanKey{kind: chanAgg}, len(partials))
 	nGroup := len(q.spec.GroupCols)
 	total := 0
 	recs := make([]batch.Record, len(partials))
@@ -178,6 +175,7 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 		return 0
 	}
 	q.node.Metrics.RowsSent.Add(uint64(len(rows)))
+	q.countSent(chanKey{kind: chanRows}, len(rows))
 	total := 0
 	for off := 0; off < len(rows); off += q.node.cfg.RowBatch {
 		end := off + q.node.cfg.RowBatch
@@ -200,6 +198,7 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 // and the whole vector is handed to the route batcher in one call.
 func (q *queryState) rehashShip(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
 	q.node.Metrics.JoinTuplesRehashed.Add(uint64(len(ts)))
+	q.countSent(chanKey{kind: chanJoin, stage: uint8(stage), side: uint8(side)}, len(ts))
 	if len(ts) == 1 {
 		k := joinCollectorKey(q.id, stage, keys[0])
 		payload := encodeTupleMsg(q.id, window, uint8(stage), uint8(side), ts[0])

@@ -56,10 +56,19 @@ type Config struct {
 	// settle margin after window close for continuous ones).
 	// Default 150ms.
 	CollectorHold time.Duration
-	// Quiet is the coordinator's quiescence horizon: a one-shot
-	// query completes when no results arrived for this long.
-	// Default 400ms.
+	// Quiet is the coordinator's quiescence horizon. With Members set
+	// it is only the fallback bound for churn and message loss — a
+	// one-shot query normally completes the instant the EOS ledgers
+	// reconcile; without Members a query completes when no results
+	// arrived for this long. Default 400ms.
 	Quiet time.Duration
+	// Members is the expected cluster size for deterministic EOS
+	// completion: a one-shot query completes as soon as this many
+	// nodes report end-of-scan and the record books balance. 0 (the
+	// default) disables EOS completion and keeps pure Quiet-timer
+	// semantics. SetMembers adjusts it at runtime (e.g. after
+	// convergence or on churn).
+	Members int
 	// MaxQueryLife caps one-shot query duration. Default 15s.
 	MaxQueryLife time.Duration
 	// BloomWait is how long a Bloom-join coordinator gathers
@@ -202,6 +211,7 @@ type Node struct {
 	appBroadcast map[string]overlay.BroadcastFunc
 
 	qidCounter atomic.Uint64
+	members    atomic.Int64
 
 	Metrics Metrics
 
@@ -251,6 +261,7 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	// Every stored primary item and every expiry feeds the incremental
 	// statistics sketches.
 	n.store.SetHooks(n.localStats.OnStored, n.localStats.OnExpired)
+	n.members.Store(int64(cfg.Members))
 	n.registerHandlers()
 	if !cfg.DisableStatsGossip {
 		n.wg.Add(1)
@@ -305,6 +316,15 @@ func (n *Node) routeRecords(recs []batch.Record) {
 		_ = n.router.Route(r.Key, r.Tag, r.Payload)
 	}
 }
+
+// SetMembers updates the expected cluster size for deterministic EOS
+// completion (see Config.Members). Applications call it once the
+// overlay converges and again on membership change; 0 reverts to pure
+// Quiet-timer completion.
+func (n *Node) SetMembers(m int) { n.members.Store(int64(m)) }
+
+// Members returns the expected cluster size (0 = EOS disabled).
+func (n *Node) Members() int { return int(n.members.Load()) }
 
 // Store exposes the DHT storage layer.
 func (n *Node) Store() *dht.Store { return n.store }

@@ -27,6 +27,8 @@ type combineKey struct {
 type combineEntry struct {
 	acc   *ops.Accumulator
 	group tuple.Tuple
+	key   idKey // destination collector key
+	n     int   // partials absorbed into acc
 }
 
 // combineInto merges a passing partial into this relay's buffer for
@@ -47,10 +49,11 @@ func (q *queryState) combineInto(key idKey, window uint64, partial tuple.Tuple) 
 	e := q.combining[ck]
 	first := e == nil
 	if first {
-		e = &combineEntry{acc: ops.NewAccumulator(spec.Aggs), group: partial[:nGroup].Clone()}
+		e = &combineEntry{acc: ops.NewAccumulator(spec.Aggs), group: partial[:nGroup].Clone(), key: key}
 		q.combining[ck] = e
 	}
 	_ = e.acc.MergeStates(partial[nGroup:])
+	e.n++
 	q.combMu.Unlock()
 	if first {
 		time.AfterFunc(q.node.cfg.CombineHold, func() {
@@ -64,11 +67,34 @@ func (q *queryState) combineInto(key idKey, window uint64, partial tuple.Tuple) 
 			delete(q.combining, ck)
 			q.combMu.Unlock()
 			if e == nil {
-				return
+				return // a drain flushed the entry first
 			}
-			merged := append(e.group.Clone(), e.acc.StateValues()...)
-			_ = q.node.router.Route(key, tagAgg, encodeTupleMsg(q.id, window, 0, 0, merged))
+			q.emitCombined(ck.window, e)
 		})
 	}
 	return true
+}
+
+// emitCombined forwards one merged partial. Both sides of the relay's
+// rewrite enter the EOS books here — the absorbed partials as received,
+// the merged one as sent — and only at emit time, so a held combine
+// buffer keeps the network's ledgers imbalanced and the query provably
+// incomplete until it flushes.
+func (q *queryState) emitCombined(window uint64, e *combineEntry) {
+	q.countRecv(chanKey{kind: chanAgg}, e.n)
+	q.countSent(chanKey{kind: chanAgg}, 1)
+	merged := append(e.group.Clone(), e.acc.StateValues()...)
+	_ = q.node.router.Route(e.key, tagAgg, encodeTupleMsg(q.id, window, 0, 0, merged))
+}
+
+// flushCombining force-emits every held combine buffer — the relay's
+// share of a drain round.
+func (q *queryState) flushCombining() {
+	q.combMu.Lock()
+	entries := q.combining
+	q.combining = nil
+	q.combMu.Unlock()
+	for ck, e := range entries {
+		q.emitCombined(ck.window, e)
+	}
 }

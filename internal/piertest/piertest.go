@@ -112,6 +112,15 @@ func New(opts Options) (*Cluster, error) {
 		c.Close()
 		return nil, err
 	}
+	if nodeCfg.Members == 0 {
+		// The testbed knows its own size: enable deterministic EOS
+		// completion unless the caller pinned Members in NodeCfg.
+		// Tests that want the legacy quiet-timer behavior can call
+		// SetMembers(0) on the nodes afterwards.
+		for _, nd := range c.Nodes {
+			nd.SetMembers(opts.N)
+		}
+	}
 	return c, nil
 }
 

@@ -63,11 +63,14 @@ type Response struct {
 	Columns      []string        `json:"columns,omitempty"`
 	Rows         [][]interface{} `json:"rows,omitempty"`
 	Participants int             `json:"participants,omitempty"`
-	DurationMS   float64         `json:"duration_ms,omitempty"`
-	Analyze      string          `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
-	Plan         string          `json:"plan,omitempty"`    // explain
-	Sub          uint64          `json:"sub,omitempty"`     // subscribe ack
-	Shared       bool            `json:"shared,omitempty"`  // subscription rides a shared scan
+	// Reason reports how the query completed ("eos", "quiet-timeout",
+	// "deadline") — anything but "eos" means the rows may be partial.
+	Reason     string  `json:"reason,omitempty"`
+	DurationMS float64 `json:"duration_ms,omitempty"`
+	Analyze    string  `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
+	Plan       string  `json:"plan,omitempty"`    // explain
+	Sub        uint64  `json:"sub,omitempty"`     // subscribe ack
+	Shared     bool    `json:"shared,omitempty"`  // subscription rides a shared scan
 
 	Cache   *engine.CacheStats      `json:"cache,omitempty"`
 	Entries []engine.CacheEntryInfo `json:"entries,omitempty"`
@@ -289,6 +292,7 @@ func resultResponse(res *pier.Result, start time.Time) Response {
 		Columns:      res.Columns,
 		Rows:         encodeRows(res.Rows),
 		Participants: res.Participants,
+		Reason:       res.Reason,
 		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		Analyze:      res.AnalyzeReport,
 	}

@@ -214,6 +214,12 @@ func TestRejectSurfacesOnWire(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer c.Close()
+	// Force quiet-timer completion: with EOS the query releases its
+	// slot in milliseconds and the service never saturates. This test
+	// needs the slot held past the queue timeout, not a fast query.
+	for _, nd := range c.Nodes {
+		nd.SetMembers(0)
+	}
 	svc := engine.New(c.Nodes[0], engine.Config{
 		MaxInFlight: 1, MaxQueued: 1, QueueTimeout: 50 * time.Millisecond,
 	})

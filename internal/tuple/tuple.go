@@ -413,9 +413,16 @@ type Decoder struct {
 	arena []Value
 }
 
-// decoderBlock is the arena granularity: one allocation per this many
-// value slots.
-const decoderBlock = 4096
+// Arena blocks grow geometrically from decoderMinBlock slots up to
+// decoderBlock: a scan that decodes a handful of rows allocates a few
+// hundred bytes, not a ~200KB block that the GC must zero and scan
+// (short per-query decoders are the common case on every node), while
+// long streams still amortize to one allocation per decoderBlock
+// values.
+const (
+	decoderMinBlock = 64
+	decoderBlock    = 4096
+)
 
 // Decode decodes one payload written by Tuple.Encode, rejecting
 // trailing garbage.
@@ -426,7 +433,13 @@ func (d *Decoder) Decode(buf []byte) (Tuple, error) {
 		return nil, fmt.Errorf("tuple: decode: absurd arity %d", n)
 	}
 	if cap(d.arena)-len(d.arena) < int(n) {
-		size := decoderBlock
+		size := 2 * cap(d.arena)
+		if size < decoderMinBlock {
+			size = decoderMinBlock
+		}
+		if size > decoderBlock {
+			size = decoderBlock
+		}
 		if int(n) > size {
 			size = int(n)
 		}

@@ -1,0 +1,132 @@
+package wire
+
+import "fmt"
+
+// EosChannel identifies one logical record channel of a query and the
+// cumulative per-channel accounting a node has observed on it. The
+// engine runs three channel families: result rows to the coordinator
+// (kind 0), aggregation partials toward collectors (kind 1), and
+// rehashed join tuples per (stage, side) (kind 2). Sent counts records
+// a node put on the wire for the channel; Recv counts records it
+// delivered into local pipelines. Relays that combine in-network fold
+// their absorbed and emitted records into the same books at emit time,
+// so the network-wide sums balance exactly when nothing is in flight
+// or buffered anywhere.
+type EosChannel struct {
+	// Kind is the channel family: 0 rows, 1 agg, 2 join.
+	Kind uint8
+	// Stage and Side locate a join channel (0 otherwise).
+	Stage uint8
+	Side  uint8
+	// Sent and Recv are cumulative record counts.
+	Sent uint64
+	Recv uint64
+}
+
+// EosFrame is one node's end-of-stream ledger for a query: the done
+// frame of the deterministic completion protocol. A participant ships
+// it once its scan has drained and its route batches have flushed, and
+// re-ships whenever its counters or drain round advance; the
+// coordinator declares the query complete when every expected member's
+// ledger reports ScanDone, the current drain round is acknowledged,
+// and all channel books balance.
+type EosFrame struct {
+	// Query identifies the query.
+	Query uint64
+	// Addr is the reporting node's transport address.
+	Addr string
+	// ScanDone reports that the node's participant pipeline has run to
+	// end-of-stream and its route batches were flushed.
+	ScanDone bool
+	// DrainRound is the highest coordinator-issued drain round this
+	// node has fully acknowledged (markers flushed through every local
+	// collector pipeline).
+	DrainRound uint64
+	// Channels holds the node's per-channel accounting, sorted by
+	// (kind, stage, side) for deterministic encoding.
+	Channels []EosChannel
+}
+
+// MaxEosChannels bounds a frame's channel list against corrupt input
+// (2 fixed families + join stages well past the planner's table cap).
+const MaxEosChannels = 256
+
+// Encode appends the frame to w.
+func (f *EosFrame) Encode(w *Writer) {
+	w.Uint64(f.Query)
+	w.String(f.Addr)
+	w.Bool(f.ScanDone)
+	w.Uvarint(f.DrainRound)
+	w.Uvarint(uint64(len(f.Channels)))
+	for _, ch := range f.Channels {
+		w.Byte(ch.Kind)
+		w.Byte(ch.Stage)
+		w.Byte(ch.Side)
+		w.Uvarint(ch.Sent)
+		w.Uvarint(ch.Recv)
+	}
+}
+
+// Bytes serializes the frame into a fresh buffer.
+func (f *EosFrame) Bytes() []byte {
+	w := NewWriter(32 + 16*len(f.Channels))
+	f.Encode(w)
+	return w.Bytes()
+}
+
+// DecodeEosFrame reads a frame written by Encode.
+func DecodeEosFrame(r *Reader) (*EosFrame, error) {
+	f := &EosFrame{
+		Query:    r.Uint64(),
+		Addr:     r.String(),
+		ScanDone: r.Bool(),
+	}
+	f.DrainRound = r.Uvarint()
+	n := int(r.Uvarint())
+	if n > MaxEosChannels {
+		return nil, fmt.Errorf("wire: eos frame with %d channels", n)
+	}
+	for i := 0; i < n; i++ {
+		f.Channels = append(f.Channels, EosChannel{
+			Kind:  r.Byte(),
+			Stage: r.Byte(),
+			Side:  r.Byte(),
+			Sent:  r.Uvarint(),
+			Recv:  r.Uvarint(),
+		})
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EosFrameFromBytes decodes a frame, rejecting trailing bytes.
+func EosFrameFromBytes(buf []byte) (*EosFrame, error) {
+	r := NewReader(buf)
+	f, err := DecodeEosFrame(r)
+	if err != nil {
+		return nil, err
+	}
+	if err := r.Done(); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// EncodeDrain frames a coordinator-issued drain round broadcast.
+func EncodeDrain(qid, round uint64) []byte {
+	w := NewWriter(16)
+	w.Uint64(qid)
+	w.Uvarint(round)
+	return w.Bytes()
+}
+
+// DecodeDrain reads a drain broadcast.
+func DecodeDrain(buf []byte) (qid, round uint64, err error) {
+	r := NewReader(buf)
+	qid = r.Uint64()
+	round = r.Uvarint()
+	err = r.Done()
+	return
+}
