@@ -66,6 +66,9 @@ func main() {
 	batchSize := flag.Int("batch-size", 0, "vectorization width: tuples per dataflow batch message (0 = default 256, 1 = tuple-at-a-time)")
 	scanParallel := flag.Int("scan-parallel", 0, "parallel partitioned-scan workers (0 = GOMAXPROCS)")
 	members := flag.Int("members", 0, "expected cluster size: enables deterministic EOS completion for one-shot queries (0 = quiescence timer only)")
+	joinMem := flag.String("join-mem", "0", "per-stage join build-state memory budget, e.g. 64kb or 1mb (0 = unlimited, never spill)")
+	spillDir := flag.String("spill-dir", "", "directory for join spill temp files (default: the system temp dir)")
+	switchFactor := flag.Float64("switch-factor", 0, "switch a fetch-matches join to rehashing mid-flight when observed rows exceed the estimate by this factor (0 = default 4, negative = never switch)")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -80,6 +83,11 @@ func main() {
 	cfg.BatchSize = *batchSize
 	cfg.ScanParallel = *scanParallel
 	cfg.Members = *members
+	if cfg.JoinMemBudget, err = pier.ParseMemSize(*joinMem); err != nil {
+		log.Fatal(err)
+	}
+	cfg.SpillDir = *spillDir
+	cfg.SwitchFactor = *switchFactor
 	node, err := pier.NewNode(tr, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -14,6 +14,7 @@
 //	pierbench -experiment batching
 //	pierbench -experiment multiway
 //	pierbench -experiment analyze
+//	pierbench -experiment spill
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
 //	pierbench -experiment localpipe
@@ -162,6 +163,11 @@ func main() {
 	if want("analyze") {
 		run("analyze", func() error {
 			return analyze(*n, *seed, rec)
+		})
+	}
+	if want("spill") {
+		run("spill", func() error {
+			return spillSweep(*n, *seed, rec)
 		})
 	}
 	if want("overlay") {
@@ -325,6 +331,37 @@ func analyze(n int, seed int64, rec *recorder) error {
 	return nil
 }
 
+func spillSweep(n int, seed int64, rec *recorder) error {
+	out, err := bench.SpillSweep(minInt(n, 4), 0, seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-10s %12s %12s %12s %8s %8s %8s\n",
+		"budget", "wall", "peak mem", "spilled", "passes", "rows", "match")
+	for _, p := range out.Points {
+		budget := "unlimited"
+		if p.Budget > 0 {
+			budget = fmt.Sprintf("%dKB", p.Budget>>10)
+		}
+		fmt.Printf("%-10s %12v %12d %12d %8d %8d %8v\n",
+			budget, p.Wall.Round(time.Millisecond), p.PeakMem, p.Spilled,
+			p.Passes, p.Rows, p.RowsMatch)
+		rec.metric("wall-ms."+budget, float64(p.Wall.Milliseconds()))
+		rec.metric("peak-mem."+budget, float64(p.PeakMem))
+		rec.metric("spilled."+budget, float64(p.Spilled))
+		rec.metric("passes."+budget, float64(p.Passes))
+		if !p.RowsMatch {
+			return fmt.Errorf("budget %s: rows diverged from centralized baseline", budget)
+		}
+		if p.Budget > 0 && p.PeakMem > 4*uint64(p.Budget) {
+			return fmt.Errorf("budget %s: peak resident %d beyond 4x budget", budget, p.PeakMem)
+		}
+	}
+	fmt.Printf("unbounded build state: %d bytes\n", out.BuildBytes)
+	rec.metric("build-bytes", float64(out.BuildBytes))
+	return nil
+}
+
 func batching(n int, seed int64, rec *recorder) error {
 	results, err := bench.RouteBatchingJoin(n, 1000, 5, seed)
 	if err != nil {
@@ -478,6 +515,13 @@ func overlay(n int, seed int64) error {
 
 func maxInt(a, b int) int {
 	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
 		return a
 	}
 	return b

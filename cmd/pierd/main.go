@@ -55,6 +55,9 @@ func main() {
 	cacheSize := flag.Int("plan-cache", engine.DefaultPlanCacheSize, "plan cache capacity (compiled statements)")
 	sharedScans := flag.Bool("shared-scans", true, "serve concurrent identical continuous queries from one scan/window pipeline")
 	members := flag.Int("members", 0, "expected cluster size: enables deterministic EOS completion for one-shot queries (0 = quiescence timer only)")
+	joinMem := flag.String("join-mem", "0", "per-stage join build-state memory budget, e.g. 64kb or 1mb (0 = unlimited, never spill)")
+	spillDir := flag.String("spill-dir", "", "directory for join spill temp files (default: the system temp dir)")
+	switchFactor := flag.Float64("switch-factor", 0, "switch a fetch-matches join to rehashing mid-flight when observed rows exceed the estimate by this factor (0 = default 4, negative = never switch)")
 	flag.Parse()
 
 	tr, err := transport.ListenUDP(*listen)
@@ -62,6 +65,11 @@ func main() {
 		log.Fatal(err)
 	}
 	cfg := pier.Config{Overlay: *overlayKind, Members: *members}
+	cfg.SpillDir = *spillDir
+	cfg.SwitchFactor = *switchFactor
+	if cfg.JoinMemBudget, err = pier.ParseMemSize(*joinMem); err != nil {
+		log.Fatal(err)
+	}
 	node, err := pier.NewNode(tr, cfg)
 	if err != nil {
 		log.Fatal(err)

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/piertest"
+	"repro/internal/plan"
+	"repro/internal/tuple"
+)
+
+// ---------------------------------------------------------------------------
+// Memory-bounded hybrid-hash joins: the budget sweep
+//
+// The experiment runs one join whose build state is several times the
+// smallest budget under a sweep of per-stage memory budgets, from
+// unlimited down to a fraction of the build size. It reports wall
+// time, the worst per-operator resident high-water mark, spilled
+// bytes, and recursive pass counts per budget — the graceful-
+// degradation curve: results stay byte-identical to the centralized
+// baseline at every point while resident memory tracks the budget
+// instead of the data.
+
+// SpillPoint is one budget's measurement.
+type SpillPoint struct {
+	// Budget is the per-stage build-state budget in bytes (0 =
+	// unlimited).
+	Budget int64
+	// Wall is the query's wall time at the coordinator.
+	Wall time.Duration
+	// PeakMem is the worst single operator's resident high-water mark
+	// network-wide; Spilled and Passes sum the spill counters.
+	PeakMem uint64
+	Spilled uint64
+	Passes  uint64
+	// Rows is the result cardinality; RowsMatch compares against the
+	// centralized baseline executor byte for byte.
+	Rows      int
+	RowsMatch bool
+}
+
+// SpillOutcome is the whole sweep.
+type SpillOutcome struct {
+	// BuildBytes approximates the unbounded build state: the unlimited
+	// run's peak resident bytes (worst node).
+	BuildBytes uint64
+	Points     []SpillPoint
+}
+
+// SpillSweep runs the budget sweep on an n-node simulated network.
+// ordersPerNode sizes the local fact table (padded rows, so a few
+// hundred per node already dwarf a 64KB budget).
+func SpillSweep(n, ordersPerNode int, seed int64) (*SpillOutcome, error) {
+	if n == 0 {
+		n = 4
+	}
+	if ordersPerNode == 0 {
+		ordersPerNode = 600
+	}
+	const nUsers = 40
+	usersSchema := tuple.MustSchema("users", []tuple.Column{
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "name", Type: tuple.TString},
+	}, "uid")
+	ordersSchema := tuple.MustSchema("orders", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "oid", Type: tuple.TInt},
+		{Name: "uid", Type: tuple.TInt},
+		{Name: "pad", Type: tuple.TString},
+	}, "node", "oid")
+	const sql = "SELECT o.oid, u.name FROM orders o JOIN users u ON o.uid = u.uid"
+	budgets := []int64{0, 1 << 20, 256 << 10, 64 << 10}
+
+	out := &SpillOutcome{}
+	var refDigest string
+	pad := strings.Repeat("x", 64)
+	for _, budget := range budgets {
+		cfg := piertest.FastConfig()
+		cfg.JoinMemBudget = budget
+		cluster, err := piertest.New(piertest.Options{N: n, Seed: seed, NodeCfg: &cfg})
+		if err != nil {
+			return nil, err
+		}
+		var bases []*baseline.Centralized
+		for _, nd := range cluster.Nodes {
+			bases = append(bases, baseline.NewCentralized(nd))
+			for _, s := range []*tuple.Schema{usersSchema, ordersSchema} {
+				if err := nd.DefineTable(s, 5*time.Minute); err != nil {
+					cluster.Close()
+					return nil, err
+				}
+			}
+		}
+		for u := 0; u < nUsers; u++ {
+			if err := cluster.Nodes[u%n].Publish("users", tuple.Tuple{
+				tuple.Int(int64(u)), tuple.String(fmt.Sprintf("user-%d", u)),
+			}); err != nil {
+				cluster.Close()
+				return nil, err
+			}
+		}
+		for i, nd := range cluster.Nodes {
+			for j := 0; j < ordersPerNode; j++ {
+				oid := i*ordersPerNode + j
+				if err := nd.PublishLocal("orders", tuple.Tuple{
+					tuple.String(nd.Addr()), tuple.Int(int64(oid)),
+					tuple.Int(int64(oid % nUsers)), tuple.String(pad),
+				}); err != nil {
+					cluster.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := waitForCount(cluster, "table:users", nUsers, 20*time.Second); err != nil {
+			cluster.Close()
+			return nil, err
+		}
+		if refDigest == "" {
+			ref, err := bases[0].QuerySQL(context.Background(), sql, 300*time.Millisecond)
+			if err != nil {
+				cluster.Close()
+				return nil, fmt.Errorf("bench: baseline executor: %w", err)
+			}
+			refDigest = rowsDigest(ref.Rows)
+		}
+		sym := plan.SymmetricHash
+		t0 := time.Now()
+		res, err := cluster.Nodes[0].QueryWithOptions(context.Background(), sql,
+			plan.Options{Strategy: &sym, Analyze: true})
+		if err != nil {
+			cluster.Close()
+			return nil, fmt.Errorf("bench: budget %d: %w", budget, err)
+		}
+		pt := SpillPoint{
+			Budget:    budget,
+			Wall:      time.Since(t0),
+			Rows:      len(res.Rows),
+			RowsMatch: rowsDigest(res.Rows) == refDigest,
+		}
+		for _, op := range res.Analysis.Ops {
+			if op.PeakMem > pt.PeakMem {
+				pt.PeakMem = op.PeakMem
+			}
+			pt.Spilled += op.Spilled
+			pt.Passes += op.Passes
+		}
+		if budget == 0 {
+			out.BuildBytes = pt.PeakMem
+		}
+		out.Points = append(out.Points, pt)
+		cluster.Close()
+	}
+	return out, nil
+}

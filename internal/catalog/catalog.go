@@ -12,6 +12,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -67,6 +68,11 @@ type TableStats struct {
 	// Distinct estimates distinct values per column, keyed by the
 	// base (unqualified) column name.
 	Distinct map[string]int64
+	// Sample is the merged bottom-k row sample from the last ANALYZE
+	// (nil for declared or gossiped stats — samples are too heavy to
+	// gossip). The optimizer evaluates pushed-down filters against it
+	// for measured selectivities instead of the textbook constants.
+	Sample *stats.Sample
 	// Source is the stats' provenance (StatsDeclared for SetStats).
 	Source StatsSource
 	// MeasuredAt stamps measured/gossiped stats (zero for declared).
@@ -82,7 +88,8 @@ func (s TableStats) Expired(now time.Time) bool {
 	return s.Source != StatsDeclared && s.TTL > 0 && now.After(s.MeasuredAt.Add(s.TTL))
 }
 
-// clone deep-copies the stats so callers never share the map.
+// clone deep-copies the stats so callers never share the map or
+// sample.
 func (s TableStats) clone() TableStats {
 	out := s
 	if s.Distinct != nil {
@@ -90,6 +97,9 @@ func (s TableStats) clone() TableStats {
 		for k, v := range s.Distinct {
 			out.Distinct[k] = v
 		}
+	}
+	if s.Sample != nil {
+		out.Sample = s.Sample.Clone()
 	}
 	return out
 }

@@ -1,0 +1,594 @@
+package physical
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dataflow"
+	"repro/internal/spill"
+	"repro/internal/tuple"
+	"repro/internal/wire"
+)
+
+// Hybrid-hash join tuning. The fan-out divides a stage's build state
+// into independently spillable partitions; recursive passes re-salt
+// the partition hash per level so keys that collided at one level
+// spread at the next, and maxSpillLevels bounds the recursion before
+// the pass falls back to joining a sub-partition in memory whatever
+// its size (pathological single-key skew cannot be partitioned away).
+const (
+	hybridFanout     = 16
+	maxSpillLevels   = 4
+	spillFrameRows   = 256
+	defaultSpillHold = 200 * time.Millisecond
+)
+
+// HybridJoinConfig parameterizes the memory-budgeted collector join.
+type HybridJoinConfig struct {
+	// Budget caps resident build bytes for this operator instance
+	// (0 = unbounded; the join degenerates to the flat in-memory
+	// symmetric hash join, still partitioned and peak-mem-instrumented).
+	Budget int64
+	// Spill manages overflow temp files; nil disables spilling even
+	// with a budget set.
+	Spill *spill.Manager
+	// Label prefixes spill file names ("q12-s0").
+	Label string
+	// IdleHold is the quiet-mode pass trigger: when spilled state holds
+	// unjoined tuples and no input arrives for IdleHold, a re-join pass
+	// runs. Queries completing through the EOS drain protocol pass
+	// earlier, on the drain marker. <= 0 takes defaultSpillHold.
+	IdleHold time.Duration
+	// BatchSize is the output vectorization width.
+	BatchSize int
+}
+
+// partHash spreads a canonical join-key encoding over partitions,
+// salted by recursion level (FNV-1a with a level-mixed seed).
+func partHash(key []byte, level int) uint64 {
+	h := uint64(14695981039346656037) ^ (uint64(level+1) * 0x9E3779B97F4A7C15)
+	for _, b := range key {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// hybridBucket holds one join-key value's resident tuples of one side.
+type hybridBucket struct {
+	rows []tuple.Tuple
+}
+
+// hybridPart is one partition of one window's build state. Resident
+// partitions hold both sides' hash tables; once spilled, the tables
+// are dropped and arrivals append to the partition's frame log
+// unjoined (their join output is owed by the next re-join pass).
+type hybridPart struct {
+	tables  [2]map[string]*hybridBucket
+	bytes   int64
+	rows    int64
+	spilled bool
+	file    *spill.File
+}
+
+// hybridWindow is one window's partitioned state.
+type hybridWindow struct {
+	parts [hybridFanout]*hybridPart
+}
+
+// HybridJoin is the collector-side symmetric hash join rebuilt around
+// a memory budget: build state is partitioned by join-key hash, and
+// when resident bytes exceed the budget whole partitions spill to
+// temp files. Resident partitions stream exactly like JoinProbe
+// (incremental build, retransmit dedup, matches out as they appear).
+// Spilled partitions re-join in recursive passes — triggered by the
+// EOS drain marker, or by input going idle for quiet-mode queries —
+// re-partitioning each overflow file with a level-salted hash until a
+// sub-partition fits, then joining it in memory.
+//
+// The pass stays byte-identical to the streaming join through the
+// joined-flag protocol: a partition's resident tuples had already
+// emitted their pairs when it spilled, so they spill marked joined
+// and the pass inserts them with emission suppressed; only tuples
+// that arrived after the spill (appended unjoined) emit pairs. Joined
+// frames always precede unjoined frames in every file (the spill dump
+// writes first; the watermark only ever advances), so a suppressed
+// build tuple can never miss a pair. After a pass the file's joined
+// watermark advances past everything processed, making repeated
+// passes of quiesced state emit nothing — the same stability the EOS
+// totals test relies on for FinalAgg.
+func HybridJoin(arity [2]int, keyCols [2][]int, cfg HybridJoinConfig) OpFunc {
+	joinedArity := arity[0] + arity[1]
+	batchSize := cfg.BatchSize
+	if batchSize < 1 {
+		batchSize = dataflow.DefaultBatchSize
+	}
+	hold := cfg.IdleHold
+	if hold <= 0 {
+		hold = defaultSpillHold
+	}
+	spillOn := cfg.Budget > 0 && cfg.Spill != nil
+	return func(c *Counters) dataflow.RunFunc {
+		return func(ctx context.Context, ins []<-chan dataflow.Msg, outs []chan<- dataflow.Msg) error {
+			windows := make(map[uint64]*hybridWindow)
+			var resident int64 // resident build bytes across all windows
+			var scratch [1]tuple.Tuple
+
+			defer func() {
+				for _, hw := range windows {
+					for _, p := range hw.parts {
+						if p != nil && p.file != nil {
+							p.file.Close()
+						}
+					}
+				}
+			}()
+
+			part := func(hw *hybridWindow, key []byte) *hybridPart {
+				i := partHash(key, 0) % hybridFanout
+				p := hw.parts[i]
+				if p == nil {
+					p = &hybridPart{}
+					p.tables[0] = make(map[string]*hybridBucket)
+					p.tables[1] = make(map[string]*hybridBucket)
+					hw.parts[i] = p
+				}
+				return p
+			}
+
+			// spillLargest dumps the biggest resident partition of the
+			// window to a temp file, joined=true (its pairs are already
+			// downstream), freeing its tables.
+			spillLargest := func(hw *hybridWindow, seq uint64) error {
+				var victim *hybridPart
+				vi := -1
+				for i, p := range hw.parts {
+					if p == nil || p.spilled {
+						continue
+					}
+					if victim == nil || p.bytes > victim.bytes {
+						victim, vi = p, i
+					}
+				}
+				if victim == nil {
+					return nil // everything already spilled
+				}
+				if victim.file == nil {
+					f, err := cfg.Spill.Create(fmt.Sprintf("%s-w%d-p%d", cfg.Label, seq, vi))
+					if err != nil {
+						return err
+					}
+					victim.file = f
+				}
+				for side := 0; side < 2; side++ {
+					var frame []tuple.Tuple
+					for _, b := range victim.tables[side] {
+						for _, t := range b.rows {
+							frame = append(frame, t)
+							if len(frame) >= spillFrameRows {
+								n, err := victim.file.Append(seq, uint8(side), true, frame)
+								if err != nil {
+									return err
+								}
+								c.AddSpilled(n)
+								frame = frame[:0]
+							}
+						}
+					}
+					if len(frame) > 0 {
+						n, err := victim.file.Append(seq, uint8(side), true, frame)
+						if err != nil {
+							return err
+						}
+						c.AddSpilled(n)
+					}
+				}
+				victim.file.MarkJoined()
+				resident -= victim.bytes
+				victim.bytes = 0
+				victim.tables[0] = nil
+				victim.tables[1] = nil
+				victim.spilled = true
+				return nil
+			}
+
+			// add inserts one tuple into a resident partition: dedup
+			// identical retransmits, probe the other side, emit matches.
+			add := func(p *hybridPart, side int, key []byte, t tuple.Tuple, out []tuple.Tuple, arena []tuple.Value) ([]tuple.Tuple, []tuple.Value) {
+				mine := p.tables[side][string(key)]
+				if mine != nil {
+					for _, existing := range mine.rows {
+						if existing.Equal(t) {
+							return out, arena // duplicate retransmit
+						}
+					}
+				} else {
+					mine = &hybridBucket{}
+					p.tables[side][string(key)] = mine
+				}
+				mine.rows = append(mine.rows, t)
+				grew := t.MemSize() + int64(len(key))
+				p.bytes += grew
+				p.rows++
+				resident += grew
+				other := p.tables[1-side][string(key)]
+				if other != nil {
+					for _, o := range other.rows {
+						var j tuple.Tuple
+						if side == 0 {
+							j, arena = tuple.ConcatInto(arena, t, o)
+						} else {
+							j, arena = tuple.ConcatInto(arena, o, t)
+						}
+						out = append(out, j)
+					}
+				}
+				return out, arena
+			}
+
+			// emitJoined flushes pass output in batches.
+			emitJoined := func(seq uint64, rows []tuple.Tuple) bool {
+				for off := 0; off < len(rows); off += batchSize {
+					end := off + batchSize
+					if end > len(rows) {
+						end = len(rows)
+					}
+					batch := append(dataflow.GetBatch(), rows[off:end]...)
+					c.EmitBatch(batch)
+					if !dataflow.EmitAll(ctx, outs, dataflow.BatchMsg(batch, seq)) {
+						return false
+					}
+				}
+				return true
+			}
+
+			// loadAndJoin replays one overflow file in memory: joined
+			// frames build silently, unjoined frames build and emit.
+			loadAndJoin := func(f *spill.File, seq uint64) (bool, error) {
+				r, err := f.NewReader()
+				if err != nil {
+					return false, err
+				}
+				defer r.Close()
+				tables := [2]map[string]*hybridBucket{
+					make(map[string]*hybridBucket),
+					make(map[string]*hybridBucket),
+				}
+				var passBytes int64
+				var out []tuple.Tuple
+				var arena []tuple.Value
+				for {
+					fr, err := r.Next()
+					if err != nil {
+						break // io.EOF or a torn tail frame: stop the replay
+					}
+					side := int(fr.Side)
+					if side > 1 {
+						continue
+					}
+					for _, t := range fr.Rows {
+						if len(t) != arity[side] {
+							continue
+						}
+						w := wire.GetWriter()
+						t.AppendKey(w, keyCols[side])
+						key := w.Bytes()
+						mine := tables[side][string(key)]
+						dup := false
+						if mine != nil {
+							for _, existing := range mine.rows {
+								if existing.Equal(t) {
+									dup = true
+									break
+								}
+							}
+						} else {
+							mine = &hybridBucket{}
+							tables[side][string(key)] = mine
+						}
+						if dup {
+							wire.PutWriter(w)
+							continue
+						}
+						mine.rows = append(mine.rows, t)
+						passBytes += t.MemSize() + int64(len(key))
+						if !fr.Joined {
+							if other := tables[1-side][string(key)]; other != nil {
+								for _, o := range other.rows {
+									var j tuple.Tuple
+									if side == 0 {
+										j, arena = tuple.ConcatInto(arena, t, o)
+									} else {
+										j, arena = tuple.ConcatInto(arena, o, t)
+									}
+									out = append(out, j)
+								}
+							}
+						}
+						wire.PutWriter(w)
+					}
+				}
+				c.ObserveMem(resident + passBytes)
+				if !emitJoined(seq, out) {
+					return false, nil
+				}
+				return true, nil
+			}
+
+			// passFile re-joins one overflow file: small files load
+			// directly; larger ones re-partition into level+1 sub-files
+			// first so only one sub-partition is ever resident.
+			var passFile func(f *spill.File, level int, seq uint64) (bool, error)
+			passFile = func(f *spill.File, level int, seq uint64) (bool, error) {
+				if level >= maxSpillLevels || f.Size() <= cfg.Budget {
+					return loadAndJoin(f, seq)
+				}
+				r, err := f.NewReader()
+				if err != nil {
+					return false, err
+				}
+				subs := make([]*spill.File, hybridFanout)
+				closeSubs := func() {
+					for _, s := range subs {
+						if s != nil {
+							s.Close()
+						}
+					}
+				}
+				// Route every frame's rows to sub-files; relative order
+				// (hence joined-before-unjoined) is preserved per sub.
+				type subBuf struct {
+					rows [2][2][]tuple.Tuple // [side][joined]
+				}
+				bufs := make([]subBuf, hybridFanout)
+				flushSub := func(i int) error {
+					if subs[i] == nil {
+						s, err := cfg.Spill.Create(fmt.Sprintf("%s-l%d-p%d", cfg.Label, level, i))
+						if err != nil {
+							return err
+						}
+						subs[i] = s
+					}
+					// Joined rows first within the flush, matching the
+					// file-order invariant.
+					for _, joined := range []int{1, 0} {
+						for side := 0; side < 2; side++ {
+							rows := bufs[i].rows[side][joined]
+							if len(rows) == 0 {
+								continue
+							}
+							if _, err := subs[i].Append(seq, uint8(side), joined == 1, rows); err != nil {
+								return err
+							}
+							bufs[i].rows[side][joined] = rows[:0]
+						}
+					}
+					return nil
+				}
+				for {
+					fr, err := r.Next()
+					if err != nil {
+						break
+					}
+					side := int(fr.Side)
+					if side > 1 {
+						continue
+					}
+					j := 0
+					if fr.Joined {
+						j = 1
+					}
+					for _, t := range fr.Rows {
+						if len(t) != arity[side] {
+							continue
+						}
+						w := wire.GetWriter()
+						t.AppendKey(w, keyCols[side])
+						i := int(partHash(w.Bytes(), level) % hybridFanout)
+						wire.PutWriter(w)
+						bufs[i].rows[side][j] = append(bufs[i].rows[side][j], t)
+						if len(bufs[i].rows[side][j]) >= spillFrameRows {
+							if err := flushSub(i); err != nil {
+								r.Close()
+								closeSubs()
+								return false, err
+							}
+						}
+					}
+					// A frame boundary is a joined/unjoined boundary in
+					// the parent: flush so ordering cannot interleave.
+					for i := range bufs {
+						if err := flushSub(i); err != nil {
+							r.Close()
+							closeSubs()
+							return false, err
+						}
+					}
+				}
+				r.Close()
+				for _, s := range subs {
+					if s == nil {
+						continue
+					}
+					ok, err := passFile(s, level+1, seq)
+					if err != nil || !ok {
+						closeSubs()
+						return ok, err
+					}
+				}
+				closeSubs()
+				return true, nil
+			}
+
+			// runPasses drains every spilled partition holding unjoined
+			// tuples, across all windows.
+			runPasses := func() bool {
+				did := false
+				for seq, hw := range windows {
+					for _, p := range hw.parts {
+						if p == nil || !p.spilled || p.file == nil || !p.file.HasUnjoined() {
+							continue
+						}
+						ok, err := passFile(p.file, 1, seq)
+						if err != nil || !ok {
+							return ok && err == nil
+						}
+						p.file.MarkJoined()
+						did = true
+					}
+				}
+				if did {
+					c.AddSpillPass()
+				}
+				return true
+			}
+
+			// Pending spill appends accumulated per message, flushed as
+			// one frame per (partition, side).
+			type pendAppend struct {
+				p    *hybridPart
+				side int
+				rows []tuple.Tuple
+			}
+			var pends []pendAppend
+			appendSpilled := func(p *hybridPart, side int, t tuple.Tuple) {
+				for i := range pends {
+					if pends[i].p == p && pends[i].side == side {
+						pends[i].rows = append(pends[i].rows, t)
+						return
+					}
+				}
+				pends = append(pends, pendAppend{p: p, side: side, rows: []tuple.Tuple{t}})
+			}
+			flushPends := func(seq uint64) error {
+				for i := range pends {
+					n, err := pends[i].p.file.Append(seq, uint8(pends[i].side), false, pends[i].rows)
+					if err != nil {
+						return err
+					}
+					c.AddSpilled(n)
+				}
+				pends = pends[:0]
+				return nil
+			}
+
+			in := mergeIndexed(ctx, ins)
+			idle := time.NewTimer(hold)
+			idle.Stop()
+			defer idle.Stop()
+			spilledPending := false // unjoined spilled tuples awaiting a pass
+
+			for {
+				select {
+				case im, ok := <-in:
+					if !ok {
+						return nil
+					}
+					m := im.m
+					if m.Kind != dataflow.Data {
+						c.RecvPunct()
+						if m.Kind == dataflow.Drain {
+							// Pass before forwarding: everything the round
+							// covers must be downstream before the sink acks.
+							if !runPasses() {
+								return nil
+							}
+							spilledPending = false
+							idle.Stop()
+						}
+						if !dataflow.EmitAll(ctx, outs, m) {
+							return nil
+						}
+						continue
+					}
+					start := time.Now()
+					side := im.src
+					ts := m.Tuples(&scratch)
+					c.RecvRows(len(ts))
+					if side > 1 {
+						c.Busy(start)
+						continue
+					}
+					hw := windows[m.Seq]
+					if hw == nil {
+						hw = &hybridWindow{}
+						windows[m.Seq] = hw
+					}
+					joined := dataflow.GetBatch()
+					var arena []tuple.Value
+					if len(ts) > 0 {
+						arena = make([]tuple.Value, 0, joinedArity*len(ts))
+					}
+					for _, t := range ts {
+						if len(t) != arity[side] {
+							continue
+						}
+						w := wire.GetWriter()
+						t.AppendKey(w, keyCols[side])
+						key := w.Bytes()
+						p := part(hw, key)
+						if p.spilled {
+							appendSpilled(p, side, t)
+							wire.PutWriter(w)
+							continue
+						}
+						joined, arena = add(p, side, key, t, joined, arena)
+						wire.PutWriter(w)
+					}
+					if err := flushPends(m.Seq); err != nil {
+						return err
+					}
+					c.ObserveMem(resident)
+					if spillOn && resident > cfg.Budget {
+						for resident > cfg.Budget {
+							before := resident
+							if err := spillLargest(hw, m.Seq); err != nil {
+								return err
+							}
+							if resident == before {
+								break // everything spilled; arrivals go to disk
+							}
+						}
+					}
+					if m.Batch != nil {
+						dataflow.PutBatch(m.Batch)
+					}
+					c.Busy(start)
+					if len(joined) == 0 {
+						dataflow.PutBatch(joined)
+					} else if !dataflow.EmitAll(ctx, outs, func() dataflow.Msg {
+						c.EmitBatch(joined)
+						return dataflow.BatchMsg(joined, m.Seq)
+					}()) {
+						return nil
+					}
+					// Arm the quiet-mode pass trigger whenever spilled
+					// partitions hold unjoined tuples.
+					hasUnjoined := false
+					for _, p := range hw.parts {
+						if p != nil && p.spilled && p.file != nil && p.file.HasUnjoined() {
+							hasUnjoined = true
+							break
+						}
+					}
+					if hasUnjoined {
+						spilledPending = true
+						idle.Stop()
+						idle.Reset(hold)
+					}
+				case <-idle.C:
+					if !spilledPending {
+						continue
+					}
+					if !runPasses() {
+						return nil
+					}
+					spilledPending = false
+				case <-ctx.Done():
+					return nil
+				}
+			}
+		}
+	}
+}

@@ -21,6 +21,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/id"
 	"repro/internal/plan"
+	"repro/internal/spill"
 	"repro/internal/tuple"
 )
 
@@ -59,9 +60,31 @@ type Env struct {
 	// reporting the node's drain round to the coordinator. Nil when
 	// the harness does not track drains.
 	DrainAck func(round uint64)
-	// Bloom is the gathered phase-1 filter for Bloom joins (nil:
-	// pass everything).
-	Bloom *bloom.Filter
+	// Blooms holds the gathered phase-1 filters of the plan's Bloom
+	// join stages, keyed by stage (missing stage: pass everything).
+	// Stage 0 filters the right scan (built over the left base table);
+	// deeper stages filter the left stream before its rehash (built
+	// over the right base table — the only scannable side there).
+	Blooms map[int]*bloom.Filter
+	// JoinMemBudget caps resident build-state bytes per join-collector
+	// stage; overflow partitions spill through Spill (0: unbounded).
+	JoinMemBudget int64
+	// Spill manages this node's join overflow temp files. Nil disables
+	// spilling even with a budget set.
+	Spill *spill.Manager
+	// SpillLabel prefixes spill file names (the query ID).
+	SpillLabel string
+	// SpillHold is the idle debounce before a quiet-mode re-join pass
+	// over spilled partitions (<= 0: operator default).
+	SpillHold time.Duration
+	// FetchSwitchThreshold returns the observed left-row count at which
+	// a fetch-matches stage abandons per-tuple probing and rehash-ships
+	// the remaining stream to the stage's collectors (nil or <= 0:
+	// never switch).
+	FetchSwitchThreshold func(stage int) int64
+	// OnFetchSwitch fires when a fetch-matches stage switches
+	// strategies mid-flight (metrics hook, may be nil).
+	OnFetchSwitch func(stage int)
 	// RowBatch bounds rows per result message.
 	RowBatch int
 	// BatchSize is the vectorization width: tuples per dataflow batch
@@ -74,6 +97,28 @@ type Env struct {
 	// CollectorHold is the aggregation collector's debounce before
 	// finalizing a window.
 	CollectorHold time.Duration
+}
+
+// bloomFor resolves the gathered filter for a stage (nil: none).
+func (e *Env) bloomFor(stage int) *bloom.Filter { return e.Blooms[stage] }
+
+// fetchAdapt builds the mid-flight switch config for a fetch stage,
+// or nil when switching is disabled.
+func (e *Env) fetchAdapt(spec *plan.Spec, stage int) *FetchAdapt {
+	if e.FetchSwitchThreshold == nil || e.Rehash == nil {
+		return nil
+	}
+	thr := e.FetchSwitchThreshold(stage)
+	if thr <= 0 {
+		return nil
+	}
+	return &FetchAdapt{
+		Stage:     stage,
+		Threshold: thr,
+		LeftCols:  spec.Joins[stage].LeftCols,
+		Rehash:    e.Rehash,
+		OnSwitch:  e.OnFetchSwitch,
+	}
 }
 
 // batchSize resolves the configured vectorization width.
@@ -181,6 +226,14 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
 		p.addTail(spec, env, prev, false)
 	} else {
+		// A Bloom join past stage 0 filters the accumulated left stream
+		// before its rehash — the filter was built over the stage's
+		// right base table.
+		if stage > 0 && spec.Joins[stage].Strategy == plan.BloomJoin {
+			bp := p.Add(fmt.Sprintf("bloom-probe.%d", stage), BloomProbe(env.bloomFor(stage), spec.Joins[stage].LeftCols))
+			p.Connect(prev, bp)
+			prev = bp
+		}
 		rh := p.Add(fmt.Sprintf("rehash.%d.l", stage),
 			RehashExchange(stage, 0, spec.Joins[stage].LeftCols, env.Rehash, env.FlushRoutes, env.DrainAck))
 		p.Connect(prev, rh)
@@ -195,7 +248,7 @@ func CompileOneShot(spec *plan.Spec, env *Env) *Pipeline {
 		rprev := p.Add(fmt.Sprintf("scan.%d", s+1), ScanSource(env.Scan, sc.Namespace, sc.Schema.Arity(), env.batchSize(), env.scanWorkers()))
 		rprev = p.maybeFilter(rprev, fmt.Sprintf("filter.%d", s+1), sc.Where)
 		if s == 0 && j.Strategy == plan.BloomJoin {
-			bp := p.Add("bloom-probe", BloomProbe(env.Bloom, j.RightCols))
+			bp := p.Add("bloom-probe", BloomProbe(env.bloomFor(0), j.RightCols))
 			p.Connect(rprev, bp)
 			rprev = bp
 		}
@@ -218,9 +271,9 @@ func (p *Pipeline) addFetchChain(spec *plan.Spec, env *Env, prev *dataflow.Node,
 		fetch := func(ctx context.Context, rid id.ID) ([][]byte, error) {
 			return env.Fetch(ctx, ns, rid)
 		}
-		fm := p.Add(fmt.Sprintf("fetch-matches.%d", stage), FetchMatches(
+		fm := p.Add(fmt.Sprintf("fetch-matches.%d", stage), FetchMatchesAdaptive(
 			probeOrder(j, right), right.Schema.Arity(), right.Where,
-			j.LeftCols, j.RightCols, fetch))
+			j.LeftCols, j.RightCols, fetch, env.fetchAdapt(spec, stage)))
 		p.Connect(prev, fm)
 		prev = fm
 		stage++
@@ -265,21 +318,70 @@ func CompileJoinCollector(spec *plan.Spec, stage int, env *Env) (*Pipeline, [2]*
 	inlets := [2]*Inlet{NewInlet(), NewInlet()}
 	l := p.Add("probe-src.l", inlets[0].Source)
 	r := p.Add("probe-src.r", inlets[1].Source)
-	jp := p.Add("join-probe", JoinProbe(
+	jp := p.Add("hybrid-join", HybridJoin(
 		[2]int{spec.LeftArity(stage), spec.Scans[stage+1].Schema.Arity()},
-		[2][]int{j.LeftCols, j.RightCols}))
+		[2][]int{j.LeftCols, j.RightCols},
+		HybridJoinConfig{
+			Budget:    env.JoinMemBudget,
+			Spill:     env.Spill,
+			Label:     fmt.Sprintf("%s-s%d", env.SpillLabel, stage),
+			IdleHold:  env.SpillHold,
+			BatchSize: env.batchSize(),
+		}))
 	p.Connect(l, jp)
 	p.Connect(r, jp)
-	prev, next := p.addFetchChain(spec, env, jp, stage+1)
+	p.addJoinContinuation(spec, env, jp, stage+1)
+	return p, inlets
+}
+
+// CompileFetchCollector builds the collector pipeline of a
+// fetch-matches stage whose participants switched strategy mid-flight:
+// the rehash-shipped remainder of the left stream arrives through the
+// inlets (side 1 is never sent, but both exist so the EOS drain
+// protocol stays uniform across stage kinds), gets deduplicated, and
+// probes the published right table with a shared per-key cache. The
+// continuation — further fetch stages, the next rehash, or the plan
+// tail — is identical to CompileJoinCollector's.
+func CompileFetchCollector(spec *plan.Spec, stage int, env *Env) (*Pipeline, [2]*Inlet) {
+	p := NewPipeline(fmt.Sprintf("join-collector.%d", stage))
+	p.detail = spec.Analyze
+	j := &spec.Joins[stage]
+	right := &spec.Scans[stage+1]
+	ns := right.Namespace
+	fetch := func(ctx context.Context, rid id.ID) ([][]byte, error) {
+		return env.Fetch(ctx, ns, rid)
+	}
+	inlets := [2]*Inlet{NewInlet(), NewInlet()}
+	l := p.Add("probe-src.l", inlets[0].Source)
+	r := p.Add("probe-src.r", inlets[1].Source)
+	fc := p.Add("fetch-collector", FetchCollector(
+		probeOrder(j, right), right.Schema.Arity(), right.Where,
+		spec.LeftArity(stage), j.LeftCols, j.RightCols, fetch))
+	p.Connect(l, fc)
+	p.Connect(r, fc)
+	p.addJoinContinuation(spec, env, fc, stage+1)
+	return p, inlets
+}
+
+// addJoinContinuation appends everything after a join collector's
+// stage operator: the following run of fetch-matches stages, then
+// either the rehash toward the next symmetric stage (Bloom-filtered
+// when that stage gathered one) or the plan tail.
+func (p *Pipeline) addJoinContinuation(spec *plan.Spec, env *Env, jp *dataflow.Node, from int) {
+	prev, next := p.addFetchChain(spec, env, jp, from)
 	if next == len(spec.Joins) {
 		prev = p.maybeFilter(prev, "post-filter", spec.PostFilter)
 		p.addTail(spec, env, prev, true)
-	} else {
-		rh := p.Add(fmt.Sprintf("rehash.%d.l", next),
-			RehashExchange(next, 0, spec.Joins[next].LeftCols, env.Rehash, env.FlushRoutes, env.DrainAck))
-		p.Connect(prev, rh)
+		return
 	}
-	return p, inlets
+	if next > 0 && spec.Joins[next].Strategy == plan.BloomJoin {
+		bp := p.Add(fmt.Sprintf("bloom-probe.%d", next), BloomProbe(env.bloomFor(next), spec.Joins[next].LeftCols))
+		p.Connect(prev, bp)
+		prev = bp
+	}
+	rh := p.Add(fmt.Sprintf("rehash.%d.l", next),
+		RehashExchange(next, 0, spec.Joins[next].LeftCols, env.Rehash, env.FlushRoutes, env.DrainAck))
+	p.Connect(prev, rh)
 }
 
 // CompileAggCollector builds the aggregation-collector pipeline:

@@ -29,6 +29,13 @@ type Counters struct {
 	bytesOut atomic.Uint64
 	puncts   atomic.Uint64
 	busy     atomic.Int64
+
+	// Memory-budget observability (hybrid-hash join): high-water mark
+	// of resident build bytes, bytes spilled to temp files, and
+	// completed re-join passes over spilled partitions.
+	peakMem   atomic.Int64
+	spilled   atomic.Uint64
+	spillPass atomic.Uint64
 }
 
 // RecvRow counts one consumed data tuple.
@@ -89,6 +96,22 @@ func (c *Counters) EmitMsg(m dataflow.Msg) {
 // Busy accrues processing time since start.
 func (c *Counters) Busy(start time.Time) { c.busy.Add(int64(time.Since(start))) }
 
+// ObserveMem raises the resident-memory high-water mark to bytes.
+func (c *Counters) ObserveMem(bytes int64) {
+	for {
+		cur := c.peakMem.Load()
+		if bytes <= cur || c.peakMem.CompareAndSwap(cur, bytes) {
+			return
+		}
+	}
+}
+
+// AddSpilled counts bytes written to spill files.
+func (c *Counters) AddSpilled(bytes int64) { c.spilled.Add(uint64(bytes)) }
+
+// AddSpillPass counts one completed re-join pass over spilled state.
+func (c *Counters) AddSpillPass() { c.spillPass.Add(1) }
+
 // Stats snapshots the counters as one plan.OpStats entry.
 func (c *Counters) Stats() plan.OpStats {
 	return plan.OpStats{
@@ -100,5 +123,8 @@ func (c *Counters) Stats() plan.OpStats {
 		BytesOut:  c.bytesOut.Load(),
 		Puncts:    c.puncts.Load(),
 		BusyNanos: uint64(c.busy.Load()),
+		PeakMem:   uint64(c.peakMem.Load()),
+		Spilled:   c.spilled.Load(),
+		Passes:    c.spillPass.Load(),
 	}
 }

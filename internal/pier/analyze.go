@@ -197,6 +197,7 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 		st := catalog.TableStats{
 			Rows:       sk.Rows,
 			Distinct:   sk.Distincts(),
+			Sample:     sk.Sample.Clone(),
 			Source:     catalog.StatsMeasured,
 			MeasuredAt: measuredAt,
 			TTL:        n.cfg.StatsTTL,
@@ -280,6 +281,14 @@ func (n *Node) answerAnalyze(qid uint64, coord string, incremental bool, sampleE
 			n.localStats.Absorb(table, sk)
 		}
 		out = append(out, sketchEntry{table: table, enc: sk.Bytes()})
+		// Re-baseline the drift trigger at the freshly measured local
+		// row count. Every node answers every ANALYZE (whoever issued
+		// it), so an auto re-ANALYZE resets the whole network's
+		// baselines — the trigger is self-damping.
+		n.driftMu.Lock()
+		n.driftBase[table] = sk.Rows
+		n.driftLast[table] = time.Now()
+		n.driftMu.Unlock()
 	}
 	// Always answer — even with zero sketches — so a count-based
 	// coordinator can tell "node has nothing" from "node still working".
@@ -464,6 +473,80 @@ func (n *Node) onStatsGossip(payload []byte) {
 	if ds, err := stats.DecodeDigests(wire.NewReader(payload)); err == nil {
 		n.installDigests(ds)
 	}
+}
+
+// ---------------------------------------------------------------------------
+// Drift-triggered re-ANALYZE
+
+// statsDriftLoop watches the incremental local sketches for drift
+// away from the last measured baseline and re-issues ANALYZE for the
+// drifted table. The baseline is the local partition's row count at
+// the last rebuild (recorded in answerAnalyze, so any node's ANALYZE
+// re-baselines every node): when the live count moves past
+// StatsDriftFactor times the baseline in either direction, the
+// optimizer is planning against numbers that are off by the same
+// factor, and a fresh measurement is worth its scan. Triggers are
+// rate-limited per table by StatsDriftMinInterval; tables never
+// analyzed have no baseline and never trigger.
+func (n *Node) statsDriftLoop() {
+	defer n.wg.Done()
+	t := time.NewTicker(n.cfg.StatsDriftCheckEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-n.stopCh:
+			return
+		case <-t.C:
+			for _, table := range n.driftedTables() {
+				ctx, cancel := context.WithTimeout(context.Background(), n.cfg.MaxQueryLife)
+				_, err := n.Analyze(ctx, table)
+				cancel()
+				if err == nil {
+					n.Metrics.AutoAnalyzes.Add(1)
+				}
+			}
+		}
+	}
+}
+
+// driftedTables reports the tables whose live local row count has
+// drifted beyond the factor from the measured baseline, marking their
+// rate-limit stamps so concurrent checks never double-trigger.
+func (n *Node) driftedTables() []string {
+	factor := n.cfg.StatsDriftFactor
+	n.driftMu.Lock()
+	bases := make(map[string]int64, len(n.driftBase))
+	for t, b := range n.driftBase {
+		if time.Since(n.driftLast[t]) >= n.cfg.StatsDriftMinInterval {
+			bases[t] = b
+		}
+	}
+	n.driftMu.Unlock()
+	var out []string
+	for table, base := range bases {
+		sk := n.localStats.Snapshot(table)
+		if sk == nil {
+			continue
+		}
+		cur, ref := float64(sk.Rows), float64(base)
+		if ref < 1 {
+			ref = 1
+		}
+		if cur < 1 {
+			cur = 1
+		}
+		if cur/ref <= factor && ref/cur <= factor {
+			continue
+		}
+		n.driftMu.Lock()
+		if time.Since(n.driftLast[table]) >= n.cfg.StatsDriftMinInterval {
+			n.driftLast[table] = time.Now()
+			out = append(out, table)
+		}
+		n.driftMu.Unlock()
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ---------------------------------------------------------------------------

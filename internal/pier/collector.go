@@ -3,6 +3,7 @@ package pier
 import (
 	"repro/internal/dataflow"
 	"repro/internal/physical"
+	"repro/internal/plan"
 	"repro/internal/tuple"
 )
 
@@ -26,7 +27,17 @@ func (q *queryState) joinInlet(stage, side int) *physical.Inlet {
 	}
 	inlets, ok := q.joinInlets[stage]
 	if !ok {
-		pipe, in := physical.CompileJoinCollector(q.spec, stage, q.pipelineEnv())
+		// Symmetric/Bloom stages run the hybrid-hash join over both
+		// sides; a fetch-matches stage only ever receives rehashed
+		// tuples when participants switched strategy mid-flight, and
+		// its collector probes the published right table instead.
+		var pipe *physical.Pipeline
+		var in [2]*physical.Inlet
+		if q.spec.Joins[stage].Strategy == plan.FetchMatches {
+			pipe, in = physical.CompileFetchCollector(q.spec, stage, q.pipelineEnv())
+		} else {
+			pipe, in = physical.CompileJoinCollector(q.spec, stage, q.pipelineEnv())
+		}
 		run, err := pipe.Start(q.ctx)
 		if err != nil {
 			return nil

@@ -149,15 +149,15 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 	n.Metrics.QueriesCoordinated.Add(1)
 	defer n.dropQuery(qid)
 
-	var filter *bloom.Filter
-	if len(spec.Joins) > 0 && spec.Joins[0].Strategy == plan.BloomJoin {
+	var filters map[int]*bloom.Filter
+	if bloomStages(spec) != nil {
 		var err error
-		filter, err = n.gatherBloom(ctx, qid, spec)
+		filters, err = n.gatherBloom(ctx, qid, spec)
 		if err != nil {
 			return nil, err
 		}
 	}
-	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, filter)); err != nil {
+	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, filters)); err != nil {
 		return nil, fmt.Errorf("pier: disseminating query: %w", err)
 	}
 
@@ -353,16 +353,45 @@ func (n *Node) stopQuery(qid uint64) {
 	_ = n.router.Broadcast(tagStop, w.Bytes())
 }
 
-// gatherBloom runs Bloom-join phase 1: broadcast the request, gather
-// per-site filters of left join keys, OR them together.
-func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (*bloom.Filter, error) {
-	agg := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
+// bloomStages lists the plan's Bloom-join stages (nil when none).
+func bloomStages(spec *plan.Spec) []int {
+	var out []int
+	for s := range spec.Joins {
+		if spec.Joins[s].Strategy == plan.BloomJoin {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// bloomScanFor names the base table scanned for a stage's phase-1
+// filter and the columns fed into it. Stage 0 builds over the LEFT
+// base table's join keys and filters the right scan; deeper stages
+// cannot scan their left input (it is an intermediate stream), so the
+// filter inverts: build over the RIGHT base table, filter the left
+// stream before its rehash.
+func bloomScanFor(spec *plan.Spec, stage int) (*plan.ScanSpec, []int) {
+	if stage == 0 {
+		return &spec.Scans[0], spec.Joins[0].LeftCols
+	}
+	return &spec.Scans[stage+1], spec.Joins[stage].RightCols
+}
+
+// gatherBloom runs Bloom-join phase 1 for every Bloom stage at once:
+// broadcast one request, gather per-site per-stage filters, OR them
+// together per stage.
+func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (map[int]*bloom.Filter, error) {
+	stages := bloomStages(spec)
 	n.bloomMu.Lock()
-	n.bloomGather[qid] = agg
+	for _, s := range stages {
+		n.bloomGather[bloomKey{qid: qid, stage: s}] = bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
+	}
 	n.bloomMu.Unlock()
 	defer func() {
 		n.bloomMu.Lock()
-		delete(n.bloomGather, qid)
+		for _, s := range stages {
+			delete(n.bloomGather, bloomKey{qid: qid, stage: s})
+		}
 		n.bloomMu.Unlock()
 	}()
 	if err := n.router.Broadcast(tagBloomQ, encodeQueryMsg(qid, n.Addr(), spec, nil)); err != nil {
@@ -375,38 +404,51 @@ func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (*b
 	}
 	n.bloomMu.Lock()
 	defer n.bloomMu.Unlock()
-	return n.bloomGather[qid], nil
+	out := make(map[int]*bloom.Filter, len(stages))
+	for _, s := range stages {
+		if f := n.bloomGather[bloomKey{qid: qid, stage: s}]; f != nil {
+			out[s] = f
+		}
+	}
+	return out, nil
 }
 
-// answerBloomPhase is the participant side of phase 1: build a filter
-// over the local partition of the leftmost table's join keys (the
-// first stage's left columns) and send it back.
+// answerBloomPhase is the participant side of phase 1: for every
+// Bloom stage, build a filter over the local partition of that
+// stage's scannable base table and send it back tagged with the
+// stage.
 func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
 	if len(spec.Joins) == 0 {
 		return
 	}
 	q := &queryState{id: qid, spec: spec, coord: coord, node: n, ctx: context.Background()}
-	f := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
-	pipe := physical.CompileBloomScan(&spec.Scans[0], spec.Joins[0].LeftCols, q.pipelineEnv(), spec.Analyze, f.Add)
-	if err := pipe.Run(context.Background()); err != nil {
-		return
+	var bloomStats []plan.OpStats
+	for _, s := range bloomStages(spec) {
+		sc, keyCols := bloomScanFor(spec, s)
+		f := bloom.NewWithBits(uint64(n.cfg.BloomBits), n.cfg.BloomHashes)
+		pipe := physical.CompileBloomScan(sc, keyCols, q.pipelineEnv(), spec.Analyze, f.Add)
+		if err := pipe.Run(context.Background()); err != nil {
+			return
+		}
+		bloomStats = append(bloomStats, pipe.Stats()...)
+		w := wire.NewWriter(f.SizeBytes() + 24)
+		w.Uint64(qid)
+		w.Uvarint(uint64(s))
+		f.Encode(w)
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		_, _ = n.peer.Call(ctx, coord, methBloom, w.Bytes())
+		cancel()
 	}
 	// Phase 1 runs on an ephemeral query state (the main query is not
 	// announced yet), so its counters go to the coordinator directly
 	// on their own stats channel.
-	if spec.Analyze {
+	if spec.Analyze && len(bloomStats) > 0 {
 		if rq := n.getQuery(qid, nil); rq != nil && rq.isCoord {
-			rq.setNodeStats(n.Addr(), statsChanBloom, &plan.Analysis{Ops: pipe.Stats()})
+			rq.setNodeStats(n.Addr(), statsChanBloom, &plan.Analysis{Ops: bloomStats})
 		} else {
-			n.sendStatsRPC(qid, coord, statsChanBloom, pipe.Stats())
+			n.sendStatsRPC(qid, coord, statsChanBloom, bloomStats)
 		}
 	}
-	w := wire.NewWriter(f.SizeBytes() + 16)
-	w.Uint64(qid)
-	f.Encode(w)
-	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
-	defer cancel()
-	_, _ = n.peer.Call(ctx, coord, methBloom, w.Bytes())
 }
 
 // ---------------------------------------------------------------------------

@@ -2,6 +2,7 @@ package pier
 
 import (
 	"context"
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -46,8 +47,9 @@ type queryState struct {
 
 	participateOnce sync.Once
 
-	// Bloom filter attached to the query (BloomJoin phase 2).
-	filter *bloom.Filter
+	// Bloom filters attached to the query, keyed by join stage
+	// (BloomJoin phase 2).
+	filters map[int]*bloom.Filter
 
 	// --- physical pipelines this node runs for the query ---
 	// (participant scan/window pipeline, lazily started collectors)
@@ -257,29 +259,54 @@ func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *querySt
 // ---------------------------------------------------------------------------
 // Message encoding
 
-func encodeQueryMsg(qid uint64, coord string, spec *plan.Spec, filter *bloom.Filter) []byte {
+// bloomKey identifies one Bloom-join gather: a query's filters are
+// collected per join stage (stage 0 filters the right scan; deeper
+// stages filter the left stream).
+type bloomKey struct {
+	qid   uint64
+	stage int
+}
+
+func encodeQueryMsg(qid uint64, coord string, spec *plan.Spec, filters map[int]*bloom.Filter) []byte {
 	w := wire.NewWriter(512)
 	w.Uint64(qid)
 	w.String(coord)
-	if filter != nil {
-		w.Bool(true)
-		filter.Encode(w)
-	} else {
-		w.Bool(false)
+	stages := make([]int, 0, len(filters))
+	for s, f := range filters {
+		if f != nil {
+			stages = append(stages, s)
+		}
+	}
+	sort.Ints(stages)
+	w.Uvarint(uint64(len(stages)))
+	for _, s := range stages {
+		w.Uvarint(uint64(s))
+		filters[s].Encode(w)
 	}
 	w.BytesLP(spec.Bytes())
 	return w.Bytes()
 }
 
-func decodeQueryMsg(payload []byte) (qid uint64, coord string, spec *plan.Spec, filter *bloom.Filter, err error) {
+func decodeQueryMsg(payload []byte) (qid uint64, coord string, spec *plan.Spec, filters map[int]*bloom.Filter, err error) {
 	r := wire.NewReader(payload)
 	qid = r.Uint64()
 	coord = r.String()
-	if r.Bool() {
-		filter, err = bloom.Decode(r)
+	nf := int(r.Uvarint())
+	if nf > plan.MaxTables {
+		err = fmt.Errorf("pier: query message with %d bloom filters", nf)
+		return
+	}
+	for i := 0; i < nf; i++ {
+		stage := int(r.Uvarint())
+		var f *bloom.Filter
+		f, err = bloom.Decode(r)
 		if err != nil {
 			return
 		}
+		if filters == nil {
+			filters = make(map[int]*bloom.Filter, nf)
+		}
+		filters[stage] = f
 	}
 	specBytes := r.BytesLP()
 	if err = r.Err(); err != nil {
@@ -348,7 +375,7 @@ func joinCollectorKey(qid uint64, stage int, joinKey []byte) id.ID {
 func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 	switch tag {
 	case tagQuery:
-		qid, coord, spec, filter, err := decodeQueryMsg(payload)
+		qid, coord, spec, filters, err := decodeQueryMsg(payload)
 		if err != nil {
 			return
 		}
@@ -356,8 +383,8 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 		if q == nil {
 			return
 		}
-		if filter != nil {
-			q.filter = filter
+		if filters != nil {
+			q.filters = filters
 		}
 		q.participateOnce.Do(func() {
 			n.Metrics.QueriesParticipated.Add(1)
@@ -574,6 +601,7 @@ func (n *Node) registerHandlers() {
 	n.peer.Handle(methBloom, func(from string, req []byte) ([]byte, error) {
 		r := wire.NewReader(req)
 		qid := r.Uint64()
+		stage := int(r.Uvarint())
 		f, err := bloom.Decode(r)
 		if err != nil {
 			return nil, err
@@ -582,7 +610,7 @@ func (n *Node) registerHandlers() {
 			return nil, err
 		}
 		n.bloomMu.Lock()
-		if agg, ok := n.bloomGather[qid]; ok {
+		if agg, ok := n.bloomGather[bloomKey{qid: qid, stage: stage}]; ok {
 			_ = agg.Or(f)
 		}
 		n.bloomMu.Unlock()

@@ -1,0 +1,39 @@
+package pier
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseMemSize parses a human-readable byte size for the -join-mem
+// style flags: a plain integer is bytes, and a kb/mb/gb (or k/m/g)
+// suffix scales by binary powers. "0" and "" mean unlimited. The
+// parse is case-insensitive and allows a fractional mantissa
+// ("1.5mb").
+func ParseMemSize(s string) (int64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" || s == "0" {
+		return 0, nil
+	}
+	mult := int64(1)
+	for _, u := range []struct {
+		suffix string
+		mult   int64
+	}{
+		{"gb", 1 << 30}, {"g", 1 << 30},
+		{"mb", 1 << 20}, {"m", 1 << 20},
+		{"kb", 1 << 10}, {"k", 1 << 10},
+		{"b", 1},
+	} {
+		if strings.HasSuffix(s, u.suffix) {
+			s, mult = strings.TrimSuffix(s, u.suffix), u.mult
+			break
+		}
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || f < 0 {
+		return 0, fmt.Errorf("pier: bad memory size %q (want e.g. 65536, 64kb, 1mb)", s)
+	}
+	return int64(f * float64(mult)), nil
+}

@@ -1,0 +1,39 @@
+package pier
+
+import "testing"
+
+func TestParseMemSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"0", 0, false},
+		{"65536", 65536, false},
+		{"64kb", 64 * 1024, false},
+		{"64K", 64 * 1024, false},
+		{"1mb", 1 << 20, false},
+		{"1.5MB", 3 << 19, false},
+		{"2g", 2 << 30, false},
+		{"128b", 128, false},
+		{" 8 kb ", 8 * 1024, false},
+		{"-1", 0, true},
+		{"lots", 0, true},
+		{"1tb", 0, true},
+	}
+	for _, c := range cases {
+		got, err := ParseMemSize(c.in)
+		if c.err {
+			if err == nil {
+				t.Errorf("ParseMemSize(%q): expected error, got %d", c.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseMemSize(%q): %v", c.in, err)
+		} else if got != c.want {
+			t.Errorf("ParseMemSize(%q) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}

@@ -98,11 +98,14 @@ func assertSameRows(t *testing.T, got []tuple.Tuple, want []string, label string
 }
 
 // TestMultiwayJoinStrategies runs the same 3-table join under every
-// forcible strategy; all must return the expected rows.
+// forcible strategy; all must return the expected rows. BloomJoin
+// exercises the per-stage filter phases: stage 0 builds over the left
+// base table and prunes the right scan, stage 1 builds over the right
+// base table and prunes the rehashed left stream.
 func TestMultiwayJoinStrategies(t *testing.T) {
 	nodes, _ := cluster(t, 6, 21)
 	want := seedMultiway(t, nodes, 3, 5, 4)
-	for _, strat := range []plan.JoinStrategy{plan.SymmetricHash, plan.FetchMatches} {
+	for _, strat := range []plan.JoinStrategy{plan.SymmetricHash, plan.FetchMatches, plan.BloomJoin} {
 		s := strat
 		res, err := nodes[0].QueryWithOptions(context.Background(), multiwaySQL,
 			plan.Options{Strategy: &s})

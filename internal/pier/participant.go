@@ -2,6 +2,7 @@ package pier
 
 import (
 	"context"
+	"fmt"
 	"sync"
 	"time"
 
@@ -36,19 +37,54 @@ func (q *queryState) participate() {
 func (q *queryState) pipelineEnv() *physical.Env {
 	n := q.node
 	return &physical.Env{
-		Scan:          n.scanPayloads,
-		Fetch:         q.fetchProbe,
-		ShipRows:      q.sendRows,
-		ShipPartial:   q.shipPartials,
-		Rehash:        q.rehashShip,
-		FlushRoutes:   n.flushRoutes,
-		DrainAck:      q.eosDrainAck,
-		Bloom:         q.filter,
+		Scan:                 n.scanPayloads,
+		Fetch:                q.fetchProbe,
+		ShipRows:             q.sendRows,
+		ShipPartial:          q.shipPartials,
+		Rehash:               q.rehashShip,
+		FlushRoutes:          n.flushRoutes,
+		DrainAck:             q.eosDrainAck,
+		Blooms:               q.filters,
+		JoinMemBudget:        n.cfg.JoinMemBudget,
+		Spill:                n.spill,
+		SpillLabel:           fmt.Sprintf("q%d", q.id),
+		SpillHold:            n.cfg.CollectorHold,
+		FetchSwitchThreshold: q.fetchSwitchThreshold,
+		OnFetchSwitch: func(stage int) {
+			n.Metrics.StrategySwitches.Add(1)
+		},
 		RowBatch:      n.cfg.RowBatch,
 		BatchSize:     n.cfg.BatchSize,
 		ScanWorkers:   n.cfg.ScanParallel,
 		CollectorHold: n.cfg.CollectorHold,
 	}
+}
+
+// fetchSwitchThreshold is the mid-flight strategy-switch trip point
+// for one fetch-matches stage: SwitchFactor × the optimizer's left
+// cardinality estimate, scaled down by the cluster size (each node
+// sees roughly its share of the scan; collectors running a later
+// fetch stage see a key-partitioned share of the same order). A
+// stage with no estimate never switches — there is no premise to
+// contradict.
+func (q *queryState) fetchSwitchThreshold(stage int) int64 {
+	factor := q.node.cfg.SwitchFactor
+	if factor <= 0 || stage >= len(q.spec.Joins) {
+		return 0
+	}
+	est := q.spec.Joins[stage].EstLeft
+	if est <= 0 {
+		return 0
+	}
+	members := int64(q.node.Members())
+	if members < 1 {
+		members = 1
+	}
+	thr := int64(factor * float64(est) / float64(members))
+	if thr < 1 {
+		thr = 1
+	}
+	return thr
 }
 
 func (q *queryState) participateOneShot() {

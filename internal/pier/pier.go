@@ -26,6 +26,7 @@ import (
 	"repro/internal/kademlia"
 	"repro/internal/overlay"
 	"repro/internal/rpc"
+	"repro/internal/spill"
 	"repro/internal/stats"
 	"repro/internal/transport"
 	"repro/internal/tuple"
@@ -92,6 +93,39 @@ type Config struct {
 	// DisableCombiner turns off in-network partial combining at
 	// relays (the S2 ablation).
 	DisableCombiner bool
+
+	// JoinMemBudget caps resident join build-state bytes per join
+	// stage per node. When an in-flight join's hash tables exceed the
+	// budget, whole partitions spill to temp files and re-join in
+	// recursive passes after the in-memory pass drains — node RSS stays
+	// bounded and queries larger than memory still complete, byte-
+	// identically. 0 (default) = unbounded, never spill.
+	JoinMemBudget int64
+	// SpillDir overrides the spill temp-file base directory
+	// (default: <os tmp>/pier-spill; each node owns a PID-stamped
+	// subdirectory inside it, swept on the next start after a crash).
+	SpillDir string
+	// SwitchFactor arms mid-flight join-strategy switching: when a
+	// fetch-matches stage observes more than SwitchFactor × the
+	// optimizer's left-cardinality estimate (scaled by cluster size),
+	// the stage stops per-tuple DHT probing and rehash-ships the rest
+	// of the stream to collectors, which probe once per distinct key.
+	// Default 4; negative disables switching.
+	SwitchFactor float64
+
+	// StatsDriftFactor arms drift-triggered auto re-ANALYZE: when a
+	// table's incremental local sketch grows past factor× (or shrinks
+	// below 1/factor of) the row count recorded at its last ANALYZE,
+	// the node re-runs ANALYZE for that table. Default 4; applies only
+	// to tables that have been ANALYZEd at least once.
+	StatsDriftFactor float64
+	// StatsDriftCheckEvery is the drift check period. Default 500ms.
+	StatsDriftCheckEvery time.Duration
+	// StatsDriftMinInterval rate-limits auto re-ANALYZE per table.
+	// Default 10s.
+	StatsDriftMinInterval time.Duration
+	// DisableAutoAnalyze turns the drift trigger off.
+	DisableAutoAnalyze bool
 
 	// StatsTTL is the soft-state lifetime of ANALYZE-measured
 	// statistics (and the TTL their gossip digests carry).
@@ -160,6 +194,18 @@ func (c Config) withDefaults() Config {
 	if c.AnalyzeSampleEvery == 0 {
 		c.AnalyzeSampleEvery = 1
 	}
+	if c.SwitchFactor == 0 {
+		c.SwitchFactor = 4
+	}
+	if c.StatsDriftFactor == 0 {
+		c.StatsDriftFactor = 4
+	}
+	if c.StatsDriftCheckEvery == 0 {
+		c.StatsDriftCheckEvery = 500 * time.Millisecond
+	}
+	if c.StatsDriftMinInterval == 0 {
+		c.StatsDriftMinInterval = 10 * time.Second
+	}
 	// A route-batch delay approaching the quiescence horizon would let
 	// relay-combined partials sit past the coordinator's settle clock
 	// and silently drop them from one-shot results; cap it well inside.
@@ -178,6 +224,8 @@ type Metrics struct {
 	RowsSent            atomic.Uint64
 	JoinTuplesRehashed  atomic.Uint64
 	FetchProbes         atomic.Uint64
+	StrategySwitches    atomic.Uint64
+	AutoAnalyzes        atomic.Uint64
 }
 
 // Node is one PIER participant.
@@ -195,7 +243,11 @@ type Node struct {
 	stopped bool
 
 	bloomMu     sync.Mutex
-	bloomGather map[uint64]*bloom.Filter
+	bloomGather map[bloomKey]*bloom.Filter
+
+	// spill manages this node's join overflow temp files (hybrid-hash
+	// joins under Config.JoinMemBudget).
+	spill *spill.Manager
 
 	// localStats are the incrementally maintained per-table sketches
 	// over this node's local partition; gathers tracks in-flight
@@ -203,6 +255,13 @@ type Node struct {
 	localStats *stats.Local
 	gatherMu   sync.Mutex
 	gathers    map[uint64]*sketchGather
+
+	// driftMu guards the drift-triggered re-ANALYZE baselines: per
+	// table, the local sketch row count recorded at its last ANALYZE
+	// and the time of the last drift-triggered re-run.
+	driftMu   sync.Mutex
+	driftBase map[string]int64
+	driftLast map[string]time.Time
 
 	pendMu  sync.Mutex
 	pending map[uint64][]pendingMsg
@@ -227,11 +286,20 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		cfg:          cfg,
 		cat:          catalog.New(),
 		queries:      make(map[uint64]*queryState),
-		bloomGather:  make(map[uint64]*bloom.Filter),
+		bloomGather:  make(map[bloomKey]*bloom.Filter),
 		localStats:   stats.NewLocal(),
 		gathers:      make(map[uint64]*sketchGather),
+		driftBase:    make(map[string]int64),
+		driftLast:    make(map[string]time.Time),
 		appBroadcast: make(map[string]overlay.BroadcastFunc),
 		stopCh:       make(chan struct{}),
+	}
+	if cfg.JoinMemBudget > 0 {
+		sm, err := spill.NewManager(cfg.SpillDir)
+		if err != nil {
+			return nil, err
+		}
+		n.spill = sm
 	}
 	switch cfg.Overlay {
 	case "chord":
@@ -266,6 +334,10 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	if !cfg.DisableStatsGossip {
 		n.wg.Add(1)
 		go n.statsGossipLoop()
+	}
+	if !cfg.DisableAutoAnalyze && cfg.StatsDriftFactor > 0 {
+		n.wg.Add(1)
+		go n.statsDriftLoop()
 	}
 	return n, nil
 }
@@ -378,6 +450,19 @@ func (n *Node) Stop() {
 	n.wg.Wait()
 	n.store.Stop()
 	n.router.Stop()
+	if n.spill != nil {
+		n.spill.Close()
+	}
+}
+
+// SpillStats reports the node's spill activity: total bytes written
+// to join overflow files and files currently live (0, 0 when no
+// budget is configured).
+func (n *Node) SpillStats() (written int64, live int) {
+	if n.spill == nil {
+		return 0, 0
+	}
+	return n.spill.Written.Load(), n.spill.FileCount()
 }
 
 // DefineTable registers a table schema locally so this node can plan

@@ -166,6 +166,15 @@ type OpStats struct {
 	// the uninstrumented ops library (having, distinct, order,
 	// limit, collect) count rows/bytes but report 0 here.
 	BusyNanos uint64
+	// PeakMem is the high-water mark of resident build-state bytes at
+	// any single pipeline instance (memory-budgeted operators only).
+	// Merge takes the maximum, not the sum: the budget is per node per
+	// stage, so the interesting network-wide figure is the worst node.
+	PeakMem uint64
+	// Spilled counts bytes written to spill temp files; Passes counts
+	// completed re-join passes over spilled partitions. Both sum.
+	Spilled uint64
+	Passes  uint64
 }
 
 // Analysis is the coordinator-side accumulation of OpStats.
@@ -188,6 +197,11 @@ func (a *Analysis) Merge(ops ...OpStats) {
 				e.BytesOut += o.BytesOut
 				e.Puncts += o.Puncts
 				e.BusyNanos += o.BusyNanos
+				if o.PeakMem > e.PeakMem {
+					e.PeakMem = o.PeakMem
+				}
+				e.Spilled += o.Spilled
+				e.Passes += o.Passes
 				found = true
 				break
 			}
@@ -210,6 +224,9 @@ func (a *Analysis) Encode(w *wire.Writer) {
 		w.Uvarint(o.BytesOut)
 		w.Uvarint(o.Puncts)
 		w.Uvarint(o.BusyNanos)
+		w.Uvarint(o.PeakMem)
+		w.Uvarint(o.Spilled)
+		w.Uvarint(o.Passes)
 	}
 }
 
@@ -230,6 +247,9 @@ func DecodeAnalysis(r *wire.Reader) (*Analysis, error) {
 		o.BytesOut = r.Uvarint()
 		o.Puncts = r.Uvarint()
 		o.BusyNanos = r.Uvarint()
+		o.PeakMem = r.Uvarint()
+		o.Spilled = r.Uvarint()
+		o.Passes = r.Uvarint()
 		a.Ops = append(a.Ops, o)
 	}
 	return a, r.Err()
@@ -283,9 +303,15 @@ func (s *Spec) ExplainAnalyze(a *Analysis) string {
 			stage = o.Stage
 			fmt.Fprintf(&b, "  %s:\n", stage)
 		}
-		fmt.Fprintf(&b, "    %-16s nodes=%-3d rows_in=%-8d rows_out=%-8d bytes_out=%-9d puncts=%-5d busy=%v\n",
+		fmt.Fprintf(&b, "    %-16s nodes=%-3d rows_in=%-8d rows_out=%-8d bytes_out=%-9d puncts=%-5d busy=%v",
 			o.Op, o.Nodes, o.RowsIn, o.RowsOut, o.BytesOut, o.Puncts,
 			time.Duration(o.BusyNanos).Round(time.Microsecond))
+		// Memory-budget columns appear only where an operator tracks
+		// them, keeping unbudgeted rows byte-identical to before.
+		if o.PeakMem > 0 || o.Spilled > 0 || o.Passes > 0 {
+			fmt.Fprintf(&b, " peak_mem=%d spilled_bytes=%d spill_passes=%d", o.PeakMem, o.Spilled, o.Passes)
+		}
+		b.WriteByte('\n')
 	}
 	return b.String()
 }

@@ -150,12 +150,24 @@ func cheapestStrategy(stage int, leftRows, rightRows float64,
 			bestStrat, bestCost = FetchMatches, c
 		}
 	}
+	// Bloom join: on stage 0 the filter summarizes the left base
+	// table's join keys and prunes the right scan before it rehashes;
+	// on later stages the build side inverts — the filter summarizes
+	// the right base table (the only base relation the stage touches)
+	// and prunes the accumulated left stream instead. Either way one
+	// side ships in full and the other ships only its matching
+	// fraction, after the fixed filter-gather round trip.
+	out := joinRows(inputs, edges, order, t, leftRows, rightRows)
+	var bloomCost float64
 	if stage == 0 {
-		out := joinRows(inputs, edges, order, t, leftRows, rightRows)
 		matchFrac := math.Min(1, out/math.Max(rightRows, 1))
-		if c := bloomSetup + leftRows + matchFrac*rightRows; c < bestCost {
-			bestStrat, bestCost = BloomJoin, c
-		}
+		bloomCost = bloomSetup + leftRows + matchFrac*rightRows
+	} else {
+		matchFrac := math.Min(1, out/math.Max(leftRows, 1))
+		bloomCost = bloomSetup + rightRows + matchFrac*leftRows
+	}
+	if bloomCost < bestCost {
+		bestStrat, bestCost = BloomJoin, bloomCost
 	}
 	return bestStrat, bestCost
 }
@@ -169,9 +181,9 @@ func checkLegal(s JoinStrategy, stage int, inputs []joinInput, edges []joinEdge,
 			return fmt.Errorf("plan: fetch-matches requires the right table's key to equal the join columns")
 		}
 	case BloomJoin:
-		if stage > 0 {
-			return fmt.Errorf("plan: Bloom join is only valid on the first join stage")
-		}
+		// Legal at any stage: the filter's build side is a base-table
+		// scan by construction (left-deep plans join a base table in at
+		// every stage — the left base on stage 0, the right base after).
 	}
 	return nil
 }
@@ -212,19 +224,63 @@ func scanRows(in *joinInput) float64 {
 	return math.Max(1, rows*sel)
 }
 
-// filterSelectivity multiplies per-conjunct guesses: an equality
-// against a column with a distinct-count stat keeps 1/distinct of the
-// rows; stat-less equalities, ranges, and everything else fall back
-// to the textbook constants.
+// minSampleRows is the smallest measured row sample a selectivity
+// estimate may rest on; below it the variance dwarfs the textbook
+// constants it would replace.
+const minSampleRows = 8
+
+// filterSelectivity estimates the pushed-down filter's selectivity.
+// When the table carries a measured bottom-k row sample (from
+// ANALYZE), the whole filter is evaluated against the sampled rows —
+// a direct measurement that prices correlated conjuncts correctly,
+// which per-conjunct independence assumptions cannot. Otherwise it
+// multiplies per-conjunct guesses: an equality against a column with
+// a distinct-count stat keeps 1/distinct of the rows; stat-less
+// equalities, ranges, and everything else fall back to the textbook
+// constants.
 func filterSelectivity(in *joinInput) float64 {
 	if in.where == nil {
 		return 1
+	}
+	if sel, ok := sampleSelectivity(in); ok {
+		return sel
 	}
 	sel := 1.0
 	for _, c := range expr.Conjuncts(in.where) {
 		sel *= conjunctSelectivity(c, in)
 	}
 	return math.Max(sel, 1e-6)
+}
+
+// sampleSelectivity evaluates the resolved filter against the
+// measured row sample. Sample rows are base tuples with the table's
+// natural arity — the same positions the qualified schema the filter
+// was resolved against keeps — so the filter evaluates directly;
+// rows of another arity (a schema change since the measurement) are
+// skipped, and the estimate stands only when enough rows remain. A
+// filter matching nothing in the sample is costed at half a sample
+// row, not zero: the sample proves the predicate is rare, never that
+// it is impossible.
+func sampleSelectivity(in *joinInput) (float64, bool) {
+	if in.stats.Sample == nil {
+		return 0, false
+	}
+	arity := in.schema.Arity()
+	total, matched := 0, 0
+	for _, row := range in.stats.Sample.Rows() {
+		if len(row) != arity {
+			continue
+		}
+		total++
+		if v, err := in.where.Eval(row); err == nil && expr.Truthy(v) {
+			matched++
+		}
+	}
+	if total < minSampleRows {
+		return 0, false
+	}
+	sel := float64(matched) / float64(total)
+	return math.Max(sel, 0.5/float64(total)), true
 }
 
 func conjunctSelectivity(c expr.Expr, in *joinInput) float64 {

@@ -6,7 +6,9 @@ import (
 	"time"
 
 	"repro/internal/catalog"
+	"repro/internal/expr"
 	"repro/internal/sqlparser"
+	"repro/internal/stats"
 	"repro/internal/tuple"
 )
 
@@ -155,17 +157,28 @@ func TestOptimizerRejectsDisconnectedGraph(t *testing.T) {
 	}
 }
 
-// TestOptimizerForcedBloomBeyondStageZeroRejected: Bloom is only
-// legal on the first stage; forcing it on a 3-table plan errors.
-func TestOptimizerForcedBloomBeyondStageZeroRejected(t *testing.T) {
+// TestOptimizerForcedBloomBeyondStageZero: Bloom is legal at any
+// stage (later stages build the filter over the right base table and
+// prune the accumulated left stream); forcing it on a 3-table plan
+// pins every stage.
+func TestOptimizerForcedBloomBeyondStageZero(t *testing.T) {
 	cat := multiwayCatalog(t)
 	stmt, err := sqlparser.Parse(threeWaySQL)
 	if err != nil {
 		t.Fatal(err)
 	}
 	bl := BloomJoin
-	if _, err := Compile(stmt, cat, Options{Strategy: &bl}); err == nil {
-		t.Fatal("forced bloom on a later stage accepted")
+	spec, err := Compile(stmt, cat, Options{Strategy: &bl})
+	if err != nil {
+		t.Fatalf("forced bloom on a 3-table plan: %v", err)
+	}
+	if len(spec.Joins) != 2 {
+		t.Fatalf("got %d join stages, want 2", len(spec.Joins))
+	}
+	for i, j := range spec.Joins {
+		if j.Strategy != BloomJoin {
+			t.Fatalf("stage %d strategy %v, want BloomJoin", i, j.Strategy)
+		}
 	}
 }
 
@@ -186,6 +199,73 @@ func TestOptimizerTableLimit(t *testing.T) {
 	}
 	if _, err := Compile(stmt, cat, Options{}); err == nil {
 		t.Fatal("oversized FROM accepted")
+	}
+}
+
+// TestSampleSelectivity: with a measured row sample, the optimizer
+// prices a pushed-down filter by evaluating it against the sampled
+// rows instead of the textbook constants — including correlated
+// conjuncts, which independence-based guesses misprice.
+func TestSampleSelectivity(t *testing.T) {
+	sch := tuple.MustSchema("t", []tuple.Column{
+		{Name: "a", Type: tuple.TInt},
+		{Name: "b", Type: tuple.TInt},
+	})
+	// 16 sampled rows; a < 4 matches 4 of them. b mirrors a exactly,
+	// so `a < 4 AND b < 4` also matches 4 — an independence estimate
+	// would square the fraction.
+	sample := stats.NewSample(16)
+	for i := 0; i < 16; i++ {
+		row := tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(i))}
+		sample.Add(uint64(i+1), row.Bytes())
+	}
+	lt4 := func(col int, name string) expr.Expr {
+		return &expr.Cmp{Op: expr.LT,
+			L: &expr.Col{Name: name, Index: col},
+			R: expr.NewLit(tuple.Int(4))}
+	}
+	in := &joinInput{
+		schema:   sch,
+		where:    lt4(0, "a"),
+		stats:    catalog.TableStats{Rows: 1600, Sample: sample, Source: catalog.StatsMeasured},
+		statsSrc: catalog.StatsMeasured,
+	}
+	if sel, ok := sampleSelectivity(in); !ok || sel != 0.25 {
+		t.Fatalf("sampled selectivity = %v (ok=%v), want 0.25", sel, ok)
+	}
+	in.where = &expr.And{L: lt4(0, "a"), R: lt4(1, "b")}
+	if sel, ok := sampleSelectivity(in); !ok || sel != 0.25 {
+		t.Fatalf("correlated conjuncts = %v (ok=%v), want 0.25", sel, ok)
+	}
+	if rows := scanRows(in); rows != 400 {
+		t.Fatalf("scanRows = %v, want 400", rows)
+	}
+	// A filter matching no sampled row is rare, not impossible: floor
+	// at half a sample row.
+	in.where = &expr.Cmp{Op: expr.GT,
+		L: &expr.Col{Name: "a", Index: 0}, R: expr.NewLit(tuple.Int(100))}
+	if sel, ok := sampleSelectivity(in); !ok || sel != 0.5/16 {
+		t.Fatalf("zero-match selectivity = %v (ok=%v), want %v", sel, ok, 0.5/16)
+	}
+	// Below minSampleRows the sample proves nothing — fall back to the
+	// per-conjunct constants.
+	in.stats.Sample = stats.NewSample(4)
+	for i := 0; i < 4; i++ {
+		row := tuple.Tuple{tuple.Int(int64(i)), tuple.Int(int64(i))}
+		in.stats.Sample.Add(uint64(i+1), row.Bytes())
+	}
+	if _, ok := sampleSelectivity(in); ok {
+		t.Fatal("a 4-row sample should not drive selectivity")
+	}
+	// Rows of a stale arity (schema changed since the measurement) are
+	// skipped rather than misevaluated.
+	in.stats.Sample = stats.NewSample(32)
+	for i := 0; i < 16; i++ {
+		row := tuple.Tuple{tuple.Int(int64(i))}
+		in.stats.Sample.Add(uint64(i+1), row.Bytes())
+	}
+	if _, ok := sampleSelectivity(in); ok {
+		t.Fatal("wrong-arity sample rows should not drive selectivity")
 	}
 }
 

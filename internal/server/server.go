@@ -68,9 +68,16 @@ type Response struct {
 	Reason     string  `json:"reason,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
 	Analyze    string  `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
-	Plan       string  `json:"plan,omitempty"`    // explain
-	Sub        uint64  `json:"sub,omitempty"`     // subscribe ack
-	Shared     bool    `json:"shared,omitempty"`  // subscription rides a shared scan
+	// Join memory accounting, summarized from the EXPLAIN ANALYZE
+	// counters (set only when the query ran with analyze): the worst
+	// single operator's resident high-water mark, total bytes spilled
+	// to temp files, and total recursive spill passes network-wide.
+	PeakMem      uint64 `json:"peak_mem,omitempty"`
+	SpilledBytes uint64 `json:"spilled_bytes,omitempty"`
+	SpillPasses  uint64 `json:"spill_passes,omitempty"`
+	Plan         string `json:"plan,omitempty"`   // explain
+	Sub          uint64 `json:"sub,omitempty"`    // subscribe ack
+	Shared       bool   `json:"shared,omitempty"` // subscription rides a shared scan
 
 	Cache   *engine.CacheStats      `json:"cache,omitempty"`
 	Entries []engine.CacheEntryInfo `json:"entries,omitempty"`
@@ -288,7 +295,7 @@ func (cc *clientConn) query(req Request) (Response, error) {
 }
 
 func resultResponse(res *pier.Result, start time.Time) Response {
-	return Response{
+	resp := Response{
 		Columns:      res.Columns,
 		Rows:         encodeRows(res.Rows),
 		Participants: res.Participants,
@@ -296,6 +303,16 @@ func resultResponse(res *pier.Result, start time.Time) Response {
 		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
 		Analyze:      res.AnalyzeReport,
 	}
+	if res.Analysis != nil {
+		for _, o := range res.Analysis.Ops {
+			if o.PeakMem > resp.PeakMem {
+				resp.PeakMem = o.PeakMem
+			}
+			resp.SpilledBytes += o.Spilled
+			resp.SpillPasses += o.Passes
+		}
+	}
+	return resp
 }
 
 func (cc *clientConn) subscribe(req Request) (Response, error) {

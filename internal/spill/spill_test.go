@@ -1,0 +1,168 @@
+package spill
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tuple"
+)
+
+func row(i int) tuple.Tuple {
+	return tuple.Tuple{tuple.Int(int64(i)), tuple.String(fmt.Sprintf("row-%d", i))}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	f, err := m.Create("stage0-part3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(0, 1, true, []tuple.Tuple{row(1), row(2)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(7, 0, false, []tuple.Tuple{row(3)}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	fr, err := r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fr.Joined || fr.Side != 1 || len(fr.Rows) != 2 || !fr.Rows[0].Equal(row(1)) {
+		t.Fatalf("first frame = %+v", fr)
+	}
+	fr, err = r.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Joined || fr.Side != 0 || fr.Window != 7 || len(fr.Rows) != 1 || !fr.Rows[0].Equal(row(3)) {
+		t.Fatalf("second frame = %+v", fr)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestWatermarkPromotesJoined(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	f, err := m.Create("wm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(0, 0, false, []tuple.Tuple{row(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if !f.HasUnjoined() {
+		t.Fatal("expected unjoined data before MarkJoined")
+	}
+	f.MarkJoined()
+	if f.HasUnjoined() {
+		t.Fatal("expected no unjoined data after MarkJoined")
+	}
+	if _, err := f.Append(0, 0, false, []tuple.Tuple{row(2)}); err != nil {
+		t.Fatal(err)
+	}
+	r, err := f.NewReader()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	fr, _ := r.Next()
+	if !fr.Joined {
+		t.Fatal("frame behind watermark must read as joined")
+	}
+	fr, _ = r.Next()
+	if fr.Joined {
+		t.Fatal("frame past watermark must read as unjoined")
+	}
+}
+
+func TestManagerCloseRemovesEverything(t *testing.T) {
+	base := t.TempDir()
+	m, err := NewManager(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := m.Create("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(0, 0, false, []tuple.Tuple{row(1)}); err != nil {
+		t.Fatal(err)
+	}
+	dir := m.Dir()
+	m.Close()
+	if _, err := os.Stat(dir); !os.IsNotExist(err) {
+		t.Fatalf("spill dir %s survived Close (err=%v)", dir, err)
+	}
+	m.Close() // idempotent
+}
+
+func TestSweepStaleDirs(t *testing.T) {
+	base := t.TempDir()
+	// A directory stamped with a certainly-dead PID must be swept; one
+	// stamped with our own must survive.
+	dead := filepath.Join(base, "pid999999999-dead")
+	if err := os.MkdirAll(dead, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	alive := filepath.Join(base, fmt.Sprintf("pid%d-alive", os.Getpid()))
+	if err := os.MkdirAll(alive, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewManager(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := os.Stat(dead); !os.IsNotExist(err) {
+		t.Fatalf("dead-PID dir survived sweep (err=%v)", err)
+	}
+	if _, err := os.Stat(alive); err != nil {
+		t.Fatalf("live-PID dir was swept: %v", err)
+	}
+}
+
+func TestFileCloseDeletes(t *testing.T) {
+	m, err := NewManager(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	f, err := m.Create("gone")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Append(0, 0, false, []tuple.Tuple{row(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if m.FileCount() != 1 {
+		t.Fatalf("FileCount = %d", m.FileCount())
+	}
+	f.Close()
+	if m.FileCount() != 0 {
+		t.Fatalf("FileCount after Close = %d", m.FileCount())
+	}
+	entries, err := os.ReadDir(m.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("spill dir still holds %d files", len(entries))
+	}
+}

@@ -495,6 +495,29 @@ func (t Tuple) AppendKey(w *wire.Writer, cols []int) {
 	}
 }
 
+// valueHeaderSize approximates the in-memory footprint of one Value
+// struct (kind tag, scalar union, slice/string headers). The exact
+// figure depends on architecture padding; memory budgeting needs a
+// stable, cheap estimate rather than unsafe.Sizeof precision.
+const valueHeaderSize = 80
+
+// MemSize estimates the resident heap bytes a retained tuple pins:
+// the slot array plus any out-of-line string/byte payloads. Used by
+// memory-budgeted operators (hybrid-hash join) to account build state
+// against pier.Config.JoinMemBudget.
+func (t Tuple) MemSize() int64 {
+	size := int64(len(t)) * valueHeaderSize
+	for _, v := range t {
+		switch v.Kind {
+		case TString:
+			size += int64(len(v.S))
+		case TBytes:
+			size += int64(len(v.Bs))
+		}
+	}
+	return size
+}
+
 // String renders the row as (a, b, c).
 func (t Tuple) String() string {
 	parts := make([]string, len(t))
