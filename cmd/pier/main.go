@@ -379,8 +379,8 @@ func runQuery(sess *engine.Session, sql string, explain bool) {
 	for _, row := range res.Rows {
 		fmt.Printf("  %v\n", row)
 	}
-	fmt.Printf("(%d rows, %d participants, %v%s)\n", len(res.Rows), res.Participants,
-		res.Duration.Round(time.Millisecond), completionNote(res.Reason))
+	fmt.Printf("(%d rows, %d participants, %v%s%s)\n", len(res.Rows), res.Participants,
+		res.Duration.Round(time.Millisecond), completionNote(res.Reason), coverageNote(res))
 	if res.AnalyzeReport != "" {
 		fmt.Print(res.AnalyzeReport)
 	}
@@ -395,11 +395,23 @@ func completionNote(reason string) string {
 		return ""
 	case pier.ReasonQuietTimeout:
 		return ", INCOMPLETE: quiet-timeout"
+	case pier.ReasonChurnDegraded:
+		return ", INCOMPLETE: churn-degraded"
 	case pier.ReasonDeadline:
 		return ", INCOMPLETE: deadline"
 	default:
 		return ", " + reason
 	}
+}
+
+// coverageNote tags a result that reflects only part of the table
+// partitions (members lost mid-query). Full coverage and untracked
+// clusters (Coverage zero) print nothing.
+func coverageNote(res *pier.Result) string {
+	if res.Coverage <= 0 || res.Coverage >= 1 {
+		return ""
+	}
+	return fmt.Sprintf(", COVERAGE %.0f%%", res.Coverage*100)
 }
 
 func runContinuous(sess *engine.Session, sql string, explain bool) {
@@ -469,8 +481,8 @@ func runPrepared(sess *engine.Session, name string, explain bool) {
 		for _, row := range res.Rows {
 			fmt.Printf("  %v\n", row)
 		}
-		fmt.Printf("(%d rows, %d participants, %v%s)\n", len(res.Rows), res.Participants,
-			res.Duration.Round(time.Millisecond), completionNote(res.Reason))
+		fmt.Printf("(%d rows, %d participants, %v%s%s)\n", len(res.Rows), res.Participants,
+			res.Duration.Round(time.Millisecond), completionNote(res.Reason), coverageNote(res))
 		return
 	}
 	fmt.Printf("error: no prepared statement %q\n", name)

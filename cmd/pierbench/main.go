@@ -8,6 +8,7 @@
 //	pierbench -experiment hops
 //	pierbench -experiment aggtree
 //	pierbench -experiment joins
+//	pierbench -experiment survival
 //	pierbench -experiment churn
 //	pierbench -experiment search
 //	pierbench -experiment recursive
@@ -135,9 +136,14 @@ func main() {
 			return joins(*n, *seed, rec)
 		})
 	}
+	if want("survival") {
+		run("survival", func() error {
+			return survival(*n, *seed)
+		})
+	}
 	if want("churn") {
 		run("churn", func() error {
-			return churn(*n, *seed)
+			return churn(*n, *seed, rec)
 		})
 	}
 	if want("search") {
@@ -461,7 +467,9 @@ func joins(n int, seed int64, rec *recorder) error {
 	return nil
 }
 
-func churn(n int, seed int64) error {
+// survival is the DHT data-survival experiment (items alive after a
+// mass crash, by replica count).
+func survival(n int, seed int64) error {
 	results, err := bench.ChurnSurvival(n, 60, 0, []int{-1, 1, 2, 4}, seed)
 	if err != nil {
 		return err
@@ -473,6 +481,48 @@ func churn(n int, seed int64) error {
 			reps = 0
 		}
 		fmt.Printf("%-10d %10d %9.0f%%\n", reps, r.Survived, 100*r.SurvivedFrac)
+	}
+	return nil
+}
+
+// churn is the query-under-churn experiment: one-shot queries against
+// clusters flapping at scripted rates, recording success rate,
+// coverage distribution, and completion latency against the
+// zero-churn baseline cell of the same size.
+func churn(n int, seed int64, rec *recorder) error {
+	out, err := bench.ChurnQuery(bench.ChurnQueryConfig{N: n, Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-6s %10s %10s %10s %10s %10s %10s   %s\n",
+		"nodes", "churn", "queries", "ok", "cov mean", "cov min", "p50", "p95", "reasons")
+	for _, cell := range out.Cells {
+		fmt.Printf("%-6d %-6s %10d %10d %10.3f %10.3f %10v %10v   %s\n",
+			cell.N, cell.Level, cell.Queries, cell.Succeeded,
+			cell.CoverageMean, cell.CoverageMin,
+			cell.P50.Round(time.Millisecond), cell.P95.Round(time.Millisecond),
+			bench.ReasonHistogram(cell.Reasons))
+		tag := fmt.Sprintf(".%d.%s", cell.N, cell.Level)
+		rec.metric("churn-ok"+tag, float64(cell.Succeeded))
+		rec.metric("churn-queries"+tag, float64(cell.Queries))
+		rec.metric("churn-cov-mean"+tag, cell.CoverageMean)
+		rec.metric("churn-cov-min"+tag, cell.CoverageMin)
+		rec.metric("churn-p50-ms"+tag, float64(cell.P50.Milliseconds()))
+		rec.metric("churn-p95-ms"+tag, float64(cell.P95.Milliseconds()))
+		rec.metric("churn-eos"+tag, float64(cell.Reasons[pier.ReasonEOS]))
+		rec.metric("churn-degraded"+tag, float64(cell.Reasons[pier.ReasonChurnDegraded]))
+		if cell.Succeeded == 0 {
+			return fmt.Errorf("n=%d level=%s: no query succeeded", cell.N, cell.Level)
+		}
+		if cell.Level == "none" {
+			if cell.CoverageMin != 1 {
+				return fmt.Errorf("n=%d zero-churn coverage dipped to %v", cell.N, cell.CoverageMin)
+			}
+			if got := cell.Reasons[pier.ReasonEOS]; got != cell.Succeeded {
+				return fmt.Errorf("n=%d zero-churn: only %d/%d queries completed via eos: %v",
+					cell.N, got, cell.Succeeded, cell.Reasons)
+			}
+		}
 	}
 	return nil
 }

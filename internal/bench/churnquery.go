@@ -1,0 +1,268 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/pier"
+	"repro/internal/piertest"
+	"repro/internal/simnet"
+	"repro/internal/tuple"
+)
+
+// ChurnQuery: the robustness experiment — one-shot queries running
+// while the cluster loses and regains members under a seeded churn
+// script. Measures what the paper's relaxed-consistency story
+// promises: queries keep completing (without waiting out the
+// quiescence timer), and the result honestly reports which fraction
+// of the table partitions it reflects. The zero-churn cell of each
+// size is the latency/coverage baseline the churned cells compare
+// against.
+
+// ChurnQueryConfig parameterizes the experiment.
+type ChurnQueryConfig struct {
+	// N pins a single cluster size (0 = the default size matrix,
+	// which includes a ≥1k-node cell).
+	N int
+	// Seed drives both the simulation and the churn script.
+	Seed int64
+	// Queries per cell (0 = default, scaled down for huge cells).
+	Queries int
+	// Levels selects churn levels by name ("none", "low", "high");
+	// empty = all three.
+	Levels []string
+}
+
+// ChurnQueryCell is one (size, churn level) measurement.
+type ChurnQueryCell struct {
+	N     int
+	Level string
+	// CrashPerMin is the scripted per-node crash rate.
+	CrashPerMin float64
+	Queries     int
+	// Succeeded counts queries that returned a result at all.
+	Succeeded int
+	// Reasons counts completion reasons over the succeeded queries.
+	Reasons map[string]int
+	// CoverageMean / CoverageMin summarize the reported coverage
+	// distribution over succeeded queries (1.0 = full).
+	CoverageMean float64
+	CoverageMin  float64
+	P50, P95     time.Duration
+}
+
+// ChurnQueryResult is the whole experiment.
+type ChurnQueryResult struct {
+	Cells []ChurnQueryCell
+}
+
+// churnLevel is a named churn intensity.
+type churnLevel struct {
+	name  string
+	rates simnet.ChurnRates
+}
+
+func churnLevels() []churnLevel {
+	return []churnLevel{
+		{name: "none"},
+		{name: "low", rates: simnet.ChurnRates{
+			CrashPerMin: 0.05, // 5% of nodes flap per minute
+			DownForMin:  time.Second,
+			DownForMax:  3 * time.Second,
+		}},
+		{name: "high", rates: simnet.ChurnRates{
+			CrashPerMin:     0.20, // 20%/min, plus partitions and storms
+			DownForMin:      time.Second,
+			DownForMax:      3 * time.Second,
+			PartitionPerMin: 1,
+			HealAfter:       time.Second,
+			StormPerMin:     1,
+			StormFactor:     4,
+			StormFor:        500 * time.Millisecond,
+		}},
+	}
+}
+
+// churnNodeCfg tunes the simulation-scale config for the cell size:
+// big rings get slower protocol timers (less background traffic per
+// simulated second) and a longer query-life bound.
+func churnNodeCfg(n int) pier.Config {
+	cfg := piertest.FastConfig()
+	cfg.HeartbeatEvery = 50 * time.Millisecond
+	if n >= 512 {
+		cfg.Chord.StabilizeEvery = 50 * time.Millisecond
+		cfg.Chord.FixFingersEvery = 10 * time.Millisecond
+		cfg.Chord.CheckPredEvery = 100 * time.Millisecond
+		cfg.Quiet = 1200 * time.Millisecond
+		cfg.HeartbeatEvery = 150 * time.Millisecond
+		// On a single-core host a 1k-goroutine-node process sees
+		// scheduling delays well past the default 3-beat window;
+		// widen it so suspicion means churn, not CPU contention.
+		cfg.SuspectAfter = 8
+		cfg.MaxQueryLife = 30 * time.Second
+	}
+	return cfg
+}
+
+// ChurnQuery runs the query-under-churn matrix.
+func ChurnQuery(cfg ChurnQueryConfig) (*ChurnQueryResult, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	sizes := []int{256, 1024}
+	if cfg.N > 0 {
+		sizes = []int{cfg.N}
+	}
+	want := make(map[string]bool)
+	for _, l := range cfg.Levels {
+		want[l] = true
+	}
+	out := &ChurnQueryResult{}
+	for _, n := range sizes {
+		for _, lvl := range churnLevels() {
+			if len(want) > 0 && !want[lvl.name] {
+				continue
+			}
+			if n >= 1024 && lvl.name != "low" && cfg.N == 0 {
+				// The huge cell exists to prove scale, not to sweep
+				// every level: one churned row is enough.
+				continue
+			}
+			queries := cfg.Queries
+			if queries == 0 {
+				queries = 10
+				if n >= 1024 {
+					queries = 6
+				}
+			}
+			cell, err := churnQueryCell(n, lvl, queries, cfg.Seed)
+			if err != nil {
+				return nil, fmt.Errorf("n=%d level=%s: %w", n, lvl.name, err)
+			}
+			out.Cells = append(out.Cells, *cell)
+		}
+	}
+	return out, nil
+}
+
+func churnQueryCell(n int, lvl churnLevel, queries int, seed int64) (*ChurnQueryCell, error) {
+	c, err := piertest.New(piertest.Options{
+		N: n, Seed: seed,
+		NodeCfg:         cfgPtr(churnNodeCfg(n)),
+		ConvergeTimeout: 5 * time.Minute,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	if err := churnSeedTraffic(c.Nodes); err != nil {
+		return nil, err
+	}
+
+	// Churn everything except the coordinator: a dead coordinator is a
+	// failed client, not a degraded query — different experiment.
+	var churner *simnet.Churner
+	if lvl.rates.CrashPerMin > 0 || lvl.rates.PartitionPerMin > 0 || lvl.rates.StormPerMin > 0 {
+		targets := make([]string, 0, len(c.Nodes)-1)
+		for _, nd := range c.Nodes[1:] {
+			targets = append(targets, nd.Addr())
+		}
+		script := simnet.GenerateScript(targets, 2*time.Minute, lvl.rates, seed)
+		churner = simnet.NewChurner(c.Net, script)
+		churner.Start()
+		defer func() {
+			churner.Stop()
+			c.Net.Heal()
+			c.Net.SetLatencyFactor(1)
+		}()
+	}
+
+	cell := &ChurnQueryCell{
+		N: n, Level: lvl.name, CrashPerMin: lvl.rates.CrashPerMin,
+		Queries: queries, Reasons: map[string]int{}, CoverageMin: 1,
+	}
+	// Pace the queries across the script's timeline: back-to-back
+	// runs would finish in well under a second of simulated churn and
+	// measure an effectively stable network. ~1.5s apart, a 10-query
+	// cell spans enough scripted crash/rejoin cycles for the coverage
+	// distribution to mean something.
+	interval := 1500 * time.Millisecond
+	if lvl.rates.CrashPerMin == 0 {
+		interval = 0 // the baseline cell has nothing to wait for
+	}
+	cellStart := time.Now()
+	var lats []time.Duration
+	var covSum float64
+	coord := c.Nodes[0]
+	for q := 0; q < queries; q++ {
+		if interval > 0 {
+			if wait := time.Until(cellStart.Add(time.Duration(q) * interval)); wait > 0 {
+				time.Sleep(wait)
+			}
+		}
+		start := time.Now()
+		res, err := coord.Query(context.Background(), "SELECT node, rate FROM traffic")
+		if err != nil {
+			continue // a lost broadcast under churn is a failed query
+		}
+		cell.Succeeded++
+		cell.Reasons[res.Reason]++
+		lats = append(lats, time.Since(start))
+		covSum += res.Coverage
+		if res.Coverage < cell.CoverageMin {
+			cell.CoverageMin = res.Coverage
+		}
+	}
+	if cell.Succeeded > 0 {
+		cell.CoverageMean = covSum / float64(cell.Succeeded)
+		cell.P50 = percentileDur(lats, 0.50)
+		cell.P95 = percentileDur(lats, 0.95)
+	} else {
+		cell.CoverageMin = 0
+	}
+	return cell, nil
+}
+
+// churnSeedTraffic defines the traffic table everywhere and loads one
+// local row per node — coverage then counts served partitions exactly.
+func churnSeedTraffic(nodes []*pier.Node) error {
+	traffic := tuple.MustSchema("traffic", []tuple.Column{
+		{Name: "node", Type: tuple.TString},
+		{Name: "rate", Type: tuple.TFloat},
+	}, "node")
+	for _, nd := range nodes {
+		if err := nd.DefineTable(traffic, 10*time.Minute); err != nil {
+			return err
+		}
+	}
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple.Tuple{
+			tuple.String(nd.Addr()), tuple.Float(float64(i + 1)),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func cfgPtr(cfg pier.Config) *pier.Config { return &cfg }
+
+// ReasonHistogram renders a completion-reason histogram
+// deterministically ("churn-degraded:3 eos:7").
+func ReasonHistogram(reasons map[string]int) string {
+	keys := make([]string, 0, len(reasons))
+	for k := range reasons {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		out += fmt.Sprintf("%s:%d", k, reasons[k])
+	}
+	return out
+}

@@ -39,6 +39,15 @@ type Config struct {
 	// MaxItemsPerNamespace bounds local storage per namespace
 	// (receiver overload protection). Default 100000.
 	MaxItemsPerNamespace int
+	// GetRetries bounds the Get attempt loop. Each attempt re-resolves
+	// the key's owner through the overlay and backs off exponentially
+	// (starting at GetBackoff), so a Get issued while the owner is
+	// crashing succeeds against the stabilized successor — which holds
+	// the replica. Default 4 attempts.
+	GetRetries int
+	// GetBackoff is the first retry's delay; it doubles per attempt.
+	// Default 25ms.
+	GetBackoff time.Duration
 	// Batch configures per-destination coalescing of the Put and
 	// republish-repair route traffic. Default on; set Batch.Disabled
 	// to route every item individually. Ignored when the router
@@ -59,6 +68,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxItemsPerNamespace == 0 {
 		c.MaxItemsPerNamespace = 100000
+	}
+	if c.GetRetries == 0 {
+		c.GetRetries = 4
+	}
+	if c.GetBackoff == 0 {
+		c.GetBackoff = 25 * time.Millisecond
 	}
 	return c
 }
@@ -362,8 +377,13 @@ func (s *Store) getLocal(ns string, rid id.ID) [][]byte {
 }
 
 // Get fetches all live items stored under (ns, rid), querying the
-// current owner of the storage key. One retry re-resolves ownership,
-// covering the owner having just failed.
+// current owner of the storage key. Failed attempts retry with
+// exponential backoff (Config.GetRetries / GetBackoff), re-resolving
+// ownership each time: when the owner just crashed, the overlay
+// stabilizes onto its successor during the backoff — and the
+// successor is exactly where the replicas were pushed, so the retry
+// lands on a copy. This is the replica-aware repair path for
+// fetch-matches probes under churn.
 func (s *Store) Get(ctx context.Context, ns string, rid id.ID) ([][]byte, error) {
 	s.metrics.Gets.Add(1)
 	key := StorageKey(ns, rid)
@@ -372,7 +392,16 @@ func (s *Store) Get(ctx context.Context, ns string, rid id.ID) ([][]byte, error)
 	w.Raw(rid[:])
 	req := w.Bytes()
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	backoff := s.cfg.GetBackoff
+	for attempt := 0; attempt < s.cfg.GetRetries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, fmt.Errorf("dht: get %s/%s: %w", ns, rid.Short(), lastErr)
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
 		owner, _, err := s.router.Lookup(ctx, key)
 		if err != nil {
 			lastErr = err

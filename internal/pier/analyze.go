@@ -146,7 +146,12 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 	// (an ANALYZE gather is a single burst per node, so a missed
 	// straggler directly skews the estimate), bounded by MaxQueryLife
 	// and the caller's context.
-	members := n.Members()
+	// EffectiveMembers subtracts members the liveness registry
+	// currently suspects dead (trained by query heartbeats), so a
+	// gather after a crash completes on the surviving count instead
+	// of paying the whole quiescence horizon for answers that will
+	// never come.
+	members := n.EffectiveMembers()
 	reason := ReasonQuietTimeout
 	deadline := start.Add(n.cfg.MaxQueryLife)
 	horizon := 2 * n.cfg.Quiet
@@ -167,6 +172,12 @@ func (n *Node) Analyze(ctx context.Context, tables ...string) (*AnalyzeResult, e
 		last := g.last
 		answered := len(g.nodes)
 		n.gatherMu.Unlock()
+		// A member suspected mid-gather (by a concurrently running
+		// query's heartbeat detector) shrinks the expected count;
+		// shrink only, so late rehabilitation never un-completes us.
+		if m := n.EffectiveMembers(); m > 0 && m < members {
+			members = m
+		}
 		if members > 0 && answered >= members {
 			reason = ReasonEOS
 			break
@@ -342,6 +353,7 @@ func (n *Node) deliverSketches(qid uint64, from string, entries []sketchEntry) {
 // (called from registerHandlers).
 func (n *Node) registerStatsHandlers() {
 	n.peer.Handle(methSketch, func(from string, req []byte) ([]byte, error) {
+		n.clearSuspect(from) // an answer proves the member is alive
 		r := wire.NewReader(req)
 		qid := r.Uint64()
 		count := int(r.Uvarint())

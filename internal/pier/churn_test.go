@@ -1,0 +1,193 @@
+package pier
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// Churn-tolerant execution: queries over a cluster losing members must
+// complete without waiting out the quiescence timer, and the result
+// must say exactly which fraction of the table partitions it reflects.
+
+// TestCrashBeforeQueryDegradesCoverage kills one member, lets the ring
+// heal, and runs a scan: the coordinator must complete churn-degraded
+// on the survivors' ledgers (not the quiet fallback), with coverage
+// accounting for exactly the served partitions.
+func TestCrashBeforeQueryDegradesCoverage(t *testing.T) {
+	const n = 8
+	nodes, net := cluster(t, n, 901)
+	setMembers(nodes, n)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Crash a non-coordinator member and let chord route around it so
+	// the query broadcast reaches every survivor.
+	net.SetDown(nodes[6].Addr(), true)
+	time.Sleep(300 * time.Millisecond)
+
+	res, err := nodes[0].Query(context.Background(), "SELECT node, rate FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonChurnDegraded {
+		t.Fatalf("completion reason %q, want %q", res.Reason, ReasonChurnDegraded)
+	}
+	if res.Coverage <= 0 || res.Coverage >= 1 {
+		t.Fatalf("coverage %v, want in (0, 1)", res.Coverage)
+	}
+	// Served partitions and delivered rows are the same nodes: one row
+	// per surviving member that got the broadcast, none fabricated.
+	served := int(res.Coverage*n + 0.5)
+	if len(res.Rows) != served {
+		t.Fatalf("%d rows but coverage says %d/%d partitions", len(res.Rows), served, n)
+	}
+	if cov := res.CoverageByTable["traffic"]; cov != res.Coverage {
+		t.Fatalf("per-table coverage %v != overall %v (single scan)", cov, res.Coverage)
+	}
+	for _, row := range res.Rows {
+		if row[0].S == nodes[6].Addr() {
+			t.Fatalf("result contains the dead node's row: %v", row)
+		}
+	}
+	if res.Duration > nodes[0].cfg.MaxQueryLife/2 {
+		t.Fatalf("degraded completion took %v — churn path did not engage", res.Duration)
+	}
+}
+
+// TestNoChurnFullCoverage: on a stable cluster the EOS proof completes
+// the query and coverage is exactly 1.0 — the honesty tag never
+// underclaims a provably complete result.
+func TestNoChurnFullCoverage(t *testing.T) {
+	nodes, _ := cluster(t, 6, 902)
+	setMembers(nodes, 6)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := nodes[2].Query(context.Background(), "SELECT node, rate FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonEOS {
+		t.Fatalf("completion reason %q, want %q", res.Reason, ReasonEOS)
+	}
+	if res.Coverage != 1 {
+		t.Fatalf("coverage %v, want exactly 1", res.Coverage)
+	}
+	if cov := res.CoverageByTable["traffic"]; cov != 1 {
+		t.Fatalf("per-table coverage %v, want 1", cov)
+	}
+}
+
+// TestCoverageUntrackedMembers: without a configured member count
+// there is no denominator — coverage must report untracked (zero, nil
+// map), never a made-up fraction.
+func TestCoverageUntrackedMembers(t *testing.T) {
+	nodes, _ := cluster(t, 4, 903)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, err := nodes[1].Query(context.Background(), "SELECT node, rate FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Coverage != 0 || res.CoverageByTable != nil {
+		t.Fatalf("untracked cluster reported coverage %v / %v", res.Coverage, res.CoverageByTable)
+	}
+}
+
+// TestCrashMidQueryCompletes crashes a member while the query is in
+// flight. The exact completion depends on how far the victim got, but
+// the query must always terminate promptly, and the reason must match
+// the coverage: a claimed-complete result has coverage 1, a degraded
+// one strictly less.
+func TestCrashMidQueryCompletes(t *testing.T) {
+	const n = 8
+	nodes, net := cluster(t, n, 904)
+	setMembers(nodes, n)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	victim := nodes[5].Addr()
+	timer := time.AfterFunc(20*time.Millisecond, func() { net.SetDown(victim, true) })
+	defer timer.Stop()
+	res, err := nodes[0].Query(context.Background(), "SELECT node, rate FROM traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	switch res.Reason {
+	case ReasonEOS:
+		if res.Coverage != 1 {
+			t.Fatalf("eos completion with coverage %v", res.Coverage)
+		}
+	case ReasonChurnDegraded:
+		if res.Coverage <= 0 || res.Coverage >= 1 {
+			t.Fatalf("degraded completion with coverage %v, want in (0, 1)", res.Coverage)
+		}
+	case ReasonQuietTimeout:
+		// The fallback may still win the race; it equally marks the
+		// result potentially partial.
+	default:
+		t.Fatalf("unexpected completion reason %q", res.Reason)
+	}
+	if res.Duration > nodes[0].cfg.MaxQueryLife/2 {
+		t.Fatalf("completion took %v under a single crash", res.Duration)
+	}
+}
+
+// TestAnalyzeRescalesOnSuspicion: an ANALYZE gather sizes its expected
+// answer count by EffectiveMembers, so a trained suspicion lets it
+// complete on the survivors instead of paying the doubled quiescence
+// horizon — and a rejoined member's RPC traffic rehabilitates it.
+func TestAnalyzeRescalesOnSuspicion(t *testing.T) {
+	const n = 6
+	nodes, net := cluster(t, n, 905)
+	setMembers(nodes, n)
+	defineEverywhere(t, nodes, trafficSchema, time.Minute)
+	for i, nd := range nodes {
+		if err := nd.PublishLocal("traffic", tuple32(nd.Addr(), float64(i+1))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	dead := nodes[4].Addr()
+	net.SetDown(dead, true)
+	time.Sleep(300 * time.Millisecond) // let chord route around the body
+	// Train the node-level registry the way a query coordinator would.
+	nodes[0].markSuspect(dead)
+	if m := nodes[0].EffectiveMembers(); m != n-1 {
+		t.Fatalf("EffectiveMembers %d with one suspect, want %d", m, n-1)
+	}
+
+	res, err := nodes[0].Analyze(context.Background(), "traffic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Reason != ReasonEOS {
+		t.Fatalf("analyze completed %q on %d survivors, want %q", res.Reason, res.Participants, ReasonEOS)
+	}
+	if res.Participants != n-1 {
+		t.Fatalf("analyze gathered %d answers, want %d", res.Participants, n-1)
+	}
+
+	// Rejoin: the node comes back, its query traffic proves life, and
+	// the suspicion clears without any explicit rehabilitation step.
+	net.SetDown(dead, false)
+	if _, err := nodes[0].Query(context.Background(), "SELECT node, rate FROM traffic"); err != nil {
+		t.Fatal(err)
+	}
+	if m := nodes[0].EffectiveMembers(); m != n {
+		t.Fatalf("EffectiveMembers %d after rejoin traffic, want %d", m, n)
+	}
+}

@@ -26,6 +26,12 @@ const (
 	ReasonQuietTimeout = "quiet-timeout"
 	// ReasonDeadline: MaxQueryLife expired with traffic still flowing.
 	ReasonDeadline = "deadline"
+	// ReasonChurnDegraded: members died mid-query; every surviving
+	// member reported end-of-scan and the surviving books stopped
+	// moving across a full drain round, so the result is complete
+	// *for the partitions that were reachable* — Coverage says which
+	// fraction that was.
+	ReasonChurnDegraded = "churn-degraded"
 )
 
 // Result is a completed one-shot query.
@@ -39,9 +45,19 @@ type Result struct {
 	// Participants counts nodes that reported scan completion.
 	Participants int
 	// Reason records how the query completed (ReasonEOS,
-	// ReasonQuietTimeout, or ReasonDeadline). Non-EOS completions may
-	// have missed late rows.
+	// ReasonChurnDegraded, ReasonQuietTimeout, or ReasonDeadline).
+	// Non-EOS completions may have missed late rows.
 	Reason string
+	// Coverage is the fraction of table partitions the result
+	// provably covered: served partitions over members × scanned
+	// tables. 1.0 exactly when the query completed via EOS (the
+	// result is then byte-identical to a stable-network run); < 1
+	// when partitions were lost to churn; 0 when coverage is
+	// untracked (Members unset).
+	Coverage float64
+	// CoverageByTable breaks Coverage down per scanned table (nil
+	// when untracked).
+	CoverageByTable map[string]float64
 	// Analysis holds the network-wide per-operator counters when the
 	// plan was compiled with Analyze (nil otherwise).
 	Analysis *plan.Analysis
@@ -164,15 +180,25 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 	// Completion: with Members set, drive the deterministic EOS
 	// protocol — wait for every member's end-of-scan ledger, issue
 	// drain rounds until the network-wide books balance and stop
-	// moving, and finish the instant they do. The Quiet quiescence
-	// timer stays underneath as the fallback for churn and message
-	// loss, and MaxQueryLife (plus the caller's context) bounds
-	// everything.
+	// moving, and finish the instant they do. Under churn, members
+	// that miss SuspectAfter heartbeats are excluded from the
+	// expected set and drain-round membership: the query then
+	// completes churn-degraded the moment every *surviving* member is
+	// done and the surviving books stop moving, instead of waiting
+	// out the quiet timer for ledgers that will never come. The Quiet
+	// quiescence timer stays underneath as the last-resort fallback
+	// (pure message loss), and MaxQueryLife (plus the caller's
+	// context) bounds everything.
 	members := n.Members()
 	eosOn := members > 0 && q.eos != nil
+	suspectWin := time.Duration(n.cfg.SuspectAfter) * n.cfg.HeartbeatEvery
+	// Grace before inferring churn: every live member needs time to
+	// land its first heartbeat ledger after the query broadcast.
+	grace := start.Add(suspectWin + n.cfg.HeartbeatEvery)
 	var issuedRound uint64 // last drain round broadcast (0 = none yet)
 	var issuedCanon string // totals snapshot at that broadcast
 	var issuedAt time.Time // for re-issuing lost round broadcasts
+	var suspects map[string]bool
 	reason := ReasonQuietTimeout
 	deadline := time.Now().Add(n.cfg.MaxQueryLife)
 	for {
@@ -191,48 +217,80 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 			reason = ReasonDeadline
 			break
 		}
-		// Cheap gate before the full ledger fold: while any member's
-		// scan is still running nothing can complete, and the books
-		// move on every arriving batch — don't fold totals each time.
-		// (The Quiet fallback below still runs either way.)
-		q.coMu.Lock()
-		doneCount := len(q.doneNodes)
-		q.coMu.Unlock()
-		if eosOn && doneCount >= members {
-			st := q.eosStatus(issuedRound)
-			if st.scanDone >= members {
-				switch {
-				case issuedRound == 0 || (st.acked && st.canon != issuedCanon):
-					// First round, or the books moved during the last
-					// one: drain again until a full round passes with
-					// no movement anywhere.
-					if issuedRound >= maxDrainRounds {
-						eosOn = false
+		if eosOn {
+			churnMode := time.Now().After(grace)
+			if churnMode {
+				suspects = q.suspectedMembers(suspectWin)
+				for addr := range suspects {
+					// Train the node-level registry so later gathers
+					// (ANALYZE) rescale their expected member count.
+					n.markSuspect(addr)
+				}
+			} else {
+				suspects = nil
+			}
+			// Cheap gate before the full ledger fold: while any
+			// member's scan is still running nothing can complete,
+			// and the books move on every arriving batch. Once churn
+			// inference is live the fold runs every evaluation — the
+			// member count itself is in question then.
+			q.coMu.Lock()
+			doneCount := len(q.doneNodes)
+			q.coMu.Unlock()
+			if doneCount >= members || churnMode {
+				st := q.eosStatus(issuedRound, suspects)
+				full := st.scanDone >= members
+				// Degraded completeness: every surviving reported
+				// member finished its scan, but some expected members
+				// are suspect or never reported at all.
+				missing := members - st.live
+				degraded := churnMode && st.live > 0 &&
+					st.liveScanDone >= st.live &&
+					(missing > 0 || len(suspects) > 0)
+				if full || degraded {
+					// Dead members can never ack a new round; once
+					// churn inference is live, the surviving members'
+					// acks carry the round.
+					ackOK := st.acked || (churnMode && st.liveAcked)
+					switch {
+					case issuedRound == 0 || (ackOK && st.canon != issuedCanon):
+						// First round, or the books moved during the last
+						// one: drain again until a full round passes with
+						// no movement anywhere.
+						if issuedRound >= maxDrainRounds {
+							eosOn = false
+							continue
+						}
+						issuedRound++
+						issuedCanon = st.canon
+						issuedAt = time.Now()
+						n.broadcastDrain(qid, issuedRound)
 						continue
+					case ackOK && st.balanced && full:
+						// All members drained round issuedRound, nothing
+						// moved since it was issued, and sent == recv on
+						// every channel: every shipped record was delivered
+						// and fully processed. Complete.
+						reason = ReasonEOS
+					case ackOK && degraded:
+						// Every surviving member drained the round and
+						// nothing moved anywhere across it: the books of
+						// the dead stay frozen, the books of the living
+						// are settled. Complete for the reachable part.
+						reason = ReasonChurnDegraded
+					case !ackOK && time.Since(issuedAt) > n.cfg.Quiet/4:
+						// A round broadcast may have been lost: re-issue it
+						// (nodes that ran it dedup on the round number).
+						issuedAt = time.Now()
+						n.broadcastDrain(qid, issuedRound)
 					}
-					issuedRound++
-					issuedCanon = st.canon
-					issuedAt = time.Now()
-					n.broadcastDrain(qid, issuedRound)
-					continue
-				case st.acked && st.balanced:
-					// All members drained round issuedRound, nothing
-					// moved since it was issued, and sent == recv on
-					// every channel: every shipped record was delivered
-					// and fully processed. Complete.
-					reason = ReasonEOS
-					// The loop below breaks; fallthrough via flag.
-				case !st.acked && time.Since(issuedAt) > n.cfg.Quiet/4:
-					// A round broadcast may have been lost: re-issue it
-					// (nodes that ran it dedup on the round number).
-					issuedAt = time.Now()
-					n.broadcastDrain(qid, issuedRound)
+					if reason == ReasonEOS || reason == ReasonChurnDegraded {
+						break
+					}
+					// acked + unchanged + unbalanced with no suspects
+					// means records were lost in flight: fall through
+					// to the Quiet clock.
 				}
-				if reason == ReasonEOS {
-					break
-				}
-				// acked + unchanged + unbalanced means records were
-				// lost in flight: fall through to the Quiet clock.
 			}
 		}
 		q.coMu.Lock()
@@ -263,19 +321,104 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 	q.coMu.Lock()
 	participants := len(q.doneNodes)
 	q.coMu.Unlock()
+	cov, covTables := q.coverage(reason, members, suspects)
 	res := &Result{
-		Columns:      spec.OutNames,
-		Rows:         final,
-		Duration:     time.Since(start),
-		Participants: participants,
-		Reason:       reason,
+		Columns:         spec.OutNames,
+		Rows:            final,
+		Duration:        time.Since(start),
+		Participants:    participants,
+		Reason:          reason,
+		Coverage:        cov,
+		CoverageByTable: covTables,
 	}
 	if spec.Analyze {
 		res.Analysis = q.mergedAnalysis(finalize.Stats()...)
 		res.AnalyzeReport = spec.ExplainAnalyze(res.Analysis) +
-			fmt.Sprintf("completion: %s (%d participants, %v)\n", reason, participants, res.Duration.Round(time.Millisecond))
+			fmt.Sprintf("completion: %s (%d participants, %v)\n", reason, participants, res.Duration.Round(time.Millisecond)) +
+			coverageLine(cov, covTables, members)
 	}
 	return res, nil
+}
+
+// coverageLine renders the EXPLAIN ANALYZE coverage annotation ("" when
+// coverage is untracked).
+func coverageLine(cov float64, byTable map[string]float64, members int) string {
+	if members <= 0 || byTable == nil {
+		return ""
+	}
+	line := fmt.Sprintf("coverage: %.0f%%", cov*100)
+	if cov < 1 {
+		tables := make([]string, 0, len(byTable))
+		for t := range byTable {
+			tables = append(tables, t)
+		}
+		sort.Strings(tables)
+		for i, t := range tables {
+			if i == 0 {
+				line += " ("
+			} else {
+				line += ", "
+			}
+			line += fmt.Sprintf("%s %d/%d", t, int(byTable[t]*float64(members)+0.5), members)
+		}
+		line += ")"
+	}
+	return line + "\n"
+}
+
+// coverage folds the per-table scan records of every surviving
+// member's ledger into the result's coverage accounting. An EOS
+// completion is proven complete — coverage is 1.0 by definition. For
+// any other completion, a table partition counts as covered only when
+// a non-suspect member's ledger reports it served; members that died
+// or never reported contribute nothing, which is exactly the honesty
+// the dilated-snapshot semantics call for.
+func (q *queryState) coverage(reason string, members int, suspects map[string]bool) (float64, map[string]float64) {
+	if members <= 0 || len(q.spec.Scans) == 0 || q.eos == nil {
+		return 0, nil // untracked
+	}
+	tables := make([]string, 0, len(q.spec.Scans))
+	for i := range q.spec.Scans {
+		tables = append(tables, q.spec.Scans[i].Table)
+	}
+	byTable := make(map[string]float64, len(tables))
+	if reason == ReasonEOS {
+		for _, t := range tables {
+			byTable[t] = 1
+		}
+		return 1, byTable
+	}
+	self := q.eosFrame()
+	q.coMu.Lock()
+	frames := make([]*wire.EosFrame, 0, len(q.ledgers)+1)
+	for addr, f := range q.ledgers {
+		if addr != self.Addr {
+			frames = append(frames, f)
+		}
+	}
+	q.coMu.Unlock()
+	frames = append(frames, self)
+	served := make(map[string]int, len(tables))
+	for _, f := range frames {
+		if suspects[f.Addr] {
+			continue
+		}
+		for _, sc := range f.Scans {
+			if sc.Served {
+				served[sc.Table]++
+			}
+		}
+	}
+	total := 0
+	for _, t := range tables {
+		c := served[t]
+		if c > members {
+			c = members
+		}
+		byTable[t] = float64(c) / float64(members)
+		total += c
+	}
+	return float64(total) / float64(len(tables)*members), byTable
 }
 
 // analyzeGrace is how long an EXPLAIN ANALYZE coordinator waits after

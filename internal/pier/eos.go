@@ -1,7 +1,6 @@
 package pier
 
 import (
-	"context"
 	"sort"
 	"strconv"
 	"sync"
@@ -50,6 +49,17 @@ type eosTracker struct {
 	// scanDone is set once the participant pipeline ran to
 	// end-of-stream and its route batches flushed.
 	scanDone bool
+	// scans records which scanned tables this node's partition served
+	// to end-of-stream — the per-table coverage record shipped with
+	// every ledger.
+	scans map[string]bool
+	// shipOnce guards the single start of the ledger shipper
+	// goroutine (participation start under churn-aware heartbeating,
+	// scan completion otherwise).
+	shipOnce sync.Once
+	// seq numbers shipped frames so the coordinator can discard
+	// reordered datagrams.
+	seq uint64
 	// drainRound is the highest coordinator-issued round this node has
 	// fully acknowledged; drainSeen dedups round broadcasts.
 	drainRound uint64
@@ -72,6 +82,7 @@ func newEosTracker() *eosTracker {
 	return &eosTracker{
 		sent:      make(map[chanKey]uint64),
 		recv:      make(map[chanKey]uint64),
+		scans:     make(map[string]bool),
 		drainSeen: make(map[uint64]bool),
 		dirty:     make(chan struct{}, 1),
 	}
@@ -124,9 +135,11 @@ func (q *queryState) eosFrame() *wire.EosFrame {
 	e := q.eos
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.seq++
 	f := &wire.EosFrame{
 		Query:      q.id,
 		Addr:       q.node.Addr(),
+		Seq:        e.seq,
 		ScanDone:   e.scanDone,
 		DrainRound: e.drainRound,
 	}
@@ -157,7 +170,28 @@ func (q *queryState) eosFrame() *wire.EosFrame {
 			Sent: e.sent[k], Recv: e.recv[k],
 		})
 	}
+	// One coverage record per scanned table, in plan order (each node
+	// holds one partition of each table; Served marks that this
+	// node's partition ran to end-of-stream).
+	for i := range q.spec.Scans {
+		t := q.spec.Scans[i].Table
+		f.Scans = append(f.Scans, wire.EosScan{Table: t, Served: e.scans[t]})
+	}
 	return f
+}
+
+// eosMarkScansServed records that this node's partitions of the
+// spec's scanned tables ran to end-of-stream without error.
+func (q *queryState) eosMarkScansServed() {
+	e := q.eos
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	for i := range q.spec.Scans {
+		e.scans[q.spec.Scans[i].Table] = true
+	}
+	e.mu.Unlock()
 }
 
 // eosMarkScanDone records local scan completion and starts reporting
@@ -184,45 +218,77 @@ func (q *queryState) eosMarkScanDone() {
 		q.eosKick()
 		return
 	}
-	q.shipEosLedger()
-	q.node.wg.Add(1)
-	go func() {
-		defer q.node.wg.Done()
-		q.eosShipperLoop()
-	}()
+	q.startEosShipper()
+	q.eosKick()
 }
 
-// shipEosLedger sends the current ledger to the coordinator (best
-// effort; the rpc layer retransmits, and any later book movement
-// re-ships through the shipper loop).
+// startEosShipper ships the first ledger and starts the shipper
+// goroutine exactly once. Participants call it when participation
+// begins — not at scan completion — so the ledger doubles as a
+// liveness heartbeat from the start and the coordinator learns every
+// member's address before any scan finishes.
+func (q *queryState) startEosShipper() {
+	e := q.eos
+	if e == nil || q.isCoord {
+		return
+	}
+	e.shipOnce.Do(func() {
+		q.shipEosLedger()
+		q.node.wg.Add(1)
+		go func() {
+			defer q.node.wg.Done()
+			q.eosShipperLoop()
+		}()
+	})
+}
+
+// shipEosLedger sends the current ledger to the coordinator as a
+// fire-and-forget datagram. No ack, no retransmission: a lost frame is
+// repaired by the next heartbeat tick, and crucially the shipper never
+// blocks on a retrying call — a blocked shipper would starve the very
+// heartbeats the coordinator's failure detector counts, making pure
+// message loss look like a dead member. Reordering is handled by the
+// frame sequence number on the receiving side.
 func (q *queryState) shipEosLedger() {
-	ctx, cancel := context.WithTimeout(q.ctx, 2*time.Second)
-	defer cancel()
-	_, _ = q.node.peer.Call(ctx, q.coord, methEos, q.eosFrame().Bytes())
+	_ = q.node.peer.Notify(q.coord, methEos, q.eosFrame().Bytes())
 }
 
 // eosShipperLoop re-ships the ledger whenever the books or the drain
-// round move. It runs from scan completion until query teardown.
+// round move, and on a heartbeat tick even when nothing moved (the
+// coordinator's failure detector counts missed beats). It runs from
+// participation start until query teardown, bounded by MaxQueryLife
+// in case the stop broadcast never arrives (dead coordinator).
 // Bursts coalesce twice: the dirty channel absorbs signals while a
 // ship is in flight, and a short settle pause lets a batch of
 // arrivals (e.g. a collector absorbing many frames) land in one
 // ledger instead of one RPC each.
 func (q *queryState) eosShipperLoop() {
 	const settle = time.Millisecond
+	hb := q.node.cfg.HeartbeatEvery
+	if hb <= 0 {
+		hb = 50 * time.Millisecond
+	}
+	tick := time.NewTicker(hb)
+	defer tick.Stop()
+	deadline := time.Now().Add(q.node.cfg.MaxQueryLife)
 	for {
 		select {
 		case <-q.ctx.Done():
 			return
 		case <-q.eos.dirty:
-		}
-		select {
-		case <-q.ctx.Done():
-			return
-		case <-time.After(settle):
-		}
-		select { // fold movements that arrived during the pause
-		case <-q.eos.dirty:
-		default:
+			select {
+			case <-q.ctx.Done():
+				return
+			case <-time.After(settle):
+			}
+			select { // fold movements that arrived during the pause
+			case <-q.eos.dirty:
+			default:
+			}
+		case <-tick.C:
+			if time.Now().After(deadline) {
+				return
+			}
 		}
 		q.shipEosLedger()
 	}
@@ -323,20 +389,54 @@ func (q *queryState) snapshotInlets() []*physical.Inlet {
 // Coordinator-side evaluation
 
 // applyEosLedger records a participant's latest ledger (coordinator
-// role). Each node's frames arrive in order through its shipper
-// goroutine, so a plain replace keeps the newest.
+// role). Ledgers travel as datagrams and may arrive reordered; the
+// sender's sequence number keeps the newest and drops stale frames.
+// Only a ledger whose content actually moved resets the quiescence
+// clock — pure heartbeats feed the liveness detector but must not
+// keep the Quiet fallback from ever firing.
 func (q *queryState) applyEosLedger(f *wire.EosFrame) {
+	q.noteAlive(f.Addr)
 	q.coMu.Lock()
 	if q.ledgers == nil {
 		q.ledgers = make(map[string]*wire.EosFrame)
+	}
+	prev := q.ledgers[f.Addr]
+	if prev != nil && f.Seq <= prev.Seq {
+		q.coMu.Unlock()
+		return // reordered stale frame
 	}
 	q.ledgers[f.Addr] = f
 	if f.ScanDone {
 		q.doneNodes[f.Addr] = true
 	}
-	q.lastActivity = time.Now()
+	if !eosFrameEqual(prev, f) {
+		q.lastActivity = time.Now()
+	}
 	q.coMu.Unlock()
 	q.eosKick()
+}
+
+// eosFrameEqual reports whether two ledgers carry the same content
+// (heartbeat detection; Addr and Query are fixed per sender).
+func eosFrameEqual(a, b *wire.EosFrame) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.ScanDone != b.ScanDone || a.DrainRound != b.DrainRound ||
+		len(a.Channels) != len(b.Channels) || len(a.Scans) != len(b.Scans) {
+		return false
+	}
+	for i := range a.Channels {
+		if a.Channels[i] != b.Channels[i] {
+			return false
+		}
+	}
+	for i := range a.Scans {
+		if a.Scans[i] != b.Scans[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // eosStatus is one completion evaluation's view of the network.
@@ -350,14 +450,24 @@ type eosStatus struct {
 	balanced bool
 	// canon is a deterministic rendering of the network-wide totals;
 	// counters are monotone, so an unchanged canon across a full drain
-	// round proves nothing moved anywhere.
+	// round proves nothing moved anywhere. Frozen ledgers of dead
+	// members fold in too — constants never perturb the check.
 	canon string
+	// live / liveScanDone / liveAcked are the same accounting
+	// restricted to non-suspect members: the degraded completion path
+	// under churn. A dead member's frozen books can never ack a new
+	// round or finish a scan, so requiring them would stall forever.
+	live         int
+	liveScanDone int
+	liveAcked    bool
 }
 
 // eosStatus folds the coordinator's live books with every received
 // ledger. The coordinator never ships a ledger to itself — its own
-// row is always the freshest possible snapshot.
-func (q *queryState) eosStatus(round uint64) eosStatus {
+// row is always the freshest possible snapshot. suspects (may be nil)
+// marks members currently considered dead; their frames still fold
+// into the totals but are excluded from the live accounting.
+func (q *queryState) eosStatus(round uint64, suspects map[string]bool) eosStatus {
 	self := q.eosFrame()
 	q.coMu.Lock()
 	frames := make([]*wire.EosFrame, 0, len(q.ledgers)+1)
@@ -369,14 +479,24 @@ func (q *queryState) eosStatus(round uint64) eosStatus {
 	q.coMu.Unlock()
 	frames = append(frames, self)
 
-	st := eosStatus{acked: true, balanced: true}
+	st := eosStatus{acked: true, balanced: true, liveAcked: true}
 	totals := make(map[chanKey]*[2]uint64)
 	for _, f := range frames {
+		alive := !suspects[f.Addr]
+		if alive {
+			st.live++
+		}
 		if f.ScanDone {
 			st.scanDone++
+			if alive {
+				st.liveScanDone++
+			}
 		}
 		if f.DrainRound < round {
 			st.acked = false
+			if alive {
+				st.liveAcked = false
+			}
 		}
 		for _, ch := range f.Channels {
 			k := chanKey{kind: ch.Kind, stage: ch.Stage, side: ch.Side}

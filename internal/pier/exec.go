@@ -84,9 +84,12 @@ type queryState struct {
 	nodeStats map[string]*plan.Analysis
 	epoch     time.Time // continuous window time base
 	// ledgers holds the latest EOS ledger per participant; eosEval
-	// pokes the coordinator's completion evaluation.
-	ledgers map[string]*wire.EosFrame
-	eosEval chan struct{}
+	// pokes the coordinator's completion evaluation. lastSeen is the
+	// per-member liveness clock fed by every arriving RPC (heartbeat
+	// ledgers included) — the coordinator's failure detector.
+	ledgers  map[string]*wire.EosFrame
+	lastSeen map[string]time.Time
+	eosEval  chan struct{}
 }
 
 // getQuery returns (and optionally creates) the state for qid.
@@ -564,6 +567,7 @@ func (n *Node) registerHandlers() {
 		if q == nil || !q.isCoord {
 			return nil, nil
 		}
+		q.noteAlive(from)
 		q.coordAddRows(f.Window, rows)
 		return nil, nil
 	})
@@ -593,6 +597,7 @@ func (n *Node) registerHandlers() {
 		if q == nil || !q.isCoord {
 			return nil, nil
 		}
+		q.noteAlive(from)
 		// Latest snapshot per (node, channel) replaces the previous
 		// one — counters are cumulative at the sender.
 		q.setNodeStats(from, channel, a)

@@ -88,13 +88,23 @@ func (q *queryState) fetchSwitchThreshold(stage int) int64 {
 }
 
 func (q *queryState) participateOneShot() {
+	// Heartbeat from the very start: the coordinator's failure
+	// detector needs this member's address (and beats) before any
+	// scan finishes, or a node dying mid-scan would be
+	// indistinguishable from one that never joined the query.
+	q.startEosShipper()
 	pipe := physical.CompileOneShot(q.spec, q.pipelineEnv())
 	q.trackPipeline(pipe)
-	_ = pipe.Run(q.ctx)
+	err := pipe.Run(q.ctx)
 	// Barrier: drain coalesced route batches before reporting
 	// completion, so no rehashed tuple or partial is still buffered
 	// when the coordinator reads this node's first EOS ledger.
 	q.node.flushRoutes()
+	if err == nil {
+		// Coverage record: this node's partitions of the scanned
+		// tables ran to end-of-stream.
+		q.eosMarkScansServed()
+	}
 	// Report end-of-scan with the ledger; the shipper keeps the
 	// coordinator's copy current as collector work moves the books.
 	q.eosMarkScanDone()

@@ -72,6 +72,15 @@ type Config struct {
 	Members int
 	// MaxQueryLife caps one-shot query duration. Default 15s.
 	MaxQueryLife time.Duration
+	// HeartbeatEvery is how often a participant re-ships its EOS
+	// ledger to the coordinator even when nothing moved — the
+	// liveness heartbeat that churn detection rides on. Default
+	// Quiet/8, so suspicion ripens well inside the Quiet fallback.
+	HeartbeatEvery time.Duration
+	// SuspectAfter is how many consecutive missed heartbeats make the
+	// coordinator suspect a member is dead and exclude it from EOS
+	// completion and drain-round membership. Default 3.
+	SuspectAfter int
 	// BloomWait is how long a Bloom-join coordinator gathers
 	// per-site filters before disseminating the main query.
 	// Default 250ms.
@@ -166,6 +175,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxQueryLife == 0 {
 		c.MaxQueryLife = 15 * time.Second
+	}
+	if c.HeartbeatEvery == 0 {
+		c.HeartbeatEvery = c.Quiet / 8
+	}
+	if c.SuspectAfter == 0 {
+		c.SuspectAfter = 3
 	}
 	if c.BloomWait == 0 {
 		c.BloomWait = 250 * time.Millisecond
@@ -263,6 +278,14 @@ type Node struct {
 	driftBase map[string]int64
 	driftLast map[string]time.Time
 
+	// suspects is the node-level liveness registry: members a
+	// coordinator role on this node has suspected dead, with the time
+	// of the latest suspicion. Trained by query execution, cleared by
+	// any RPC arriving from the address, TTL'd so a quiet rejoin
+	// eventually rehabilitates on its own.
+	suspectMu sync.Mutex
+	suspects  map[string]time.Time
+
 	pendMu  sync.Mutex
 	pending map[uint64][]pendingMsg
 
@@ -291,6 +314,7 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		gathers:      make(map[uint64]*sketchGather),
 		driftBase:    make(map[string]int64),
 		driftLast:    make(map[string]time.Time),
+		suspects:     make(map[string]time.Time),
 		appBroadcast: make(map[string]overlay.BroadcastFunc),
 		stopCh:       make(chan struct{}),
 	}

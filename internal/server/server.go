@@ -64,10 +64,17 @@ type Response struct {
 	Rows         [][]interface{} `json:"rows,omitempty"`
 	Participants int             `json:"participants,omitempty"`
 	// Reason reports how the query completed ("eos", "quiet-timeout",
-	// "deadline") — anything but "eos" means the rows may be partial.
+	// "churn-degraded", "deadline") — anything but "eos" means the rows
+	// may be partial.
 	Reason     string  `json:"reason,omitempty"`
 	DurationMS float64 `json:"duration_ms,omitempty"`
-	Analyze    string  `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
+	// Coverage is the fraction of table partitions the result reflects:
+	// 1.0 exactly for a full result, lower when members vanished
+	// mid-query, 0 when the cluster size was untracked. CoverageByTable
+	// breaks it down per scanned table.
+	Coverage        float64            `json:"coverage,omitempty"`
+	CoverageByTable map[string]float64 `json:"coverage_by_table,omitempty"`
+	Analyze         string             `json:"analyze,omitempty"` // EXPLAIN ANALYZE report
 	// Join memory accounting, summarized from the EXPLAIN ANALYZE
 	// counters (set only when the query ran with analyze): the worst
 	// single operator's resident high-water mark, total bytes spilled
@@ -296,12 +303,14 @@ func (cc *clientConn) query(req Request) (Response, error) {
 
 func resultResponse(res *pier.Result, start time.Time) Response {
 	resp := Response{
-		Columns:      res.Columns,
-		Rows:         encodeRows(res.Rows),
-		Participants: res.Participants,
-		Reason:       res.Reason,
-		DurationMS:   float64(time.Since(start)) / float64(time.Millisecond),
-		Analyze:      res.AnalyzeReport,
+		Columns:         res.Columns,
+		Rows:            encodeRows(res.Rows),
+		Participants:    res.Participants,
+		Reason:          res.Reason,
+		DurationMS:      float64(time.Since(start)) / float64(time.Millisecond),
+		Analyze:         res.AnalyzeReport,
+		Coverage:        res.Coverage,
+		CoverageByTable: res.CoverageByTable,
 	}
 	if res.Analysis != nil {
 		for _, o := range res.Analysis.Ops {

@@ -66,6 +66,7 @@ type Network struct {
 	endpoints map[string]*Endpoint
 	down      map[string]bool
 	group     map[string]int // partition group; default 0
+	latFactor float64        // latency multiplier; 0 or 1 means none
 	stats     Stats
 	perNode   map[string]*NodeStats
 	closed    bool
@@ -280,6 +281,9 @@ func (e *Endpoint) Send(addr string, payload []byte) error {
 		} else {
 			delay = n.cfg.MinLatency
 		}
+		if n.latFactor > 0 && n.latFactor != 1 {
+			delay = time.Duration(float64(delay) * n.latFactor)
+		}
 	}
 	if drop {
 		n.stats.Dropped++
@@ -347,6 +351,25 @@ func (n *Network) SetLossRate(p float64) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.cfg.LossRate = p
+}
+
+// SetLatencyFactor scales every subsequent message delay by f
+// (latency storms: f > 1 stretches delivery, f == 1 restores it).
+// Values <= 0 are treated as 1.
+func (n *Network) SetLatencyFactor(f float64) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.latFactor = f
+}
+
+// LatencyFactor returns the current latency multiplier (1 when unset).
+func (n *Network) LatencyFactor() float64 {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.latFactor <= 0 {
+		return 1
+	}
+	return n.latFactor
 }
 
 // PlanetLabLatency returns a LatencyFn resembling wide-area RTT

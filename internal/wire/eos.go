@@ -35,6 +35,11 @@ type EosFrame struct {
 	Query uint64
 	// Addr is the reporting node's transport address.
 	Addr string
+	// Seq is the sender's monotone ship counter. Ledgers travel as
+	// fire-and-forget datagrams (a lost one is repaired by the next
+	// heartbeat), so the coordinator uses Seq to discard reordered
+	// stale frames instead of relying on in-order delivery.
+	Seq uint64
 	// ScanDone reports that the node's participant pipeline has run to
 	// end-of-stream and its route batches were flushed.
 	ScanDone bool
@@ -45,7 +50,23 @@ type EosFrame struct {
 	// Channels holds the node's per-channel accounting, sorted by
 	// (kind, stage, side) for deterministic encoding.
 	Channels []EosChannel
+	// Scans is the node's per-table coverage record: one entry per
+	// table the query scans, Served true once this node's partition
+	// of that table ran to end-of-stream without error. The
+	// coordinator folds these into the result's coverage fraction.
+	Scans []EosScan
 }
+
+// EosScan reports whether a node served its partition of one scanned
+// table (each node holds one partition of each table under the DHT
+// placement, so coverage is served-partitions / member count).
+type EosScan struct {
+	Table  string
+	Served bool
+}
+
+// MaxEosScans bounds a frame's scan list against corrupt input.
+const MaxEosScans = 64
 
 // MaxEosChannels bounds a frame's channel list against corrupt input
 // (2 fixed families + join stages well past the planner's table cap).
@@ -55,6 +76,7 @@ const MaxEosChannels = 256
 func (f *EosFrame) Encode(w *Writer) {
 	w.Uint64(f.Query)
 	w.String(f.Addr)
+	w.Uvarint(f.Seq)
 	w.Bool(f.ScanDone)
 	w.Uvarint(f.DrainRound)
 	w.Uvarint(uint64(len(f.Channels)))
@@ -64,6 +86,11 @@ func (f *EosFrame) Encode(w *Writer) {
 		w.Byte(ch.Side)
 		w.Uvarint(ch.Sent)
 		w.Uvarint(ch.Recv)
+	}
+	w.Uvarint(uint64(len(f.Scans)))
+	for _, sc := range f.Scans {
+		w.String(sc.Table)
+		w.Bool(sc.Served)
 	}
 }
 
@@ -79,6 +106,7 @@ func DecodeEosFrame(r *Reader) (*EosFrame, error) {
 	f := &EosFrame{
 		Query:    r.Uint64(),
 		Addr:     r.String(),
+		Seq:      r.Uvarint(),
 		ScanDone: r.Bool(),
 	}
 	f.DrainRound = r.Uvarint()
@@ -93,6 +121,16 @@ func DecodeEosFrame(r *Reader) (*EosFrame, error) {
 			Side:  r.Byte(),
 			Sent:  r.Uvarint(),
 			Recv:  r.Uvarint(),
+		})
+	}
+	ns := int(r.Uvarint())
+	if ns > MaxEosScans {
+		return nil, fmt.Errorf("wire: eos frame with %d scans", ns)
+	}
+	for i := 0; i < ns; i++ {
+		f.Scans = append(f.Scans, EosScan{
+			Table:  r.String(),
+			Served: r.Bool(),
 		})
 	}
 	if err := r.Err(); err != nil {

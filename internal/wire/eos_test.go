@@ -1,0 +1,48 @@
+package wire
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestEosFrameRoundTrip(t *testing.T) {
+	f := &EosFrame{
+		Query:      42,
+		Addr:       "node7",
+		Seq:        981,
+		ScanDone:   true,
+		DrainRound: 3,
+		Channels: []EosChannel{
+			{Kind: 0, Sent: 120, Recv: 120},
+			{Kind: 2, Stage: 1, Side: 1, Sent: 7, Recv: 5},
+		},
+		Scans: []EosScan{
+			{Table: "traffic", Served: true},
+			{Table: "alerts", Served: false},
+		},
+	}
+	got, err := EosFrameFromBytes(f.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(f, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, f)
+	}
+}
+
+func TestEosFrameRejectsOversizedLists(t *testing.T) {
+	f := &EosFrame{Query: 1, Addr: "n"}
+	for i := 0; i <= MaxEosScans; i++ {
+		f.Scans = append(f.Scans, EosScan{Table: "t"})
+	}
+	if _, err := EosFrameFromBytes(f.Bytes()); err == nil {
+		t.Fatal("oversized scan list decoded without error")
+	}
+	f.Scans = nil
+	for i := 0; i <= MaxEosChannels; i++ {
+		f.Channels = append(f.Channels, EosChannel{})
+	}
+	if _, err := EosFrameFromBytes(f.Bytes()); err == nil {
+		t.Fatal("oversized channel list decoded without error")
+	}
+}
