@@ -24,6 +24,9 @@
 //	\prepare <name> SELECT ...     -- name a statement (compiles into the plan cache)
 //	\exec <name>                   -- run a prepared statement
 //	\cache                         -- plan cache counters and entries
+//	\metrics [prefix]              -- node metrics in Prometheus text form
+//	\trace [qid]                   -- cross-node TRACE tree of a recent query (default: last)
+//	\events                        -- the structured event ring (newest last)
 //	\quit
 //	SELECT ...                     -- one-shot query
 //	ANALYZE [table, ...]           -- the SQL form of \analyze
@@ -39,6 +42,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"sort"
 	"strconv"
@@ -69,7 +74,16 @@ func main() {
 	joinMem := flag.String("join-mem", "0", "per-stage join build-state memory budget, e.g. 64kb or 1mb (0 = unlimited, never spill)")
 	spillDir := flag.String("spill-dir", "", "directory for join spill temp files (default: the system temp dir)")
 	switchFactor := flag.Float64("switch-factor", 0, "switch a fetch-matches join to rehashing mid-flight when observed rows exceed the estimate by this factor (0 = default 4, negative = never switch)")
+	slowQuery := flag.Duration("slow-query", time.Second, "log completed queries slower than this into the event ring (negative disables)")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address, e.g. 127.0.0.1:6060 (empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	tr, err := transport.ListenUDP(*listen)
 	if err != nil {
@@ -104,7 +118,7 @@ func main() {
 		fmt.Printf("joined overlay via %s\n", *join)
 	}
 
-	svc := engine.New(node, engine.Config{})
+	svc := engine.New(node, engine.Config{SlowQuery: *slowQuery})
 	defer svc.Close()
 	shell(svc, *explain)
 }
@@ -163,12 +177,30 @@ func shell(svc *engine.Service, explain bool) {
 			runPrepared(sess, strings.TrimSpace(strings.TrimPrefix(line, `\exec `)), explain)
 		case line == `\cache`:
 			printCache(svc)
+		case line == `\metrics`:
+			fmt.Print(node.Obs().RenderProm())
+		case strings.HasPrefix(line, `\metrics `):
+			printMetrics(node, strings.TrimSpace(strings.TrimPrefix(line, `\metrics `)))
+		case line == `\trace`:
+			printTrace(node, 0)
+		case strings.HasPrefix(line, `\trace `):
+			qid, err := strconv.ParseUint(strings.TrimSpace(strings.TrimPrefix(line, `\trace `)), 10, 64)
+			if err != nil {
+				fmt.Println("error: usage: \\trace [qid]")
+			} else {
+				printTrace(node, qid)
+			}
+		case line == `\events`:
+			for _, ev := range node.Events().Snapshot() {
+				fmt.Printf("  %s %-4s %-16s q=%-6d %s\n",
+					ev.Time.Format("15:04:05.000"), ev.Severity, ev.Kind, ev.Query, ev.Msg)
+			}
 		case strings.HasPrefix(strings.ToUpper(line), "SELECT") ||
 			strings.HasPrefix(strings.ToUpper(line), "WITH") ||
 			strings.HasPrefix(strings.ToUpper(line), "ANALYZE"):
 			runQuery(sess, line, explain)
 		default:
-			fmt.Println("unrecognized command; try SELECT ..., ANALYZE, \\create, \\insert, \\put, \\tables, \\stats, \\analyze, \\explain, \\prepare, \\exec, \\cache, \\quit")
+			fmt.Println("unrecognized command; try SELECT ..., ANALYZE, \\create, \\insert, \\put, \\tables, \\stats, \\analyze, \\explain, \\prepare, \\exec, \\cache, \\metrics, \\trace, \\events, \\quit")
 		}
 		fmt.Print("pier> ")
 	}
@@ -486,6 +518,30 @@ func runPrepared(sess *engine.Session, name string, explain bool) {
 		return
 	}
 	fmt.Printf("error: no prepared statement %q\n", name)
+}
+
+// printMetrics renders the registry in Prometheus text form, filtered
+// to series whose name starts with prefix.
+func printMetrics(node *pier.Node, prefix string) {
+	for _, line := range strings.Split(node.Obs().RenderProm(), "\n") {
+		if strings.HasPrefix(line, prefix) {
+			fmt.Println(line)
+		}
+	}
+}
+
+// printTrace renders the cross-node TRACE tree of qid (0 = the most
+// recently coordinated query).
+func printTrace(node *pier.Node, qid uint64) {
+	tr := node.LastTrace()
+	if qid != 0 {
+		tr = node.Trace(qid)
+	}
+	if tr == nil {
+		fmt.Println("no trace (only queries coordinated by this node are traced; the ring keeps the last 16)")
+		return
+	}
+	fmt.Print(tr.Render())
 }
 
 // printCache renders the plan cache counters and the live entries with

@@ -19,6 +19,7 @@
 //	pierbench -experiment overlay
 //	pierbench -experiment explain
 //	pierbench -experiment localpipe
+//	pierbench -experiment obs
 //	pierbench -experiment serve
 //	pierbench -experiment completion
 //	pierbench -experiment all
@@ -43,6 +44,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/monitor"
+	"repro/internal/obs"
 	"repro/internal/pier"
 )
 
@@ -191,6 +193,11 @@ func main() {
 			return localpipe(rec)
 		})
 	}
+	if want("obs") {
+		run("obs", func() error {
+			return obsOverhead(rec)
+		})
+	}
 	if want("serve") {
 		run("serve", func() error {
 			return serve(*n, *seed, rec)
@@ -256,6 +263,60 @@ func localpipe(rec *recorder) error {
 		rec.metric(mode.name+".rows/sec", rowsPerSec)
 		rec.metric(mode.name+".allocs/op", float64(r.AllocsPerOp()))
 		rec.metric(mode.name+".bytes/op", float64(r.AllocedBytesPerOp()))
+	}
+	return nil
+}
+
+// obsOverhead measures the cost of the obs hot-path instrumentation
+// (registry-backed counters and histograms at every ship batch and
+// result row) on the local join hot path: the same workload runs bare
+// and instrumented, and the delta is the overhead budget DESIGN.md
+// promises (≤3%; the experiment errors only past 10% to leave noise
+// headroom on loaded CI machines).
+func obsOverhead(rec *recorder) error {
+	const nLeft, nRight = 20000, 1000
+	wl := bench.NewLocalJoinWorkload(nLeft, nRight)
+	reg := obs.New()
+	measure := func(fn func() (int, error)) (*testing.BenchmarkResult, error) {
+		var inner error
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fn(); err != nil {
+					inner = err
+					b.Fatal(err)
+				}
+			}
+		})
+		return &r, inner
+	}
+	// Interleave-free A/B: warm both paths once, then time each.
+	if _, err := wl.Run(256, 4); err != nil {
+		return err
+	}
+	if _, err := wl.RunInstrumented(256, 4, reg); err != nil {
+		return err
+	}
+	base, err := measure(func() (int, error) { return wl.Run(256, 4) })
+	if err != nil {
+		return err
+	}
+	inst, err := measure(func() (int, error) { return wl.RunInstrumented(256, 4, reg) })
+	if err != nil {
+		return err
+	}
+	overhead := (float64(inst.NsPerOp()) - float64(base.NsPerOp())) / float64(base.NsPerOp()) * 100
+	fmt.Printf("%-14s %14s\n", "mode", "ns/op")
+	fmt.Printf("%-14s %14d\n", "bare", base.NsPerOp())
+	fmt.Printf("%-14s %14d\n", "instrumented", inst.NsPerOp())
+	fmt.Printf("instrumentation overhead: %.2f%% (budget ≤3%%)\n", overhead)
+	rec.metric("base_ns_op", float64(base.NsPerOp()))
+	rec.metric("obs_ns_op", float64(inst.NsPerOp()))
+	rec.metric("overhead_pct", overhead)
+	if series := len(reg.Names()); series == 0 {
+		return fmt.Errorf("instrumented run registered no series")
+	}
+	if overhead > 10 {
+		return fmt.Errorf("instrumentation overhead %.2f%% exceeds even the 10%% noise ceiling", overhead)
 	}
 	return nil
 }

@@ -18,6 +18,13 @@
 //	  '{"id":2,"op":"insert","table":"t","values":["a",1]}' \
 //	  '{"id":3,"op":"query","sql":"SELECT COUNT(*) FROM t"}' | nc 127.0.0.1 7070
 //
+// Telemetry rides the same protocol: {"op":"metrics"} returns the
+// node's Prometheus text exposition (plus a JSON series map),
+// {"op":"trace","query":N} the assembled cross-node trace of a recent
+// query (0 = most recent), and {"op":"events"} the structured event
+// ring (admissions, completions, suspicions, spills, slow queries).
+// -pprof optionally serves net/http/pprof.
+//
 // The engine layer in front of the node provides the plan cache,
 // prepared statements, shared scans for concurrent continuous queries,
 // and admission control: past -max-inflight concurrently executing
@@ -31,6 +38,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -58,7 +67,16 @@ func main() {
 	joinMem := flag.String("join-mem", "0", "per-stage join build-state memory budget, e.g. 64kb or 1mb (0 = unlimited, never spill)")
 	spillDir := flag.String("spill-dir", "", "directory for join spill temp files (default: the system temp dir)")
 	switchFactor := flag.Float64("switch-factor", 0, "switch a fetch-matches join to rehashing mid-flight when observed rows exceed the estimate by this factor (0 = default 4, negative = never switch)")
+	slowQuery := flag.Duration("slow-query", time.Second, "log completed queries slower than this into the event ring (negative disables)")
+	pprofAddr := flag.String("pprof", "", "optional net/http/pprof listen address, e.g. 127.0.0.1:6060 (empty disables)")
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		go func() {
+			// DefaultServeMux carries the pprof handlers via the blank import.
+			log.Printf("pprof: %v", http.ListenAndServe(*pprofAddr, nil))
+		}()
+	}
 
 	tr, err := transport.ListenUDP(*listen)
 	if err != nil {
@@ -93,6 +111,7 @@ func main() {
 		MaxSubscriptions: *maxSubs,
 		PlanCacheSize:    *cacheSize,
 		SharedScans:      *sharedScans,
+		SlowQuery:        *slowQuery,
 	})
 	defer svc.Close()
 

@@ -25,10 +25,10 @@ package batch
 import (
 	"context"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/wire"
 )
@@ -98,23 +98,58 @@ func (c Config) withDefaults() Config {
 type Metrics struct {
 	// RecordsIn is the number of logical Route calls accepted for
 	// coalescing.
-	RecordsIn atomic.Uint64
+	RecordsIn obs.Counter
 	// FramesOut is the number of multi-record frames routed.
-	FramesOut atomic.Uint64
+	FramesOut obs.Counter
 	// FrameRecords is the total records shipped inside frames.
-	FrameRecords atomic.Uint64
+	FrameRecords obs.Counter
 	// Passthrough counts records routed individually (batching
 	// disabled, oversized payloads, failed owner resolution,
 	// single-record flushes, and frame-send fallbacks).
-	Passthrough atomic.Uint64
+	Passthrough obs.Counter
 	// OwnerHits / OwnerMisses count owner-cache outcomes.
-	OwnerHits   atomic.Uint64
-	OwnerMisses atomic.Uint64
+	OwnerHits   obs.Counter
+	OwnerMisses obs.Counter
 	// Invalidations counts owner-cache entries dropped after a frame
 	// send failed.
-	Invalidations atomic.Uint64
+	Invalidations obs.Counter
 	// Demuxed counts records unpacked from arriving frames.
-	Demuxed atomic.Uint64
+	Demuxed obs.Counter
+	// Flush reasons: byte-budget pre-flush, record-count full frame,
+	// MaxDelay timer, and Flush() barrier detach.
+	FlushBytes   obs.Counter
+	FlushCount   obs.Counter
+	FlushTimer   obs.Counter
+	FlushBarrier obs.Counter
+}
+
+// RegisterMetrics attaches the batcher's counters to a registry under
+// batch_* series names, plus a computed coalesce ratio (records per
+// multi-record frame).
+func (b *Batcher) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	m := &b.metrics
+	reg.RegisterCounter("batch_records_in_total", &m.RecordsIn)
+	reg.RegisterCounter("batch_frames_out_total", &m.FramesOut)
+	reg.RegisterCounter("batch_frame_records_total", &m.FrameRecords)
+	reg.RegisterCounter("batch_passthrough_total", &m.Passthrough)
+	reg.RegisterCounter("batch_owner_hits_total", &m.OwnerHits)
+	reg.RegisterCounter("batch_owner_misses_total", &m.OwnerMisses)
+	reg.RegisterCounter("batch_invalidations_total", &m.Invalidations)
+	reg.RegisterCounter("batch_demuxed_total", &m.Demuxed)
+	reg.RegisterCounter(obs.L("batch_flushes_total", "reason", "bytes"), &m.FlushBytes)
+	reg.RegisterCounter(obs.L("batch_flushes_total", "reason", "count"), &m.FlushCount)
+	reg.RegisterCounter(obs.L("batch_flushes_total", "reason", "timer"), &m.FlushTimer)
+	reg.RegisterCounter(obs.L("batch_flushes_total", "reason", "barrier"), &m.FlushBarrier)
+	reg.RegisterFunc("batch_coalesce_ratio", func() float64 {
+		frames := m.FramesOut.Load()
+		if frames == 0 {
+			return 0
+		}
+		return float64(m.FrameRecords.Load()) / float64(frames)
+	})
 }
 
 type ownerEntry struct {
@@ -462,6 +497,7 @@ func (b *Batcher) appendLocked(owner string, key id.ID, rec wire.BatchRecord) []
 	if f != nil && f.bytes+recSize > b.cfg.MaxBytes {
 		// Appending would blow the byte budget (and potentially the
 		// transport datagram limit): ship what's pending first.
+		b.metrics.FlushBytes.Add(1)
 		out = append(out, ownedFrame{owner, b.detachLocked(owner)})
 		f = nil
 	}
@@ -474,6 +510,11 @@ func (b *Batcher) appendLocked(owner string, key id.ID, rec wire.BatchRecord) []
 	f.records = append(f.records, rec)
 	f.bytes += recSize
 	if len(f.records) >= b.cfg.MaxRecords || f.bytes >= b.cfg.MaxBytes {
+		if len(f.records) >= b.cfg.MaxRecords {
+			b.metrics.FlushCount.Add(1)
+		} else {
+			b.metrics.FlushBytes.Add(1)
+		}
 		out = append(out, ownedFrame{owner, b.detachLocked(owner)})
 	}
 	return out
@@ -576,6 +617,7 @@ func (b *Batcher) flushOwner(owner string) {
 	f := b.detachLocked(owner)
 	b.mu.Unlock()
 	if f != nil {
+		b.metrics.FlushTimer.Add(1)
 		b.dispatch(owner, f)
 	}
 }
@@ -651,6 +693,7 @@ func (b *Batcher) Flush() {
 		}
 	}
 	b.mu.Unlock()
+	b.metrics.FlushBarrier.Add(uint64(len(items)))
 	for _, it := range items {
 		b.dispatch(it.owner, it.f)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dataflow"
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/tuple"
 )
@@ -43,6 +44,33 @@ func NewLocalJoinWorkload(nLeft, nRight int) *LocalJoinWorkload {
 // allocs/op — this is the microcosm BENCH_PR4.json tracks for the
 // batch-at-a-time speedup.
 func (wl *LocalJoinWorkload) Run(batchSize, workers int) (int, error) {
+	return wl.run(batchSize, workers, nil)
+}
+
+// RunInstrumented is Run with the obs hot-path instrumentation the
+// distributed engine applies live: a per-batch ship counter and batch
+// size histogram plus a per-row sink counter, all registered in reg.
+// `pierbench -experiment obs` compares it against Run to measure the
+// instrumentation overhead budget (BENCH_PR10.json tracks ≤3%).
+func (wl *LocalJoinWorkload) RunInstrumented(batchSize, workers int, reg *obs.Registry) (int, error) {
+	if reg == nil {
+		reg = obs.New()
+	}
+	return wl.run(batchSize, workers, reg)
+}
+
+func (wl *LocalJoinWorkload) run(batchSize, workers int, reg *obs.Registry) (int, error) {
+	// Hot-path instruments: resolved once here, one atomic add per
+	// observation inside the loops — the same pattern every layer of
+	// the engine uses. nil when uninstrumented (the base path keeps
+	// the same nil check the nil-safe instruments cost everywhere).
+	var shipBatches, rowsOut *obs.Counter
+	var shipSize *obs.Histogram
+	if reg != nil {
+		shipBatches = reg.Counter("bench_ship_batches_total")
+		rowsOut = reg.Counter("bench_rows_out_total")
+		shipSize = reg.Histogram("bench_ship_batch_tuples", obs.CountBuckets)
+	}
 	nLeft := wl.NLeft
 	leftPayloads, rightPayloads := wl.left, wl.right
 	shard := func(payloads [][]byte) func(ns string, partitions int) [][][]byte {
@@ -80,7 +108,12 @@ func (wl *LocalJoinWorkload) Run(batchSize, workers int) (int, error) {
 	collector.Connect(l, jp)
 	collector.Connect(r, jp)
 	rows := 0
-	sink := collector.Add("sink", physical.FuncSink(func(t tuple.Tuple) { rows++ }))
+	sink := collector.Add("sink", physical.FuncSink(func(t tuple.Tuple) {
+		rows++
+		if rowsOut != nil {
+			rowsOut.Inc()
+		}
+	}))
 	collector.Connect(jp, sink)
 	run, err := collector.Start(context.Background())
 	if err != nil {
@@ -89,6 +122,10 @@ func (wl *LocalJoinWorkload) Run(batchSize, workers int) (int, error) {
 
 	ship := func(in *physical.Inlet) func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
 		return func(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
+			if shipBatches != nil {
+				shipBatches.Inc()
+				shipSize.Observe(uint64(len(ts)))
+			}
 			// The exchange recycles its container after the call, so
 			// hand the inlet a copy — the same transfer the network
 			// decode path performs.

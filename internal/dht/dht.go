@@ -12,11 +12,11 @@ import (
 	"context"
 	"fmt"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"repro/internal/batch"
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/rpc"
 	"repro/internal/wire"
@@ -90,12 +90,31 @@ type Item struct {
 
 // Metrics counts store activity.
 type Metrics struct {
-	Puts        atomic.Uint64
-	Gets        atomic.Uint64
-	StoredNew   atomic.Uint64
-	Renewed     atomic.Uint64
-	Expired     atomic.Uint64
-	Republished atomic.Uint64
+	Puts        obs.Counter
+	Gets        obs.Counter
+	StoredNew   obs.Counter
+	Renewed     obs.Counter
+	Expired     obs.Counter
+	Republished obs.Counter
+	// GetFailovers counts Get attempts past the first — each is a
+	// re-resolving retry that lands on the stabilized successor (the
+	// replica set) when the primary owner died.
+	GetFailovers obs.Counter
+}
+
+// RegisterMetrics attaches the store's counters to a registry under
+// dht_* series names.
+func (s *Store) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("dht_puts_total", &s.metrics.Puts)
+	reg.RegisterCounter("dht_gets_total", &s.metrics.Gets)
+	reg.RegisterCounter("dht_stored_new_total", &s.metrics.StoredNew)
+	reg.RegisterCounter("dht_renewed_total", &s.metrics.Renewed)
+	reg.RegisterCounter("dht_expired_total", &s.metrics.Expired)
+	reg.RegisterCounter("dht_republished_total", &s.metrics.Republished)
+	reg.RegisterCounter("dht_get_failovers_total", &s.metrics.GetFailovers)
 }
 
 // SubscribeFunc receives newly arrived items for a namespace.
@@ -395,6 +414,7 @@ func (s *Store) Get(ctx context.Context, ns string, rid id.ID) ([][]byte, error)
 	backoff := s.cfg.GetBackoff
 	for attempt := 0; attempt < s.cfg.GetRetries; attempt++ {
 		if attempt > 0 {
+			s.metrics.GetFailovers.Add(1)
 			select {
 			case <-ctx.Done():
 				return nil, fmt.Errorf("dht: get %s/%s: %w", ns, rid.Short(), lastErr)

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/pier"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -33,6 +34,10 @@ type Config struct {
 	// normalized statement to one scan/window pipeline through a
 	// fan-out operator instead of compiling one pipeline each.
 	SharedScans bool
+	// SlowQuery is the latency threshold past which a completed
+	// one-shot query emits a structured slow-query event into the
+	// node's event log. Default 1s; negative disables the log.
+	SlowQuery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -47,6 +52,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxSubscriptions <= 0 {
 		c.MaxSubscriptions = 256
+	}
+	if c.SlowQuery == 0 {
+		c.SlowQuery = time.Second
 	}
 	return c
 }
@@ -82,14 +90,16 @@ func IsReject(err error) (string, bool) {
 	return "", false
 }
 
-// Metrics counts service-level activity.
+// Metrics counts service-level activity. Fields are registry-backed
+// counters registered into the node's obs.Registry at construction;
+// the field API (Add/Load) is unchanged from the atomic era.
 type Metrics struct {
-	Admitted           atomic.Uint64
-	Queued             atomic.Uint64 // admissions that had to wait for a slot
-	RejectedOverload   atomic.Uint64
-	RejectedTimeout    atomic.Uint64
-	RejectedSubs       atomic.Uint64
-	SharedScanAttaches atomic.Uint64 // subscriptions attached to an existing pipeline
+	Admitted           obs.Counter
+	Queued             obs.Counter // admissions that had to wait for a slot
+	RejectedOverload   obs.Counter
+	RejectedTimeout    obs.Counter
+	RejectedSubs       obs.Counter
+	SharedScanAttaches obs.Counter // subscriptions attached to an existing pipeline
 }
 
 // Service is the query-serving tier over one pier node: it owns
@@ -114,13 +124,17 @@ type Service struct {
 	nextSess atomic.Uint64
 	closed   bool
 
+	queueWait *obs.Histogram // slot-wait latency of queued admissions
+
 	Metrics Metrics
 }
 
-// New builds a service over node.
+// New builds a service over node, registering the service-level
+// metric series (admission, queue depth, plan cache) into the node's
+// registry.
 func New(node *pier.Node, cfg Config) *Service {
 	cfg = cfg.withDefaults()
-	return &Service{
+	s := &Service{
 		node:     node,
 		cfg:      cfg,
 		cache:    NewPlanCache(cfg.PlanCacheSize),
@@ -128,6 +142,29 @@ func New(node *pier.Node, cfg Config) *Service {
 		shared:   make(map[string]*sharedScan),
 		sessions: make(map[uint64]*Session),
 	}
+	s.registerMetrics(node.Obs())
+	return s
+}
+
+// registerMetrics attaches the service's counters and read-time
+// gauges to the node registry. Nil-safe (tests building a Service
+// around a node with no registry still work).
+func (s *Service) registerMetrics(reg *obs.Registry) {
+	reg.RegisterCounter("engine_admitted_total", &s.Metrics.Admitted)
+	reg.RegisterCounter("engine_queued_total", &s.Metrics.Queued)
+	reg.RegisterCounter(obs.L("engine_rejected_total", "reason", RejectOverloaded), &s.Metrics.RejectedOverload)
+	reg.RegisterCounter(obs.L("engine_rejected_total", "reason", RejectQueueTimeout), &s.Metrics.RejectedTimeout)
+	reg.RegisterCounter(obs.L("engine_rejected_total", "reason", RejectTooManySubs), &s.Metrics.RejectedSubs)
+	reg.RegisterCounter("engine_shared_scan_attaches_total", &s.Metrics.SharedScanAttaches)
+	s.queueWait = reg.Histogram("engine_queue_wait_ns", obs.LatencyBuckets)
+	reg.RegisterFunc("engine_queue_depth", func() float64 { return float64(s.queued.Load()) })
+	reg.RegisterFunc("engine_subscriptions", func() float64 { return float64(s.subs.Load()) })
+	reg.RegisterFunc("engine_plan_cache_hits_total", func() float64 { return float64(s.cache.Stats().Hits) })
+	reg.RegisterFunc("engine_plan_cache_misses_total", func() float64 { return float64(s.cache.Stats().Misses) })
+	reg.RegisterFunc("engine_plan_cache_evictions_total", func() float64 { return float64(s.cache.Stats().Evictions) })
+	reg.RegisterFunc("engine_plan_cache_invalidations_total", func() float64 { return float64(s.cache.Stats().Invalidations) })
+	reg.RegisterFunc("engine_plan_cache_entries", func() float64 { return float64(s.cache.Stats().Entries) })
+	reg.RegisterFunc("engine_plan_cache_hit_rate", func() float64 { return s.cache.Stats().HitRate() })
 }
 
 // Node exposes the underlying executor (the shell's non-query
@@ -199,10 +236,12 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 	}
 	defer s.queued.Add(-1)
 	s.Metrics.Queued.Add(1)
+	wait := time.Now()
 	timer := time.NewTimer(s.cfg.QueueTimeout)
 	defer timer.Stop()
 	select {
 	case s.slots <- struct{}{}:
+		s.queueWait.Observe(uint64(time.Since(wait)))
 		s.Metrics.Admitted.Add(1)
 		return release, nil
 	case <-timer.C:
@@ -218,29 +257,31 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 // entirely. On a miss the statement parses; plain statements compile
 // and cache, while non-cacheable ones (ANALYZE, WITH RECURSIVE)
 // return the parsed statement instead, for the caller to delegate.
-// Exactly one of spec and stmt is non-nil on success.
-func (s *Service) resolve(sql string, opts plan.Options) (*plan.Spec, *sqlparser.SelectStmt, error) {
+// Exactly one of spec and stmt is non-nil on success; cacheHit
+// reports whether the plan came straight from the cache (the trace's
+// resolve span and the slow-query log record it).
+func (s *Service) resolve(sql string, opts plan.Options) (*plan.Spec, *sqlparser.SelectStmt, bool, error) {
 	key, err := normalizedKey(sql, opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	epoch := s.node.Catalog().Epoch()
 	if spec, ok := s.cache.Get(key, epoch); ok {
-		return spec, nil, nil
+		return spec, nil, true, nil
 	}
 	stmt, err := sqlparser.Parse(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	if stmt.Analyze != nil || stmt.With != nil {
-		return nil, stmt, nil
+		return nil, stmt, false, nil
 	}
 	spec, err := plan.Compile(stmt, s.node.Catalog(), opts)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, false, err
 	}
 	s.cache.Put(key, spec, epoch)
-	return spec, nil, nil
+	return spec, nil, false, nil
 }
 
 // SessionStats is a session's cumulative resource accounting.
@@ -361,37 +402,99 @@ func (se *Session) QueryWithOptions(ctx context.Context, sql string, opts plan.O
 	if se.isClosed() {
 		return nil, se.reject(&RejectError{Reason: RejectClosed})
 	}
+	admitStart := time.Now()
 	release, err := se.svc.admit(ctx)
 	if err != nil {
 		return nil, se.reject(err)
 	}
+	admitEnd := time.Now()
 	defer release()
+	se.svc.node.Events().Emit(obs.SevInfo, obs.EvQueryAdmitted, 0,
+		"session %d admitted: %s", se.id, truncateSQL(sql))
 	se.nextQID.Add(1)
 	qctx, cancel := se.queryCtx(ctx)
 	defer cancel()
-	start := time.Now()
-	res, err := se.runOneShot(qctx, sql, opts)
+	start := admitEnd
+	res, cacheHit, resolveEnd, err := se.runOneShot(qctx, sql, opts)
 	if err != nil {
 		return nil, err
 	}
-	se.account(res, time.Since(start))
+	d := time.Since(start)
+	se.account(res, d)
+	se.svc.noteQuery(res, sql, cacheHit, admitStart, admitEnd, resolveEnd, d)
 	return res, nil
 }
 
 // runOneShot dispatches a one-shot statement: cache-resolved specs
-// for plain queries, delegation for ANALYZE / WITH RECURSIVE.
-func (se *Session) runOneShot(ctx context.Context, sql string, opts plan.Options) (*pier.Result, error) {
-	spec, stmt, err := se.svc.resolve(sql, opts)
+// for plain queries, delegation for ANALYZE / WITH RECURSIVE. It
+// reports whether the plan cache hit and when resolution finished,
+// for the service-side trace spans.
+func (se *Session) runOneShot(ctx context.Context, sql string, opts plan.Options) (*pier.Result, bool, time.Time, error) {
+	spec, stmt, cacheHit, err := se.svc.resolve(sql, opts)
+	resolveEnd := time.Now()
 	if err != nil {
-		return nil, err
+		return nil, cacheHit, resolveEnd, err
 	}
 	if stmt != nil {
-		return se.svc.node.QueryWithOptions(ctx, sql, opts)
+		res, err := se.svc.node.QueryWithOptions(ctx, sql, opts)
+		return res, cacheHit, resolveEnd, err
 	}
 	if spec.IsContinuous() {
-		return nil, fmt.Errorf("engine: continuous statement; use Subscribe")
+		return nil, cacheHit, resolveEnd, fmt.Errorf("engine: continuous statement; use Subscribe")
 	}
-	return se.svc.node.ExecuteSpec(ctx, spec)
+	res, err := se.svc.node.ExecuteSpec(ctx, spec)
+	return res, cacheHit, resolveEnd, err
+}
+
+// noteQuery records the service-side view of a completed one-shot
+// query: the resolve/admission spans join the query's assembled trace
+// (the coordinator's ring absorbs them even though execution already
+// returned), and queries past the SlowQuery threshold land in the
+// structured event log with reason, coverage, cache behaviour, and
+// peak operator memory.
+func (s *Service) noteQuery(res *pier.Result, sql string, cacheHit bool, admitStart, admitEnd time.Time, resolveEnd time.Time, d time.Duration) {
+	if res == nil {
+		return
+	}
+	cache := "miss"
+	if cacheHit {
+		cache = "hit"
+	}
+	if res.QueryID != 0 {
+		// Salt the buffer's ID space so service spans cannot collide
+		// with the coordinator's own span IDs for the same address,
+		// then stamp the real node address back on.
+		buf := obs.NewSpanBuf(s.node.Addr()+"|svc", 0)
+		buf.Add("admission", admitStart, admitEnd, "")
+		buf.Add("resolve", admitEnd, resolveEnd, "cache="+cache)
+		spans := buf.Snapshot()
+		for i := range spans {
+			spans[i].Node = s.node.Addr()
+		}
+		s.node.AddTraceSpans(res.QueryID, spans)
+	}
+	if s.cfg.SlowQuery > 0 && d > s.cfg.SlowQuery {
+		var peak uint64
+		if res.Analysis != nil {
+			for _, op := range res.Analysis.Ops {
+				if op.PeakMem > peak {
+					peak = op.PeakMem
+				}
+			}
+		}
+		s.node.Events().Emit(obs.SevWarn, obs.EvSlowQuery, res.QueryID,
+			"dur=%s reason=%s coverage=%.0f%% cache=%s peak_mem=%dB sql=%s",
+			d.Round(time.Millisecond), res.Reason, res.Coverage*100, cache, peak, truncateSQL(sql))
+	}
+}
+
+// truncateSQL bounds statement text embedded in event messages.
+func truncateSQL(sql string) string {
+	const max = 80
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "..."
 }
 
 // Prepare names a statement and compiles it into the plan cache
@@ -411,7 +514,7 @@ func (se *Session) Prepare(name, sql string, opts plan.Options) error {
 	}
 	// Plain statements compile now (warming the cache); ANALYZE and
 	// recursive statements become name-only bindings.
-	if _, _, err := se.svc.resolve(sql, opts); err != nil {
+	if _, _, _, err := se.svc.resolve(sql, opts); err != nil {
 		return err
 	}
 	se.mu.Lock()
@@ -458,7 +561,7 @@ func (se *Session) Exec(ctx context.Context, name string) (*pier.Result, error) 
 // Explain renders the distributed plan (through the cache, so
 // repeated EXPLAIN is parse-free).
 func (se *Session) Explain(sql string) (string, error) {
-	spec, stmt, err := se.svc.resolve(sql, plan.Options{})
+	spec, stmt, _, err := se.svc.resolve(sql, plan.Options{})
 	if err != nil {
 		return "", err
 	}

@@ -98,7 +98,7 @@ func (se *Session) subscribe(ctx context.Context, sql string, opts plan.Options)
 	if err != nil {
 		return nil, err
 	}
-	spec, stmt, err := se.svc.resolve(sql, opts)
+	spec, stmt, _, err := se.svc.resolve(sql, opts)
 	if err != nil {
 		return nil, err
 	}

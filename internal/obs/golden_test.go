@@ -1,0 +1,60 @@
+package obs_test
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/engine"
+	"repro/internal/piertest"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/metrics_names.golden")
+
+// TestMetricsNamesGolden guards against silent metric-name drift: the
+// static series a node + engine register at construction are pinned to
+// a committed golden list. Renaming or dropping a series breaks every
+// dashboard scraping it, so it must show up in review as a golden-file
+// diff (regenerate with `go test ./internal/obs -run Golden -update`).
+//
+// Dynamic series (per-RPC-method labels, created lazily on first use)
+// are filtered out — their set depends on what traffic the cluster
+// happened to see.
+func TestMetricsNamesGolden(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	engine.New(c.Nodes[0], engine.Config{})
+
+	var names []string
+	for _, n := range c.Nodes[0].Obs().Names() {
+		if strings.Contains(n, `{method=`) {
+			continue
+		}
+		names = append(names, n)
+	}
+	got := strings.Join(names, "\n") + "\n"
+
+	golden := filepath.Join("testdata", "metrics_names.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden list (run with -update to create it): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("registered metric names drifted from %s\n(metric names are stable API: if the change is intentional, regenerate with -update)\ngot:\n%s\nwant:\n%s",
+			golden, got, want)
+	}
+}

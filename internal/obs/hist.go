@@ -1,0 +1,95 @@
+package obs
+
+import "sync/atomic"
+
+// Standard bucket bounds. Units live in the series name suffix
+// (`_ns`, `_bytes`), bounds are plain uint64 observations.
+var (
+	// LatencyBuckets covers 100µs..10s in nanoseconds.
+	LatencyBuckets = []uint64{
+		100_000, 500_000, 1_000_000, 5_000_000, 10_000_000,
+		50_000_000, 100_000_000, 500_000_000, 1_000_000_000,
+		5_000_000_000, 10_000_000_000,
+	}
+	// SizeBuckets covers 64B..1MiB payload sizes.
+	SizeBuckets = []uint64{64, 256, 1024, 4096, 16384, 65536, 262144, 1048576}
+	// CountBuckets covers small cardinalities (drain rounds, retries).
+	CountBuckets = []uint64{1, 2, 4, 8, 16, 32, 64}
+	// PercentBuckets covers coverage percentages.
+	PercentBuckets = []uint64{25, 50, 75, 90, 95, 99, 100}
+)
+
+// Histogram is a fixed-bound, lock-free histogram. Observations are
+// uint64 (nanoseconds, bytes, counts); each lands in the first bucket
+// whose upper bound is ≥ the value, with an implicit +Inf overflow
+// bucket. Memory is bounded at creation: len(bounds)+1 slots.
+type Histogram struct {
+	bounds []uint64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf overflow
+	sum    atomic.Uint64
+	count  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bounds.
+// Nil/empty bounds default to CountBuckets.
+func NewHistogram(bounds []uint64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = CountBuckets
+	}
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v uint64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	h.count.Add(1)
+}
+
+// Count reports the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum reports the running total of observed values.
+func (h *Histogram) Sum() uint64 { return h.sum.Load() }
+
+// samples expands the histogram into Prometheus-style cumulative
+// bucket samples plus _sum and _count under the given series name.
+func (h *Histogram) samples(name string) []Sample {
+	out := make([]Sample, 0, len(h.bounds)+3)
+	var cum uint64
+	for i, b := range h.bounds {
+		cum += h.counts[i].Load()
+		out = append(out, Sample{
+			Name:  spliceLabel(name, "_bucket", "le", utoa(b)),
+			Value: float64(cum),
+		})
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	out = append(out,
+		Sample{Name: spliceLabel(name, "_bucket", "le", "+Inf"), Value: float64(cum)},
+		Sample{Name: suffixed(name, "_sum"), Value: float64(h.sum.Load())},
+		Sample{Name: suffixed(name, "_count"), Value: float64(h.count.Load())},
+	)
+	return out
+}
+
+func utoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,304 @@
+// Package obs is the node-wide observability layer: a lock-free
+// metrics registry (counters, gauges, bounded-bucket histograms) with
+// a stable naming scheme and Prometheus text rendering, per-query
+// distributed trace spans, and a fixed-size structured event log.
+//
+// The engine that PIER demonstrates monitors networks; obs makes the
+// engine itself monitorable. Every layer (rpc, dht, batch, spill,
+// engine, pier) registers its counters into one per-node Registry at
+// construction, hot paths hold direct handles (one atomic add per
+// observation), and the whole surface exports through pierd's
+// `metrics`, `trace`, and `events` requests.
+//
+// Naming scheme: `<layer>_<what>_<unit-or-total>` in Prometheus
+// conventions, with dimensions folded into the series name as
+// `name{key="value"}` via L — e.g. `rpc_calls_total{method="pier.rows"}`,
+// `batch_flushes_total{reason="timer"}`, `engine_queue_wait_ns`.
+// Series names are stable API: internal/obs's golden test pins the
+// static set registered by a node + engine.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotone lock-free counter. The zero value is usable,
+// so structs can embed Counter fields by value (pier.Metrics keeps its
+// field API) and register pointers to them afterwards.
+type Counter struct{ v atomic.Uint64 }
+
+// Add increments the counter by n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load reads the current value.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Gauge is a lock-free instantaneous value (may go down).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores the current value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Load reads the current value.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
+// Sample is one point of a registry snapshot. Histograms expand into
+// `_bucket{le=...}` / `_sum` / `_count` samples.
+type Sample struct {
+	Name  string
+	Value float64
+}
+
+// Registry holds one node's metric series. All methods are safe for
+// concurrent use and nil-safe: a nil registry hands out working (but
+// unregistered, never exported) instruments, so instrumented code
+// never branches on whether observability is attached.
+type Registry struct {
+	mu       sync.RWMutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	funcs    map[string]func() float64
+}
+
+// New builds an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+		funcs:    make(map[string]func() float64),
+	}
+}
+
+// L folds label dimensions into a series name: L("rpc_calls_total",
+// "method", "pier.rows") → `rpc_calls_total{method="pier.rows"}`.
+// Pairs render in the order given; callers keep them stable.
+func L(name string, kv ...string) string {
+	if len(kv) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(kv[i+1])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (creating if needed) the counter registered under
+// name. On a nil registry it returns a working unregistered counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return new(Counter)
+	}
+	r.mu.RLock()
+	c := r.counters[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.counters[name]; c == nil {
+		c = new(Counter)
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge registered under name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return new(Gauge)
+	}
+	r.mu.RLock()
+	g := r.gauges[name]
+	r.mu.RUnlock()
+	if g != nil {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g = r.gauges[name]; g == nil {
+		g = new(Gauge)
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram registered
+// under name. Bounds apply only at creation; see NewHistogram.
+func (r *Registry) Histogram(name string, bounds []uint64) *Histogram {
+	if r == nil {
+		return NewHistogram(bounds)
+	}
+	r.mu.RLock()
+	h := r.hists[name]
+	r.mu.RUnlock()
+	if h != nil {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h = r.hists[name]; h == nil {
+		h = NewHistogram(bounds)
+		r.hists[name] = h
+	}
+	return h
+}
+
+// RegisterCounter attaches an existing counter under name (how value
+// structs like pier.Metrics join the registry without changing their
+// field API). Re-registering a name replaces the previous instrument.
+func (r *Registry) RegisterCounter(name string, c *Counter) {
+	if r == nil || c == nil {
+		return
+	}
+	r.mu.Lock()
+	r.counters[name] = c
+	r.mu.Unlock()
+}
+
+// RegisterFunc exports a read-time computed value (queue depths, cache
+// hit counters owned elsewhere). fn must be safe for concurrent use.
+func (r *Registry) RegisterFunc(name string, fn func() float64) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.mu.Lock()
+	r.funcs[name] = fn
+	r.mu.Unlock()
+}
+
+// Names lists every registered series name, sorted. Histograms appear
+// once under their base name.
+func (r *Registry) Names() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]string, 0, len(r.counters)+len(r.gauges)+len(r.hists)+len(r.funcs))
+	for n := range r.counters {
+		out = append(out, n)
+	}
+	for n := range r.gauges {
+		out = append(out, n)
+	}
+	for n := range r.hists {
+		out = append(out, n)
+	}
+	for n := range r.funcs {
+		out = append(out, n)
+	}
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Snapshot captures every series at one point in time, sorted by
+// sample name. Histograms expand into cumulative buckets, sum, and
+// count, Prometheus-style.
+func (r *Registry) Snapshot() []Sample {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := make([]Sample, 0, len(r.counters)+len(r.gauges)+4*len(r.hists)+len(r.funcs))
+	for n, c := range r.counters {
+		out = append(out, Sample{Name: n, Value: float64(c.Load())})
+	}
+	for n, g := range r.gauges {
+		out = append(out, Sample{Name: n, Value: float64(g.Load())})
+	}
+	for n, fn := range r.funcs {
+		out = append(out, Sample{Name: n, Value: fn()})
+	}
+	for n, h := range r.hists {
+		out = append(out, h.samples(n)...)
+	}
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// SnapshotMap is Snapshot as a name → value map (the pierd `metrics`
+// JSON body).
+func (r *Registry) SnapshotMap() map[string]float64 {
+	s := r.Snapshot()
+	if s == nil {
+		return nil
+	}
+	m := make(map[string]float64, len(s))
+	for _, sm := range s {
+		m[sm.Name] = sm.Value
+	}
+	return m
+}
+
+// RenderProm renders the snapshot in Prometheus text exposition
+// format (one `name value` line per sample, sorted).
+func (r *Registry) RenderProm() string {
+	samples := r.Snapshot()
+	var b strings.Builder
+	b.Grow(64 * len(samples))
+	for _, s := range samples {
+		if s.Value == float64(uint64(s.Value)) {
+			fmt.Fprintf(&b, "%s %d\n", s.Name, uint64(s.Value))
+		} else {
+			fmt.Fprintf(&b, "%s %g\n", s.Name, s.Value)
+		}
+	}
+	return b.String()
+}
+
+// suffixed inserts a suffix before a name's label block (if any):
+// suffixed(`lat{method="x"}`, "_sum") → `lat_sum{method="x"}`.
+func suffixed(name, suffix string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i] + suffix + name[i:]
+	}
+	return name + suffix
+}
+
+// spliceLabel appends one label pair to a (possibly already labeled)
+// series name under a suffix: spliceLabel("lat{method=\"x\"}",
+// "_bucket", "le", "250") → `lat_bucket{method="x",le="250"}`.
+func spliceLabel(name, suffix, key, val string) string {
+	base, labels := name, ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		base = name[:i]
+		labels = strings.TrimSuffix(name[i+1:], "}")
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString(suffix)
+	b.WriteByte('{')
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(key)
+	b.WriteString(`="`)
+	b.WriteString(val)
+	b.WriteString(`"}`)
+	return b.String()
+}

@@ -1,0 +1,294 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// TestRegistryConcurrency hammers every instrument kind from many
+// goroutines while snapshots run — meaningful under -race, which CI
+// enables for this package.
+func TestRegistryConcurrency(t *testing.T) {
+	reg := New()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			c := reg.Counter("test_ops_total")
+			g := reg.Gauge("test_depth")
+			h := reg.Histogram("test_lat_ns", LatencyBuckets)
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(uint64(i) * 1000)
+				reg.Counter(L("test_labeled_total", "k", "v")).Inc()
+			}
+		}()
+	}
+	// Concurrent readers.
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				reg.Snapshot()
+				reg.RenderProm()
+				reg.Names()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := reg.Counter("test_ops_total").Load(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Counter(L("test_labeled_total", "k", "v")).Load(); got != workers*perWorker {
+		t.Fatalf("labeled counter = %d, want %d", got, workers*perWorker)
+	}
+	if got := reg.Histogram("test_lat_ns", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count = %d, want %d", got, workers*perWorker)
+	}
+}
+
+// TestNilRegistry verifies the nil-safety contract: nil registries,
+// span buffers, and event logs hand out working no-op instruments.
+func TestNilRegistry(t *testing.T) {
+	var reg *Registry
+	reg.Counter("x").Inc()
+	reg.Gauge("y").Set(3)
+	reg.Histogram("z", SizeBuckets).Observe(10)
+	reg.RegisterCounter("w", new(Counter))
+	reg.RegisterFunc("f", func() float64 { return 1 })
+	if reg.Snapshot() != nil || reg.Names() != nil {
+		t.Fatal("nil registry must snapshot to nil")
+	}
+	var buf *SpanBuf
+	buf.End(buf.Start("s"))
+	buf.CloseOpen()
+	if buf.Snapshot() != nil {
+		t.Fatal("nil span buffer must snapshot to nil")
+	}
+	var log *EventLog
+	log.Emit(SevInfo, EvQueryAdmitted, 1, "x")
+	if log.Snapshot() != nil || log.Total() != 0 {
+		t.Fatal("nil event log must be empty")
+	}
+}
+
+// TestHistogramBucketBoundaries pins the le-boundary semantics: a
+// value equal to a bound lands in that bound's bucket (Prometheus
+// `le` is inclusive), one past it in the next, and values past the
+// last bound in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	h := NewHistogram([]uint64{10, 100, 1000})
+	h.Observe(10)   // le=10
+	h.Observe(11)   // le=100
+	h.Observe(100)  // le=100
+	h.Observe(1000) // le=1000
+	h.Observe(1001) // +Inf
+	samples := h.samples("lat")
+	want := map[string]float64{
+		`lat_bucket{le="10"}`:   1,
+		`lat_bucket{le="100"}`:  3, // cumulative
+		`lat_bucket{le="1000"}`: 4,
+		`lat_bucket{le="+Inf"}`: 5,
+		"lat_sum":               10 + 11 + 100 + 1000 + 1001,
+		"lat_count":             5,
+	}
+	got := make(map[string]float64, len(samples))
+	for _, s := range samples {
+		got[s.Name] = s.Value
+	}
+	for name, v := range want {
+		if got[name] != v {
+			t.Errorf("%s = %v, want %v (all: %v)", name, got[name], v, got)
+		}
+	}
+}
+
+// TestHistogramLabeledExpansion checks label splicing: a labeled
+// histogram's buckets must fold le into the existing label set.
+func TestHistogramLabeledExpansion(t *testing.T) {
+	reg := New()
+	reg.Histogram(L("rpc_latency_ns", "method", "pier.rows"), []uint64{100}).Observe(50)
+	m := reg.SnapshotMap()
+	if m[`rpc_latency_ns_bucket{method="pier.rows",le="100"}`] != 1 {
+		t.Fatalf("spliced bucket missing: %v", m)
+	}
+	if m[`rpc_latency_ns_count{method="pier.rows"}`] != 1 {
+		t.Fatalf("labeled _count missing: %v", m)
+	}
+}
+
+func TestRenderProm(t *testing.T) {
+	reg := New()
+	reg.Counter("b_total").Add(2)
+	reg.Gauge("a_depth").Set(-3)
+	reg.RegisterFunc("c_ratio", func() float64 { return 0.5 })
+	text := reg.RenderProm()
+	want := "a_depth -3\nb_total 2\nc_ratio 0.5\n"
+	if text != want {
+		t.Fatalf("RenderProm:\n%q\nwant:\n%q", text, want)
+	}
+}
+
+func TestEventRingWraparound(t *testing.T) {
+	log := NewEventLog(4)
+	for i := 0; i < 10; i++ {
+		log.Emit(SevInfo, EvQueryCompleted, uint64(i), "event %d", i)
+	}
+	if log.Total() != 10 {
+		t.Fatalf("total = %d, want 10", log.Total())
+	}
+	events := log.Snapshot()
+	if len(events) != 4 {
+		t.Fatalf("ring retained %d events, want 4", len(events))
+	}
+	for i, ev := range events {
+		if want := uint64(6 + i); ev.Query != want {
+			t.Fatalf("event %d is query %d, want %d (oldest-first)", i, ev.Query, want)
+		}
+	}
+}
+
+func TestSpanBufRootParenting(t *testing.T) {
+	b := NewSpanBuf("coord", 0)
+	root := b.Root("query")
+	child := b.Start("disseminate")
+	grand := b.StartChild(child, "inner")
+	b.End(grand)
+	b.End(child)
+	b.EndDetail(root, "reason=eos")
+	spans := b.Snapshot()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans", len(spans))
+	}
+	byName := make(map[string]Span)
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["query"].Parent != 0 {
+		t.Fatalf("root has parent %d", byName["query"].Parent)
+	}
+	if byName["disseminate"].Parent != root {
+		t.Fatal("Start after Root must parent on the root span")
+	}
+	if byName["inner"].Parent != child {
+		t.Fatal("StartChild must honor the explicit parent")
+	}
+	if byName["query"].Detail != "reason=eos" {
+		t.Fatalf("detail %q", byName["query"].Detail)
+	}
+	for _, s := range spans {
+		if s.End == 0 {
+			t.Fatalf("span %s still open", s.Name)
+		}
+	}
+}
+
+func TestSpanBufCloseOpen(t *testing.T) {
+	b := NewSpanBuf("n", 77)
+	b.Start("scan")
+	b.Start("ship")
+	b.CloseOpen()
+	for _, s := range b.Snapshot() {
+		if s.End == 0 {
+			t.Fatalf("span %s not closed by CloseOpen", s.Name)
+		}
+		if s.Parent != 77 {
+			t.Fatalf("span %s parent %d, want the disseminated root 77", s.Name, s.Parent)
+		}
+	}
+}
+
+func TestSpanEncodeDecodeRoundTrip(t *testing.T) {
+	b := NewSpanBuf("node3", 9)
+	b.EndDetail(b.Start("scan"), "rows=12")
+	b.Add("drain.r1", time.Unix(0, 100), time.Unix(0, 200), "")
+	in := b.Snapshot()
+	var w wire.Writer
+	EncodeSpans(&w, in)
+	out, err := DecodeSpans(wire.NewReader(w.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("decoded %d spans, want %d", len(out), len(in))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("span %d: %+v != %+v", i, in[i], out[i])
+		}
+	}
+}
+
+// TestAssembleTraceSkew verifies clock-skew normalization: a remote
+// node whose clock is far ahead has its spans translated as a block so
+// its earliest span aligns with the coordinator's root start, while
+// intra-node relative timing is preserved exactly.
+func TestAssembleTraceSkew(t *testing.T) {
+	const coordStart = 1_000_000
+	byNode := map[string][]Span{
+		"coord": {
+			{ID: 1, Node: "coord", Name: "query", Start: coordStart, End: coordStart + 500},
+		},
+		"remote": {
+			// Remote clock is ~1h ahead of the coordinator's.
+			{ID: 2, Node: "remote", Name: "scan", Start: 3_600_001_000_000, End: 3_600_001_000_100},
+			{ID: 3, Node: "remote", Name: "ship", Start: 3_600_001_000_040, End: 3_600_001_000_090},
+		},
+	}
+	tr := AssembleTrace(7, 1, "coord", byNode)
+	if got := tr.Nodes(); len(got) != 2 {
+		t.Fatalf("nodes %v", got)
+	}
+	var scan, ship Span
+	for _, s := range tr.Spans {
+		switch s.Name {
+		case "scan":
+			scan = s
+		case "ship":
+			ship = s
+		}
+	}
+	if scan.Start != coordStart {
+		t.Fatalf("remote earliest span starts at %d, want anchored to coordinator start %d", scan.Start, coordStart)
+	}
+	if ship.Start-scan.Start != 40 || ship.End-ship.Start != 50 {
+		t.Fatal("relative timing within the remote node must be preserved")
+	}
+	if tr.Spans[0].Start > tr.Spans[len(tr.Spans)-1].Start {
+		t.Fatal("spans must sort by start time")
+	}
+	text := tr.Render()
+	if !strings.Contains(text, "(coordinator)") || !strings.Contains(text, "scan") {
+		t.Fatalf("render:\n%s", text)
+	}
+	if !strings.Contains(string(tr.JSON()), `"coordinator":"coord"`) {
+		t.Fatalf("json: %s", tr.JSON())
+	}
+}
+
+func TestSpliceLabel(t *testing.T) {
+	if got := spliceLabel("lat", "_bucket", "le", "5"); got != `lat_bucket{le="5"}` {
+		t.Fatal(got)
+	}
+	if got := spliceLabel(`lat{method="x"}`, "_bucket", "le", "5"); got != `lat_bucket{method="x",le="5"}` {
+		t.Fatal(got)
+	}
+}
+
+func TestSpanBufCap(t *testing.T) {
+	b := NewSpanBuf("n", 0)
+	for i := 0; i < maxSpansPerNode+10; i++ {
+		b.End(b.Start("s"))
+	}
+	if got := len(b.Snapshot()); got != maxSpansPerNode {
+		t.Fatalf("buffer grew to %d spans, cap is %d", got, maxSpansPerNode)
+	}
+}

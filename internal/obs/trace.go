@@ -1,0 +1,369 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Span is one timed phase of a query on one node. IDs are globally
+// unique (high bits hash the node address); Parent links phases into a
+// tree, with every node's top-level spans parented on the
+// coordinator's root span so the assembled trace is a single tree.
+type Span struct {
+	ID     uint64 `json:"id"`
+	Parent uint64 `json:"parent,omitempty"`
+	Node   string `json:"node"`
+	Name   string `json:"name"`
+	Start  int64  `json:"start_ns"` // local-clock unix nanos
+	End    int64  `json:"end_ns"`
+	Detail string `json:"detail,omitempty"`
+}
+
+const maxSpansPerNode = 128
+
+// SpanBuf collects one node's spans for one query. All methods are
+// nil-safe (a nil buffer records nothing) so continuous queries and
+// trace-disabled paths cost a single pointer check. The buffer is
+// bounded: past maxSpansPerNode, new spans are dropped.
+type SpanBuf struct {
+	mu     sync.Mutex
+	node   string
+	parent uint64 // default parent: the coordinator's root span id
+	nextID uint64
+	spans  []Span
+	open   map[uint64]int // open span id → index in spans
+}
+
+// NewSpanBuf builds a span buffer for one node's view of one query.
+// root is the coordinator's root span id (0 on the coordinator itself,
+// whose root span is created explicitly).
+func NewSpanBuf(node string, root uint64) *SpanBuf {
+	h := fnv.New64a()
+	h.Write([]byte(node))
+	return &SpanBuf{
+		node:   node,
+		parent: root,
+		nextID: h.Sum64()<<16 | 1,
+		open:   make(map[uint64]int),
+	}
+}
+
+// Start opens a span named name, parented on the buffer's root.
+// It returns the span id for End/EndDetail; 0 on a nil buffer.
+func (b *SpanBuf) Start(name string) uint64 {
+	return b.StartChild(0, name)
+}
+
+// Root opens the buffer's top-level span and makes it the default
+// parent of all subsequent spans — the coordinator's query root whose
+// id is disseminated to participants.
+func (b *SpanBuf) Root(name string) uint64 {
+	id := b.StartChild(0, name)
+	if b != nil && id != 0 {
+		b.mu.Lock()
+		b.parent = id
+		b.mu.Unlock()
+	}
+	return id
+}
+
+// StartChild opens a span under an explicit parent span id (0 means
+// the buffer's default root parent).
+func (b *SpanBuf) StartChild(parent uint64, name string) uint64 {
+	if b == nil {
+		return 0
+	}
+	now := time.Now().UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.spans) >= maxSpansPerNode {
+		return 0
+	}
+	id := b.nextID
+	b.nextID++
+	if parent == 0 {
+		parent = b.parent
+	}
+	b.open[id] = len(b.spans)
+	b.spans = append(b.spans, Span{
+		ID: id, Parent: parent, Node: b.node, Name: name, Start: now,
+	})
+	return id
+}
+
+// End closes an open span.
+func (b *SpanBuf) End(id uint64) { b.EndDetail(id, "") }
+
+// EndDetail closes an open span and attaches a detail string.
+func (b *SpanBuf) EndDetail(id uint64, detail string) {
+	if b == nil || id == 0 {
+		return
+	}
+	now := time.Now().UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	i, ok := b.open[id]
+	if !ok {
+		return
+	}
+	delete(b.open, id)
+	b.spans[i].End = now
+	if detail != "" {
+		b.spans[i].Detail = detail
+	}
+}
+
+// Add records an already-timed span.
+func (b *SpanBuf) Add(name string, start, end time.Time, detail string) {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.spans) >= maxSpansPerNode {
+		return
+	}
+	id := b.nextID
+	b.nextID++
+	b.spans = append(b.spans, Span{
+		ID: id, Parent: b.parent, Node: b.node, Name: name,
+		Start: start.UnixNano(), End: end.UnixNano(), Detail: detail,
+	})
+}
+
+// CloseOpen ends every still-open span at the current instant; called
+// at query teardown so cancelled phases still report a duration.
+func (b *SpanBuf) CloseOpen() {
+	if b == nil {
+		return
+	}
+	now := time.Now().UnixNano()
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for id, i := range b.open {
+		b.spans[i].End = now
+		delete(b.open, id)
+	}
+}
+
+// Snapshot copies the recorded spans (open spans appear with End 0).
+func (b *SpanBuf) Snapshot() []Span {
+	if b == nil {
+		return nil
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]Span, len(b.spans))
+	copy(out, b.spans)
+	return out
+}
+
+// EncodeSpans writes spans onto a wire writer (piggybacked on the
+// teardown stats RPC).
+func EncodeSpans(w *wire.Writer, spans []Span) {
+	w.Uvarint(uint64(len(spans)))
+	for _, s := range spans {
+		w.Uint64(s.ID)
+		w.Uint64(s.Parent)
+		w.String(s.Node)
+		w.String(s.Name)
+		w.Uint64(uint64(s.Start))
+		w.Uint64(uint64(s.End))
+		w.String(s.Detail)
+	}
+}
+
+// DecodeSpans reads a span list written by EncodeSpans.
+func DecodeSpans(r *wire.Reader) ([]Span, error) {
+	n := r.Uvarint()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n > 4096 {
+		return nil, fmt.Errorf("obs: span count %d too large", n)
+	}
+	spans := make([]Span, 0, n)
+	for i := uint64(0); i < n; i++ {
+		var s Span
+		s.ID = r.Uint64()
+		s.Parent = r.Uint64()
+		s.Node = r.String()
+		s.Name = r.String()
+		s.Start = int64(r.Uint64())
+		s.End = int64(r.Uint64())
+		s.Detail = r.String()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
+}
+
+// Trace is one query's assembled cross-node span tree.
+type Trace struct {
+	Query uint64 `json:"query"`
+	Root  uint64 `json:"root,omitempty"`
+	Coord string `json:"coordinator"`
+	Spans []Span `json:"spans"`
+}
+
+// AssembleTrace merges per-node span sets into one trace, normalizing
+// clock skew: node clocks are independent, so each non-coordinator
+// node's spans are translated as a block so that its earliest span
+// starts at the coordinator's root-span start (remote work cannot
+// begin before dissemination). Relative timing within a node is
+// preserved exactly; cross-node offsets are approximate by design.
+func AssembleTrace(query, root uint64, coord string, byNode map[string][]Span) *Trace {
+	t := &Trace{Query: query, Root: root, Coord: coord}
+	// Anchor: the coordinator's earliest span start (its root span).
+	var anchor int64
+	for _, s := range byNode[coord] {
+		if anchor == 0 || s.Start < anchor {
+			anchor = s.Start
+		}
+	}
+	nodes := make([]string, 0, len(byNode))
+	for n := range byNode {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		spans := byNode[n]
+		var shift int64
+		if n != coord && anchor != 0 {
+			var earliest int64
+			for _, s := range spans {
+				if earliest == 0 || s.Start < earliest {
+					earliest = s.Start
+				}
+			}
+			if earliest != 0 {
+				shift = anchor - earliest
+			}
+		}
+		for _, s := range spans {
+			if shift != 0 {
+				s.Start += shift
+				if s.End != 0 {
+					s.End += shift
+				}
+			}
+			t.Spans = append(t.Spans, s)
+		}
+	}
+	sort.SliceStable(t.Spans, func(i, j int) bool { return t.Spans[i].Start < t.Spans[j].Start })
+	return t
+}
+
+// Nodes lists the distinct node addresses contributing spans.
+func (t *Trace) Nodes() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, s := range t.Spans {
+		if !seen[s.Node] {
+			seen[s.Node] = true
+			out = append(out, s.Node)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// JSON renders the trace as a JSON document.
+func (t *Trace) JSON() []byte {
+	b, err := json.Marshal(t)
+	if err != nil {
+		return []byte("{}")
+	}
+	return b
+}
+
+// Render draws a human-readable TRACE tree: one block per node
+// (coordinator first), spans nested by parent, offsets relative to the
+// trace start.
+func (t *Trace) Render() string {
+	if t == nil || len(t.Spans) == 0 {
+		return "TRACE: no spans\n"
+	}
+	t0, tEnd := t.Spans[0].Start, int64(0)
+	for _, s := range t.Spans {
+		if s.Start < t0 {
+			t0 = s.Start
+		}
+		if s.End > tEnd {
+			tEnd = s.End
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "TRACE query %d: %d spans, %d nodes, %s\n",
+		t.Query, len(t.Spans), len(t.Nodes()), fmtDur(tEnd-t0))
+
+	byNode := make(map[string][]Span)
+	for _, s := range t.Spans {
+		byNode[s.Node] = append(byNode[s.Node], s)
+	}
+	nodes := t.Nodes()
+	// Coordinator block first.
+	sort.SliceStable(nodes, func(i, j int) bool {
+		if (nodes[i] == t.Coord) != (nodes[j] == t.Coord) {
+			return nodes[i] == t.Coord
+		}
+		return nodes[i] < nodes[j]
+	})
+	for _, n := range nodes {
+		role := ""
+		if n == t.Coord {
+			role = " (coordinator)"
+		}
+		fmt.Fprintf(&b, "  %s%s\n", n, role)
+		spans := byNode[n]
+		ids := make(map[uint64]bool, len(spans))
+		children := make(map[uint64][]Span)
+		for _, s := range spans {
+			ids[s.ID] = true
+		}
+		var roots []Span
+		for _, s := range spans {
+			if s.Parent != 0 && ids[s.Parent] && s.Parent != s.ID {
+				children[s.Parent] = append(children[s.Parent], s)
+			} else {
+				roots = append(roots, s)
+			}
+		}
+		var walk func(s Span, depth int)
+		walk = func(s Span, depth int) {
+			dur := "open"
+			if s.End != 0 {
+				dur = fmtDur(s.End - s.Start)
+			}
+			detail := ""
+			if s.Detail != "" {
+				detail = "  [" + s.Detail + "]"
+			}
+			fmt.Fprintf(&b, "    %s+%-9s %-*s %s%s\n",
+				strings.Repeat("  ", depth), fmtDur(s.Start-t0), 24-2*depth, s.Name, dur, detail)
+			for _, c := range children[s.ID] {
+				walk(c, depth+1)
+			}
+		}
+		for _, s := range roots {
+			walk(s, 0)
+		}
+	}
+	return b.String()
+}
+
+func fmtDur(ns int64) string {
+	if ns < 0 {
+		ns = 0
+	}
+	return time.Duration(ns).Round(10 * time.Microsecond).String()
+}

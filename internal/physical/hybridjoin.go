@@ -440,6 +440,9 @@ func HybridJoin(arity [2]int, keyCols [2][]int, cfg HybridJoinConfig) OpFunc {
 				}
 				if did {
 					c.AddSpillPass()
+					if cfg.Spill != nil {
+						cfg.Spill.Passes.Add(1)
+					}
 				}
 				return true
 			}

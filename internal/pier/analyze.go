@@ -11,6 +11,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/dataflow"
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/physical"
 	"repro/internal/plan"
@@ -515,6 +516,7 @@ func (n *Node) statsDriftLoop() {
 				cancel()
 				if err == nil {
 					n.Metrics.AutoAnalyzes.Add(1)
+					n.events.Emit(obs.SevInfo, obs.EvAutoAnalyze, 0, "drift re-ANALYZE of %s", table)
 				}
 			}
 		}

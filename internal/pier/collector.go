@@ -1,6 +1,8 @@
 package pier
 
 import (
+	"fmt"
+
 	"repro/internal/dataflow"
 	"repro/internal/physical"
 	"repro/internal/plan"
@@ -46,6 +48,9 @@ func (q *queryState) joinInlet(stage, side int) *physical.Inlet {
 		q.joinInlets[stage] = inlets
 		q.pipes = append(q.pipes, pipe)
 		q.running = append(q.running, run)
+		// Collector spans open when the stage's pipeline lazily starts
+		// and close with the other open spans at teardown.
+		q.spans.Start(fmt.Sprintf("collect-join.s%d", stage))
 	}
 	return inlets[side]
 }
@@ -67,6 +72,7 @@ func (q *queryState) aggInlet() *physical.Inlet {
 		q.aggIn = in
 		q.pipes = append(q.pipes, pipe)
 		q.running = append(q.running, run)
+		q.spans.Start("collect-agg")
 	}
 	return q.aggIn
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/bloom"
+	"repro/internal/obs"
 	"repro/internal/physical"
 	"repro/internal/plan"
 	"repro/internal/sqlparser"
@@ -36,6 +37,10 @@ const (
 
 // Result is a completed one-shot query.
 type Result struct {
+	// QueryID is the network-wide query identifier; the coordinator's
+	// trace ring serves the assembled cross-node trace under it
+	// (Node.Trace).
+	QueryID uint64
 	// Columns names the result columns in select-list order.
 	Columns []string
 	// Rows are the result tuples, ordered per ORDER BY.
@@ -163,19 +168,28 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		return nil, fmt.Errorf("pier: node stopped")
 	}
 	n.Metrics.QueriesCoordinated.Add(1)
+	q.initTrace(0)
+	rootSpan := q.spans.Root("query")
+	q.traceRoot = rootSpan
+	n.traceStart(qid, rootSpan)
 	defer n.dropQuery(qid)
 
 	var filters map[int]*bloom.Filter
 	if bloomStages(spec) != nil {
 		var err error
+		bloomSpan := q.spans.Start("gather-bloom")
 		filters, err = n.gatherBloom(ctx, qid, spec)
+		q.spans.End(bloomSpan)
 		if err != nil {
 			return nil, err
 		}
 	}
-	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, filters)); err != nil {
+	dissSpan := q.spans.Start("disseminate")
+	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), rootSpan, spec, filters)); err != nil {
 		return nil, fmt.Errorf("pier: disseminating query: %w", err)
 	}
+	q.spans.End(dissSpan)
+	waitSpan := q.spans.Start("wait")
 
 	// Completion: with Members set, drive the deterministic EOS
 	// protocol — wait for every member's end-of-scan ledger, issue
@@ -205,6 +219,12 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		select {
 		case <-ctx.Done():
 			n.stopQuery(qid)
+			// Partial queries still trace: the stop broadcast makes
+			// participants ship their spans (landing in the trace
+			// ring, which outlives the query), and the deferred
+			// dropQuery ships this node's — shipStats is not gated on
+			// how the query ended.
+			n.events.Emit(obs.SevWarn, obs.EvQueryDegraded, qid, "cancelled: %v", ctx.Err())
 			return nil, ctx.Err()
 		case <-q.ctx.Done():
 			// Node.Stop (or a teardown broadcast) cancelled the query
@@ -300,6 +320,7 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 			break
 		}
 	}
+	q.spans.EndDetail(waitSpan, fmt.Sprintf("reason=%s rounds=%d", reason, issuedRound))
 	n.stopQuery(qid)
 	if spec.Analyze {
 		// Merge this node's own counters and give remote nodes a
@@ -312,17 +333,30 @@ func (n *Node) ExecuteSpec(ctx context.Context, spec *plan.Spec) (*Result, error
 		}
 	}
 
+	finSpan := q.spans.Start("finalize")
 	rows := q.canonicalRows(0)
 	var final []tuple.Tuple
 	finalize := physical.CompileFinalize(spec, rows, &final, q.node.cfg.BatchSize)
 	if err := finalize.Run(ctx); err != nil {
 		return nil, err
 	}
+	q.spans.End(finSpan)
 	q.coMu.Lock()
 	participants := len(q.doneNodes)
 	q.coMu.Unlock()
 	cov, covTables := q.coverage(reason, members, suspects)
+	q.spans.EndDetail(rootSpan, "reason="+reason)
+	n.recordCompletion(reason, cov, issuedRound)
+	if reason == ReasonEOS {
+		n.events.Emit(obs.SevInfo, obs.EvQueryCompleted, qid,
+			"rows=%d participants=%d dur=%s", len(final), participants, time.Since(start).Round(time.Millisecond))
+	} else {
+		n.events.Emit(obs.SevWarn, obs.EvQueryDegraded, qid,
+			"reason=%s coverage=%.0f%% rows=%d participants=%d dur=%s",
+			reason, cov*100, len(final), participants, time.Since(start).Round(time.Millisecond))
+	}
 	res := &Result{
+		QueryID:         qid,
 		Columns:         spec.OutNames,
 		Rows:            final,
 		Duration:        time.Since(start),
@@ -467,7 +501,7 @@ func (n *Node) ExecuteSpecContinuous(ctx context.Context, spec *plan.Spec) (*Con
 		return nil, fmt.Errorf("pier: node stopped")
 	}
 	n.Metrics.QueriesCoordinated.Add(1)
-	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), spec, nil)); err != nil {
+	if err := n.router.Broadcast(tagQuery, encodeQueryMsg(qid, n.Addr(), 0, spec, nil)); err != nil {
 		n.dropQuery(qid)
 		return nil, fmt.Errorf("pier: disseminating query: %w", err)
 	}
@@ -537,7 +571,7 @@ func (n *Node) gatherBloom(ctx context.Context, qid uint64, spec *plan.Spec) (ma
 		}
 		n.bloomMu.Unlock()
 	}()
-	if err := n.router.Broadcast(tagBloomQ, encodeQueryMsg(qid, n.Addr(), spec, nil)); err != nil {
+	if err := n.router.Broadcast(tagBloomQ, encodeQueryMsg(qid, n.Addr(), 0, spec, nil)); err != nil {
 		return nil, err
 	}
 	select {
@@ -589,7 +623,7 @@ func (n *Node) answerBloomPhase(qid uint64, coord string, spec *plan.Spec) {
 		if rq := n.getQuery(qid, nil); rq != nil && rq.isCoord {
 			rq.setNodeStats(n.Addr(), statsChanBloom, &plan.Analysis{Ops: bloomStats})
 		} else {
-			n.sendStatsRPC(qid, coord, statsChanBloom, bloomStats)
+			n.sendStatsRPC(qid, coord, statsChanBloom, bloomStats, nil)
 		}
 	}
 }

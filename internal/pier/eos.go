@@ -1,6 +1,7 @@
 package pier
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 	"sync"
@@ -250,6 +251,7 @@ func (q *queryState) startEosShipper() {
 // message loss look like a dead member. Reordering is handled by the
 // frame sequence number on the receiving side.
 func (q *queryState) shipEosLedger() {
+	q.node.hbSent.Inc()
 	_ = q.node.peer.Notify(q.coord, methEos, q.eosFrame().Bytes())
 }
 
@@ -311,6 +313,9 @@ func (q *queryState) drainLocal(round uint64) {
 	}
 	e.drainSeen[round] = true
 	e.mu.Unlock()
+
+	drainSpan := q.spans.Start(fmt.Sprintf("drain.r%d", round))
+	defer q.spans.End(drainSpan)
 
 	q.flushCombining()
 	q.node.flushRoutes()

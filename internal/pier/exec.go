@@ -10,6 +10,7 @@ import (
 	"repro/internal/bloom"
 	"repro/internal/dataflow"
 	"repro/internal/id"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/physical"
 	"repro/internal/plan"
@@ -59,6 +60,16 @@ type queryState struct {
 	joinInlets map[int][2]*physical.Inlet // join stage -> side inlets
 	aggIn      *physical.Inlet
 	statsOnce  sync.Once
+
+	// --- tracing (one-shot queries only) ---
+	// spans buffers this node's phase spans for the query; traceRoot
+	// is the coordinator's root span id carried in the query message.
+	// shipSpanOnce lazily opens one "ship" span covering the window
+	// from the first outbound tuple to teardown.
+	spans        *obs.SpanBuf
+	traceRoot    uint64
+	shipSpanOnce sync.Once
+	shipSpanID   uint64
 
 	// --- relay combining buffers ---
 	combMu    sync.Mutex
@@ -114,6 +125,15 @@ func (n *Node) dropQuery(qid uint64) {
 	n.mu.Unlock()
 	if q != nil {
 		q.shipStats()
+		if q.coord == q.node.Addr() {
+			// The coordinator's spans ship last, here: its root span
+			// only gets its completion detail after teardown, and the
+			// stop broadcast loops back into shipStats before that.
+			q.spans.CloseOpen()
+			if spans := q.spans.Snapshot(); len(spans) > 0 {
+				n.addTraceSpans(qid, spans)
+			}
+		}
 		q.cancel()
 		q.stopTimers()
 	}
@@ -163,16 +183,37 @@ const (
 	statsChanBloom = "bloom"
 )
 
-// shipStats delivers this node's final per-operator pipeline counters
-// to the coordinator at query teardown — the participant half of the
-// distributed EXPLAIN ANALYZE. The coordinator stores its own
-// counters in place; remote nodes RPC them (best effort, off the
-// dispatch goroutine).
+// shipStats delivers this node's teardown payload to the coordinator
+// exactly once: trace spans always (one-shot queries), per-operator
+// pipeline counters only under EXPLAIN ANALYZE. It runs on every
+// teardown path — eos, cancel, deadline, stop broadcast — so partial
+// queries still trace. The coordinator stores its own share in place;
+// remote nodes RPC it (best effort, off the dispatch goroutine).
 func (q *queryState) shipStats() {
-	if !q.spec.Analyze {
+	q.statsOnce.Do(func() { q.shipFinal() })
+}
+
+func (q *queryState) shipFinal() {
+	var stats []plan.OpStats
+	if q.spec.Analyze {
+		stats = q.localStats()
+	}
+	if q.coord == q.node.Addr() {
+		// Counters only: the coordinator's spans are still being
+		// written at this point (the stop broadcast loops back here
+		// before the root span gets its completion detail), so
+		// dropQuery ships them into the trace ring instead.
+		if len(stats) > 0 {
+			q.setNodeStats(q.node.Addr(), statsChanPipes, &plan.Analysis{Ops: stats})
+		}
 		return
 	}
-	q.statsOnce.Do(func() { q.shipStatsSnapshot() })
+	q.spans.CloseOpen()
+	spans := q.spans.Snapshot()
+	if len(stats) == 0 && len(spans) == 0 {
+		return
+	}
+	q.node.sendStatsRPC(q.id, q.coord, statsChanPipes, stats, spans)
 }
 
 // shipStatsSnapshot ships the current cumulative counter snapshot.
@@ -188,7 +229,7 @@ func (q *queryState) shipStatsSnapshot() {
 		q.setNodeStats(q.node.Addr(), statsChanPipes, &plan.Analysis{Ops: stats})
 		return
 	}
-	q.node.sendStatsRPC(q.id, q.coord, statsChanPipes, stats)
+	q.node.sendStatsRPC(q.id, q.coord, statsChanPipes, stats, nil)
 }
 
 // setNodeStats records one node's latest snapshot on a channel.
@@ -221,14 +262,15 @@ func (q *queryState) mergedAnalysis(extra ...plan.OpStats) *plan.Analysis {
 	return merged
 }
 
-// sendStatsRPC ships one stats snapshot to the coordinator off the
-// caller's goroutine (best effort).
-func (n *Node) sendStatsRPC(qid uint64, coord, channel string, stats []plan.OpStats) {
+// sendStatsRPC ships one stats snapshot plus any trace spans to the
+// coordinator off the caller's goroutine (best effort).
+func (n *Node) sendStatsRPC(qid uint64, coord, channel string, stats []plan.OpStats, spans []obs.Span) {
 	w := wire.NewWriter(256)
 	w.Uint64(qid)
 	w.String(channel)
 	a := plan.Analysis{Ops: stats}
 	a.Encode(w)
+	obs.EncodeSpans(w, spans)
 	payload := w.Bytes()
 	go func() {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
@@ -259,6 +301,26 @@ func (n *Node) newQueryState(qid uint64, spec *plan.Spec, coord string) *querySt
 	return q
 }
 
+// initTrace arms span recording for a one-shot query. root is the
+// coordinator's root span id (new spans parent on it). Continuous
+// queries record no spans: their phases never end.
+func (q *queryState) initTrace(root uint64) {
+	if q.spec.IsContinuous() {
+		return
+	}
+	q.traceRoot = root
+	q.spans = obs.NewSpanBuf(q.node.Addr(), root)
+}
+
+// shipSpan lazily opens the node's "ship" span the first time any
+// outbound tuple path runs; it closes with the other open spans at
+// teardown, bracketing the node's whole shipping window.
+func (q *queryState) shipSpan() {
+	q.shipSpanOnce.Do(func() {
+		q.shipSpanID = q.spans.Start("ship")
+	})
+}
+
 // ---------------------------------------------------------------------------
 // Message encoding
 
@@ -270,10 +332,15 @@ type bloomKey struct {
 	stage int
 }
 
-func encodeQueryMsg(qid uint64, coord string, spec *plan.Spec, filters map[int]*bloom.Filter) []byte {
+// encodeQueryMsg frames a query dissemination: the trace context
+// (query id + the coordinator's root span id) rides in the same wire
+// frame as the plan, so every participant parents its spans correctly
+// with no extra message.
+func encodeQueryMsg(qid uint64, coord string, rootSpan uint64, spec *plan.Spec, filters map[int]*bloom.Filter) []byte {
 	w := wire.NewWriter(512)
 	w.Uint64(qid)
 	w.String(coord)
+	w.Uint64(rootSpan)
 	stages := make([]int, 0, len(filters))
 	for s, f := range filters {
 		if f != nil {
@@ -290,10 +357,11 @@ func encodeQueryMsg(qid uint64, coord string, spec *plan.Spec, filters map[int]*
 	return w.Bytes()
 }
 
-func decodeQueryMsg(payload []byte) (qid uint64, coord string, spec *plan.Spec, filters map[int]*bloom.Filter, err error) {
+func decodeQueryMsg(payload []byte) (qid uint64, coord string, rootSpan uint64, spec *plan.Spec, filters map[int]*bloom.Filter, err error) {
 	r := wire.NewReader(payload)
 	qid = r.Uint64()
 	coord = r.String()
+	rootSpan = r.Uint64()
 	nf := int(r.Uvarint())
 	if nf > plan.MaxTables {
 		err = fmt.Errorf("pier: query message with %d bloom filters", nf)
@@ -378,11 +446,17 @@ func joinCollectorKey(qid uint64, stage int, joinKey []byte) id.ID {
 func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 	switch tag {
 	case tagQuery:
-		qid, coord, spec, filters, err := decodeQueryMsg(payload)
+		qid, coord, rootSpan, spec, filters, err := decodeQueryMsg(payload)
 		if err != nil {
 			return
 		}
-		q := n.getQuery(qid, func() *queryState { return n.newQueryState(qid, spec, coord) })
+		q := n.getQuery(qid, func() *queryState {
+			qs := n.newQueryState(qid, spec, coord)
+			if coord != n.Addr() {
+				qs.initTrace(rootSpan)
+			}
+			return qs
+		})
 		if q == nil {
 			return
 		}
@@ -399,7 +473,7 @@ func (n *Node) onBroadcast(from overlay.Node, tag string, payload []byte) {
 			}()
 		})
 	case tagBloomQ:
-		qid, coord, spec, _, err := decodeQueryMsg(payload)
+		qid, coord, _, spec, _, err := decodeQueryMsg(payload)
 		if err != nil {
 			return
 		}
@@ -590,17 +664,27 @@ func (n *Node) registerHandlers() {
 		if err != nil {
 			return nil, err
 		}
+		spans, err := obs.DecodeSpans(r)
+		if err != nil {
+			return nil, err
+		}
 		if err := r.Done(); err != nil {
 			return nil, err
 		}
+		// Spans land in the trace ring even when the query is already
+		// dropped: teardown RPCs race the coordinator's return on
+		// cancel/deadline paths, and the ring entry outlives the query.
+		n.addTraceSpans(qid, spans)
 		q := n.getQuery(qid, nil)
 		if q == nil || !q.isCoord {
 			return nil, nil
 		}
 		q.noteAlive(from)
-		// Latest snapshot per (node, channel) replaces the previous
-		// one — counters are cumulative at the sender.
-		q.setNodeStats(from, channel, a)
+		if len(a.Ops) > 0 {
+			// Latest snapshot per (node, channel) replaces the previous
+			// one — counters are cumulative at the sender.
+			q.setNodeStats(from, channel, a)
+		}
 		return nil, nil
 	})
 	n.peer.Handle(methBloom, func(from string, req []byte) ([]byte, error) {

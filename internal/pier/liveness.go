@@ -1,6 +1,10 @@
 package pier
 
-import "time"
+import (
+	"time"
+
+	"repro/internal/obs"
+)
 
 // Coordinator-side failure detection. Participants heartbeat by
 // re-shipping their EOS ledger every Config.HeartbeatEvery (the
@@ -30,17 +34,27 @@ func (n *Node) markSuspect(addr string) {
 		return
 	}
 	n.suspectMu.Lock()
+	_, known := n.suspects[addr]
 	n.suspects[addr] = time.Now()
 	n.suspectMu.Unlock()
+	if !known {
+		n.reg.Counter("pier_suspicions_total").Inc()
+		n.events.Emit(obs.SevWarn, obs.EvSuspectRaised, 0, "member %s suspected dead", addr)
+	}
 }
 
 // clearSuspect rehabilitates an address (any RPC from it proves life).
 func (n *Node) clearSuspect(addr string) {
 	n.suspectMu.Lock()
-	if len(n.suspects) > 0 {
+	_, known := n.suspects[addr]
+	if known {
 		delete(n.suspects, addr)
 	}
 	n.suspectMu.Unlock()
+	if known {
+		n.reg.Counter("pier_suspicions_cleared_total").Inc()
+		n.events.Emit(obs.SevInfo, obs.EvSuspectCleared, 0, "member %s rehabilitated", addr)
+	}
 }
 
 // suspectCount counts live (un-expired) suspicions, pruning stale ones.

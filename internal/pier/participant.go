@@ -95,7 +95,9 @@ func (q *queryState) participateOneShot() {
 	q.startEosShipper()
 	pipe := physical.CompileOneShot(q.spec, q.pipelineEnv())
 	q.trackPipeline(pipe)
+	scanSpan := q.spans.Start("scan")
 	err := pipe.Run(q.ctx)
+	q.spans.End(scanSpan)
 	// Barrier: drain coalesced route batches before reporting
 	// completion, so no rehashed tuple or partial is still buffered
 	// when the coordinator reads this node's first EOS ledger.
@@ -201,6 +203,7 @@ func (q *queryState) startPeriodicStats() func() {
 // call.
 func (q *queryState) shipPartials(window uint64, partials []tuple.Tuple) int {
 	q.node.Metrics.PartialsSent.Add(uint64(len(partials)))
+	q.shipSpan()
 	q.countSent(chanKey{kind: chanAgg}, len(partials))
 	nGroup := len(q.spec.GroupCols)
 	total := 0
@@ -220,7 +223,7 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 	if len(rows) == 0 {
 		return 0
 	}
-	q.node.Metrics.RowsSent.Add(uint64(len(rows)))
+	q.shipSpan()
 	q.countSent(chanKey{kind: chanRows}, len(rows))
 	total := 0
 	for off := 0; off < len(rows); off += q.node.cfg.RowBatch {
@@ -244,6 +247,7 @@ func (q *queryState) sendRows(window uint64, rows []tuple.Tuple) int {
 // and the whole vector is handed to the route batcher in one call.
 func (q *queryState) rehashShip(stage, side int, window uint64, keys [][]byte, ts []tuple.Tuple) int {
 	q.node.Metrics.JoinTuplesRehashed.Add(uint64(len(ts)))
+	q.shipSpan()
 	q.countSent(chanKey{kind: chanJoin, stage: uint8(stage), side: uint8(side)}, len(ts))
 	if len(ts) == 1 {
 		k := joinCollectorKey(q.id, stage, keys[0])

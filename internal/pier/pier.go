@@ -24,6 +24,7 @@ import (
 	"repro/internal/dht"
 	"repro/internal/id"
 	"repro/internal/kademlia"
+	"repro/internal/obs"
 	"repro/internal/overlay"
 	"repro/internal/rpc"
 	"repro/internal/spill"
@@ -230,17 +231,21 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Metrics counts node activity for the harness.
+// Metrics counts node activity for the harness. Fields are obs
+// counters registered on the node's registry at construction, so the
+// existing field API (Add/Load) keeps working while the same values
+// export through the metrics surface. RowsSent was deleted: the final
+// ship operator's RowsOut plus rpc_calls_total{method="pier.rows"}
+// already count it.
 type Metrics struct {
-	QueriesCoordinated  atomic.Uint64
-	QueriesParticipated atomic.Uint64
-	PartialsSent        atomic.Uint64
-	PartialsCombined    atomic.Uint64
-	RowsSent            atomic.Uint64
-	JoinTuplesRehashed  atomic.Uint64
-	FetchProbes         atomic.Uint64
-	StrategySwitches    atomic.Uint64
-	AutoAnalyzes        atomic.Uint64
+	QueriesCoordinated  obs.Counter
+	QueriesParticipated obs.Counter
+	PartialsSent        obs.Counter
+	PartialsCombined    obs.Counter
+	JoinTuplesRehashed  obs.Counter
+	FetchProbes         obs.Counter
+	StrategySwitches    obs.Counter
+	AutoAnalyzes        obs.Counter
 }
 
 // Node is one PIER participant.
@@ -297,6 +302,20 @@ type Node struct {
 
 	Metrics Metrics
 
+	// reg/events are the node-wide observability surface; traces is
+	// the bounded ring of recent queries' cross-node spans (see
+	// trace.go). Hot completion-path handles are resolved once at
+	// construction.
+	reg         *obs.Registry
+	events      *obs.EventLog
+	traceMu     sync.Mutex
+	traces      map[uint64]*traceEntry
+	traceOrder  []uint64
+	completions map[string]*obs.Counter
+	covHist     *obs.Histogram
+	drainHist   *obs.Histogram
+	hbSent      *obs.Counter
+
 	stopCh chan struct{}
 	wg     sync.WaitGroup
 }
@@ -317,6 +336,9 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 		suspects:     make(map[string]time.Time),
 		appBroadcast: make(map[string]overlay.BroadcastFunc),
 		stopCh:       make(chan struct{}),
+		reg:          obs.New(),
+		events:       obs.NewEventLog(512),
+		traces:       make(map[uint64]*traceEntry),
 	}
 	if cfg.JoinMemBudget > 0 {
 		sm, err := spill.NewManager(cfg.SpillDir)
@@ -354,6 +376,16 @@ func NewNode(tr transport.Transport, cfg Config) (*Node, error) {
 	// statistics sketches.
 	n.store.SetHooks(n.localStats.OnStored, n.localStats.OnExpired)
 	n.members.Store(int64(cfg.Members))
+	n.peer.SetObs(n.reg)
+	n.store.RegisterMetrics(n.reg)
+	n.batcher.RegisterMetrics(n.reg)
+	if n.spill != nil {
+		n.spill.RegisterMetrics(n.reg)
+		n.spill.SetCreateHook(func(label string) {
+			n.events.Emit(obs.SevWarn, obs.EvSpillStarted, 0, "spill file created: %s", label)
+		})
+	}
+	n.registerMetrics()
 	n.registerHandlers()
 	if !cfg.DisableStatsGossip {
 		n.wg.Add(1)

@@ -16,6 +16,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/transport"
 	"repro/internal/wire"
 )
@@ -93,6 +94,52 @@ type Peer struct {
 	closed   bool
 
 	nextID atomic.Uint64
+
+	obs     atomic.Pointer[obs.Registry]
+	methods sync.Map // method → *methodMetrics
+}
+
+// methodMetrics holds one method's registry handles so the per-call
+// cost is a sync.Map load plus a few atomic adds.
+type methodMetrics struct {
+	calls   *obs.Counter
+	oneways *obs.Counter
+	bytes   *obs.Counter
+	retries *obs.Counter
+	errors  *obs.Counter
+	latency *obs.Histogram
+}
+
+// SetObs attaches a metrics registry. Overlays construct the Peer, so
+// the owning node wires observability in after the fact; until then
+// (and on nil) instrumentation is skipped.
+func (p *Peer) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.obs.Store(reg)
+}
+
+// method returns the cached metric bundle for a method, or nil when no
+// registry is attached.
+func (p *Peer) method(method string) *methodMetrics {
+	reg := p.obs.Load()
+	if reg == nil {
+		return nil
+	}
+	if m, ok := p.methods.Load(method); ok {
+		return m.(*methodMetrics)
+	}
+	m := &methodMetrics{
+		calls:   reg.Counter(obs.L("rpc_calls_total", "method", method)),
+		oneways: reg.Counter(obs.L("rpc_oneways_total", "method", method)),
+		bytes:   reg.Counter(obs.L("rpc_sent_bytes_total", "method", method)),
+		retries: reg.Counter(obs.L("rpc_retries_total", "method", method)),
+		errors:  reg.Counter(obs.L("rpc_errors_total", "method", method)),
+		latency: reg.Histogram(obs.L("rpc_latency_ns", "method", method), obs.LatencyBuckets),
+	}
+	got, _ := p.methods.LoadOrStore(method, m)
+	return got.(*methodMetrics)
 }
 
 // New wraps a transport. The peer takes over the transport's handler;
@@ -175,22 +222,49 @@ func (p *Peer) Call(ctx context.Context, to, method string, req []byte) ([]byte,
 	}()
 
 	frame := encodeFrame(kindRequest, id, method, false, req)
+	mm := p.method(method)
+	var start time.Time
+	if mm != nil {
+		mm.calls.Inc()
+		start = time.Now()
+	}
 	attempts := p.cfg.Retries + 1
 	for a := 0; a < attempts; a++ {
+		if mm != nil {
+			mm.bytes.Add(uint64(len(frame)))
+			if a > 0 {
+				mm.retries.Inc()
+			}
+		}
 		if err := p.tr.Send(to, frame); err != nil {
+			if mm != nil {
+				mm.errors.Inc()
+			}
 			return nil, fmt.Errorf("rpc: call %s on %s: %w", method, to, err)
 		}
 		timer := time.NewTimer(p.cfg.Timeout)
 		select {
 		case res := <-pc.ch:
 			timer.Stop()
+			if mm != nil {
+				if res.err != nil {
+					mm.errors.Inc()
+				}
+				mm.latency.Observe(uint64(time.Since(start)))
+			}
 			return res.payload, res.err
 		case <-ctx.Done():
 			timer.Stop()
+			if mm != nil {
+				mm.errors.Inc()
+			}
 			return nil, ctx.Err()
 		case <-timer.C:
 			// fall through to retransmit
 		}
+	}
+	if mm != nil {
+		mm.errors.Inc()
 	}
 	return nil, fmt.Errorf("%w: %s on %s after %d attempts", ErrTimeout, method, to, attempts)
 }
@@ -203,7 +277,12 @@ func (p *Peer) Notify(to, method string, req []byte) error {
 	if closed {
 		return ErrClosed
 	}
-	return p.tr.Send(to, encodeFrame(kindOneway, 0, method, false, req))
+	frame := encodeFrame(kindOneway, 0, method, false, req)
+	if mm := p.method(method); mm != nil {
+		mm.oneways.Inc()
+		mm.bytes.Add(uint64(len(frame)))
+	}
+	return p.tr.Send(to, frame)
 }
 
 func (p *Peer) onDatagram(from string, payload []byte) {

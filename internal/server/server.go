@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/pier"
 	"repro/internal/plan"
 	"repro/internal/tuple"
@@ -32,10 +33,13 @@ import (
 type Request struct {
 	ID uint64 `json:"id"`
 	// Op selects the action: ping, query, prepare, exec, subscribe,
-	// unsubscribe, explain, cache, create, insert.
+	// unsubscribe, explain, cache, create, insert, metrics, trace,
+	// events.
 	Op   string `json:"op"`
 	SQL  string `json:"sql,omitempty"`  // query, prepare, subscribe, explain
 	Name string `json:"name,omitempty"` // prepare, exec
+	// Query selects a query id for op trace (0 = most recent).
+	Query uint64 `json:"query,omitempty"`
 	// Analyze runs the statement as EXPLAIN ANALYZE (query, subscribe).
 	Analyze bool   `json:"analyze,omitempty"`
 	Sub     uint64 `json:"sub,omitempty"` // unsubscribe
@@ -89,6 +93,16 @@ type Response struct {
 	Cache   *engine.CacheStats      `json:"cache,omitempty"`
 	Entries []engine.CacheEntryInfo `json:"entries,omitempty"`
 	Addr    string                  `json:"addr,omitempty"` // ping
+
+	// Query is the network-wide query id of a one-shot result; feed it
+	// back through op trace to fetch the assembled cross-node trace.
+	Query uint64 `json:"query,omitempty"`
+	// Telemetry surface (ops metrics, trace, events).
+	Metrics   string             `json:"metrics,omitempty"`    // Prometheus text exposition
+	Series    map[string]float64 `json:"series,omitempty"`     // same snapshot as JSON
+	Trace     json.RawMessage    `json:"trace,omitempty"`      // assembled trace document
+	TraceText string             `json:"trace_text,omitempty"` // human TRACE tree
+	Events    []obs.Event        `json:"events,omitempty"`     // structured event ring
 }
 
 // Event is an unsolicited server-to-client message (window delivery).
@@ -279,6 +293,23 @@ func (cc *clientConn) run(req Request) (Response, error) {
 	case "cache":
 		st := cc.srv.svc.Cache().Stats()
 		return Response{Cache: &st, Entries: cc.srv.svc.Cache().Snapshot()}, nil
+	case "metrics":
+		reg := cc.srv.svc.Node().Obs()
+		return Response{Metrics: reg.RenderProm(), Series: reg.SnapshotMap()}, nil
+	case "trace":
+		node := cc.srv.svc.Node()
+		var tr *obs.Trace
+		if req.Query != 0 {
+			tr = node.Trace(req.Query)
+		} else {
+			tr = node.LastTrace()
+		}
+		if tr == nil {
+			return Response{}, fmt.Errorf("no trace for query %d (evicted or never coordinated here)", req.Query)
+		}
+		return Response{Query: tr.Query, Trace: tr.JSON(), TraceText: tr.Render()}, nil
+	case "events":
+		return Response{Events: cc.srv.svc.Node().Events().Snapshot()}, nil
 	case "create":
 		return cc.create(req)
 	case "insert":
@@ -303,6 +334,7 @@ func (cc *clientConn) query(req Request) (Response, error) {
 
 func resultResponse(res *pier.Result, start time.Time) Response {
 	resp := Response{
+		Query:           res.QueryID,
 		Columns:         res.Columns,
 		Rows:            encodeRows(res.Rows),
 		Participants:    res.Participants,

@@ -5,10 +5,12 @@ import (
 	"encoding/json"
 	"fmt"
 	"net"
+	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/engine"
+	"repro/internal/obs"
 	"repro/internal/piertest"
 )
 
@@ -203,6 +205,89 @@ func TestTwoClients(t *testing.T) {
 	e := dial(t, srv.Addr().String())
 	if resp := e.must(Request{Op: "query", SQL: "SELECT COUNT(*) FROM kv"}); len(resp.Rows) != 1 {
 		t.Fatalf("server unhealthy after abrupt disconnect: %v", resp.Rows)
+	}
+}
+
+// TestTelemetryOps round-trips the observability surface over the
+// wire: after a query, `metrics` returns the node's registry (both as
+// Prometheus text and as a series map), `trace` returns the query's
+// assembled cross-node trace by the id the query response carried, and
+// `events` returns the structured ring.
+func TestTelemetryOps(t *testing.T) {
+	c, err := piertest.New(piertest.Options{N: 4, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	svc := engine.New(c.Nodes[0], engine.Config{})
+	defer svc.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := Serve(ln, svc)
+	defer srv.Close()
+
+	a := dial(t, srv.Addr().String())
+	a.must(Request{Op: "create", Table: "kv",
+		Cols: []string{"k:string", "v:int"}, Key: []string{"k"}, TTLMS: 60_000})
+	for i := 0; i < 4; i++ {
+		a.must(Request{Op: "insert", Table: "kv", Local: true,
+			Values: []interface{}{fmt.Sprintf("key-%d", i), i}})
+	}
+	q := a.must(Request{Op: "query", SQL: "SELECT COUNT(*) FROM kv"})
+	if q.Query == 0 {
+		t.Fatal("query response carries no query id")
+	}
+
+	m := a.must(Request{Op: "metrics"})
+	for _, series := range []string{
+		"pier_queries_coordinated_total", "engine_admitted_total",
+		"engine_plan_cache_hit_rate", "dht_puts_total", "batch_frames_out_total",
+		`pier_completions_total{reason="eos"}`, "rpc_calls_total",
+	} {
+		if !strings.Contains(m.Metrics, series) {
+			t.Errorf("metrics text missing %s", series)
+		}
+	}
+	if m.Series["pier_queries_coordinated_total"] < 1 {
+		t.Fatalf("series map: pier_queries_coordinated_total = %v, want >= 1",
+			m.Series["pier_queries_coordinated_total"])
+	}
+
+	// By id, and as "most recent" with no id.
+	for _, req := range []Request{{Op: "trace", Query: q.Query}, {Op: "trace"}} {
+		tr := a.must(req)
+		if tr.Query != q.Query {
+			t.Fatalf("trace op returned query %d, want %d", tr.Query, q.Query)
+		}
+		if !strings.Contains(tr.TraceText, "(coordinator)") {
+			t.Fatalf("trace text:\n%s", tr.TraceText)
+		}
+		var decoded struct {
+			Coord string            `json:"coordinator"`
+			Spans []json.RawMessage `json:"spans"`
+		}
+		if err := json.Unmarshal(tr.Trace, &decoded); err != nil {
+			t.Fatalf("trace JSON: %v", err)
+		}
+		if decoded.Coord == "" || len(decoded.Spans) == 0 {
+			t.Fatalf("trace JSON coord=%q spans=%d", decoded.Coord, len(decoded.Spans))
+		}
+	}
+	if resp := a.call(Request{Op: "trace", Query: 999999}); resp.OK {
+		t.Fatal("trace of an unknown query must fail")
+	}
+
+	ev := a.must(Request{Op: "events"})
+	var admitted bool
+	for _, e := range ev.Events {
+		if e.Kind == obs.EvQueryAdmitted {
+			admitted = true
+		}
+	}
+	if !admitted {
+		t.Fatalf("event ring has no %s event: %+v", obs.EvQueryAdmitted, ev.Events)
 	}
 }
 

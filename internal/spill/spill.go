@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 	"syscall"
 
+	"repro/internal/obs"
 	"repro/internal/tuple"
 	"repro/internal/wire"
 )
@@ -37,13 +38,39 @@ func DefaultBase() string { return filepath.Join(os.TempDir(), "pier-spill") }
 type Manager struct {
 	dir string
 
-	mu     sync.Mutex
-	seq    int
-	files  map[*File]struct{}
-	closed bool
+	mu       sync.Mutex
+	seq      int
+	files    map[*File]struct{}
+	closed   bool
+	onCreate func(label string)
 
 	// Written counts total bytes appended across all files (metrics).
 	Written atomic.Int64
+	// Created counts spill files ever opened.
+	Created obs.Counter
+	// Passes counts re-join passes over spilled partitions (fed by the
+	// hybrid-hash operator, aggregated node-wide here).
+	Passes obs.Counter
+}
+
+// SetCreateHook installs a callback invoked whenever a spill file is
+// created (the node's spill-started event feed).
+func (m *Manager) SetCreateHook(fn func(label string)) {
+	m.mu.Lock()
+	m.onCreate = fn
+	m.mu.Unlock()
+}
+
+// RegisterMetrics attaches the manager's counters to a registry under
+// spill_* series names.
+func (m *Manager) RegisterMetrics(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterCounter("spill_files_created_total", &m.Created)
+	reg.RegisterCounter("spill_passes_total", &m.Passes)
+	reg.RegisterFunc("spill_written_bytes_total", func() float64 { return float64(m.Written.Load()) })
+	reg.RegisterFunc("spill_open_files", func() float64 { return float64(m.FileCount()) })
 }
 
 // NewManager creates the node's spill directory under base (DefaultBase
@@ -131,6 +158,10 @@ func (m *Manager) Create(label string) (*File, error) {
 	}
 	sf := &File{mgr: m, path: name, f: f, w: bufio.NewWriterSize(f, 64<<10)}
 	m.files[sf] = struct{}{}
+	m.Created.Add(1)
+	if m.onCreate != nil {
+		m.onCreate(label)
+	}
 	return sf, nil
 }
 
